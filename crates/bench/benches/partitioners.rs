@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the partitioning algorithms
+//! (complements the wall-clock Table 2 harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use natix_bench::{natix_core, natix_datagen};
+use natix_core::{evaluation_algorithms, Fdw, Partitioner};
+use natix_datagen::GenConfig;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.005,
+        seed: 1,
+    });
+    let tree = doc.tree();
+    let mut g = c.benchmark_group("partition/xmark-2.7k-nodes");
+    for alg in evaluation_algorithms() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            tree,
+            |b, tree| b.iter(|| alg.partition(tree, 256).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_relational(c: &mut Criterion) {
+    // The flat "relational" regime is DHW's worst case.
+    let doc = natix_datagen::partsupp(GenConfig {
+        scale: 0.01,
+        seed: 1,
+    });
+    let tree = doc.tree();
+    let mut g = c.benchmark_group("partition/partsupp-1k-nodes");
+    for alg in evaluation_algorithms() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            tree,
+            |b, tree| b.iter(|| alg.partition(tree, 256).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fdw_flat(c: &mut Criterion) {
+    // FDW only runs on flat trees; give it one.
+    let mut spec = String::from("root:1(");
+    for i in 0..500 {
+        spec.push_str(&format!("c{}:{} ", i, i % 7 + 1));
+    }
+    spec.push(')');
+    let tree = natix_bench::natix_tree::parse_spec(&spec).unwrap();
+    c.bench_function("partition/fdw-flat-500", |b| {
+        b.iter(|| Fdw.partition(&tree, 64).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_algorithms, bench_relational, bench_fdw_flat);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the storage substrate: bulkload throughput and
+//! full-document traversal over different layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use natix_bench::{natix_core, natix_datagen, natix_store};
+use natix_core::{Ekm, Km, Partitioner, Rs};
+use natix_datagen::GenConfig;
+use natix_store::{MemPager, StoreConfig, XmlStore};
+
+fn bench_bulkload(c: &mut Criterion) {
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.01,
+        seed: 5,
+    });
+    let mut g = c.benchmark_group("store/bulkload");
+    g.throughput(Throughput::Elements(doc.len() as u64));
+    for alg in [&Ekm as &dyn Partitioner, &Km, &Rs] {
+        let p = alg.partition(doc.tree(), 256).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(alg.name()), &p, |b, p| {
+            b.iter(|| {
+                XmlStore::bulkload(&doc, p, Box::new(MemPager::new()), StoreConfig::default())
+                    .unwrap()
+                    .record_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_scan(c: &mut Criterion) {
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.01,
+        seed: 5,
+    });
+    let mut g = c.benchmark_group("store/full-scan");
+    g.throughput(Throughput::Elements(doc.len() as u64));
+    for alg in [&Ekm as &dyn Partitioner, &Km] {
+        let p = alg.partition(doc.tree(), 256).unwrap();
+        let mut store =
+            XmlStore::bulkload(&doc, &p, Box::new(MemPager::new()), StoreConfig::default())
+                .unwrap();
+        g.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter(|| store.to_document().unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bulkload, bench_full_scan);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for XPath evaluation over KM and EKM store
+//! layouts and the in-memory document (Table 3 in micro form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use natix_bench::{natix_core, natix_datagen, natix_store, natix_xpath};
+use natix_core::{Ekm, Km, Partitioner};
+use natix_datagen::GenConfig;
+use natix_store::{MemPager, StoreConfig, XmlStore};
+use natix_xpath::{eval, parse, MemNavigator, StoreNavigator};
+
+fn load(doc: &natix_bench::natix_xml::Document, alg: &dyn Partitioner) -> XmlStore {
+    let p = alg.partition(doc.tree(), 256).unwrap();
+    XmlStore::bulkload(doc, &p, Box::new(MemPager::new()), StoreConfig::default()).unwrap()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.02,
+        seed: 3,
+    });
+    let mut km = load(&doc, &Km);
+    let mut ekm = load(&doc, &Ekm);
+
+    for (name, query) in [
+        ("Q1-items", "/site/regions/*/item"),
+        ("Q3-keywords", "//keyword"),
+        ("Q6-ancestors", "//keyword/ancestor::listitem"),
+    ] {
+        let path = parse(query).unwrap();
+        let mut g = c.benchmark_group(format!("xpath/{name}"));
+        g.bench_function(BenchmarkId::from_parameter("mem"), |b| {
+            b.iter(|| {
+                let mut nav = MemNavigator::new(&doc);
+                eval(&mut nav, &path).unwrap().len()
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("store-km"), |b| {
+            b.iter(|| {
+                let mut nav = StoreNavigator::new(&mut km);
+                eval(&mut nav, &path).unwrap().len()
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("store-ekm"), |b| {
+            b.iter(|| {
+                let mut nav = StoreNavigator::new(&mut ekm);
+                eval(&mut nav, &path).unwrap().len()
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

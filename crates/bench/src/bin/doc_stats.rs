@@ -1,0 +1,90 @@
+//! Structural profiles of the evaluation documents (the Sec. 6.1
+//! characterization: flat "relational" documents vs nested structures),
+//! next to the paper's Table 1 size columns.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --bin doc_stats [--scale 0.05 | --paper]
+//! ```
+
+use natix_bench::{natix_datagen, natix_tree, write_json, Args, Table};
+use natix_tree::tree_stats;
+use serde::Serialize;
+
+/// Paper Table 1 reference values at scale 1.0: (nodes, weight / 256).
+const PAPER: &[(&str, usize, u64)] = &[
+    ("SigmodRecord.xml", 42_054, 352),
+    ("mondial-3.0.xml", 152_218, 1_236),
+    ("partsupp.xml", 96_005, 1_026),
+    ("uwm.xml", 189_542, 1_446),
+    ("orders.xml", 300_005, 2_247),
+    ("xmark0p1.xml", 549_213, 7_532),
+];
+
+#[derive(Serialize)]
+struct Row {
+    document: String,
+    nodes: usize,
+    weight: u64,
+    height: usize,
+    leaves: usize,
+    max_fanout: usize,
+    mean_fanout: f64,
+    paper_nodes_at_this_scale: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(&[
+        "Document",
+        "Nodes",
+        "paper@scale",
+        "Weight/K",
+        "paper",
+        "Height",
+        "Leaves",
+        "Max fan-out",
+        "Mean fan-out",
+    ]);
+    let mut results = Vec::new();
+    for (name, doc) in natix_datagen::evaluation_suite(args.scale, args.seed) {
+        let s = tree_stats(doc.tree());
+        let (paper_nodes, paper_wk) = PAPER
+            .iter()
+            .find(|&&(n, _, _)| n == name)
+            .map(|&(_, n, w)| (n as f64 * args.scale, (w as f64 * args.scale) as u64))
+            .expect("known document");
+        table.row(vec![
+            name.to_string(),
+            s.nodes.to_string(),
+            format!("{paper_nodes:.0}"),
+            (s.total_weight / args.k).to_string(),
+            paper_wk.to_string(),
+            s.height.to_string(),
+            s.leaves.to_string(),
+            s.max_fanout.to_string(),
+            format!("{:.1}", s.mean_fanout),
+        ]);
+        results.push(Row {
+            document: name.to_string(),
+            nodes: s.nodes,
+            weight: s.total_weight,
+            height: s.height,
+            leaves: s.leaves,
+            max_fanout: s.max_fanout,
+            mean_fanout: s.mean_fanout,
+            paper_nodes_at_this_scale: paper_nodes,
+        });
+        eprintln!("done: {name}");
+    }
+    println!(
+        "Document shape profiles (scale = {}, K = {}); 'paper' columns are \
+         Table 1 values scaled\n",
+        args.scale, args.k
+    );
+    println!("{}", table.render());
+    println!(
+        "Note the two regimes the paper calls out: partsupp/orders are flat\n\
+         (height 2, huge root fan-out), mondial/uwm/xmark are nested."
+    );
+    write_json(&args, &results);
+}

@@ -1,0 +1,74 @@
+//! **Ablation A3**: effectiveness of the DP-table memoization
+//! (paper Sec. 3.3.6: "measurements for a 20 MB sample document and
+//! K = 256 show that on average, less than 4 of the potential 256 values
+//! for s actually occur for inner nodes").
+//!
+//! ```text
+//! cargo run -p natix-bench --release --bin memoization [--scale 0.05]
+//! ```
+
+use natix_bench::{natix_core, natix_datagen, write_json, Args, Table};
+use natix_core::dhw_with_statistics;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    document: String,
+    inner_nodes: u64,
+    avg_s_values: f64,
+    max_s_values: usize,
+    table_cells: u64,
+    full_table_cells: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(&[
+        "Document",
+        "Inner nodes",
+        "avg s/node",
+        "max s/node",
+        "cells used",
+        "cells full table",
+        "saved",
+    ]);
+    let mut results = Vec::new();
+    for (name, doc) in natix_datagen::evaluation_suite(args.scale, args.seed) {
+        let tree = doc.tree();
+        let (_, stats) = dhw_with_statistics(tree, args.k).expect("feasible");
+        // The naive table materializes every s in [w(v), K] for every j.
+        let full: u64 = tree
+            .node_ids()
+            .filter(|&v| tree.child_count(v) > 0)
+            .map(|v| {
+                let s_range = args.k.saturating_sub(tree.weight(v)) + 1;
+                s_range * (tree.child_count(v) as u64 + 1)
+            })
+            .sum();
+        table.row(vec![
+            name.to_string(),
+            stats.inner_nodes.to_string(),
+            format!("{:.2}", stats.avg_rows()),
+            stats.max_rows.to_string(),
+            stats.total_entries.to_string(),
+            full.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - stats.total_entries as f64 / full as f64)),
+        ]);
+        eprintln!("done: {name} (avg {:.2} s values)", stats.avg_rows());
+        results.push(Row {
+            document: name.to_string(),
+            inner_nodes: stats.inner_nodes,
+            avg_s_values: stats.avg_rows(),
+            max_s_values: stats.max_rows,
+            table_cells: stats.total_entries,
+            full_table_cells: full,
+        });
+    }
+    println!(
+        "Ablation: DP-table memoization effectiveness (K = {}, scale = {})\n",
+        args.k, args.scale
+    );
+    println!("{}", table.render());
+    println!("Paper Sec. 3.3.6 reference point: < 4 avg s values on a 20 MB document at K = 256.");
+    write_json(&args, &results);
+}

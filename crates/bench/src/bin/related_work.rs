@@ -1,0 +1,88 @@
+//! **Ablation A4**: the related-work comparison of Sec. 5 — Lukes'
+//! value-optimal tree partitioning vs KM vs the sibling partitioners.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --bin related_work [--scale 0.02]
+//! ```
+//!
+//! Expected shape: with unit edge values Lukes and KM produce the same
+//! cardinality (both are optimal for parent-child-only partitioning); the
+//! sibling partitioners (DHW, EKM) beat both, because neither Lukes nor KM
+//! may merge sibling subtrees.
+
+use natix_bench::{fmt_duration, natix_core, natix_datagen, natix_tree, time, write_json, Args, Table};
+use natix_core::{lukes, Dhw, Ekm, Km, Lukes, Partitioner, UnitEdgeValues};
+use natix_tree::validate;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    document: String,
+    lukes: usize,
+    lukes_value: u64,
+    km: usize,
+    dhw: usize,
+    ekm: usize,
+}
+
+fn main() {
+    let mut args = Args::parse();
+    if args.scale == Args::default().scale {
+        // Lukes' extraction tables are O(nK) memory; keep documents modest.
+        args.scale = 0.02;
+    }
+    let mut table = Table::new(&[
+        "Document",
+        "LUKES",
+        "kept-edge value",
+        "KM",
+        "DHW",
+        "EKM",
+        "Lukes time",
+    ]);
+    let mut results = Vec::new();
+    for (name, doc) in natix_datagen::evaluation_suite(args.scale, args.seed) {
+        let tree = doc.tree();
+        let card = |alg: &dyn Partitioner| {
+            validate(tree, args.k, &alg.partition(tree, args.k).unwrap())
+                .unwrap()
+                .cardinality
+        };
+        let (lr, lukes_time) = time(|| lukes(tree, args.k, &UnitEdgeValues).unwrap());
+        let l_card = validate(tree, args.k, &lr.partitioning).unwrap().cardinality;
+        let km = card(&Km);
+        let dhw = card(&Dhw);
+        let ekm = card(&Ekm);
+        assert_eq!(
+            l_card, km,
+            "{name}: unit-value Lukes must match KM's minimal parent-child partitioning"
+        );
+        // Value = kept edges = (n - 1) - cuts.
+        assert_eq!(lr.value as usize, tree.len() - 1 - (l_card - 1));
+        table.row(vec![
+            name.to_string(),
+            l_card.to_string(),
+            lr.value.to_string(),
+            km.to_string(),
+            dhw.to_string(),
+            ekm.to_string(),
+            fmt_duration(lukes_time),
+        ]);
+        eprintln!("done: {name}");
+        results.push(Row {
+            document: name.to_string(),
+            lukes: l_card,
+            lukes_value: lr.value,
+            km,
+            dhw,
+            ekm,
+        });
+        let _ = Lukes; // re-exported type used by library consumers
+    }
+    println!(
+        "Ablation: related work (Lukes 1974) vs sibling partitioning (K = {}, scale = {})\n",
+        args.k, args.scale
+    );
+    println!("{}", table.render());
+    write_json(&args, &results);
+}

@@ -1,0 +1,66 @@
+//! **Table 2**: CPU time of each partitioning algorithm on each evaluation
+//! document.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --bin table2 [--scale 0.05 | --paper]
+//! ```
+//!
+//! Absolute times differ from the paper's 2.4 GHz Pentium IV, but the
+//! *ordering* must hold: DHW ≫ GHDW ≫ KM > BFS > EKM ≈ RS ≈ DFS, with EKM
+//! orders of magnitude faster than DHW at near-optimal quality.
+
+use natix_bench::{
+    fmt_duration, natix_core, natix_datagen, time, write_json, Args, Table,
+};
+use natix_core::evaluation_algorithms;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    document: String,
+    nodes: usize,
+    seconds: Vec<(String, f64)>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let algorithms = evaluation_algorithms();
+    let mut headers = vec!["Document"];
+    for a in &algorithms {
+        if args.skip_dhw && a.name() == "DHW" {
+            continue;
+        }
+        headers.push(a.name());
+    }
+    let mut table = Table::new(&headers);
+    let mut results = Vec::new();
+
+    for (name, doc) in natix_datagen::evaluation_suite(args.scale, args.seed) {
+        let tree = doc.tree();
+        let mut cells = vec![name.to_string()];
+        let mut seconds = Vec::new();
+        for alg in &algorithms {
+            if args.skip_dhw && alg.name() == "DHW" {
+                continue;
+            }
+            let (res, dur) = time(|| alg.partition(tree, args.k));
+            res.unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
+            cells.push(fmt_duration(dur));
+            seconds.push((alg.name().to_string(), dur.as_secs_f64()));
+            eprintln!("{name}: {} in {}", alg.name(), fmt_duration(dur));
+        }
+        table.row(cells);
+        results.push(Row {
+            document: name.to_string(),
+            nodes: tree.len(),
+            seconds,
+        });
+    }
+
+    println!(
+        "Table 2: Partitioning CPU time (K = {}, scale = {})\n",
+        args.k, args.scale
+    );
+    println!("{}", table.render());
+    write_json(&args, &results);
+}

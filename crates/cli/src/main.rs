@@ -1,0 +1,217 @@
+//! `natix` — command-line front end for the Natix sibling-partitioning
+//! store.
+//!
+//! ```text
+//! natix partition <file.xml> [--alg ekm|dhw|ghdw|km|rs|dfs|bfs|lukes] [--k 256]
+//! natix load      <file.xml> <store.natix> [--alg ekm] [--k 256]
+//! natix query     <store.natix> '<xpath>' [--count]
+//! natix dump      <store.natix>
+//! natix stats     <store.natix>
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use natix_core::{Bfs, Dfs, Dhw, Ekm, Ghdw, Km, Lukes, Partitioner, Rs};
+use natix_store::{bulkload_with, FilePager, StoreConfig, XmlStore};
+use natix_tree::validate;
+use natix_xml::NodeKind;
+use natix_xpath::{eval_query, StoreNavigator};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  natix partition <file.xml> [--alg NAME] [--k SLOTS]\n  \
+         natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS]\n  \
+         natix query <store.natix> '<xpath>' [--count]\n  \
+         natix dump <store.natix>\n  \
+         natix stats <store.natix>\n\
+         algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes"
+    );
+    ExitCode::from(2)
+}
+
+fn algorithm(name: &str) -> Option<Box<dyn Partitioner>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "ekm" => Box::new(Ekm),
+        "dhw" => Box::new(Dhw),
+        "ghdw" => Box::new(Ghdw),
+        "km" => Box::new(Km),
+        "rs" => Box::new(Rs),
+        "dfs" => Box::new(Dfs),
+        "bfs" => Box::new(Bfs),
+        "lukes" => Box::new(Lukes),
+        _ => return None,
+    })
+}
+
+struct Flags {
+    alg: Box<dyn Partitioner>,
+    k: u64,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut alg: Box<dyn Partitioner> = Box::new(Ekm);
+    let mut k = 256;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--alg" => {
+                let name = it.next().ok_or("missing value for --alg")?;
+                alg = algorithm(name).ok_or_else(|| format!("unknown algorithm {name}"))?;
+            }
+            "--k" => {
+                k = it
+                    .next()
+                    .ok_or("missing value for --k")?
+                    .parse()
+                    .map_err(|_| "--k expects a positive integer".to_string())?;
+            }
+            "--count" => {} // handled by the caller
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Flags { alg, k })
+}
+
+fn read_document(path: &str) -> Result<natix_xml::Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    natix_xml::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn open_store(path: &str) -> Result<XmlStore, String> {
+    let pager = FilePager::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    XmlStore::open(Box::new(pager), StoreConfig::default()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("missing <file.xml>")?;
+    let flags = parse_flags(&args[1..])?;
+    let doc = read_document(file)?;
+    let tree = doc.tree();
+    let p = flags
+        .alg
+        .partition(tree, flags.k)
+        .map_err(|e| e.to_string())?;
+    let stats = validate(tree, flags.k, &p).map_err(|e| e.to_string())?;
+    println!("document   : {} nodes, {} slots", tree.len(), tree.total_weight());
+    println!("algorithm  : {} (K = {})", flags.alg.name(), flags.k);
+    println!("partitions : {}", stats.cardinality);
+    println!("root weight: {}", stats.root_weight);
+    println!("max weight : {}", stats.max_partition_weight);
+    println!(
+        "lower bound: {} (total weight / K)",
+        tree.total_weight().div_ceil(flags.k)
+    );
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("missing <file.xml>")?;
+    let out = args.get(1).ok_or("missing <store.natix>")?;
+    let flags = parse_flags(&args[2..])?;
+    let doc = read_document(file)?;
+    let pager = FilePager::create(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+    let store = bulkload_with(
+        &doc,
+        flags.alg.as_ref(),
+        flags.k,
+        Box::new(pager),
+        StoreConfig {
+            record_limit_slots: flags.k,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "loaded {} nodes into {} records on {} pages ({} KB) using {}",
+        doc.len(),
+        store.record_count(),
+        store.page_count(),
+        store.occupied_bytes() / 1024,
+        flags.alg.name()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let store_path = args.first().ok_or("missing <store.natix>")?;
+    let query = args.get(1).ok_or("missing XPath query")?;
+    let count_only = args.iter().any(|a| a == "--count");
+    let mut store = open_store(store_path)?;
+    let hits = {
+        let mut nav = StoreNavigator::new(&mut store);
+        eval_query(&mut nav, query).map_err(|e| e.to_string())?
+    };
+    if count_only {
+        println!("{}", hits.len());
+    } else {
+        for r in &hits {
+            let (kind, label) = store
+                .with_node(*r, |n| (n.kind, n.label))
+                .map_err(|e| e.to_string())?;
+            let name = store.label_name(label).to_string();
+            let content = store.node_content(*r).map_err(|e| e.to_string())?;
+            match (kind, content) {
+                (NodeKind::Element, _) => println!("<{name}>"),
+                (NodeKind::Attribute, Some(v)) => println!("@{name}=\"{v}\""),
+                (_, Some(v)) => println!("{v}"),
+                (_, None) => println!("<{name}>"),
+            }
+        }
+        eprintln!("{} result(s)", hits.len());
+    }
+    let nav = store.nav_stats();
+    eprintln!(
+        "record crossings: {} ({} decodes, {} cache hits)",
+        nav.record_switches, nav.record_decodes, nav.record_cache_hits
+    );
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), String> {
+    let store_path = args.first().ok_or("missing <store.natix>")?;
+    let mut store = open_store(store_path)?;
+    let doc = store.to_document().map_err(|e| e.to_string())?;
+    println!("{}", doc.to_xml());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let store_path = args.first().ok_or("missing <store.natix>")?;
+    let mut store = open_store(store_path)?;
+    let doc = store.to_document().map_err(|e| e.to_string())?;
+    println!("nodes        : {}", doc.len());
+    println!("tree weight  : {} slots", doc.total_weight());
+    println!("records      : {} live", store.live_record_count());
+    println!("pages        : {}", store.page_count());
+    println!("occupied     : {} KB", store.occupied_bytes() / 1024);
+    println!(
+        "avg record   : {:.1} slots",
+        doc.total_weight() as f64 / store.live_record_count().max(1) as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "partition" => cmd_partition(rest),
+        "load" => cmd_load(rest),
+        "query" => cmd_query(rest),
+        "dump" => cmd_dump(rest),
+        "stats" => cmd_stats(rest),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("natix: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests for the `natix` command-line tool, driving the real
+//! binary via `CARGO_BIN_EXE_natix`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn natix(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_natix"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "natix-cli-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SAMPLE: &str = concat!(
+    "<library><shelf id=\"s1\">",
+    "<book><title>Tree Partitioning</title><pages>120</pages></book>",
+    "<book><title>Records and Pages in Depth</title><pages>240</pages></book>",
+    "</shelf><shelf id=\"s2\"><book><title>Sibling Intervals</title></book></shelf></library>",
+);
+
+#[test]
+fn partition_reports_counts() {
+    let dir = tmpdir();
+    let xml = dir.join("lib.xml");
+    std::fs::write(&xml, SAMPLE).unwrap();
+    let out = natix(&["partition", xml.to_str().unwrap(), "--alg", "dhw", "--k", "16"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("algorithm  : DHW (K = 16)"), "{stdout}");
+    assert!(stdout.contains("partitions : 3"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn load_query_dump_roundtrip() {
+    let dir = tmpdir();
+    let xml = dir.join("lib.xml");
+    let store = dir.join("lib.natix");
+    std::fs::write(&xml, SAMPLE).unwrap();
+
+    let out = natix(&[
+        "load",
+        xml.to_str().unwrap(),
+        store.to_str().unwrap(),
+        "--alg",
+        "ekm",
+        "--k",
+        "16",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = natix(&["query", store.to_str().unwrap(), "//book/title", "--count"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+
+    let out = natix(&["query", store.to_str().unwrap(), "//shelf[@id='s2']/book", "--count"]);
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1");
+
+    let out = natix(&["dump", store.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), SAMPLE);
+
+    let out = natix(&["stats", store.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("records"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown command.
+    let out = natix(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing file.
+    let out = natix(&["partition", "/nonexistent/file.xml"]);
+    assert!(!out.status.success());
+
+    // Unknown algorithm.
+    let dir = tmpdir();
+    let xml = dir.join("x.xml");
+    std::fs::write(&xml, "<a/>").unwrap();
+    let out = natix(&["partition", xml.to_str().unwrap(), "--alg", "zzz"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+
+    // Malformed XML.
+    std::fs::write(&xml, "<a><b></a>").unwrap();
+    let out = natix(&["partition", xml.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mismatched end tag"));
+
+    // Opening garbage as a store.
+    let garbage = dir.join("garbage.natix");
+    std::fs::write(&garbage, vec![7u8; 16384]).unwrap();
+    let out = natix(&["stats", garbage.to_str().unwrap()]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = natix(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

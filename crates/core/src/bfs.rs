@@ -1,0 +1,120 @@
+//! **BFS** — top-down breadth-first clustering (paper Sec. 4.2.2).
+//!
+//! Visits nodes level by level; each node first tries its parent's
+//! partition, then its previous sibling's, then starts a fresh one. Not
+//! main-memory friendly (the whole document must be seen to traverse level
+//! order); included for completeness, as in the paper.
+
+use std::collections::VecDeque;
+
+use natix_tree::{Partitioning, Tree, Weight};
+
+use crate::dfs::assignment_to_partitioning;
+use crate::{check_input, PartitionError, Partitioner};
+
+/// The breadth-first top-down heuristic. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bfs;
+
+impl Partitioner for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        check_input(tree, k)?;
+        let n = tree.len();
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut pid: Vec<u32> = vec![UNASSIGNED; n];
+        // Current weight of each partition.
+        let mut pweight: Vec<Weight> = Vec::new();
+
+        pid[tree.root().index()] = 0;
+        pweight.push(tree.weight(tree.root()));
+
+        let mut queue = VecDeque::with_capacity(64);
+        queue.push_back(tree.root());
+        while let Some(v) = queue.pop_front() {
+            for &c in tree.children(v) {
+                let w = tree.weight(c);
+                let parent_pid = pid[v.index()] as usize;
+                let assigned = if pweight[parent_pid] + w <= k {
+                    parent_pid
+                } else if let Some(prev) = tree.prev_sibling(c) {
+                    let prev_pid = pid[prev.index()] as usize;
+                    if pweight[prev_pid] + w <= k {
+                        prev_pid
+                    } else {
+                        pweight.push(0);
+                        pweight.len() - 1
+                    }
+                } else {
+                    pweight.push(0);
+                    pweight.len() - 1
+                };
+                pweight[assigned] += w;
+                pid[c.index()] = u32::try_from(assigned).expect("partition count overflow");
+                queue.push_back(c);
+            }
+        }
+
+        Ok(assignment_to_partitioning(tree, &pid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_tree::{parse_spec, validate};
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("a:1").unwrap();
+        let p = Bfs.partition(&t, 1).unwrap();
+        assert_eq!(validate(&t, 1, &p).unwrap().cardinality, 1);
+    }
+
+    #[test]
+    fn fills_level_by_level() {
+        // a:1(b:1(x:1 y:1) c:1): K = 3 packs a,b,c; then x overflows and y
+        // joins x's partition via the previous-sibling rule.
+        let t = parse_spec("a:1(b:1(x:1 y:1) c:1)").unwrap();
+        let p = Bfs.partition(&t, 3).unwrap();
+        let s = validate(&t, 3, &p).unwrap();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.root_weight, 3);
+    }
+
+    #[test]
+    fn lighter_later_sibling_may_stay_with_parent() {
+        // a:2(b:3 c:1), K = 4: b does not fit with a (2+3), c does (2+1+1
+        // ... 2+1 = 3 <= 4). The result {(a,a),(b,b)} keeps c with the root
+        // even though its left sibling was cut — a legal sibling
+        // partitioning with a singleton interval.
+        let t = parse_spec("a:2(b:3 c:1)").unwrap();
+        let p = Bfs.partition(&t, 4).unwrap();
+        let s = validate(&t, 4, &p).unwrap();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.root_weight, 3);
+    }
+
+    #[test]
+    fn premature_level_order_decisions() {
+        // BFS assigns shallow nodes first; deep heavy chains then fragment.
+        let t = parse_spec("a:1(b:1(c:3(d:3)) e:1)").unwrap();
+        let p = Bfs.partition(&t, 4).unwrap();
+        let s = validate(&t, 4, &p).unwrap();
+        // a,b,e fill partition 0 (weight 3); c overflows (3+3) -> own
+        // partition; d overflows c's? 3+3 > 4 -> own partition. 3 total.
+        assert_eq!(s.cardinality, 3);
+    }
+
+    #[test]
+    fn feasible_on_nested_trees() {
+        let t = parse_spec("a:2(b:3(c:4(d:5) e:1) f:2(g:3 h:4) i:1)").unwrap();
+        for k in [5, 6, 9, 25] {
+            let p = Bfs.partition(&t, k).unwrap();
+            validate(&t, k, &p).unwrap_or_else(|e| panic!("K={k}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Exhaustive enumeration of all tree sibling partitionings.
+//!
+//! The paper (Sec. 3.2) argues brute force is infeasible in general — the
+//! number of feasible partitionings is `Ω(n^(K-1))` — which is exactly why
+//! it makes a trustworthy *oracle* for small instances: the property tests
+//! check that DHW matches the enumerated optimum (cardinality **and** root
+//! weight) on random trees of up to ~12 nodes.
+
+use natix_tree::{validate, Partitioning, SiblingInterval, Tree, Weight};
+
+use crate::{check_input, PartitionError, Partitioner};
+
+/// Outcome of [`brute_force`]: the enumerated optimum.
+#[derive(Debug, Clone)]
+pub struct BruteForceResult {
+    /// Minimal cardinality over all feasible partitionings.
+    pub cardinality: usize,
+    /// Minimal root weight among minimal partitionings (leanness).
+    pub root_weight: Weight,
+    /// One optimal witness.
+    pub partitioning: Partitioning,
+    /// Number of feasible partitionings enumerated.
+    pub feasible_count: u64,
+}
+
+/// All ways to place disjoint intervals over a sibling list of length `m`,
+/// as `(start, end)` index pairs.
+fn interval_configs(m: usize) -> Vec<Vec<(usize, usize)>> {
+    fn rec(pos: usize, m: usize, cur: &mut Vec<(usize, usize)>, out: &mut Vec<Vec<(usize, usize)>>) {
+        if pos == m {
+            out.push(cur.clone());
+            return;
+        }
+        // Position `pos` stays with the parent.
+        rec(pos + 1, m, cur, out);
+        // Or an interval starts at `pos`.
+        for end in pos..m {
+            cur.push((pos, end));
+            rec(end + 1, m, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(0, m, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Enumerate every tree sibling partitioning of `tree` and return an
+/// optimal (minimal, then lean) one. Exponential; intended for trees of at
+/// most ~12 nodes. Panics if the search space exceeds an internal guard.
+pub fn brute_force(tree: &Tree, k: Weight) -> Result<BruteForceResult, PartitionError> {
+    check_input(tree, k)?;
+
+    // One interval-configuration choice per non-empty sibling list.
+    let parents: Vec<_> = tree
+        .node_ids()
+        .filter(|&v| tree.child_count(v) > 0)
+        .collect();
+    let configs: Vec<Vec<Vec<(usize, usize)>>> = parents
+        .iter()
+        .map(|&v| interval_configs(tree.child_count(v)))
+        .collect();
+
+    let total: u64 = configs.iter().map(|c| c.len() as u64).product();
+    assert!(
+        total <= 50_000_000,
+        "brute_force search space too large ({total} combinations); use DHW"
+    );
+
+    let mut best: Option<(usize, Weight, Partitioning)> = None;
+    let mut feasible_count = 0u64;
+
+    // Odometer over the cartesian product of per-list configurations.
+    let mut odo = vec![0usize; configs.len()];
+    loop {
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(tree.root()));
+        for (pi, &v) in parents.iter().enumerate() {
+            let cs = tree.children(v);
+            for &(lo, hi) in &configs[pi][odo[pi]] {
+                p.push(SiblingInterval::new(cs[lo], cs[hi]));
+            }
+        }
+        if let Ok(stats) = validate(tree, k, &p) {
+            feasible_count += 1;
+            let better = match &best {
+                None => true,
+                Some((c, rw, _)) => {
+                    stats.cardinality < *c || (stats.cardinality == *c && stats.root_weight < *rw)
+                }
+            };
+            if better {
+                best = Some((stats.cardinality, stats.root_weight, p));
+            }
+        }
+
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == odo.len() {
+                let (cardinality, root_weight, partitioning) =
+                    best.expect("all-singletons partitioning is always feasible");
+                return Ok(BruteForceResult {
+                    cardinality,
+                    root_weight,
+                    partitioning,
+                    feasible_count,
+                });
+            }
+            odo[i] += 1;
+            if odo[i] < configs[i].len() {
+                break;
+            }
+            odo[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// [`brute_force`] wrapped as a [`Partitioner`] for uniform testing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForce;
+
+impl Partitioner for BruteForce {
+    fn name(&self) -> &'static str {
+        "BRUTE"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        brute_force(tree, k).map(|r| r.partitioning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_tree::parse_spec;
+
+    #[test]
+    fn interval_config_counts() {
+        // g(m) = g(m-1) + sum_{l=1..m} g(m-l): 1, 2, 5, 13, 34 (every other
+        // Fibonacci number).
+        assert_eq!(interval_configs(0).len(), 1);
+        assert_eq!(interval_configs(1).len(), 2);
+        assert_eq!(interval_configs(2).len(), 5);
+        assert_eq!(interval_configs(3).len(), 13);
+        assert_eq!(interval_configs(4).len(), 34);
+    }
+
+    #[test]
+    fn fig3_tree_optimum() {
+        // Resolves the Sec. 2.1 erratum: the true optimum at K = 5 is
+        // cardinality 3 with root weight 5 (not 3 as the paper claims).
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        let r = brute_force(&t, 5).unwrap();
+        assert_eq!(r.cardinality, 3);
+        assert_eq!(r.root_weight, 5);
+    }
+
+    #[test]
+    fn fig6_tree_optimum() {
+        let t = parse_spec("a:5(b:1 c:1(d:2 e:2) f:1)").unwrap();
+        let r = brute_force(&t, 5).unwrap();
+        assert_eq!(r.cardinality, 3);
+        assert_eq!(r.root_weight, 5);
+    }
+
+    #[test]
+    fn fig9_tree_optimum() {
+        let t = parse_spec("a:2(b:4(c:1) d:1 e:1)").unwrap();
+        let r = brute_force(&t, 5).unwrap();
+        assert_eq!(r.cardinality, 2);
+        assert_eq!(r.root_weight, 4);
+    }
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("a:1").unwrap();
+        let r = brute_force(&t, 1).unwrap();
+        assert_eq!((r.cardinality, r.root_weight), (1, 1));
+        assert_eq!(r.feasible_count, 1);
+    }
+
+    #[test]
+    fn huge_limit_means_one_partition() {
+        let t = parse_spec("a:1(b:2(c:3) d:4)").unwrap();
+        let r = brute_force(&t, 100).unwrap();
+        assert_eq!(r.cardinality, 1);
+        assert_eq!(r.root_weight, 10);
+    }
+}

@@ -1,0 +1,224 @@
+//! **FDW** — *Flat trees, Dynamic programming for tree Width* (paper Fig. 4,
+//! Sec. 3.2.2).
+//!
+//! This is a literal transcription of the paper's pseudo-code: a full
+//! `(K - w(t) + 1) × (n + 1)` table over root-partition weights `s` and
+//! processed-children counts `j`. It only accepts *flat* trees (every
+//! non-root node is a leaf) and finds an **optimal** (minimal + lean)
+//! partitioning in `O(nK²)` time and `O(nK)` space.
+//!
+//! The production algorithms [`crate::Ghdw`] and [`crate::Dhw`] embed the
+//! same recurrence with the paper's memoization optimization (Sec. 3.2.3);
+//! FDW is kept as the faithful reference implementation and as a test
+//! oracle for the flat-tree case.
+
+use natix_tree::{Partitioning, SiblingInterval, Tree, Weight};
+
+use crate::{check_input, PartitionError, Partitioner};
+
+const NO_IV: u32 = u32::MAX;
+const INFEASIBLE: u32 = u32::MAX;
+
+/// One cell of the `D(s, j)` table (paper Fig. 4, bottom).
+#[derive(Clone, Copy)]
+struct Cell {
+    /// First child index of the interval added by this cell (`begin`), or
+    /// [`NO_IV`] for the `j = 0` cell holding only the root interval.
+    begin: u32,
+    /// Last child index (`end`).
+    end: u32,
+    /// Cardinality of the best partitioning so far (length of the `next`
+    /// chain, including the root interval).
+    card: u32,
+    /// Root weight of the best partitioning so far.
+    rootweight: Weight,
+    /// `(s, j)` index of the next interval in the chain.
+    next: (Weight, u32),
+}
+
+/// The FDW algorithm. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fdw;
+
+impl Partitioner for Fdw {
+    fn name(&self) -> &'static str {
+        "FDW"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        check_input(tree, k)?;
+        let root = tree.root();
+        for &c in tree.children(root) {
+            if !tree.is_leaf(c) {
+                return Err(PartitionError::NotFlat { node: c });
+            }
+        }
+
+        let children = tree.children(root);
+        let n = children.len();
+        let w_t = tree.weight(root);
+        let s_lo = w_t;
+        let s_count = (k - w_t + 1) as usize;
+        let idx = |s: Weight, j: usize| -> usize { (s - s_lo) as usize * (n + 1) + j };
+
+        let mut d = vec![
+            Cell {
+                begin: NO_IV,
+                end: NO_IV,
+                card: INFEASIBLE,
+                rootweight: Weight::MAX,
+                next: (0, 0),
+            };
+            s_count * (n + 1)
+        ];
+
+        // j = 0: the root partition alone, i.e. the interval (t, t).
+        for s in s_lo..=k {
+            d[idx(s, 0)] = Cell {
+                begin: NO_IV,
+                end: NO_IV,
+                card: 1,
+                rootweight: s,
+                next: (0, 0),
+            };
+        }
+
+        for j in 1..=n {
+            for s in s_lo..=k {
+                // Candidate: child j-1 joins the root partition.
+                let s2 = s + tree.weight(children[j - 1]);
+                let mut best = if s2 <= k {
+                    d[idx(s2, j - 1)]
+                } else {
+                    Cell {
+                        begin: NO_IV,
+                        end: NO_IV,
+                        card: INFEASIBLE,
+                        rootweight: Weight::MAX,
+                        next: (0, 0),
+                    }
+                };
+                // Candidates: intervals (c_{j-1-m}, c_{j-1}).
+                let mut w: Weight = 0;
+                let mut m = 0usize;
+                while m < j && (m as u64) < k && w < k {
+                    let ci = j - 1 - m;
+                    w += tree.weight(children[ci]);
+                    if w <= k {
+                        let prev = d[idx(s, ci)];
+                        if prev.card != INFEASIBLE {
+                            let crd = prev.card + 1;
+                            let rw = prev.rootweight;
+                            if crd < best.card || (crd == best.card && rw < best.rootweight) {
+                                best = Cell {
+                                    begin: ci as u32,
+                                    end: (j - 1) as u32,
+                                    card: crd,
+                                    rootweight: rw,
+                                    next: (s, ci as u32),
+                                };
+                            }
+                        }
+                    }
+                    m += 1;
+                }
+                d[idx(s, j)] = best;
+            }
+        }
+
+        // Walk the chain from D(w(t), n).
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(root));
+        let (mut s, mut j) = (w_t, n);
+        loop {
+            let cell = d[idx(s, j)];
+            debug_assert_ne!(cell.card, INFEASIBLE, "singleton fallback always exists");
+            if cell.begin == NO_IV {
+                break;
+            }
+            p.push(SiblingInterval::new(
+                children[cell.begin as usize],
+                children[cell.end as usize],
+            ));
+            s = cell.next.0;
+            j = cell.next.1 as usize;
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dhw, Partitioner};
+    use natix_tree::{parse_spec, validate};
+
+    #[test]
+    fn rejects_deep_tree() {
+        let t = parse_spec("a:1(b:1(c:1))").unwrap();
+        assert!(matches!(
+            Fdw.partition(&t, 10),
+            Err(PartitionError::NotFlat { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("a:4").unwrap();
+        let p = Fdw.partition(&t, 4).unwrap();
+        let s = validate(&t, 4, &p).unwrap();
+        assert_eq!((s.cardinality, s.root_weight), (1, 4));
+    }
+
+    #[test]
+    fn everything_in_root_partition() {
+        let t = parse_spec("a:1(b:1 c:1 d:1)").unwrap();
+        let p = Fdw.partition(&t, 4).unwrap();
+        let s = validate(&t, 4, &p).unwrap();
+        assert_eq!((s.cardinality, s.root_weight), (1, 4));
+    }
+
+    #[test]
+    fn one_interval_needed() {
+        // a:3(b:2 c:2 d:2), K = 5: root keeps one leaf, interval holds two.
+        let t = parse_spec("a:3(b:2 c:2 d:2)").unwrap();
+        let p = Fdw.partition(&t, 5).unwrap();
+        let s = validate(&t, 5, &p).unwrap();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.root_weight, 5);
+    }
+
+    #[test]
+    fn lean_prefers_light_root() {
+        // a:1(b:4 c:4 d:1), K = 9: interval (b,d) = 9 leaves the root alone.
+        let t = parse_spec("a:1(b:4 c:4 d:1)").unwrap();
+        let p = Fdw.partition(&t, 9).unwrap();
+        let s = validate(&t, 9, &p).unwrap();
+        assert_eq!((s.cardinality, s.root_weight), (2, 1));
+    }
+
+    #[test]
+    fn matches_dhw_on_flat_trees() {
+        // FDW and DHW must agree (both optimal) on flat instances.
+        let specs = [
+            "a:3(b:2 c:2 d:2 e:2 f:2)",
+            "a:1(b:1 c:2 d:3 e:4 f:5 g:1 h:1)",
+            "a:5(b:5 c:5 d:5)",
+            "a:2(b:1 c:1 d:1 e:1 f:1 g:1 h:1 i:1 j:1)",
+        ];
+        for spec in specs {
+            let t = parse_spec(spec).unwrap();
+            for k in [5, 6, 7, 10] {
+                if t.max_node_weight() > k {
+                    continue;
+                }
+                let pf = Fdw.partition(&t, k).unwrap();
+                let pd = Dhw.partition(&t, k).unwrap();
+                let sf = validate(&t, k, &pf).unwrap();
+                let sd = validate(&t, k, &pd).unwrap();
+                assert_eq!(sf.cardinality, sd.cardinality, "{spec} K={k}");
+                assert_eq!(sf.root_weight, sd.root_weight, "{spec} K={k}");
+            }
+        }
+    }
+}

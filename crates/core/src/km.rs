@@ -1,0 +1,124 @@
+//! **KM** — the Kundu & Misra algorithm (paper Sec. 4.3.3; Kundu & Misra,
+//! SIAM J. Comput. 1977).
+//!
+//! Processes nodes bottom-up; whenever the residual subtree of the current
+//! node is heavier than `K`, it repeatedly cuts off the heaviest child
+//! subtree as its own partition. The result has minimal cardinality *among
+//! partitionings whose partitions are connected by parent-child edges only*:
+//! every interval is a single node `(v, v)_T`, so consecutive sibling
+//! subtrees are never merged — the baseline that sibling partitioning beats
+//! by up to 90% in Table 1.
+
+use natix_tree::{Partitioning, SiblingInterval, Tree, Weight};
+
+use crate::{check_input, PartitionError, Partitioner};
+
+/// The Kundu & Misra algorithm. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Km;
+
+impl Partitioner for Km {
+    fn name(&self) -> &'static str {
+        "KM"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        check_input(tree, k)?;
+        let n = tree.len();
+        // Residual subtree weight: subtree weight minus already cut-off
+        // child partitions.
+        let mut res: Vec<Weight> = vec![0; n];
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(tree.root()));
+
+        for v in tree.postorder() {
+            let mut r = tree.weight(v);
+            for &c in tree.children(v) {
+                r += res[c.index()];
+            }
+            if r > k {
+                // Heaviest residual child first; ties broken by sibling
+                // position for determinism.
+                let mut order: Vec<(Weight, u32)> = tree
+                    .children(v)
+                    .iter()
+                    .map(|&c| (res[c.index()], c.index() as u32))
+                    .collect();
+                order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                let mut i = 0;
+                while r > k {
+                    let (rc, ci) = order[i];
+                    i += 1;
+                    p.push(SiblingInterval::singleton(natix_tree::NodeId::from_index(
+                        ci as usize,
+                    )));
+                    r -= rc;
+                }
+            }
+            res[v.index()] = r;
+        }
+        Ok(p)
+    }
+
+    fn is_main_memory_friendly(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_tree::{parse_spec, validate};
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("a:3").unwrap();
+        let p = Km.partition(&t, 3).unwrap();
+        assert_eq!(validate(&t, 3, &p).unwrap().cardinality, 1);
+    }
+
+    #[test]
+    fn cuts_heaviest_child_first() {
+        // a:1(b:4 c:2), K = 5: cutting b (heaviest) suffices.
+        let t = parse_spec("a:1(b:4 c:2)").unwrap();
+        let p = Km.partition(&t, 5).unwrap();
+        let s = validate(&t, 5, &p).unwrap();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.root_weight, 3); // a + c
+    }
+
+    #[test]
+    fn only_singleton_intervals() {
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        let p = Km.partition(&t, 5).unwrap();
+        validate(&t, 5, &p).unwrap();
+        for iv in &p.intervals {
+            assert_eq!(iv.first, iv.last, "KM must produce single-node intervals");
+        }
+    }
+
+    #[test]
+    fn flat_unit_leaves_need_many_partitions() {
+        // The Fig. 1 pathology: a root with many light children. Sibling
+        // partitioners merge them; KM cannot.
+        let mut spec = String::from("p:6(");
+        for i in 0..6 {
+            spec.push_str(&format!("c{i}:2 "));
+        }
+        spec.push(')');
+        let t = parse_spec(&spec).unwrap();
+        let p = Km.partition(&t, 6).unwrap();
+        let s = validate(&t, 6, &p).unwrap();
+        // Root keeps nothing (6 + 2 > 6): every child is its own partition.
+        assert_eq!(s.cardinality, 7);
+    }
+
+    #[test]
+    fn deep_tree_feasible() {
+        let t = parse_spec("a:2(b:2(c:2(d:2(e:2))) f:2(g:2) h:2)").unwrap();
+        for k in [2, 3, 4, 6, 20] {
+            let p = Km.partition(&t, k).unwrap();
+            validate(&t, k, &p).unwrap_or_else(|e| panic!("K={k}: {e}"));
+        }
+    }
+}

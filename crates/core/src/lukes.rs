@@ -1,0 +1,283 @@
+//! **Lukes' algorithm** (IBM J. R&D 1974) — the related-work baseline of
+//! the paper's Sec. 5.
+//!
+//! Lukes partitions a tree into parent-child-connected clusters of weight
+//! `≤ K`, maximizing the total *value* of edges that stay inside clusters.
+//! With unit edge values this maximizes kept edges = minimizes cut edges =
+//! minimizes the number of clusters — i.e. it solves the same problem as
+//! [`crate::Km`] (the paper, Sec. 5: "For unit edge weights, the algorithm
+//! solves the same problem as the Kundu and Misra algorithm"). With
+//! non-unit values it becomes *workload-aware*: edges traversed often by
+//! queries get high values and are kept intact (Bordawekar & Shmueli's
+//! XML clustering builds on this).
+//!
+//! Like the paper's other baselines it never merges sibling subtrees, so
+//! sibling partitioning beats it on partition count; it is provided for
+//! the related-work comparison (`related_work` bench binary) and as an
+//! independent optimality cross-check for KM.
+//!
+//! Complexity `O(nK²)` time; the decision tables for extraction need
+//! `O(nK)` memory, so use moderate document sizes.
+
+use natix_tree::{NodeId, Partitioning, Tree, Weight};
+
+use crate::ekm::cut_set_to_partitioning;
+use crate::{check_input, PartitionError, Partitioner};
+
+/// Edge values: the value of keeping node `v` in the same cluster as its
+/// parent.
+pub trait EdgeValues {
+    /// Value of the parent edge of `v` (must be ≥ 0).
+    fn value(&self, tree: &Tree, v: NodeId) -> u64;
+}
+
+/// Unit edge values: minimizes the number of clusters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitEdgeValues;
+
+impl EdgeValues for UnitEdgeValues {
+    fn value(&self, _tree: &Tree, _v: NodeId) -> u64 {
+        1
+    }
+}
+
+/// Edge values from a per-node table (e.g. access frequencies from an
+/// anticipated query workload).
+#[derive(Debug, Clone)]
+pub struct TableEdgeValues(pub Vec<u64>);
+
+impl EdgeValues for TableEdgeValues {
+    fn value(&self, _tree: &Tree, v: NodeId) -> u64 {
+        self.0[v.index()]
+    }
+}
+
+/// Outcome of [`lukes`]: the achieved value and the cut set.
+#[derive(Debug, Clone)]
+pub struct LukesResult {
+    /// Total value of intra-cluster edges.
+    pub value: u64,
+    /// Nodes whose parent edge is cut (cluster roots besides the tree
+    /// root).
+    pub cuts: Vec<NodeId>,
+    /// The induced sibling partitioning (all intervals are singletons).
+    pub partitioning: Partitioning,
+}
+
+const NEG_INF: i64 = i64::MIN / 2;
+/// Marker in the decision table: the child's cluster was split off.
+const SEPARATE: u32 = u32::MAX;
+
+/// Run Lukes' dynamic program.
+pub fn lukes(
+    tree: &Tree,
+    k: Weight,
+    values: &impl EdgeValues,
+) -> Result<LukesResult, PartitionError> {
+    check_input(tree, k)?;
+    let n = tree.len();
+    let kk = k as usize;
+
+    // f[v][w] = best value for T_v with v's cluster weighing exactly w;
+    // computed in postorder, dropped once the parent consumed it... except
+    // that extraction needs per-child decision tables, which we retain.
+    let mut f: Vec<Vec<i64>> = vec![Vec::new(); n];
+    // decisions[v][i][w] = how table value f after children 0..=i of v at
+    // cluster weight w was reached: (previous w, SEPARATE or joined child
+    // cluster weight).
+    let mut decisions: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); n];
+    // Best w per node (argmax of the final table) for the separate case.
+    let mut best_w: Vec<u32> = vec![0; n];
+    let mut best_val: Vec<i64> = vec![0; n];
+
+    for v in tree.postorder() {
+        let wv = tree.weight(v) as usize;
+        let mut t = vec![NEG_INF; kk + 1];
+        t[wv] = 0;
+        let children = tree.children(v);
+        let mut decs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(children.len());
+        for &c in children {
+            let ct = &f[c.index()];
+            let sep_gain = best_val[c.index()];
+            let edge = values.value(tree, c) as i64;
+            let mut new_t = vec![NEG_INF; kk + 1];
+            let mut dec = vec![(0u32, 0u32); kk + 1];
+            for w1 in wv..=kk {
+                if t[w1] == NEG_INF {
+                    continue;
+                }
+                // Child cluster separate.
+                let sep = t[w1] + sep_gain;
+                if sep > new_t[w1] {
+                    new_t[w1] = sep;
+                    dec[w1] = (w1 as u32, SEPARATE);
+                }
+                // Child cluster joined.
+                for (w2, &cv) in ct.iter().enumerate() {
+                    if cv == NEG_INF {
+                        continue;
+                    }
+                    let w = w1 + w2;
+                    if w > kk {
+                        break;
+                    }
+                    let joined = t[w1] + cv + edge;
+                    if joined > new_t[w] {
+                        new_t[w] = joined;
+                        dec[w] = (w1 as u32, w2 as u32);
+                    }
+                }
+            }
+            t = new_t;
+            decs.push(dec);
+        }
+        let (bw, bv) = t
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .expect("non-empty table");
+        assert!(*bv > NEG_INF, "w(v) <= K guarantees a feasible row");
+        best_w[v.index()] = bw as u32;
+        best_val[v.index()] = *bv;
+        f[v.index()] = t;
+        decisions[v.index()] = decs;
+    }
+
+    // Extraction: walk decisions from the root's best weight.
+    let mut cut = vec![false; n];
+    let mut cuts = Vec::new();
+    let mut stack: Vec<(NodeId, u32)> = vec![(tree.root(), best_w[tree.root().index()])];
+    while let Some((v, w)) = stack.pop() {
+        let children = tree.children(v);
+        let mut w = w;
+        for i in (0..children.len()).rev() {
+            let c = children[i];
+            let (prev_w, choice) = decisions[v.index()][i][w as usize];
+            if choice == SEPARATE {
+                cut[c.index()] = true;
+                cuts.push(c);
+                stack.push((c, best_w[c.index()]));
+            } else {
+                stack.push((c, choice));
+            }
+            w = prev_w;
+        }
+    }
+
+    let partitioning = cut_set_to_partitioning_singletons(tree, &cut);
+    let value = best_val[tree.root().index()] as u64;
+    Ok(LukesResult {
+        value,
+        cuts,
+        partitioning,
+    })
+}
+
+/// Like [`cut_set_to_partitioning`] but with one interval per cut node
+/// (Lukes clusters are parent-child connected; adjacent cut siblings must
+/// *not* merge).
+fn cut_set_to_partitioning_singletons(tree: &Tree, cut: &[bool]) -> Partitioning {
+    let mut p = Partitioning::new();
+    p.push(natix_tree::SiblingInterval::singleton(tree.root()));
+    for v in tree.node_ids() {
+        if cut[v.index()] {
+            p.push(natix_tree::SiblingInterval::singleton(v));
+        }
+    }
+    p
+}
+
+/// Lukes' algorithm with unit edge values, as a [`Partitioner`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lukes;
+
+impl Partitioner for Lukes {
+    fn name(&self) -> &'static str {
+        "LUKES"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        lukes(tree, k, &UnitEdgeValues).map(|r| r.partitioning)
+    }
+}
+
+// Re-export check that the helper above and EKM's run-merging variant stay
+// distinct on purpose.
+#[allow(unused_imports)]
+use cut_set_to_partitioning as _ekm_variant;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Km;
+    use natix_tree::{parse_spec, validate};
+
+    #[test]
+    fn unit_values_match_km_cardinality() {
+        for (spec, k) in [
+            ("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)", 5),
+            ("a:5(b:1 c:1(d:2 e:2) f:1)", 5),
+            ("a:2(b:4(c:1) d:1 e:1)", 5),
+            ("a:1(b:1(c:1(d:1(e:1))) f:1 g:1(h:1 i:1))", 3),
+        ] {
+            let t = parse_spec(spec).unwrap();
+            let lp = Lukes.partition(&t, k).unwrap();
+            let kp = Km.partition(&t, k).unwrap();
+            let ls = validate(&t, k, &lp).unwrap();
+            let ks = validate(&t, k, &kp).unwrap();
+            assert_eq!(
+                ls.cardinality, ks.cardinality,
+                "{spec} K={k}: Lukes {} vs KM {}",
+                ls.cardinality, ks.cardinality
+            );
+        }
+    }
+
+    #[test]
+    fn value_counts_kept_edges() {
+        // Whole tree in one cluster: all n-1 edges kept.
+        let t = parse_spec("a:1(b:1(c:1) d:1)").unwrap();
+        let r = lukes(&t, 100, &UnitEdgeValues).unwrap();
+        assert_eq!(r.value, 3);
+        assert!(r.cuts.is_empty());
+        assert_eq!(r.partitioning.cardinality(), 1);
+    }
+
+    #[test]
+    fn weighted_edges_steer_the_cut() {
+        // a:1(b:3 c:3), K = 4: exactly one child fits with the root. With
+        // b's edge worth 10 and c's worth 1, b must stay.
+        let t = parse_spec("a:1(b:3 c:3)").unwrap();
+        let b = t.child(t.root(), 0);
+        let c = t.child(t.root(), 1);
+        let mut vals = vec![0u64; t.len()];
+        vals[b.index()] = 10;
+        vals[c.index()] = 1;
+        let r = lukes(&t, 4, &TableEdgeValues(vals)).unwrap();
+        assert_eq!(r.value, 10);
+        assert_eq!(r.cuts, vec![c]);
+
+        // Flip the values: c stays instead.
+        let mut vals = vec![0u64; t.len()];
+        vals[b.index()] = 1;
+        vals[c.index()] = 10;
+        let r = lukes(&t, 4, &TableEdgeValues(vals)).unwrap();
+        assert_eq!(r.value, 10);
+        assert_eq!(r.cuts, vec![b]);
+    }
+
+    #[test]
+    fn produces_feasible_partitionings() {
+        let t = parse_spec("a:2(b:3(c:4(d:5) e:1) f:2(g:3 h:4) i:1)").unwrap();
+        for k in [5, 6, 9, 25] {
+            let p = Lukes.partition(&t, k).unwrap();
+            validate(&t, k, &p).unwrap_or_else(|e| panic!("K={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_heavy_node() {
+        let t = parse_spec("a:1(b:9)").unwrap();
+        assert!(Lukes.partition(&t, 5).is_err());
+    }
+}

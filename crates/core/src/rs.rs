@@ -1,0 +1,115 @@
+//! **RS** — the *Rightmost Siblings* heuristic (paper Sec. 4.3.2): the
+//! original Natix document-insertion algorithm.
+//!
+//! Bottom-up; when a node's residual subtree exceeds `K`, it repeatedly
+//! packs rightmost siblings into a fresh partition until that partition
+//! would overflow, and keeps creating partitions until the residual subtree
+//! fits. Simple and main-memory friendly, but blunt: it never reconsiders
+//! and tends to over-cut (the "peculiar partitioning decisions" that
+//! motivated the paper).
+
+use natix_tree::{Partitioning, SiblingInterval, Tree, Weight};
+
+use crate::{check_input, PartitionError, Partitioner};
+
+/// The Rightmost Siblings heuristic. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rs;
+
+impl Partitioner for Rs {
+    fn name(&self) -> &'static str {
+        "RS"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        check_input(tree, k)?;
+        let n = tree.len();
+        let mut res: Vec<Weight> = vec![0; n];
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(tree.root()));
+
+        for v in tree.postorder() {
+            let cs = tree.children(v);
+            let mut r = tree.weight(v);
+            for &c in cs {
+                r += res[c.index()];
+            }
+            // `right` is the exclusive end of the not-yet-cut child prefix.
+            let mut right = cs.len();
+            while r > k {
+                debug_assert!(right > 0, "w(v) <= K guarantees termination");
+                // Grow a partition from the rightmost remaining child
+                // leftwards until it would overflow.
+                let mut left = right - 1;
+                let mut w = res[cs[left].index()];
+                while left > 0 && w + res[cs[left - 1].index()] <= k {
+                    left -= 1;
+                    w += res[cs[left].index()];
+                }
+                p.push(SiblingInterval::new(cs[left], cs[right - 1]));
+                r -= w;
+                right = left;
+            }
+            res[v.index()] = r;
+        }
+        Ok(p)
+    }
+
+    fn is_main_memory_friendly(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_tree::{parse_spec, validate};
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("a:2").unwrap();
+        let p = Rs.partition(&t, 2).unwrap();
+        assert_eq!(validate(&t, 2, &p).unwrap().cardinality, 1);
+    }
+
+    #[test]
+    fn packs_rightmost_first() {
+        // p:6(c0:2 .. c5:2), K = 6: rightmost three fill a partition, then
+        // the next three, root alone: 3 partitions.
+        let mut spec = String::from("p:6(");
+        for i in 0..6 {
+            spec.push_str(&format!("c{i}:2 "));
+        }
+        spec.push(')');
+        let t = parse_spec(&spec).unwrap();
+        let p = Rs.partition(&t, 6).unwrap();
+        let s = validate(&t, 6, &p).unwrap();
+        assert_eq!(s.cardinality, 3);
+        assert_eq!(s.root_weight, 6);
+        let mut q = p.clone();
+        q.normalize();
+        assert_eq!(q.display(&t).to_string(), "{(p,p) (c0,c2) (c3,c5)}");
+    }
+
+    #[test]
+    fn over_cutting_pathology() {
+        // RS fills partitions greedily even when cutting less would do:
+        // root 4 + children 1,1,1,1 with K = 5. One child could stay with
+        // the root, but once r > K, RS packs *all four* rightmost siblings
+        // (weight 4 <= 5) into the new partition.
+        let t = parse_spec("a:4(b:1 c:1 d:1 e:1)").unwrap();
+        let p = Rs.partition(&t, 5).unwrap();
+        let s = validate(&t, 5, &p).unwrap();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.root_weight, 4); // nothing stays with the root
+    }
+
+    #[test]
+    fn feasible_on_nested_trees() {
+        let t = parse_spec("a:2(b:3(c:4(d:5) e:1) f:2(g:3 h:4) i:1)").unwrap();
+        for k in [5, 6, 9, 25] {
+            let p = Rs.partition(&t, k).unwrap();
+            validate(&t, k, &p).unwrap_or_else(|e| panic!("K={k}: {e}"));
+        }
+    }
+}

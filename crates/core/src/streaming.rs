@@ -1,0 +1,298 @@
+//! **Streaming EKM** — EKM evaluated in parser-event order with bounded
+//! memory (paper Sec. 4.3).
+//!
+//! The bottom-up algorithms are "main-memory friendly": they can emit
+//! partitions as soon as they leave a subtree. But a node with a very
+//! large fan-out still forces them to buffer all its children. The paper's
+//! mitigation (quoting [10]): *"we can already run the algorithm if the
+//! main memory consumption for the representation of the current node's
+//! subtree exceeds a certain threshold … this technique deteriorates the
+//! quality of the result, [but] achieves an upper bound for the memory
+//! usage that is proportional to the document height"*.
+//!
+//! [`StreamingEkm`] implements exactly that: it traverses the tree in
+//! document order (the order a SAX parser delivers events), keeps only the
+//! open-element path plus, per open element, one small summary per pending
+//! child subtree, and flushes the oldest pending children into partitions
+//! whenever a sibling list outgrows the configured budget.
+//!
+//! With an unbounded budget the decision schedule is a different — but
+//! equivalent — topological order of EKM's binary-tree dependencies, so
+//! the result is **identical** to [`crate::Ekm`] (asserted by tests).
+
+use natix_tree::{NodeId, Partitioning, SiblingInterval, Tree, Weight};
+
+use crate::{check_input, PartitionError, Partitioner};
+
+/// A closed child subtree, summarized: its residual weight and, if any of
+/// its own children remain attached, the sibling run they form (the
+/// "first-child chain" of the binary representation, cuttable later).
+#[derive(Clone, Copy)]
+struct PendingChild {
+    /// First sibling covered by this entry (normally the child itself;
+    /// budget flushes coalesce consecutive siblings into one entry).
+    first: NodeId,
+    /// Last sibling covered.
+    last: NodeId,
+    /// Residual weight of everything still attached under `first..=last`.
+    residual: Weight,
+    /// Attached children run of a single-child entry: `(first, last,
+    /// weight)`; `None` for coalesced entries.
+    inner: Option<(NodeId, NodeId, Weight)>,
+}
+
+/// EKM over a document-ordered event stream with bounded buffering.
+///
+/// `sibling_budget` bounds how many pending child summaries are kept per
+/// open element; `usize::MAX` reproduces [`crate::Ekm`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingEkm {
+    /// Maximum pending (closed) children buffered per open element before
+    /// the oldest are flushed into partitions.
+    pub sibling_budget: usize,
+}
+
+impl Default for StreamingEkm {
+    fn default() -> Self {
+        StreamingEkm {
+            sibling_budget: 4096,
+        }
+    }
+}
+
+impl StreamingEkm {
+    /// Streaming EKM with an unbounded buffer (exactly EKM).
+    pub fn unbounded() -> StreamingEkm {
+        StreamingEkm {
+            sibling_budget: usize::MAX,
+        }
+    }
+}
+
+struct Open {
+    node: NodeId,
+    pending: Vec<PendingChild>,
+}
+
+impl Partitioner for StreamingEkm {
+    fn name(&self) -> &'static str {
+        "SEKM"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        check_input(tree, k)?;
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(tree.root()));
+
+        // Simulated SAX traversal: explicit open stack, child cursor.
+        let mut stack: Vec<(Open, usize)> = vec![(
+            Open {
+                node: tree.root(),
+                pending: Vec::new(),
+            },
+            0,
+        )];
+        while let Some((open, cursor)) = stack.last_mut() {
+            let children = tree.children(open.node);
+            if *cursor < children.len() {
+                let c = children[*cursor];
+                *cursor += 1;
+                stack.push((
+                    Open {
+                        node: c,
+                        pending: Vec::new(),
+                    },
+                    0,
+                ));
+                continue;
+            }
+            // Close event for `open.node`.
+            let (open, _) = stack.pop().expect("non-empty");
+            let summary = close(tree, k, open, &mut p);
+            match stack.last_mut() {
+                Some((parent, _)) => {
+                    parent.pending.push(summary);
+                    if parent.pending.len() > self.sibling_budget {
+                        flush_oldest(tree, k, &mut parent.pending, self.sibling_budget, &mut p);
+                    }
+                }
+                None => {
+                    // Root closed: force the root partition under K.
+                    let mut residual = summary.residual;
+                    let mut inner = summary.inner;
+                    while residual > k {
+                        let (f, l, w) = inner.expect("w(root) <= K was checked");
+                        p.push(SiblingInterval::new(f, l));
+                        residual -= w;
+                        inner = None;
+                    }
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    fn is_main_memory_friendly(&self) -> bool {
+        true
+    }
+}
+
+/// Close event: resolve the sibling chain of `open`'s children right to
+/// left, cutting the heavier side (attached-children run vs right-sibling
+/// run) while a binary fragment exceeds `k` — the KM step on the binary
+/// representation, scheduled at parent-close time.
+fn close(tree: &Tree, k: Weight, open: Open, p: &mut Partitioning) -> PendingChild {
+    // The still-attached run to our right: (first, last, weight).
+    let mut right: Option<(NodeId, NodeId, Weight)> = None;
+    for entry in open.pending.iter().rev() {
+        let mut residual = entry.residual;
+        let mut inner = entry.inner;
+        loop {
+            let total = residual + right.map_or(0, |r| r.2);
+            if total <= k {
+                break;
+            }
+            let iw = inner.map_or(0, |i| i.2);
+            let rw = right.map_or(0, |r| r.2);
+            debug_assert!(iw > 0 || rw > 0, "single nodes fit (checked input)");
+            if iw >= rw {
+                let (f, l, w) = inner.expect("iw > 0");
+                p.push(SiblingInterval::new(f, l));
+                residual -= w;
+                inner = None;
+            } else {
+                let (f, l, _) = right.expect("rw > 0");
+                p.push(SiblingInterval::new(f, l));
+                right = None;
+            }
+        }
+        let last = right.map_or(entry.last, |r| r.1);
+        let weight = residual + right.map_or(0, |r| r.2);
+        right = Some((entry.first, last, weight));
+    }
+    PendingChild {
+        first: open.node,
+        last: open.node,
+        residual: tree.weight(open.node) + right.map_or(0, |r| r.2),
+        inner: right,
+    }
+}
+
+/// Budget exceeded: compact the buffer from the left. Consecutive oldest
+/// entries whose combined residual fits `K` are coalesced into one
+/// aggregated entry (the run can still stay with the parent, or be cut as
+/// one interval, but can no longer be cut *partially* — the quality cost
+/// of bounded memory); when the two oldest cannot merge, the oldest run is
+/// emitted as a partition immediately.
+fn flush_oldest(
+    tree: &Tree,
+    k: Weight,
+    pending: &mut Vec<PendingChild>,
+    budget: usize,
+    p: &mut Partitioning,
+) {
+    let _ = tree;
+    let keep = (budget / 2).max(1);
+    while pending.len() > keep {
+        let a = pending[0];
+        let b = pending[1];
+        if a.residual + b.residual <= k {
+            pending[0] = PendingChild {
+                first: a.first,
+                last: b.last,
+                residual: a.residual + b.residual,
+                inner: None,
+            };
+            pending.remove(1);
+        } else {
+            // An un-flushed entry may still carry a deferred cut decision
+            // (its residual can exceed K until the parent level resolves
+            // it); emitting it as a partition forces the cut now.
+            let mut a = a;
+            while a.residual > k {
+                let (f, l, w) = a
+                    .inner
+                    .expect("residual > K implies an attached children run");
+                p.push(SiblingInterval::new(f, l));
+                a.residual -= w;
+                a.inner = None;
+            }
+            p.push(SiblingInterval::new(a.first, a.last));
+            pending.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ekm;
+    use natix_tree::{parse_spec, validate};
+
+    fn normalized(p: &Partitioning) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<_> = p.intervals.iter().map(|iv| (iv.first, iv.last)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn unbounded_matches_ekm_on_paper_examples() {
+        for (spec, k) in [
+            ("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)", 5),
+            ("a:5(b:1 c:1(d:2 e:2) f:1)", 5),
+            ("a:2(b:4(c:1) d:1 e:1)", 5),
+            ("a:2(b:3(c:4(d:5) e:1) f:2(g:3 h:4) i:1)", 9),
+        ] {
+            let t = parse_spec(spec).unwrap();
+            let ekm = Ekm.partition(&t, k).unwrap();
+            let sekm = StreamingEkm::unbounded().partition(&t, k).unwrap();
+            assert_eq!(
+                normalized(&ekm),
+                normalized(&sekm),
+                "{spec} K={k}: streaming EKM diverged from EKM"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_budget_stays_feasible() {
+        // Wide fan-out: 60 children under a small budget.
+        let mut spec = String::from("root:1(");
+        for i in 0..60 {
+            spec.push_str(&format!("c{i}:3 "));
+        }
+        spec.push(')');
+        let t = parse_spec(&spec).unwrap();
+        for budget in [2, 4, 8, 1024] {
+            let alg = StreamingEkm {
+                sibling_budget: budget,
+            };
+            let p = alg.partition(&t, 16).unwrap();
+            validate(&t, 16, &p).unwrap_or_else(|e| panic!("budget {budget}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tight_budget_costs_quality_but_bounded() {
+        let mut spec = String::from("root:1(");
+        for i in 0..100 {
+            spec.push_str(&format!("c{i}:2 "));
+        }
+        spec.push(')');
+        let t = parse_spec(&spec).unwrap();
+        let full = StreamingEkm::unbounded().partition(&t, 32).unwrap();
+        let tight = StreamingEkm { sibling_budget: 4 }.partition(&t, 32).unwrap();
+        let cf = validate(&t, 32, &full).unwrap().cardinality;
+        let ct = validate(&t, 32, &tight).unwrap().cardinality;
+        assert!(ct >= cf);
+        // The loss is bounded: flushing still packs maximal runs.
+        assert!(ct <= cf + 3, "full {cf} vs tight {ct}");
+    }
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("a:4").unwrap();
+        let p = StreamingEkm::default().partition(&t, 4).unwrap();
+        assert_eq!(validate(&t, 4, &p).unwrap().cardinality, 1);
+    }
+}

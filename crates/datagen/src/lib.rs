@@ -1,0 +1,116 @@
+//! Seeded synthetic XML document generators.
+//!
+//! The paper evaluates on five documents from the University of Washington
+//! XML repository plus an XMark document (scale 0.1). Those artifacts are
+//! not redistributable here, so this crate generates *structurally
+//! equivalent* documents (see DESIGN.md §5): same element vocabulary, the
+//! same two structural regimes — flat "relational" tables (`partsupp`,
+//! `orders`) versus nested hierarchies (`mondial`, `xmark`) — and node
+//! counts / weight profiles calibrated to Table 1 of the paper.
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible bit-for-bit.
+//!
+//! | Generator | Paper document | Nodes (paper, scale 1.0) |
+//! |-----------|----------------|--------------------------|
+//! | [`sigmod`] | SigmodRecord.xml | 42,054 |
+//! | [`mondial`] | mondial-3.0.xml | 152,218 |
+//! | [`partsupp`] | partsupp.xml | 96,005 |
+//! | [`uwm`] | uwm.xml | 189,542 |
+//! | [`orders`] | orders.xml | 300,005 |
+//! | [`xmark`] | xmark0p1.xml (sf 0.1) | 549,213 |
+
+mod mondial;
+mod relational;
+mod sigmod;
+mod text;
+mod uwm;
+mod xmark;
+
+pub use mondial::mondial;
+pub use relational::{orders, partsupp};
+pub use sigmod::sigmod;
+pub use text::TextGen;
+pub use uwm::uwm;
+pub use xmark::xmark;
+
+use natix_xml::Document;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration shared by all generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Size multiplier; 1.0 reproduces the paper's document sizes (for
+    /// [`xmark`], 1.0 means XMark scale factor 0.1 as used in the paper).
+    pub scale: f64,
+    /// RNG seed; equal seeds give identical documents.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Config at the given scale with the default seed.
+    pub fn at_scale(scale: f64) -> GenConfig {
+        GenConfig {
+            scale,
+            seed: 0x4e_4154_4958_u64, // "NATIX"
+        }
+    }
+
+    pub(crate) fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Scale a paper-size count, keeping at least `min`.
+    pub(crate) fn count(&self, paper: usize, min: usize) -> usize {
+        ((paper as f64 * self.scale).round() as usize).max(min)
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig::at_scale(1.0)
+    }
+}
+
+/// The six evaluation documents of Table 1, in the paper's row order.
+///
+/// `scale` multiplies every document's size (1.0 = paper scale); the
+/// returned names match the table's `Document` column.
+pub fn evaluation_suite(scale: f64, seed: u64) -> Vec<(&'static str, Document)> {
+    let cfg = |offset: u64| GenConfig {
+        scale,
+        seed: seed.wrapping_add(offset),
+    };
+    vec![
+        ("SigmodRecord.xml", sigmod(cfg(1))),
+        ("mondial-3.0.xml", mondial(cfg(2))),
+        ("partsupp.xml", partsupp(cfg(3))),
+        ("uwm.xml", uwm(cfg(4))),
+        ("orders.xml", orders(cfg(5))),
+        ("xmark0p1.xml", xmark(cfg(6))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = partsupp(GenConfig { scale: 0.01, seed: 7 });
+        let b = partsupp(GenConfig { scale: 0.01, seed: 7 });
+        assert_eq!(a.to_xml(), b.to_xml());
+        let c = partsupp(GenConfig { scale: 0.01, seed: 8 });
+        assert_ne!(a.to_xml(), c.to_xml());
+    }
+
+    #[test]
+    fn suite_has_six_documents() {
+        let suite = evaluation_suite(0.002, 42);
+        assert_eq!(suite.len(), 6);
+        for (name, doc) in &suite {
+            assert!(doc.len() > 10, "{name} too small: {}", doc.len());
+        }
+    }
+}

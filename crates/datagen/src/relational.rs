@@ -1,0 +1,139 @@
+//! Relational-style documents: XML dumps of the TPC-H `PARTSUPP` and
+//! `ORDERS` relations, as found in the UW XML repository.
+//!
+//! These are the paper's "very simple structure" documents: one huge
+//! sibling list of small fixed-shape rows under a single root. They are the
+//! worst case for parent-child-only partitioning (KM) and showcase the
+//! over-90% partition reduction of sibling partitioning (Table 1: 1091 vs
+//! 15876 partitions for partsupp).
+
+use natix_xml::{Document, DocumentBuilder};
+use rand::Rng;
+
+use crate::text::TextGen;
+use crate::GenConfig;
+
+/// `partsupp.xml`: 8727 rows × 11 nodes + root ≈ 96,005 nodes at scale 1.0.
+///
+/// Row shape: `<T><PS_PARTKEY/><PS_SUPPKEY/><PS_AVAILQTY/><PS_SUPPLYCOST/>
+/// <PS_COMMENT/></T>` with text children; comments average ~100 bytes,
+/// matching the paper's weight/node ratio of ≈2.7 slots.
+pub fn partsupp(cfg: GenConfig) -> Document {
+    let mut rng = cfg.rng();
+    let rows = cfg.count(8727, 2);
+    let mut b = DocumentBuilder::new("table");
+    let root = natix_xml::NodeId::ROOT;
+    for row in 0..rows {
+        let t = b.element(root, "T");
+        let f = b.element(t, "PS_PARTKEY");
+        b.text(f, &format!("{}", row / 4 + 1));
+        let f = b.element(t, "PS_SUPPKEY");
+        b.text(f, &format!("{}", rng.gen_range(1..1000u32)));
+        let f = b.element(t, "PS_AVAILQTY");
+        b.text(f, &format!("{}", rng.gen_range(1..10000u32)));
+        let f = b.element(t, "PS_SUPPLYCOST");
+        b.text(f, &TextGen::decimal(&mut rng, 1000));
+        let f = b.element(t, "PS_COMMENT");
+        b.text(f, &TextGen::sentence_between(&mut rng, 12, 20));
+    }
+    b.build()
+}
+
+/// `orders.xml`: 15,789 rows × 19 nodes + root ≈ 300,005 nodes at scale 1.0.
+///
+/// Nine short columns plus a comment; lighter rows than partsupp
+/// (≈1.9 slots/node in the paper).
+pub fn orders(cfg: GenConfig) -> Document {
+    let mut rng = cfg.rng();
+    let rows = cfg.count(15_789, 2);
+    let mut b = DocumentBuilder::new("table");
+    let root = natix_xml::NodeId::ROOT;
+    const STATUS: &[&str] = &["O", "F", "P"];
+    const PRIORITY: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    for row in 0..rows {
+        let t = b.element(root, "T");
+        let field = |b: &mut DocumentBuilder, name: &str, value: &str| {
+            let f = b.element(t, name);
+            b.text(f, value);
+        };
+        field(&mut b, "O_ORDERKEY", &format!("{}", row * 4 + 1));
+        field(&mut b, "O_CUSTKEY", &format!("{}", rng.gen_range(1..15000u32)));
+        field(&mut b, "O_ORDERSTATUS", STATUS[rng.gen_range(0..STATUS.len())]);
+        field(&mut b, "O_TOTALPRICE", &TextGen::decimal(&mut rng, 400_000));
+        field(&mut b, "O_ORDERDATE", &TextGen::date(&mut rng));
+        field(
+            &mut b,
+            "O_ORDERPRIORITY",
+            PRIORITY[rng.gen_range(0..PRIORITY.len())],
+        );
+        field(
+            &mut b,
+            "O_CLERK",
+            &format!("Clerk#{:09}", rng.gen_range(1..1000u32)),
+        );
+        field(&mut b, "O_SHIPPRIORITY", "0");
+        field(
+            &mut b,
+            "O_COMMENT",
+            &TextGen::sentence_between(&mut rng, 4, 8),
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partsupp_row_shape() {
+        let d = partsupp(GenConfig { scale: 0.001, seed: 1 });
+        let t = d.tree();
+        assert_eq!(d.name(d.root()), "table");
+        let rows = t.children(d.root());
+        assert!(!rows.is_empty());
+        for &r in rows {
+            assert_eq!(d.name(r), "T");
+            assert_eq!(t.child_count(r), 5);
+            // Each field has one text child.
+            for &f in t.children(r) {
+                assert_eq!(t.child_count(f), 1);
+            }
+        }
+        // 11 nodes per row + root.
+        assert_eq!(d.len(), rows.len() * 11 + 1);
+    }
+
+    #[test]
+    fn orders_row_shape() {
+        let d = orders(GenConfig { scale: 0.001, seed: 1 });
+        let t = d.tree();
+        let rows = t.children(d.root());
+        for &r in rows {
+            assert_eq!(t.child_count(r), 9);
+        }
+        assert_eq!(d.len(), rows.len() * 19 + 1);
+    }
+
+    #[test]
+    fn node_counts_scale_to_paper_sizes() {
+        // At scale 1.0 the counts match Table 1 within 1%.
+        let rows: usize = 8727;
+        assert!((rows * 11 + 1).abs_diff(96_005) < 1000);
+        let rows: usize = 15_789;
+        assert!((rows * 19 + 1).abs_diff(300_005) < 3100);
+    }
+
+    #[test]
+    fn weight_profile_close_to_paper() {
+        // partsupp: paper weight/K = 1026 at 96005 nodes -> ~2.74 slots per
+        // node. Accept 2.2..3.3.
+        let d = partsupp(GenConfig { scale: 0.01, seed: 2 });
+        let avg = d.total_weight() as f64 / d.len() as f64;
+        assert!((2.2..3.3).contains(&avg), "partsupp avg {avg}");
+        // orders: 2247*256/300005 ~ 1.92. Accept 1.6..2.3.
+        let d = orders(GenConfig { scale: 0.01, seed: 2 });
+        let avg = d.total_weight() as f64 / d.len() as f64;
+        assert!((1.6..2.3).contains(&avg), "orders avg {avg}");
+    }
+}

@@ -1,0 +1,78 @@
+//! `SigmodRecord.xml`-like generator: SIGMOD Record issues with articles
+//! and author lists — shallow, regular, moderate text.
+
+use natix_xml::{Document, DocumentBuilder};
+use rand::Rng;
+
+use crate::text::TextGen;
+use crate::GenConfig;
+
+/// Generate the SigmodRecord-like document.
+///
+/// Calibration: 119 issues × ~22 articles × (title/initPage/endPage +
+/// 1..4 authors) ≈ 42k nodes at ≈2.1 slots/node (paper: 42,054 nodes,
+/// weight/K = 352 at K = 256).
+pub fn sigmod(cfg: GenConfig) -> Document {
+    let mut rng = cfg.rng();
+    let issues = cfg.count(119, 1);
+    let mut b = DocumentBuilder::new("SigmodRecord");
+    let root = natix_xml::NodeId::ROOT;
+    for i in 0..issues {
+        let issue = b.element(root, "issue");
+        let vol = b.element(issue, "volume");
+        b.text(vol, &format!("{}", 11 + i / 4));
+        let num = b.element(issue, "number");
+        b.text(num, &format!("{}", i % 4 + 1));
+        let articles = b.element(issue, "articles");
+        let n_articles = rng.gen_range(18..=27);
+        let mut page = 1u32;
+        for _ in 0..n_articles {
+            let article = b.element(articles, "article");
+            let title = b.element(article, "title");
+            let title_words = rng.gen_range(4..=9);
+            b.text(title, &TextGen::title(&mut rng, title_words));
+            let init = b.element(article, "initPage");
+            b.text(init, &format!("{page}"));
+            let len = rng.gen_range(1..=14u32);
+            let end = b.element(article, "endPage");
+            b.text(end, &format!("{}", page + len));
+            page += len + 1;
+            let authors = b.element(article, "authors");
+            let n_authors = rng.gen_range(1..=4);
+            for pos in 0..n_authors {
+                let author = b.element(authors, "author");
+                b.attribute(author, "position", &format!("{pos:02}"));
+                b.text(author, &TextGen::person_name(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let d = sigmod(GenConfig { scale: 0.02, seed: 3 });
+        let t = d.tree();
+        assert_eq!(d.name(d.root()), "SigmodRecord");
+        let issue = t.children(d.root())[0];
+        assert_eq!(d.name(issue), "issue");
+        let kids: Vec<&str> = t.children(issue).iter().map(|&c| d.name(c)).collect();
+        assert_eq!(&kids[..3], &["volume", "number", "articles"]);
+    }
+
+    #[test]
+    fn calibration_at_full_scale() {
+        let d = sigmod(GenConfig { scale: 1.0, seed: 3 });
+        let nodes = d.len() as f64;
+        assert!(
+            (nodes - 42_054.0).abs() / 42_054.0 < 0.15,
+            "node count {nodes} too far from paper's 42054"
+        );
+        let avg = d.total_weight() as f64 / nodes;
+        assert!((1.7..2.6).contains(&avg), "avg slots/node {avg}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic prose generation for text nodes.
+//!
+//! XMark famously generates element content from a Shakespeare word list;
+//! we use a fixed vocabulary of similar word-length distribution so content
+//! byte counts (and therefore slot weights) behave the same way.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fixed vocabulary (97 words, mean length ≈ 5.4 bytes — close to the
+/// Shakespeare list XMark samples from).
+const WORDS: &[&str] = &[
+    "noble", "haste", "sword", "merry", "crown", "honest", "labour", "tongue", "spirit", "wisdom",
+    "gentle", "summer", "winter", "sorrow", "fortune", "virtue", "breath", "heaven", "shadow",
+    "silver", "golden", "throne", "castle", "garden", "forest", "battle", "soldier", "captain",
+    "servant", "master", "daughter", "brother", "mother", "father", "kingdom", "country", "letter",
+    "answer", "reason", "season", "morning", "evening", "promise", "journey", "measure", "treasure",
+    "pleasure", "danger", "stranger", "courage", "passion", "fashion", "moment", "present",
+    "ancient", "silent", "secret", "sacred", "bitter", "better", "matter", "mercy", "glory",
+    "story", "stone", "flame", "flower", "river", "ocean", "island", "mountain", "valley",
+    "thunder", "lightning", "whisper", "murmur", "slumber", "wonder", "wander", "banner", "manner",
+    "honour", "armour", "favour", "vapour", "velvet", "violet", "scarlet", "crimson", "purple",
+    "marble", "temple", "candle", "cradle", "needle", "people", "simple",
+];
+
+/// Seeded text generator.
+#[derive(Debug)]
+pub struct TextGen;
+
+impl TextGen {
+    /// One random word.
+    pub fn word(rng: &mut StdRng) -> &'static str {
+        WORDS[rng.gen_range(0..WORDS.len())]
+    }
+
+    /// A sentence of `n` words separated by single spaces.
+    pub fn sentence(rng: &mut StdRng, n: usize) -> String {
+        let mut s = String::with_capacity(n * 7);
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(Self::word(rng));
+        }
+        s
+    }
+
+    /// A sentence whose word count is uniform in `lo..=hi`.
+    pub fn sentence_between(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+        let n = rng.gen_range(lo..=hi);
+        Self::sentence(rng, n)
+    }
+
+    /// A capitalized multi-word title.
+    pub fn title(rng: &mut StdRng, words: usize) -> String {
+        let mut s = String::with_capacity(words * 8);
+        for i in 0..words {
+            if i > 0 {
+                s.push(' ');
+            }
+            let w = Self::word(rng);
+            let mut cs = w.chars();
+            if let Some(first) = cs.next() {
+                s.extend(first.to_uppercase());
+                s.push_str(cs.as_str());
+            }
+        }
+        s
+    }
+
+    /// A personal name, `First Last`.
+    pub fn person_name(rng: &mut StdRng) -> String {
+        Self::title(rng, 2)
+    }
+
+    /// A decimal string like `1234.56`.
+    pub fn decimal(rng: &mut StdRng, max_int: u32) -> String {
+        format!("{}.{:02}", rng.gen_range(0..max_int), rng.gen_range(0..100u32))
+    }
+
+    /// A date string `YYYY/MM/DD` in the XMark style.
+    pub fn date(rng: &mut StdRng) -> String {
+        format!(
+            "{:04}/{:02}/{:02}",
+            rng.gen_range(1998..2002u32),
+            rng.gen_range(1..13u32),
+            rng.gen_range(1..29u32)
+        )
+    }
+
+    /// A time string `HH:MM:SS`.
+    pub fn time(rng: &mut StdRng) -> String {
+        format!(
+            "{:02}:{:02}:{:02}",
+            rng.gen_range(0..24u32),
+            rng.gen_range(0..60u32),
+            rng.gen_range(0..60u32)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentences_are_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(TextGen::sentence(&mut a, 10), TextGen::sentence(&mut b, 10));
+    }
+
+    #[test]
+    fn sentence_word_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = TextGen::sentence(&mut rng, 7);
+        assert_eq!(s.split(' ').count(), 7);
+        let s = TextGen::sentence_between(&mut rng, 3, 5);
+        let n = s.split(' ').count();
+        assert!((3..=5).contains(&n));
+    }
+
+    #[test]
+    fn title_is_capitalized() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = TextGen::title(&mut rng, 3);
+        for w in t.split(' ') {
+            assert!(w.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn formatted_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = TextGen::date(&mut rng);
+        assert_eq!(d.len(), 10);
+        let t = TextGen::time(&mut rng);
+        assert_eq!(t.len(), 8);
+        let m = TextGen::decimal(&mut rng, 1000);
+        assert!(m.contains('.'));
+    }
+}

@@ -1,0 +1,109 @@
+//! `uwm.xml`-like generator: university course listings with sections —
+//! many small, shallow records with short text fields.
+
+use natix_xml::{Document, DocumentBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::text::TextGen;
+use crate::GenConfig;
+
+fn leaf(b: &mut DocumentBuilder, rng: &mut StdRng, parent: NodeId, name: &str, words: usize) {
+    let e = b.element(parent, name);
+    b.text(e, &TextGen::sentence_between(rng, 1, words.max(1)));
+}
+
+/// Generate the UWM-like course catalog.
+///
+/// Calibration: 3,270 course listings × ~58 nodes (three sections with
+/// instructor/days/hours/room fields) ≈ 190k nodes at ≈1.9 slots/node
+/// (paper: 189,542 nodes, weight/K = 1446).
+pub fn uwm(cfg: GenConfig) -> Document {
+    let mut rng = cfg.rng();
+    let listings = cfg.count(3_270, 1);
+    let mut b = DocumentBuilder::new("root");
+    let root = NodeId::ROOT;
+    const DAYS: &[&str] = &["MWF", "TTh", "MW", "F", "Daily"];
+    const QUARTERS: &[&str] = &["autumn", "winter", "spring", "summer"];
+
+    for li in 0..listings {
+        let listing = b.element(root, "course_listing");
+        let course = b.element(listing, "course");
+        b.text(
+            course,
+            &format!("{} {}", TextGen::word(&mut rng).to_uppercase(), 100 + li % 500),
+        );
+        let title = b.element(listing, "title");
+        let title_words = rng.gen_range(2..=5);
+        b.text(title, &TextGen::title(&mut rng, title_words));
+        let credits = b.element(listing, "credits");
+        b.text(credits, &format!("{}", rng.gen_range(1..=5)));
+        if rng.gen_bool(0.4) {
+            leaf(&mut b, &mut rng, listing, "restrictions", 6);
+        }
+        let sections = b.element(listing, "sections");
+        for si in 0..rng.gen_range(2..=4) {
+            let section = b.element(sections, "section");
+            b.attribute(section, "id", &format!("{}", (b'A' + si) as char));
+            let sln = b.element(section, "sln");
+            b.text(sln, &format!("{}", rng.gen_range(10_000..99_999u32)));
+            let quarter = b.element(section, "quarter");
+            b.text(quarter, QUARTERS[rng.gen_range(0..QUARTERS.len())]);
+            let instructors = b.element(section, "instructors");
+            for _ in 0..rng.gen_range(1..=2) {
+                let inst = b.element(instructors, "instructor");
+                b.text(inst, &TextGen::person_name(&mut rng));
+            }
+            let days = b.element(section, "days");
+            b.text(days, DAYS[rng.gen_range(0..DAYS.len())]);
+            let hours = b.element(section, "hours");
+            b.text(
+                hours,
+                &format!("{}:30-{}:20", rng.gen_range(8..15u32), rng.gen_range(9..17u32)),
+            );
+            let room = b.element(section, "room");
+            b.text(
+                room,
+                &format!("{} {}", TextGen::word(&mut rng).to_uppercase(), rng.gen_range(100..400u32)),
+            );
+            if rng.gen_bool(0.3) {
+                leaf(&mut b, &mut rng, section, "section_note", 8);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let d = uwm(GenConfig { scale: 0.01, seed: 6 });
+        let t = d.tree();
+        let listing = t.children(d.root())[0];
+        assert_eq!(d.name(listing), "course_listing");
+        let sections = t
+            .children(listing)
+            .iter()
+            .copied()
+            .find(|&c| d.name(c) == "sections")
+            .unwrap();
+        let section = t.children(sections)[0];
+        assert_eq!(d.name(section), "section");
+        assert!(t.children(section).iter().any(|&c| d.name(c) == "sln"));
+    }
+
+    #[test]
+    fn calibration_at_full_scale() {
+        let d = uwm(GenConfig { scale: 1.0, seed: 6 });
+        let nodes = d.len() as f64;
+        assert!(
+            (nodes - 189_542.0).abs() / 189_542.0 < 0.15,
+            "node count {nodes} too far from paper's 189542"
+        );
+        let avg = d.total_weight() as f64 / nodes;
+        assert!((1.6..2.4).contains(&avg), "avg slots/node {avg}");
+    }
+}

@@ -1,0 +1,376 @@
+//! XMark-like auction-site generator (Schmidt et al., VLDB 2002).
+//!
+//! Reproduces the element vocabulary and shape that the XPathMark queries
+//! Q1-Q7 traverse: `site/regions/*/item`, `closed_auction/annotation/
+//! description/parlist/listitem/text/keyword`, `mail`, `//keyword`, etc.
+//! Scale 1.0 corresponds to the paper's XMark scale factor 0.1
+//! (549,213 nodes, ≈3.5 slots/node).
+
+use natix_xml::{Document, DocumentBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::text::TextGen;
+use crate::GenConfig;
+
+/// Region element names and their share of the items (XMark's built-in
+/// distribution, scaled from sf = 1 counts).
+const REGIONS: &[(&str, usize)] = &[
+    ("africa", 55),
+    ("asia", 200),
+    ("australia", 220),
+    ("europe", 600),
+    ("namerica", 1000),
+    ("samerica", 100),
+];
+
+const PERSONS: usize = 2550;
+const OPEN_AUCTIONS: usize = 1200;
+const CLOSED_AUCTIONS: usize = 975;
+const CATEGORIES: usize = 100;
+
+struct Gen {
+    b: DocumentBuilder,
+    rng: StdRng,
+}
+
+impl Gen {
+    fn leaf(&mut self, parent: NodeId, name: &str, value: &str) -> NodeId {
+        let e = self.b.element(parent, name);
+        self.b.text(e, value);
+        e
+    }
+
+    /// Mixed content: alternating free text and inline `keyword` / `bold` /
+    /// `emph` elements, as XMark produces inside `text` elements.
+    fn mixed(&mut self, parent: NodeId) {
+        let runs = self.rng.gen_range(2..=4);
+        for _ in 0..runs {
+            let words = self.rng.gen_range(8..=16);
+            let s = TextGen::sentence(&mut self.rng, words);
+            self.b.text(parent, &s);
+            let inline = match self.rng.gen_range(0..4u32) {
+                0 => "keyword",
+                1 => "bold",
+                2 => "emph",
+                _ => "keyword",
+            };
+            let e = self.b.element(parent, inline);
+            let words = self.rng.gen_range(1..=3);
+            let s = TextGen::sentence(&mut self.rng, words);
+            self.b.text(e, &s);
+        }
+    }
+
+    /// `<text>` element with mixed content.
+    fn text_elem(&mut self, parent: NodeId) {
+        let t = self.b.element(parent, "text");
+        self.mixed(t);
+    }
+
+    /// `<parlist><listitem>(text | parlist)</listitem>…</parlist>`.
+    fn parlist(&mut self, parent: NodeId, depth: usize) {
+        let pl = self.b.element(parent, "parlist");
+        let items = self.rng.gen_range(2..=5);
+        for _ in 0..items {
+            let li = self.b.element(pl, "listitem");
+            if depth < 2 && self.rng.gen_bool(0.2) {
+                self.parlist(li, depth + 1);
+            } else {
+                self.text_elem(li);
+            }
+        }
+    }
+
+    /// `<description>(text | parlist)</description>`.
+    fn description(&mut self, parent: NodeId) {
+        let d = self.b.element(parent, "description");
+        if self.rng.gen_bool(0.5) {
+            self.parlist(d, 0);
+        } else {
+            self.text_elem(d);
+        }
+    }
+
+    fn mail(&mut self, parent: NodeId) {
+        let m = self.b.element(parent, "mail");
+        let from = TextGen::person_name(&mut self.rng);
+        self.leaf(m, "from", &from);
+        let to = TextGen::person_name(&mut self.rng);
+        self.leaf(m, "to", &to);
+        let date = TextGen::date(&mut self.rng);
+        self.leaf(m, "date", &date);
+        self.text_elem(m);
+    }
+
+    fn item(&mut self, parent: NodeId, id: usize) {
+        let item = self.b.element(parent, "item");
+        self.b.attribute(item, "id", &format!("item{id}"));
+        let loc = TextGen::title(&mut self.rng, 1);
+        self.leaf(item, "location", &loc);
+        let qty = format!("{}", self.rng.gen_range(1..=5u32));
+        self.leaf(item, "quantity", &qty);
+        let name = TextGen::title(&mut self.rng, 2);
+        self.leaf(item, "name", &name);
+        let pay = TextGen::sentence_between(&mut self.rng, 2, 5);
+        self.leaf(item, "payment", &pay);
+        self.description(item);
+        let ship = TextGen::sentence_between(&mut self.rng, 2, 6);
+        self.leaf(item, "shipping", &ship);
+        for _ in 0..self.rng.gen_range(1..=2) {
+            let inc = self.b.element(item, "incategory");
+            let cat = format!("category{}", self.rng.gen_range(0..CATEGORIES.max(1)));
+            self.b.attribute(inc, "category", &cat);
+        }
+        let mailbox = self.b.element(item, "mailbox");
+        for _ in 0..self.rng.gen_range(1..=5) {
+            self.mail(mailbox);
+        }
+    }
+
+    fn person(&mut self, parent: NodeId, id: usize) {
+        let p = self.b.element(parent, "person");
+        self.b.attribute(p, "id", &format!("person{id}"));
+        let name = TextGen::person_name(&mut self.rng);
+        self.leaf(p, "name", &name);
+        let email = format!("mailto:{}@{}.com", TextGen::word(&mut self.rng), TextGen::word(&mut self.rng));
+        self.leaf(p, "emailaddress", &email);
+        if self.rng.gen_bool(0.5) {
+            let phone = format!("+{} ({}) {}", self.rng.gen_range(1..99u32), self.rng.gen_range(100..999u32), self.rng.gen_range(1_000_000..9_999_999u32));
+            self.leaf(p, "phone", &phone);
+        }
+        if self.rng.gen_bool(0.7) {
+            let addr = self.b.element(p, "address");
+            let street = format!("{} {} St", self.rng.gen_range(1..99u32), TextGen::title(&mut self.rng, 1));
+            self.leaf(addr, "street", &street);
+            let city = TextGen::title(&mut self.rng, 1);
+            self.leaf(addr, "city", &city);
+            let country = TextGen::title(&mut self.rng, 1);
+            self.leaf(addr, "country", &country);
+            let zip = format!("{}", self.rng.gen_range(10_000..99_999u32));
+            self.leaf(addr, "zipcode", &zip);
+        }
+        if self.rng.gen_bool(0.3) {
+            let hp = format!("http://www.{}.com/~{}", TextGen::word(&mut self.rng), TextGen::word(&mut self.rng));
+            self.leaf(p, "homepage", &hp);
+        }
+        if self.rng.gen_bool(0.25) {
+            let cc = format!("{} {} {} {}", self.rng.gen_range(1000..9999u32), self.rng.gen_range(1000..9999u32), self.rng.gen_range(1000..9999u32), self.rng.gen_range(1000..9999u32));
+            self.leaf(p, "creditcard", &cc);
+        }
+        let profile = self.b.element(p, "profile");
+        let income = TextGen::decimal(&mut self.rng, 100_000);
+        self.b.attribute(profile, "income", &income);
+        for _ in 0..self.rng.gen_range(1..=4) {
+            let interest = self.b.element(profile, "interest");
+            let cat = format!("category{}", self.rng.gen_range(0..CATEGORIES.max(1)));
+            self.b.attribute(interest, "category", &cat);
+        }
+        if self.rng.gen_bool(0.3) {
+            let edu = ["High School", "College", "Graduate School", "Other"]
+                [self.rng.gen_range(0..4usize)];
+            self.leaf(profile, "education", edu);
+        }
+        if self.rng.gen_bool(0.5) {
+            let g = if self.rng.gen_bool(0.5) { "male" } else { "female" };
+            self.leaf(profile, "gender", g);
+        }
+        let business = if self.rng.gen_bool(0.5) { "Yes" } else { "No" };
+        self.leaf(profile, "business", business);
+        if self.rng.gen_bool(0.3) {
+            let age = format!("{}", self.rng.gen_range(18..80u32));
+            self.leaf(profile, "age", &age);
+        }
+        let watches = self.b.element(p, "watches");
+        for _ in 0..self.rng.gen_range(1..=6) {
+            let w = self.b.element(watches, "watch");
+            let auction = format!("open_auction{}", self.rng.gen_range(0..OPEN_AUCTIONS.max(1)));
+            self.b.attribute(w, "open_auction", &auction);
+        }
+    }
+
+    fn bidder(&mut self, parent: NodeId) {
+        let bd = self.b.element(parent, "bidder");
+        let date = TextGen::date(&mut self.rng);
+        self.leaf(bd, "date", &date);
+        let time = TextGen::time(&mut self.rng);
+        self.leaf(bd, "time", &time);
+        let pr = self.b.element(bd, "personref");
+        let person = format!("person{}", self.rng.gen_range(0..PERSONS.max(1)));
+        self.b.attribute(pr, "person", &person);
+        let inc = TextGen::decimal(&mut self.rng, 50);
+        self.leaf(bd, "increase", &inc);
+    }
+
+    fn annotation(&mut self, parent: NodeId) {
+        let a = self.b.element(parent, "annotation");
+        let author = self.b.element(a, "author");
+        let person = format!("person{}", self.rng.gen_range(0..PERSONS.max(1)));
+        self.b.attribute(author, "person", &person);
+        self.description(a);
+        let h = format!("{}", self.rng.gen_range(1..=10u32));
+        self.leaf(a, "happiness", &h);
+    }
+
+    fn open_auction(&mut self, parent: NodeId, id: usize, items: usize) {
+        let a = self.b.element(parent, "open_auction");
+        self.b.attribute(a, "id", &format!("open_auction{id}"));
+        let initial = TextGen::decimal(&mut self.rng, 300);
+        self.leaf(a, "initial", &initial);
+        if self.rng.gen_bool(0.4) {
+            let res = TextGen::decimal(&mut self.rng, 500);
+            self.leaf(a, "reserve", &res);
+        }
+        for _ in 0..self.rng.gen_range(3..=12) {
+            self.bidder(a);
+        }
+        let cur = TextGen::decimal(&mut self.rng, 1000);
+        self.leaf(a, "current", &cur);
+        if self.rng.gen_bool(0.5) {
+            self.leaf(a, "privacy", "Yes");
+        }
+        let itemref = self.b.element(a, "itemref");
+        let item = format!("item{}", self.rng.gen_range(0..items.max(1)));
+        self.b.attribute(itemref, "item", &item);
+        let seller = self.b.element(a, "seller");
+        let person = format!("person{}", self.rng.gen_range(0..PERSONS.max(1)));
+        self.b.attribute(seller, "person", &person);
+        self.annotation(a);
+        let qty = format!("{}", self.rng.gen_range(1..=5u32));
+        self.leaf(a, "quantity", &qty);
+        self.leaf(a, "type", "Regular");
+        let interval = self.b.element(a, "interval");
+        let start = TextGen::date(&mut self.rng);
+        self.leaf(interval, "start", &start);
+        let end = TextGen::date(&mut self.rng);
+        self.leaf(interval, "end", &end);
+    }
+
+    fn closed_auction(&mut self, parent: NodeId, items: usize) {
+        let a = self.b.element(parent, "closed_auction");
+        let seller = self.b.element(a, "seller");
+        let person = format!("person{}", self.rng.gen_range(0..PERSONS.max(1)));
+        self.b.attribute(seller, "person", &person);
+        let buyer = self.b.element(a, "buyer");
+        let person = format!("person{}", self.rng.gen_range(0..PERSONS.max(1)));
+        self.b.attribute(buyer, "person", &person);
+        let itemref = self.b.element(a, "itemref");
+        let item = format!("item{}", self.rng.gen_range(0..items.max(1)));
+        self.b.attribute(itemref, "item", &item);
+        let price = TextGen::decimal(&mut self.rng, 1000);
+        self.leaf(a, "price", &price);
+        let date = TextGen::date(&mut self.rng);
+        self.leaf(a, "date", &date);
+        let qty = format!("{}", self.rng.gen_range(1..=5u32));
+        self.leaf(a, "quantity", &qty);
+        self.leaf(a, "type", "Regular");
+        self.annotation(a);
+    }
+
+    fn category(&mut self, parent: NodeId, id: usize) {
+        let c = self.b.element(parent, "category");
+        self.b.attribute(c, "id", &format!("category{id}"));
+        let name = TextGen::title(&mut self.rng, 1);
+        self.leaf(c, "name", &name);
+        self.description(c);
+    }
+}
+
+/// Generate the XMark-like document. `cfg.scale = 1.0` ≙ XMark sf 0.1.
+pub fn xmark(cfg: GenConfig) -> Document {
+    let mut g = Gen {
+        b: DocumentBuilder::new("site"),
+        rng: cfg.rng(),
+    };
+    let root = NodeId::ROOT;
+
+    let regions = g.b.element(root, "regions");
+    let mut item_id = 0usize;
+    for &(region, paper_count) in REGIONS {
+        let r = g.b.element(regions, region);
+        for _ in 0..cfg.count(paper_count, 1) {
+            g.item(r, item_id);
+            item_id += 1;
+        }
+    }
+    let total_items = item_id;
+
+    let categories = g.b.element(root, "categories");
+    for i in 0..cfg.count(CATEGORIES, 1) {
+        g.category(categories, i);
+    }
+
+    let catgraph = g.b.element(root, "catgraph");
+    for _ in 0..cfg.count(CATEGORIES, 1) {
+        let edge = g.b.element(catgraph, "edge");
+        let from = format!("category{}", g.rng.gen_range(0..CATEGORIES.max(1)));
+        g.b.attribute(edge, "from", &from);
+        let to = format!("category{}", g.rng.gen_range(0..CATEGORIES.max(1)));
+        g.b.attribute(edge, "to", &to);
+    }
+
+    let people = g.b.element(root, "people");
+    for i in 0..cfg.count(PERSONS, 1) {
+        g.person(people, i);
+    }
+
+    let open = g.b.element(root, "open_auctions");
+    for i in 0..cfg.count(OPEN_AUCTIONS, 1) {
+        g.open_auction(open, i, total_items);
+    }
+
+    let closed = g.b.element(root, "closed_auctions");
+    for _ in 0..cfg.count(CLOSED_AUCTIONS, 1) {
+        g.closed_auction(closed, total_items);
+    }
+
+    g.b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(d: &Document, parent: NodeId, name: &str) -> Option<NodeId> {
+        d.tree()
+            .children(parent)
+            .iter()
+            .copied()
+            .find(|&c| d.name(c) == name)
+    }
+
+    #[test]
+    fn has_xpathmark_paths() {
+        let d = xmark(GenConfig { scale: 0.02, seed: 9 });
+        // /site/regions/*/item
+        let regions = find(&d, d.root(), "regions").unwrap();
+        let region = d.tree().children(regions)[0];
+        assert!(find(&d, region, "item").is_some());
+        // /site/closed_auctions/closed_auction/annotation
+        let closed = find(&d, d.root(), "closed_auctions").unwrap();
+        let ca = d.tree().children(closed)[0];
+        assert!(find(&d, ca, "annotation").is_some());
+        // keywords exist somewhere
+        let keywords = d
+            .tree()
+            .node_ids()
+            .filter(|&v| d.name(v) == "keyword")
+            .count();
+        assert!(keywords > 0, "no keyword elements generated");
+        // mail elements exist
+        let mails = d.tree().node_ids().filter(|&v| d.name(v) == "mail").count();
+        assert!(mails > 0);
+    }
+
+    #[test]
+    fn calibration_at_full_scale() {
+        let d = xmark(GenConfig { scale: 1.0, seed: 9 });
+        let nodes = d.len() as f64;
+        assert!(
+            (nodes - 549_213.0).abs() / 549_213.0 < 0.15,
+            "node count {nodes} too far from paper's 549213"
+        );
+        let avg = d.total_weight() as f64 / nodes;
+        assert!((2.4..4.2).contains(&avg), "avg slots/node {avg}");
+    }
+}

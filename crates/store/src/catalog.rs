@@ -1,0 +1,216 @@
+//! On-disk catalog: header page + serialized record directory and label
+//! table, so a bulkloaded store can be reopened from its page file.
+//!
+//! Layout: page 0 is the header page (magic, root record, catalog
+//! location); the catalog itself (directory entries + labels) is written
+//! across dedicated pages appended after the data pages.
+
+use crate::page::PAGE_SIZE;
+use crate::pager::{StoreError, StoreResult};
+
+/// Magic bytes identifying a Natix store page file (version 1).
+pub const MAGIC: &[u8; 8] = b"NATIXST1";
+
+/// Where a record's bytes live (public within the crate; the store keeps
+/// the authoritative copy).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecordLoc {
+    /// Inside a slotted page.
+    InPage { page: u32, slot: u16 },
+    /// Spanning dedicated overflow pages.
+    Overflow { first_page: u32, len: u32 },
+    /// Deleted record (directory tombstone).
+    Free,
+}
+
+/// Everything needed to reopen a store.
+pub(crate) struct Catalog {
+    pub root_record: u32,
+    pub directory: Vec<RecordLoc>,
+    pub labels: Vec<Box<str>>,
+}
+
+/// Fixed header written into page 0.
+pub(crate) struct Header {
+    pub root_record: u32,
+    pub catalog_first_page: u32,
+    pub catalog_len: u64,
+    pub record_limit: u64,
+}
+
+pub(crate) fn encode_header(h: &Header) -> [u8; PAGE_SIZE] {
+    let mut buf = [0u8; PAGE_SIZE];
+    buf[0..8].copy_from_slice(MAGIC);
+    buf[8..12].copy_from_slice(&h.root_record.to_le_bytes());
+    buf[12..16].copy_from_slice(&h.catalog_first_page.to_le_bytes());
+    buf[16..24].copy_from_slice(&h.catalog_len.to_le_bytes());
+    buf[24..32].copy_from_slice(&h.record_limit.to_le_bytes());
+    buf
+}
+
+pub(crate) fn decode_header(buf: &[u8; PAGE_SIZE]) -> StoreResult<Header> {
+    if &buf[0..8] != MAGIC {
+        return Err(StoreError::Corrupt("bad magic: not a Natix store file"));
+    }
+    Ok(Header {
+        root_record: u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
+        catalog_first_page: u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+        catalog_len: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+        record_limit: u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes")),
+    })
+}
+
+pub(crate) fn encode_catalog(directory: &[RecordLoc], labels: &[Box<str>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(directory.len() * 8 + labels.len() * 12);
+    out.extend_from_slice(&(directory.len() as u32).to_le_bytes());
+    for loc in directory {
+        match *loc {
+            RecordLoc::InPage { page, slot } => {
+                out.push(0);
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&slot.to_le_bytes());
+            }
+            RecordLoc::Overflow { first_page, len } => {
+                out.push(1);
+                out.extend_from_slice(&first_page.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            RecordLoc::Free => out.push(2),
+        }
+    }
+    out.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+    for l in labels {
+        out.extend_from_slice(&(l.len() as u16).to_le_bytes());
+        out.extend_from_slice(l.as_bytes());
+    }
+    out
+}
+
+pub(crate) fn decode_catalog(bytes: &[u8], root_record: u32) -> StoreResult<Catalog> {
+    struct R<'a> {
+        b: &'a [u8],
+        p: usize,
+    }
+    impl<'a> R<'a> {
+        fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+            if self.p + n > self.b.len() {
+                return Err(StoreError::Corrupt("catalog truncated"));
+            }
+            let s = &self.b[self.p..self.p + n];
+            self.p += n;
+            Ok(s)
+        }
+        fn u8(&mut self) -> StoreResult<u8> {
+            Ok(self.take(1)?[0])
+        }
+        fn u16(&mut self) -> StoreResult<u16> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        }
+        fn u32(&mut self) -> StoreResult<u32> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        }
+    }
+    let mut r = R { b: bytes, p: 0 };
+    let n = r.u32()? as usize;
+    let mut directory = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = r.u8()?;
+        directory.push(match tag {
+            0 => RecordLoc::InPage {
+                page: r.u32()?,
+                slot: r.u16()?,
+            },
+            1 => RecordLoc::Overflow {
+                first_page: r.u32()?,
+                len: r.u32()?,
+            },
+            2 => RecordLoc::Free,
+            _ => return Err(StoreError::Corrupt("bad directory entry tag")),
+        });
+    }
+    let nl = r.u32()? as usize;
+    let mut labels = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        let len = r.u16()? as usize;
+        let s = std::str::from_utf8(r.take(len)?)
+            .map_err(|_| StoreError::Corrupt("label not UTF-8"))?;
+        labels.push(s.into());
+    }
+    if root_record as usize >= directory.len() {
+        return Err(StoreError::Corrupt("root record out of range"));
+    }
+    Ok(Catalog {
+        root_record,
+        directory,
+        labels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            root_record: 7,
+            catalog_first_page: 123,
+            catalog_len: 4567,
+            record_limit: 256,
+        };
+        let buf = encode_header(&h);
+        let back = decode_header(&buf).unwrap();
+        assert_eq!(back.root_record, 7);
+        assert_eq!(back.catalog_first_page, 123);
+        assert_eq!(back.catalog_len, 4567);
+        assert_eq!(back.record_limit, 256);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; PAGE_SIZE];
+        assert!(decode_header(&buf).is_err());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let dir = vec![
+            RecordLoc::InPage { page: 1, slot: 0 },
+            RecordLoc::Overflow {
+                first_page: 9,
+                len: 20_000,
+            },
+            RecordLoc::Free,
+            RecordLoc::InPage { page: 2, slot: 3 },
+        ];
+        let labels: Vec<Box<str>> = vec!["site".into(), "item".into(), "#text".into()];
+        let bytes = encode_catalog(&dir, &labels);
+        let cat = decode_catalog(&bytes, 0).unwrap();
+        assert_eq!(cat.directory.len(), 4);
+        assert!(matches!(cat.directory[2], RecordLoc::Free));
+        assert_eq!(cat.labels.len(), 3);
+        assert_eq!(&*cat.labels[1], "item");
+        match cat.directory[1] {
+            RecordLoc::Overflow { first_page, len } => {
+                assert_eq!((first_page, len), (9, 20_000));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn truncated_catalog_rejected() {
+        let dir = vec![RecordLoc::InPage { page: 1, slot: 0 }];
+        let labels: Vec<Box<str>> = vec!["x".into()];
+        let bytes = encode_catalog(&dir, &labels);
+        for cut in [0, 3, bytes.len() - 1] {
+            assert!(decode_catalog(&bytes[..cut], 0).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_root_record_rejected() {
+        let bytes = encode_catalog(&[RecordLoc::InPage { page: 1, slot: 0 }], &[]);
+        assert!(decode_catalog(&bytes, 5).is_err());
+    }
+}

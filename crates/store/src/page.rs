@@ -1,0 +1,215 @@
+//! Slotted pages: the unit of disk I/O.
+//!
+//! Natix stores several physical records per disk page (paper Sec. 6.4:
+//! "the record manager … stores several records on a single disk page").
+//! A page is a classic slotted page: a header, a slot array growing
+//! forward, and record payloads growing backward from the page end.
+//!
+//! ```text
+//! +--------+--------+-----------+------------------->        <----------+
+//! | nslots | free   | slot 0..n |  free space        payload payload ...|
+//! +--------+--------+-----------+------------------->        <----------+
+//! ```
+
+/// Page size in bytes (8 KB; four 2 KB records fit comfortably).
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+/// Length marker for deleted slots.
+const DEAD: u16 = u16::MAX;
+
+/// Maximum payload a single page can hold (one slot + header overhead).
+pub const MAX_IN_PAGE: usize = PAGE_SIZE - HEADER - SLOT;
+
+/// A view over a page buffer with slotted-page operations.
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8; PAGE_SIZE],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing (already formatted) page.
+    pub fn new(buf: &'a mut [u8; PAGE_SIZE]) -> SlottedPage<'a> {
+        SlottedPage { buf }
+    }
+
+    /// Format a fresh page.
+    pub fn format(buf: &'a mut [u8; PAGE_SIZE]) -> SlottedPage<'a> {
+        buf[0..2].copy_from_slice(&0u16.to_le_bytes());
+        buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        // PAGE_SIZE == 8192 fits in u16 only as 0x2000; fine (< 0xFFFF).
+        SlottedPage { buf }
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    fn write_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (including dead ones).
+    pub fn slot_count(&self) -> u16 {
+        self.read_u16(0)
+    }
+
+    fn free_end(&self) -> usize {
+        self.read_u16(2) as usize
+    }
+
+    /// Contiguous free bytes available for a new insert (payload + slot).
+    pub fn free_space(&self) -> usize {
+        let used_head = HEADER + SLOT * self.slot_count() as usize;
+        self.free_end().saturating_sub(used_head)
+    }
+
+    /// True if `payload_len` bytes can be inserted.
+    pub fn fits(&self, payload_len: usize) -> bool {
+        self.free_space() >= payload_len + SLOT
+    }
+
+    /// Insert a record payload; returns the slot number or `None` if the
+    /// page is full.
+    pub fn insert(&mut self, payload: &[u8]) -> Option<u16> {
+        if !self.fits(payload.len()) {
+            return None;
+        }
+        let slot = self.slot_count();
+        let start = self.free_end() - payload.len();
+        self.buf[start..start + payload.len()].copy_from_slice(payload);
+        let slot_off = HEADER + SLOT * slot as usize;
+        self.write_u16(slot_off, start as u16);
+        self.write_u16(slot_off + 2, payload.len() as u16);
+        self.write_u16(0, slot + 1);
+        self.write_u16(2, start as u16);
+        Some(slot)
+    }
+
+    /// Read a record payload. Returns `None` for missing/dead slots and
+    /// for slot entries whose bounds do not fit the page (torn or
+    /// corrupted pages must not panic).
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let slot_off = HEADER + SLOT * slot as usize;
+        if slot_off + SLOT > PAGE_SIZE {
+            return None;
+        }
+        let len = self.read_u16(slot_off + 2);
+        if len == DEAD {
+            return None;
+        }
+        let start = self.read_u16(slot_off) as usize;
+        let end = start.checked_add(len as usize)?;
+        if end > PAGE_SIZE {
+            return None;
+        }
+        Some(&self.buf[start..end])
+    }
+
+    /// Tombstone a record (space is not compacted; bulkload never reuses
+    /// it, matching an append-only import).
+    pub fn delete(&mut self, slot: u16) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let slot_off = HEADER + SLOT * slot as usize;
+        if slot_off + SLOT > PAGE_SIZE {
+            return false;
+        }
+        if self.read_u16(slot_off + 2) == DEAD {
+            return false;
+        }
+        self.write_u16(slot_off + 2, DEAD);
+        true
+    }
+
+    /// Bytes in use (header + slots + live payloads); for occupancy stats.
+    pub fn used_bytes(&self) -> usize {
+        let mut used = HEADER + SLOT * self.slot_count() as usize;
+        for s in 0..self.slot_count() {
+            let slot_off = HEADER + SLOT * s as usize;
+            if slot_off + SLOT > PAGE_SIZE {
+                break;
+            }
+            let len = self.read_u16(slot_off + 2);
+            if len != DEAD {
+                used += len as usize;
+            }
+        }
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Box<[u8; PAGE_SIZE]> {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        SlottedPage::format(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_up() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let payload = vec![7u8; 2000];
+        let mut inserted = 0;
+        while p.insert(&payload).is_some() {
+            inserted += 1;
+        }
+        // 8192 / ~2004 -> 4 records per page.
+        assert_eq!(inserted, 4);
+        assert!(!p.fits(2000));
+        assert!(p.fits(100));
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let a = p.insert(b"abc").unwrap();
+        assert!(p.delete(a));
+        assert_eq!(p.get(a), None);
+        assert!(!p.delete(a));
+        // Slot ids are not reused.
+        let b = p.insert(b"def").unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn max_payload_fits() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        let payload = vec![1u8; MAX_IN_PAGE];
+        let s = p.insert(&payload).unwrap();
+        assert_eq!(p.get(s).unwrap().len(), MAX_IN_PAGE);
+        assert_eq!(p.free_space(), 0);
+    }
+
+    #[test]
+    fn used_bytes_accounting() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        assert_eq!(p.used_bytes(), HEADER);
+        let a = p.insert(&[0u8; 100]).unwrap();
+        assert_eq!(p.used_bytes(), HEADER + SLOT + 100);
+        p.delete(a);
+        assert_eq!(p.used_bytes(), HEADER + SLOT);
+    }
+}

@@ -1,0 +1,380 @@
+//! Page storage backends and the buffer pool.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::page::PAGE_SIZE;
+
+/// Page number within a store.
+pub type PageId = u32;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page id outside the allocated range.
+    BadPage(PageId),
+    /// A record reference that does not resolve.
+    BadRecord(u32),
+    /// Record bytes failed to decode.
+    Corrupt(&'static str),
+    /// An update was rejected (e.g. deleting the document root, or a
+    /// single node heavier than the record limit).
+    InvalidUpdate(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::BadPage(p) => write!(f, "page {p} out of range"),
+            StoreError::BadRecord(r) => write!(f, "record {r} not found"),
+            StoreError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            StoreError::InvalidUpdate(what) => write!(f, "invalid update: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Backend that persists fixed-size pages.
+pub trait Pager {
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+    /// Allocate a fresh zeroed page, returning its id.
+    fn allocate(&mut self) -> StoreResult<PageId>;
+    /// Read a page into `buf`.
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()>;
+    /// Write a page from `buf`.
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()>;
+}
+
+/// Heap-backed pager (the paper's experiments run with a buffer pool larger
+/// than the document, so an in-memory backend measures the same thing).
+#[derive(Default)]
+pub struct MemPager {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemPager {
+    /// Empty store.
+    pub fn new() -> MemPager {
+        MemPager::default()
+    }
+}
+
+impl Pager for MemPager {
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn allocate(&mut self) -> StoreResult<PageId> {
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        Ok((self.pages.len() - 1) as PageId)
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        let page = self.pages.get(id as usize).ok_or(StoreError::BadPage(id))?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        let page = self
+            .pages
+            .get_mut(id as usize)
+            .ok_or(StoreError::BadPage(id))?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// File-backed pager.
+pub struct FilePager {
+    file: File,
+    count: u32,
+}
+
+impl FilePager {
+    /// Create (truncate) a page file.
+    pub fn create(path: &Path) -> StoreResult<FilePager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePager { file, count: 0 })
+    }
+
+    /// Open an existing page file.
+    pub fn open(path: &Path) -> StoreResult<FilePager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FilePager {
+            file,
+            count: (len / PAGE_SIZE as u64) as u32,
+        })
+    }
+}
+
+impl Pager for FilePager {
+    fn page_count(&self) -> u32 {
+        self.count
+    }
+
+    fn allocate(&mut self) -> StoreResult<PageId> {
+        let id = self.count;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        self.count += 1;
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        if id >= self.count {
+            return Err(StoreError::BadPage(id));
+        }
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(&mut buf[..])?;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        if id >= self.count {
+            return Err(StoreError::BadPage(id));
+        }
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(&buf[..])?;
+        Ok(())
+    }
+}
+
+/// Buffer-pool counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BufferStats {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that went to the backend.
+    pub misses: u64,
+    /// Dirty pages written back on eviction or flush.
+    pub writebacks: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+}
+
+struct Frame {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A fixed-capacity buffer pool with CLOCK eviction over any [`Pager`].
+pub struct BufferPool {
+    backend: Box<dyn Pager>,
+    frames: HashMap<PageId, Frame>,
+    clock: Vec<PageId>,
+    hand: usize,
+    capacity: usize,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Pool over `backend` holding at most `capacity` pages.
+    pub fn new(backend: Box<dyn Pager>, capacity: usize) -> BufferPool {
+        BufferPool {
+            backend,
+            frames: HashMap::with_capacity(capacity),
+            clock: Vec::with_capacity(capacity),
+            hand: 0,
+            capacity: capacity.max(1),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Pages allocated in the backend.
+    pub fn page_count(&self) -> u32 {
+        self.backend.page_count()
+    }
+
+    /// Allocate a fresh page (pinned into the pool as dirty).
+    pub fn allocate(&mut self) -> StoreResult<PageId> {
+        let id = self.backend.allocate()?;
+        self.admit(
+            id,
+            Frame {
+                data: Box::new([0u8; PAGE_SIZE]),
+                dirty: true,
+                referenced: true,
+            },
+        )?;
+        Ok(id)
+    }
+
+    /// Run `f` over the page image; `dirty` marks it for writeback.
+    pub fn with_page<T>(
+        &mut self,
+        id: PageId,
+        dirty: bool,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> T,
+    ) -> StoreResult<T> {
+        if !self.frames.contains_key(&id) {
+            self.stats.misses += 1;
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            self.backend.read(id, &mut data)?;
+            self.admit(
+                id,
+                Frame {
+                    data,
+                    dirty: false,
+                    referenced: true,
+                },
+            )?;
+        } else {
+            self.stats.hits += 1;
+        }
+        let frame = self.frames.get_mut(&id).expect("just admitted");
+        frame.referenced = true;
+        frame.dirty |= dirty;
+        Ok(f(&mut frame.data))
+    }
+
+    fn admit(&mut self, id: PageId, frame: Frame) -> StoreResult<()> {
+        while self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.frames.insert(id, frame);
+        self.clock.push(id);
+        Ok(())
+    }
+
+    fn evict_one(&mut self) -> StoreResult<()> {
+        loop {
+            if self.clock.is_empty() {
+                return Ok(());
+            }
+            self.hand %= self.clock.len();
+            let id = self.clock[self.hand];
+            match self.frames.get_mut(&id) {
+                None => {
+                    // Stale clock entry.
+                    self.clock.swap_remove(self.hand);
+                }
+                Some(f) if f.referenced => {
+                    f.referenced = false;
+                    self.hand += 1;
+                }
+                Some(_) => {
+                    let f = self.frames.remove(&id).expect("checked");
+                    if f.dirty {
+                        self.backend.write(id, &f.data)?;
+                        self.stats.writebacks += 1;
+                    }
+                    self.stats.evictions += 1;
+                    self.clock.swap_remove(self.hand);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Write back all dirty pages.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        for (&id, frame) in &mut self.frames {
+            if frame.dirty {
+                self.backend.write(id, &frame.data)?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_pager_roundtrip() {
+        let mut p = MemPager::new();
+        let a = p.allocate().unwrap();
+        let mut buf = [7u8; PAGE_SIZE];
+        p.write(a, &buf).unwrap();
+        buf = [0u8; PAGE_SIZE];
+        p.read(a, &mut buf).unwrap();
+        assert_eq!(buf[100], 7);
+        assert!(p.read(99, &mut buf).is_err());
+    }
+
+    #[test]
+    fn file_pager_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("natix-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        {
+            let mut p = FilePager::create(&path).unwrap();
+            let a = p.allocate().unwrap();
+            let b = p.allocate().unwrap();
+            p.write(a, &[1u8; PAGE_SIZE]).unwrap();
+            p.write(b, &[2u8; PAGE_SIZE]).unwrap();
+        }
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            assert_eq!(p.page_count(), 2);
+            let mut buf = [0u8; PAGE_SIZE];
+            p.read(1, &mut buf).unwrap();
+            assert_eq!(buf[0], 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn buffer_pool_hits_and_misses() {
+        let mut pool = BufferPool::new(Box::new(MemPager::new()), 2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        pool.with_page(a, true, |p| p[0] = 42).unwrap();
+        assert_eq!(pool.stats().misses, 0);
+        let v = pool.with_page(a, false, |p| p[0]).unwrap();
+        assert_eq!(v, 42);
+        assert!(pool.stats().hits >= 1);
+        // Evict by touching a third page.
+        let c = pool.allocate().unwrap();
+        pool.with_page(c, true, |p| p[0] = 1).unwrap();
+        assert!(pool.stats().evictions >= 1);
+        // Dirty page must survive eviction.
+        let v = pool.with_page(a, false, |p| p[0]).unwrap();
+        assert_eq!(v, 42);
+        let _ = b;
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages() {
+        let mut pool = BufferPool::new(Box::new(MemPager::new()), 4);
+        let a = pool.allocate().unwrap();
+        pool.with_page(a, true, |p| p[7] = 9).unwrap();
+        pool.flush().unwrap();
+        assert!(pool.stats().writebacks >= 1);
+    }
+}

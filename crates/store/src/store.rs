@@ -1,0 +1,802 @@
+//! The XML store: partitioner-driven bulkload, record directory, and
+//! navigation primitives that cross record boundaries through proxies.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use natix_tree::{NodeId, Partitioning};
+use natix_xml::{Document, DocumentBuilder, NodeKind};
+
+use crate::catalog::{self, Header, RecordLoc};
+use crate::page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
+use crate::pager::{BufferPool, BufferStats, PageId, Pager, StoreError, StoreResult};
+use crate::record::{self, ChildEntry, ImageNode, RecNode, RecordData, RecordImage, NONE_U16, NONE_U32};
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Buffer pool capacity in pages. The paper's query experiment uses "a
+    /// buffer pool that is larger than the document", so the default is
+    /// generous (8192 pages = 64 MB).
+    pub buffer_pages: usize,
+    /// Capacity of the decoded-record cache. Small by design: navigation
+    /// that leaves this working set pays the decode cost again, which is
+    /// exactly the intra- vs. inter-record asymmetry the partitioning
+    /// algorithms optimize for.
+    pub record_cache: usize,
+    /// Record weight limit `K` in slots, enforced when the update path
+    /// grows a record (the bulkload partitioning carries its own limit).
+    pub record_limit_slots: natix_tree::Weight,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            buffer_pages: 8192,
+            record_cache: 16,
+            record_limit_slots: 256,
+        }
+    }
+}
+
+/// Reference to a stored node: record number plus local node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    /// Record number (index into the record directory).
+    pub record: u32,
+    /// Local node index within the record.
+    pub node: u16,
+}
+
+/// Navigation counters: the observable cost model of the paper — crossing
+/// storage units is expensive, staying inside one is cheap.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NavStats {
+    /// Record fetches that switched away from the previously used record.
+    pub record_switches: u64,
+    /// Fetches served by the decoded-record cache.
+    pub record_cache_hits: u64,
+    /// Fetches that had to read pages and decode the record.
+    pub record_decodes: u64,
+}
+
+pub(crate) struct RecordCache {
+    map: HashMap<u32, Rc<RecordData>>,
+    order: VecDeque<u32>,
+    cap: usize,
+}
+
+impl RecordCache {
+    pub(crate) fn new(cap: usize) -> RecordCache {
+        RecordCache {
+            map: HashMap::with_capacity(cap),
+            order: VecDeque::with_capacity(cap),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, no: u32) -> Option<Rc<RecordData>> {
+        self.map.get(&no).cloned()
+    }
+
+    pub(crate) fn remove(&mut self, no: u32) {
+        self.map.remove(&no);
+        // The stale id stays in `order` and is skipped at eviction time.
+    }
+
+    fn insert(&mut self, no: u32, rec: Rc<RecordData>) {
+        while self.map.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+        if self.map.insert(no, rec).is_none() {
+            self.order.push_back(no);
+        }
+    }
+}
+
+/// A bulkloaded XML store.
+pub struct XmlStore {
+    pub(crate) pool: BufferPool,
+    pub(crate) directory: Vec<RecordLoc>,
+    pub(crate) labels: Vec<Box<str>>,
+    pub(crate) label_ids: HashMap<Box<str>, u16>,
+    pub(crate) root_record: u32,
+    pub(crate) cache: RecordCache,
+    pub(crate) nav: NavStats,
+    pub(crate) last_fetched: u32,
+    /// Record weight limit `K` in slots, enforced by the update path.
+    pub(crate) record_limit: natix_tree::Weight,
+    /// Page with known free space, used by the update path's placement.
+    pub(crate) open_page: Option<PageId>,
+    /// The last fetched record, pinned: repeated access to the current
+    /// record is a branch and an `Rc` clone — the cheap intra-record
+    /// navigation the paper's cost model assumes.
+    pub(crate) hot: Option<Rc<RecordData>>,
+}
+
+impl XmlStore {
+    /// Load `doc`, decomposed by `partitioning`, into a store over
+    /// `backend`.
+    ///
+    /// The partitioning must be feasible for the document's tree (use
+    /// [`natix_tree::validate`]); each partition becomes one record.
+    pub fn bulkload(
+        doc: &Document,
+        partitioning: &Partitioning,
+        backend: Box<dyn Pager>,
+        config: StoreConfig,
+    ) -> StoreResult<XmlStore> {
+        let tree = doc.tree();
+        let n = tree.len();
+        let intervals = &partitioning.intervals;
+        let p_count = intervals.len();
+        assert!(p_count < NONE_U32 as usize, "too many partitions");
+
+        // Which interval (= record) owns each cut node; NONE for nodes that
+        // stay with an ancestor.
+        let mut owner = vec![NONE_U32; n];
+        for (i, iv) in intervals.iter().enumerate() {
+            for x in iv.nodes(tree) {
+                owner[x.index()] = i as u32;
+            }
+        }
+        assert_ne!(
+            owner[tree.root().index()],
+            NONE_U32,
+            "partitioning must contain the root interval"
+        );
+        // Record (= partition) every node belongs to.
+        let mut assign = vec![NONE_U32; n];
+        for v in tree.node_ids() {
+            assign[v.index()] = if owner[v.index()] != NONE_U32 {
+                owner[v.index()]
+            } else {
+                assign[tree.parent(v).expect("non-root").index()]
+            };
+        }
+
+        // Local (per-record) preorder numbering.
+        let mut local_idx = vec![NONE_U16; n];
+        let mut locals: Vec<Vec<NodeId>> = vec![Vec::new(); p_count];
+        for (i, iv) in intervals.iter().enumerate() {
+            let list = &mut locals[i];
+            for root in iv.nodes(tree) {
+                // DFS over the fragment, skipping cut children.
+                let mut stack = vec![root];
+                while let Some(v) = stack.pop() {
+                    local_idx[v.index()] = u16::try_from(list.len())
+                        .expect("fragment larger than u16::MAX nodes");
+                    list.push(v);
+                    for &c in tree.children(v).iter().rev() {
+                        if owner[c.index()] == NONE_U32 {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Build record images and discover proxy positions.
+        let mut labels: Vec<Box<str>> = Vec::new();
+        let mut label_ids: HashMap<Box<str>, u16> = HashMap::new();
+        let mut label_of = |name: &str| -> u16 {
+            if let Some(&id) = label_ids.get(name) {
+                return id;
+            }
+            let id = u16::try_from(labels.len()).expect("more than u16::MAX labels");
+            labels.push(name.into());
+            label_ids.insert(name.into(), id);
+            id
+        };
+
+        let mut records: Vec<RecordImage> = Vec::with_capacity(p_count);
+        // (parent_record, parent_local, proxy_pos) per record.
+        let mut proxy_info = vec![(NONE_U32, NONE_U16, NONE_U16); p_count];
+
+        for (i, list) in locals.iter().enumerate() {
+            let mut nodes: Vec<ImageNode> = list
+                .iter()
+                .map(|&v| ImageNode {
+                    kind: doc.kind(v),
+                    label: label_of(doc.name(v)),
+                    parent_local: NONE_U16,
+                    entry_pos: NONE_U16,
+                    content: doc.content(v).map(Into::into),
+                    entries: Vec::new(),
+                })
+                .collect();
+
+            for (li, &v) in list.iter().enumerate() {
+                let children = tree.children(v);
+                if children.is_empty() {
+                    continue;
+                }
+                let mut entries = Vec::with_capacity(children.len());
+                let mut last_proxy = NONE_U32;
+                for &c in children {
+                    let o = owner[c.index()];
+                    if o == NONE_U32 {
+                        let cl = local_idx[c.index()];
+                        nodes[cl as usize].parent_local = li as u16;
+                        nodes[cl as usize].entry_pos = entries.len() as u16;
+                        entries.push(ChildEntry::Local(cl));
+                        last_proxy = NONE_U32;
+                    } else if o != last_proxy {
+                        // First member of a cut interval: one proxy per
+                        // interval run.
+                        proxy_info[o as usize] =
+                            (i as u32, li as u16, entries.len() as u16);
+                        entries.push(ChildEntry::Proxy(o));
+                        last_proxy = o;
+                    }
+                }
+                nodes[li].entries = entries;
+            }
+
+            let roots = intervals[i]
+                .nodes(tree)
+                .map(|v| local_idx[v.index()])
+                .collect();
+            records.push(RecordImage {
+                parent_record: NONE_U32,
+                parent_local: NONE_U16,
+                proxy_pos: NONE_U16,
+                roots,
+                nodes,
+            });
+        }
+        for (i, rec) in records.iter_mut().enumerate() {
+            let (pr, pl, pp) = proxy_info[i];
+            rec.parent_record = pr;
+            rec.parent_local = pl;
+            rec.proxy_pos = pp;
+        }
+
+        // Place the encoded records onto pages: first fit over a small set
+        // of open pages, like a record manager that keeps a free-space
+        // inventory. Fragmentation is real and reported (paper Sec. 6.4).
+        let mut pool = BufferPool::new(backend, config.buffer_pages);
+        // Page 0 is the header page; the catalog goes after the data pages
+        // so the store can be reopened from its page file alone.
+        let header_page = pool.allocate()?;
+        debug_assert_eq!(header_page, 0);
+        let mut directory = Vec::with_capacity(p_count);
+        // (page, free bytes)
+        let mut open_pages: Vec<(PageId, usize)> = Vec::new();
+        const OPEN_LIMIT: usize = 8;
+
+        for rec in &records {
+            let bytes = record::encode(rec);
+            if bytes.len() > MAX_IN_PAGE {
+                // Overflow chain of dedicated pages.
+                let pages_needed = bytes.len().div_ceil(PAGE_SIZE);
+                let mut first_page = 0;
+                for (pi, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+                    let page = pool.allocate()?;
+                    if pi == 0 {
+                        first_page = page;
+                    }
+                    pool.with_page(page, true, |buf| {
+                        buf[..chunk.len()].copy_from_slice(chunk);
+                    })?;
+                }
+                debug_assert!(pages_needed >= 1);
+                directory.push(RecordLoc::Overflow {
+                    first_page,
+                    len: bytes.len() as u32,
+                });
+                continue;
+            }
+            let need = bytes.len() + 4; // payload + slot
+            let slot_page = open_pages.iter().position(|&(_, free)| free >= need);
+            let (page, pos) = match slot_page {
+                Some(pos) => (open_pages[pos].0, pos),
+                None => {
+                    if open_pages.len() >= OPEN_LIMIT {
+                        // Close the fullest page before opening a new one.
+                        let min = open_pages
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(_, free))| free)
+                            .map(|(i, _)| i)
+                            .expect("non-empty");
+                        open_pages.swap_remove(min);
+                    }
+                    let page = pool.allocate()?;
+                    pool.with_page(page, true, |buf| {
+                        SlottedPage::format(buf);
+                    })?;
+                    open_pages.push((page, PAGE_SIZE - 4));
+                    (page, open_pages.len() - 1)
+                }
+            };
+            let (slot, free) = pool.with_page(page, true, |buf| {
+                let mut sp = SlottedPage::new(buf);
+                let slot = sp.insert(&bytes).expect("fit was checked");
+                (slot, sp.free_space())
+            })?;
+            open_pages[pos].1 = free;
+            directory.push(RecordLoc::InPage { page, slot });
+        }
+        // Persist the catalog: directory + label table across dedicated
+        // pages, located from the header page.
+        let catalog_bytes = catalog::encode_catalog(&directory, &labels);
+        let catalog_first_page = pool.page_count();
+        for chunk in catalog_bytes.chunks(PAGE_SIZE) {
+            let page = pool.allocate()?;
+            pool.with_page(page, true, |buf| {
+                buf[..chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        let root_record = owner[tree.root().index()];
+        let header = catalog::encode_header(&Header {
+            root_record,
+            catalog_first_page,
+            catalog_len: catalog_bytes.len() as u64,
+            record_limit: config.record_limit_slots,
+        });
+        pool.with_page(header_page, true, |buf| buf.copy_from_slice(&header))?;
+        pool.flush()?;
+
+        Ok(XmlStore {
+            pool,
+            directory,
+            labels,
+            label_ids,
+            root_record,
+            cache: RecordCache::new(config.record_cache),
+            nav: NavStats::default(),
+            last_fetched: NONE_U32,
+            record_limit: config.record_limit_slots,
+            open_page: None,
+            hot: None,
+        })
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_record_count(&self) -> usize {
+        self.directory
+            .iter()
+            .filter(|l| !matches!(l, RecordLoc::Free))
+            .count()
+    }
+
+    /// Re-persist the catalog and header after updates, then flush all
+    /// dirty pages. Previous catalog pages are orphaned (append-only).
+    pub fn persist(&mut self) -> StoreResult<()> {
+        let catalog_bytes = catalog::encode_catalog(&self.directory, &self.labels);
+        let catalog_first_page = self.pool.page_count();
+        for chunk in catalog_bytes.chunks(PAGE_SIZE) {
+            let page = self.pool.allocate()?;
+            self.pool.with_page(page, true, |buf| {
+                buf[..chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        let header = catalog::encode_header(&Header {
+            root_record: self.root_record,
+            catalog_first_page,
+            catalog_len: catalog_bytes.len() as u64,
+            record_limit: self.record_limit,
+        });
+        self.pool.with_page(0, true, |buf| buf.copy_from_slice(&header))?;
+        self.pool.flush()
+    }
+
+    /// Reopen a previously bulkloaded store from its page file.
+    pub fn open(backend: Box<dyn Pager>, config: StoreConfig) -> StoreResult<XmlStore> {
+        let mut pool = BufferPool::new(backend, config.buffer_pages);
+        let header = pool.with_page(0, false, |buf| catalog::decode_header(buf))??;
+        let mut catalog_bytes = Vec::with_capacity(header.catalog_len as usize);
+        let mut remaining = header.catalog_len as usize;
+        let mut page = header.catalog_first_page;
+        while remaining > 0 {
+            let take = remaining.min(PAGE_SIZE);
+            pool.with_page(page, false, |buf| {
+                catalog_bytes.extend_from_slice(&buf[..take]);
+            })?;
+            remaining -= take;
+            page += 1;
+        }
+        let cat = catalog::decode_catalog(&catalog_bytes, header.root_record)?;
+        let mut label_ids = HashMap::with_capacity(cat.labels.len());
+        for (i, l) in cat.labels.iter().enumerate() {
+            label_ids.insert(l.clone(), i as u16);
+        }
+        Ok(XmlStore {
+            pool,
+            directory: cat.directory,
+            labels: cat.labels,
+            label_ids,
+            root_record: cat.root_record,
+            cache: RecordCache::new(config.record_cache),
+            nav: NavStats::default(),
+            last_fetched: NONE_U32,
+            record_limit: header.record_limit,
+            open_page: None,
+            hot: None,
+        })
+    }
+
+    /// Fetch (and decode if necessary) a record.
+    pub(crate) fn fetch(&mut self, no: u32) -> StoreResult<Rc<RecordData>> {
+        if no == self.last_fetched {
+            if let Some(rec) = &self.hot {
+                return Ok(rec.clone());
+            }
+        }
+        self.nav.record_switches += 1;
+        self.last_fetched = no;
+        if let Some(rec) = self.cache.get(no) {
+            self.nav.record_cache_hits += 1;
+            self.hot = Some(rec.clone());
+            return Ok(rec);
+        }
+        self.nav.record_decodes += 1;
+        let loc = *self
+            .directory
+            .get(no as usize)
+            .ok_or(StoreError::BadRecord(no))?;
+        let bytes = match loc {
+            RecordLoc::InPage { page, slot } => self.pool.with_page(page, false, |buf| {
+                SlottedPage::new(buf).get(slot).map(<[u8]>::to_vec)
+            })?,
+            RecordLoc::Overflow { first_page, len } => {
+                let mut bytes = Vec::with_capacity(len as usize);
+                let mut remaining = len as usize;
+                let mut page = first_page;
+                while remaining > 0 {
+                    let take = remaining.min(PAGE_SIZE);
+                    self.pool.with_page(page, false, |buf| {
+                        bytes.extend_from_slice(&buf[..take]);
+                    })?;
+                    remaining -= take;
+                    page += 1;
+                }
+                Some(bytes)
+            }
+            RecordLoc::Free => None,
+        };
+        let bytes = bytes.ok_or(StoreError::BadRecord(no))?;
+        let rec = record::decode(bytes)?;
+        // Label ids must resolve in this store's label table.
+        for n in &rec.nodes {
+            if n.label as usize >= self.labels.len() {
+                return Err(StoreError::Corrupt("label id out of range"));
+            }
+        }
+        let rec = Rc::new(rec);
+        self.cache.insert(no, rec.clone());
+        self.hot = Some(rec.clone());
+        Ok(rec)
+    }
+
+    /// The document root.
+    pub fn root(&mut self) -> StoreResult<NodeRef> {
+        let rec = self.fetch(self.root_record)?;
+        Ok(NodeRef {
+            record: self.root_record,
+            node: rec.roots[0],
+        })
+    }
+
+    /// Run `f` on the decoded node.
+    pub fn with_node<T>(
+        &mut self,
+        r: NodeRef,
+        f: impl FnOnce(&RecNode) -> T,
+    ) -> StoreResult<T> {
+        let rec = self.fetch(r.record)?;
+        let node = rec
+            .nodes
+            .get(r.node as usize)
+            .ok_or(StoreError::BadRecord(r.record))?;
+        Ok(f(node))
+    }
+
+    /// Run `f` on the decoded record and node together (needed to access
+    /// content and child entries, which live in per-record arenas).
+    pub fn with_node_in<T>(
+        &mut self,
+        r: NodeRef,
+        f: impl FnOnce(&RecordData, &RecNode) -> T,
+    ) -> StoreResult<T> {
+        let rec = self.fetch(r.record)?;
+        let node = rec
+            .nodes
+            .get(r.node as usize)
+            .ok_or(StoreError::BadRecord(r.record))?;
+        Ok(f(&rec, node))
+    }
+
+    /// Node kind.
+    pub fn node_kind(&mut self, r: NodeRef) -> StoreResult<NodeKind> {
+        self.with_node(r, |n| n.kind)
+    }
+
+    /// Node label id (see [`XmlStore::label_name`]).
+    pub fn node_label(&mut self, r: NodeRef) -> StoreResult<u16> {
+        self.with_node(r, |n| n.label)
+    }
+
+    /// Node content (owned copy).
+    pub fn node_content(&mut self, r: NodeRef) -> StoreResult<Option<String>> {
+        self.with_node_in(r, |rec, n| rec.content(n).map(str::to_string))
+    }
+
+    /// Resolve a label id to its name.
+    pub fn label_name(&self, id: u16) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Resolve a name to its label id, if the store contains it.
+    pub fn label_id(&self, name: &str) -> Option<u16> {
+        self.label_ids.get(name).copied()
+    }
+
+    /// Visit all children of `r` in document order, delivering kind and
+    /// label along with the handle.
+    ///
+    /// This is the bulk primitive behind the child and descendant axes:
+    /// local children cost nothing beyond the already-pinned record, and
+    /// each cut child *interval* (proxy) costs exactly one record fetch —
+    /// the asymmetry that makes sibling partitioning pay off.
+    pub fn for_each_child(
+        &mut self,
+        r: NodeRef,
+        mut f: impl FnMut(NodeRef, NodeKind, u16),
+    ) -> StoreResult<()> {
+        let rec = self.fetch(r.record)?;
+        let node = rec
+            .nodes
+            .get(r.node as usize)
+            .ok_or(StoreError::BadRecord(r.record))?;
+        for entry in rec.entries(node) {
+            match *entry {
+                ChildEntry::Local(i) => {
+                    let cn = &rec.nodes[i as usize];
+                    f(
+                        NodeRef {
+                            record: r.record,
+                            node: i,
+                        },
+                        cn.kind,
+                        cn.label,
+                    );
+                }
+                ChildEntry::Proxy(no) => {
+                    let prec = self.fetch(no)?;
+                    for &root in &prec.roots {
+                        let cn = &prec.nodes[root as usize];
+                        f(
+                            NodeRef {
+                                record: no,
+                                node: root,
+                            },
+                            cn.kind,
+                            cn.label,
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// First child in document order (elements only; attributes are
+    /// children in the model and are *not* skipped here — axis semantics
+    /// belong to the query layer).
+    pub fn first_child(&mut self, r: NodeRef) -> StoreResult<Option<NodeRef>> {
+        let rec = self.fetch(r.record)?;
+        let node = &rec.nodes[r.node as usize];
+        match rec.entries(node).first() {
+            None => Ok(None),
+            Some(&ChildEntry::Local(i)) => Ok(Some(NodeRef {
+                record: r.record,
+                node: i,
+            })),
+            Some(&ChildEntry::Proxy(no)) => self.first_root(no).map(Some),
+        }
+    }
+
+    /// Parent node; `None` at the document root.
+    pub fn parent(&mut self, r: NodeRef) -> StoreResult<Option<NodeRef>> {
+        let rec = self.fetch(r.record)?;
+        let node = &rec.nodes[r.node as usize];
+        if node.parent_local != NONE_U16 {
+            return Ok(Some(NodeRef {
+                record: r.record,
+                node: node.parent_local,
+            }));
+        }
+        if rec.parent_record == NONE_U32 {
+            return Ok(None);
+        }
+        Ok(Some(NodeRef {
+            record: rec.parent_record,
+            node: rec.parent_local,
+        }))
+    }
+
+    /// Next sibling in document order.
+    pub fn next_sibling(&mut self, r: NodeRef) -> StoreResult<Option<NodeRef>> {
+        self.sibling(r, 1)
+    }
+
+    /// Previous sibling in document order.
+    pub fn prev_sibling(&mut self, r: NodeRef) -> StoreResult<Option<NodeRef>> {
+        self.sibling(r, -1)
+    }
+
+    fn sibling(&mut self, r: NodeRef, dir: isize) -> StoreResult<Option<NodeRef>> {
+        let rec = self.fetch(r.record)?;
+        let node = &rec.nodes[r.node as usize];
+        if node.parent_local != NONE_U16 {
+            // Parent is local: step through its entry list.
+            let parent = &rec.nodes[node.parent_local as usize];
+            let pos = node.entry_pos as isize + dir;
+            return self.entry_neighbor(r.record, rec.entries(parent), pos, dir);
+        }
+        // Fragment root: try the neighboring root in this record.
+        let pos = rec
+            .root_pos(r.node)
+            .ok_or(StoreError::Corrupt("fragment root not in root list"))? as isize;
+        let next = pos + dir;
+        if next >= 0 && (next as usize) < rec.roots.len() {
+            return Ok(Some(NodeRef {
+                record: r.record,
+                node: rec.roots[next as usize],
+            }));
+        }
+        // Cross into the parent record, stepping over our proxy entry.
+        if rec.parent_record == NONE_U32 {
+            return Ok(None);
+        }
+        let parent_rec = self.fetch(rec.parent_record)?;
+        let parent = &parent_rec.nodes[rec.parent_local as usize];
+        let pos = rec.proxy_pos as isize + dir;
+        self.entry_neighbor(rec.parent_record, parent_rec.entries(parent), pos, dir)
+    }
+
+    /// Resolve the child entry at `pos` of `parent` (which lives in record
+    /// `record_no`) into a node reference. A proxy is entered at its first
+    /// fragment root when stepping forward (`dir > 0`) and at its last
+    /// when stepping backward.
+    fn entry_neighbor(
+        &mut self,
+        record_no: u32,
+        entries: &[ChildEntry],
+        pos: isize,
+        dir: isize,
+    ) -> StoreResult<Option<NodeRef>> {
+        if pos < 0 || pos as usize >= entries.len() {
+            return Ok(None);
+        }
+        match entries[pos as usize] {
+            ChildEntry::Local(i) => Ok(Some(NodeRef {
+                record: record_no,
+                node: i,
+            })),
+            ChildEntry::Proxy(no) => {
+                if dir > 0 {
+                    self.first_root(no).map(Some)
+                } else {
+                    self.last_root(no).map(Some)
+                }
+            }
+        }
+    }
+
+    fn first_root(&mut self, no: u32) -> StoreResult<NodeRef> {
+        let rec = self.fetch(no)?;
+        Ok(NodeRef {
+            record: no,
+            node: rec.roots[0],
+        })
+    }
+
+    fn last_root(&mut self, no: u32) -> StoreResult<NodeRef> {
+        let rec = self.fetch(no)?;
+        Ok(NodeRef {
+            record: no,
+            node: *rec.roots.last().expect("records have roots"),
+        })
+    }
+
+    /// Navigation counters.
+    pub fn nav_stats(&self) -> NavStats {
+        self.nav
+    }
+
+    /// Reset navigation counters (e.g. between measured queries).
+    pub fn reset_nav_stats(&mut self) {
+        self.nav = NavStats::default();
+        self.last_fetched = NONE_U32;
+        self.hot = None;
+    }
+
+    /// Buffer pool counters.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Number of records (= partitions).
+    pub fn record_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Total allocated pages.
+    pub fn page_count(&self) -> u32 {
+        self.pool.page_count()
+    }
+
+    /// Occupied disk space in bytes (allocated pages × page size), the
+    /// metric of Table 3's first row.
+    pub fn occupied_bytes(&self) -> u64 {
+        self.page_count() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Rebuild the document by pure cursor navigation — used by round-trip
+    /// tests to prove the store preserves content and order.
+    pub fn to_document(&mut self) -> StoreResult<Document> {
+        let root = self.root()?;
+        let (kind, label, content) =
+            self.with_node_in(root, |rec, n| (n.kind, n.label, rec.content(n).map(str::to_string)))?;
+        assert_eq!(kind, NodeKind::Element, "document root must be an element");
+        let _ = content;
+        let root_name = self.label_name(label).to_string();
+        let mut b = DocumentBuilder::new(&root_name);
+        let mut stack: Vec<(NodeRef, natix_xml::NodeId)> = vec![(root, natix_xml::NodeId::ROOT)];
+        while let Some((r, target)) = stack.pop() {
+            // Add all children in document order; element children are
+            // queued for their own expansion (queue order is irrelevant —
+            // sibling order is fixed by the insertion order under each
+            // parent).
+            let mut c = self.first_child(r)?;
+            while let Some(cr) = c {
+                let (kind, label, content) = self.with_node_in(cr, |rec, n| {
+                    (n.kind, n.label, rec.content(n).map(str::to_string))
+                })?;
+                let name = self.label_name(label).to_string();
+                let content = content.unwrap_or_default();
+                match kind {
+                    NodeKind::Element => {
+                        let id = b.element(target, &name);
+                        stack.push((cr, id));
+                    }
+                    NodeKind::Attribute => {
+                        b.attribute(target, &name, &content);
+                    }
+                    NodeKind::Text => {
+                        b.text(target, &content);
+                    }
+                    NodeKind::Comment => {
+                        b.comment(target, &content);
+                    }
+                    NodeKind::ProcessingInstruction => {
+                        b.processing_instruction(target, &name, &content);
+                    }
+                }
+                c = self.next_sibling(cr)?;
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+/// Convenience: bulkload using any partitioning algorithm.
+pub fn bulkload_with(
+    doc: &Document,
+    partitioner: &dyn natix_core::Partitioner,
+    k: natix_tree::Weight,
+    backend: Box<dyn Pager>,
+    config: StoreConfig,
+) -> StoreResult<XmlStore> {
+    let partitioning = partitioner
+        .partition(doc.tree(), k)
+        .unwrap_or_else(|e| panic!("partitioner {} failed: {e}", partitioner.name()));
+    XmlStore::bulkload(doc, &partitioning, backend, config)
+}

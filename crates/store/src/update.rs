@@ -1,0 +1,827 @@
+//! Incremental maintenance: node-at-a-time insertion and subtree deletion
+//! with record splitting.
+//!
+//! This is the counterpart of the bulkload path: Natix maintains its
+//! clustered storage format under updates with a node-at-a-time algorithm
+//! (Kanne & Moerkotte, ICDE 2000, cited as [9] by the VLDB'06 paper).
+//! The essential move is the same here: an insertion grows a record's
+//! fragment; when the fragment exceeds the weight limit `K`, the record is
+//! **split** by evicting a subtree (KM-style, heaviest first, descending
+//! until the candidate fits) into a fresh record behind a proxy — or, when
+//! the fragment is only interval roots, by splitting the sibling interval
+//! itself into two records.
+//!
+//! Updates rewrite whole records (they are ≤ K slots, i.e. small) and fix
+//! the back-links of every child record whose parent moved. **Structural
+//! updates invalidate outstanding [`NodeRef`]s into the touched records**;
+//! the return values carry the fresh locations.
+
+use natix_tree::Weight;
+use natix_xml::{node_weight, NodeKind};
+
+use crate::catalog::RecordLoc;
+use crate::page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
+use crate::pager::{StoreError, StoreResult};
+use crate::record::{self, ChildEntry, ImageNode, RecordImage, NONE_U16, NONE_U32};
+use crate::store::{NodeRef, XmlStore};
+
+/// Where to place a newly inserted node.
+enum InsertPos {
+    /// As the last child entry of a local element.
+    LastChildOf(u16),
+    /// Immediately before a local, non-root node.
+    BeforeLocal(u16),
+    /// As a new fragment root at this position of the roots list.
+    BeforeRoot(usize),
+}
+
+impl XmlStore {
+    /// Append a new childless node as the last child of `parent` (which
+    /// must be an element).
+    ///
+    /// Returns the new node's location. May split the containing record;
+    /// any previously obtained [`NodeRef`] into the touched records is
+    /// invalidated.
+    pub fn append_child(
+        &mut self,
+        parent: NodeRef,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) -> StoreResult<NodeRef> {
+        let rec = self.fetch(parent.record)?;
+        let pk = rec.nodes[parent.node as usize].kind;
+        if pk != NodeKind::Element {
+            return Err(StoreError::InvalidUpdate("parent must be an element"));
+        }
+        drop(rec);
+        self.insert_impl(
+            parent.record,
+            InsertPos::LastChildOf(parent.node),
+            kind,
+            name,
+            content,
+        )
+    }
+
+    /// Insert a new childless node immediately before `sibling` (which
+    /// must not be the document root).
+    pub fn insert_before(
+        &mut self,
+        sibling: NodeRef,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) -> StoreResult<NodeRef> {
+        let rec = self.fetch(sibling.record)?;
+        let node = &rec.nodes[sibling.node as usize];
+        let pos = if node.parent_local != NONE_U16 {
+            InsertPos::BeforeLocal(sibling.node)
+        } else if rec.parent_record == NONE_U32 {
+            return Err(StoreError::InvalidUpdate(
+                "the document root has no siblings",
+            ));
+        } else {
+            let rp = rec
+                .root_pos(sibling.node)
+                .ok_or(StoreError::Corrupt("fragment root not in root list"))?;
+            InsertPos::BeforeRoot(rp)
+        };
+        drop(rec);
+        self.insert_impl(sibling.record, pos, kind, name, content)
+    }
+
+    /// Delete the subtree rooted at `node` (all its descendants and their
+    /// records included). The document root cannot be deleted.
+    pub fn delete_subtree(&mut self, node: NodeRef) -> StoreResult<()> {
+        let rec = self.fetch(node.record)?;
+        if rec.parent_record == NONE_U32 && rec.root_pos(node.node).is_some() {
+            return Err(StoreError::InvalidUpdate("cannot delete the document root"));
+        }
+        drop(rec);
+
+        let mut img = self.fetch(node.record)?.to_image();
+        let is_root = img.roots.contains(&node.node);
+
+        if is_root && img.roots.len() == 1 {
+            // The whole record goes away: unhook our proxy from the parent
+            // record, then free this record and every descendant record.
+            let (parent_record, parent_local, proxy_pos) =
+                (img.parent_record, img.parent_local, img.proxy_pos);
+            let mut parent_img = self.fetch(parent_record)?.to_image();
+            parent_img.nodes[parent_local as usize]
+                .entries
+                .remove(proxy_pos as usize);
+            sync_entry_positions(&mut parent_img, parent_local as usize);
+            self.write_record(parent_record, &parent_img)?;
+            self.resync_child_backlinks(parent_record)?;
+            self.free_record_tree(node.record)?;
+            return Ok(());
+        }
+
+        // Drop the subtree inside this record.
+        let removed = collect_local_subtree(&img, node.node);
+        // Free descendant records referenced from the removed region.
+        let mut child_records = Vec::new();
+        for &l in &removed {
+            for e in &img.nodes[l as usize].entries {
+                if let ChildEntry::Proxy(no) = *e {
+                    child_records.push(no);
+                }
+            }
+        }
+        if is_root {
+            let rp = img.roots.iter().position(|&r| r == node.node).expect("root");
+            img.roots.remove(rp);
+        } else {
+            let p = img.nodes[node.node as usize].parent_local as usize;
+            let e = img.nodes[node.node as usize].entry_pos as usize;
+            img.nodes[p].entries.remove(e);
+            sync_entry_positions(&mut img, p);
+        }
+        remove_and_renumber(&mut img, &removed);
+        self.write_record(node.record, &img)?;
+        self.resync_child_backlinks(node.record)?;
+        for no in child_records {
+            self.free_record_tree(no)?;
+        }
+        Ok(())
+    }
+
+    fn insert_impl(
+        &mut self,
+        record_no: u32,
+        pos: InsertPos,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) -> StoreResult<NodeRef> {
+        let w = node_weight(kind, content.map_or(0, str::len));
+        if w > self.record_limit {
+            return Err(StoreError::InvalidUpdate(
+                "node heavier than the record limit K",
+            ));
+        }
+        let label = self.intern_label(name)?;
+        let mut img = self.fetch(record_no)?.to_image();
+        let new_local = u16::try_from(img.nodes.len())
+            .map_err(|_| StoreError::InvalidUpdate("record has too many nodes"))?;
+        img.nodes.push(ImageNode {
+            kind,
+            label,
+            parent_local: NONE_U16,
+            entry_pos: NONE_U16,
+            content: content.map(Into::into),
+            entries: Vec::new(),
+        });
+
+        match pos {
+            InsertPos::LastChildOf(p) => {
+                let e = img.nodes[p as usize].entries.len() as u16;
+                img.nodes[p as usize].entries.push(ChildEntry::Local(new_local));
+                img.nodes[new_local as usize].parent_local = p;
+                img.nodes[new_local as usize].entry_pos = e;
+            }
+            InsertPos::BeforeLocal(c) => {
+                let p = img.nodes[c as usize].parent_local;
+                let e = img.nodes[c as usize].entry_pos as usize;
+                img.nodes[p as usize]
+                    .entries
+                    .insert(e, ChildEntry::Local(new_local));
+                img.nodes[new_local as usize].parent_local = p;
+                sync_entry_positions(&mut img, p as usize);
+            }
+            InsertPos::BeforeRoot(rp) => {
+                img.roots.insert(rp, new_local);
+            }
+        }
+
+        // Split until the fragment fits again, tracking where the new node
+        // ends up.
+        let mut location = NodeRef {
+            record: record_no,
+            node: new_local,
+        };
+        while image_weight(&img) > self.record_limit {
+            location = self.split_once(record_no, &mut img, location)?;
+        }
+        self.write_record(record_no, &img)?;
+        self.resync_child_backlinks(record_no)?;
+        Ok(location)
+    }
+
+    /// One split step: evict a subtree (or split the root interval) from
+    /// `img` into a fresh record. Returns the tracked node's new location.
+    fn split_once(
+        &mut self,
+        record_no: u32,
+        img: &mut RecordImage,
+        tracked: NodeRef,
+    ) -> StoreResult<NodeRef> {
+        let weights = local_subtree_weights(img);
+
+        // KM-style candidate: descend from the heaviest root through
+        // heaviest local children until the subtree fits the limit.
+        let mut cur: Option<u16> = None;
+        let mut best = 0;
+        for &r in &img.roots {
+            // Roots themselves cannot be evicted; consider their local
+            // children as starting points.
+            for e in &img.nodes[r as usize].entries {
+                if let ChildEntry::Local(c) = *e {
+                    if weights[c as usize] > best {
+                        best = weights[c as usize];
+                        cur = Some(c);
+                    }
+                }
+            }
+        }
+        if let Some(mut c) = cur {
+            while weights[c as usize] > self.record_limit {
+                // Too big to move whole: descend into the heaviest local
+                // child (exists, because a single node weighs <= K).
+                let mut next = None;
+                let mut nb = 0;
+                for e in &img.nodes[c as usize].entries {
+                    if let ChildEntry::Local(cc) = *e {
+                        if weights[cc as usize] >= nb {
+                            nb = weights[cc as usize];
+                            next = Some(cc);
+                        }
+                    }
+                }
+                c = next.expect("overweight subtree has local children");
+            }
+            return self.evict_subtree(record_no, img, c, tracked);
+        }
+
+        // No local child anywhere: the fragment is the interval roots
+        // themselves. Split the interval: move a suffix of the roots.
+        debug_assert!(
+            img.roots.len() > 1,
+            "a single node never exceeds K (checked on insert)"
+        );
+        self.split_roots(record_no, img, tracked)
+    }
+
+    /// Move the subtree rooted at local node `c` into a fresh record
+    /// behind a proxy.
+    fn evict_subtree(
+        &mut self,
+        record_no: u32,
+        img: &mut RecordImage,
+        c: u16,
+        tracked: NodeRef,
+    ) -> StoreResult<NodeRef> {
+        let moved = collect_local_subtree(img, c);
+        let new_no = self.reserve_record();
+
+        // Build the new record image.
+        let mut remap = vec![NONE_U16; img.nodes.len()];
+        for (i, &l) in moved.iter().enumerate() {
+            remap[l as usize] = i as u16;
+        }
+        let p = img.nodes[c as usize].parent_local;
+        let e = img.nodes[c as usize].entry_pos;
+        let mut new_nodes: Vec<ImageNode> = Vec::with_capacity(moved.len());
+        for &l in &moved {
+            let mut n = img.nodes[l as usize].clone();
+            if l == c {
+                n.parent_local = NONE_U16;
+                n.entry_pos = NONE_U16;
+            } else {
+                n.parent_local = remap[n.parent_local as usize];
+            }
+            for entry in &mut n.entries {
+                if let ChildEntry::Local(ref mut i) = entry {
+                    *i = remap[*i as usize];
+                }
+            }
+            new_nodes.push(n);
+        }
+        let new_img = RecordImage {
+            parent_record: record_no,
+            parent_local: p, // fixed up after renumbering below
+            proxy_pos: e,
+            roots: vec![0],
+            nodes: new_nodes,
+        };
+
+        // Children records inside the moved region now hang off the new
+        // record.
+        let mut moved_fixes = Vec::new();
+        for (ni, n) in new_img.nodes.iter().enumerate() {
+            for (pos, entry) in n.entries.iter().enumerate() {
+                if let ChildEntry::Proxy(no) = *entry {
+                    moved_fixes.push((no, ni as u16, pos as u16));
+                }
+            }
+        }
+
+        // Remove the moved nodes from the old image, replacing the child
+        // entry with a proxy.
+        img.nodes[p as usize].entries[e as usize] = ChildEntry::Proxy(new_no);
+        let parent_fixes = remove_and_renumber(img, &moved);
+
+        // Parent of the evicted fragment may itself have been renumbered.
+        let new_parent_local = parent_fixes
+            .iter()
+            .find(|&&(old, _)| old == p)
+            .map(|&(_, new)| new)
+            .unwrap_or(p);
+        let mut new_img = new_img;
+        new_img.parent_local = new_parent_local;
+
+        self.write_record(new_no, &new_img)?;
+        // The old image must be on disk before back-link fix-up reads it.
+        self.write_record(record_no, img)?;
+        for (no, parent_local, proxy_pos) in moved_fixes {
+            self.fix_child_header(no, new_no, parent_local, proxy_pos)?;
+        }
+        self.resync_child_backlinks(record_no)?;
+
+        // Track the location of the node of interest.
+        if tracked.record == record_no {
+            let r = remap[tracked.node as usize];
+            if r != NONE_U16 {
+                return Ok(NodeRef {
+                    record: new_no,
+                    node: r,
+                });
+            }
+            let renumbered = parent_fixes
+                .iter()
+                .find(|&&(old, _)| old == tracked.node)
+                .map(|&(_, new)| new)
+                .unwrap_or(tracked.node);
+            return Ok(NodeRef {
+                record: record_no,
+                node: renumbered,
+            });
+        }
+        Ok(tracked)
+    }
+
+    /// Split the root interval: move the suffix half of the roots (and
+    /// their local subtrees) into a fresh record, inserting its proxy right
+    /// after ours in the parent record.
+    fn split_roots(
+        &mut self,
+        record_no: u32,
+        img: &mut RecordImage,
+        tracked: NodeRef,
+    ) -> StoreResult<NodeRef> {
+        let mid = img.roots.len() / 2;
+        let suffix: Vec<u16> = img.roots.split_off(mid);
+        let mut moved: Vec<u16> = Vec::new();
+        for &r in &suffix {
+            moved.extend(collect_local_subtree(img, r));
+        }
+        let new_no = self.reserve_record();
+
+        let mut remap = vec![NONE_U16; img.nodes.len()];
+        for (i, &l) in moved.iter().enumerate() {
+            remap[l as usize] = i as u16;
+        }
+        let mut new_nodes = Vec::with_capacity(moved.len());
+        for &l in &moved {
+            let mut n = img.nodes[l as usize].clone();
+            if n.parent_local != NONE_U16 {
+                n.parent_local = remap[n.parent_local as usize];
+            }
+            for entry in &mut n.entries {
+                if let ChildEntry::Local(ref mut i) = entry {
+                    *i = remap[*i as usize];
+                }
+            }
+            new_nodes.push(n);
+        }
+        let new_img = RecordImage {
+            parent_record: img.parent_record,
+            parent_local: img.parent_local,
+            proxy_pos: img.proxy_pos + 1,
+            roots: suffix.iter().map(|&r| remap[r as usize]).collect(),
+            nodes: new_nodes,
+        };
+
+        let mut moved_fixes = Vec::new();
+        for (ni, n) in new_img.nodes.iter().enumerate() {
+            for (pos, entry) in n.entries.iter().enumerate() {
+                if let ChildEntry::Proxy(no) = *entry {
+                    moved_fixes.push((no, ni as u16, pos as u16));
+                }
+            }
+        }
+
+        let parent_fixes = remove_and_renumber(img, &moved);
+
+        // Both halves must be on disk before any back-link resync can read
+        // them.
+        self.write_record(new_no, &new_img)?;
+        self.write_record(record_no, img)?;
+
+        // Insert the new proxy right after ours in the (grand)parent
+        // record's entry list; resyncing then fixes both halves' headers.
+        let parent_record = img.parent_record;
+        let parent_local = img.parent_local;
+        let proxy_pos = img.proxy_pos;
+        let mut parent_img = self.fetch(parent_record)?.to_image();
+        parent_img.nodes[parent_local as usize]
+            .entries
+            .insert(proxy_pos as usize + 1, ChildEntry::Proxy(new_no));
+        sync_entry_positions(&mut parent_img, parent_local as usize);
+        self.write_record(parent_record, &parent_img)?;
+        self.resync_child_backlinks(parent_record)?;
+
+        for (no, pl, pp) in moved_fixes {
+            self.fix_child_header(no, new_no, pl, pp)?;
+        }
+        self.resync_child_backlinks(record_no)?;
+
+        if tracked.record == record_no {
+            let r = remap[tracked.node as usize];
+            if r != NONE_U16 {
+                return Ok(NodeRef {
+                    record: new_no,
+                    node: r,
+                });
+            }
+            let renumbered = parent_fixes
+                .iter()
+                .find(|&&(old, _)| old == tracked.node)
+                .map(|&(_, new)| new)
+                .unwrap_or(tracked.node);
+            return Ok(NodeRef {
+                record: record_no,
+                node: renumbered,
+            });
+        }
+        Ok(tracked)
+    }
+
+    /// Intern a label, growing the persistent label table.
+    fn intern_label(&mut self, name: &str) -> StoreResult<u16> {
+        if let Some(id) = self.label_id(name) {
+            return Ok(id);
+        }
+        let id = u16::try_from(self.labels.len())
+            .map_err(|_| StoreError::InvalidUpdate("label table full"))?;
+        self.labels.push(name.into());
+        self.label_ids.insert(name.into(), id);
+        Ok(id)
+    }
+
+    /// Reserve a fresh record number.
+    fn reserve_record(&mut self) -> u32 {
+        let no = self.directory.len() as u32;
+        self.directory.push(RecordLoc::Free);
+        no
+    }
+
+    /// Re-encode and re-place a record, invalidating caches.
+    pub(crate) fn write_record(&mut self, no: u32, img: &RecordImage) -> StoreResult<()> {
+        let bytes = record::encode(img);
+        // Release the old location.
+        match self.directory[no as usize] {
+            RecordLoc::InPage { page, slot } => {
+                self.pool.with_page(page, true, |buf| {
+                    SlottedPage::new(buf).delete(slot);
+                })?;
+            }
+            RecordLoc::Overflow { .. } | RecordLoc::Free => {
+                // Overflow pages are orphaned (no free-space reuse for
+                // chains; acceptable for a bulkload-dominated store).
+            }
+        }
+        let loc = if bytes.len() > MAX_IN_PAGE {
+            let mut first_page = 0;
+            for (pi, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+                let page = self.pool.allocate()?;
+                if pi == 0 {
+                    first_page = page;
+                }
+                self.pool.with_page(page, true, |buf| {
+                    buf[..chunk.len()].copy_from_slice(chunk);
+                })?;
+            }
+            RecordLoc::Overflow {
+                first_page,
+                len: bytes.len() as u32,
+            }
+        } else {
+            // Try the record's previous page, then the store's open page
+            // hint, then a fresh page.
+            let prev_page = match self.directory[no as usize] {
+                RecordLoc::InPage { page, .. } => Some(page),
+                _ => None,
+            };
+            let mut placed = None;
+            for candidate in [prev_page, self.open_page].into_iter().flatten() {
+                placed = self.pool.with_page(candidate, true, |buf| {
+                    SlottedPage::new(buf)
+                        .insert(&bytes)
+                        .map(|slot| (candidate, slot))
+                })?;
+                if placed.is_some() {
+                    break;
+                }
+            }
+            let (page, slot) = match placed {
+                Some(p) => p,
+                None => {
+                    let page = self.pool.allocate()?;
+                    let slot = self.pool.with_page(page, true, |buf| {
+                        SlottedPage::format(buf)
+                            .insert(&bytes)
+                            .expect("fresh page fits any in-page record")
+                    })?;
+                    self.open_page = Some(page);
+                    (page, slot)
+                }
+            };
+            RecordLoc::InPage { page, slot }
+        };
+        self.directory[no as usize] = loc;
+        self.invalidate(no);
+        Ok(())
+    }
+
+    fn invalidate(&mut self, no: u32) {
+        self.cache.remove(no);
+        if self.last_fetched == no {
+            self.last_fetched = NONE_U32;
+            self.hot = None;
+        }
+    }
+
+    /// Update a child record's back-link header.
+    fn fix_child_header(
+        &mut self,
+        no: u32,
+        parent_record: u32,
+        parent_local: u16,
+        proxy_pos: u16,
+    ) -> StoreResult<()> {
+        let mut img = self.fetch(no)?.to_image();
+        img.parent_record = parent_record;
+        img.parent_local = parent_local;
+        img.proxy_pos = proxy_pos;
+        self.write_record(no, &img)
+    }
+
+    /// Bring the back-link headers (`parent_record`, `parent_local`,
+    /// `proxy_pos`) of every child record of `record_no` in line with the
+    /// record's current (already written) state. Robust against any
+    /// combination of renumbering and entry-list surgery; children whose
+    /// links are already correct are not rewritten.
+    fn resync_child_backlinks(&mut self, record_no: u32) -> StoreResult<()> {
+        let rec = self.fetch(record_no)?;
+        let mut updates = Vec::new();
+        for (li, n) in rec.nodes.iter().enumerate() {
+            for (pos, e) in rec.entries(n).iter().enumerate() {
+                if let ChildEntry::Proxy(no) = *e {
+                    updates.push((no, li as u16, pos as u16));
+                }
+            }
+        }
+        drop(rec);
+        for (no, parent_local, proxy_pos) in updates {
+            let mut img = self.fetch(no)?.to_image();
+            if img.parent_record == record_no
+                && (img.parent_local != parent_local || img.proxy_pos != proxy_pos)
+            {
+                img.parent_local = parent_local;
+                img.proxy_pos = proxy_pos;
+                self.write_record(no, &img)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Free a record and, recursively, every record its fragment links to.
+    fn free_record_tree(&mut self, no: u32) -> StoreResult<()> {
+        let mut stack = vec![no];
+        while let Some(no) = stack.pop() {
+            let rec = self.fetch(no)?;
+            for n in &rec.nodes {
+                for e in rec.entries(n) {
+                    if let ChildEntry::Proxy(child) = *e {
+                        stack.push(child);
+                    }
+                }
+            }
+            drop(rec);
+            if let RecordLoc::InPage { page, slot } = self.directory[no as usize] {
+                self.pool.with_page(page, true, |buf| {
+                    SlottedPage::new(buf).delete(slot);
+                })?;
+            }
+            self.directory[no as usize] = RecordLoc::Free;
+            self.invalidate(no);
+        }
+        Ok(())
+    }
+}
+
+impl XmlStore {
+    /// Verify that every live record's fragment respects the weight limit
+    /// `K` (test/diagnostic helper; the update path maintains this
+    /// invariant by splitting).
+    pub fn check_record_weights(&mut self) -> StoreResult<()> {
+        for no in 0..self.directory.len() as u32 {
+            if matches!(self.directory[no as usize], RecordLoc::Free) {
+                continue;
+            }
+            let rec = self.fetch(no)?;
+            let w: Weight = rec
+                .nodes
+                .iter()
+                .map(|n| node_weight(n.kind, rec.content(n).map_or(0, str::len)))
+                .sum();
+            if w > self.record_limit {
+                return Err(StoreError::InvalidUpdate(
+                    "record exceeds the weight limit",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Total slot weight of a record image.
+fn image_weight(img: &RecordImage) -> Weight {
+    img.nodes
+        .iter()
+        .map(|n| node_weight(n.kind, n.content.as_deref().map_or(0, str::len)))
+        .sum()
+}
+
+/// Per-node weight of the node plus its *local* descendants.
+fn local_subtree_weights(img: &RecordImage) -> Vec<Weight> {
+    let n = img.nodes.len();
+    let mut w: Vec<Weight> = img
+        .nodes
+        .iter()
+        .map(|n| node_weight(n.kind, n.content.as_deref().map_or(0, str::len)))
+        .collect();
+    // Parents precede children (preorder numbering is maintained by every
+    // mutation path), so a reverse scan accumulates bottom-up.
+    for i in (0..n).rev() {
+        for e in &img.nodes[i].entries {
+            if let ChildEntry::Local(c) = *e {
+                w[i] += w[c as usize];
+            }
+        }
+    }
+    w
+}
+
+/// Local indices of the subtree rooted at `root` (preorder, `root` first).
+fn collect_local_subtree(img: &RecordImage, root: u16) -> Vec<u16> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(l) = stack.pop() {
+        out.push(l);
+        for e in img.nodes[l as usize].entries.iter().rev() {
+            if let ChildEntry::Local(c) = *e {
+                stack.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Recompute the `entry_pos` of every local child of `p` and return
+/// `(child_record, new_proxy_pos)` fixes for the proxies.
+fn sync_entry_positions(img: &mut RecordImage, p: usize) -> Vec<(u32, u16)> {
+    let entries = img.nodes[p].entries.clone();
+    let mut fixes = Vec::new();
+    for (pos, e) in entries.iter().enumerate() {
+        match *e {
+            ChildEntry::Local(c) => img.nodes[c as usize].entry_pos = pos as u16,
+            ChildEntry::Proxy(no) => fixes.push((no, pos as u16)),
+        }
+    }
+    fixes
+}
+
+/// Remove `removed` locals from the image and renumber the rest
+/// (order-preserving, so the parent-before-child invariant survives).
+/// Returns `(old_local, new_local)` pairs for nodes whose index changed.
+fn remove_and_renumber(img: &mut RecordImage, removed: &[u16]) -> Vec<(u16, u16)> {
+    let n = img.nodes.len();
+    let mut drop_mark = vec![false; n];
+    for &l in removed {
+        drop_mark[l as usize] = true;
+    }
+    let mut remap = vec![NONE_U16; n];
+    let mut kept: Vec<ImageNode> = Vec::with_capacity(n - removed.len());
+    let mut fixes = Vec::new();
+    for (i, mark) in drop_mark.iter().enumerate() {
+        if !mark {
+            let new = kept.len() as u16;
+            remap[i] = new;
+            if new != i as u16 {
+                fixes.push((i as u16, new));
+            }
+            kept.push(img.nodes[i].clone());
+        }
+    }
+    for node in &mut kept {
+        if node.parent_local != NONE_U16 {
+            node.parent_local = remap[node.parent_local as usize];
+        }
+        for e in &mut node.entries {
+            if let ChildEntry::Local(ref mut c) = e {
+                debug_assert_ne!(remap[*c as usize], NONE_U16, "dangling local child");
+                *c = remap[*c as usize];
+            }
+        }
+    }
+    for r in &mut img.roots {
+        *r = remap[*r as usize];
+    }
+    img.nodes = kept;
+    fixes
+}
+
+impl XmlStore {
+    /// Rewrite all live records into a fresh backend, reclaiming the space
+    /// of deleted records, orphaned overflow chains and page fragmentation
+    /// accumulated by updates. Record numbers are preserved (proxies keep
+    /// working); the compacted store is returned with its catalog written.
+    pub fn compact(
+        &mut self,
+        backend: Box<dyn crate::pager::Pager>,
+        config: crate::store::StoreConfig,
+    ) -> StoreResult<XmlStore> {
+        use crate::pager::BufferPool;
+
+        let mut pool = BufferPool::new(backend, config.buffer_pages);
+        let header_page = pool.allocate()?;
+        debug_assert_eq!(header_page, 0);
+
+        let mut directory = Vec::with_capacity(self.directory.len());
+        let mut open_page: Option<u32> = None;
+        for no in 0..self.directory.len() as u32 {
+            if matches!(self.directory[no as usize], RecordLoc::Free) {
+                directory.push(RecordLoc::Free);
+                continue;
+            }
+            let bytes = record::encode(&self.fetch(no)?.to_image());
+            if bytes.len() > MAX_IN_PAGE {
+                let mut first_page = 0;
+                for (pi, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
+                    let page = pool.allocate()?;
+                    if pi == 0 {
+                        first_page = page;
+                    }
+                    pool.with_page(page, true, |buf| {
+                        buf[..chunk.len()].copy_from_slice(chunk);
+                    })?;
+                }
+                directory.push(RecordLoc::Overflow {
+                    first_page,
+                    len: bytes.len() as u32,
+                });
+                continue;
+            }
+            let placed = match open_page {
+                Some(page) => pool.with_page(page, true, |buf| {
+                    SlottedPage::new(buf).insert(&bytes).map(|slot| (page, slot))
+                })?,
+                None => None,
+            };
+            let (page, slot) = match placed {
+                Some(p) => p,
+                None => {
+                    let page = pool.allocate()?;
+                    let slot = pool.with_page(page, true, |buf| {
+                        SlottedPage::format(buf)
+                            .insert(&bytes)
+                            .expect("fresh page fits any in-page record")
+                    })?;
+                    open_page = Some(page);
+                    (page, slot)
+                }
+            };
+            directory.push(RecordLoc::InPage { page, slot });
+        }
+
+        let mut out = XmlStore {
+            pool,
+            directory,
+            labels: self.labels.clone(),
+            label_ids: self.label_ids.clone(),
+            root_record: self.root_record,
+            cache: crate::store::RecordCache::new(config.record_cache),
+            nav: crate::store::NavStats::default(),
+            last_fetched: crate::record::NONE_U32,
+            record_limit: self.record_limit,
+            open_page: None,
+            hot: None,
+        };
+        out.persist()?;
+        Ok(out)
+    }
+}

@@ -1,0 +1,128 @@
+//! Store round-trip tests: bulkload under every partitioning algorithm and
+//! rebuild the document purely through cursor navigation.
+
+use natix_core::{evaluation_algorithms, Partitioner};
+use natix_datagen::{partsupp, sigmod, xmark, GenConfig};
+use natix_store::{bulkload_with, MemPager, StoreConfig, XmlStore};
+use natix_tree::validate;
+use natix_xml::Document;
+
+fn roundtrip(doc: &Document, alg: &dyn Partitioner, k: u64) -> XmlStore {
+    let p = alg.partition(doc.tree(), k).expect("feasible input");
+    let stats = validate(doc.tree(), k, &p).expect("feasible partitioning");
+    let mut store = XmlStore::bulkload(
+        doc,
+        &p,
+        Box::new(MemPager::new()),
+        StoreConfig::default(),
+    )
+    .expect("bulkload");
+    assert_eq!(store.record_count(), stats.cardinality);
+    let back = store.to_document().expect("traversal");
+    assert_eq!(
+        back.to_xml(),
+        doc.to_xml(),
+        "{} K={k} altered the document",
+        alg.name()
+    );
+    store
+}
+
+#[test]
+fn every_algorithm_roundtrips_generated_documents() {
+    let docs = [
+        sigmod(GenConfig { scale: 0.02, seed: 11 }),
+        partsupp(GenConfig { scale: 0.005, seed: 12 }),
+        xmark(GenConfig { scale: 0.004, seed: 13 }),
+    ];
+    for doc in &docs {
+        for alg in evaluation_algorithms() {
+            roundtrip(doc, alg.as_ref(), 256);
+        }
+    }
+}
+
+#[test]
+fn small_limits_roundtrip() {
+    let doc = xmark(GenConfig { scale: 0.002, seed: 14 });
+    // The heaviest node bounds how small K can get.
+    let min_k = doc.tree().max_node_weight();
+    for k in [min_k, min_k + 3, 64] {
+        for alg in evaluation_algorithms() {
+            roundtrip(&doc, alg.as_ref(), k);
+        }
+    }
+}
+
+#[test]
+fn ekm_layout_navigates_less_than_km() {
+    use natix_core::{Ekm, Km};
+    let doc = xmark(GenConfig { scale: 0.01, seed: 15 });
+    let mut ekm = bulkload_with(
+        &doc,
+        &Ekm,
+        256,
+        Box::new(MemPager::new()),
+        StoreConfig::default(),
+    )
+    .unwrap();
+    let mut km = bulkload_with(
+        &doc,
+        &Km,
+        256,
+        Box::new(MemPager::new()),
+        StoreConfig::default(),
+    )
+    .unwrap();
+    assert!(ekm.record_count() < km.record_count());
+    for store in [&mut ekm, &mut km] {
+        store.reset_nav_stats();
+        store.to_document().unwrap();
+    }
+    // A full scan over fewer, larger records crosses fewer boundaries.
+    assert!(ekm.nav_stats().record_switches < km.nav_stats().record_switches);
+}
+
+#[test]
+fn store_reopens_from_page_file() {
+    use natix_core::Ekm;
+    use natix_store::{FilePager, PAGE_SIZE};
+
+    let dir = std::env::temp_dir().join(format!("natix-reopen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("persist.natix");
+    let doc = xmark(GenConfig {
+        scale: 0.002,
+        seed: 33,
+    });
+    let xml = doc.to_xml();
+    {
+        // Bulkload, then drop the store: everything must be on disk.
+        let pager = FilePager::create(&path).unwrap();
+        let store = bulkload_with(&doc, &Ekm, 256, Box::new(pager), StoreConfig::default())
+            .unwrap();
+        assert!(store.record_count() > 1);
+    }
+    {
+        let pager = FilePager::open(&path).unwrap();
+        let mut store = XmlStore::open(Box::new(pager), StoreConfig::default()).unwrap();
+        let back = store.to_document().unwrap();
+        assert_eq!(back.to_xml(), xml);
+        // Labels survive too.
+        assert!(store.label_id("keyword").is_some());
+    }
+    assert!(path.metadata().unwrap().len() >= 2 * PAGE_SIZE as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn opening_garbage_fails_cleanly() {
+    use natix_store::{FilePager, PAGE_SIZE};
+    let dir = std::env::temp_dir().join(format!("natix-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.natix");
+    std::fs::write(&path, vec![0xABu8; PAGE_SIZE * 2]).unwrap();
+    let pager = FilePager::open(&path).unwrap();
+    assert!(XmlStore::open(Box::new(pager), StoreConfig::default()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,345 @@
+//! Node-at-a-time update tests: insertions with record splits, subtree
+//! deletions with record frees, and randomized update sequences checked
+//! against a shadow in-memory document.
+
+use natix_core::{Ekm, Km};
+use natix_datagen::{xmark, GenConfig};
+use natix_store::{bulkload_with, MemPager, NodeRef, StoreConfig, XmlStore};
+use natix_xml::{parse, Document, NodeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn load(xml: &str, k: u64) -> (Document, XmlStore) {
+    let doc = parse(xml).unwrap();
+    let store = bulkload_with(
+        &doc,
+        &Ekm,
+        k,
+        Box::new(MemPager::new()),
+        StoreConfig {
+            record_limit_slots: k,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (doc, store)
+}
+
+/// Find a stored node by element name via a full scan.
+fn find_element(store: &mut XmlStore, name: &str) -> Option<NodeRef> {
+    let want = store.label_id(name)?;
+    let root = store.root().unwrap();
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        if store.node_label(r).unwrap() == want {
+            return Some(r);
+        }
+        let mut kids = Vec::new();
+        store
+            .for_each_child(r, |c, kind, _| {
+                if kind == NodeKind::Element {
+                    kids.push(c);
+                }
+            })
+            .unwrap();
+        stack.extend(kids);
+    }
+    None
+}
+
+#[test]
+fn append_without_split() {
+    let (_, mut store) = load("<a><b/><c/></a>", 100);
+    let root = store.root().unwrap();
+    let new = store
+        .append_child(root, NodeKind::Element, "d", None)
+        .unwrap();
+    assert_eq!(store.node_kind(new).unwrap(), NodeKind::Element);
+    let back = store.to_document().unwrap();
+    assert_eq!(back.to_xml(), "<a><b/><c/><d/></a>");
+}
+
+#[test]
+fn insert_before_local_sibling() {
+    let (_, mut store) = load("<a><b/><d/></a>", 100);
+    let d = find_element(&mut store, "d").unwrap();
+    store
+        .insert_before(d, NodeKind::Element, "c", None)
+        .unwrap();
+    assert_eq!(store.to_document().unwrap().to_xml(), "<a><b/><c/><d/></a>");
+}
+
+#[test]
+fn insert_text_and_attribute() {
+    let (_, mut store) = load("<a><b/></a>", 100);
+    let b = find_element(&mut store, "b").unwrap();
+    store
+        .append_child(b, NodeKind::Attribute, "id", Some("b1"))
+        .unwrap();
+    let b = find_element(&mut store, "b").unwrap();
+    store
+        .append_child(b, NodeKind::Text, "#text", Some("hello"))
+        .unwrap();
+    assert_eq!(
+        store.to_document().unwrap().to_xml(),
+        r#"<a><b id="b1">hello</b></a>"#
+    );
+}
+
+#[test]
+fn repeated_appends_force_splits() {
+    // K = 16 slots: each text child is 1 (elem) + 2 (9-byte text) slots, so
+    // the root record must split repeatedly.
+    let (_, mut store) = load("<list></list>", 16);
+    let initial_records = store.record_count();
+    for i in 0..40 {
+        let root = store.root().unwrap();
+        let e = store
+            .append_child(root, NodeKind::Element, "entry", None)
+            .unwrap();
+        store
+            .append_child(e, NodeKind::Text, "#text", Some(&format!("v{i:06}")))
+            .unwrap();
+    }
+    assert!(
+        store.record_count() > initial_records + 5,
+        "expected many splits, got {} records",
+        store.record_count()
+    );
+    let back = store.to_document().unwrap();
+    let tree = back.tree();
+    assert_eq!(tree.child_count(back.root()), 40);
+    // Order preserved.
+    for (i, &c) in tree.children(back.root()).iter().enumerate() {
+        let t = tree.children(c)[0];
+        assert_eq!(back.content(t), Some(format!("v{i:06}").as_str()));
+    }
+}
+
+#[test]
+fn inserting_rejects_oversized_node() {
+    let (_, mut store) = load("<a/>", 8);
+    let root = store.root().unwrap();
+    let big = "x".repeat(1000);
+    assert!(store
+        .append_child(root, NodeKind::Text, "#text", Some(&big))
+        .is_err());
+}
+
+#[test]
+fn delete_leaf_and_subtree() {
+    let (_, mut store) = load("<a><b><x/><y/></b><c/></a>", 100);
+    let b = find_element(&mut store, "b").unwrap();
+    store.delete_subtree(b).unwrap();
+    assert_eq!(store.to_document().unwrap().to_xml(), "<a><c/></a>");
+    let c = find_element(&mut store, "c").unwrap();
+    store.delete_subtree(c).unwrap();
+    assert_eq!(store.to_document().unwrap().to_xml(), "<a/>");
+}
+
+#[test]
+fn delete_spanning_records_frees_them() {
+    // Tiny K: the document spreads over many records; deleting a subtree
+    // must free all of them.
+    let (doc, mut store) = load(
+        concat!(
+            "<a><b><p>a rather long run of text that will not fit</p>",
+            "<q>another rather long run of text that will not fit</q></b>",
+            "<c><r>yet another rather long run of text here</r></c></a>",
+        ),
+        8,
+    );
+    assert!(store.record_count() > 3);
+    let before = store.live_record_count();
+    let b = find_element(&mut store, "b").unwrap();
+    store.delete_subtree(b).unwrap();
+    assert!(store.live_record_count() < before);
+    let back = store.to_document().unwrap();
+    assert_eq!(
+        back.to_xml(),
+        "<a><c><r>yet another rather long run of text here</r></c></a>"
+    );
+    let _ = doc;
+}
+
+#[test]
+fn cannot_delete_document_root() {
+    let (_, mut store) = load("<a><b/></a>", 100);
+    let root = store.root().unwrap();
+    assert!(store.delete_subtree(root).is_err());
+}
+
+#[test]
+fn root_has_no_siblings() {
+    let (_, mut store) = load("<a><b/></a>", 100);
+    let root = store.root().unwrap();
+    assert!(store
+        .insert_before(root, NodeKind::Element, "x", None)
+        .is_err());
+}
+
+/// Randomized update sequences, mirrored against an in-memory shadow
+/// document rebuilt after every operation.
+#[test]
+fn randomized_updates_match_shadow() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    for round in 0..8 {
+        let k = [12u64, 24, 64, 256][round % 4];
+        let (_, mut store) = load("<root><a>seed text</a><b/><c><d/></c></root>", k);
+        for step in 0..60 {
+            // Re-derive a target from the current document state.
+            let shadow = store.to_document().unwrap();
+            let tree = shadow.tree();
+            let elements: Vec<_> = tree
+                .node_ids()
+                .filter(|&v| shadow.is_element(v))
+                .collect();
+            let pick = elements[rng.gen_range(0..elements.len())];
+            let pick_name = shadow.name(pick).to_string();
+            let op = rng.gen_range(0..10u32);
+            if op < 6 {
+                // Append a child (element or text) to `pick`.
+                let target = find_element(&mut store, &pick_name).unwrap();
+                if rng.gen_bool(0.5) {
+                    store
+                        .append_child(target, NodeKind::Element, &format!("n{step}"), None)
+                        .unwrap();
+                } else {
+                    let text = format!("text number {step} with some padding");
+                    store
+                        .append_child(target, NodeKind::Text, "#text", Some(&text))
+                        .unwrap();
+                }
+            } else if op < 8 {
+                // Insert an element before `pick` (unless it is the root).
+                if tree.parent(pick).is_some() {
+                    let target = find_element(&mut store, &pick_name).unwrap();
+                    store
+                        .insert_before(target, NodeKind::Element, &format!("s{step}"), None)
+                        .unwrap();
+                }
+            } else {
+                // Delete `pick` (unless it is the root).
+                if tree.parent(pick).is_some() {
+                    let target = find_element(&mut store, &pick_name).unwrap();
+                    store.delete_subtree(target).unwrap();
+                }
+            }
+            // Invariant: every record respects the weight limit.
+            store.check_record_weights().unwrap();
+        }
+        // The store still reconstructs a coherent document.
+        let final_doc = store.to_document().unwrap();
+        assert!(!final_doc.is_empty());
+    }
+}
+
+#[test]
+fn updates_persist_across_reopen() {
+    use natix_store::FilePager;
+    let dir = std::env::temp_dir().join(format!("natix-upd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("upd.natix");
+    let doc = parse("<a><b/></a>").unwrap();
+    let expected;
+    {
+        let pager = FilePager::create(&path).unwrap();
+        let mut store = bulkload_with(
+            &doc,
+            &Km,
+            64,
+            Box::new(pager),
+            StoreConfig {
+                record_limit_slots: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let root = store.root().unwrap();
+        store
+            .append_child(root, NodeKind::Element, "c", None)
+            .unwrap();
+        expected = store.to_document().unwrap().to_xml();
+        store.persist().unwrap();
+    }
+    {
+        let pager = FilePager::open(&path).unwrap();
+        let mut store = XmlStore::open(Box::new(pager), StoreConfig::default()).unwrap();
+        assert_eq!(store.to_document().unwrap().to_xml(), expected);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bulk_updates_on_generated_document() {
+    let doc = xmark(GenConfig {
+        scale: 0.002,
+        seed: 99,
+    });
+    let mut store = bulkload_with(
+        &doc,
+        &Ekm,
+        256,
+        Box::new(MemPager::new()),
+        StoreConfig::default(),
+    )
+    .unwrap();
+    // Grow every region with extra items.
+    for i in 0..30 {
+        let regions = find_element(&mut store, "regions").unwrap();
+        let item = store
+            .append_child(regions, NodeKind::Element, "late_item", None)
+            .unwrap();
+        store
+            .append_child(
+                item,
+                NodeKind::Text,
+                "#text",
+                Some(&format!("late content number {i} of considerable length")),
+            )
+            .unwrap();
+    }
+    store.check_record_weights().unwrap();
+    let back = store.to_document().unwrap();
+    assert_eq!(back.len(), doc.len() + 60);
+}
+
+#[test]
+fn compact_reclaims_space() {
+    let (_, mut store) = load("<list></list>", 24);
+    // Grow, then shrink: leaves dead slots and freed records behind.
+    for i in 0..60 {
+        let root = store.root().unwrap();
+        let e = store
+            .append_child(root, NodeKind::Element, "entry", None)
+            .unwrap();
+        store
+            .append_child(e, NodeKind::Text, "#text", Some(&format!("payload {i}")))
+            .unwrap();
+    }
+    for _ in 0..45 {
+        let e = find_element(&mut store, "entry").unwrap();
+        store.delete_subtree(e).unwrap();
+    }
+    let before_pages = store.page_count();
+    let before_xml = store.to_document().unwrap().to_xml();
+
+    let mut compacted = store
+        .compact(Box::new(MemPager::new()), StoreConfig::default())
+        .unwrap();
+    assert!(compacted.page_count() < before_pages);
+    assert_eq!(compacted.to_document().unwrap().to_xml(), before_xml);
+    assert_eq!(compacted.live_record_count(), store.live_record_count());
+    compacted.check_record_weights().unwrap();
+
+    // Updates keep working after compaction.
+    let root = compacted.root().unwrap();
+    compacted
+        .append_child(root, NodeKind::Element, "post_compact", None)
+        .unwrap();
+    assert!(compacted
+        .to_document()
+        .unwrap()
+        .to_xml()
+        .contains("<post_compact/>"));
+}

@@ -1,0 +1,460 @@
+//! Arena storage for rooted, ordered, weighted trees.
+
+use std::fmt;
+
+use crate::labels::{LabelId, LabelInterner};
+use crate::Weight;
+
+/// Handle to a node of a [`Tree`].
+///
+/// Ids are dense indices into the tree's arena. The root is always
+/// [`NodeId::ROOT`] (id 0), and a child's id is always greater than its
+/// parent's id (the builder only attaches children to existing nodes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index into arena-parallel arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Only meaningful for indices obtained from
+    /// the same tree.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("tree larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone)]
+struct NodeData {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Position of this node in its parent's child list (0 for the root).
+    index_in_parent: u32,
+    label: LabelId,
+    weight: Weight,
+    /// Filled in by [`TreeBuilder::build`].
+    subtree_weight: Weight,
+}
+
+/// Errors raised when constructing trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The paper requires strictly positive integer node weights.
+    ZeroWeight,
+    /// A parent handle does not belong to this builder.
+    UnknownParent(NodeId),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::ZeroWeight => {
+                write!(f, "node weights must be positive integers (w: V -> Z+)")
+            }
+            TreeError::UnknownParent(id) => write!(f, "unknown parent node {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A rooted, ordered, labeled, weighted tree `T = (V, t, p, ⊴, w)`.
+///
+/// Immutable after construction via [`TreeBuilder`]; subtree weights
+/// `W_T(v)` are precomputed.
+#[derive(Clone)]
+pub struct Tree {
+    nodes: Vec<NodeData>,
+    labels: LabelInterner,
+}
+
+impl Tree {
+    /// The root node `t`.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Trees are never empty (they always have a root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `p(v)`: the parent, `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.nodes[v.index()].parent
+    }
+
+    /// The ordered child list of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.nodes[v.index()].children
+    }
+
+    /// `c_j(v)`: the j-th child (0-based). Panics if out of range.
+    #[inline]
+    pub fn child(&self, v: NodeId, j: usize) -> NodeId {
+        self.nodes[v.index()].children[j]
+    }
+
+    /// `childcount(v)`.
+    #[inline]
+    pub fn child_count(&self, v: NodeId) -> usize {
+        self.nodes[v.index()].children.len()
+    }
+
+    /// Position of `v` within its parent's child list (0 for the root).
+    #[inline]
+    pub fn index_in_parent(&self, v: NodeId) -> usize {
+        self.nodes[v.index()].index_in_parent as usize
+    }
+
+    /// The next sibling in the ordering `⊴`, if any.
+    pub fn next_sibling(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent(v)?;
+        self.children(p).get(self.index_in_parent(v) + 1).copied()
+    }
+
+    /// The previous sibling in the ordering `⊴`, if any.
+    pub fn prev_sibling(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent(v)?;
+        let i = self.index_in_parent(v);
+        if i == 0 {
+            None
+        } else {
+            Some(self.children(p)[i - 1])
+        }
+    }
+
+    /// `w(v)`: the node weight.
+    #[inline]
+    pub fn weight(&self, v: NodeId) -> Weight {
+        self.nodes[v.index()].weight
+    }
+
+    /// `W_T(v)`: the subtree weight (sum of weights of all nodes in `T_v`).
+    #[inline]
+    pub fn subtree_weight(&self, v: NodeId) -> Weight {
+        self.nodes[v.index()].subtree_weight
+    }
+
+    /// Total weight of the tree, `W_T(t)`.
+    #[inline]
+    pub fn total_weight(&self) -> Weight {
+        self.subtree_weight(self.root())
+    }
+
+    /// The heaviest single node; a partitioning with limit `K` exists iff
+    /// this is `<= K`.
+    pub fn max_node_weight(&self) -> Weight {
+        self.nodes.iter().map(|n| n.weight).max().unwrap_or(0)
+    }
+
+    /// Interned label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.nodes[v.index()].label
+    }
+
+    /// Label string of `v`.
+    #[inline]
+    pub fn label_str(&self, v: NodeId) -> &str {
+        self.labels.resolve(self.label(v))
+    }
+
+    /// The label table.
+    #[inline]
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// True if `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.nodes[v.index()].children.is_empty()
+    }
+
+    /// Height of the tree (a single node has height 0).
+    pub fn height(&self) -> usize {
+        // Child ids exceed parent ids, so a forward scan sees parents first.
+        let mut depth = vec![0usize; self.len()];
+        let mut max = 0;
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
+            let d = depth[n.parent.expect("non-root has parent").index()] + 1;
+            depth[i] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// All node ids, in increasing id order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree({} nodes, weight {})", self.len(), self.total_weight())
+    }
+}
+
+impl fmt::Display for Tree {
+    /// Prints the spec DSL form, e.g. `a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(t: &Tree, v: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}:{}", t.label_str(v), t.weight(v))?;
+            let cs = t.children(v);
+            if !cs.is_empty() {
+                write!(f, "(")?;
+                for (i, &c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    rec(t, c, f)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        rec(self, self.root(), f)
+    }
+}
+
+/// Incremental constructor for [`Tree`].
+///
+/// Children are appended in sibling order; a node's parent must already
+/// exist, so parent ids are always smaller than child ids.
+pub struct TreeBuilder {
+    nodes: Vec<NodeData>,
+    labels: LabelInterner,
+}
+
+impl fmt::Debug for TreeBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TreeBuilder({} nodes)", self.nodes.len())
+    }
+}
+
+impl TreeBuilder {
+    /// Start a tree with the given root label and weight.
+    pub fn new(root_label: &str, weight: Weight) -> Result<TreeBuilder, TreeError> {
+        Self::with_capacity(root_label, weight, 16)
+    }
+
+    /// Like [`TreeBuilder::new`] with a node-capacity hint.
+    pub fn with_capacity(
+        root_label: &str,
+        weight: Weight,
+        capacity: usize,
+    ) -> Result<TreeBuilder, TreeError> {
+        if weight == 0 {
+            return Err(TreeError::ZeroWeight);
+        }
+        let mut labels = LabelInterner::new();
+        let label = labels.intern(root_label);
+        let mut nodes = Vec::with_capacity(capacity.max(1));
+        nodes.push(NodeData {
+            parent: None,
+            children: Vec::new(),
+            index_in_parent: 0,
+            label,
+            weight,
+            subtree_weight: 0,
+        });
+        Ok(TreeBuilder { nodes, labels })
+    }
+
+    /// Intern a label for use with [`TreeBuilder::add_child_with_label`].
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        self.labels.intern(name)
+    }
+
+    /// Append a child with a string label.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        label: &str,
+        weight: Weight,
+    ) -> Result<NodeId, TreeError> {
+        let label = self.labels.intern(label);
+        self.add_child_with_label(parent, label, weight)
+    }
+
+    /// Append a child with a pre-interned label (hot path for generators).
+    pub fn add_child_with_label(
+        &mut self,
+        parent: NodeId,
+        label: LabelId,
+        weight: Weight,
+    ) -> Result<NodeId, TreeError> {
+        if weight == 0 {
+            return Err(TreeError::ZeroWeight);
+        }
+        if parent.index() >= self.nodes.len() {
+            return Err(TreeError::UnknownParent(parent));
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        let index_in_parent =
+            u32::try_from(self.nodes[parent.index()].children.len()).expect("fan-out overflow");
+        self.nodes.push(NodeData {
+            parent: Some(parent),
+            children: Vec::new(),
+            index_in_parent,
+            label,
+            weight,
+            subtree_weight: 0,
+        });
+        self.nodes[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A builder always contains at least the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Finalize: computes all subtree weights.
+    pub fn build(mut self) -> Tree {
+        // Children have larger ids than parents, so a reverse scan sees all
+        // children of `i` before `i` itself.
+        for i in (0..self.nodes.len()).rev() {
+            let mut sw = self.nodes[i].weight;
+            // Children ids are > i; their subtree_weight is already final.
+            for ci in 0..self.nodes[i].children.len() {
+                let c = self.nodes[i].children[ci];
+                sw += self.nodes[c.index()].subtree_weight;
+            }
+            self.nodes[i].subtree_weight = sw;
+        }
+        Tree {
+            nodes: self.nodes,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> Tree {
+        // Fig. 3 of the paper: a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)
+        let mut b = TreeBuilder::new("a", 3).unwrap();
+        let a = NodeId::ROOT;
+        b.add_child(a, "b", 2).unwrap();
+        let c = b.add_child(a, "c", 1).unwrap();
+        b.add_child(c, "d", 2).unwrap();
+        b.add_child(c, "e", 2).unwrap();
+        b.add_child(a, "f", 1).unwrap();
+        b.add_child(a, "g", 1).unwrap();
+        b.add_child(a, "h", 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn fig3_subtree_weights() {
+        let t = paper_example();
+        // "c's subtree weight W_T(c) is 5."
+        let c = t.child(t.root(), 1);
+        assert_eq!(t.label_str(c), "c");
+        assert_eq!(t.subtree_weight(c), 5);
+        assert_eq!(t.total_weight(), 14);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        let t = paper_example();
+        let root = t.root();
+        let b = t.child(root, 0);
+        let c = t.child(root, 1);
+        assert_eq!(t.next_sibling(b), Some(c));
+        assert_eq!(t.prev_sibling(c), Some(b));
+        assert_eq!(t.prev_sibling(b), None);
+        assert_eq!(t.next_sibling(root), None);
+        let h = t.child(root, 4);
+        assert_eq!(t.next_sibling(h), None);
+        assert_eq!(t.index_in_parent(h), 4);
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let t = paper_example();
+        let c = t.child(t.root(), 1);
+        assert_eq!(t.child_count(c), 2);
+        let d = t.child(c, 0);
+        assert_eq!(t.parent(d), Some(c));
+        assert_eq!(t.parent(t.root()), None);
+        assert!(t.is_leaf(d));
+        assert!(!t.is_leaf(c));
+    }
+
+    #[test]
+    fn height_and_display() {
+        let t = paper_example();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.to_string(), "a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = TreeBuilder::new("only", 7).unwrap().build();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.total_weight(), 7);
+        assert_eq!(t.max_node_weight(), 7);
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        assert_eq!(TreeBuilder::new("r", 0).unwrap_err(), TreeError::ZeroWeight);
+        let mut b = TreeBuilder::new("r", 1).unwrap();
+        assert_eq!(
+            b.add_child(NodeId::ROOT, "c", 0).unwrap_err(),
+            TreeError::ZeroWeight
+        );
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut b = TreeBuilder::new("r", 1).unwrap();
+        let bogus = NodeId::from_index(5);
+        assert_eq!(
+            b.add_child(bogus, "c", 1).unwrap_err(),
+            TreeError::UnknownParent(bogus)
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Sibling intervals and tree sibling partitionings (paper Sec. 2.1).
+
+use std::fmt;
+
+use crate::{NodeId, Tree, Weight};
+
+/// A sibling interval `(l, r)_T`: the set of consecutive siblings between a
+/// first sibling `l` and a last sibling `r` (inclusive, `l ⊴ r`).
+///
+/// The special interval `(t, t)_T` on the root is used to denote the root
+/// partition (a feasible partitioning must contain it).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiblingInterval {
+    /// `l`: first sibling.
+    pub first: NodeId,
+    /// `r`: last sibling.
+    pub last: NodeId,
+}
+
+impl SiblingInterval {
+    /// Interval from `l` to `r`.
+    pub fn new(first: NodeId, last: NodeId) -> SiblingInterval {
+        SiblingInterval { first, last }
+    }
+
+    /// The single-node interval `(v, v)_T`.
+    pub fn singleton(v: NodeId) -> SiblingInterval {
+        SiblingInterval { first: v, last: v }
+    }
+
+    /// True iff this is the root interval `(t, t)_T`.
+    pub fn is_root_interval(&self, tree: &Tree) -> bool {
+        self.first == tree.root() && self.last == tree.root()
+    }
+
+    /// The member nodes `{x | x = l ∨ x = r ∨ l ⊴ x ⊴ r}`, in sibling order.
+    ///
+    /// Panics if the interval is not well-formed for `tree`; use
+    /// [`crate::validate`] for fallible checking.
+    pub fn nodes<'t>(&self, tree: &'t Tree) -> impl Iterator<Item = NodeId> + 't {
+        let (parent, lo, hi) = self.bounds(tree).expect("malformed sibling interval");
+        match parent {
+            None => IntervalNodes::Root(std::iter::once(tree.root())),
+            Some(p) => IntervalNodes::Siblings(tree.children(p)[lo..=hi].iter().copied()),
+        }
+    }
+
+    /// Number of member siblings.
+    pub fn len(&self, tree: &Tree) -> usize {
+        let (_, lo, hi) = self.bounds(tree).expect("malformed sibling interval");
+        hi - lo + 1
+    }
+
+    /// Intervals are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shared parent and child-index bounds; `None` parent for the root
+    /// interval. Returns `Err(())` if malformed (different parents or
+    /// reversed order).
+    pub(crate) fn bounds(&self, tree: &Tree) -> Result<(Option<NodeId>, usize, usize), ()> {
+        if self.first == tree.root() || self.last == tree.root() {
+            return if self.first == self.last {
+                Ok((None, 0, 0))
+            } else {
+                Err(())
+            };
+        }
+        let p1 = tree.parent(self.first).ok_or(())?;
+        let p2 = tree.parent(self.last).ok_or(())?;
+        if p1 != p2 {
+            return Err(());
+        }
+        let lo = tree.index_in_parent(self.first);
+        let hi = tree.index_in_parent(self.last);
+        if lo > hi {
+            return Err(());
+        }
+        Ok((Some(p1), lo, hi))
+    }
+
+    /// Subtree weight of the interval, `W_T(l, r) = Σ_{x ∈ (l,r)_T} W_T(x)`.
+    ///
+    /// This is the weight of the interval's full subtrees in `T`, *not* the
+    /// partition weight (which depends on the whole partitioning).
+    pub fn subtree_weight(&self, tree: &Tree) -> Weight {
+        self.nodes(tree).map(|x| tree.subtree_weight(x)).sum()
+    }
+}
+
+enum IntervalNodes<'t> {
+    Root(std::iter::Once<NodeId>),
+    Siblings(std::iter::Copied<std::slice::Iter<'t, NodeId>>),
+}
+
+impl Iterator for IntervalNodes<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            IntervalNodes::Root(it) => it.next(),
+            IntervalNodes::Siblings(it) => it.next(),
+        }
+    }
+}
+
+impl fmt::Debug for SiblingInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?},{:?})", self.first, self.last)
+    }
+}
+
+/// A tree sibling partitioning `P`: a set of disjoint sibling intervals.
+///
+/// Stored as a vector; [`Partitioning::normalize`] brings it into a canonical
+/// order for comparisons. Disjointness and feasibility are *checked*, not
+/// maintained — construct freely, then run [`crate::validate`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Partitioning {
+    /// The intervals of the partitioning.
+    pub intervals: Vec<SiblingInterval>,
+}
+
+impl Partitioning {
+    /// Empty partitioning (not feasible: lacks the root interval).
+    pub fn new() -> Partitioning {
+        Partitioning::default()
+    }
+
+    /// Partitioning from intervals.
+    pub fn from_intervals(intervals: Vec<SiblingInterval>) -> Partitioning {
+        Partitioning { intervals }
+    }
+
+    /// Add an interval.
+    pub fn push(&mut self, iv: SiblingInterval) {
+        self.intervals.push(iv);
+    }
+
+    /// Cardinality `|P|` (number of intervals, i.e. number of partitions).
+    pub fn cardinality(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True iff `(t, t)_T ∈ P`.
+    pub fn contains_root_interval(&self, tree: &Tree) -> bool {
+        self.intervals.iter().any(|iv| iv.is_root_interval(tree))
+    }
+
+    /// Sort intervals by `(first, last)` for canonical comparisons.
+    pub fn normalize(&mut self) {
+        self.intervals.sort_unstable();
+        self.intervals.dedup();
+    }
+
+    /// Render with node labels, e.g. `{(a,a) (c,h) (d,e)}`.
+    pub fn display<'a>(&'a self, tree: &'a Tree) -> impl fmt::Display + 'a {
+        DisplayPartitioning { p: self, tree }
+    }
+}
+
+impl fmt::Debug for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.intervals.iter()).finish()
+    }
+}
+
+struct DisplayPartitioning<'a> {
+    p: &'a Partitioning,
+    tree: &'a Tree,
+}
+
+impl fmt::Display for DisplayPartitioning<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.p.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(
+                f,
+                "({},{})",
+                self.tree.label_str(iv.first),
+                self.tree.label_str(iv.last)
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+
+    fn fig3() -> Tree {
+        parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap()
+    }
+
+    fn by_label(t: &Tree, l: &str) -> NodeId {
+        t.node_ids().find(|&v| t.label_str(v) == l).unwrap()
+    }
+
+    #[test]
+    fn paper_example_interval_bf() {
+        // "the interval (b,f)_T consists of the nodes b, c, and f, and has a
+        // subtree weight of 8"
+        let t = fig3();
+        let iv = SiblingInterval::new(by_label(&t, "b"), by_label(&t, "f"));
+        let names: Vec<&str> = iv.nodes(&t).map(|v| t.label_str(v)).collect();
+        assert_eq!(names, ["b", "c", "f"]);
+        assert_eq!(iv.subtree_weight(&t), 8);
+        assert_eq!(iv.len(&t), 3);
+    }
+
+    #[test]
+    fn root_interval() {
+        let t = fig3();
+        let iv = SiblingInterval::singleton(t.root());
+        assert!(iv.is_root_interval(&t));
+        assert_eq!(iv.nodes(&t).collect::<Vec<_>>(), vec![t.root()]);
+        assert_eq!(iv.subtree_weight(&t), t.total_weight());
+    }
+
+    #[test]
+    fn malformed_bounds() {
+        let t = fig3();
+        let b = by_label(&t, "b");
+        let d = by_label(&t, "d");
+        let f = by_label(&t, "f");
+        // Different parents.
+        assert!(SiblingInterval::new(b, d).bounds(&t).is_err());
+        // Reversed order.
+        assert!(SiblingInterval::new(f, b).bounds(&t).is_err());
+        // Root paired with non-root.
+        assert!(SiblingInterval::new(t.root(), b).bounds(&t).is_err());
+    }
+
+    #[test]
+    fn normalize_dedups() {
+        let t = fig3();
+        let b = by_label(&t, "b");
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(b));
+        p.push(SiblingInterval::singleton(t.root()));
+        p.push(SiblingInterval::singleton(b));
+        p.normalize();
+        assert_eq!(p.cardinality(), 2);
+        assert!(p.contains_root_interval(&t));
+    }
+
+    #[test]
+    fn display_uses_labels() {
+        let t = fig3();
+        let mut p = Partitioning::new();
+        p.push(SiblingInterval::singleton(t.root()));
+        p.push(SiblingInterval::new(by_label(&t, "c"), by_label(&t, "h")));
+        assert_eq!(p.display(&t).to_string(), "{(a,a) (c,h)}");
+    }
+}

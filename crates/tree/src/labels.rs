@@ -1,0 +1,114 @@
+//! Label interning.
+//!
+//! Document trees repeat a small vocabulary of element names over millions of
+//! nodes, so nodes store a dense [`LabelId`] and the tree owns one
+//! [`LabelInterner`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned label handle. Dense, starting at 0, per [`LabelInterner`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Index into the interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LabelId({})", self.0)
+    }
+}
+
+/// Bidirectional string <-> [`LabelId`] map.
+#[derive(Default, Clone)]
+pub struct LabelInterner {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, LabelId>,
+}
+
+impl LabelInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("label table overflow"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Look up an id without interning.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string for `id`. Panics on a foreign id.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Debug for LabelInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LabelInterner")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("item");
+        let b = li.intern("keyword");
+        let a2 = li.intern("item");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(li.resolve(a), "item");
+        assert_eq!(li.resolve(b), "keyword");
+        assert_eq!(li.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut li = LabelInterner::new();
+        assert!(li.get("x").is_none());
+        let id = li.intern("x");
+        assert_eq!(li.get("x"), Some(id));
+        assert_eq!(li.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let li = LabelInterner::new();
+        assert!(li.is_empty());
+        assert_eq!(li.len(), 0);
+    }
+}

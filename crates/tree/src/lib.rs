@@ -1,0 +1,39 @@
+//! Ordered, labeled, weighted trees and *tree sibling partitionings*.
+//!
+//! This crate implements the formal model of Section 2 of Kanne & Moerkotte,
+//! *"A Linear Time Algorithm for Optimal Tree Sibling Partitioning and
+//! Approximation Algorithms in Natix"* (VLDB 2006):
+//!
+//! * a rooted, ordered, weighted tree `T = (V, t, p, ⊴, w)` ([`Tree`]),
+//! * sibling intervals `(l, r)_T` ([`SiblingInterval`]),
+//! * tree sibling partitionings ([`Partitioning`]) together with the derived
+//!   notions of *partition forest*, *partition weight*, *root weight*,
+//!   *feasible*, *minimal*, *lean* and *optimal* partitionings,
+//! * a from-scratch validator ([`validate`]) that recomputes every derived
+//!   quantity and serves as the oracle for all partitioning algorithms.
+//!
+//! The tree is stored as an arena; [`NodeId`]s are stable, dense `u32`
+//! indices (the root is always id 0, and a child's id always exceeds its
+//! parent's). Labels are interned.
+
+mod arena;
+mod interval;
+mod labels;
+mod spec;
+mod stats;
+mod traverse;
+mod validate;
+
+pub use arena::{NodeId, Tree, TreeBuilder, TreeError};
+pub use interval::{Partitioning, SiblingInterval};
+pub use labels::{LabelId, LabelInterner};
+pub use spec::{parse_spec, SpecError};
+pub use stats::{partition_quality, tree_stats, PartitionQuality, TreeStats};
+pub use traverse::{Postorder, Preorder};
+pub use validate::{
+    analyze, partition_assignment, validate, Analysis, PartitionStats, ValidationError,
+};
+
+/// Node weight / partition weight, in abstract units ("slots" in the paper's
+/// storage model: 8-byte slots, so `K = 256` corresponds to 2 KB records).
+pub type Weight = u64;

@@ -1,0 +1,208 @@
+//! A tiny textual tree DSL for tests, docs and examples.
+//!
+//! Grammar (whitespace-separated):
+//!
+//! ```text
+//! tree  := node
+//! node  := label ':' weight [ '(' node+ ')' ]
+//! label := [A-Za-z_][A-Za-z0-9_.-]*
+//! ```
+//!
+//! The paper's Fig. 3 example is written `a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)`.
+//! [`crate::Tree`]'s `Display` impl emits the same format, so
+//! `parse_spec(&t.to_string())` round-trips.
+
+use std::fmt;
+
+use crate::{NodeId, Tree, TreeBuilder, TreeError, Weight};
+
+/// Error from [`parse_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Malformed input, with byte offset and message.
+    Syntax(usize, &'static str),
+    /// Structural error (zero weight etc.).
+    Tree(TreeError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax(at, msg) => write!(f, "spec syntax error at byte {at}: {msg}"),
+            SpecError::Tree(e) => write!(f, "spec tree error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TreeError> for SpecError {
+    fn from(e: TreeError) -> Self {
+        SpecError::Tree(e)
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn label(&mut self) -> Result<&'a str, SpecError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.pos += 1,
+            _ => return Err(SpecError::Syntax(self.pos, "expected label")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("ascii"))
+    }
+
+    fn weight(&mut self) -> Result<Weight, SpecError> {
+        if self.peek() != Some(b':') {
+            return Err(SpecError::Syntax(self.pos, "expected ':'"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(SpecError::Syntax(self.pos, "expected weight digits"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .parse()
+            .map_err(|_| SpecError::Syntax(start, "weight out of range"))
+    }
+
+    /// Parses `label ':' weight` and returns them; the caller attaches the
+    /// node and recurses via an explicit stack (specs can be very deep).
+    fn head(&mut self) -> Result<(&'a str, Weight), SpecError> {
+        let label = self.label()?;
+        let weight = self.weight()?;
+        Ok((label, weight))
+    }
+}
+
+/// Parse the tree DSL described in the module docs.
+pub fn parse_spec(src: &str) -> Result<Tree, SpecError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let (label, weight) = p.head()?;
+    let mut builder = TreeBuilder::new(label, weight)?;
+    // Stack of open parents (nodes whose '(' has been seen).
+    let mut open: Vec<NodeId> = Vec::new();
+    let mut last: NodeId = NodeId::ROOT;
+    loop {
+        p.skip_ws();
+        match p.peek() {
+            None => break,
+            Some(b'(') => {
+                p.pos += 1;
+                open.push(last);
+            }
+            Some(b')') => {
+                p.pos += 1;
+                if open.pop().is_none() {
+                    return Err(SpecError::Syntax(p.pos - 1, "unmatched ')'"));
+                }
+            }
+            Some(_) => {
+                let parent = match open.last() {
+                    Some(&parent) => parent,
+                    None => return Err(SpecError::Syntax(p.pos, "trailing content after root")),
+                };
+                let (label, weight) = p.head()?;
+                last = builder.add_child(parent, label, weight)?;
+            }
+        }
+    }
+    if !open.is_empty() {
+        return Err(SpecError::Syntax(p.pos, "unclosed '('"));
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.total_weight(), 14);
+        let c = t.child(t.root(), 1);
+        assert_eq!(t.label_str(c), "c");
+        assert_eq!(t.child_count(c), 2);
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        let spec = "r:10(a:1(b:2(c:3)) d:4 e:5(f:6 g:7))";
+        let t = parse_spec(spec).unwrap();
+        assert_eq!(t.to_string(), spec);
+        let t2 = parse_spec(&t.to_string()).unwrap();
+        assert_eq!(t2.to_string(), spec);
+    }
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("  root_1:42  ").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.weight(t.root()), 42);
+        assert_eq!(t.label_str(t.root()), "root_1");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("a").is_err());
+        assert!(parse_spec("a:").is_err());
+        assert!(parse_spec("a:1(").is_err());
+        assert!(parse_spec("a:1)").is_err());
+        assert!(parse_spec("a:1 b:2").is_err());
+        assert!(parse_spec("a:1(b:2))").is_err());
+        assert!(parse_spec("1:1").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_weight() {
+        assert!(matches!(
+            parse_spec("a:0"),
+            Err(SpecError::Tree(TreeError::ZeroWeight))
+        ));
+        assert!(matches!(
+            parse_spec("a:1(b:0)"),
+            Err(SpecError::Tree(TreeError::ZeroWeight))
+        ));
+    }
+
+    #[test]
+    fn nested_siblings() {
+        let t = parse_spec("p:1(c1:1 c2:1(x:1 y:1) c3:1)").unwrap();
+        let c2 = t.child(t.root(), 1);
+        assert_eq!(t.child_count(t.root()), 3);
+        assert_eq!(t.child_count(c2), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Shape statistics for trees and quality reports for partitionings —
+//! the numbers the paper's Sec. 6.1 uses to characterize its documents
+//! ("very simple structure" vs "nested structures with larger subtrees"),
+//! and fill-factor summaries for comparing partitioners beyond raw counts.
+
+use std::fmt;
+
+use crate::{Partitioning, Tree, ValidationError, Weight};
+
+/// Structural profile of a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total weight.
+    pub total_weight: Weight,
+    /// Tree height (single node = 0).
+    pub height: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Maximum fan-out.
+    pub max_fanout: usize,
+    /// Mean fan-out over inner nodes.
+    pub mean_fanout: f64,
+    /// Mean node weight.
+    pub mean_weight: f64,
+    /// Heaviest single node.
+    pub max_node_weight: Weight,
+}
+
+/// Compute a [`TreeStats`] profile.
+pub fn tree_stats(tree: &Tree) -> TreeStats {
+    let nodes = tree.len();
+    let mut leaves = 0;
+    let mut max_fanout = 0;
+    let mut inner = 0usize;
+    let mut fanout_sum = 0usize;
+    for v in tree.node_ids() {
+        let c = tree.child_count(v);
+        if c == 0 {
+            leaves += 1;
+        } else {
+            inner += 1;
+            fanout_sum += c;
+            max_fanout = max_fanout.max(c);
+        }
+    }
+    TreeStats {
+        nodes,
+        total_weight: tree.total_weight(),
+        height: tree.height(),
+        leaves,
+        max_fanout,
+        mean_fanout: if inner == 0 {
+            0.0
+        } else {
+            fanout_sum as f64 / inner as f64
+        },
+        mean_weight: tree.total_weight() as f64 / nodes as f64,
+        max_node_weight: tree.max_node_weight(),
+    }
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, weight {}, height {}, {} leaves, fan-out max {} / mean {:.1}, \
+             node weight mean {:.2} / max {}",
+            self.nodes,
+            self.total_weight,
+            self.height,
+            self.leaves,
+            self.max_fanout,
+            self.mean_fanout,
+            self.mean_weight,
+            self.max_node_weight
+        )
+    }
+}
+
+/// Quality profile of a feasible partitioning: how well the partitions use
+/// the storage-unit capacity `K`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of partitions.
+    pub cardinality: usize,
+    /// The limit the report was computed against.
+    pub limit: Weight,
+    /// Mean fill factor (partition weight / K), in `0..=1`.
+    pub mean_fill: f64,
+    /// Smallest partition weight.
+    pub min_weight: Weight,
+    /// Largest partition weight.
+    pub max_weight: Weight,
+    /// Partitions at most a quarter full (pure overhead for navigation).
+    pub underfull: usize,
+    /// Distance from the weight lower bound `ceil(W / K)`, as a ratio
+    /// `cardinality / lower_bound` (1.0 = information-theoretically
+    /// perfect packing).
+    pub vs_lower_bound: f64,
+}
+
+/// Compute the quality report (validates the partitioning first).
+pub fn partition_quality(
+    tree: &Tree,
+    limit: Weight,
+    partitioning: &Partitioning,
+) -> Result<PartitionQuality, ValidationError> {
+    let stats = crate::validate(tree, limit, partitioning)?;
+    let n = stats.partition_weights.len();
+    let sum: Weight = stats.partition_weights.iter().sum();
+    let min = stats.partition_weights.iter().copied().min().unwrap_or(0);
+    let max = stats.max_partition_weight;
+    let underfull = stats
+        .partition_weights
+        .iter()
+        .filter(|&&w| w * 4 <= limit)
+        .count();
+    let lb = tree.total_weight().div_ceil(limit).max(1);
+    Ok(PartitionQuality {
+        cardinality: n,
+        limit,
+        mean_fill: sum as f64 / (n as f64 * limit as f64),
+        min_weight: min,
+        max_weight: max,
+        underfull,
+        vs_lower_bound: n as f64 / lb as f64,
+    })
+}
+
+impl fmt::Display for PartitionQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} partitions at K={}, fill mean {:.0}% (min {} / max {}), \
+             {} underfull, {:.2}x the weight bound",
+            self.cardinality,
+            self.limit,
+            self.mean_fill * 100.0,
+            self.min_weight,
+            self.max_weight,
+            self.underfull,
+            self.vs_lower_bound
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_spec, SiblingInterval};
+
+    #[test]
+    fn tree_stats_profile() {
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.total_weight, 14);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.leaves, 6);
+        assert_eq!(s.max_fanout, 5);
+        assert_eq!(s.max_node_weight, 3);
+        // Inner nodes: a (5 children), c (2 children).
+        assert!((s.mean_fanout - 3.5).abs() < 1e-9);
+        let shown = s.to_string();
+        assert!(shown.contains("8 nodes"));
+    }
+
+    #[test]
+    fn quality_of_the_optimal_partitioning() {
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        let by = |l: &str| t.node_ids().find(|&v| t.label_str(v) == l).unwrap();
+        let p = Partitioning::from_intervals(vec![
+            SiblingInterval::singleton(t.root()),
+            SiblingInterval::new(by("c"), by("h")),
+            SiblingInterval::new(by("d"), by("e")),
+        ]);
+        let q = partition_quality(&t, 5, &p).unwrap();
+        assert_eq!(q.cardinality, 3);
+        // Weights 5, 5, 4 of limit 5.
+        assert!((q.mean_fill - 14.0 / 15.0).abs() < 1e-9);
+        assert_eq!(q.min_weight, 4);
+        assert_eq!(q.max_weight, 5);
+        assert_eq!(q.underfull, 0);
+        // Lower bound ceil(14/5) = 3 -> perfect.
+        assert!((q.vs_lower_bound - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underfull_partitions_counted() {
+        let t = parse_spec("a:1(b:1 c:1)").unwrap();
+        let by = |l: &str| t.node_ids().find(|&v| t.label_str(v) == l).unwrap();
+        let p = Partitioning::from_intervals(vec![
+            SiblingInterval::singleton(t.root()),
+            SiblingInterval::singleton(by("b")),
+            SiblingInterval::singleton(by("c")),
+        ]);
+        let q = partition_quality(&t, 8, &p).unwrap();
+        // Every partition weighs 1 or 2 of 8: all <= K/4.
+        assert_eq!(q.underfull, 3);
+        assert!(q.vs_lower_bound > 2.9);
+    }
+
+    #[test]
+    fn rejects_infeasible() {
+        let t = parse_spec("a:9(b:9)").unwrap();
+        let p = Partitioning::from_intervals(vec![SiblingInterval::singleton(t.root())]);
+        assert!(partition_quality(&t, 5, &p).is_err());
+    }
+}

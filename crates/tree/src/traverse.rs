@@ -1,0 +1,120 @@
+//! Non-recursive tree traversals.
+
+use crate::{NodeId, Tree};
+
+impl Tree {
+    /// Depth-first **preorder** iterator (node before its children, children
+    /// in sibling order). This is XML document order.
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![self.root()],
+        }
+    }
+
+    /// Depth-first **postorder** iterator (children before the node). This is
+    /// the bottom-up processing order used by GHDW/DHW/KM/EKM/RS.
+    pub fn postorder(&self) -> Postorder<'_> {
+        Postorder {
+            tree: self,
+            // (node, next child index to descend into)
+            stack: vec![(self.root(), 0)],
+        }
+    }
+}
+
+/// See [`Tree::preorder`].
+pub struct Preorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let v = self.stack.pop()?;
+        // Push children reversed so the leftmost is popped first.
+        self.stack.extend(self.tree.children(v).iter().rev().copied());
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.stack.len(), Some(self.tree.len()))
+    }
+}
+
+/// See [`Tree::postorder`].
+pub struct Postorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<(NodeId, usize)>,
+}
+
+impl Iterator for Postorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let (v, next_child) = self.stack.last_mut()?;
+            let children = self.tree.children(*v);
+            if *next_child < children.len() {
+                let c = children[*next_child];
+                *next_child += 1;
+                self.stack.push((c, 0));
+            } else {
+                let (v, _) = self.stack.pop().expect("non-empty");
+                return Some(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_spec;
+
+    #[test]
+    fn preorder_is_document_order() {
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        let labels: Vec<&str> = t.preorder().map(|v| t.label_str(v)).collect();
+        assert_eq!(labels, ["a", "b", "c", "d", "e", "f", "g", "h"]);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let t = parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap();
+        let labels: Vec<&str> = t.postorder().map(|v| t.label_str(v)).collect();
+        assert_eq!(labels, ["b", "d", "e", "c", "f", "g", "h", "a"]);
+    }
+
+    #[test]
+    fn traversals_cover_all_nodes() {
+        let t = parse_spec("r:1(x:1(y:1(z:1)) w:1)").unwrap();
+        assert_eq!(t.preorder().count(), t.len());
+        assert_eq!(t.postorder().count(), t.len());
+    }
+
+    #[test]
+    fn single_node() {
+        let t = parse_spec("r:9").unwrap();
+        assert_eq!(t.preorder().collect::<Vec<_>>(), vec![t.root()]);
+        assert_eq!(t.postorder().collect::<Vec<_>>(), vec![t.root()]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-deep chain; recursive traversal would blow the stack.
+        let mut spec = String::new();
+        let n = 100_000;
+        for i in 0..n {
+            spec.push_str(&format!("x{i}:1("));
+        }
+        spec.push_str("leaf:1");
+        spec.push_str(&")".repeat(n));
+        let t = parse_spec(&spec).unwrap();
+        assert_eq!(t.len(), n + 1);
+        assert_eq!(t.preorder().count(), n + 1);
+        assert_eq!(t.postorder().count(), n + 1);
+        assert_eq!(t.height(), n);
+    }
+}

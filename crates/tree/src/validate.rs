@@ -1,0 +1,354 @@
+//! From-scratch recomputation of partition weights: the oracle used to check
+//! every partitioning algorithm.
+//!
+//! Given a partitioning `P`, the *partition forest* `F_T^P` results from
+//! cutting the parent edges of every node contained in an interval of `P`.
+//! The *partition weight* `W_T^P(v)` of a node is its subtree weight in that
+//! forest; the partition weight of an interval is the sum over its members;
+//! `P` is *feasible* (w.r.t. limit `K`) iff `(t,t)_T ∈ P` and every
+//! interval's partition weight is `≤ K`.
+
+use std::fmt;
+
+use crate::{NodeId, Partitioning, SiblingInterval, Tree, Weight};
+
+/// Structural or feasibility violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `(t, t)_T` is not in the partitioning.
+    MissingRootInterval,
+    /// An interval's endpoints are not ordered siblings of one parent.
+    MalformedInterval(SiblingInterval),
+    /// A node belongs to more than one interval.
+    OverlappingIntervals(NodeId),
+    /// An interval's partition weight exceeds the limit.
+    OverweightPartition {
+        /// The offending interval.
+        interval: SiblingInterval,
+        /// Its partition weight.
+        weight: Weight,
+        /// The limit `K`.
+        limit: Weight,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingRootInterval => {
+                write!(f, "partitioning does not contain the root interval (t,t)")
+            }
+            ValidationError::MalformedInterval(iv) => {
+                write!(f, "malformed sibling interval {iv:?}")
+            }
+            ValidationError::OverlappingIntervals(v) => {
+                write!(f, "node {v} belongs to more than one interval")
+            }
+            ValidationError::OverweightPartition {
+                interval,
+                weight,
+                limit,
+            } => write!(
+                f,
+                "interval {interval:?} has partition weight {weight} > K = {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Derived quantities of a structurally valid partitioning (weight limit not
+/// yet enforced). Produced by [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Partition weight `W_T^P(l, r)` per interval, parallel to
+    /// `partitioning.intervals`.
+    pub partition_weights: Vec<Weight>,
+    /// Root weight `W_T^P(t)`: the partition weight of the root node
+    /// (defined even if the root interval is absent).
+    pub root_weight: Weight,
+    /// `|P|`.
+    pub cardinality: usize,
+}
+
+/// [`Analysis`] plus the enforced limit; produced by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Partition weight per interval, parallel to `partitioning.intervals`.
+    pub partition_weights: Vec<Weight>,
+    /// `W_T^P(t)`.
+    pub root_weight: Weight,
+    /// `|P|`.
+    pub cardinality: usize,
+    /// Largest partition weight.
+    pub max_partition_weight: Weight,
+    /// The enforced limit `K`.
+    pub limit: Weight,
+}
+
+/// Check interval structure and compute partition weights, without enforcing
+/// a weight limit or the presence of the root interval.
+///
+/// This supports the paper's Sec. 2.1 worked examples (e.g. the root weight
+/// of `P := {(b,f)_T}` is 6 even though `P` is not feasible).
+pub fn analyze(tree: &Tree, partitioning: &Partitioning) -> Result<Analysis, ValidationError> {
+    let n = tree.len();
+    let mut cut = vec![false; n];
+    for iv in &partitioning.intervals {
+        iv.bounds(tree)
+            .map_err(|()| ValidationError::MalformedInterval(*iv))?;
+        for x in iv.nodes(tree) {
+            if cut[x.index()] {
+                return Err(ValidationError::OverlappingIntervals(x));
+            }
+            cut[x.index()] = true;
+        }
+    }
+
+    // Partition weight of every node: subtree weight in the partition
+    // forest. Children have larger ids than parents, so a reverse scan sees
+    // children first.
+    let mut pw: Vec<Weight> = vec![0; n];
+    for i in (0..n).rev() {
+        let v = NodeId::from_index(i);
+        let mut w = tree.weight(v);
+        for &c in tree.children(v) {
+            if !cut[c.index()] {
+                w += pw[c.index()];
+            }
+        }
+        pw[i] = w;
+    }
+
+    let partition_weights = partitioning
+        .intervals
+        .iter()
+        .map(|iv| iv.nodes(tree).map(|x| pw[x.index()]).sum())
+        .collect();
+
+    Ok(Analysis {
+        partition_weights,
+        root_weight: pw[tree.root().index()],
+        cardinality: partitioning.cardinality(),
+    })
+}
+
+/// Full feasibility check: structure, root interval, and weight limit `K`.
+///
+/// Returns the recomputed statistics on success. This function never trusts
+/// anything the partitioning algorithm computed.
+pub fn validate(
+    tree: &Tree,
+    limit: Weight,
+    partitioning: &Partitioning,
+) -> Result<PartitionStats, ValidationError> {
+    if !partitioning.contains_root_interval(tree) {
+        return Err(ValidationError::MissingRootInterval);
+    }
+    let analysis = analyze(tree, partitioning)?;
+    let mut max = 0;
+    for (iv, &w) in partitioning
+        .intervals
+        .iter()
+        .zip(&analysis.partition_weights)
+    {
+        if w > limit {
+            return Err(ValidationError::OverweightPartition {
+                interval: *iv,
+                weight: w,
+                limit,
+            });
+        }
+        max = max.max(w);
+    }
+    Ok(PartitionStats {
+        partition_weights: analysis.partition_weights,
+        root_weight: analysis.root_weight,
+        cardinality: analysis.cardinality,
+        max_partition_weight: max,
+        limit,
+    })
+}
+
+/// Map every node to the index (into `partitioning.intervals`) of the
+/// partition that contains it: the partition of its nearest cut
+/// ancestor-or-self.
+///
+/// Requires a structurally valid partitioning containing the root interval.
+pub fn partition_assignment(tree: &Tree, partitioning: &Partitioning) -> Vec<u32> {
+    let n = tree.len();
+    const NONE: u32 = u32::MAX;
+    let mut owner = vec![NONE; n];
+    for (pi, iv) in partitioning.intervals.iter().enumerate() {
+        for x in iv.nodes(tree) {
+            owner[x.index()] = u32::try_from(pi).expect("too many partitions");
+        }
+    }
+    assert_ne!(
+        owner[tree.root().index()],
+        NONE,
+        "partitioning must contain the root interval"
+    );
+    // Parents precede children in id order.
+    let mut assign = vec![NONE; n];
+    for i in 0..n {
+        let v = NodeId::from_index(i);
+        assign[i] = if owner[i] != NONE {
+            owner[i]
+        } else {
+            assign[tree.parent(v).expect("non-root").index()]
+        };
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+
+    fn fig3() -> Tree {
+        parse_spec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)").unwrap()
+    }
+
+    fn by_label(t: &Tree, l: &str) -> NodeId {
+        t.node_ids().find(|&v| t.label_str(v) == l).unwrap()
+    }
+
+    fn p(t: &Tree, ivs: &[(&str, &str)]) -> Partitioning {
+        Partitioning::from_intervals(
+            ivs.iter()
+                .map(|&(a, b)| SiblingInterval::new(by_label(t, a), by_label(t, b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn paper_root_weight_of_bf() {
+        // "consider the partitioning P := {(b,f)_T}. The root weight of P is
+        // 6, because only the nodes a, g, and h remain in the tree of the
+        // root a."
+        let t = fig3();
+        let part = p(&t, &[("b", "f")]);
+        let a = analyze(&t, &part).unwrap();
+        assert_eq!(a.root_weight, 6);
+        // Partition weight of (b,f): b(2) + c-subtree(5) + f(1) = 8.
+        assert_eq!(a.partition_weights, vec![8]);
+    }
+
+    #[test]
+    fn paper_feasible_partitioning() {
+        // "A feasible partitioning of our example tree and K = 5 is
+        // P := {(a,a), (b,b), (c,c), (f,g)}. Here, h is in the same
+        // partition as the root, and the root weight is 5."
+        let t = fig3();
+        let part = p(&t, &[("a", "a"), ("b", "b"), ("c", "c"), ("f", "g")]);
+        let s = validate(&t, 5, &part).unwrap();
+        assert_eq!(s.cardinality, 4);
+        assert_eq!(s.root_weight, 5);
+    }
+
+    #[test]
+    fn paper_minimal_not_lean() {
+        // "R := {(a,a), (c,c), (f,h)} is a minimal partitioning (K = 5) with
+        // cardinality of 3. b is in the same partition as the root, so R has
+        // a root weight of 5."
+        let t = fig3();
+        let part = p(&t, &[("a", "a"), ("c", "c"), ("f", "h")]);
+        let s = validate(&t, 5, &part).unwrap();
+        assert_eq!(s.cardinality, 3);
+        assert_eq!(s.root_weight, 5);
+    }
+
+    #[test]
+    fn paper_optimal_partitioning() {
+        // The paper claims that in P := {(a,a), (c,h), (d,e)} "the root
+        // weight is 3", but with the Fig. 3 weights the root partition keeps
+        // a (3) and b (2), i.e. weight 5 — and exhaustive enumeration (see
+        // the brute-force oracle in natix-core) confirms no cardinality-3
+        // partitioning at K = 5 has root weight < 5. We assert the
+        // recomputed value; the erratum is documented in EXPERIMENTS.md.
+        let t = fig3();
+        let part = p(&t, &[("a", "a"), ("c", "h"), ("d", "e")]);
+        let s = validate(&t, 5, &part).unwrap();
+        assert_eq!(s.cardinality, 3);
+        assert_eq!(s.root_weight, 5);
+        // (a,a): a(3) + b(2) = 5. (c,h): c(1, d/e cut away) + f(1) + g(1)
+        // + h(2) = 5. (d,e): 4.
+        assert_eq!(s.partition_weights, vec![5, 5, 4]);
+        assert_eq!(s.max_partition_weight, 5);
+    }
+
+    #[test]
+    fn missing_root_interval_rejected() {
+        let t = fig3();
+        let part = p(&t, &[("b", "f")]);
+        assert_eq!(
+            validate(&t, 100, &part).unwrap_err(),
+            ValidationError::MissingRootInterval
+        );
+    }
+
+    #[test]
+    fn overweight_rejected() {
+        let t = fig3();
+        let part = p(&t, &[("a", "a")]);
+        match validate(&t, 5, &part).unwrap_err() {
+            ValidationError::OverweightPartition { weight, limit, .. } => {
+                assert_eq!(weight, 14);
+                assert_eq!(limit, 5);
+            }
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let t = fig3();
+        let part = p(&t, &[("a", "a"), ("b", "f"), ("c", "c")]);
+        assert_eq!(
+            validate(&t, 100, &part).unwrap_err(),
+            ValidationError::OverlappingIntervals(by_label(&t, "c"))
+        );
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let t = fig3();
+        let part = Partitioning::from_intervals(vec![
+            SiblingInterval::singleton(t.root()),
+            SiblingInterval::new(by_label(&t, "f"), by_label(&t, "b")),
+        ]);
+        assert!(matches!(
+            validate(&t, 100, &part).unwrap_err(),
+            ValidationError::MalformedInterval(_)
+        ));
+    }
+
+    #[test]
+    fn assignment_follows_cut_ancestors() {
+        let t = fig3();
+        let part = p(&t, &[("a", "a"), ("c", "h"), ("d", "e")]);
+        let assign = partition_assignment(&t, &part);
+        let idx = |l: &str| assign[by_label(&t, l).index()] as usize;
+        assert_eq!(idx("a"), 0);
+        assert_eq!(idx("b"), 0); // b stays with the root
+        assert_eq!(idx("c"), 1);
+        assert_eq!(idx("f"), 1);
+        assert_eq!(idx("g"), 1);
+        assert_eq!(idx("h"), 1);
+        assert_eq!(idx("d"), 2);
+        assert_eq!(idx("e"), 2);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = parse_spec("r:4").unwrap();
+        let part = Partitioning::from_intervals(vec![SiblingInterval::singleton(t.root())]);
+        let s = validate(&t, 4, &part).unwrap();
+        assert_eq!(s.cardinality, 1);
+        assert_eq!(s.root_weight, 4);
+        assert!(validate(&t, 3, &part).is_err());
+    }
+}

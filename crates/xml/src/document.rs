@@ -1,0 +1,222 @@
+//! The document model: a weighted tree plus node kinds and content.
+
+use std::fmt;
+
+use natix_tree::{NodeId, Tree, TreeBuilder, Weight};
+
+use crate::weight::node_weight;
+
+/// Kind of a document node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An element; its tag name is the tree label.
+    Element,
+    /// An attribute; its name is the tree label, its value the content.
+    /// Attribute nodes precede element-content children, as in DOM order.
+    Attribute,
+    /// A text node; label `#text`, content is the character data.
+    Text,
+    /// A comment; label `#comment`.
+    Comment,
+    /// A processing instruction; label = target, content = data.
+    ProcessingInstruction,
+}
+
+/// An XML document as an ordered, labeled, weighted tree (see the crate
+/// docs for the weight model). Node ids are shared with [`Document::tree`],
+/// so partitionings computed on the tree address document nodes directly.
+pub struct Document {
+    tree: Tree,
+    kinds: Vec<NodeKind>,
+    content: Vec<Option<Box<str>>>,
+}
+
+impl Document {
+    /// The underlying weighted tree.
+    #[inline]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Documents always have a root element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root element.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.tree.root()
+    }
+
+    /// Node kind.
+    #[inline]
+    pub fn kind(&self, v: NodeId) -> NodeKind {
+        self.kinds[v.index()]
+    }
+
+    /// Element tag name / attribute name / `#text` / `#comment` / PI target.
+    #[inline]
+    pub fn name(&self, v: NodeId) -> &str {
+        self.tree.label_str(v)
+    }
+
+    /// Content string (attribute value, text data, …); `None` for elements.
+    #[inline]
+    pub fn content(&self, v: NodeId) -> Option<&str> {
+        self.content[v.index()].as_deref()
+    }
+
+    /// True for element nodes.
+    #[inline]
+    pub fn is_element(&self, v: NodeId) -> bool {
+        self.kinds[v.index()] == NodeKind::Element
+    }
+
+    /// Total document weight in slots.
+    pub fn total_weight(&self) -> Weight {
+        self.tree.total_weight()
+    }
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Document({} nodes, {} slots)",
+            self.len(),
+            self.total_weight()
+        )
+    }
+}
+
+/// Incremental constructor for [`Document`]; computes node weights from the
+/// slot model as nodes are added.
+pub struct DocumentBuilder {
+    tb: TreeBuilder,
+    kinds: Vec<NodeKind>,
+    content: Vec<Option<Box<str>>>,
+}
+
+impl DocumentBuilder {
+    /// Start a document with the given root element name.
+    pub fn new(root_name: &str) -> DocumentBuilder {
+        let tb = TreeBuilder::new(root_name, node_weight(NodeKind::Element, 0))
+            .expect("element weight is positive");
+        DocumentBuilder {
+            tb,
+            kinds: vec![NodeKind::Element],
+            content: vec![None],
+        }
+    }
+
+    fn add(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        kind: NodeKind,
+        content: Option<&str>,
+    ) -> NodeId {
+        let len = content.map_or(0, str::len);
+        let id = self
+            .tb
+            .add_child(parent, name, node_weight(kind, len))
+            .expect("parent from this builder, positive weight");
+        self.kinds.push(kind);
+        self.content.push(content.map(Into::into));
+        id
+    }
+
+    /// Append a child element.
+    pub fn element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        self.add(parent, name, NodeKind::Element, None)
+    }
+
+    /// Append an attribute (conventionally before element children).
+    pub fn attribute(&mut self, parent: NodeId, name: &str, value: &str) -> NodeId {
+        self.add(parent, name, NodeKind::Attribute, Some(value))
+    }
+
+    /// Append a text node.
+    pub fn text(&mut self, parent: NodeId, data: &str) -> NodeId {
+        self.add(parent, "#text", NodeKind::Text, Some(data))
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, parent: NodeId, data: &str) -> NodeId {
+        self.add(parent, "#comment", NodeKind::Comment, Some(data))
+    }
+
+    /// Append a processing instruction.
+    pub fn processing_instruction(&mut self, parent: NodeId, target: &str, data: &str) -> NodeId {
+        self.add(parent, target, NodeKind::ProcessingInstruction, Some(data))
+    }
+
+    /// Number of nodes so far.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Builders always contain the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Finalize the document.
+    pub fn build(self) -> Document {
+        Document {
+            tree: self.tb.build(),
+            kinds: self.kinds,
+            content: self.content,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_slot_weights() {
+        let mut b = DocumentBuilder::new("site");
+        let root = NodeId::ROOT;
+        let item = b.element(root, "item");
+        b.attribute(item, "id", "item0"); // 5 bytes -> 1 + 1 = 2 slots
+        b.text(item, "twelve bytes"); // 12 bytes -> 1 + 2 = 3 slots
+        let d = b.build();
+        assert_eq!(d.len(), 4);
+        let t = d.tree();
+        assert_eq!(t.weight(root), 1);
+        assert_eq!(t.weight(item), 1);
+        // attribute: 1 + ceil(5/8) = 2; text: 1 + ceil(12/8) = 3.
+        assert_eq!(d.total_weight(), 1 + 1 + 2 + 3);
+    }
+
+    #[test]
+    fn kinds_and_content() {
+        let mut b = DocumentBuilder::new("r");
+        let a = b.attribute(NodeId::ROOT, "x", "1");
+        let t = b.text(NodeId::ROOT, "hello");
+        let c = b.comment(NodeId::ROOT, "note");
+        let pi = b.processing_instruction(NodeId::ROOT, "php", "echo");
+        let d = b.build();
+        assert_eq!(d.kind(d.root()), NodeKind::Element);
+        assert_eq!(d.kind(a), NodeKind::Attribute);
+        assert_eq!(d.content(a), Some("1"));
+        assert_eq!(d.kind(t), NodeKind::Text);
+        assert_eq!(d.name(t), "#text");
+        assert_eq!(d.kind(c), NodeKind::Comment);
+        assert_eq!(d.kind(pi), NodeKind::ProcessingInstruction);
+        assert_eq!(d.name(pi), "php");
+        assert_eq!(d.content(d.root()), None);
+        assert!(d.is_element(d.root()));
+        assert!(!d.is_element(t));
+    }
+}

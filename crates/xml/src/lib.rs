@@ -1,0 +1,32 @@
+//! XML document model, parser, serializer and the paper's slot-based
+//! weight model.
+//!
+//! The storage experiments of the paper (Sec. 6.1) map XML documents onto
+//! weighted trees as follows: nodes are elements, attributes and text; each
+//! node occupies one 8-byte *slot* of metadata, and text/attribute nodes
+//! additionally occupy `ceil(len / 8)` slots for their content string. The
+//! weight limit `K = 256` slots therefore corresponds to a 2 KB storage
+//! unit.
+//!
+//! [`Document`] couples a [`natix_tree::Tree`] (whose node weights follow
+//! that model) with per-node kinds and content, sharing [`NodeId`]s — so a
+//! partitioning computed on [`Document::tree`] applies directly to the
+//! document.
+//!
+//! The parser ([`parse`]) is written from scratch (no external XML crate):
+//! it handles elements, attributes, text, CDATA, comments, processing
+//! instructions, numeric/named character references, an optional XML
+//! declaration and DOCTYPE. The writer ([`Document::to_xml`]) round-trips
+//! through the parser.
+
+mod document;
+mod parser;
+mod weight;
+mod writer;
+
+pub use document::{Document, DocumentBuilder, NodeKind};
+pub use parser::{parse, parse_with_options, ParseOptions, XmlError};
+pub use weight::{content_slots, node_weight, SLOT_BYTES};
+pub use writer::summary;
+
+pub use natix_tree::NodeId;

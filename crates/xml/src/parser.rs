@@ -1,0 +1,564 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! Supports the XML subset needed to ingest real-world documents into the
+//! store: elements, attributes, character data with the five predefined
+//! entities and numeric character references, CDATA sections, comments,
+//! processing instructions, an XML declaration and a (skipped) DOCTYPE.
+//! Namespaces are not interpreted (prefixed names are kept verbatim), and
+//! DTD entity definitions are not expanded.
+
+use std::fmt;
+
+use natix_tree::NodeId;
+
+use crate::{Document, DocumentBuilder};
+
+/// Parse failure with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Keep text nodes that consist solely of whitespace (default: false;
+    /// the evaluation documents treat inter-element whitespace as
+    /// formatting, not data).
+    pub keep_whitespace_text: bool,
+    /// Materialize comments as document nodes (default: true).
+    pub keep_comments: bool,
+    /// Materialize processing instructions as document nodes (default:
+    /// true).
+    pub keep_processing_instructions: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            keep_whitespace_text: false,
+            keep_comments: true,
+            keep_processing_instructions: true,
+        }
+    }
+}
+
+/// Parse with default [`ParseOptions`].
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    parse_with_options(input, ParseOptions::default())
+}
+
+/// Parse with explicit options.
+pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, XmlError> {
+    Parser {
+        src: input.as_bytes(),
+        pos: 0,
+        options,
+    }
+    .document()
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    options: ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &[u8]) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", String::from_utf8_lossy(s)))
+        }
+    }
+
+    /// Consume until `end` (exclusive); error on EOF.
+    fn until(&mut self, end: &[u8], what: &str) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            if self.starts_with(end) {
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("input was valid UTF-8");
+                self.pos += end.len();
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        self.err(format!("unterminated {what}"))
+    }
+
+    fn is_name_start(c: u8) -> bool {
+        c.is_ascii_alphabetic() || c == b'_' || c == b':' || c >= 0x80
+    }
+
+    fn is_name_char(c: u8) -> bool {
+        Self::is_name_start(c) || c.is_ascii_digit() || c == b'-' || c == b'.'
+    }
+
+    fn name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => self.pos += 1,
+            _ => return self.err("expected name"),
+        }
+        while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos]).expect("valid UTF-8 input"))
+    }
+
+    /// Decode character data up to (not including) the stop byte, resolving
+    /// entity references.
+    fn char_data(&mut self, stop: &[u8]) -> Result<String, XmlError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unexpected end of input in character data"),
+                Some(b'&') => {
+                    self.pos += 1;
+                    out.push(self.entity()?);
+                }
+                Some(c) => {
+                    if stop.contains(&c) {
+                        return Ok(out);
+                    }
+                    // Copy a run of plain bytes.
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'&' || stop.contains(&c) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos]).expect("valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// After `&`: decode one entity/char reference including trailing `;`.
+    fn entity(&mut self) -> Result<char, XmlError> {
+        if self.peek() == Some(b'#') {
+            self.pos += 1;
+            let (radix, digits): (u32, &[u8]) = if self.peek() == Some(b'x') {
+                self.pos += 1;
+                (16, b"0123456789abcdefABCDEF")
+            } else {
+                (10, b"0123456789")
+            };
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if digits.contains(&c)) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return self.err("empty character reference");
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            self.expect(b";")?;
+            let cp = u32::from_str_radix(text, radix)
+                .ok()
+                .and_then(char::from_u32);
+            return match cp {
+                Some(c) => Ok(c),
+                None => self.err(format!("invalid character reference &#{text};")),
+            };
+        }
+        let name = self.name()?;
+        self.expect(b";")?;
+        match name {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            other => self.err(format!("unknown entity &{other};")),
+        }
+    }
+
+    fn document(&mut self) -> Result<Document, XmlError> {
+        // Optional BOM.
+        if self.starts_with(b"\xEF\xBB\xBF") {
+            self.pos += 3;
+        }
+        self.prolog()?;
+        // Root element.
+        if self.peek() != Some(b'<') {
+            return self.err("expected root element");
+        }
+        let doc = self.root_element()?;
+        // Trailing misc.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => break,
+                Some(b'<') if self.starts_with(b"<!--") => {
+                    self.pos += 4;
+                    self.until(b"-->", "comment")?;
+                }
+                Some(b'<') if self.starts_with(b"<?") => {
+                    self.pos += 2;
+                    self.until(b"?>", "processing instruction")?;
+                }
+                _ => return self.err("content after document element"),
+            }
+        }
+        Ok(doc)
+    }
+
+    fn prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.starts_with(b"<?xml") {
+            self.pos += 5;
+            self.until(b"?>", "XML declaration")?;
+        }
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<!--") {
+                self.pos += 4;
+                self.until(b"-->", "comment")?;
+            } else if self.starts_with(b"<!DOCTYPE") {
+                self.doctype()?;
+            } else if self.starts_with(b"<?") {
+                self.pos += 2;
+                self.until(b"?>", "processing instruction")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip `<!DOCTYPE ...>` including an internal subset `[...]`.
+    fn doctype(&mut self) -> Result<(), XmlError> {
+        self.expect(b"<!DOCTYPE")?;
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated DOCTYPE"),
+                Some(b'[') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    depth = depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                Some(b'>') if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn root_element(&mut self) -> Result<Document, XmlError> {
+        self.expect(b"<")?;
+        let name = self.name()?;
+        let mut b = DocumentBuilder::new(name);
+        let root = NodeId::ROOT;
+        let self_closing = self.attributes_and_tag_end(&mut b, root)?;
+        if !self_closing {
+            self.content(&mut b, root, name)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Parse attributes and the tag terminator; returns true for `/>`.
+    fn attributes_and_tag_end(
+        &mut self,
+        b: &mut DocumentBuilder,
+        element: NodeId,
+    ) -> Result<bool, XmlError> {
+        loop {
+            let before = self.pos;
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b">")?;
+                    return Ok(true);
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    if before == self.pos {
+                        return self.err("expected whitespace before attribute");
+                    }
+                    let name = self.name()?;
+                    self.skip_ws();
+                    self.expect(b"=")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return self.err("expected quoted attribute value"),
+                    };
+                    self.pos += 1;
+                    let value = self.char_data(&[quote, b'<'])?;
+                    if self.peek() == Some(b'<') {
+                        return self.err("`<` in attribute value");
+                    }
+                    self.pos += 1; // closing quote
+                    b.attribute(element, name, &value);
+                }
+                _ => return self.err("malformed start tag"),
+            }
+        }
+    }
+
+    /// Parse element content up to and including the matching end tag.
+    /// Iterative (explicit stack) to survive deeply nested documents.
+    fn content(
+        &mut self,
+        b: &mut DocumentBuilder,
+        element: NodeId,
+        name: &'a str,
+    ) -> Result<(), XmlError> {
+        // (open element, its tag name), innermost last.
+        let mut stack: Vec<(NodeId, &'a str)> = vec![(element, name)];
+        // Adjacent text/CDATA runs are merged into one text node.
+        let mut pending_text = String::new();
+
+        macro_rules! flush_text {
+            () => {
+                if !pending_text.is_empty() {
+                    let parent = stack.last().expect("non-empty").0;
+                    let keep = self.options.keep_whitespace_text
+                        || !pending_text.chars().all(char::is_whitespace);
+                    if keep {
+                        b.text(parent, &pending_text);
+                    }
+                    pending_text.clear();
+                }
+            };
+        }
+
+        while let Some(&(parent, parent_name)) = stack.last() {
+            match self.peek() {
+                None => return self.err(format!("missing end tag </{parent_name}>")),
+                Some(b'<') => {
+                    if self.starts_with(b"</") {
+                        flush_text!();
+                        self.pos += 2;
+                        let end_name = self.name()?;
+                        if end_name != parent_name {
+                            return self.err(format!(
+                                "mismatched end tag </{end_name}>, expected </{parent_name}>"
+                            ));
+                        }
+                        self.skip_ws();
+                        self.expect(b">")?;
+                        stack.pop();
+                    } else if self.starts_with(b"<!--") {
+                        flush_text!();
+                        self.pos += 4;
+                        let text = self.until(b"-->", "comment")?;
+                        if self.options.keep_comments {
+                            b.comment(parent, text);
+                        }
+                    } else if self.starts_with(b"<![CDATA[") {
+                        self.pos += 9;
+                        let text = self.until(b"]]>", "CDATA section")?;
+                        pending_text.push_str(text);
+                    } else if self.starts_with(b"<?") {
+                        flush_text!();
+                        self.pos += 2;
+                        let target = self.name()?;
+                        self.skip_ws();
+                        let data = self.until(b"?>", "processing instruction")?;
+                        if self.options.keep_processing_instructions {
+                            b.processing_instruction(parent, target, data);
+                        }
+                    } else if self.starts_with(b"<!") {
+                        return self.err("unsupported markup declaration in content");
+                    } else {
+                        flush_text!();
+                        self.pos += 1;
+                        let child_name = self.name()?;
+                        let child = b.element(parent, child_name);
+                        let self_closing = self.attributes_and_tag_end(b, child)?;
+                        if !self_closing {
+                            stack.push((child, child_name));
+                        }
+                    }
+                }
+                Some(_) => {
+                    let text = self.char_data(b"<")?;
+                    pending_text.push_str(&text);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn minimal_document() {
+        let d = parse("<root/>").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.name(d.root()), "root");
+    }
+
+    #[test]
+    fn elements_attributes_text() {
+        let d = parse(r#"<a x="1" y='2'><b>hi</b><c/></a>"#).unwrap();
+        let t = d.tree();
+        let root = d.root();
+        let kids = t.children(root);
+        assert_eq!(kids.len(), 4); // x, y, b, c
+        assert_eq!(d.kind(kids[0]), NodeKind::Attribute);
+        assert_eq!(d.name(kids[0]), "x");
+        assert_eq!(d.content(kids[0]), Some("1"));
+        assert_eq!(d.name(kids[2]), "b");
+        let b_text = t.children(kids[2])[0];
+        assert_eq!(d.kind(b_text), NodeKind::Text);
+        assert_eq!(d.content(b_text), Some("hi"));
+        assert_eq!(d.name(kids[3]), "c");
+    }
+
+    #[test]
+    fn prolog_doctype_and_misc() {
+        let d = parse(
+            "\u{FEFF}<?xml version=\"1.0\"?>\n<!-- hello -->\n<!DOCTYPE r [ <!ELEMENT r ANY> ]>\n<r>x</r>\n<!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(d.name(d.root()), "r");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn entity_decoding() {
+        let d = parse("<r>&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos; &#65;&#x42;</r>").unwrap();
+        let text = d.tree().children(d.root())[0];
+        assert_eq!(d.content(text), Some("<a> & \"b\" 'c' AB"));
+    }
+
+    #[test]
+    fn cdata_merges_with_text() {
+        let d = parse("<r>one <![CDATA[<two> & ]]>three</r>").unwrap();
+        let t = d.tree();
+        assert_eq!(t.child_count(d.root()), 1);
+        let text = t.children(d.root())[0];
+        assert_eq!(d.content(text), Some("one <two> & three"));
+    }
+
+    #[test]
+    fn whitespace_text_dropped_by_default() {
+        let d = parse("<r>\n  <a/>\n  <b/>\n</r>").unwrap();
+        assert_eq!(d.len(), 3);
+        let opts = ParseOptions {
+            keep_whitespace_text: true,
+            ..Default::default()
+        };
+        let d = parse_with_options("<r>\n  <a/>\n  <b/>\n</r>", opts).unwrap();
+        assert_eq!(d.len(), 6); // 3 whitespace runs kept
+    }
+
+    #[test]
+    fn comments_and_pis_in_content() {
+        let d = parse("<r><!--note--><?target some data?></r>").unwrap();
+        let t = d.tree();
+        assert_eq!(t.child_count(d.root()), 2);
+        let kids = t.children(d.root());
+        assert_eq!(d.kind(kids[0]), NodeKind::Comment);
+        assert_eq!(d.content(kids[0]), Some("note"));
+        assert_eq!(d.kind(kids[1]), NodeKind::ProcessingInstruction);
+        assert_eq!(d.name(kids[1]), "target");
+        assert_eq!(d.content(kids[1]), Some("some data"));
+
+        let opts = ParseOptions {
+            keep_comments: false,
+            keep_processing_instructions: false,
+            ..Default::default()
+        };
+        let d = parse_with_options("<r><!--note--><?t d?></r>", opts).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let depth = 50_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<a>");
+        }
+        s.push('x');
+        for _ in 0..depth {
+            s.push_str("</a>");
+        }
+        let d = parse(&s).unwrap();
+        assert_eq!(d.len(), depth + 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        for (input, needle) in [
+            ("", "expected root element"),
+            ("<a>", "missing end tag"),
+            ("<a></b>", "mismatched end tag"),
+            ("<a>&bogus;</a>", "unknown entity"),
+            ("<a x=1/>", "quoted attribute"),
+            ("<a><!--x</a>", "unterminated comment"),
+            ("<a/><b/>", "content after document element"),
+            ("<a>&#;</a>", "empty character reference"),
+            ("<a>&#1114112;</a>", "invalid character reference"),
+        ] {
+            let err = parse(input).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{input:?}: got {:?}, wanted {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let d = parse("<bücher><straße>größe</straße></bücher>").unwrap();
+        assert_eq!(d.name(d.root()), "bücher");
+        let c = d.tree().children(d.root())[0];
+        assert_eq!(d.name(c), "straße");
+    }
+}

@@ -1,0 +1,58 @@
+//! The slot-based weight model of Sec. 6.1.
+
+use natix_tree::Weight;
+
+use crate::NodeKind;
+
+/// Storage slot size in bytes. The paper: "We use a slot size of 8 bytes."
+pub const SLOT_BYTES: usize = 8;
+
+/// Slots needed for a content string of `len` bytes: `ceil(len / 8)`.
+pub fn content_slots(len: usize) -> Weight {
+    (len.div_ceil(SLOT_BYTES)) as Weight
+}
+
+/// Weight (in slots) of a document node: one metadata slot for every node
+/// (tag name, node type), plus content slots for text-bearing kinds.
+///
+/// Attribute values, text, comments and processing-instruction data all
+/// carry content; element tag names are covered by the metadata slot.
+pub fn node_weight(kind: NodeKind, content_len: usize) -> Weight {
+    let content = match kind {
+        NodeKind::Element => 0,
+        NodeKind::Attribute
+        | NodeKind::Text
+        | NodeKind::Comment
+        | NodeKind::ProcessingInstruction => content_slots(content_len),
+    };
+    1 + content
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_slot_rounding() {
+        assert_eq!(content_slots(0), 0);
+        assert_eq!(content_slots(1), 1);
+        assert_eq!(content_slots(8), 1);
+        assert_eq!(content_slots(9), 2);
+        assert_eq!(content_slots(16), 2);
+        assert_eq!(content_slots(17), 3);
+    }
+
+    #[test]
+    fn element_weight_is_one_slot() {
+        assert_eq!(node_weight(NodeKind::Element, 0), 1);
+        // Element content length is ignored (tag names live in metadata).
+        assert_eq!(node_weight(NodeKind::Element, 100), 1);
+    }
+
+    #[test]
+    fn text_weight_includes_content() {
+        assert_eq!(node_weight(NodeKind::Text, 0), 1);
+        assert_eq!(node_weight(NodeKind::Text, 8), 2);
+        assert_eq!(node_weight(NodeKind::Attribute, 20), 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! XML serialization; round-trips through [`crate::parse`].
+
+use std::fmt::Write as _;
+
+use natix_tree::NodeId;
+
+use crate::{Document, NodeKind};
+
+impl Document {
+    /// Serialize to XML text.
+    ///
+    /// Attribute children are emitted inside their element's start tag
+    /// (wherever they occur in the child list); text, comments, processing
+    /// instructions and child elements become element content. Characters
+    /// with markup meaning are escaped, so `parse(doc.to_xml())`
+    /// reconstructs an equivalent document.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 16);
+        self.write_node(self.root(), &mut out);
+        out
+    }
+
+    fn write_node(&self, v: NodeId, out: &mut String) {
+        // Iterative serializer: an entry is either a node to open or an end
+        // tag to emit.
+        enum Step {
+            Open(NodeId),
+            Close(NodeId),
+        }
+        let mut stack = vec![Step::Open(v)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Close(v) => {
+                    out.push_str("</");
+                    out.push_str(self.name(v));
+                    out.push('>');
+                }
+                Step::Open(v) => match self.kind(v) {
+                    NodeKind::Element => {
+                        let tree = self.tree();
+                        out.push('<');
+                        out.push_str(self.name(v));
+                        let children = tree.children(v);
+                        let mut has_content = false;
+                        for &c in children {
+                            if self.kind(c) == NodeKind::Attribute {
+                                out.push(' ');
+                                out.push_str(self.name(c));
+                                out.push_str("=\"");
+                                escape_attr(self.content(c).unwrap_or(""), out);
+                                out.push('"');
+                            } else {
+                                has_content = true;
+                            }
+                        }
+                        if !has_content {
+                            out.push_str("/>");
+                        } else {
+                            out.push('>');
+                            stack.push(Step::Close(v));
+                            for &c in children.iter().rev() {
+                                if self.kind(c) != NodeKind::Attribute {
+                                    stack.push(Step::Open(c));
+                                }
+                            }
+                        }
+                    }
+                    NodeKind::Text => escape_text(self.content(v).unwrap_or(""), out),
+                    NodeKind::Comment => {
+                        out.push_str("<!--");
+                        out.push_str(self.content(v).unwrap_or(""));
+                        out.push_str("-->");
+                    }
+                    NodeKind::ProcessingInstruction => {
+                        out.push_str("<?");
+                        out.push_str(self.name(v));
+                        out.push(' ');
+                        out.push_str(self.content(v).unwrap_or(""));
+                        out.push_str("?>");
+                    }
+                    NodeKind::Attribute => {
+                        unreachable!("attributes are serialized with their element")
+                    }
+                },
+            }
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            // Whitespace would be vulnerable to attribute-value
+            // normalization in stricter parsers; keep it readable here.
+            c => out.push(c),
+        }
+    }
+}
+
+/// Write a document summary line (for examples and the bench harness).
+pub fn summary(doc: &Document) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{} nodes, {} slots ({} bytes at 8 B/slot)",
+        doc.len(),
+        doc.total_weight(),
+        doc.total_weight() * 8
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, DocumentBuilder, NodeId};
+
+    #[test]
+    fn serializes_structure() {
+        let mut b = DocumentBuilder::new("site");
+        let item = b.element(NodeId::ROOT, "item");
+        b.attribute(item, "id", "i1");
+        b.text(item, "x < y & z");
+        b.comment(NodeId::ROOT, "done");
+        let d = b.build();
+        assert_eq!(
+            d.to_xml(),
+            r#"<site><item id="i1">x &lt; y &amp; z</item><!--done--></site>"#
+        );
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<a x="1&quot;2"><b>t&amp;t</b><c/><?pi data?></a>"#;
+        let d = parse(src).unwrap();
+        let out = d.to_xml();
+        let d2 = parse(&out).unwrap();
+        assert_eq!(d.len(), d2.len());
+        assert_eq!(d.to_xml(), d2.to_xml());
+    }
+
+    #[test]
+    fn empty_element_with_attributes_self_closes() {
+        let mut b = DocumentBuilder::new("r");
+        let e = b.element(NodeId::ROOT, "e");
+        b.attribute(e, "k", "v");
+        let d = b.build();
+        assert_eq!(d.to_xml(), r#"<r><e k="v"/></r>"#);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: write → parse round-trips for arbitrary generated
+//! documents, and parser robustness on adversarial text content.
+
+use natix_tree::NodeId;
+use natix_xml::{parse, Document, DocumentBuilder, NodeKind};
+use proptest::prelude::*;
+
+/// Recipe for one generated node.
+#[derive(Debug, Clone)]
+enum NodeRecipe {
+    Element(String),
+    Attribute(String, String),
+    Text(String),
+    Comment(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}"
+}
+
+/// Text content without the sequences our writer cannot represent in
+/// comments (`--`) — element text is escaped and can contain anything.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,40}".prop_map(|s| s.replace('\r', " "))
+}
+
+fn node_strategy() -> impl Strategy<Value = NodeRecipe> {
+    prop_oneof![
+        3 => name_strategy().prop_map(NodeRecipe::Element),
+        2 => (name_strategy(), text_strategy())
+            .prop_map(|(n, v)| NodeRecipe::Attribute(n, v)),
+        3 => text_strategy()
+            .prop_filter("non-empty text", |s| !s.is_empty())
+            .prop_map(NodeRecipe::Text),
+        1 => text_strategy()
+            .prop_filter("comment-safe", |s| !s.contains("--") && !s.ends_with('-'))
+            .prop_map(NodeRecipe::Comment),
+    ]
+}
+
+/// Assemble a document from (parent_selector, recipe) pairs. Attributes
+/// may only attach to elements whose element-content hasn't started; to
+/// keep generation simple we always prepend attributes (the builder
+/// appends, so we only attach attributes to childless elements).
+fn build_doc(root: &str, nodes: &[(u32, NodeRecipe)]) -> Document {
+    let mut b = DocumentBuilder::new(root);
+    let mut elements: Vec<NodeId> = vec![NodeId::ROOT];
+    // Elements that already have non-attribute children (no more
+    // attributes allowed there for clean serialization).
+    let mut has_content: Vec<bool> = vec![false];
+    // Whether the element's last child is a text node: the parser merges
+    // adjacent text, so the builder must not create it.
+    let mut last_was_text: Vec<bool> = vec![false];
+    for (sel, recipe) in nodes {
+        let ei = (*sel as usize) % elements.len();
+        let parent = elements[ei];
+        match recipe {
+            NodeRecipe::Element(name) => {
+                let id = b.element(parent, name);
+                has_content[ei] = true;
+                last_was_text[ei] = false;
+                elements.push(id);
+                has_content.push(false);
+                last_was_text.push(false);
+            }
+            NodeRecipe::Attribute(name, value) => {
+                if !has_content[ei] {
+                    b.attribute(parent, name, value);
+                }
+            }
+            NodeRecipe::Text(text) => {
+                // Whitespace-only text is dropped by the default parser
+                // options, and adjacent text nodes would be merged; skip
+                // both so counts stay comparable.
+                if !text.chars().all(char::is_whitespace) && !last_was_text[ei] {
+                    b.text(parent, text);
+                    has_content[ei] = true;
+                    last_was_text[ei] = true;
+                }
+            }
+            NodeRecipe::Comment(text) => {
+                b.comment(parent, text);
+                has_content[ei] = true;
+                last_was_text[ei] = false;
+            }
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_parse_roundtrip(
+        root in name_strategy(),
+        nodes in prop::collection::vec((any::<u32>(), node_strategy()), 0..40),
+    ) {
+        let doc = build_doc(&root, &nodes);
+        let xml = doc.to_xml();
+        let back = parse(&xml).unwrap_or_else(|e| panic!("{e}\nXML: {xml}"));
+        prop_assert_eq!(back.len(), doc.len(), "XML: {}", xml);
+        prop_assert_eq!(back.to_xml(), xml);
+        // Kinds, names, contents and weights survive (compared in
+        // preorder: builder ids are assigned in attach order, parser ids
+        // in document order).
+        prop_assert_eq!(back.total_weight(), doc.total_weight());
+        let canon = |d: &Document| -> Vec<(NodeKind, String, Option<String>)> {
+            d.tree()
+                .preorder()
+                .map(|v| (d.kind(v), d.name(v).to_string(), d.content(v).map(str::to_string)))
+                .collect()
+        };
+        prop_assert_eq!(canon(&back), canon(&doc));
+    }
+
+    /// Adjacent text is merged by the parser, so a second round-trip is
+    /// always a fixpoint even for documents the builder assembled with
+    /// consecutive text nodes.
+    #[test]
+    fn second_roundtrip_is_fixpoint(
+        texts in prop::collection::vec(text_strategy(), 1..5),
+    ) {
+        let mut b = DocumentBuilder::new("r");
+        for t in &texts {
+            if !t.chars().all(char::is_whitespace) {
+                b.text(NodeId::ROOT, t);
+            }
+        }
+        let doc = b.build();
+        let once = parse(&doc.to_xml()).unwrap();
+        let twice = parse(&once.to_xml()).unwrap();
+        prop_assert_eq!(once.to_xml(), twice.to_xml());
+        // After one parse, adjacent text nodes are merged.
+        let text_children = once
+            .tree()
+            .children(once.root())
+            .iter()
+            .filter(|&&c| once.kind(c) == NodeKind::Text)
+            .count();
+        prop_assert!(text_children <= 1);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "[ -~<>&;!\\[\\]\"']{0,200}") {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,129 @@
+//! Abstract syntax for the supported XPath subset.
+
+use std::fmt;
+
+/// Navigation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::` (the default axis).
+    Child,
+    /// `descendant::`.
+    Descendant,
+    /// `descendant-or-self::`.
+    DescendantOrSelf,
+    /// `self::`.
+    SelfAxis,
+    /// `parent::`.
+    Parent,
+    /// `ancestor::`.
+    Ancestor,
+    /// `ancestor-or-self::`.
+    AncestorOrSelf,
+    /// `attribute::` / `@`.
+    Attribute,
+    /// `following-sibling::`.
+    FollowingSibling,
+    /// `preceding-sibling::`.
+    PrecedingSibling,
+}
+
+impl Axis {
+    /// The `axis::` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::Attribute => "attribute",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+        }
+    }
+}
+
+/// Node test within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test (element name, or attribute name on the attribute
+    /// axis).
+    Name(String),
+    /// `*`: any element (any attribute on the attribute axis).
+    Wildcard,
+    /// `node()`: any node.
+    AnyNode,
+    /// `text()`: text nodes.
+    Text,
+}
+
+/// One location step: `axis::test[pred]…`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more predicates, each an existence/boolean expression.
+    pub predicates: Vec<Expr>,
+}
+
+/// Boolean predicate expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `a or b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `a and b`.
+    And(Box<Expr>, Box<Expr>),
+    /// A relative path; true iff it selects at least one node.
+    Path(Path),
+    /// `path = 'literal'`: true iff some selected node's string-value
+    /// equals the literal.
+    Equals(Path, String),
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// True for absolute paths (starting at the document root).
+    pub absolute: bool,
+    /// The steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{}::", s.axis.as_str())?;
+            match &s.test {
+                NodeTest::Name(n) => write!(f, "{n}")?,
+                NodeTest::Wildcard => write!(f, "*")?,
+                NodeTest::AnyNode => write!(f, "node()")?,
+                NodeTest::Text => write!(f, "text()")?,
+            }
+            for p in &s.predicates {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Or(a, b) => write!(f, "{a} or {b}"),
+            Expr::And(a, b) => write!(f, "{a} and {b}"),
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Equals(p, lit) => write!(f, "{p} = '{lit}'"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Navigation abstraction: the evaluator runs unchanged over the
+//! in-memory [`Document`] and over the record-partitioned [`XmlStore`],
+//! which lets the test suite use the in-memory evaluation as an oracle for
+//! the store's cross-record navigation.
+//!
+//! The interface is deliberately *bulk-oriented* where it matters: child
+//! lists are delivered with kind and label in one call, so a store-backed
+//! navigator pays one record access per child *interval* (proxy), not per
+//! child — the cost model the paper's partitioning algorithms optimize.
+
+use std::collections::HashMap;
+
+use natix_store::{NodeRef, StoreResult, XmlStore};
+use natix_tree::NodeId;
+use natix_xml::{Document, NodeKind};
+
+/// A child delivered by [`Navigator::children`]: handle plus the metadata
+/// needed for node tests without further lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct ChildInfo<N> {
+    /// Child handle.
+    pub node: N,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Backend-specific label id (compare against
+    /// [`Navigator::resolve_label`]).
+    pub label: u32,
+}
+
+/// Cursor-style navigation over some XML node representation.
+pub trait Navigator {
+    /// Node handle.
+    type Node: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug;
+
+    /// The document's root element.
+    fn root(&mut self) -> StoreResult<Self::Node>;
+    /// Kind and label of a node.
+    fn info(&mut self, n: Self::Node) -> StoreResult<(NodeKind, u32)>;
+    /// The label id for `name`, if the document contains it at all.
+    fn resolve_label(&mut self, name: &str) -> StoreResult<Option<u32>>;
+    /// Content string of a node (attribute value, text data); `None` for
+    /// elements.
+    fn content(&mut self, n: Self::Node) -> StoreResult<Option<String>>;
+    /// Append all children (attributes included) in document order.
+    fn children(
+        &mut self,
+        n: Self::Node,
+        out: &mut Vec<ChildInfo<Self::Node>>,
+    ) -> StoreResult<()>;
+    /// Parent node (`None` at the root element).
+    fn parent(&mut self, n: Self::Node) -> StoreResult<Option<Self::Node>>;
+    /// Next sibling.
+    fn next_sibling(&mut self, n: Self::Node) -> StoreResult<Option<Self::Node>>;
+    /// Previous sibling.
+    fn prev_sibling(&mut self, n: Self::Node) -> StoreResult<Option<Self::Node>>;
+}
+
+/// Navigator over an in-memory document.
+pub struct MemNavigator<'a> {
+    doc: &'a Document,
+}
+
+impl<'a> MemNavigator<'a> {
+    /// Navigate `doc`.
+    pub fn new(doc: &'a Document) -> MemNavigator<'a> {
+        MemNavigator { doc }
+    }
+}
+
+impl Navigator for MemNavigator<'_> {
+    type Node = NodeId;
+
+    fn root(&mut self) -> StoreResult<NodeId> {
+        Ok(self.doc.root())
+    }
+
+    fn info(&mut self, n: NodeId) -> StoreResult<(NodeKind, u32)> {
+        Ok((self.doc.kind(n), self.doc.tree().label(n).0))
+    }
+
+    fn resolve_label(&mut self, name: &str) -> StoreResult<Option<u32>> {
+        Ok(self.doc.tree().labels().get(name).map(|id| id.0))
+    }
+
+    fn content(&mut self, n: NodeId) -> StoreResult<Option<String>> {
+        Ok(self.doc.content(n).map(str::to_string))
+    }
+
+    fn children(&mut self, n: NodeId, out: &mut Vec<ChildInfo<NodeId>>) -> StoreResult<()> {
+        let tree = self.doc.tree();
+        for &c in tree.children(n) {
+            out.push(ChildInfo {
+                node: c,
+                kind: self.doc.kind(c),
+                label: tree.label(c).0,
+            });
+        }
+        Ok(())
+    }
+
+    fn parent(&mut self, n: NodeId) -> StoreResult<Option<NodeId>> {
+        Ok(self.doc.tree().parent(n))
+    }
+
+    fn next_sibling(&mut self, n: NodeId) -> StoreResult<Option<NodeId>> {
+        Ok(self.doc.tree().next_sibling(n))
+    }
+
+    fn prev_sibling(&mut self, n: NodeId) -> StoreResult<Option<NodeId>> {
+        Ok(self.doc.tree().prev_sibling(n))
+    }
+}
+
+/// Navigator over a bulkloaded store; name resolutions are cached.
+pub struct StoreNavigator<'a> {
+    store: &'a mut XmlStore,
+    label_cache: HashMap<String, Option<u16>>,
+}
+
+impl<'a> StoreNavigator<'a> {
+    /// Navigate `store`.
+    pub fn new(store: &'a mut XmlStore) -> StoreNavigator<'a> {
+        StoreNavigator {
+            store,
+            label_cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying store (e.g. for stats).
+    pub fn store(&mut self) -> &mut XmlStore {
+        self.store
+    }
+}
+
+impl Navigator for StoreNavigator<'_> {
+    type Node = NodeRef;
+
+    fn root(&mut self) -> StoreResult<NodeRef> {
+        self.store.root()
+    }
+
+    fn info(&mut self, n: NodeRef) -> StoreResult<(NodeKind, u32)> {
+        self.store.with_node(n, |node| (node.kind, node.label as u32))
+    }
+
+    fn resolve_label(&mut self, name: &str) -> StoreResult<Option<u32>> {
+        let id = match self.label_cache.get(name) {
+            Some(&id) => id,
+            None => {
+                let id = self.store.label_id(name);
+                self.label_cache.insert(name.to_string(), id);
+                id
+            }
+        };
+        Ok(id.map(u32::from))
+    }
+
+    fn content(&mut self, n: NodeRef) -> StoreResult<Option<String>> {
+        self.store.node_content(n)
+    }
+
+    fn children(&mut self, n: NodeRef, out: &mut Vec<ChildInfo<NodeRef>>) -> StoreResult<()> {
+        self.store.for_each_child(n, |node, kind, label| {
+            out.push(ChildInfo {
+                node,
+                kind,
+                label: u32::from(label),
+            });
+        })
+    }
+
+    fn parent(&mut self, n: NodeRef) -> StoreResult<Option<NodeRef>> {
+        self.store.parent(n)
+    }
+
+    fn next_sibling(&mut self, n: NodeRef) -> StoreResult<Option<NodeRef>> {
+        self.store.next_sibling(n)
+    }
+
+    fn prev_sibling(&mut self, n: NodeRef) -> StoreResult<Option<NodeRef>> {
+        self.store.prev_sibling(n)
+    }
+}

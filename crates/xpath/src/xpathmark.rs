@@ -1,0 +1,48 @@
+//! The XPathMark queries used in the paper's Table 3 (Q1-Q7 of
+//! Franceschet's XPathMark benchmark, evaluated against XMark data).
+
+/// Q1: all items of all regions.
+pub const Q1: &str = "/site/regions/*/item";
+
+/// Q2: keywords in closed-auction annotations (long child path).
+pub const Q2: &str = "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword";
+
+/// Q3: all keywords anywhere.
+pub const Q3: &str = "//keyword";
+
+/// Q4: keywords under list items, via explicit descendant-or-self axes.
+pub const Q4: &str = "/descendant-or-self::listitem/descendant-or-self::keyword";
+
+/// Q5: items of the American regions (predicate with `or`).
+pub const Q5: &str = "/site/regions/*/item[parent::namerica or parent::samerica]";
+
+/// Q6: list items containing keywords (upward axis).
+pub const Q6: &str = "//keyword/ancestor::listitem";
+
+/// Q7: mails containing keywords (ancestor-or-self).
+pub const Q7: &str = "//keyword/ancestor-or-self::mail";
+
+/// All seven queries with their Table 3 labels, in order.
+pub fn all() -> [(&'static str, &'static str); 7] {
+    [
+        ("Q1", Q1),
+        ("Q2", Q2),
+        ("Q3", Q3),
+        ("Q4", Q4),
+        ("Q5", Q5),
+        ("Q6", Q6),
+        ("Q7", Q7),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for (name, q) in all() {
+            crate::parse(q).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Store-vs-memory equivalence: the same query over the same document must
+//! select the same node-set whether evaluated on the in-memory tree or on
+//! the record-partitioned store — for every partitioning algorithm and a
+//! range of weight limits. This exercises every cross-record navigation
+//! path (proxies, fragment-root siblings, parent back-links).
+
+use std::collections::BTreeMap;
+
+use natix_core::{evaluation_algorithms, Partitioner};
+use natix_datagen::{xmark, GenConfig};
+use natix_store::{MemPager, StoreConfig, XmlStore};
+use natix_xml::Document;
+use natix_xpath::{eval_query, xpathmark, MemNavigator, StoreNavigator};
+
+/// Signature of a result set that is comparable across backends: count per
+/// (node name, content) pair.
+fn mem_signature(doc: &Document, query: &str) -> BTreeMap<(String, String), usize> {
+    let mut nav = MemNavigator::new(doc);
+    let hits = eval_query(&mut nav, query).unwrap();
+    let mut sig = BTreeMap::new();
+    for n in hits {
+        let key = (
+            doc.name(n).to_string(),
+            doc.content(n).unwrap_or("").to_string(),
+        );
+        *sig.entry(key).or_insert(0) += 1;
+    }
+    sig
+}
+
+fn store_signature(store: &mut XmlStore, query: &str) -> BTreeMap<(String, String), usize> {
+    let hits = {
+        let mut nav = StoreNavigator::new(store);
+        eval_query(&mut nav, query).unwrap()
+    };
+    let mut sig = BTreeMap::new();
+    for n in hits {
+        let label = store.node_label(n).unwrap();
+        let key = (
+            store.label_name(label).to_string(),
+            store.node_content(n).unwrap().unwrap_or_default(),
+        );
+        *sig.entry(key).or_insert(0) += 1;
+    }
+    sig
+}
+
+fn queries() -> Vec<&'static str> {
+    let mut qs: Vec<&'static str> = xpathmark::all().iter().map(|&(_, q)| q).collect();
+    qs.extend([
+        "//item/@id",
+        "//mail/from",
+        "//person[homepage]/name",
+        "//listitem//keyword",
+        "//bidder/personref",
+        "/site/people/person/profile/interest",
+        "//keyword/following-sibling::*",
+        "//text/text()",
+        "//item[@id='item3']",
+        "//person[profile/@income and address]",
+        "//bidder[personref/@person='person0']",
+    ]);
+    qs
+}
+
+#[test]
+fn store_matches_memory_for_all_algorithms() {
+    let doc = xmark(GenConfig {
+        scale: 0.01,
+        seed: 21,
+    });
+    let expected: Vec<_> = queries()
+        .iter()
+        .map(|q| (*q, mem_signature(&doc, q)))
+        .collect();
+
+    for alg in evaluation_algorithms() {
+        let p = alg.partition(doc.tree(), 256).unwrap();
+        let mut store = XmlStore::bulkload(
+            &doc,
+            &p,
+            Box::new(MemPager::new()),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        for (q, want) in &expected {
+            let got = store_signature(&mut store, q);
+            assert_eq!(&got, want, "{} on {q}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn store_matches_memory_across_limits() {
+    let doc = xmark(GenConfig {
+        scale: 0.003,
+        seed: 22,
+    });
+    let min_k = doc.tree().max_node_weight();
+    let ekm = natix_core::Ekm;
+    let expected: Vec<_> = queries()
+        .iter()
+        .map(|q| (*q, mem_signature(&doc, q)))
+        .collect();
+    for k in [min_k, min_k + 7, 64, 256, 100_000] {
+        let p = ekm.partition(doc.tree(), k).unwrap();
+        let mut store = XmlStore::bulkload(
+            &doc,
+            &p,
+            Box::new(MemPager::new()),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        for (q, want) in &expected {
+            let got = store_signature(&mut store, q);
+            assert_eq!(&got, want, "K={k} on {q}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Compare all partitioning algorithms on one generated document: partition
+//! counts, root weights, runtime, and distance from the optimum.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --example compare_algorithms [-- --scale 0.02 --k 256]
+//! ```
+
+use natix_bench::{fmt_duration, natix_core, natix_datagen, natix_tree, time, Args, Table};
+use natix_core::evaluation_algorithms;
+use natix_datagen::GenConfig;
+use natix_tree::{partition_quality, tree_stats, validate};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.scale == Args::default().scale {
+        args.scale = 0.02;
+    }
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: args.scale,
+        seed: args.seed,
+    });
+    let tree = doc.tree();
+    println!("XMark-like document: {}", tree_stats(tree));
+    println!("K = {}\n", args.k);
+
+    // The optimum first, as the baseline.
+    let mut optimal = None;
+    let mut table = Table::new(&[
+        "Algorithm",
+        "Partitions",
+        "vs optimal",
+        "Root weight",
+        "Max partition",
+        "Fill",
+        "Time",
+        "Streamable",
+    ]);
+    for alg in evaluation_algorithms() {
+        let (p, dur) = time(|| alg.partition(tree, args.k).expect("feasible"));
+        let stats = validate(tree, args.k, &p).expect("feasible result");
+        let quality = partition_quality(tree, args.k, &p).expect("feasible result");
+        let opt = *optimal.get_or_insert(stats.cardinality);
+        table.row(vec![
+            alg.name().to_string(),
+            stats.cardinality.to_string(),
+            format!("+{:.1}%", 100.0 * (stats.cardinality as f64 / opt as f64 - 1.0)),
+            stats.root_weight.to_string(),
+            stats.max_partition_weight.to_string(),
+            format!("{:.0}%", quality.mean_fill * 100.0),
+            fmt_duration(dur),
+            if alg.is_main_memory_friendly() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(\"Streamable\" = main-memory friendly in the paper's Sec. 4.1 sense)");
+}

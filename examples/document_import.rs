@@ -1,0 +1,74 @@
+//! Document import end-to-end: generate an XMark-like document, partition
+//! it with the Natix default algorithm (EKM), bulkload it into the store,
+//! and run XPathMark queries over the stored representation.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --example document_import
+//! ```
+
+use natix_bench::{natix_core, natix_datagen, natix_store, natix_tree, natix_xpath};
+use natix_core::{Ekm, Partitioner};
+use natix_datagen::GenConfig;
+use natix_store::{MemPager, StoreConfig, XmlStore};
+use natix_tree::validate;
+use natix_xpath::{eval_query, xpathmark, StoreNavigator};
+
+fn main() {
+    const K: u64 = 256; // 2 KB records, as in the paper.
+
+    println!("1. generating an XMark-like document (scale 0.02) ...");
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.02,
+        seed: 7,
+    });
+    println!(
+        "   {} nodes, {} slots ({} KB of tree data)",
+        doc.len(),
+        doc.total_weight(),
+        doc.total_weight() * 8 / 1024
+    );
+
+    println!("2. partitioning with EKM (the Natix default) ...");
+    let partitioning = Ekm.partition(doc.tree(), K).expect("feasible");
+    let stats = validate(doc.tree(), K, &partitioning).expect("EKM is feasible");
+    println!(
+        "   {} partitions, max partition weight {} of K = {K}",
+        stats.cardinality, stats.max_partition_weight
+    );
+
+    println!("3. bulkloading into the record store ...");
+    let mut store = XmlStore::bulkload(
+        &doc,
+        &partitioning,
+        Box::new(MemPager::new()),
+        StoreConfig::default(),
+    )
+    .expect("bulkload");
+    println!(
+        "   {} records on {} pages ({} KB occupied)",
+        store.record_count(),
+        store.page_count(),
+        store.occupied_bytes() / 1024
+    );
+
+    println!("4. running the XPathMark queries over the store ...");
+    for (name, query) in xpathmark::all() {
+        store.reset_nav_stats();
+        let hits = {
+            let mut nav = StoreNavigator::new(&mut store);
+            eval_query(&mut nav, query).expect("query evaluates")
+        };
+        let nav = store.nav_stats();
+        println!(
+            "   {name}: {} results, {} record crossings ({} decodes)",
+            hits.len(),
+            nav.record_switches,
+            nav.record_decodes
+        );
+    }
+
+    println!("5. verifying the stored document round-trips ...");
+    let back = store.to_document().expect("traversal");
+    assert_eq!(back.to_xml(), doc.to_xml());
+    println!("   OK — navigation reconstructs the document bit-for-bit");
+}

@@ -1,0 +1,106 @@
+//! Incremental maintenance demo: bulkload a document, then keep inserting
+//! nodes — watching the store split records to keep every storage unit
+//! under the weight limit (the node-at-a-time algorithm the paper's intro
+//! cites as Natix's other partitioner).
+//!
+//! ```text
+//! cargo run -p natix-bench --release --example incremental_updates
+//! ```
+
+use natix_bench::{natix_core, natix_store, natix_xml};
+use natix_core::{Ekm, Partitioner};
+use natix_store::{MemPager, NodeRef, StoreConfig, XmlStore};
+use natix_xml::NodeKind;
+
+const K: u64 = 64; // small records so splits happen quickly
+
+fn main() {
+    let doc = natix_xml::parse(
+        "<journal><volume year=\"2006\"><article>Tree Sibling Partitioning</article></volume></journal>",
+    )
+    .unwrap();
+    let p = Ekm.partition(doc.tree(), K).unwrap();
+    let mut store = XmlStore::bulkload(
+        &doc,
+        &p,
+        Box::new(MemPager::new()),
+        StoreConfig {
+            record_limit_slots: K,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!(
+        "bulkloaded: {} nodes in {} record(s)",
+        doc.len(),
+        store.record_count()
+    );
+
+    // Keep appending articles; every record must stay under K slots.
+    for i in 0..25 {
+        let volume = find(&mut store, "volume").expect("volume exists");
+        let article = store
+            .append_child(volume, NodeKind::Element, "article", None)
+            .expect("insert");
+        store
+            .append_child(
+                article,
+                NodeKind::Text,
+                "#text",
+                Some(&format!("A Treatise on Storage, Part {i}")),
+            )
+            .expect("insert text");
+        store.check_record_weights().expect("limit maintained");
+        if i % 5 == 4 {
+            println!(
+                "after {:>2} inserts: {:>2} live records on {} pages",
+                i + 1,
+                store.live_record_count(),
+                store.page_count()
+            );
+        }
+    }
+
+    // Delete every other article again.
+    let mut removed = 0;
+    while removed < 10 {
+        let Some(article) = find(&mut store, "article") else {
+            break;
+        };
+        store.delete_subtree(article).expect("delete");
+        removed += 1;
+    }
+    println!(
+        "after deleting {removed} articles: {} live records",
+        store.live_record_count()
+    );
+
+    let back = store.to_document().expect("traversal");
+    println!(
+        "final document: {} nodes, starts with: {}…",
+        back.len(),
+        &back.to_xml()[..60.min(back.to_xml().len())]
+    );
+}
+
+/// First element with the given name, by full scan.
+fn find(store: &mut XmlStore, name: &str) -> Option<NodeRef> {
+    let want = store.label_id(name)?;
+    let root = store.root().ok()?;
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        if store.node_label(r).ok()? == want && store.node_kind(r).ok()? == NodeKind::Element {
+            return Some(r);
+        }
+        let mut kids = Vec::new();
+        store
+            .for_each_child(r, |c, kind, _| {
+                if kind == NodeKind::Element {
+                    kids.push(c);
+                }
+            })
+            .ok()?;
+        stack.extend(kids.into_iter().rev());
+    }
+    None
+}

@@ -1,0 +1,83 @@
+//! Parse an XML file (or a built-in sample), map it onto the slot-based
+//! weight model, partition it, and report what would land in each storage
+//! unit.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --example parse_and_partition [-- <file.xml> [K]]
+//! ```
+
+use natix_bench::{natix_core, natix_tree, natix_xml};
+use natix_core::{Dhw, Ekm, Partitioner};
+use natix_tree::{partition_assignment, validate};
+
+const SAMPLE: &str = r#"<catalog>
+  <book id="b1"><title>Systems of Trees</title><author>A. Writer</author>
+    <description>A treatise on storing ordered trees in fixed-size pages,
+    with many worked examples and exercises for the patient reader.</description></book>
+  <book id="b2"><title>Sibling Intervals</title><author>B. Author</author>
+    <description>Short.</description></book>
+  <book id="b3"><title>Records and Pages</title><author>C. Scribe</author>
+    <description>On the folly of putting every subtree in its own record,
+    and what consecutive siblings can do about it.</description></book>
+</catalog>"#;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let (source, xml) = match argv.next() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            (path, text)
+        }
+        None => ("<built-in sample>".to_string(), SAMPLE.to_string()),
+    };
+    let k: u64 = argv.next().map_or(24, |s| s.parse().expect("numeric K"));
+
+    let doc = natix_xml::parse(&xml).unwrap_or_else(|e| {
+        eprintln!("{source}: {e}");
+        std::process::exit(1);
+    });
+    println!("{source}: {}", natix_xml::summary(&doc));
+
+    let tree = doc.tree();
+    for alg in [&Ekm as &dyn Partitioner, &Dhw] {
+        let p = alg.partition(tree, k).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", alg.name());
+            std::process::exit(1);
+        });
+        let stats = validate(tree, k, &p).expect("feasible");
+        println!(
+            "\n{} with K = {k}: {} partitions (root weight {})",
+            alg.name(),
+            stats.cardinality,
+            stats.root_weight
+        );
+        let assign = partition_assignment(tree, &p);
+        for (pi, iv) in p.intervals.iter().enumerate() {
+            let members: Vec<&str> = tree
+                .node_ids()
+                .filter(|v| assign[v.index()] as usize == pi)
+                .map(|v| doc.name(v))
+                .collect();
+            println!(
+                "  partition {pi} (weight {:>3}): interval ({},{}) holding {} nodes: {}",
+                stats.partition_weights[pi],
+                doc.name(iv.first),
+                doc.name(iv.last),
+                members.len(),
+                preview(&members),
+            );
+        }
+    }
+}
+
+fn preview(names: &[&str]) -> String {
+    const MAX: usize = 8;
+    if names.len() <= MAX {
+        names.join(" ")
+    } else {
+        format!("{} … ({} more)", names[..MAX].join(" "), names.len() - MAX)
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: partition the paper's running examples and inspect the
+//! results of every algorithm.
+//!
+//! ```text
+//! cargo run -p natix-bench --release --example quickstart
+//! ```
+
+use natix_bench::{natix_core, natix_tree};
+use natix_core::evaluation_algorithms;
+use natix_tree::{parse_spec, validate, Weight};
+
+fn show(title: &str, spec: &str, k: Weight) {
+    let tree = parse_spec(spec).expect("valid spec");
+    println!("{title}");
+    println!("  tree: {tree}   (total weight {}, K = {k})", tree.total_weight());
+    for alg in evaluation_algorithms() {
+        let p = alg.partition(&tree, k).expect("feasible");
+        let stats = validate(&tree, k, &p).expect("algorithms return feasible partitionings");
+        let mut display = p.clone();
+        display.normalize();
+        println!(
+            "  {:>5}: {} partitions, root weight {}  {}",
+            alg.name(),
+            stats.cardinality,
+            stats.root_weight,
+            display.display(&tree),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Fig. 3 of the paper: the tree used for all Sec. 2 definitions.
+    show(
+        "Paper Fig. 3 example",
+        "a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)",
+        5,
+    );
+
+    // Fig. 6: the tree where the greedy GHDW needs 4 partitions but the
+    // optimal DHW (and EKM) find 3 by choosing a *nearly optimal*
+    // partitioning for the subtree of c.
+    show(
+        "Paper Fig. 6: greedy failure case",
+        "a:5(b:1 c:1(d:2 e:2) f:1)",
+        5,
+    );
+
+    // Fig. 9: EKM's own failure case — it cuts d where keeping d,e with
+    // the root would have saved a partition.
+    show("Paper Fig. 9: EKM failure case", "a:2(b:4(c:1) d:1 e:1)", 5);
+}

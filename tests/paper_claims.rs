@@ -1,0 +1,151 @@
+//! The paper's headline experimental claims, asserted as tests on the
+//! (scaled-down) evaluation suite. These are the *shape* claims of Sec. 6;
+//! absolute numbers live in EXPERIMENTS.md.
+
+use natix_bench::{natix_core, natix_datagen, natix_store, natix_tree, natix_xpath};
+use natix_core::{Bfs, Dfs, Dhw, Ekm, Ghdw, Km, Partitioner, Rs};
+use natix_datagen::GenConfig;
+use natix_store::{MemPager, StoreConfig, XmlStore};
+use natix_tree::{validate, Tree};
+use natix_xpath::{eval_query, xpathmark, StoreNavigator};
+
+const K: u64 = 256;
+
+fn cardinality_at(alg: &dyn Partitioner, tree: &Tree, k: u64) -> usize {
+    let p = alg.partition(tree, k).unwrap();
+    validate(tree, k, &p).unwrap().cardinality
+}
+
+fn cardinality(alg: &dyn Partitioner, tree: &Tree) -> usize {
+    cardinality_at(alg, tree, K)
+}
+
+/// Claim (abstract/Sec. 6.2): "compared to partitioning that exclusively
+/// considers parent-child partitions, including sibling partitioning as
+/// well can decrease the total number of partitions by more than 90%" —
+/// measured on the relational documents.
+#[test]
+fn sibling_partitioning_beats_km_by_90_percent_on_relational_data() {
+    for gen in [natix_datagen::partsupp, natix_datagen::orders] {
+        let doc = gen(GenConfig {
+            scale: 0.05,
+            seed: 1,
+        });
+        let tree = doc.tree();
+        let km = cardinality(&Km, tree);
+        let dhw = cardinality(&Dhw, tree);
+        assert!(
+            (dhw as f64) < 0.15 * km as f64,
+            "sibling optimum {dhw} should be <15% of KM {km}"
+        );
+    }
+}
+
+/// Claim (Sec. 6.2): GHDW is within a few percent of the optimum; "the
+/// difference between GHDW and the optimal result ... is always below 4%".
+#[test]
+fn ghdw_is_within_4_percent_of_optimal() {
+    for (name, doc) in natix_datagen::evaluation_suite(0.02, 2) {
+        let tree = doc.tree();
+        let dhw = cardinality(&Dhw, tree);
+        let ghdw = cardinality(&Ghdw, tree);
+        assert!(
+            ghdw as f64 <= dhw as f64 * 1.04 + 1.0,
+            "{name}: GHDW {ghdw} vs optimal {dhw}"
+        );
+    }
+}
+
+/// Claim (Sec. 6.2): EKM is near-optimal — "always the third-best
+/// algorithm" or better, far ahead of KM/DFS/BFS.
+#[test]
+fn ekm_is_near_optimal_and_beats_the_naive_heuristics() {
+    for (name, doc) in natix_datagen::evaluation_suite(0.02, 3) {
+        let tree = doc.tree();
+        let dhw = cardinality(&Dhw, tree);
+        let ekm = cardinality(&Ekm, tree);
+        let km = cardinality(&Km, tree);
+        let bfs = cardinality(&Bfs, tree);
+        assert!(
+            (ekm as f64) <= dhw as f64 * 1.10 + 2.0,
+            "{name}: EKM {ekm} vs optimal {dhw}"
+        );
+        assert!(ekm < km, "{name}: EKM {ekm} vs KM {km}");
+        assert!(ekm < bfs, "{name}: EKM {ekm} vs BFS {bfs}");
+    }
+}
+
+/// Claim (Sec. 6.2, Table 1): DFS and BFS "perform sometimes even worse
+/// than KM" and are "not very robust" — on the relational documents both
+/// lose badly to every sibling partitioner.
+#[test]
+fn top_down_heuristics_are_not_robust() {
+    let doc = natix_datagen::partsupp(GenConfig {
+        scale: 0.05,
+        seed: 4,
+    });
+    let tree = doc.tree();
+    let rs = cardinality(&Rs, tree);
+    let dfs = cardinality(&Dfs, tree);
+    let bfs = cardinality(&Bfs, tree);
+    assert!(dfs > rs, "DFS {dfs} should lose to RS {rs} on partsupp");
+    assert!(bfs > rs, "BFS {bfs} should lose to RS {rs} on partsupp");
+}
+
+/// Claim (Sec. 6.4, Table 3): the EKM layout produces fewer records, at a
+/// slightly larger disk footprint, and crosses fewer storage-unit borders
+/// on sibling-heavy navigation.
+#[test]
+fn ekm_layout_beats_km_layout_on_navigation() {
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.02,
+        seed: 5,
+    });
+    let load = |alg: &dyn Partitioner| -> XmlStore {
+        let p = alg.partition(doc.tree(), K).unwrap();
+        XmlStore::bulkload(&doc, &p, Box::new(MemPager::new()), StoreConfig::default()).unwrap()
+    };
+    let mut km = load(&Km);
+    let mut ekm = load(&Ekm);
+    // Paper Table 1 at full scale: KM has ~2.8x the records of EKM; our
+    // scaled-down generated documents land around 1.5x.
+    assert!(ekm.record_count() < km.record_count());
+
+    for (qname, q) in xpathmark::all() {
+        km.reset_nav_stats();
+        ekm.reset_nav_stats();
+        let km_hits = {
+            let mut nav = StoreNavigator::new(&mut km);
+            eval_query(&mut nav, q).unwrap().len()
+        };
+        let ekm_hits = {
+            let mut nav = StoreNavigator::new(&mut ekm);
+            eval_query(&mut nav, q).unwrap().len()
+        };
+        assert_eq!(km_hits, ekm_hits, "{qname}");
+        assert!(
+            ekm.nav_stats().record_switches <= km.nav_stats().record_switches,
+            "{qname}: EKM crossed {} > KM {}",
+            ekm.nav_stats().record_switches,
+            km.nav_stats().record_switches
+        );
+    }
+}
+
+/// The Fig. 1/Fig. 2 motivating example: a parent whose children cannot
+/// share its storage unit. Parent-child partitioning needs one unit per
+/// child; sibling partitioning packs consecutive children together.
+#[test]
+fn fig1_fig2_motivation() {
+    let spec = "p:6(c1:2 c2:2(c21:1 c22:1 c23:1) c3:2 c4:2(c41:1 c42:1) c5:2(c51:1 c52:1))";
+    let tree = natix_tree::parse_spec(spec).unwrap();
+    let k = 7;
+    // KM: every child subtree becomes its own partition (6 partitions: the
+    // root plus five children).
+    let km = cardinality_at(&Km, &tree, k);
+    // Sibling partitioning merges adjacent child subtrees.
+    let dhw = cardinality_at(&Dhw, &tree, k);
+    assert!(dhw < km, "sibling {dhw} vs parent-child {km}");
+    assert_eq!(km, 6);
+    assert_eq!(dhw, 4); // root + three sibling groups (paper Fig. 2 shows 1+3)
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full pipeline
+//! generate → weight → partition → validate → bulkload → query,
+//! exercised for every partitioning algorithm.
+
+use natix_bench::{natix_core, natix_datagen, natix_store, natix_xml, natix_xpath};
+use natix_core::{evaluation_algorithms, Dhw, Ekm, Partitioner};
+use natix_datagen::GenConfig;
+use natix_store::{MemPager, StoreConfig, XmlStore};
+use natix_tree::validate;
+use natix_xpath::{eval_query, xpathmark, MemNavigator, StoreNavigator};
+
+use natix_bench::natix_tree;
+
+const K: u64 = 256;
+
+#[test]
+fn full_pipeline_all_algorithms() {
+    let doc = natix_datagen::xmark(GenConfig {
+        scale: 0.005,
+        seed: 77,
+    });
+    // Oracle counts from the in-memory evaluator.
+    let expected: Vec<usize> = xpathmark::all()
+        .iter()
+        .map(|&(_, q)| {
+            let mut nav = MemNavigator::new(&doc);
+            eval_query(&mut nav, q).unwrap().len()
+        })
+        .collect();
+
+    for alg in evaluation_algorithms() {
+        let p = alg.partition(doc.tree(), K).unwrap();
+        let stats = validate(doc.tree(), K, &p).unwrap();
+        assert!(stats.cardinality >= 1);
+        let mut store =
+            XmlStore::bulkload(&doc, &p, Box::new(MemPager::new()), StoreConfig::default())
+                .unwrap();
+        assert_eq!(store.record_count(), stats.cardinality);
+        for ((qname, q), want) in xpathmark::all().iter().zip(&expected) {
+            let got = {
+                let mut nav = StoreNavigator::new(&mut store);
+                eval_query(&mut nav, q).unwrap().len()
+            };
+            assert_eq!(got, *want, "{} on {qname}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn xml_roundtrip_through_every_layer() {
+    // Document -> XML text -> parse -> partition -> store -> document.
+    let doc = natix_datagen::sigmod(GenConfig {
+        scale: 0.01,
+        seed: 78,
+    });
+    let xml = doc.to_xml();
+    let reparsed = natix_xml::parse(&xml).expect("self-produced XML parses");
+    assert_eq!(reparsed.len(), doc.len());
+    assert_eq!(reparsed.total_weight(), doc.total_weight());
+
+    let p = Ekm.partition(reparsed.tree(), K).unwrap();
+    let mut store = XmlStore::bulkload(
+        &reparsed,
+        &p,
+        Box::new(MemPager::new()),
+        StoreConfig::default(),
+    )
+    .unwrap();
+    let back = store.to_document().unwrap();
+    assert_eq!(back.to_xml(), xml);
+}
+
+#[test]
+fn every_document_generator_partitions_feasibly() {
+    for (name, doc) in natix_datagen::evaluation_suite(0.003, 79) {
+        for alg in evaluation_algorithms() {
+            let p = alg
+                .partition(doc.tree(), K)
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
+            validate(doc.tree(), K, &p)
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
+        }
+    }
+}
+
+#[test]
+fn dhw_is_optimal_on_generated_documents() {
+    // DHW must never be beaten by any heuristic on real document shapes.
+    for (name, doc) in natix_datagen::evaluation_suite(0.002, 80) {
+        let opt = validate(doc.tree(), K, &Dhw.partition(doc.tree(), K).unwrap())
+            .unwrap()
+            .cardinality;
+        let lb = doc.total_weight().div_ceil(K) as usize;
+        assert!(opt >= lb, "{name}: optimal {opt} below weight bound {lb}");
+        for alg in evaluation_algorithms() {
+            let c = validate(doc.tree(), K, &alg.partition(doc.tree(), K).unwrap())
+                .unwrap()
+                .cardinality;
+            assert!(
+                c >= opt,
+                "{} beat DHW on {name}: {c} < {opt}",
+                alg.name()
+            );
+        }
+    }
+}
