@@ -14,11 +14,9 @@ fn bench_algorithms(c: &mut Criterion) {
     let tree = doc.tree();
     let mut g = c.benchmark_group("partition/xmark-2.7k-nodes");
     for alg in evaluation_algorithms() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(alg.name()),
-            tree,
-            |b, tree| b.iter(|| alg.partition(tree, 256).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(alg.name()), tree, |b, tree| {
+            b.iter(|| alg.partition(tree, 256).unwrap())
+        });
     }
     g.finish();
 }
@@ -32,11 +30,9 @@ fn bench_relational(c: &mut Criterion) {
     let tree = doc.tree();
     let mut g = c.benchmark_group("partition/partsupp-1k-nodes");
     for alg in evaluation_algorithms() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(alg.name()),
-            tree,
-            |b, tree| b.iter(|| alg.partition(tree, 256).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(alg.name()), tree, |b, tree| {
+            b.iter(|| alg.partition(tree, 256).unwrap())
+        });
     }
     g.finish();
 }

@@ -6,9 +6,9 @@
 //! cargo run -p natix-bench --release --bin doc_stats [--scale 0.05 | --paper]
 //! ```
 
+use natix_bench::json_row;
 use natix_bench::{natix_datagen, natix_tree, write_json, Args, Table};
 use natix_tree::tree_stats;
-use serde::Serialize;
 
 /// Paper Table 1 reference values at scale 1.0: (nodes, weight / 256).
 const PAPER: &[(&str, usize, u64)] = &[
@@ -20,16 +20,17 @@ const PAPER: &[(&str, usize, u64)] = &[
     ("xmark0p1.xml", 549_213, 7_532),
 ];
 
-#[derive(Serialize)]
-struct Row {
-    document: String,
-    nodes: usize,
-    weight: u64,
-    height: usize,
-    leaves: usize,
-    max_fanout: usize,
-    mean_fanout: f64,
-    paper_nodes_at_this_scale: f64,
+json_row! {
+    struct Row {
+        document: String,
+        nodes: usize,
+        weight: u64,
+        height: usize,
+        leaves: usize,
+        max_fanout: usize,
+        mean_fanout: f64,
+        paper_nodes_at_this_scale: f64,
+    }
 }
 
 fn main() {

@@ -6,19 +6,29 @@
 //! ```text
 //! cargo run -p natix-bench --release --bin memoization [--scale 0.05]
 //! ```
+//!
+//! Besides cell counts, the table reports the memory side of the arena
+//! refactor: peak workspace bytes of the flat-arena engine versus the heap
+//! bytes the old `HashMap<s, Vec<Entry>>`-per-node layout would allocate
+//! for the same run (an undercount — see
+//! `natix_core::baseline::hashmap_bytes_estimate`).
 
+use natix_bench::json_row;
 use natix_bench::{natix_core, natix_datagen, write_json, Args, Table};
-use natix_core::dhw_with_statistics;
-use serde::Serialize;
+use natix_core::{baseline, dhw_with_statistics};
 
-#[derive(Serialize)]
-struct Row {
-    document: String,
-    inner_nodes: u64,
-    avg_s_values: f64,
-    max_s_values: usize,
-    table_cells: u64,
-    full_table_cells: u64,
+json_row! {
+    struct Row {
+        document: String,
+        inner_nodes: u64,
+        avg_s_values: f64,
+        max_s_values: usize,
+        table_cells: u64,
+        full_table_cells: u64,
+        arena_cells: u64,
+        arena_peak_bytes: u64,
+        hashmap_bytes_estimate: u64,
+    }
 }
 
 fn main() {
@@ -31,6 +41,8 @@ fn main() {
         "cells used",
         "cells full table",
         "saved",
+        "arena KB",
+        "hashmap KB",
     ]);
     let mut results = Vec::new();
     for (name, doc) in natix_datagen::evaluation_suite(args.scale, args.seed) {
@@ -45,6 +57,7 @@ fn main() {
                 s_range * (tree.child_count(v) as u64 + 1)
             })
             .sum();
+        let hashmap_bytes = baseline::hashmap_bytes_estimate(&stats);
         table.row(vec![
             name.to_string(),
             stats.inner_nodes.to_string(),
@@ -52,9 +65,19 @@ fn main() {
             stats.max_rows.to_string(),
             stats.total_entries.to_string(),
             full.to_string(),
-            format!("{:.1}%", 100.0 * (1.0 - stats.total_entries as f64 / full as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - stats.total_entries as f64 / full as f64)
+            ),
+            (stats.bytes_allocated / 1024).to_string(),
+            (hashmap_bytes / 1024).to_string(),
         ]);
-        eprintln!("done: {name} (avg {:.2} s values)", stats.avg_rows());
+        eprintln!(
+            "done: {name} (avg {:.2} s values, arena peak {} KB vs ~{} KB hashed rows)",
+            stats.avg_rows(),
+            stats.bytes_allocated / 1024,
+            hashmap_bytes / 1024
+        );
         results.push(Row {
             document: name.to_string(),
             inner_nodes: stats.inner_nodes,
@@ -62,6 +85,9 @@ fn main() {
             max_s_values: stats.max_rows,
             table_cells: stats.total_entries,
             full_table_cells: full,
+            arena_cells: stats.arena_entries,
+            arena_peak_bytes: stats.bytes_allocated,
+            hashmap_bytes_estimate: hashmap_bytes,
         });
     }
     println!(
@@ -70,5 +96,9 @@ fn main() {
     );
     println!("{}", table.render());
     println!("Paper Sec. 3.3.6 reference point: < 4 avg s values on a 20 MB document at K = 256.");
+    println!(
+        "arena KB = peak reusable workspace of the flat-arena DP; hashmap KB = estimated\n\
+         heap bytes of the former per-node HashMap row layout for the same run (undercount)."
+    );
     write_json(&args, &results);
 }

@@ -10,19 +10,22 @@
 //! sibling partitioners (DHW, EKM) beat both, because neither Lukes nor KM
 //! may merge sibling subtrees.
 
-use natix_bench::{fmt_duration, natix_core, natix_datagen, natix_tree, time, write_json, Args, Table};
+use natix_bench::json_row;
+use natix_bench::{
+    fmt_duration, natix_core, natix_datagen, natix_tree, time, write_json, Args, Table,
+};
 use natix_core::{lukes, Dhw, Ekm, Km, Lukes, Partitioner, UnitEdgeValues};
 use natix_tree::validate;
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    document: String,
-    lukes: usize,
-    lukes_value: u64,
-    km: usize,
-    dhw: usize,
-    ekm: usize,
+json_row! {
+    struct Row {
+        document: String,
+        lukes: usize,
+        lukes_value: u64,
+        km: usize,
+        dhw: usize,
+        ekm: usize,
+    }
 }
 
 fn main() {
@@ -49,7 +52,9 @@ fn main() {
                 .cardinality
         };
         let (lr, lukes_time) = time(|| lukes(tree, args.k, &UnitEdgeValues).unwrap());
-        let l_card = validate(tree, args.k, &lr.partitioning).unwrap().cardinality;
+        let l_card = validate(tree, args.k, &lr.partitioning)
+            .unwrap()
+            .cardinality;
         let km = card(&Km);
         let dhw = card(&Dhw);
         let ekm = card(&Ekm);

@@ -10,15 +10,16 @@
 //! algorithm, total time and time-per-node. Linearity shows as a flat
 //! ns/node column.
 
+use natix_bench::json_row;
 use natix_bench::{fmt_duration, natix_core, natix_datagen, time, write_json, Args, Table};
 use natix_core::{Dhw, Ekm, Ghdw, Km, Partitioner};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    scale: f64,
-    nodes: usize,
-    per_algorithm: Vec<(String, f64, f64)>, // name, seconds, ns/node
+json_row! {
+    struct Row {
+        scale: f64,
+        nodes: usize,
+        per_algorithm: Vec<(String, f64, f64)>, // name, seconds, ns/node
+    }
 }
 
 fn main() {
@@ -56,7 +57,11 @@ fn main() {
             time_cells.push(fmt_duration(dur));
             rate_cells.push(format!("{ns_per_node:.0}ns"));
             per_algorithm.push((alg.name().to_string(), dur.as_secs_f64(), ns_per_node));
-            eprintln!("scale {scale}: {} {} ({ns_per_node:.0} ns/node)", alg.name(), fmt_duration(dur));
+            eprintln!(
+                "scale {scale}: {} {} ({ns_per_node:.0} ns/node)",
+                alg.name(),
+                fmt_duration(dur)
+            );
         }
         time_table.row(time_cells);
         rate_table.row(rate_cells);
@@ -67,8 +72,14 @@ fn main() {
         });
     }
 
-    println!("Ablation: linear scaling in document size (K = {})\n", args.k);
+    println!(
+        "Ablation: linear scaling in document size (K = {})\n",
+        args.k
+    );
     println!("Total time:\n{}", time_table.render());
-    println!("Per node (flat column = linear runtime):\n{}", rate_table.render());
+    println!(
+        "Per node (flat column = linear runtime):\n{}",
+        rate_table.render()
+    );
     write_json(&args, &results);
 }

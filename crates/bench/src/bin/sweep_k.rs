@@ -10,16 +10,17 @@
 //! sibling partitioners *grows* as K grows, because larger storage units
 //! can merge more sibling subtrees that KM must keep separate.
 
+use natix_bench::json_row;
 use natix_bench::{natix_core, natix_datagen, natix_tree, write_json, Args, Table};
 use natix_core::evaluation_algorithms;
 use natix_tree::validate;
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    k: u64,
-    lower_bound: u64,
-    partitions: Vec<(String, usize)>,
+json_row! {
+    struct Row {
+        k: u64,
+        lower_bound: u64,
+        partitions: Vec<(String, usize)>,
+    }
 }
 
 fn main() {
@@ -33,7 +34,11 @@ fn main() {
         seed: args.seed,
     });
     let tree = doc.tree();
-    eprintln!("document: {} nodes, {} slots", tree.len(), tree.total_weight());
+    eprintln!(
+        "document: {} nodes, {} slots",
+        tree.len(),
+        tree.total_weight()
+    );
 
     let algorithms = evaluation_algorithms();
     let mut headers = vec!["K", "ceil(W/K)"];

@@ -11,32 +11,34 @@
 //! and report the median. The claim to verify: the EKM (sibling) layout
 //! beats the KM (parent-child-only) layout on every query, by up to ~2×.
 
+use natix_bench::json_row;
 use natix_bench::{
     median_time, natix_core, natix_datagen, natix_store, natix_xpath, write_json, Args, Table,
 };
 use natix_core::{Ekm, Km, Partitioner};
 use natix_store::{MemPager, NavStats, StoreConfig, XmlStore};
 use natix_xpath::{eval, parse, xpathmark, StoreNavigator};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct QueryRow {
-    query: String,
-    km_seconds: f64,
-    ekm_seconds: f64,
-    speedup: f64,
-    km_switches: u64,
-    ekm_switches: u64,
-    result_count: usize,
+json_row! {
+    struct QueryRow {
+        query: String,
+        km_seconds: f64,
+        ekm_seconds: f64,
+        speedup: f64,
+        km_switches: u64,
+        ekm_switches: u64,
+        result_count: usize,
+    }
 }
 
-#[derive(Serialize)]
-struct Results {
-    km_records: usize,
-    ekm_records: usize,
-    km_disk_bytes: u64,
-    ekm_disk_bytes: u64,
-    queries: Vec<QueryRow>,
+json_row! {
+    struct Results {
+        km_records: usize,
+        ekm_records: usize,
+        km_disk_bytes: u64,
+        ekm_disk_bytes: u64,
+        queries: Vec<QueryRow>,
+    }
 }
 
 fn load(doc: &natix_xml::Document, alg: &dyn Partitioner, k: u64) -> XmlStore {
@@ -52,7 +54,11 @@ fn main() {
         scale: args.scale,
         seed: args.seed,
     });
-    eprintln!("document: {} nodes, {} slots", doc.len(), doc.total_weight());
+    eprintln!(
+        "document: {} nodes, {} slots",
+        doc.len(),
+        doc.total_weight()
+    );
 
     eprintln!("bulkloading with KM and EKM (K = {}) ...", args.k);
     let mut km = load(&doc, &Km, args.k);

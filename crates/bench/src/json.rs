@@ -1,0 +1,289 @@
+//! Minimal JSON serialization for experiment results.
+//!
+//! The offline build cannot fetch `serde`/`serde_json` (derive macros need
+//! proc-macro crates that cannot be shimmed locally), so the harness renders
+//! its result rows through this hand-rolled tree + the [`json_row!`] macro,
+//! which keeps the per-binary row definitions as declarative as the old
+//! `#[derive(Serialize)]` structs.
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (covers `u64`/`usize` exactly; no f64 rounding).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point; non-finite values render as `null`.
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render with two-space indentation, matching
+    /// `serde_json::to_string_pretty` closely enough for downstream tooling.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{}` prints the shortest representation that parses
+                    // back exactly; force a decimal point for integral
+                    // values so consumers see a float, like serde_json.
+                    let s = f.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_escaped(key, out);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree (the shim's stand-in for
+/// `serde::Serialize`).
+pub trait ToJson {
+    /// Build the JSON value for `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+macro_rules! impl_to_json_uint {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )+};
+}
+impl_to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )+};
+}
+impl_to_json_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Declare a result-row struct together with its [`ToJson`] impl, keeping
+/// the field list single-sourced like the former `#[derive(Serialize)]`.
+#[macro_export]
+macro_rules! json_row {
+    (
+        $(#[$meta:meta])*
+        struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                $field:ident : $ty:ty
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        struct $name {
+            $( $(#[$fmeta])* $field: $ty, )+
+        }
+
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    json_row! {
+        struct Row {
+            name: String,
+            count: usize,
+            ratio: f64,
+            pairs: Vec<(String, u64)>,
+        }
+    }
+
+    #[test]
+    fn row_macro_renders_object() {
+        let r = Row {
+            name: "xmark".into(),
+            count: 3,
+            ratio: 1.5,
+            pairs: vec![("dhw".into(), 10u64)],
+        };
+        let s = vec![r].to_json().render_pretty();
+        assert!(s.starts_with("[\n  {\n"), "got: {s}");
+        assert!(s.contains("\"name\": \"xmark\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 1.5"));
+        assert!(s.contains("\"dhw\""));
+    }
+
+    #[test]
+    fn floats_render_with_decimal_point() {
+        assert_eq!(Json::Float(2.0).render_pretty(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).render_pretty(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render_pretty(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Array(vec![]).render_pretty(), "[]");
+        assert_eq!(Json::Object(vec![]).render_pretty(), "{}");
+    }
+}

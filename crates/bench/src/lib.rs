@@ -15,7 +15,8 @@
 
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
+pub mod json;
+pub use json::{Json, ToJson};
 
 pub use natix_core;
 pub use natix_datagen;
@@ -37,6 +38,9 @@ pub struct Args {
     pub json: Option<String>,
     /// Skip the slow optimal algorithm (DHW) if set.
     pub skip_dhw: bool,
+    /// Worker threads for parallel partitioning (`--threads`); defaults to
+    /// the machine's available parallelism.
+    pub threads: usize,
 }
 
 impl Default for Args {
@@ -47,8 +51,16 @@ impl Default for Args {
             k: 256,
             json: None,
             skip_dhw: false,
+            threads: default_threads(),
         }
     }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Args {
@@ -85,10 +97,20 @@ impl Args {
                 }
                 "--json" => args.json = Some(value("--json")),
                 "--skip-dhw" => args.skip_dhw = true,
+                "--threads" => {
+                    args.threads = value("--threads").parse().unwrap_or_else(|_| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+                    if args.threads == 0 {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale <f> | --paper | --seed <n> | --k <slots> | \
-                         --json <path> | --skip-dhw"
+                         --json <path> | --skip-dhw | --threads <n>"
                     );
                     std::process::exit(0);
                 }
@@ -180,15 +202,20 @@ impl Table {
 }
 
 /// Write `results` as pretty JSON if `--json` was given.
-pub fn write_json<T: Serialize>(args: &Args, results: &T) {
+pub fn write_json<T: ToJson>(args: &Args, results: &T) {
     if let Some(path) = &args.json {
-        let json = serde_json::to_string_pretty(results).expect("serializable results");
-        std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("wrote {path}");
+        write_json_to(path, results);
     }
+}
+
+/// Write `results` as pretty JSON to an explicit path.
+pub fn write_json_to<T: ToJson>(path: &str, results: &T) {
+    let json = results.to_json().render_pretty();
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {path}");
 }
 
 /// Human-friendly duration (s with ms precision, or ms/µs for short ones).

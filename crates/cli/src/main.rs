@@ -2,17 +2,24 @@
 //! store.
 //!
 //! ```text
-//! natix partition <file.xml> [--alg ekm|dhw|ghdw|km|rs|dfs|bfs|lukes] [--k 256]
-//! natix load      <file.xml> <store.natix> [--alg ekm] [--k 256]
+//! natix partition <file.xml> [--alg ekm|dhw|ghdw|km|rs|dfs|bfs|lukes] [--k 256] [--threads N]
+//! natix load      <file.xml> <store.natix> [--alg ekm] [--k 256] [--threads N]
 //! natix query     <store.natix> '<xpath>' [--count]
 //! natix dump      <store.natix>
 //! natix stats     <store.natix>
 //! ```
+//!
+//! `--threads N` runs the table-building algorithms (DHW, GHDW) on N worker
+//! threads; the output is identical to the sequential run. It defaults to
+//! the machine's available parallelism and is ignored by the single-pass
+//! heuristics.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use natix_core::{Bfs, Dfs, Dhw, Ekm, Ghdw, Km, Lukes, Partitioner, Rs};
+use natix_core::{
+    parallel, Bfs, Dfs, Dhw, Ekm, Ghdw, Km, Lukes, ParallelDhw, ParallelGhdw, Partitioner, Rs,
+};
 use natix_store::{bulkload_with, FilePager, StoreConfig, XmlStore};
 use natix_tree::validate;
 use natix_xml::NodeKind;
@@ -20,20 +27,26 @@ use natix_xpath::{eval_query, StoreNavigator};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  natix partition <file.xml> [--alg NAME] [--k SLOTS]\n  \
-         natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS]\n  \
+        "usage:\n  natix partition <file.xml> [--alg NAME] [--k SLOTS] [--threads N]\n  \
+         natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS] [--threads N]\n  \
          natix query <store.natix> '<xpath>' [--count]\n  \
          natix dump <store.natix>\n  \
          natix stats <store.natix>\n\
-         algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes"
+         algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
+         --threads N parallelizes dhw/ghdw (default: available parallelism)"
     );
     ExitCode::from(2)
 }
 
-fn algorithm(name: &str) -> Option<Box<dyn Partitioner>> {
+/// Resolve an algorithm name. `threads > 1` selects the parallel engines
+/// for the table-building algorithms (identical output, see
+/// `natix_core::parallel`); the single-pass heuristics ignore it.
+fn algorithm(name: &str, threads: usize) -> Option<Box<dyn Partitioner>> {
     Some(match name.to_ascii_lowercase().as_str() {
         "ekm" => Box::new(Ekm),
+        "dhw" if threads > 1 => Box::new(ParallelDhw::new(threads)),
         "dhw" => Box::new(Dhw),
+        "ghdw" if threads > 1 => Box::new(ParallelGhdw::new(threads)),
         "ghdw" => Box::new(Ghdw),
         "km" => Box::new(Km),
         "rs" => Box::new(Rs),
@@ -50,14 +63,18 @@ struct Flags {
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, String> {
-    let mut alg: Box<dyn Partitioner> = Box::new(Ekm);
+    let mut alg_name = String::from("ekm");
     let mut k = 256;
+    let mut threads = parallel::default_threads();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--alg" => {
                 let name = it.next().ok_or("missing value for --alg")?;
-                alg = algorithm(name).ok_or_else(|| format!("unknown algorithm {name}"))?;
+                if algorithm(name, 1).is_none() {
+                    return Err(format!("unknown algorithm {name}"));
+                }
+                alg_name = name.clone();
             }
             "--k" => {
                 k = it
@@ -66,10 +83,21 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "--k expects a positive integer".to_string())?;
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("missing value for --threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if threads == 0 {
+                    return Err("--threads expects a positive integer".to_string());
+                }
+            }
             "--count" => {} // handled by the caller
             other => return Err(format!("unknown option {other}")),
         }
     }
+    let alg = algorithm(&alg_name, threads).expect("validated above");
     Ok(Flags { alg, k })
 }
 
@@ -93,7 +121,11 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         .partition(tree, flags.k)
         .map_err(|e| e.to_string())?;
     let stats = validate(tree, flags.k, &p).map_err(|e| e.to_string())?;
-    println!("document   : {} nodes, {} slots", tree.len(), tree.total_weight());
+    println!(
+        "document   : {} nodes, {} slots",
+        tree.len(),
+        tree.total_weight()
+    );
     println!("algorithm  : {} (K = {})", flags.alg.name(), flags.k);
     println!("partitions : {}", stats.cardinality);
     println!("root weight: {}", stats.root_weight);

@@ -33,8 +33,19 @@ fn partition_reports_counts() {
     let dir = tmpdir();
     let xml = dir.join("lib.xml");
     std::fs::write(&xml, SAMPLE).unwrap();
-    let out = natix(&["partition", xml.to_str().unwrap(), "--alg", "dhw", "--k", "16"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = natix(&[
+        "partition",
+        xml.to_str().unwrap(),
+        "--alg",
+        "dhw",
+        "--k",
+        "16",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("algorithm  : DHW (K = 16)"), "{stdout}");
     assert!(stdout.contains("partitions : 3"), "{stdout}");
@@ -57,13 +68,22 @@ fn load_query_dump_roundtrip() {
         "--k",
         "16",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = natix(&["query", store.to_str().unwrap(), "//book/title", "--count"]);
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
 
-    let out = natix(&["query", store.to_str().unwrap(), "//shelf[@id='s2']/book", "--count"]);
+    let out = natix(&[
+        "query",
+        store.to_str().unwrap(),
+        "//shelf[@id='s2']/book",
+        "--count",
+    ]);
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1");
 
     let out = natix(&["dump", store.to_str().unwrap()]);

@@ -26,7 +26,12 @@ pub struct BruteForceResult {
 /// All ways to place disjoint intervals over a sibling list of length `m`,
 /// as `(start, end)` index pairs.
 fn interval_configs(m: usize) -> Vec<Vec<(usize, usize)>> {
-    fn rec(pos: usize, m: usize, cur: &mut Vec<(usize, usize)>, out: &mut Vec<Vec<(usize, usize)>>) {
+    fn rec(
+        pos: usize,
+        m: usize,
+        cur: &mut Vec<(usize, usize)>,
+        out: &mut Vec<Vec<(usize, usize)>>,
+    ) {
         if pos == m {
             out.push(cur.clone());
             return;

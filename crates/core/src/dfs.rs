@@ -39,9 +39,7 @@ impl Partitioner for Dfs {
             }
             let parent = tree.parent(v).expect("non-root");
             let connected = pid[parent.index()] == cur
-                || tree
-                    .prev_sibling(v)
-                    .is_some_and(|s| pid[s.index()] == cur);
+                || tree.prev_sibling(v).is_some_and(|s| pid[s.index()] == cur);
             if connected && cur_weight + w <= k {
                 pid[v.index()] = cur;
                 cur_weight += w;

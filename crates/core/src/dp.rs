@@ -16,17 +16,27 @@
 //! the two per subtree via the `ΔW` machinery of Lemma 5, which makes the
 //! result globally optimal.
 //!
-//! ## Memoization
+//! ## Memoization and memory layout
 //!
 //! The paper's Sec. 3.2.3/3.3.6 optimization: only `s` values that are
 //! actually requested are materialized (on a 20 MB document the authors
 //! measured fewer than 4 distinct `s` values per inner node, against a
-//! possible 256). We store per-node rows `s -> Vec<Entry>` in a hash map
-//! and fill each row left-to-right on demand; the cross-row dependency
-//! `(s + rw(c_j), j-1)` strictly increases `s`, so the recursion depth is
-//! bounded by `K`.
-
-use std::collections::HashMap;
+//! possible 256). The cross-row dependency `(s + rw(c_j), j-1)` strictly
+//! increases `s`, so the lazy-fill recursion depth is bounded by `K`.
+//!
+//! Materialized rows live in a single flat arena shared by all nodes of a
+//! run (see [`DpWorkspace`]): each row is a fixed-capacity slab of `nc + 1`
+//! [`Entry`] cells in one `Vec<Entry>`, located through a dense
+//! `s − w(v) → row` index (with a linear-scan fallback when `K − w(v)` is
+//! too large for a dense index). Entries are plain `Copy` structs whose
+//! nearly-optimal member sets are ranges of a shared `u32` pool, so the
+//! `(s, j)` recurrence and the backtracking [`NodeDp::chain`] move indices,
+//! never heap clones. The workspace is reused across nodes *and* across
+//! calls ([`dhw_partition_into`]/[`ghdw_partition_into`]), which makes
+//! repeated partitioning (k-sweeps, benchmarks, property tests) allocation
+//! free in steady state. The pre-arena `HashMap<Weight, Vec<Entry>>`
+//! implementation is retained in [`crate::baseline`] for differential tests
+//! and benchmarks.
 
 use natix_tree::{Partitioning, SiblingInterval, Tree, Weight};
 
@@ -36,9 +46,17 @@ use crate::{check_input, PartitionError, Partitioner};
 const NO_IV: u32 = u32::MAX;
 /// Cardinality of infeasible entries.
 const INFEASIBLE: u64 = u64::MAX;
+/// Largest `K − w(v)` span for which the dense row index is used; above
+/// this the per-node row directory is scanned linearly (row counts stay
+/// tiny — see `DpStats::avg_rows`).
+const DENSE_LIMIT: u64 = 1 << 16;
 
 /// One cell of the dynamic programming table `D(v, s, j)`.
-#[derive(Clone)]
+///
+/// Plain old data: chain pointers are `(s, j)` table coordinates and the
+/// nearly-optimal member set is a range of [`DpWorkspace::nearly_pool`], so
+/// copying an entry is a register move.
+#[derive(Clone, Copy)]
 struct Entry {
     /// Child index (into `v`'s child list) of the interval begin, or
     /// [`NO_IV`] if this entry introduces no interval.
@@ -50,22 +68,39 @@ struct Entry {
     card: u64,
     /// Weight of the root partition of this (partial) solution.
     rootweight: Weight,
-    /// Table key `(s, j)` of the remainder of the interval chain.
-    next: (Weight, u32),
-    /// Child indices whose subtrees use their nearly-optimal partitioning
-    /// (`N` in Fig. 7; always empty under GHDW).
-    nearly: Box<[u32]>,
+    /// Row key `s` of the remainder of the interval chain.
+    next_s: Weight,
+    /// Column `j` of the remainder of the interval chain.
+    next_j: u32,
+    /// Start of this entry's nearly-forced member range in the pool.
+    nearly_start: u32,
+    /// Length of the nearly-forced member range (`N` in Fig. 7; always
+    /// empty under GHDW).
+    nearly_len: u32,
 }
+
+/// The paper's "card = ∞" dummy, returned for out-of-bounds lookups and
+/// used to pre-fill fresh row slabs.
+const INFEASIBLE_ENTRY: Entry = Entry {
+    begin: NO_IV,
+    end: NO_IV,
+    card: INFEASIBLE,
+    rootweight: Weight::MAX,
+    next_s: 0,
+    next_j: 0,
+    nearly_start: 0,
+    nearly_len: 0,
+};
 
 /// Collapsed summary of an already-processed child subtree.
 #[derive(Clone, Copy)]
-struct ChildStats {
+pub(crate) struct ChildStats {
     /// Root weight of the child's optimal partitioning, `D(c).rootweight`.
-    rw: Weight,
+    pub(crate) rw: Weight,
     /// `ΔW(c)`: root-weight reduction available by switching the child to
     /// its nearly-optimal partitioning (0 under GHDW or if `Q(c)` does not
     /// exist).
-    dw: Weight,
+    pub(crate) dw: Weight,
 }
 
 /// A local interval of the per-node plan: child-index range plus the set of
@@ -78,11 +113,12 @@ struct PlanInterval {
 
 /// Result of processing one node: enough to (a) collapse it for the parent
 /// level and (b) extract the global partitioning top-down at the end.
-struct NodePlan {
+#[derive(Default)]
+pub(crate) struct NodePlan {
     /// `D(v).rootweight`.
-    rw_opt: Weight,
+    pub(crate) rw_opt: Weight,
     /// `ΔW(v)`.
-    dw: Weight,
+    pub(crate) dw: Weight,
     /// Interval chain of the optimal partitioning `D(v)`.
     opt: Vec<PlanInterval>,
     /// Interval chain of the nearly-optimal partitioning `Q(v)`, if it
@@ -90,40 +126,146 @@ struct NodePlan {
     nearly: Option<Vec<PlanInterval>>,
 }
 
-/// Per-node DP table with lazily materialized rows.
-struct NodeDp<'a> {
-    k: Weight,
-    children: &'a [ChildStats],
-    /// `s -> [Entry; computed prefix of j]`.
-    rows: HashMap<Weight, Vec<Entry>>,
-    /// Dummy returned for out-of-bounds lookups (the paper's "card = ∞"
-    /// convention).
-    infeasible: Entry,
+impl NodePlan {
+    /// Reset to a leaf plan (keeps the `opt` allocation for reuse).
+    pub(crate) fn set_leaf(&mut self, w: Weight) {
+        self.rw_opt = w;
+        self.dw = 0;
+        self.opt.clear();
+        self.nearly = None;
+    }
 }
 
-impl<'a> NodeDp<'a> {
-    fn new(k: Weight, children: &'a [ChildStats]) -> NodeDp<'a> {
-        NodeDp {
-            k,
-            children,
-            rows: HashMap::new(),
-            infeasible: Entry {
-                begin: NO_IV,
-                end: NO_IV,
-                card: INFEASIBLE,
-                rootweight: Weight::MAX,
-                next: (0, 0),
-                nearly: Box::new([]),
-            },
+/// Directory entry for one materialized row (a fixed-capacity slab of
+/// `nc + 1` entries in [`DpWorkspace::entries`]).
+#[derive(Clone, Copy)]
+struct RowMeta {
+    /// Root-partition weight `s` this row is keyed by.
+    s: Weight,
+    /// Slab start offset in the entry arena.
+    start: usize,
+    /// Number of computed cells (`j` prefix).
+    len: u32,
+}
+
+/// Reusable scratch space for the DP engine: the flat entry arena, the row
+/// directory/index, the nearly-member pool and the per-node buffers.
+///
+/// One workspace serves arbitrarily many nodes and calls; buffers are
+/// cleared (capacity kept) per node, so steady-state partitioning performs
+/// no heap allocation in the hot path. Create once and pass to
+/// [`dhw_partition_into`]/[`ghdw_partition_into`] for repeated runs.
+pub struct DpWorkspace {
+    /// Flat arena of row slabs.
+    entries: Vec<Entry>,
+    /// Directory of materialized rows for the current node.
+    rows: Vec<RowMeta>,
+    /// Dense `s − w(v) → row id + 1` map (0 = absent); zeroed per node by
+    /// walking the touched rows.
+    index: Vec<u32>,
+    /// Nearly-forced child indices referenced by entry ranges.
+    nearly_pool: Vec<u32>,
+    /// Candidate list `C` of Fig. 7, shared across `compute` calls.
+    cand: Vec<(Weight, u32)>,
+    /// Collapsed child summaries of the current node.
+    child_stats: Vec<ChildStats>,
+    /// Per-node plans of the last sequential run (reused across calls).
+    plans: Vec<NodePlan>,
+}
+
+impl DpWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> DpWorkspace {
+        DpWorkspace {
+            entries: Vec::new(),
+            rows: Vec::new(),
+            index: Vec::new(),
+            nearly_pool: Vec::new(),
+            cand: Vec::new(),
+            child_stats: Vec::new(),
+            plans: Vec::new(),
         }
     }
 
-    /// Table lookup; out-of-bounds `s` yields the infeasible dummy.
-    fn get(&self, s: Weight, j: usize) -> &Entry {
-        if s > self.k {
-            return &self.infeasible;
+    /// Load the collapsed child summaries for the node about to be
+    /// processed.
+    pub(crate) fn set_children<I: IntoIterator<Item = ChildStats>>(&mut self, children: I) {
+        self.child_stats.clear();
+        self.child_stats.extend(children);
+    }
+
+    /// Bytes currently held by the workspace buffers (capacities, i.e. the
+    /// peak footprint of the run since buffers never shrink).
+    fn bytes(&self) -> u64 {
+        (self.entries.capacity() * std::mem::size_of::<Entry>()
+            + self.rows.capacity() * std::mem::size_of::<RowMeta>()
+            + self.index.capacity() * std::mem::size_of::<u32>()
+            + self.nearly_pool.capacity() * std::mem::size_of::<u32>()
+            + self.cand.capacity() * std::mem::size_of::<(Weight, u32)>()
+            + self.child_stats.capacity() * std::mem::size_of::<ChildStats>()) as u64
+    }
+}
+
+impl Default for DpWorkspace {
+    fn default() -> Self {
+        DpWorkspace::new()
+    }
+}
+
+/// Per-node view of the DP table: split borrows of the workspace buffers
+/// plus the node parameters.
+struct NodeDp<'a> {
+    k: Weight,
+    /// `w(v)`: the smallest reachable `s`, used as the index base.
+    base: Weight,
+    /// Row slab capacity, `nc + 1`.
+    slab: usize,
+    /// Whether the dense `s`-index is in use for this node.
+    dense: bool,
+    children: &'a [ChildStats],
+    entries: &'a mut Vec<Entry>,
+    rows: &'a mut Vec<RowMeta>,
+    index: &'a mut Vec<u32>,
+    nearly_pool: &'a mut Vec<u32>,
+    cand: &'a mut Vec<(Weight, u32)>,
+}
+
+impl NodeDp<'_> {
+    /// Row id for `s`, if materialized.
+    fn row_id(&self, s: Weight) -> Option<usize> {
+        if self.dense {
+            match self.index[(s - self.base) as usize] {
+                0 => None,
+                slot => Some(slot as usize - 1),
+            }
+        } else {
+            self.rows.iter().position(|r| r.s == s)
         }
-        &self.rows[&s][j]
+    }
+
+    /// Materialize an empty row slab for `s`.
+    fn new_row(&mut self, s: Weight) -> usize {
+        let rid = self.rows.len();
+        self.rows.push(RowMeta {
+            s,
+            start: self.entries.len(),
+            len: 0,
+        });
+        self.entries
+            .resize(self.entries.len() + self.slab, INFEASIBLE_ENTRY);
+        if self.dense {
+            self.index[(s - self.base) as usize] = (rid + 1) as u32;
+        }
+        rid
+    }
+
+    /// Table lookup; out-of-bounds `s` yields the infeasible dummy.
+    fn get(&self, s: Weight, j: usize) -> Entry {
+        if s > self.k {
+            return INFEASIBLE_ENTRY;
+        }
+        let rid = self.row_id(s).expect("row materialized before lookup");
+        self.entries[self.rows[rid].start + j]
     }
 
     /// Make sure entries `(s, 0..=upto_j)` exist. Recursion strictly
@@ -132,30 +274,34 @@ impl<'a> NodeDp<'a> {
         if s > self.k {
             return;
         }
-        let have = self.rows.get(&s).map_or(0, Vec::len);
+        let rid = match self.row_id(s) {
+            Some(rid) => rid,
+            None => self.new_row(s),
+        };
+        let have = self.rows[rid].len as usize;
         if have > upto_j {
             return;
         }
         if have == 0 {
             // j = 0: only the (empty) root partition of weight s.
-            self.rows.insert(
-                s,
-                vec![Entry {
-                    begin: NO_IV,
-                    end: NO_IV,
-                    card: 0,
-                    rootweight: s,
-                    next: (0, 0),
-                    nearly: Box::new([]),
-                }],
-            );
+            let start = self.rows[rid].start;
+            self.entries[start] = Entry {
+                begin: NO_IV,
+                end: NO_IV,
+                card: 0,
+                rootweight: s,
+                ..INFEASIBLE_ENTRY
+            };
+            self.rows[rid].len = 1;
         }
         for j in have.max(1)..=upto_j {
             // Cross-row dependency: child j-1 joins the root partition.
             let s2 = s + self.children[j - 1].rw;
             self.ensure(s2, j - 1);
             let e = self.compute(s, j);
-            self.rows.get_mut(&s).expect("row exists").push(e);
+            let start = self.rows[rid].start;
+            self.entries[start + j] = e;
+            self.rows[rid].len = (j + 1) as u32;
         }
     }
 
@@ -163,13 +309,19 @@ impl<'a> NodeDp<'a> {
     /// `j-1` joins the root partition) and adding one of the intervals
     /// `(c_{j-1-m}, c_{j-1})`, possibly forcing some members to
     /// nearly-optimal subtree partitionings.
-    fn compute(&self, s: Weight, j: usize) -> Entry {
+    fn compute(&mut self, s: Weight, j: usize) -> Entry {
         let s2 = s + self.children[j - 1].rw;
-        let mut best = self.get(s2, j - 1).clone();
+        let mut best = self.get(s2, j - 1);
+        // Cells (s, 0..j) exist while computing (s, j); resolve the row once.
+        let s_start = self.rows[self.row_id(s).expect("current row")].start;
+        // Improvements monotonically replace `best`, so ranges written past
+        // `pool_base` by a superseded improvement are dead and safely
+        // overwritten; ranges below it belong to persisted entries.
+        let pool_base = self.nearly_pool.len();
 
         // Interval members sorted by descending (ΔW, index): the list `C` of
         // Fig. 7, maintained incrementally across `m` (Sec. 3.3.6).
-        let mut cand: Vec<(Weight, u32)> = Vec::new();
+        self.cand.clear();
         let mut w: Weight = 0; // Σ optimal root weights of members
         let mut dw_sum: Weight = 0; // Σ ΔW of members
         let mut m = 0usize;
@@ -180,11 +332,11 @@ impl<'a> NodeDp<'a> {
             dw_sum += cs.dw;
             if cs.dw > 0 {
                 let key = (cs.dw, ci as u32);
-                let pos = cand.partition_point(|&e| e > key);
-                cand.insert(pos, key);
+                let pos = self.cand.partition_point(|&e| e > key);
+                self.cand.insert(pos, key);
             }
             if w - dw_sum <= self.k {
-                let prev = self.get(s, ci);
+                let prev = self.entries[s_start + ci];
                 if prev.card != INFEASIBLE {
                     // Greedily force nearly-optimal partitionings (largest
                     // ΔW first) until the interval fits.
@@ -192,20 +344,25 @@ impl<'a> NodeDp<'a> {
                     let mut wp = w;
                     let mut taken = 0usize;
                     while wp > self.k {
-                        let (d, _) = cand[taken];
+                        let (d, _) = self.cand[taken];
                         wp -= d;
                         taken += 1;
                         crd += 1;
                     }
                     let rw = prev.rootweight;
                     if crd < best.card || (crd == best.card && rw < best.rootweight) {
+                        self.nearly_pool.truncate(pool_base);
+                        self.nearly_pool
+                            .extend(self.cand[..taken].iter().map(|&(_, i)| i));
                         best = Entry {
                             begin: ci as u32,
                             end: (j - 1) as u32,
                             card: crd,
                             rootweight: rw,
-                            next: (s, ci as u32),
-                            nearly: cand[..taken].iter().map(|&(_, i)| i).collect(),
+                            next_s: s,
+                            next_j: ci as u32,
+                            nearly_start: pool_base as u32,
+                            nearly_len: taken as u32,
                         };
                     }
                 }
@@ -215,9 +372,9 @@ impl<'a> NodeDp<'a> {
         best
     }
 
-    /// Collect the interval chain starting at `(s, j)`.
-    fn chain(&self, mut s: Weight, mut j: usize) -> Vec<PlanInterval> {
-        let mut out = Vec::new();
+    /// Collect the interval chain starting at `(s, j)` into `out`.
+    fn chain(&self, mut s: Weight, mut j: usize, out: &mut Vec<PlanInterval>) {
+        out.clear();
         loop {
             let e = self.get(s, j);
             if e.begin == NO_IV {
@@ -225,15 +382,113 @@ impl<'a> NodeDp<'a> {
                 // chain is interval-free: done.
                 break;
             }
+            let range = &self.nearly_pool
+                [e.nearly_start as usize..(e.nearly_start + e.nearly_len) as usize];
             out.push(PlanInterval {
                 begin: e.begin,
                 end: e.end,
-                nearly: e.nearly.clone(),
+                nearly: range.into(),
             });
-            s = e.next.0;
-            j = e.next.1 as usize;
+            s = e.next_s;
+            j = e.next_j as usize;
         }
-        out
+    }
+}
+
+/// Run the per-node DP for an inner node of weight `w_v` whose collapsed
+/// child summaries were loaded via [`DpWorkspace::set_children`], writing
+/// the node's plan into `plan`. Shared by the sequential driver and the
+/// parallel subtree workers (`crate::parallel`).
+pub(crate) fn process_node(
+    ws: &mut DpWorkspace,
+    k: Weight,
+    w_v: Weight,
+    nearly_mode: bool,
+    plan: &mut NodePlan,
+    stats: Option<&mut DpStats>,
+) {
+    let DpWorkspace {
+        entries,
+        rows,
+        index,
+        nearly_pool,
+        cand,
+        child_stats,
+        ..
+    } = ws;
+    let nc = child_stats.len();
+    debug_assert!(nc > 0, "leaves are handled by NodePlan::set_leaf");
+    entries.clear();
+    rows.clear();
+    nearly_pool.clear();
+    // `w_v <= k` is guaranteed by check_input; all reachable `s` lie in
+    // `w_v..=k`, so the dense index spans `k - w_v + 1` slots.
+    let dense = k - w_v < DENSE_LIMIT;
+    if dense {
+        let span = (k - w_v + 1) as usize;
+        if index.len() < span {
+            index.resize(span, 0);
+        }
+    }
+    let mut dp = NodeDp {
+        k,
+        base: w_v,
+        slab: nc + 1,
+        dense,
+        children: child_stats,
+        entries,
+        rows,
+        index,
+        nearly_pool,
+        cand,
+    };
+    dp.ensure(w_v, nc);
+    let final_entry = dp.get(w_v, nc);
+    debug_assert_ne!(
+        final_entry.card, INFEASIBLE,
+        "all-singleton fallback exists"
+    );
+    plan.rw_opt = final_entry.rootweight;
+    plan.dw = 0;
+    plan.nearly = None;
+    let mut opt = std::mem::take(&mut plan.opt);
+    dp.chain(w_v, nc, &mut opt);
+    plan.opt = opt;
+
+    if nearly_mode {
+        // Lemma 4: the nearly-optimal partitioning Q(v) is the optimal
+        // partitioning of the tree with root weight inflated to
+        // w(v) + K - D(v).rootweight + 1.
+        let s_q = w_v + k - final_entry.rootweight + 1;
+        if s_q <= k {
+            dp.ensure(s_q, nc);
+            let qe = dp.get(s_q, nc);
+            if qe.card != INFEASIBLE {
+                let rw_nearly = qe.rootweight - (s_q - w_v);
+                let dw = final_entry.rootweight.saturating_sub(rw_nearly);
+                if dw > 0 {
+                    let mut nearly = Vec::new();
+                    dp.chain(s_q, nc, &mut nearly);
+                    plan.dw = dw;
+                    plan.nearly = Some(nearly);
+                }
+            }
+        }
+    }
+
+    if let Some(st) = stats {
+        st.inner_nodes += 1;
+        st.total_rows += dp.rows.len() as u64;
+        st.max_rows = st.max_rows.max(dp.rows.len());
+        st.total_entries += dp.rows.iter().map(|r| r.len as u64).sum::<u64>();
+        st.arena_entries += (dp.rows.len() * dp.slab) as u64;
+    }
+
+    // Leave the dense index all-zero for the next node.
+    if dense {
+        for r in dp.rows.iter() {
+            dp.index[(r.s - w_v) as usize] = 0;
+        }
     }
 }
 
@@ -250,6 +505,13 @@ pub struct DpStats {
     pub max_rows: usize,
     /// Total table cells `(s, j)` computed.
     pub total_entries: u64,
+    /// Total arena slab cells reserved (rows × (nc + 1)); the gap to
+    /// `total_entries` is the cost of fixed-capacity row slabs.
+    pub arena_entries: u64,
+    /// Peak bytes held by the DP workspace buffers over the run (the old
+    /// row representation instead paid per-row `HashMap` + `Vec` + boxed
+    /// nearly-set allocations; see the `memoization` bench binary).
+    pub bytes_allocated: u64,
 }
 
 impl DpStats {
@@ -270,107 +532,94 @@ pub fn dhw_with_statistics(
     k: Weight,
 ) -> Result<(Partitioning, DpStats), PartitionError> {
     let mut stats = DpStats::default();
-    let p = partition_dp_inner(tree, k, true, Some(&mut stats))?;
-    Ok((p, stats))
+    let mut ws = DpWorkspace::new();
+    let mut out = Partitioning::new();
+    partition_dp_into(tree, k, true, &mut ws, Some(&mut stats), &mut out)?;
+    Ok((out, stats))
 }
 
-/// Run the engine over the whole tree.
+/// Run the engine over the whole tree with a throwaway workspace.
 ///
 /// `nearly_mode = false` is GHDW; `true` is DHW.
-fn partition_dp(
-    tree: &Tree,
-    k: Weight,
-    nearly_mode: bool,
-) -> Result<Partitioning, PartitionError> {
-    partition_dp_inner(tree, k, nearly_mode, None)
+fn partition_dp(tree: &Tree, k: Weight, nearly_mode: bool) -> Result<Partitioning, PartitionError> {
+    let mut ws = DpWorkspace::new();
+    let mut out = Partitioning::new();
+    partition_dp_into(tree, k, nearly_mode, &mut ws, None, &mut out)?;
+    Ok(out)
 }
 
-fn partition_dp_inner(
+/// GHDW into caller-provided buffers: reuses the workspace's tables and the
+/// output's interval vector across calls.
+pub fn ghdw_partition_into(
+    tree: &Tree,
+    k: Weight,
+    ws: &mut DpWorkspace,
+    out: &mut Partitioning,
+) -> Result<(), PartitionError> {
+    partition_dp_into(tree, k, false, ws, None, out)
+}
+
+/// DHW into caller-provided buffers: reuses the workspace's tables and the
+/// output's interval vector across calls.
+pub fn dhw_partition_into(
+    tree: &Tree,
+    k: Weight,
+    ws: &mut DpWorkspace,
+    out: &mut Partitioning,
+) -> Result<(), PartitionError> {
+    partition_dp_into(tree, k, true, ws, None, out)
+}
+
+pub(crate) fn partition_dp_into(
     tree: &Tree,
     k: Weight,
     nearly_mode: bool,
+    ws: &mut DpWorkspace,
     mut stats: Option<&mut DpStats>,
-) -> Result<Partitioning, PartitionError> {
+    out: &mut Partitioning,
+) -> Result<(), PartitionError> {
     check_input(tree, k)?;
 
     let n = tree.len();
-    let mut plans: Vec<NodePlan> = Vec::with_capacity(n);
-    for _ in 0..n {
-        plans.push(NodePlan {
-            rw_opt: 0,
-            dw: 0,
-            opt: Vec::new(),
-            nearly: None,
-        });
+    // Detach the plan buffer so the workspace can be borrowed per node.
+    let mut plans = std::mem::take(&mut ws.plans);
+    if plans.len() < n {
+        plans.resize_with(n, NodePlan::default);
     }
 
-    let mut child_stats: Vec<ChildStats> = Vec::new();
     for v in tree.postorder() {
         let w_v = tree.weight(v);
         let children = tree.children(v);
         if children.is_empty() {
-            plans[v.index()].rw_opt = w_v;
+            plans[v.index()].set_leaf(w_v);
             continue;
         }
-        child_stats.clear();
-        child_stats.extend(children.iter().map(|c| {
+        ws.set_children(children.iter().map(|c| {
             let p = &plans[c.index()];
             ChildStats {
                 rw: p.rw_opt,
                 dw: p.dw,
             }
         }));
-
-        let nc = children.len();
-        let mut dp = NodeDp::new(k, &child_stats);
-        dp.ensure(w_v, nc);
-        let final_entry = dp.get(w_v, nc);
-        debug_assert_ne!(final_entry.card, INFEASIBLE, "all-singleton fallback exists");
-        let rw_opt = final_entry.rootweight;
-        let opt = dp.chain(w_v, nc);
-
-        let plan = &mut plans[v.index()];
-        plan.rw_opt = rw_opt;
-        plan.opt = opt;
-
-        if nearly_mode {
-            // Lemma 4: the nearly-optimal partitioning Q(v) is the optimal
-            // partitioning of the tree with root weight inflated to
-            // w(v) + K - D(v).rootweight + 1.
-            let s_q = w_v + k - rw_opt + 1;
-            if s_q <= k {
-                dp.ensure(s_q, nc);
-                let qe = dp.get(s_q, nc);
-                if qe.card != INFEASIBLE {
-                    let rw_nearly = qe.rootweight - (s_q - w_v);
-                    let dw = rw_opt.saturating_sub(rw_nearly);
-                    if dw > 0 {
-                        let nearly = dp.chain(s_q, nc);
-                        let plan = &mut plans[v.index()];
-                        plan.dw = dw;
-                        plan.nearly = Some(nearly);
-                    }
-                }
-            }
-        }
-
-        if let Some(st) = stats.as_deref_mut() {
-            st.inner_nodes += 1;
-            st.total_rows += dp.rows.len() as u64;
-            st.max_rows = st.max_rows.max(dp.rows.len());
-            st.total_entries += dp.rows.values().map(|r| r.len() as u64).sum::<u64>();
-        }
+        let mut plan = std::mem::take(&mut plans[v.index()]);
+        process_node(ws, k, w_v, nearly_mode, &mut plan, stats.as_deref_mut());
+        plans[v.index()] = plan;
     }
 
-    Ok(extract(tree, &plans))
+    extract_into(tree, &plans, out);
+    ws.plans = plans;
+    if let Some(st) = stats {
+        st.bytes_allocated = ws.bytes();
+    }
+    Ok(())
 }
 
 /// Assemble the global partitioning from the per-node plans, top-down,
 /// switching a subtree to its nearly-optimal plan exactly where an interval
 /// entry forced it (`N` sets).
-fn extract(tree: &Tree, plans: &[NodePlan]) -> Partitioning {
-    let mut p = Partitioning::new();
-    p.push(SiblingInterval::singleton(tree.root()));
+pub(crate) fn extract_into(tree: &Tree, plans: &[NodePlan], out: &mut Partitioning) {
+    out.intervals.clear();
+    out.push(SiblingInterval::singleton(tree.root()));
     // (node, use_nearly_plan)
     let mut stack = vec![(tree.root(), false)];
     let mut covered: Vec<bool> = Vec::new();
@@ -387,7 +636,7 @@ fn extract(tree: &Tree, plans: &[NodePlan]) -> Partitioning {
         covered.clear();
         covered.resize(children.len(), false);
         for iv in ivs {
-            p.push(SiblingInterval::new(
+            out.push(SiblingInterval::new(
                 children[iv.begin as usize],
                 children[iv.end as usize],
             ));
@@ -403,7 +652,6 @@ fn extract(tree: &Tree, plans: &[NodePlan]) -> Partitioning {
             }
         }
     }
-    p
 }
 
 /// **GHDW** — *Greedy Height / Dynamic Width* (paper Fig. 5, Sec. 3.3.1).
@@ -586,6 +834,46 @@ mod tests {
         let sd = validate(&t, 16, &pd).unwrap();
         assert!(sd.cardinality <= sg.cardinality);
     }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        // One workspace across different trees, limits and modes must give
+        // exactly the throwaway-workspace results.
+        let mut ws = DpWorkspace::new();
+        let mut out = Partitioning::new();
+        let specs = [
+            "a:5(b:1 c:1(d:2 e:2) f:1)",
+            "a:3(b:2 c:2 d:2 e:2 f:2)",
+            "a:1(b:4 c:4 d:1)",
+            "a:2(b:2 c:2 d:2)",
+        ];
+        for spec in specs {
+            let t = parse_spec(spec).unwrap();
+            for k in [5u64, 8, 9, 16] {
+                for nearly in [false, true] {
+                    let fresh = partition_dp(&t, k, nearly);
+                    let reused = partition_dp_into(&t, k, nearly, &mut ws, None, &mut out);
+                    match fresh {
+                        Ok(p) => {
+                            reused.unwrap();
+                            assert_eq!(p.intervals, out.intervals, "{spec} k={k}");
+                        }
+                        Err(_) => assert!(reused.is_err(), "{spec} k={k}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_row_index_used_for_huge_limits() {
+        // K - w(v) beyond DENSE_LIMIT exercises the linear-scan row lookup.
+        let t = parse_spec("a:1(b:4 c:4 d:1)").unwrap();
+        let k = DENSE_LIMIT + 100;
+        let p = Dhw.partition(&t, k).unwrap();
+        let s = validate(&t, k, &p).unwrap();
+        assert_eq!(s.cardinality, 1);
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +895,10 @@ mod memo_tests {
         assert!(stats.total_rows >= 2);
         assert!(stats.total_entries >= stats.total_rows);
         assert!(stats.max_rows >= 1);
+        // Arena accounting: slabs at least hold every computed cell, and
+        // the workspace footprint covers the reserved slab cells.
+        assert!(stats.arena_entries >= stats.total_entries);
+        assert!(stats.bytes_allocated > 0);
     }
 
     #[test]

@@ -11,20 +11,30 @@
 //! orders of magnitude faster than DHW in Table 2, within a few percent of
 //! the optimum in Table 1.
 
+use std::cell::OnceCell;
+
 use natix_tree::{NodeId, Partitioning, SiblingInterval, Tree, Weight};
 
 use crate::{check_input, PartitionError, Partitioner};
 
 /// First-child / right-sibling (binary) view of a [`Tree`] (paper Fig. 8).
-#[derive(Debug, Clone, Copy)]
+///
+/// Binary subtree weights are computed lazily and cached for the lifetime
+/// of the view, so every lookup site within one partitioning call shares a
+/// single reverse scan.
+#[derive(Debug, Clone)]
 pub struct BinaryView<'t> {
     tree: &'t Tree,
+    weights: OnceCell<Vec<Weight>>,
 }
 
 impl<'t> BinaryView<'t> {
-    /// Wrap a tree.
+    /// Wrap a tree (cheap; weights are computed on first use).
     pub fn new(tree: &'t Tree) -> BinaryView<'t> {
-        BinaryView { tree }
+        BinaryView {
+            tree,
+            weights: OnceCell::new(),
+        }
     }
 
     /// Left binary child: the first n-ary child.
@@ -38,26 +48,28 @@ impl<'t> BinaryView<'t> {
     }
 
     /// Binary subtree weight of every node: the node, its n-ary descendants,
-    /// its right siblings and their descendants.
+    /// its right siblings and their descendants. Computed once per view.
     ///
     /// Both binary children of a node have larger arena ids (children and
     /// later siblings are inserted after their parent/predecessor), so a
     /// single reverse scan computes all weights.
-    pub fn subtree_weights(&self) -> Vec<Weight> {
-        let n = self.tree.len();
-        let mut bw: Vec<Weight> = vec![0; n];
-        for i in (0..n).rev() {
-            let v = NodeId::from_index(i);
-            let mut w = self.tree.weight(v);
-            if let Some(l) = self.left(v) {
-                w += bw[l.index()];
+    pub fn subtree_weights(&self) -> &[Weight] {
+        self.weights.get_or_init(|| {
+            let n = self.tree.len();
+            let mut bw: Vec<Weight> = vec![0; n];
+            for i in (0..n).rev() {
+                let v = NodeId::from_index(i);
+                let mut w = self.tree.weight(v);
+                if let Some(l) = self.left(v) {
+                    w += bw[l.index()];
+                }
+                if let Some(r) = self.right(v) {
+                    w += bw[r.index()];
+                }
+                bw[i] = w;
             }
-            if let Some(r) = self.right(v) {
-                w += bw[r.index()];
-            }
-            bw[i] = w;
-        }
-        bw
+            bw
+        })
     }
 }
 
@@ -74,6 +86,13 @@ impl Partitioner for Ekm {
         check_input(tree, k)?;
         let n = tree.len();
         let view = BinaryView::new(tree);
+        // The root's binary subtree weight is the total document weight; if
+        // the whole document fits into one partition there is nothing to cut.
+        // The weights are computed once per call and shared by every lookup.
+        let bw = view.subtree_weights();
+        if bw[tree.root().index()] <= k {
+            return Ok(cut_set_to_partitioning(tree, &vec![false; n]));
+        }
         // Residual binary subtree weights; `cut[v]` marks nodes whose binary
         // parent edge has been removed (partition roots).
         let mut bres: Vec<Weight> = vec![0; n];

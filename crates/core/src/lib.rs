@@ -32,6 +32,7 @@
 //! assert_eq!(stats.cardinality, 3); // optimal; GHDW needs 4
 //! ```
 
+pub mod baseline;
 mod bfs;
 mod brute;
 mod dfs;
@@ -40,17 +41,21 @@ mod ekm;
 mod fdw;
 mod km;
 mod lukes;
+pub mod parallel;
 mod rs;
 mod streaming;
 
 pub use bfs::Bfs;
 pub use brute::{brute_force, BruteForce, BruteForceResult};
 pub use dfs::Dfs;
-pub use dp::{dhw_with_statistics, Dhw, DpStats, Ghdw};
+pub use dp::{
+    dhw_partition_into, dhw_with_statistics, ghdw_partition_into, Dhw, DpStats, DpWorkspace, Ghdw,
+};
 pub use ekm::{BinaryView, Ekm};
 pub use fdw::Fdw;
 pub use km::Km;
 pub use lukes::{lukes, EdgeValues, Lukes, LukesResult, TableEdgeValues, UnitEdgeValues};
+pub use parallel::{ParallelDhw, ParallelGhdw};
 pub use rs::Rs;
 pub use streaming::StreamingEkm;
 

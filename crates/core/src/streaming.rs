@@ -281,7 +281,9 @@ mod tests {
         spec.push(')');
         let t = parse_spec(&spec).unwrap();
         let full = StreamingEkm::unbounded().partition(&t, 32).unwrap();
-        let tight = StreamingEkm { sibling_budget: 4 }.partition(&t, 32).unwrap();
+        let tight = StreamingEkm { sibling_budget: 4 }
+            .partition(&t, 32)
+            .unwrap();
         let cf = validate(&t, 32, &full).unwrap().cardinality;
         let ct = validate(&t, 32, &tight).unwrap().cardinality;
         assert!(ct >= cf);

@@ -6,7 +6,8 @@
 //! and against DHW as a lower bound.
 
 use natix_core::{
-    brute_force, check_input, evaluation_algorithms, Dhw, Fdw, Ghdw, Km, Partitioner,
+    baseline, brute_force, check_input, evaluation_algorithms, Dhw, Fdw, Ghdw, Km, ParallelDhw,
+    ParallelGhdw, Partitioner,
 };
 use natix_tree::{validate, NodeId, Tree, TreeBuilder, Weight};
 use proptest::prelude::*;
@@ -37,20 +38,28 @@ fn small_tree_and_limit() -> impl Strategy<Value = (Tree, Weight)> {
         .prop_map(|(rw, nodes, k)| (build_tree(rw, &nodes), k))
 }
 
-/// Random *flat* trees (all children are leaves).
-fn flat_tree_and_limit() -> impl Strategy<Value = (Tree, Weight)> {
+/// Larger random trees (up to ~40 nodes) so forced job targets produce
+/// genuinely multi-job parallel schedules.
+fn medium_tree_and_limit() -> impl Strategy<Value = (Tree, Weight)> {
     (
         1..=6u64,
-        prop::collection::vec(1..=6u64, 0..9),
-        6..=14u64,
+        prop::collection::vec((any::<u32>(), 1..=6u64), 0..40),
+        6..=20u64,
     )
-        .prop_map(|(rw, leaf_weights, k)| {
+        .prop_map(|(rw, nodes, k)| (build_tree(rw, &nodes), k))
+}
+
+/// Random *flat* trees (all children are leaves).
+fn flat_tree_and_limit() -> impl Strategy<Value = (Tree, Weight)> {
+    (1..=6u64, prop::collection::vec(1..=6u64, 0..9), 6..=14u64).prop_map(
+        |(rw, leaf_weights, k)| {
             let mut b = TreeBuilder::new("t", rw).unwrap();
             for (i, &w) in leaf_weights.iter().enumerate() {
                 b.add_child(NodeId::ROOT, &format!("c{i}"), w).unwrap();
             }
             (b.build(), k)
-        })
+        },
+    )
 }
 
 proptest! {
@@ -156,6 +165,52 @@ proptest! {
             .unwrap()
             .cardinality;
         prop_assert!(c2 <= c1, "K={} gave {}, K={} gave {}", k, c1, k + 1, c2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parallel engines are interval-for-interval identical to their
+    /// sequential counterparts — not merely equally good — for every thread
+    /// count and forced job schedule. `job_target` overrides the size
+    /// heuristic so even these small trees split into many jobs.
+    #[test]
+    fn parallel_engines_identical_to_sequential(
+        (tree, k) in medium_tree_and_limit(),
+        threads in 1usize..=4,
+        job_target in 1usize..=8,
+    ) {
+        prop_assume!(check_input(&tree, k).is_ok());
+        let seq_d = Dhw.partition(&tree, k).unwrap();
+        let par_d = ParallelDhw { threads, job_target: Some(job_target) }
+            .partition(&tree, k)
+            .unwrap();
+        prop_assert_eq!(
+            &par_d.intervals, &seq_d.intervals,
+            "DHW tree={} K={} threads={} job_target={}", tree, k, threads, job_target
+        );
+        let seq_g = Ghdw.partition(&tree, k).unwrap();
+        let par_g = ParallelGhdw { threads, job_target: Some(job_target) }
+            .partition(&tree, k)
+            .unwrap();
+        prop_assert_eq!(
+            &par_g.intervals, &seq_g.intervals,
+            "GHDW tree={} K={} threads={} job_target={}", tree, k, threads, job_target
+        );
+    }
+
+    /// The flat-arena DP agrees interval-for-interval with the retained
+    /// pre-arena `HashMap`-row implementation (`natix_core::baseline`).
+    #[test]
+    fn arena_matches_hashmap_baseline((tree, k) in small_tree_and_limit()) {
+        prop_assume!(check_input(&tree, k).is_ok());
+        let arena_d = Dhw.partition(&tree, k).unwrap();
+        let base_d = baseline::dhw_hashmap(&tree, k).unwrap();
+        prop_assert_eq!(&arena_d.intervals, &base_d.intervals, "DHW tree={} K={}", tree, k);
+        let arena_g = Ghdw.partition(&tree, k).unwrap();
+        let base_g = baseline::ghdw_hashmap(&tree, k).unwrap();
+        prop_assert_eq!(&arena_g.intervals, &base_g.intervals, "GHDW tree={} K={}", tree, k);
     }
 }
 

@@ -2,6 +2,10 @@ fn main() {
     for (name, doc) in natix_datagen::evaluation_suite(1.0, 42) {
         let n = doc.len();
         let w = doc.total_weight();
-        println!("{name:20} nodes={n:8} weight={w:9} w/K={:6} avg={:.2}", w/256, w as f64 / n as f64);
+        println!(
+            "{name:20} nodes={n:8} weight={w:9} w/K={:6} avg={:.2}",
+            w / 256,
+            w as f64 / n as f64
+        );
     }
 }

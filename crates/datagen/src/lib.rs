@@ -98,10 +98,19 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a = partsupp(GenConfig { scale: 0.01, seed: 7 });
-        let b = partsupp(GenConfig { scale: 0.01, seed: 7 });
+        let a = partsupp(GenConfig {
+            scale: 0.01,
+            seed: 7,
+        });
+        let b = partsupp(GenConfig {
+            scale: 0.01,
+            seed: 7,
+        });
         assert_eq!(a.to_xml(), b.to_xml());
-        let c = partsupp(GenConfig { scale: 0.01, seed: 8 });
+        let c = partsupp(GenConfig {
+            scale: 0.01,
+            seed: 8,
+        });
         assert_ne!(a.to_xml(), c.to_xml());
     }
 

@@ -35,7 +35,11 @@ pub fn mondial(cfg: GenConfig) -> Document {
         let code = format!("C{ci:03}");
         let country = b.element(root, "country");
         b.attribute(country, "car_code", &code);
-        b.attribute(country, "area", &format!("{}", rng.gen_range(1_000..2_000_000u32)));
+        b.attribute(
+            country,
+            "area",
+            &format!("{}", rng.gen_range(1_000..2_000_000u32)),
+        );
         b.attribute(country, "capital", &format!("cty-{ci}-0"));
         let name = b.element(country, "name");
         b.text(name, &TextGen::title(&mut rng, 1));
@@ -97,7 +101,10 @@ mod tests {
 
     #[test]
     fn structure() {
-        let d = mondial(GenConfig { scale: 0.02, seed: 5 });
+        let d = mondial(GenConfig {
+            scale: 0.02,
+            seed: 5,
+        });
         let t = d.tree();
         let country = t.children(d.root())[0];
         assert_eq!(d.name(country), "country");
@@ -108,15 +115,15 @@ mod tests {
             .copied()
             .find(|&c| d.name(c) == "province")
             .expect("province");
-        assert!(t
-            .children(prov)
-            .iter()
-            .any(|&c| d.name(c) == "city"));
+        assert!(t.children(prov).iter().any(|&c| d.name(c) == "city"));
     }
 
     #[test]
     fn calibration_at_full_scale() {
-        let d = mondial(GenConfig { scale: 1.0, seed: 5 });
+        let d = mondial(GenConfig {
+            scale: 1.0,
+            seed: 5,
+        });
         let nodes = d.len() as f64;
         assert!(
             (nodes - 152_218.0).abs() / 152_218.0 < 0.15,

@@ -57,8 +57,16 @@ pub fn orders(cfg: GenConfig) -> Document {
             b.text(f, value);
         };
         field(&mut b, "O_ORDERKEY", &format!("{}", row * 4 + 1));
-        field(&mut b, "O_CUSTKEY", &format!("{}", rng.gen_range(1..15000u32)));
-        field(&mut b, "O_ORDERSTATUS", STATUS[rng.gen_range(0..STATUS.len())]);
+        field(
+            &mut b,
+            "O_CUSTKEY",
+            &format!("{}", rng.gen_range(1..15000u32)),
+        );
+        field(
+            &mut b,
+            "O_ORDERSTATUS",
+            STATUS[rng.gen_range(0..STATUS.len())],
+        );
         field(&mut b, "O_TOTALPRICE", &TextGen::decimal(&mut rng, 400_000));
         field(&mut b, "O_ORDERDATE", &TextGen::date(&mut rng));
         field(
@@ -87,7 +95,10 @@ mod tests {
 
     #[test]
     fn partsupp_row_shape() {
-        let d = partsupp(GenConfig { scale: 0.001, seed: 1 });
+        let d = partsupp(GenConfig {
+            scale: 0.001,
+            seed: 1,
+        });
         let t = d.tree();
         assert_eq!(d.name(d.root()), "table");
         let rows = t.children(d.root());
@@ -106,7 +117,10 @@ mod tests {
 
     #[test]
     fn orders_row_shape() {
-        let d = orders(GenConfig { scale: 0.001, seed: 1 });
+        let d = orders(GenConfig {
+            scale: 0.001,
+            seed: 1,
+        });
         let t = d.tree();
         let rows = t.children(d.root());
         for &r in rows {
@@ -128,11 +142,17 @@ mod tests {
     fn weight_profile_close_to_paper() {
         // partsupp: paper weight/K = 1026 at 96005 nodes -> ~2.74 slots per
         // node. Accept 2.2..3.3.
-        let d = partsupp(GenConfig { scale: 0.01, seed: 2 });
+        let d = partsupp(GenConfig {
+            scale: 0.01,
+            seed: 2,
+        });
         let avg = d.total_weight() as f64 / d.len() as f64;
         assert!((2.2..3.3).contains(&avg), "partsupp avg {avg}");
         // orders: 2247*256/300005 ~ 1.92. Accept 1.6..2.3.
-        let d = orders(GenConfig { scale: 0.01, seed: 2 });
+        let d = orders(GenConfig {
+            scale: 0.01,
+            seed: 2,
+        });
         let avg = d.total_weight() as f64 / d.len() as f64;
         assert!((1.6..2.3).contains(&avg), "orders avg {avg}");
     }

@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn structure() {
-        let d = sigmod(GenConfig { scale: 0.02, seed: 3 });
+        let d = sigmod(GenConfig {
+            scale: 0.02,
+            seed: 3,
+        });
         let t = d.tree();
         assert_eq!(d.name(d.root()), "SigmodRecord");
         let issue = t.children(d.root())[0];
@@ -66,7 +69,10 @@ mod tests {
 
     #[test]
     fn calibration_at_full_scale() {
-        let d = sigmod(GenConfig { scale: 1.0, seed: 3 });
+        let d = sigmod(GenConfig {
+            scale: 1.0,
+            seed: 3,
+        });
         let nodes = d.len() as f64;
         assert!(
             (nodes - 42_054.0).abs() / 42_054.0 < 0.15,

@@ -10,17 +10,103 @@ use rand::Rng;
 /// Fixed vocabulary (97 words, mean length ≈ 5.4 bytes — close to the
 /// Shakespeare list XMark samples from).
 const WORDS: &[&str] = &[
-    "noble", "haste", "sword", "merry", "crown", "honest", "labour", "tongue", "spirit", "wisdom",
-    "gentle", "summer", "winter", "sorrow", "fortune", "virtue", "breath", "heaven", "shadow",
-    "silver", "golden", "throne", "castle", "garden", "forest", "battle", "soldier", "captain",
-    "servant", "master", "daughter", "brother", "mother", "father", "kingdom", "country", "letter",
-    "answer", "reason", "season", "morning", "evening", "promise", "journey", "measure", "treasure",
-    "pleasure", "danger", "stranger", "courage", "passion", "fashion", "moment", "present",
-    "ancient", "silent", "secret", "sacred", "bitter", "better", "matter", "mercy", "glory",
-    "story", "stone", "flame", "flower", "river", "ocean", "island", "mountain", "valley",
-    "thunder", "lightning", "whisper", "murmur", "slumber", "wonder", "wander", "banner", "manner",
-    "honour", "armour", "favour", "vapour", "velvet", "violet", "scarlet", "crimson", "purple",
-    "marble", "temple", "candle", "cradle", "needle", "people", "simple",
+    "noble",
+    "haste",
+    "sword",
+    "merry",
+    "crown",
+    "honest",
+    "labour",
+    "tongue",
+    "spirit",
+    "wisdom",
+    "gentle",
+    "summer",
+    "winter",
+    "sorrow",
+    "fortune",
+    "virtue",
+    "breath",
+    "heaven",
+    "shadow",
+    "silver",
+    "golden",
+    "throne",
+    "castle",
+    "garden",
+    "forest",
+    "battle",
+    "soldier",
+    "captain",
+    "servant",
+    "master",
+    "daughter",
+    "brother",
+    "mother",
+    "father",
+    "kingdom",
+    "country",
+    "letter",
+    "answer",
+    "reason",
+    "season",
+    "morning",
+    "evening",
+    "promise",
+    "journey",
+    "measure",
+    "treasure",
+    "pleasure",
+    "danger",
+    "stranger",
+    "courage",
+    "passion",
+    "fashion",
+    "moment",
+    "present",
+    "ancient",
+    "silent",
+    "secret",
+    "sacred",
+    "bitter",
+    "better",
+    "matter",
+    "mercy",
+    "glory",
+    "story",
+    "stone",
+    "flame",
+    "flower",
+    "river",
+    "ocean",
+    "island",
+    "mountain",
+    "valley",
+    "thunder",
+    "lightning",
+    "whisper",
+    "murmur",
+    "slumber",
+    "wonder",
+    "wander",
+    "banner",
+    "manner",
+    "honour",
+    "armour",
+    "favour",
+    "vapour",
+    "velvet",
+    "violet",
+    "scarlet",
+    "crimson",
+    "purple",
+    "marble",
+    "temple",
+    "candle",
+    "cradle",
+    "needle",
+    "people",
+    "simple",
 ];
 
 /// Seeded text generator.
@@ -75,7 +161,11 @@ impl TextGen {
 
     /// A decimal string like `1234.56`.
     pub fn decimal(rng: &mut StdRng, max_int: u32) -> String {
-        format!("{}.{:02}", rng.gen_range(0..max_int), rng.gen_range(0..100u32))
+        format!(
+            "{}.{:02}",
+            rng.gen_range(0..max_int),
+            rng.gen_range(0..100u32)
+        )
     }
 
     /// A date string `YYYY/MM/DD` in the XMark style.

@@ -31,7 +31,11 @@ pub fn uwm(cfg: GenConfig) -> Document {
         let course = b.element(listing, "course");
         b.text(
             course,
-            &format!("{} {}", TextGen::word(&mut rng).to_uppercase(), 100 + li % 500),
+            &format!(
+                "{} {}",
+                TextGen::word(&mut rng).to_uppercase(),
+                100 + li % 500
+            ),
         );
         let title = b.element(listing, "title");
         let title_words = rng.gen_range(2..=5);
@@ -59,12 +63,20 @@ pub fn uwm(cfg: GenConfig) -> Document {
             let hours = b.element(section, "hours");
             b.text(
                 hours,
-                &format!("{}:30-{}:20", rng.gen_range(8..15u32), rng.gen_range(9..17u32)),
+                &format!(
+                    "{}:30-{}:20",
+                    rng.gen_range(8..15u32),
+                    rng.gen_range(9..17u32)
+                ),
             );
             let room = b.element(section, "room");
             b.text(
                 room,
-                &format!("{} {}", TextGen::word(&mut rng).to_uppercase(), rng.gen_range(100..400u32)),
+                &format!(
+                    "{} {}",
+                    TextGen::word(&mut rng).to_uppercase(),
+                    rng.gen_range(100..400u32)
+                ),
             );
             if rng.gen_bool(0.3) {
                 leaf(&mut b, &mut rng, section, "section_note", 8);
@@ -80,7 +92,10 @@ mod tests {
 
     #[test]
     fn structure() {
-        let d = uwm(GenConfig { scale: 0.01, seed: 6 });
+        let d = uwm(GenConfig {
+            scale: 0.01,
+            seed: 6,
+        });
         let t = d.tree();
         let listing = t.children(d.root())[0];
         assert_eq!(d.name(listing), "course_listing");
@@ -97,7 +112,10 @@ mod tests {
 
     #[test]
     fn calibration_at_full_scale() {
-        let d = uwm(GenConfig { scale: 1.0, seed: 6 });
+        let d = uwm(GenConfig {
+            scale: 1.0,
+            seed: 6,
+        });
         let nodes = d.len() as f64;
         assert!(
             (nodes - 189_542.0).abs() / 189_542.0 < 0.15,

@@ -133,15 +133,28 @@ impl Gen {
         self.b.attribute(p, "id", &format!("person{id}"));
         let name = TextGen::person_name(&mut self.rng);
         self.leaf(p, "name", &name);
-        let email = format!("mailto:{}@{}.com", TextGen::word(&mut self.rng), TextGen::word(&mut self.rng));
+        let email = format!(
+            "mailto:{}@{}.com",
+            TextGen::word(&mut self.rng),
+            TextGen::word(&mut self.rng)
+        );
         self.leaf(p, "emailaddress", &email);
         if self.rng.gen_bool(0.5) {
-            let phone = format!("+{} ({}) {}", self.rng.gen_range(1..99u32), self.rng.gen_range(100..999u32), self.rng.gen_range(1_000_000..9_999_999u32));
+            let phone = format!(
+                "+{} ({}) {}",
+                self.rng.gen_range(1..99u32),
+                self.rng.gen_range(100..999u32),
+                self.rng.gen_range(1_000_000..9_999_999u32)
+            );
             self.leaf(p, "phone", &phone);
         }
         if self.rng.gen_bool(0.7) {
             let addr = self.b.element(p, "address");
-            let street = format!("{} {} St", self.rng.gen_range(1..99u32), TextGen::title(&mut self.rng, 1));
+            let street = format!(
+                "{} {} St",
+                self.rng.gen_range(1..99u32),
+                TextGen::title(&mut self.rng, 1)
+            );
             self.leaf(addr, "street", &street);
             let city = TextGen::title(&mut self.rng, 1);
             self.leaf(addr, "city", &city);
@@ -151,11 +164,21 @@ impl Gen {
             self.leaf(addr, "zipcode", &zip);
         }
         if self.rng.gen_bool(0.3) {
-            let hp = format!("http://www.{}.com/~{}", TextGen::word(&mut self.rng), TextGen::word(&mut self.rng));
+            let hp = format!(
+                "http://www.{}.com/~{}",
+                TextGen::word(&mut self.rng),
+                TextGen::word(&mut self.rng)
+            );
             self.leaf(p, "homepage", &hp);
         }
         if self.rng.gen_bool(0.25) {
-            let cc = format!("{} {} {} {}", self.rng.gen_range(1000..9999u32), self.rng.gen_range(1000..9999u32), self.rng.gen_range(1000..9999u32), self.rng.gen_range(1000..9999u32));
+            let cc = format!(
+                "{} {} {} {}",
+                self.rng.gen_range(1000..9999u32),
+                self.rng.gen_range(1000..9999u32),
+                self.rng.gen_range(1000..9999u32),
+                self.rng.gen_range(1000..9999u32)
+            );
             self.leaf(p, "creditcard", &cc);
         }
         let profile = self.b.element(p, "profile");
@@ -172,7 +195,11 @@ impl Gen {
             self.leaf(profile, "education", edu);
         }
         if self.rng.gen_bool(0.5) {
-            let g = if self.rng.gen_bool(0.5) { "male" } else { "female" };
+            let g = if self.rng.gen_bool(0.5) {
+                "male"
+            } else {
+                "female"
+            };
             self.leaf(profile, "gender", g);
         }
         let business = if self.rng.gen_bool(0.5) { "Yes" } else { "No" };
@@ -184,7 +211,10 @@ impl Gen {
         let watches = self.b.element(p, "watches");
         for _ in 0..self.rng.gen_range(1..=6) {
             let w = self.b.element(watches, "watch");
-            let auction = format!("open_auction{}", self.rng.gen_range(0..OPEN_AUCTIONS.max(1)));
+            let auction = format!(
+                "open_auction{}",
+                self.rng.gen_range(0..OPEN_AUCTIONS.max(1))
+            );
             self.b.attribute(w, "open_auction", &auction);
         }
     }
@@ -341,7 +371,10 @@ mod tests {
 
     #[test]
     fn has_xpathmark_paths() {
-        let d = xmark(GenConfig { scale: 0.02, seed: 9 });
+        let d = xmark(GenConfig {
+            scale: 0.02,
+            seed: 9,
+        });
         // /site/regions/*/item
         let regions = find(&d, d.root(), "regions").unwrap();
         let region = d.tree().children(regions)[0];
@@ -364,7 +397,10 @@ mod tests {
 
     #[test]
     fn calibration_at_full_scale() {
-        let d = xmark(GenConfig { scale: 1.0, seed: 9 });
+        let d = xmark(GenConfig {
+            scale: 1.0,
+            seed: 9,
+        });
         let nodes = d.len() as f64;
         assert!(
             (nodes - 549_213.0).abs() / 549_213.0 < 0.15,

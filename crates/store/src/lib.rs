@@ -167,8 +167,8 @@ mod tests {
         let path = dir.join("doc.natix");
         let doc = sample_doc();
         let pager = FilePager::create(&path).unwrap();
-        let mut store = bulkload_with(&doc, &Ekm, 16, Box::new(pager), StoreConfig::default())
-            .unwrap();
+        let mut store =
+            bulkload_with(&doc, &Ekm, 16, Box::new(pager), StoreConfig::default()).unwrap();
         let back = store.to_document().unwrap();
         assert_eq!(back.to_xml(), doc.to_xml());
         assert!(path.metadata().unwrap().len() >= PAGE_SIZE as u64);

@@ -10,7 +10,9 @@ use natix_xml::{Document, DocumentBuilder, NodeKind};
 use crate::catalog::{self, Header, RecordLoc};
 use crate::page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
 use crate::pager::{BufferPool, BufferStats, PageId, Pager, StoreError, StoreResult};
-use crate::record::{self, ChildEntry, ImageNode, RecNode, RecordData, RecordImage, NONE_U16, NONE_U32};
+use crate::record::{
+    self, ChildEntry, ImageNode, RecNode, RecordData, RecordImage, NONE_U16, NONE_U32,
+};
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy)]
@@ -168,8 +170,8 @@ impl XmlStore {
                 // DFS over the fragment, skipping cut children.
                 let mut stack = vec![root];
                 while let Some(v) = stack.pop() {
-                    local_idx[v.index()] = u16::try_from(list.len())
-                        .expect("fragment larger than u16::MAX nodes");
+                    local_idx[v.index()] =
+                        u16::try_from(list.len()).expect("fragment larger than u16::MAX nodes");
                     list.push(v);
                     for &c in tree.children(v).iter().rev() {
                         if owner[c.index()] == NONE_U32 {
@@ -228,8 +230,7 @@ impl XmlStore {
                     } else if o != last_proxy {
                         // First member of a cut interval: one proxy per
                         // interval run.
-                        proxy_info[o as usize] =
-                            (i as u32, li as u16, entries.len() as u16);
+                        proxy_info[o as usize] = (i as u32, li as u16, entries.len() as u16);
                         entries.push(ChildEntry::Proxy(o));
                         last_proxy = o;
                     }
@@ -382,7 +383,8 @@ impl XmlStore {
             catalog_len: catalog_bytes.len() as u64,
             record_limit: self.record_limit,
         });
-        self.pool.with_page(0, true, |buf| buf.copy_from_slice(&header))?;
+        self.pool
+            .with_page(0, true, |buf| buf.copy_from_slice(&header))?;
         self.pool.flush()
     }
 
@@ -484,11 +486,7 @@ impl XmlStore {
     }
 
     /// Run `f` on the decoded node.
-    pub fn with_node<T>(
-        &mut self,
-        r: NodeRef,
-        f: impl FnOnce(&RecNode) -> T,
-    ) -> StoreResult<T> {
+    pub fn with_node<T>(&mut self, r: NodeRef, f: impl FnOnce(&RecNode) -> T) -> StoreResult<T> {
         let rec = self.fetch(r.record)?;
         let node = rec
             .nodes
@@ -641,9 +639,9 @@ impl XmlStore {
             return self.entry_neighbor(r.record, rec.entries(parent), pos, dir);
         }
         // Fragment root: try the neighboring root in this record.
-        let pos = rec
-            .root_pos(r.node)
-            .ok_or(StoreError::Corrupt("fragment root not in root list"))? as isize;
+        let pos =
+            rec.root_pos(r.node)
+                .ok_or(StoreError::Corrupt("fragment root not in root list"))? as isize;
         let next = pos + dir;
         if next >= 0 && (next as usize) < rec.roots.len() {
             return Ok(Some(NodeRef {
@@ -743,8 +741,9 @@ impl XmlStore {
     /// tests to prove the store preserves content and order.
     pub fn to_document(&mut self) -> StoreResult<Document> {
         let root = self.root()?;
-        let (kind, label, content) =
-            self.with_node_in(root, |rec, n| (n.kind, n.label, rec.content(n).map(str::to_string)))?;
+        let (kind, label, content) = self.with_node_in(root, |rec, n| {
+            (n.kind, n.label, rec.content(n).map(str::to_string))
+        })?;
         assert_eq!(kind, NodeKind::Element, "document root must be an element");
         let _ = content;
         let root_name = self.label_name(label).to_string();

@@ -131,7 +131,11 @@ impl XmlStore {
             }
         }
         if is_root {
-            let rp = img.roots.iter().position(|&r| r == node.node).expect("root");
+            let rp = img
+                .roots
+                .iter()
+                .position(|&r| r == node.node)
+                .expect("root");
             img.roots.remove(rp);
         } else {
             let p = img.nodes[node.node as usize].parent_local as usize;
@@ -178,7 +182,9 @@ impl XmlStore {
         match pos {
             InsertPos::LastChildOf(p) => {
                 let e = img.nodes[p as usize].entries.len() as u16;
-                img.nodes[p as usize].entries.push(ChildEntry::Local(new_local));
+                img.nodes[p as usize]
+                    .entries
+                    .push(ChildEntry::Local(new_local));
                 img.nodes[new_local as usize].parent_local = p;
                 img.nodes[new_local as usize].entry_pos = e;
             }
@@ -639,9 +645,7 @@ impl XmlStore {
                 .map(|n| node_weight(n.kind, rec.content(n).map_or(0, str::len)))
                 .sum();
             if w > self.record_limit {
-                return Err(StoreError::InvalidUpdate(
-                    "record exceeds the weight limit",
-                ));
+                return Err(StoreError::InvalidUpdate("record exceeds the weight limit"));
             }
         }
         Ok(())
@@ -788,7 +792,9 @@ impl XmlStore {
             }
             let placed = match open_page {
                 Some(page) => pool.with_page(page, true, |buf| {
-                    SlottedPage::new(buf).insert(&bytes).map(|slot| (page, slot))
+                    SlottedPage::new(buf)
+                        .insert(&bytes)
+                        .map(|slot| (page, slot))
                 })?,
                 None => None,
             };

@@ -10,13 +10,8 @@ use natix_xml::Document;
 fn roundtrip(doc: &Document, alg: &dyn Partitioner, k: u64) -> XmlStore {
     let p = alg.partition(doc.tree(), k).expect("feasible input");
     let stats = validate(doc.tree(), k, &p).expect("feasible partitioning");
-    let mut store = XmlStore::bulkload(
-        doc,
-        &p,
-        Box::new(MemPager::new()),
-        StoreConfig::default(),
-    )
-    .expect("bulkload");
+    let mut store = XmlStore::bulkload(doc, &p, Box::new(MemPager::new()), StoreConfig::default())
+        .expect("bulkload");
     assert_eq!(store.record_count(), stats.cardinality);
     let back = store.to_document().expect("traversal");
     assert_eq!(
@@ -31,9 +26,18 @@ fn roundtrip(doc: &Document, alg: &dyn Partitioner, k: u64) -> XmlStore {
 #[test]
 fn every_algorithm_roundtrips_generated_documents() {
     let docs = [
-        sigmod(GenConfig { scale: 0.02, seed: 11 }),
-        partsupp(GenConfig { scale: 0.005, seed: 12 }),
-        xmark(GenConfig { scale: 0.004, seed: 13 }),
+        sigmod(GenConfig {
+            scale: 0.02,
+            seed: 11,
+        }),
+        partsupp(GenConfig {
+            scale: 0.005,
+            seed: 12,
+        }),
+        xmark(GenConfig {
+            scale: 0.004,
+            seed: 13,
+        }),
     ];
     for doc in &docs {
         for alg in evaluation_algorithms() {
@@ -44,7 +48,10 @@ fn every_algorithm_roundtrips_generated_documents() {
 
 #[test]
 fn small_limits_roundtrip() {
-    let doc = xmark(GenConfig { scale: 0.002, seed: 14 });
+    let doc = xmark(GenConfig {
+        scale: 0.002,
+        seed: 14,
+    });
     // The heaviest node bounds how small K can get.
     let min_k = doc.tree().max_node_weight();
     for k in [min_k, min_k + 3, 64] {
@@ -57,7 +64,10 @@ fn small_limits_roundtrip() {
 #[test]
 fn ekm_layout_navigates_less_than_km() {
     use natix_core::{Ekm, Km};
-    let doc = xmark(GenConfig { scale: 0.01, seed: 15 });
+    let doc = xmark(GenConfig {
+        scale: 0.01,
+        seed: 15,
+    });
     let mut ekm = bulkload_with(
         &doc,
         &Ekm,
@@ -99,8 +109,8 @@ fn store_reopens_from_page_file() {
     {
         // Bulkload, then drop the store: everything must be on disk.
         let pager = FilePager::create(&path).unwrap();
-        let store = bulkload_with(&doc, &Ekm, 256, Box::new(pager), StoreConfig::default())
-            .unwrap();
+        let store =
+            bulkload_with(&doc, &Ekm, 256, Box::new(pager), StoreConfig::default()).unwrap();
         assert!(store.record_count() > 1);
     }
     {

@@ -190,10 +190,7 @@ fn randomized_updates_match_shadow() {
             // Re-derive a target from the current document state.
             let shadow = store.to_document().unwrap();
             let tree = shadow.tree();
-            let elements: Vec<_> = tree
-                .node_ids()
-                .filter(|&v| shadow.is_element(v))
-                .collect();
+            let elements: Vec<_> = tree.node_ids().filter(|&v| shadow.is_element(v)).collect();
             let pick = elements[rng.gen_range(0..elements.len())];
             let pick_name = shadow.name(pick).to_string();
             let op = rng.gen_range(0..10u32);

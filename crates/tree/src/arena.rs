@@ -222,7 +222,12 @@ impl Tree {
 
 impl fmt::Debug for Tree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tree({} nodes, weight {})", self.len(), self.total_weight())
+        write!(
+            f,
+            "Tree({} nodes, weight {})",
+            self.len(),
+            self.total_weight()
+        )
     }
 }
 

@@ -35,7 +35,8 @@ impl Iterator for Preorder<'_> {
     fn next(&mut self) -> Option<NodeId> {
         let v = self.stack.pop()?;
         // Push children reversed so the leftmost is popped first.
-        self.stack.extend(self.tree.children(v).iter().rev().copied());
+        self.stack
+            .extend(self.tree.children(v).iter().rev().copied());
         Some(v)
     }
 

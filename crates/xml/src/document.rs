@@ -117,13 +117,7 @@ impl DocumentBuilder {
         }
     }
 
-    fn add(
-        &mut self,
-        parent: NodeId,
-        name: &str,
-        kind: NodeKind,
-        content: Option<&str>,
-    ) -> NodeId {
+    fn add(&mut self, parent: NodeId, name: &str, kind: NodeKind, content: Option<&str>) -> NodeId {
         let len = content.map_or(0, str::len);
         let id = self
             .tb

@@ -111,8 +111,8 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while self.pos < self.src.len() {
             if self.starts_with(end) {
-                let s = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("input was valid UTF-8");
+                let s =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("input was valid UTF-8");
                 self.pos += end.len();
                 return Ok(s);
             }

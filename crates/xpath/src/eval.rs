@@ -273,11 +273,7 @@ fn expand_axis<N: Navigator>(
     Ok(())
 }
 
-fn pass_predicates<N: Navigator>(
-    nav: &mut N,
-    ctx: Ctx<N::Node>,
-    step: &Step,
-) -> StoreResult<bool> {
+fn pass_predicates<N: Navigator>(nav: &mut N, ctx: Ctx<N::Node>, step: &Step) -> StoreResult<bool> {
     for pred in &step.predicates {
         if !eval_expr(nav, ctx, pred)? {
             return Ok(false);
@@ -286,11 +282,7 @@ fn pass_predicates<N: Navigator>(
     Ok(true)
 }
 
-fn eval_expr<N: Navigator>(
-    nav: &mut N,
-    ctx: Ctx<N::Node>,
-    expr: &Expr,
-) -> StoreResult<bool> {
+fn eval_expr<N: Navigator>(nav: &mut N, ctx: Ctx<N::Node>, expr: &Expr) -> StoreResult<bool> {
     match expr {
         Expr::Or(a, b) => Ok(eval_expr(nav, ctx, a)? || eval_expr(nav, ctx, b)?),
         Expr::And(a, b) => Ok(eval_expr(nav, ctx, a)? && eval_expr(nav, ctx, b)?),

@@ -42,11 +42,7 @@ pub trait Navigator {
     /// elements.
     fn content(&mut self, n: Self::Node) -> StoreResult<Option<String>>;
     /// Append all children (attributes included) in document order.
-    fn children(
-        &mut self,
-        n: Self::Node,
-        out: &mut Vec<ChildInfo<Self::Node>>,
-    ) -> StoreResult<()>;
+    fn children(&mut self, n: Self::Node, out: &mut Vec<ChildInfo<Self::Node>>) -> StoreResult<()>;
     /// Parent node (`None` at the root element).
     fn parent(&mut self, n: Self::Node) -> StoreResult<Option<Self::Node>>;
     /// Next sibling.
@@ -140,7 +136,8 @@ impl Navigator for StoreNavigator<'_> {
     }
 
     fn info(&mut self, n: NodeRef) -> StoreResult<(NodeKind, u32)> {
-        self.store.with_node(n, |node| (node.kind, node.label as u32))
+        self.store
+            .with_node(n, |node| (node.kind, node.label as u32))
     }
 
     fn resolve_label(&mut self, name: &str) -> StoreResult<Option<u32>> {

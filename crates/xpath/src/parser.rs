@@ -105,10 +105,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         // Bare "/" selects the root.
         if absolute && (self.peek().is_none() || self.peek() == Some(b']')) && steps.is_empty() {
-            return Ok(Path {
-                absolute,
-                steps,
-            });
+            return Ok(Path { absolute, steps });
         }
         steps.push(self.step()?);
         loop {
@@ -353,16 +350,14 @@ mod tests {
         let preds = &p.steps[3].predicates;
         assert_eq!(preds.len(), 1);
         match &preds[0] {
-            Expr::Or(a, b) => {
-                match (a.as_ref(), b.as_ref()) {
-                    (Expr::Path(pa), Expr::Path(pb)) => {
-                        assert!(!pa.absolute);
-                        assert_eq!(pa.steps[0].axis, Axis::Parent);
-                        assert_eq!(pb.steps[0].test, NodeTest::Name("samerica".into()));
-                    }
-                    other => panic!("unexpected {other:?}"),
+            Expr::Or(a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Path(pa), Expr::Path(pb)) => {
+                    assert!(!pa.absolute);
+                    assert_eq!(pa.steps[0].axis, Axis::Parent);
+                    assert_eq!(pb.steps[0].test, NodeTest::Name("samerica".into()));
                 }
-            }
+                other => panic!("unexpected {other:?}"),
+            },
             other => panic!("expected or, got {other:?}"),
         }
     }

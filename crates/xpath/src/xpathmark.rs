@@ -5,7 +5,8 @@
 pub const Q1: &str = "/site/regions/*/item";
 
 /// Q2: keywords in closed-auction annotations (long child path).
-pub const Q2: &str = "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword";
+pub const Q2: &str =
+    "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword";
 
 /// Q3: all keywords anywhere.
 pub const Q3: &str = "//keyword";

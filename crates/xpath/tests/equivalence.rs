@@ -76,13 +76,9 @@ fn store_matches_memory_for_all_algorithms() {
 
     for alg in evaluation_algorithms() {
         let p = alg.partition(doc.tree(), 256).unwrap();
-        let mut store = XmlStore::bulkload(
-            &doc,
-            &p,
-            Box::new(MemPager::new()),
-            StoreConfig::default(),
-        )
-        .unwrap();
+        let mut store =
+            XmlStore::bulkload(&doc, &p, Box::new(MemPager::new()), StoreConfig::default())
+                .unwrap();
         for (q, want) in &expected {
             let got = store_signature(&mut store, q);
             assert_eq!(&got, want, "{} on {q}", alg.name());
@@ -104,13 +100,9 @@ fn store_matches_memory_across_limits() {
         .collect();
     for k in [min_k, min_k + 7, 64, 256, 100_000] {
         let p = ekm.partition(doc.tree(), k).unwrap();
-        let mut store = XmlStore::bulkload(
-            &doc,
-            &p,
-            Box::new(MemPager::new()),
-            StoreConfig::default(),
-        )
-        .unwrap();
+        let mut store =
+            XmlStore::bulkload(&doc, &p, Box::new(MemPager::new()), StoreConfig::default())
+                .unwrap();
         for (q, want) in &expected {
             let got = store_signature(&mut store, q);
             assert_eq!(&got, want, "K={k} on {q}");

@@ -43,12 +43,20 @@ fn main() {
         table.row(vec![
             alg.name().to_string(),
             stats.cardinality.to_string(),
-            format!("+{:.1}%", 100.0 * (stats.cardinality as f64 / opt as f64 - 1.0)),
+            format!(
+                "+{:.1}%",
+                100.0 * (stats.cardinality as f64 / opt as f64 - 1.0)
+            ),
             stats.root_weight.to_string(),
             stats.max_partition_weight.to_string(),
             format!("{:.0}%", quality.mean_fill * 100.0),
             fmt_duration(dur),
-            if alg.is_main_memory_friendly() { "yes" } else { "no" }.to_string(),
+            if alg.is_main_memory_friendly() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.render());

@@ -12,7 +12,10 @@ use natix_tree::{parse_spec, validate, Weight};
 fn show(title: &str, spec: &str, k: Weight) {
     let tree = parse_spec(spec).expect("valid spec");
     println!("{title}");
-    println!("  tree: {tree}   (total weight {}, K = {k})", tree.total_weight());
+    println!(
+        "  tree: {tree}   (total weight {}, K = {k})",
+        tree.total_weight()
+    );
     for alg in evaluation_algorithms() {
         let p = alg.partition(&tree, k).expect("feasible");
         let stats = validate(&tree, k, &p).expect("algorithms return feasible partitionings");

@@ -77,8 +77,7 @@ fn every_document_generator_partitions_feasibly() {
             let p = alg
                 .partition(doc.tree(), K)
                 .unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
-            validate(doc.tree(), K, &p)
-                .unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
+            validate(doc.tree(), K, &p).unwrap_or_else(|e| panic!("{} on {name}: {e}", alg.name()));
         }
     }
 }
@@ -96,11 +95,7 @@ fn dhw_is_optimal_on_generated_documents() {
             let c = validate(doc.tree(), K, &alg.partition(doc.tree(), K).unwrap())
                 .unwrap()
                 .cardinality;
-            assert!(
-                c >= opt,
-                "{} beat DHW on {name}: {c} < {opt}",
-                alg.name()
-            );
+            assert!(c >= opt, "{} beat DHW on {name}: {c} < {opt}", alg.name());
         }
     }
 }

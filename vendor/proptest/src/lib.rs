@@ -1,0 +1,459 @@
+//! Offline API-subset shim for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate re-implements the slice of its API that the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter`,
+//! * integer-range, tuple, [`collection::vec`] and `any::<T>()` strategies,
+//! * string strategies from a small **regex subset** (character classes with
+//!   ranges and `{m,n}` repetition — exactly what the test suites use),
+//! * [`prop_oneof!`], [`prop_assume!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (via
+//!   `Debug`) and the case seed instead of a minimized counterexample.
+//! * **No persistence.** `*.proptest-regressions` files are ignored; runs are
+//!   deterministic from a per-test seed, so failures reproduce by re-running.
+//! * Generated-value streams differ from upstream.
+//!
+//! Limitation: parameter patterns in `proptest!` must be irrefutable
+//! *binding* patterns (identifiers or tuples of identifiers) because the
+//! macro also uses them as expressions to report failing inputs.
+
+pub mod strategy;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Clone + 'static {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    <$t>::MIN..=<$t>::MAX;
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )+};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    #[derive(Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::{rngs::StdRng, Rng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`].
+    pub trait SizeRange: Clone {
+        /// Sample a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test-case body did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: the case does not count, try another.
+        Reject,
+        /// `prop_assert*!` failed with a message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Deterministic per-(test, case) seed: FNV-1a over identity + index.
+    pub fn case_seed(file: &str, line: u32, name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(file.as_bytes());
+        eat(&line.to_le_bytes());
+        eat(name.as_bytes());
+        eat(&case.to_le_bytes());
+        h
+    }
+}
+
+/// What `proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module namespace used as `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run `cases` successful executions of a property body.
+///
+/// `body` generates inputs from `rng` and returns `Ok(())`, a rejection
+/// (assume failure) or an assertion failure plus a rendered input dump.
+#[doc(hidden)]
+pub fn run_property<F>(
+    cfg: &test_runner::ProptestConfig,
+    file: &str,
+    line: u32,
+    name: &str,
+    mut body: F,
+) where
+    F: FnMut(&mut rand::rngs::StdRng, u32) -> Result<(), (test_runner::TestCaseError, String)>,
+{
+    use rand::SeedableRng;
+    let mut done: u32 = 0;
+    let mut attempts: u32 = 0;
+    let max_attempts = cfg.cases.saturating_mul(16).max(64);
+    while done < cfg.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "property {name} ({file}:{line}): too many rejected cases \
+                 ({done}/{} succeeded in {attempts} attempts)",
+                cfg.cases
+            );
+        }
+        let seed = test_runner::case_seed(file, line, name, attempts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        attempts += 1;
+        match body(&mut rng, attempts - 1) {
+            Ok(()) => done += 1,
+            Err((test_runner::TestCaseError::Reject, _)) => {}
+            Err((test_runner::TestCaseError::Fail(msg), inputs)) => {
+                panic!(
+                    "property {name} ({file}:{line}) failed at case #{attempts}:\n\
+                     {msg}\ninputs: {inputs}"
+                );
+            }
+        }
+    }
+}
+
+/// The `proptest!` block macro: expands each contained `#[test] fn
+/// name(pat in strategy, ..) { body }` into a seeded multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::run_property(&__cfg, file!(), line!(), stringify!($name), |__rng, __case| {
+                let _ = __case;
+                let mut __inputs = String::new();
+                $(
+                    let $pat = {
+                        let __v = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        __inputs.push_str(stringify!($pat));
+                        __inputs.push_str(" = ");
+                        __inputs.push_str(&format!("{:?}; ", __v));
+                        __v
+                    };
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(r) => r.map_err(|e| (e, __inputs)),
+                    Err(payload) => {
+                        eprintln!(
+                            "property {} panicked; inputs: {}",
+                            stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Skip the current case without counting it as a success.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Property assertion; fails the case (with generated-input report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (1..=6u64, 10..20u64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in pair(), c in 0usize..5) {
+            prop_assert!((1..=6).contains(&a));
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(c < 5);
+        }
+
+        #[test]
+        fn vec_and_any(v in prop::collection::vec((any::<u32>(), 1..4u64), 0..9)) {
+            prop_assert!(v.len() < 9);
+            for (_, w) in &v {
+                prop_assert!((1..4).contains(w));
+            }
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-c][a-c0-9_.-]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "bad len: {}", s);
+            let mut chars = s.chars();
+            prop_assert!(('a'..='c').contains(&chars.next().unwrap()));
+            for ch in chars {
+                prop_assert!(
+                    ('a'..='c').contains(&ch)
+                        || ch.is_ascii_digit()
+                        || "_.-".contains(ch),
+                    "bad char {:?} in {:?}", ch, s
+                );
+            }
+        }
+
+        #[test]
+        fn oneof_map_filter(
+            n in prop_oneof![
+                3 => (0..10u32).prop_map(|v| v * 2),
+                1 => (100..110u32).prop_filter("even", |v| v % 2 == 0),
+            ],
+        ) {
+            prop_assert!(n % 2 == 0 && (n < 20 || (100..110).contains(&n)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0..100u32) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0..10u32) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,391 @@
+//! Strategies: composable random-value generators.
+//!
+//! The shim's [`Strategy`] is generation-only (no shrink trees): a strategy
+//! is a cloneable recipe that produces one value per call from a seeded
+//! [`StdRng`]. Combinators mirror upstream: `prop_map`, `prop_filter`,
+//! tuples, ranges, [`WeightedUnion`] (behind `prop_oneof!`) and string
+//! strategies compiled from a small regex subset.
+
+use rand::{rngs::StdRng, Rng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O + 'static>(self, f: F) -> Map<Self, F> {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Reject generated values failing `pred` (counts as a case rejection;
+    /// `whence` labels the filter in diagnostics).
+    fn prop_filter<F: Fn(&Self::Value) -> bool + 'static>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            whence,
+            pred: Rc::new(pred),
+        }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F: ?Sized> {
+    inner: S,
+    f: Rc<F>,
+}
+
+impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F: ?Sized> {
+    inner: S,
+    whence: &'static str,
+    pred: Rc<F>,
+}
+
+impl<S: Clone, F: ?Sized> Clone for Filter<S, F> {
+    fn clone(&self) -> Self {
+        Filter {
+            inner: self.inner.clone(),
+            whence: self.whence,
+            pred: Rc::clone(&self.pred),
+        }
+    }
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        // Local retry keeps filters cheap; a persistently failing filter
+        // panics with its label rather than looping forever.
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Type-erased strategy (`Rc`-shared, cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Weighted choice among same-typed strategies; built by `prop_oneof!`.
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for WeightedUnion<T> {
+    fn clone(&self) -> Self {
+        WeightedUnion {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T: Debug> WeightedUnion<T> {
+    /// Union over `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut ticket = rng.gen_range(0..self.total);
+        for (w, strat) in &self.arms {
+            if ticket < *w as u64 {
+                return strat.generate(rng);
+            }
+            ticket -= *w as u64;
+        }
+        unreachable!("ticket below total weight always lands in an arm");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `&str` regex-subset strategies: `"<atom><atom>..."` where an atom is a
+/// character class `[...]` (ranges, escapes, literals) or a literal char,
+/// optionally followed by `{m,n}` / `{n}` / `*` / `+` / `?`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let compiled = compile_regex(self);
+        let mut out = String::new();
+        for atom in &compiled {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let idx = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Compile the supported regex subset into repetition atoms. Panics on
+/// unsupported syntax — better a loud failure than silently wrong data.
+fn compile_regex(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(ch) = it.next() {
+        let chars = match ch {
+            '[' => parse_class(&mut it, pattern),
+            '\\' => {
+                let esc = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                vec![unescape(esc)]
+            }
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' => {
+                panic!("regex feature {ch:?} not supported by the proptest shim: {pattern:?}")
+            }
+            c => vec![c],
+        };
+        let (min, max) = parse_repeat(&mut it, pattern);
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+fn parse_class(it: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut chars = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = it
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in regex {pattern:?}"));
+        match c {
+            ']' => return chars,
+            '\\' => {
+                let esc = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                let lit = unescape(esc);
+                chars.push(lit);
+                prev = Some(lit);
+            }
+            '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().unwrap();
+                let mut hi = it.next().unwrap();
+                if hi == '\\' {
+                    hi = unescape(
+                        it.next()
+                            .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+                    );
+                }
+                assert!(lo < hi, "inverted range {lo:?}-{hi:?} in regex {pattern:?}");
+                // `lo` itself is already in `chars`.
+                let lo_next = char::from_u32(lo as u32 + 1).unwrap();
+                chars.extend(lo_next..=hi);
+            }
+            c => {
+                chars.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+}
+
+fn unescape(esc: char) -> char {
+    match esc {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        c => c,
+    }
+}
+
+fn parse_repeat(it: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
+    match it.peek() {
+        Some('{') => {
+            it.next();
+            let mut spec = String::new();
+            for c in it.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {spec:?} in regex {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&spec);
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            it.next();
+            (0, 8)
+        }
+        Some('+') => {
+            it.next();
+            (1, 8)
+        }
+        Some('?') => {
+            it.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_ranges_and_escapes() {
+        let atoms = compile_regex("[ -~<>&;!\\[\\]\"']{0,200}");
+        assert_eq!(atoms.len(), 1);
+        assert_eq!((atoms[0].min, atoms[0].max), (0, 200));
+        for needed in ['[', ']', '"', '\'', ' ', '~', 'a', 'Z'] {
+            assert!(atoms[0].chars.contains(&needed), "missing {needed:?}");
+        }
+    }
+
+    #[test]
+    fn leading_class_then_quantified_class() {
+        let atoms = compile_regex("[a-z][a-z0-9_.-]{0,8}");
+        assert_eq!(atoms.len(), 2);
+        assert_eq!((atoms[0].min, atoms[0].max), (1, 1));
+        assert_eq!(atoms[0].chars.len(), 26);
+        assert!(atoms[1].chars.contains(&'-') && atoms[1].chars.contains(&'.'));
+        assert!(!atoms[1].chars.contains(&'['));
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let u = WeightedUnion::new(vec![
+            (9, Strategy::boxed(0..1u32)),
+            (1, Strategy::boxed(100..101u32)),
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let big = (0..1000).filter(|_| u.generate(&mut rng) == 100).count();
+        assert!((50..200).contains(&big), "weight-1 arm hit {big}/1000");
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let s = (0..100u32)
+            .prop_map(|v| v * 2)
+            .prop_filter("nonzero", |v| *v != 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v != 0 && v < 200);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline API-subset shim for the [`rand`](https://crates.io/crates/rand)
+//! crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `rand` cannot be fetched. This crate implements exactly the surface
+//! the workspace uses — `rand::rngs::StdRng`, [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges and [`Rng::gen_bool`] — on top of
+//! the SplitMix64 generator. It is **not** a cryptographic RNG and makes no
+//! attempt to match upstream `rand`'s value streams; everything in this
+//! workspace only needs a *deterministic, seeded, well-mixed* sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors the upstream `Rng: RngCore` design).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics on empty ranges, like upstream.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self.as_core())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 explicit mantissa bits give a uniform float in [0, 1).
+        let unit = (self.as_core().next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    #[doc(hidden)]
+    fn as_core(&mut self) -> &mut dyn RngCore;
+}
+
+impl<G: RngCore> Rng for G {
+    fn as_core(&mut self) -> &mut dyn RngCore {
+        self
+    }
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    #[doc(hidden)]
+    fn from_offset(lo: Self, offset: u64) -> Self;
+    #[doc(hidden)]
+    fn span(lo: Self, hi_inclusive: Self) -> Option<u64>;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn from_offset(lo: Self, offset: u64) -> Self {
+                ((lo as $wide).wrapping_add(offset as $wide)) as $t
+            }
+            fn span(lo: Self, hi_inclusive: Self) -> Option<u64> {
+                if lo > hi_inclusive {
+                    None
+                } else {
+                    Some((hi_inclusive as $wide).wrapping_sub(lo as $wide) as u64)
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Uniform offset in `0..=span` by widening multiply rejection-free
+/// approximation; a modulo would do for test workloads, but this has no
+/// measurable bias for spans far below 2^64 and is just as cheap.
+fn uniform_offset(rng: &mut dyn RngCore, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1;
+    // Widening-multiply map of a uniform u64 onto [0, bound).
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let span = T::span(self.start, self.end)
+            .and_then(|s| s.checked_sub(1))
+            .expect("cannot sample from empty range");
+        T::from_offset(self.start, uniform_offset(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        let span = T::span(lo, hi).expect("cannot sample from empty range");
+        T::from_offset(lo, uniform_offset(rng, span))
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Passes BigCrush-level mixing for the purposes of test-data and
+    /// synthetic-document generation; one `u64` of state, closed-form jump.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // Discard the first output so nearby seeds decorrelate.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let first: Vec<u32> = (0..8).map(|_| a.gen_range(0..u32::MAX)).collect();
+        let other: Vec<u32> = (0..8).map(|_| c.gen_range(0..u32::MAX)).collect();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=9usize);
+            assert!((5..=9).contains(&w));
+            let s = rng.gen_range(-4..=4i32);
+            assert!((-4..=4).contains(&s));
+        }
+        // Both endpoints of an inclusive range are reachable.
+        let mut seen = [false; 2];
+        for _ in 0..1000 {
+            match rng.gen_range(0..=1u8) {
+                0 => seen[0] = true,
+                _ => seen[1] = true,
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}
