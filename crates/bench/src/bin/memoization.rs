@@ -8,14 +8,17 @@
 //! ```
 //!
 //! Besides cell counts, the table reports the memory side of the arena
-//! refactor: peak workspace bytes of the flat-arena engine versus the heap
-//! bytes the old `HashMap<s, Vec<Entry>>`-per-node layout would allocate
-//! for the same run (an undercount — see
-//! `natix_core::baseline::hashmap_bytes_estimate`).
+//! refactor (peak workspace bytes of the flat-arena engine versus the heap
+//! bytes the old `HashMap<s, Vec<Entry>>`-per-node layout would allocate —
+//! an undercount, see `natix_core::baseline::hashmap_bytes_estimate`) and
+//! the structure-sharing layer of `natix_core::dag`: distinct weighted
+//! subtree shapes (fingerprints), nodes-per-shape dedup ratio, shape-cache
+//! hit rate, and the dominance-pruning counters. The cached run's output
+//! is asserted identical to the uncached run on every generator.
 
 use natix_bench::json_row;
 use natix_bench::{natix_core, natix_datagen, write_json, Args, Table};
-use natix_core::{baseline, dhw_with_statistics};
+use natix_core::{baseline, dhw_cached_with_statistics, dhw_with_statistics};
 
 json_row! {
     struct Row {
@@ -28,6 +31,13 @@ json_row! {
         arena_cells: u64,
         arena_peak_bytes: u64,
         hashmap_bytes_estimate: u64,
+        dag_distinct_fingerprints: u64,
+        dag_dedup_ratio: f64,
+        dag_hit_rate: f64,
+        cached_table_cells: u64,
+        cached_inner_nodes: u64,
+        pruned_candidates: u64,
+        pruned_scans: u64,
     }
 }
 
@@ -37,17 +47,26 @@ fn main() {
         "Document",
         "Inner nodes",
         "avg s/node",
-        "max s/node",
         "cells used",
         "cells full table",
         "saved",
         "arena KB",
         "hashmap KB",
+        "shapes",
+        "dedup",
+        "hit",
+        "cached cells",
+        "pruned",
     ]);
     let mut results = Vec::new();
     for (name, doc) in natix_datagen::evaluation_suite(args.scale, args.seed) {
         let tree = doc.tree();
-        let (_, stats) = dhw_with_statistics(tree, args.k).expect("feasible");
+        let (plain, stats) = dhw_with_statistics(tree, args.k).expect("feasible");
+        let (cached_p, cached) = dhw_cached_with_statistics(tree, args.k).expect("feasible");
+        assert_eq!(
+            cached_p.intervals, plain.intervals,
+            "cached DHW diverged from uncached on {name}"
+        );
         // The naive table materializes every s in [w(v), K] for every j.
         let full: u64 = tree
             .node_ids()
@@ -62,7 +81,6 @@ fn main() {
             name.to_string(),
             stats.inner_nodes.to_string(),
             format!("{:.2}", stats.avg_rows()),
-            stats.max_rows.to_string(),
             stats.total_entries.to_string(),
             full.to_string(),
             format!(
@@ -71,12 +89,20 @@ fn main() {
             ),
             (stats.bytes_allocated / 1024).to_string(),
             (hashmap_bytes / 1024).to_string(),
+            cached.dag_distinct.to_string(),
+            format!("{:.1}x", cached.dag_dedup_ratio()),
+            format!("{:.0}%", cached.dag_hit_rate() * 100.0),
+            cached.total_entries.to_string(),
+            cached.pruned_candidates.to_string(),
         ]);
         eprintln!(
-            "done: {name} (avg {:.2} s values, arena peak {} KB vs ~{} KB hashed rows)",
+            "done: {name} (avg {:.2} s values, {} of {} shapes distinct, \
+             cached cells {} vs {})",
             stats.avg_rows(),
-            stats.bytes_allocated / 1024,
-            hashmap_bytes / 1024
+            cached.dag_distinct,
+            cached.dag_nodes,
+            cached.total_entries,
+            stats.total_entries,
         );
         results.push(Row {
             document: name.to_string(),
@@ -88,6 +114,13 @@ fn main() {
             arena_cells: stats.arena_entries,
             arena_peak_bytes: stats.bytes_allocated,
             hashmap_bytes_estimate: hashmap_bytes,
+            dag_distinct_fingerprints: cached.dag_distinct,
+            dag_dedup_ratio: cached.dag_dedup_ratio(),
+            dag_hit_rate: cached.dag_hit_rate(),
+            cached_table_cells: cached.total_entries,
+            cached_inner_nodes: cached.inner_nodes,
+            pruned_candidates: cached.pruned_candidates,
+            pruned_scans: cached.pruned_scans,
         });
     }
     println!(
@@ -98,7 +131,11 @@ fn main() {
     println!("Paper Sec. 3.3.6 reference point: < 4 avg s values on a 20 MB document at K = 256.");
     println!(
         "arena KB = peak reusable workspace of the flat-arena DP; hashmap KB = estimated\n\
-         heap bytes of the former per-node HashMap row layout for the same run (undercount)."
+         heap bytes of the former per-node HashMap row layout for the same run (undercount).\n\
+         shapes = distinct weighted subtree fingerprints (minimal-DAG nodes); dedup = nodes\n\
+         per shape; hit = fraction of nodes served from the shape cache; cached cells = DP\n\
+         cells the structure-sharing engine actually computed (one run per shape); pruned =\n\
+         interval candidates dominance pruning removed from those runs."
     );
     write_json(&args, &results);
 }

@@ -41,6 +41,9 @@ pub struct Args {
     /// Worker threads for parallel partitioning (`--threads`); defaults to
     /// the machine's available parallelism.
     pub threads: usize,
+    /// CI smoke mode (`--quick`): tiny scale, one timed run, deterministic
+    /// correctness gates, nonzero exit on regression. Honored by `dp_speed`.
+    pub quick: bool,
 }
 
 impl Default for Args {
@@ -52,6 +55,7 @@ impl Default for Args {
             json: None,
             skip_dhw: false,
             threads: default_threads(),
+            quick: false,
         }
     }
 }
@@ -97,6 +101,7 @@ impl Args {
                 }
                 "--json" => args.json = Some(value("--json")),
                 "--skip-dhw" => args.skip_dhw = true,
+                "--quick" => args.quick = true,
                 "--threads" => {
                     args.threads = value("--threads").parse().unwrap_or_else(|_| {
                         eprintln!("--threads expects a positive integer");
@@ -110,7 +115,7 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale <f> | --paper | --seed <n> | --k <slots> | \
-                         --json <path> | --skip-dhw | --threads <n>"
+                         --json <path> | --skip-dhw | --threads <n> | --quick"
                     );
                     std::process::exit(0);
                 }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! natix partition <file.xml> [--alg ekm|dhw|ghdw|km|rs|dfs|bfs|lukes] [--k 256] [--threads N]
-//! natix load      <file.xml> <store.natix> [--alg ekm] [--k 256] [--threads N]
+//!                 [--stats] [--no-dag-cache]
+//! natix load      <file.xml> <store.natix> [--alg ekm] [--k 256] [--threads N] [--no-dag-cache]
 //! natix query     <store.natix> '<xpath>' [--count]
 //! natix dump      <store.natix>
 //! natix stats     <store.natix>
@@ -13,12 +14,21 @@
 //! threads; the output is identical to the sequential run. It defaults to
 //! the machine's available parallelism and is ignored by the single-pass
 //! heuristics.
+//!
+//! DHW and GHDW use the structure-sharing engine (`natix_core::dag`: one
+//! DP run per distinct weighted subtree shape, dominance-pruned rows) by
+//! default; `--no-dag-cache` is the escape hatch back to the plain
+//! per-node engine. Both produce byte-identical partitionings. `natix
+//! partition --stats` prints the cache and pruning counters so users can
+//! see why a document did or didn't benefit.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use natix_core::{
-    parallel, Bfs, Dfs, Dhw, Ekm, Ghdw, Km, Lukes, ParallelDhw, ParallelGhdw, Partitioner, Rs,
+    dhw_cached_with_statistics, dhw_with_statistics, ghdw_cached_with_statistics,
+    ghdw_with_statistics, parallel, Bfs, CachedDhw, CachedGhdw, Dfs, Dhw, DpStats, Ekm, Ghdw, Km,
+    Lukes, ParallelDhw, ParallelGhdw, Partitioner, Rs,
 };
 use natix_store::{bulkload_with, FilePager, StoreConfig, XmlStore};
 use natix_tree::validate;
@@ -27,51 +37,72 @@ use natix_xpath::{eval_query, StoreNavigator};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  natix partition <file.xml> [--alg NAME] [--k SLOTS] [--threads N]\n  \
-         natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS] [--threads N]\n  \
+        "usage:\n  natix partition <file.xml> [--alg NAME] [--k SLOTS] [--threads N] \
+         [--stats] [--no-dag-cache]\n  \
+         natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS] [--threads N] \
+         [--no-dag-cache]\n  \
          natix query <store.natix> '<xpath>' [--count]\n  \
          natix dump <store.natix>\n  \
          natix stats <store.natix>\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
-         --threads N parallelizes dhw/ghdw (default: available parallelism)"
+         --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
+         --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
+         --stats prints DP cache and dominance-pruning counters (dhw/ghdw)"
     );
     ExitCode::from(2)
 }
 
-/// Resolve an algorithm name. `threads > 1` selects the parallel engines
-/// for the table-building algorithms (identical output, see
-/// `natix_core::parallel`); the single-pass heuristics ignore it.
-fn algorithm(name: &str, threads: usize) -> Option<Box<dyn Partitioner>> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "ekm" => Box::new(Ekm),
-        "dhw" if threads > 1 => Box::new(ParallelDhw::new(threads)),
-        "dhw" => Box::new(Dhw),
-        "ghdw" if threads > 1 => Box::new(ParallelGhdw::new(threads)),
-        "ghdw" => Box::new(Ghdw),
-        "km" => Box::new(Km),
-        "rs" => Box::new(Rs),
-        "dfs" => Box::new(Dfs),
-        "bfs" => Box::new(Bfs),
-        "lukes" => Box::new(Lukes),
+/// Resolve an algorithm name. For the table-building algorithms (DHW,
+/// GHDW) `threads > 1` selects the parallel engines and `dag_cache`
+/// toggles the structure-sharing engine of `natix_core::dag` — all four
+/// combinations produce byte-identical output. The single-pass heuristics
+/// ignore both knobs.
+fn algorithm(name: &str, threads: usize, dag_cache: bool) -> Option<Box<dyn Partitioner>> {
+    Some(match (name.to_ascii_lowercase().as_str(), dag_cache) {
+        ("ekm", _) => Box::new(Ekm),
+        ("dhw", cache) if threads > 1 => Box::new(ParallelDhw {
+            threads,
+            job_target: None,
+            dag_cache: cache,
+        }),
+        ("dhw", true) => Box::new(CachedDhw),
+        ("dhw", false) => Box::new(Dhw),
+        ("ghdw", cache) if threads > 1 => Box::new(ParallelGhdw {
+            threads,
+            job_target: None,
+            dag_cache: cache,
+        }),
+        ("ghdw", true) => Box::new(CachedGhdw),
+        ("ghdw", false) => Box::new(Ghdw),
+        ("km", _) => Box::new(Km),
+        ("rs", _) => Box::new(Rs),
+        ("dfs", _) => Box::new(Dfs),
+        ("bfs", _) => Box::new(Bfs),
+        ("lukes", _) => Box::new(Lukes),
         _ => return None,
     })
 }
 
 struct Flags {
     alg: Box<dyn Partitioner>,
+    alg_name: String,
     k: u64,
+    dag_cache: bool,
+    stats: bool,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, String> {
     let mut alg_name = String::from("ekm");
     let mut k = 256;
     let mut threads = parallel::default_threads();
+    let mut dag_cache = true;
+    let mut stats = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--alg" => {
                 let name = it.next().ok_or("missing value for --alg")?;
-                if algorithm(name, 1).is_none() {
+                if algorithm(name, 1, true).is_none() {
                     return Err(format!("unknown algorithm {name}"));
                 }
                 alg_name = name.clone();
@@ -93,12 +124,20 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
                     return Err("--threads expects a positive integer".to_string());
                 }
             }
+            "--no-dag-cache" => dag_cache = false,
+            "--stats" => stats = true,
             "--count" => {} // handled by the caller
             other => return Err(format!("unknown option {other}")),
         }
     }
-    let alg = algorithm(&alg_name, threads).expect("validated above");
-    Ok(Flags { alg, k })
+    let alg = algorithm(&alg_name, threads, dag_cache).expect("validated above");
+    Ok(Flags {
+        alg,
+        alg_name: alg_name.to_ascii_lowercase(),
+        k,
+        dag_cache,
+        stats,
+    })
 }
 
 fn read_document(path: &str) -> Result<natix_xml::Document, String> {
@@ -133,6 +172,57 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     println!(
         "lower bound: {} (total weight / K)",
         tree.total_weight().div_ceil(flags.k)
+    );
+    if flags.stats {
+        print_dp_stats(tree, &flags)?;
+    }
+    Ok(())
+}
+
+/// `--stats`: run the DHW/GHDW engine once more with counters enabled and
+/// print the structure-sharing and dominance-pruning statistics.
+fn print_dp_stats(tree: &natix_tree::Tree, flags: &Flags) -> Result<(), String> {
+    let run = |cached: bool| -> Result<DpStats, String> {
+        let r = match (flags.alg_name.as_str(), cached) {
+            ("dhw", true) => dhw_cached_with_statistics(tree, flags.k),
+            ("dhw", false) => dhw_with_statistics(tree, flags.k),
+            ("ghdw", true) => ghdw_cached_with_statistics(tree, flags.k),
+            ("ghdw", false) => ghdw_with_statistics(tree, flags.k),
+            _ => return Err(format!("--stats supports dhw/ghdw, not {}", flags.alg_name)),
+        };
+        Ok(r.map_err(|e| e.to_string())?.1)
+    };
+    let stats = run(flags.dag_cache)?;
+    if flags.dag_cache {
+        println!(
+            "dag shapes : {} distinct of {} nodes ({:.1}x dedup)",
+            stats.dag_distinct,
+            stats.dag_nodes,
+            stats.dag_dedup_ratio()
+        );
+        println!(
+            "cache hits : {} ({:.1}% of nodes), {} cross-run",
+            stats.dag_hits,
+            stats.dag_hit_rate() * 100.0,
+            stats.dag_cross_run_hits
+        );
+        println!(
+            "pruned     : {} candidates, {} scans cut short",
+            stats.pruned_candidates, stats.pruned_scans
+        );
+    } else {
+        println!("dag shapes : (disabled via --no-dag-cache)");
+    }
+    println!(
+        "dp tables  : {} inner nodes, {} rows (avg {:.2} s values), {} cells",
+        stats.inner_nodes,
+        stats.total_rows,
+        stats.avg_rows(),
+        stats.total_entries
+    );
+    println!(
+        "workspace  : {} KB peak",
+        stats.bytes_allocated.div_ceil(1024)
     );
     Ok(())
 }

@@ -47,8 +47,87 @@ fn partition_reports_counts() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("algorithm  : DHW (K = 16)"), "{stdout}");
+    // DHW resolves to the structure-sharing engine by default.
+    assert!(stdout.contains("algorithm  : DHW-C (K = 16)"), "{stdout}");
     assert!(stdout.contains("partitions : 3"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn no_dag_cache_escape_hatch_is_identical() {
+    let dir = tmpdir();
+    let xml = dir.join("lib.xml");
+    std::fs::write(&xml, SAMPLE).unwrap();
+    let path = xml.to_str().unwrap();
+    let cached = natix(&["partition", path, "--alg", "dhw", "--k", "16"]);
+    let plain = natix(&[
+        "partition",
+        path,
+        "--alg",
+        "dhw",
+        "--k",
+        "16",
+        "--no-dag-cache",
+    ]);
+    assert!(cached.status.success() && plain.status.success());
+    let cached_out = String::from_utf8_lossy(&cached.stdout).to_string();
+    let plain_out = String::from_utf8_lossy(&plain.stdout).to_string();
+    assert!(
+        plain_out.contains("algorithm  : DHW (K = 16)"),
+        "{plain_out}"
+    );
+    // Same partitioning either way: every line but the algorithm name
+    // matches.
+    let strip = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| !l.starts_with("algorithm"))
+            .map(|l| l.to_string())
+            .collect()
+    };
+    assert_eq!(strip(&cached_out), strip(&plain_out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partition_stats_prints_cache_counters() {
+    let dir = tmpdir();
+    let xml = dir.join("lib.xml");
+    std::fs::write(&xml, SAMPLE).unwrap();
+    let path = xml.to_str().unwrap();
+    let out = natix(&["partition", path, "--alg", "dhw", "--k", "16", "--stats"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dag shapes :"), "{stdout}");
+    assert!(stdout.contains("distinct of"), "{stdout}");
+    assert!(stdout.contains("cache hits :"), "{stdout}");
+    assert!(stdout.contains("pruned     :"), "{stdout}");
+    assert!(stdout.contains("dp tables  :"), "{stdout}");
+
+    // The uncached engine reports its table counters and says why the
+    // cache columns are empty.
+    let out = natix(&[
+        "partition",
+        path,
+        "--alg",
+        "ghdw",
+        "--k",
+        "16",
+        "--stats",
+        "--no-dag-cache",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("disabled via --no-dag-cache"), "{stdout}");
+    assert!(stdout.contains("dp tables  :"), "{stdout}");
+
+    // --stats on a single-pass heuristic is a clear error.
+    let out = natix(&["partition", path, "--alg", "ekm", "--k", "16", "--stats"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stats supports dhw/ghdw"));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,0 +1,594 @@
+//! Structure-sharing DP: hash-consed subtree DAG + `(fingerprint, K)` plan
+//! cache + dominance-pruned rows.
+//!
+//! The per-node DP of [`crate::dp`] is a pure function of the node's
+//! *weighted subtree shape*: its own weight, the ordered shapes of its
+//! children, and the run parameters `(K, nearly_mode)`. Labels never enter
+//! the recurrence. Real XML — especially relational dumps like the paper's
+//! `partsupp.xml`/`orders.xml` — is extremely repetitive under exactly this
+//! equivalence: "XML Compression via DAGs" (Bousquet-Mélou, Lohrey,
+//! Maneth, Noeth) measures that typical documents collapse to minimal DAGs
+//! a small fraction of their tree size. The plain engine recomputes the
+//! same table for every one of those identical subtrees; this module
+//! computes it **once per distinct shape** and splices the cached result
+//! into every occurrence.
+//!
+//! Three layers:
+//!
+//! 1. [`SubtreeDag`] — bottom-up hash-consing of weighted subtree shapes
+//!    into a minimal-DAG node index. Interning is *exact* (structural
+//!    equality on weight + ordered child shape ids, with the 64-bit hash
+//!    only bucketing), so within a run there are no collision risks. Each
+//!    distinct shape also gets a 128-bit [`Fingerprint`] over
+//!    (weight, child fingerprints) for cross-run identity.
+//! 2. [`DagCache`] — a reusable workspace holding the flat-arena
+//!    [`DpWorkspace`] plus a plan cache keyed by `(fingerprint, K,
+//!    nearly_mode)`. Within a run, each distinct shape's [`NodePlan`] is
+//!    computed once; across runs (k-sweeps, repeated imports of
+//!    overlapping corpora) plans whose key matches are reused outright.
+//! 3. Dominance pruning — the cached engine runs the per-node DP with the
+//!    Pareto-dominance candidate filter of `NodeDp::compute` enabled, so
+//!    rows that *are* computed stop fanning candidates into the `O(K³)`
+//!    combine step as soon as the incumbent entry dominates every
+//!    remaining start position.
+//!
+//! Output is **byte-identical** to the plain engine (the same interval
+//! list): plans are pure per shape, pruning only skips provably
+//! non-improving candidates, and extraction walks the same chains. The
+//! property and differential suites (`tests/properties.rs`,
+//! `tests/dag_equivalence.rs`) enforce this against both the arena engine
+//! and the pre-arena `natix_core::baseline` oracle, across the
+//! `natix-datagen` corpus and the parallel scheduler.
+
+use std::collections::HashMap;
+
+use natix_tree::{NodeId, Partitioning, Tree, Weight};
+
+use crate::dp::{self, ChildStats, DpStats, DpWorkspace, NodePlan};
+use crate::{check_input, PartitionError, Partitioner};
+
+/// 128-bit structural fingerprint of a weighted subtree shape.
+///
+/// Computed bottom-up over (node weight, child fingerprints) — label-free
+/// and tree-independent, so equal shapes in *different* documents collide
+/// deliberately. Within one tree, identity is established by exact
+/// interning; the fingerprint is only trusted across runs, where a spurious
+/// collision needs ~2⁻¹²⁸ luck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    lo: u64,
+    hi: u64,
+}
+
+/// `splitmix64` finalizer: cheap, well-distributed 64-bit mixing.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Minimal-DAG index of a tree's weighted subtree shapes.
+///
+/// `id(v)` maps every tree node to a dense shape id; nodes with equal
+/// label-free weighted subtrees share an id. Built in one reverse-id scan
+/// (children before parents) in `O(n)` expected time.
+pub struct SubtreeDag {
+    /// Shape id per tree node.
+    ids: Vec<u32>,
+    /// Cross-run fingerprint per shape id.
+    fps: Vec<Fingerprint>,
+    /// Node weight per shape id (for exact interning).
+    weights: Vec<Weight>,
+    /// Flattened ordered child shape ids of every shape.
+    child_ids: Vec<u32>,
+    /// Range of `child_ids` per shape id.
+    child_range: Vec<(u32, u32)>,
+}
+
+impl SubtreeDag {
+    /// Hash-cons every subtree of `tree` into the minimal DAG.
+    pub fn build(tree: &Tree) -> SubtreeDag {
+        let n = tree.len();
+        let mut dag = SubtreeDag {
+            ids: vec![0; n],
+            fps: Vec::new(),
+            weights: Vec::new(),
+            child_ids: Vec::new(),
+            child_range: Vec::new(),
+        };
+        // 64-bit bucket hash → candidate shape ids (almost always one).
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut kids: Vec<u32> = Vec::new();
+        // Child ids exceed parent ids, so a reverse scan is bottom-up.
+        for i in (0..n).rev() {
+            let v = NodeId::from_index(i);
+            let w = tree.weight(v);
+            kids.clear();
+            kids.extend(tree.children(v).iter().map(|c| dag.ids[c.index()]));
+
+            let mut lo = mix64(0x6461_675f_6c6f_5f30 ^ w); // "dag_lo_0"
+            let mut hi = mix64(0x6461_675f_6869_5f31 ^ w); // "dag_hi_1"
+            for &cid in &kids {
+                let cfp = dag.fps[cid as usize];
+                lo = mix64(lo ^ cfp.lo);
+                hi = mix64(hi ^ cfp.hi);
+            }
+            lo = mix64(lo ^ kids.len() as u64);
+            hi = mix64(hi ^ (kids.len() as u64).rotate_left(32));
+            let fp = Fingerprint { lo, hi };
+
+            let bucket = buckets.entry(lo).or_default();
+            let found = bucket.iter().copied().find(|&sid| {
+                let sid = sid as usize;
+                let (cs, ce) = dag.child_range[sid];
+                dag.weights[sid] == w && dag.child_ids[cs as usize..ce as usize] == kids[..]
+            });
+            dag.ids[i] = match found {
+                Some(sid) => sid,
+                None => {
+                    let sid = dag.fps.len() as u32;
+                    dag.fps.push(fp);
+                    dag.weights.push(w);
+                    let cs = dag.child_ids.len() as u32;
+                    dag.child_ids.extend_from_slice(&kids);
+                    dag.child_range.push((cs, dag.child_ids.len() as u32));
+                    bucket.push(sid);
+                    sid
+                }
+            };
+        }
+        dag
+    }
+
+    /// Number of tree nodes indexed.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// A DAG over at least the root is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of distinct weighted subtree shapes (minimal-DAG nodes).
+    pub fn distinct(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// Shape id of a tree node.
+    #[inline]
+    pub fn id(&self, v: NodeId) -> u32 {
+        self.ids[v.index()]
+    }
+
+    /// Cross-run fingerprint of a shape id.
+    #[inline]
+    pub fn fingerprint(&self, shape: u32) -> Fingerprint {
+        self.fps[shape as usize]
+    }
+
+    /// Nodes per distinct shape (the DAG compression ratio).
+    pub fn dedup_ratio(&self) -> f64 {
+        self.len() as f64 / self.distinct().max(1) as f64
+    }
+}
+
+/// Cross-run cache key: shape fingerprint plus the run parameters the plan
+/// depends on.
+#[derive(PartialEq, Eq, Hash)]
+struct PlanKey {
+    fp: Fingerprint,
+    k: Weight,
+    nearly_mode: bool,
+}
+
+/// Reusable structure-sharing engine state: the flat-arena DP workspace
+/// plus the persistent `(fingerprint, K)` plan cache.
+///
+/// One `DagCache` serves arbitrarily many trees and limits; repeated runs
+/// over equal shapes (k-sweeps, re-imports) hit the cache outright. Drop
+/// accumulated plans with [`DagCache::clear`] when memory matters more
+/// than reuse.
+#[derive(Default)]
+pub struct DagCache {
+    ws: DpWorkspace,
+    plans: HashMap<PlanKey, NodePlan>,
+}
+
+impl DagCache {
+    /// Fresh, empty cache.
+    pub fn new() -> DagCache {
+        DagCache::default()
+    }
+
+    /// Number of cached `(fingerprint, K, mode)` plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans are cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Drop every cached plan (the DP workspace buffers are kept).
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+}
+
+/// Run the structure-sharing engine over the whole tree.
+///
+/// `nearly_mode = false` is GHDW; `true` is DHW. Each distinct weighted
+/// subtree shape is processed once (dominance pruning enabled); every
+/// other occurrence splices the cached plan.
+pub(crate) fn partition_dag_into(
+    tree: &Tree,
+    k: Weight,
+    nearly_mode: bool,
+    cache: &mut DagCache,
+    mut stats: Option<&mut DpStats>,
+    out: &mut Partitioning,
+) -> Result<(), PartitionError> {
+    check_input(tree, k)?;
+    let dag = SubtreeDag::build(tree);
+    let DagCache { ws, plans } = cache;
+    let mut run_plans: Vec<Option<NodePlan>> = vec![None; dag.distinct()];
+    let mut dag_hits: u64 = 0;
+    let mut cross_run_hits: u64 = 0;
+
+    for v in tree.postorder() {
+        let sid = dag.id(v) as usize;
+        if run_plans[sid].is_some() {
+            dag_hits += 1;
+            continue;
+        }
+        let key = PlanKey {
+            fp: dag.fingerprint(sid as u32),
+            k,
+            nearly_mode,
+        };
+        if let Some(p) = plans.get(&key) {
+            cross_run_hits += 1;
+            run_plans[sid] = Some(p.clone());
+            continue;
+        }
+        let children = tree.children(v);
+        let mut plan = NodePlan::default();
+        if children.is_empty() {
+            plan.set_leaf(tree.weight(v));
+        } else {
+            ws.set_children(children.iter().map(|c| {
+                let p = run_plans[dag.id(*c) as usize]
+                    .as_ref()
+                    .expect("children precede parents in postorder");
+                ChildStats {
+                    rw: p.rw_opt,
+                    dw: p.dw,
+                }
+            }));
+            dp::process_node(
+                ws,
+                k,
+                tree.weight(v),
+                nearly_mode,
+                true,
+                &mut plan,
+                stats.as_deref_mut(),
+            );
+        }
+        plans.insert(key, plan.clone());
+        run_plans[sid] = Some(plan);
+    }
+
+    dp::extract_with(
+        tree,
+        |v| {
+            run_plans[dag.id(v) as usize]
+                .as_ref()
+                .expect("every shape resolved")
+        },
+        out,
+    );
+
+    if let Some(st) = stats {
+        st.dag_nodes += dag.len() as u64;
+        st.dag_distinct += dag.distinct() as u64;
+        st.dag_hits += dag_hits;
+        st.dag_cross_run_hits += cross_run_hits;
+        st.bytes_allocated = ws.bytes();
+    }
+    Ok(())
+}
+
+/// DHW with structure sharing into caller-provided buffers: reuses the
+/// cache's DP workspace *and* its cross-run `(fingerprint, K)` plans.
+pub fn dhw_cached_into(
+    tree: &Tree,
+    k: Weight,
+    cache: &mut DagCache,
+    out: &mut Partitioning,
+) -> Result<(), PartitionError> {
+    partition_dag_into(tree, k, true, cache, None, out)
+}
+
+/// GHDW with structure sharing into caller-provided buffers.
+pub fn ghdw_cached_into(
+    tree: &Tree,
+    k: Weight,
+    cache: &mut DagCache,
+    out: &mut Partitioning,
+) -> Result<(), PartitionError> {
+    partition_dag_into(tree, k, false, cache, None, out)
+}
+
+/// Run cached DHW while collecting [`DpStats`] (cache hit rates, dedup
+/// ratio, dominance-pruning counters; see the `memoization` and `dp_speed`
+/// bench binaries and `natix partition --stats`).
+pub fn dhw_cached_with_statistics(
+    tree: &Tree,
+    k: Weight,
+) -> Result<(Partitioning, DpStats), PartitionError> {
+    cached_with_statistics(tree, k, true)
+}
+
+/// Run cached GHDW while collecting [`DpStats`].
+pub fn ghdw_cached_with_statistics(
+    tree: &Tree,
+    k: Weight,
+) -> Result<(Partitioning, DpStats), PartitionError> {
+    cached_with_statistics(tree, k, false)
+}
+
+fn cached_with_statistics(
+    tree: &Tree,
+    k: Weight,
+    nearly_mode: bool,
+) -> Result<(Partitioning, DpStats), PartitionError> {
+    let mut stats = DpStats::default();
+    let mut cache = DagCache::new();
+    let mut out = Partitioning::new();
+    partition_dag_into(tree, k, nearly_mode, &mut cache, Some(&mut stats), &mut out)?;
+    Ok((out, stats))
+}
+
+fn partition_cached(
+    tree: &Tree,
+    k: Weight,
+    nearly_mode: bool,
+) -> Result<Partitioning, PartitionError> {
+    let mut cache = DagCache::new();
+    let mut out = Partitioning::new();
+    partition_dag_into(tree, k, nearly_mode, &mut cache, None, &mut out)?;
+    Ok(out)
+}
+
+/// [`crate::Dhw`] on the structure-sharing engine: optimal tree sibling
+/// partitioning with one DP run per distinct weighted subtree shape and
+/// dominance-pruned rows. Output is byte-identical to plain DHW.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CachedDhw;
+
+impl Partitioner for CachedDhw {
+    fn name(&self) -> &'static str {
+        "DHW-C"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        partition_cached(tree, k, true)
+    }
+
+    fn is_main_memory_friendly(&self) -> bool {
+        false
+    }
+}
+
+/// [`crate::Ghdw`] on the structure-sharing engine; output is
+/// byte-identical to plain GHDW.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CachedGhdw;
+
+impl Partitioner for CachedGhdw {
+    fn name(&self) -> &'static str {
+        "GHDW-C"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        partition_cached(tree, k, false)
+    }
+
+    fn is_main_memory_friendly(&self) -> bool {
+        true
+    }
+}
+
+/// [`crate::Fdw`] on the structure-sharing engine. Accepts exactly the flat
+/// trees FDW accepts; on those the cached table-building engine emits the
+/// same optimal (minimal + lean) interval chain as the paper-literal
+/// Fig. 4 transcription — leaves dedup to one shape per weight, so the
+/// root's DP runs over a handful of distinct child summaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CachedFdw;
+
+impl Partitioner for CachedFdw {
+    fn name(&self) -> &'static str {
+        "FDW-C"
+    }
+
+    fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
+        check_input(tree, k)?;
+        for &c in tree.children(tree.root()) {
+            if !tree.is_leaf(c) {
+                return Err(PartitionError::NotFlat { node: c });
+            }
+        }
+        partition_cached(tree, k, true)
+    }
+
+    fn is_main_memory_friendly(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dhw, Fdw, Ghdw};
+    use natix_tree::{parse_spec, validate};
+
+    #[test]
+    fn dag_collapses_repeated_shapes() {
+        // Three identical row subtrees + one odd one out.
+        let t = parse_spec("r:1(a:1(x:2 y:3) b:1(x:2 y:3) c:1(x:2 y:3) d:1(x:2 y:4))").unwrap();
+        let dag = SubtreeDag::build(&t);
+        assert_eq!(dag.len(), 13);
+        // Shapes: root, row(2,3), row(2,4), leaf2, leaf3, leaf4.
+        assert_eq!(dag.distinct(), 6);
+        let rows = t.children(t.root());
+        assert_eq!(dag.id(rows[0]), dag.id(rows[1]));
+        assert_eq!(dag.id(rows[0]), dag.id(rows[2]));
+        assert_ne!(dag.id(rows[0]), dag.id(rows[3]));
+        assert_eq!(
+            dag.fingerprint(dag.id(rows[0])),
+            dag.fingerprint(dag.id(rows[1]))
+        );
+    }
+
+    #[test]
+    fn labels_do_not_affect_sharing() {
+        let t = parse_spec("r:1(a:2 completely_different_label:2)").unwrap();
+        let dag = SubtreeDag::build(&t);
+        let cs = t.children(t.root());
+        assert_eq!(dag.id(cs[0]), dag.id(cs[1]));
+    }
+
+    #[test]
+    fn fingerprints_are_tree_independent() {
+        // The same weighted shape embedded in two different documents gets
+        // the same fingerprint (the cross-run cache key).
+        let t1 = parse_spec("r:9(a:1(x:2 y:3) b:5)").unwrap();
+        let t2 = parse_spec("q:4(u:7 v:1(p:2 q:3))").unwrap();
+        let d1 = SubtreeDag::build(&t1);
+        let d2 = SubtreeDag::build(&t2);
+        let a = t1.children(t1.root())[0];
+        let v = t2.children(t2.root())[1];
+        assert_eq!(
+            d1.fingerprint(d1.id(a)),
+            d2.fingerprint(d2.id(v)),
+            "equal shapes in different trees must share fingerprints"
+        );
+        assert_ne!(
+            d1.fingerprint(d1.id(t1.root())),
+            d2.fingerprint(d2.id(t2.root()))
+        );
+    }
+
+    #[test]
+    fn sibling_order_matters() {
+        let t = parse_spec("r:1(a:1(x:2 y:3) b:1(x:3 y:2))").unwrap();
+        let dag = SubtreeDag::build(&t);
+        let cs = t.children(t.root());
+        assert_ne!(dag.id(cs[0]), dag.id(cs[1]), "child order is significant");
+    }
+
+    #[test]
+    fn cached_engines_match_plain_engines() {
+        let specs = [
+            "a:5(b:1 c:1(d:2 e:2) f:1)",
+            "a:3(b:2 c:2 d:2 e:2 f:2)",
+            "a:1(b:4 c:4 d:1)",
+            "r:1(a:1(x:2 y:3) b:1(x:2 y:3) c:1(x:2 y:3))",
+        ];
+        for spec in specs {
+            let t = parse_spec(spec).unwrap();
+            for k in [5u64, 8, 9, 16, 64] {
+                if t.max_node_weight() > k {
+                    continue;
+                }
+                let d = Dhw.partition(&t, k).unwrap();
+                let dc = CachedDhw.partition(&t, k).unwrap();
+                assert_eq!(d.intervals, dc.intervals, "DHW {spec} K={k}");
+                let g = Ghdw.partition(&t, k).unwrap();
+                let gc = CachedGhdw.partition(&t, k).unwrap();
+                assert_eq!(g.intervals, gc.intervals, "GHDW {spec} K={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_fdw_matches_fdw_exactly() {
+        let specs = [
+            "a:3(b:2 c:2 d:2 e:2 f:2)",
+            "a:1(b:1 c:2 d:3 e:4 f:5 g:1 h:1)",
+            "a:2(b:1 c:1 d:1 e:1 f:1 g:1 h:1 i:1 j:1)",
+            "a:4",
+        ];
+        for spec in specs {
+            let t = parse_spec(spec).unwrap();
+            for k in [5u64, 7, 10, 20] {
+                if t.max_node_weight() > k {
+                    continue;
+                }
+                let pf = Fdw.partition(&t, k).unwrap();
+                let pc = CachedFdw.partition(&t, k).unwrap();
+                assert_eq!(pf.intervals, pc.intervals, "{spec} K={k}");
+            }
+        }
+        // And it rejects what FDW rejects.
+        let deep = parse_spec("a:1(b:1(c:1))").unwrap();
+        assert!(matches!(
+            CachedFdw.partition(&deep, 10),
+            Err(PartitionError::NotFlat { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_run_cache_reuses_plans() {
+        let t = parse_spec("r:1(a:1(x:2 y:3) b:1(x:2 y:3) c:1(x:2 y:3))").unwrap();
+        let mut cache = DagCache::new();
+        let mut out = Partitioning::new();
+        dhw_cached_into(&t, 8, &mut cache, &mut out).unwrap();
+        let first = out.intervals.clone();
+        let cached_plans = cache.len();
+        assert!(cached_plans > 0);
+        // Same tree, same K: every shape hits the cross-run cache and the
+        // result is unchanged.
+        dhw_cached_into(&t, 8, &mut cache, &mut out).unwrap();
+        assert_eq!(out.intervals, first);
+        assert_eq!(cache.len(), cached_plans, "no new plans on a re-run");
+        // A different K misses (plans depend on K) and adds new entries.
+        dhw_cached_into(&t, 6, &mut cache, &mut out).unwrap();
+        assert!(cache.len() > cached_plans);
+        validate(&t, 6, &out).unwrap();
+        // An overlapping *different* tree reuses the shared row shape.
+        let t2 = parse_spec("top:2(p:1(x:2 y:3) q:1(x:2 y:3))").unwrap();
+        let before = cache.len();
+        dhw_cached_into(&t2, 8, &mut cache, &mut out).unwrap();
+        let expect = Dhw.partition(&t2, 8).unwrap();
+        assert_eq!(out.intervals, expect.intervals);
+        // Only the genuinely new shapes (t2's root, its row element count
+        // differs) were inserted.
+        assert!(cache.len() > before);
+        assert!(cache.len() - before < 3);
+    }
+
+    #[test]
+    fn statistics_report_sharing() {
+        let t = parse_spec("r:1(a:1(x:2 y:3) b:1(x:2 y:3) c:1(x:2 y:3) d:1(x:2 y:3))").unwrap();
+        let (p, stats) = dhw_cached_with_statistics(&t, 8).unwrap();
+        validate(&t, 8, &p).unwrap();
+        // Shapes: root, row(2,3), leaf-2, leaf-3.
+        assert_eq!(stats.dag_nodes, 13);
+        assert_eq!(stats.dag_distinct, 4);
+        assert_eq!(stats.dag_hits, 13 - 4);
+        assert_eq!(stats.dag_cross_run_hits, 0);
+        assert!(stats.dag_dedup_ratio() > 2.5);
+        assert!(stats.dag_hit_rate() > 0.6);
+        // Only distinct inner shapes run the DP: root + one row shape.
+        assert_eq!(stats.inner_nodes, 2);
+    }
+}

@@ -38,7 +38,7 @@
 //! implementation is retained in [`crate::baseline`] for differential tests
 //! and benchmarks.
 
-use natix_tree::{Partitioning, SiblingInterval, Tree, Weight};
+use natix_tree::{NodeId, Partitioning, SiblingInterval, Tree, Weight};
 
 use crate::{check_input, PartitionError, Partitioner};
 
@@ -105,6 +105,7 @@ pub(crate) struct ChildStats {
 
 /// A local interval of the per-node plan: child-index range plus the set of
 /// members forced to nearly-optimal subtree partitionings.
+#[derive(Clone)]
 struct PlanInterval {
     begin: u32,
     end: u32,
@@ -113,7 +114,12 @@ struct PlanInterval {
 
 /// Result of processing one node: enough to (a) collapse it for the parent
 /// level and (b) extract the global partitioning top-down at the end.
-#[derive(Default)]
+///
+/// A plan is a pure function of the node's *weighted subtree shape* (its
+/// weight, the ordered shapes of its children) plus `(K, nearly_mode)`; the
+/// structure-sharing engine in [`crate::dag`] exploits exactly this by
+/// cloning one plan per distinct shape instead of recomputing it per node.
+#[derive(Default, Clone)]
 pub(crate) struct NodePlan {
     /// `D(v).rootweight`.
     pub(crate) rw_opt: Weight,
@@ -196,7 +202,7 @@ impl DpWorkspace {
 
     /// Bytes currently held by the workspace buffers (capacities, i.e. the
     /// peak footprint of the run since buffers never shrink).
-    fn bytes(&self) -> u64 {
+    pub(crate) fn bytes(&self) -> u64 {
         (self.entries.capacity() * std::mem::size_of::<Entry>()
             + self.rows.capacity() * std::mem::size_of::<RowMeta>()
             + self.index.capacity() * std::mem::size_of::<u32>()
@@ -222,6 +228,15 @@ struct NodeDp<'a> {
     slab: usize,
     /// Whether the dense `s`-index is in use for this node.
     dense: bool,
+    /// Whether dominance pruning is enabled (the structure-sharing engine
+    /// of [`crate::dag`]; the plain engine keeps the paper-literal scan).
+    prune: bool,
+    /// Interval candidates skipped because their best-possible
+    /// `(cardinality, root weight)` was Pareto-dominated by the incumbent.
+    pruned_candidates: u64,
+    /// `m`-scans cut short because the monotone forced-member floor proved
+    /// every remaining candidate dominated.
+    scan_breaks: u64,
     children: &'a [ChildStats],
     entries: &'a mut Vec<Entry>,
     rows: &'a mut Vec<RowMeta>,
@@ -309,6 +324,28 @@ impl NodeDp<'_> {
     /// `j-1` joins the root partition) and adding one of the intervals
     /// `(c_{j-1-m}, c_{j-1})`, possibly forcing some members to
     /// nearly-optimal subtree partitionings.
+    ///
+    /// ## Dominance pruning (`self.prune`)
+    ///
+    /// The forced-member count `taken` is non-decreasing in `m`: growing the
+    /// interval by one member raises the excess weight by `rw` while the new
+    /// ΔW candidate contributes at most `dw ≤ rw`, so a prefix that was too
+    /// small stays too small. `taken_floor` (the last materialized `taken`)
+    /// is therefore a valid lower bound for every later candidate, giving
+    /// each one a best-possible result of
+    /// `(prev.card + 1 + taken_floor, prev.rootweight)`:
+    ///
+    /// * if that pair is Pareto-dominated by the incumbent `best` under the
+    ///   lexicographic (cardinality, root-weight) order, the candidate
+    ///   cannot win and its greedy forcing loop and pool writes are skipped;
+    /// * once even a zero-cardinality predecessor is dominated
+    ///   (`taken_floor + 1 > best.card`), *every* remaining candidate is,
+    ///   and the whole scan stops instead of fanning out to `m = K`.
+    ///
+    /// Only non-improving candidates are skipped — the original code ignores
+    /// those too — so the selected entry (and the final partitioning) is
+    /// byte-identical with pruning on or off; the differential suites
+    /// enforce this.
     fn compute(&mut self, s: Weight, j: usize) -> Entry {
         let s2 = s + self.children[j - 1].rw;
         let mut best = self.get(s2, j - 1);
@@ -324,8 +361,16 @@ impl NodeDp<'_> {
         self.cand.clear();
         let mut w: Weight = 0; // Σ optimal root weights of members
         let mut dw_sum: Weight = 0; // Σ ΔW of members
+        let mut taken_floor: u64 = 0; // monotone lower bound on `taken`
         let mut m = 0usize;
         while m < j && (m as u64) < self.k && w - dw_sum < self.k {
+            if self.prune && best.card != INFEASIBLE && taken_floor + 1 > best.card {
+                // Even a predecessor of cardinality 0 needs at least
+                // `taken_floor` forced members: no remaining interval can
+                // reach best.card, let alone beat it.
+                self.scan_breaks += 1;
+                break;
+            }
             let ci = j - 1 - m;
             let cs = self.children[ci];
             w += cs.rw;
@@ -338,6 +383,18 @@ impl NodeDp<'_> {
             if w - dw_sum <= self.k {
                 let prev = self.entries[s_start + ci];
                 if prev.card != INFEASIBLE {
+                    if self.prune {
+                        let crd_lb = prev.card + 1 + taken_floor;
+                        if crd_lb > best.card
+                            || (crd_lb == best.card && prev.rootweight >= best.rootweight)
+                        {
+                            // Dominated: the candidate's best possible
+                            // (card, rootweight) cannot strictly improve.
+                            self.pruned_candidates += 1;
+                            m += 1;
+                            continue;
+                        }
+                    }
                     // Greedily force nearly-optimal partitionings (largest
                     // ΔW first) until the interval fits.
                     let mut crd = prev.card + 1;
@@ -349,6 +406,7 @@ impl NodeDp<'_> {
                         taken += 1;
                         crd += 1;
                     }
+                    taken_floor = taken as u64;
                     let rw = prev.rootweight;
                     if crd < best.card || (crd == best.card && rw < best.rootweight) {
                         self.nearly_pool.truncate(pool_base);
@@ -404,6 +462,7 @@ pub(crate) fn process_node(
     k: Weight,
     w_v: Weight,
     nearly_mode: bool,
+    prune: bool,
     plan: &mut NodePlan,
     stats: Option<&mut DpStats>,
 ) {
@@ -435,6 +494,9 @@ pub(crate) fn process_node(
         base: w_v,
         slab: nc + 1,
         dense,
+        prune,
+        pruned_candidates: 0,
+        scan_breaks: 0,
         children: child_stats,
         entries,
         rows,
@@ -482,6 +544,8 @@ pub(crate) fn process_node(
         st.max_rows = st.max_rows.max(dp.rows.len());
         st.total_entries += dp.rows.iter().map(|r| r.len as u64).sum::<u64>();
         st.arena_entries += (dp.rows.len() * dp.slab) as u64;
+        st.pruned_candidates += dp.pruned_candidates;
+        st.pruned_scans += dp.scan_breaks;
     }
 
     // Leave the dense index all-zero for the next node.
@@ -512,6 +576,24 @@ pub struct DpStats {
     /// row representation instead paid per-row `HashMap` + `Vec` + boxed
     /// nearly-set allocations; see the `memoization` bench binary).
     pub bytes_allocated: u64,
+    /// Nodes covered by the structure-sharing engine (0 for the plain
+    /// engine, which never builds a DAG).
+    pub dag_nodes: u64,
+    /// Distinct weighted subtree shapes (minimal-DAG nodes / distinct
+    /// fingerprints) among `dag_nodes`.
+    pub dag_distinct: u64,
+    /// Nodes whose plan was spliced from the within-run shape cache instead
+    /// of being recomputed (`dag_nodes − dag_distinct` when the cross-run
+    /// cache starts empty).
+    pub dag_hits: u64,
+    /// Distinct shapes served by the cross-run `(fingerprint, K)` cache.
+    pub dag_cross_run_hits: u64,
+    /// Interval candidates skipped by dominance pruning (their best-possible
+    /// (cardinality, root-weight) was Pareto-dominated by the incumbent).
+    pub pruned_candidates: u64,
+    /// Candidate scans cut short entirely once the monotone forced-member
+    /// floor dominated every remaining start position.
+    pub pruned_scans: u64,
 }
 
 impl DpStats {
@@ -521,6 +603,26 @@ impl DpStats {
             0.0
         } else {
             self.total_rows as f64 / self.inner_nodes as f64
+        }
+    }
+
+    /// Structure-sharing ratio: nodes per distinct weighted subtree shape
+    /// (1.0 = no sharing; `partsupp`-like relational data reaches 100×+).
+    pub fn dag_dedup_ratio(&self) -> f64 {
+        if self.dag_distinct == 0 {
+            1.0
+        } else {
+            self.dag_nodes as f64 / self.dag_distinct as f64
+        }
+    }
+
+    /// Fraction of nodes served from the shape cache instead of running
+    /// the per-node DP (0.0 for the plain engine).
+    pub fn dag_hit_rate(&self) -> f64 {
+        if self.dag_nodes == 0 {
+            0.0
+        } else {
+            self.dag_hits as f64 / self.dag_nodes as f64
         }
     }
 }
@@ -535,6 +637,18 @@ pub fn dhw_with_statistics(
     let mut ws = DpWorkspace::new();
     let mut out = Partitioning::new();
     partition_dp_into(tree, k, true, &mut ws, Some(&mut stats), &mut out)?;
+    Ok((out, stats))
+}
+
+/// Run GHDW while collecting [`DpStats`].
+pub fn ghdw_with_statistics(
+    tree: &Tree,
+    k: Weight,
+) -> Result<(Partitioning, DpStats), PartitionError> {
+    let mut stats = DpStats::default();
+    let mut ws = DpWorkspace::new();
+    let mut out = Partitioning::new();
+    partition_dp_into(tree, k, false, &mut ws, Some(&mut stats), &mut out)?;
     Ok((out, stats))
 }
 
@@ -602,7 +716,15 @@ pub(crate) fn partition_dp_into(
             }
         }));
         let mut plan = std::mem::take(&mut plans[v.index()]);
-        process_node(ws, k, w_v, nearly_mode, &mut plan, stats.as_deref_mut());
+        process_node(
+            ws,
+            k,
+            w_v,
+            nearly_mode,
+            false,
+            &mut plan,
+            stats.as_deref_mut(),
+        );
         plans[v.index()] = plan;
     }
 
@@ -618,13 +740,24 @@ pub(crate) fn partition_dp_into(
 /// switching a subtree to its nearly-optimal plan exactly where an interval
 /// entry forced it (`N` sets).
 pub(crate) fn extract_into(tree: &Tree, plans: &[NodePlan], out: &mut Partitioning) {
+    extract_with(tree, |v| &plans[v.index()], out);
+}
+
+/// [`extract_into`] over an arbitrary node → plan mapping; the
+/// structure-sharing engine reads one shared plan per distinct subtree
+/// shape instead of a dense per-node array.
+pub(crate) fn extract_with<'a>(
+    tree: &Tree,
+    plan_of: impl Fn(NodeId) -> &'a NodePlan,
+    out: &mut Partitioning,
+) {
     out.intervals.clear();
     out.push(SiblingInterval::singleton(tree.root()));
     // (node, use_nearly_plan)
     let mut stack = vec![(tree.root(), false)];
     let mut covered: Vec<bool> = Vec::new();
     while let Some((v, use_nearly)) = stack.pop() {
-        let plan = &plans[v.index()];
+        let plan = plan_of(v);
         let ivs: &[PlanInterval] = if use_nearly {
             plan.nearly
                 .as_deref()

@@ -35,6 +35,7 @@
 pub mod baseline;
 mod bfs;
 mod brute;
+pub mod dag;
 mod dfs;
 mod dp;
 mod ekm;
@@ -47,9 +48,14 @@ mod streaming;
 
 pub use bfs::Bfs;
 pub use brute::{brute_force, BruteForce, BruteForceResult};
+pub use dag::{
+    dhw_cached_into, dhw_cached_with_statistics, ghdw_cached_into, ghdw_cached_with_statistics,
+    CachedDhw, CachedFdw, CachedGhdw, DagCache, SubtreeDag,
+};
 pub use dfs::Dfs;
 pub use dp::{
-    dhw_partition_into, dhw_with_statistics, ghdw_partition_into, Dhw, DpStats, DpWorkspace, Ghdw,
+    dhw_partition_into, dhw_with_statistics, ghdw_partition_into, ghdw_with_statistics, Dhw,
+    DpStats, DpWorkspace, Ghdw,
 };
 pub use ekm::{BinaryView, Ekm};
 pub use fdw::Fdw;

@@ -19,6 +19,18 @@
 //! heuristic, which the equivalence property tests use to force multi-job
 //! schedules on small random trees.
 //!
+//! ## Structure sharing
+//!
+//! With [`ParallelDhw::dag_cache`] enabled (the default) the scheduler
+//! composes with the [`crate::dag`] engine: the minimal subtree DAG is
+//! built once up front, each worker keeps a **per-worker shape cache**
+//! (`Vec<Option<NodePlan>>` indexed by DAG shape id, persisting across its
+//! jobs), and the merge is first-wins per shape. Because a [`NodePlan`] is
+//! a pure function of `(weighted subtree shape, K, mode)`, two workers that
+//! both compute a shape produce identical plans, so first-wins is
+//! value-deterministic regardless of scheduling order. The residual pass
+//! then only runs the DP for shapes no job resolved.
+//!
 //! ## Determinism
 //!
 //! Parallel output is **byte-identical** to sequential output (the same
@@ -27,13 +39,15 @@
 //! computes a plan — each node is computed exactly once, after its children
 //! — and the final top-down extraction runs over the same merged plan array
 //! the sequential driver would produce. The property suite asserts raw
-//! interval-vector equality across thread counts.
+//! interval-vector equality across thread counts, with the cache on and
+//! off.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use natix_tree::{NodeId, Partitioning, Tree, Weight};
 
+use crate::dag::{DagCache, SubtreeDag};
 use crate::dp::{self, ChildStats, DpWorkspace, NodePlan};
 use crate::{check_input, PartitionError, Partitioner};
 
@@ -58,14 +72,20 @@ fn partition_parallel(
     nearly_mode: bool,
     threads: usize,
     job_target: Option<usize>,
+    dag_cache: bool,
 ) -> Result<Partitioning, PartitionError> {
     check_input(tree, k)?;
     let n = tree.len();
     let threads = threads.max(1);
     if threads == 1 || (n < SEQUENTIAL_CUTOFF && job_target.is_none()) {
-        let mut ws = DpWorkspace::new();
         let mut out = Partitioning::new();
-        dp::partition_dp_into(tree, k, nearly_mode, &mut ws, None, &mut out)?;
+        if dag_cache {
+            let mut cache = DagCache::new();
+            crate::dag::partition_dag_into(tree, k, nearly_mode, &mut cache, None, &mut out)?;
+        } else {
+            let mut ws = DpWorkspace::new();
+            dp::partition_dp_into(tree, k, nearly_mode, &mut ws, None, &mut out)?;
+        }
         return Ok(out);
     }
 
@@ -95,6 +115,105 @@ fn partition_parallel(
 
     let worker_count = threads.min(jobs.len());
     let next = AtomicUsize::new(0);
+
+    if dag_cache {
+        let dag = SubtreeDag::build(tree);
+        let dag = &dag;
+        let results: Vec<Vec<(u32, NodePlan)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..worker_count)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ws = DpWorkspace::new();
+                        let mut scratch: Vec<NodeId> = Vec::new();
+                        // Per-worker shape cache, persistent across jobs.
+                        let mut local: Vec<Option<NodePlan>> = vec![None; dag.distinct()];
+                        let mut out: Vec<(u32, NodePlan)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            run_job_cached(
+                                tree,
+                                k,
+                                nearly_mode,
+                                jobs[i],
+                                dag,
+                                &mut ws,
+                                &mut scratch,
+                                &mut local,
+                                &mut out,
+                            );
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partitioning worker panicked"))
+                .collect()
+        });
+
+        // First-wins merge per shape: plans are pure per shape, so any
+        // worker's copy is THE plan for that shape.
+        let mut run_plans: Vec<Option<NodePlan>> = vec![None; dag.distinct()];
+        for batch in results {
+            for (sid, plan) in batch {
+                let slot = &mut run_plans[sid as usize];
+                if slot.is_none() {
+                    *slot = Some(plan);
+                }
+            }
+        }
+        // Residual: shapes no job resolved (the top of the tree, plus any
+        // shape that only occurs there).
+        let mut ws = DpWorkspace::new();
+        for v in tree.postorder() {
+            let sid = dag.id(v) as usize;
+            if run_plans[sid].is_some() {
+                continue;
+            }
+            let children = tree.children(v);
+            let mut plan = NodePlan::default();
+            if children.is_empty() {
+                plan.set_leaf(tree.weight(v));
+            } else {
+                ws.set_children(children.iter().map(|c| {
+                    let p = run_plans[dag.id(*c) as usize]
+                        .as_ref()
+                        .expect("children precede parents in postorder");
+                    ChildStats {
+                        rw: p.rw_opt,
+                        dw: p.dw,
+                    }
+                }));
+                dp::process_node(
+                    &mut ws,
+                    k,
+                    tree.weight(v),
+                    nearly_mode,
+                    true,
+                    &mut plan,
+                    None,
+                );
+            }
+            run_plans[sid] = Some(plan);
+        }
+
+        let mut out = Partitioning::new();
+        dp::extract_with(
+            tree,
+            |v| {
+                run_plans[dag.id(v) as usize]
+                    .as_ref()
+                    .expect("every shape resolved")
+            },
+            &mut out,
+        );
+        return Ok(out);
+    }
+
     let results: Vec<Vec<(u32, NodePlan)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..worker_count)
             .map(|_| {
@@ -156,7 +275,7 @@ fn partition_parallel(
             }
         }));
         let mut plan = std::mem::take(&mut plans[v.index()]);
-        dp::process_node(&mut ws, k, w_v, nearly_mode, &mut plan, None);
+        dp::process_node(&mut ws, k, w_v, nearly_mode, false, &mut plan, None);
         plans[v.index()] = plan;
     }
 
@@ -201,11 +320,62 @@ fn run_job(
                     dw: p.dw,
                 }
             }));
-            dp::process_node(ws, k, w_v, nearly_mode, &mut plan, None);
+            dp::process_node(ws, k, w_v, nearly_mode, false, &mut plan, None);
         }
         local.insert(v.index(), plan);
     }
     out.extend(local.into_iter().map(|(i, p)| (i as u32, p)));
+}
+
+/// Process one job with structure sharing: one DP run per distinct shape in
+/// the subtree that this worker has not already resolved, appending
+/// `(shape id, plan)` pairs to `out`.
+#[allow(clippy::too_many_arguments)]
+fn run_job_cached(
+    tree: &Tree,
+    k: Weight,
+    nearly_mode: bool,
+    root: NodeId,
+    dag: &SubtreeDag,
+    ws: &mut DpWorkspace,
+    scratch: &mut Vec<NodeId>,
+    local: &mut [Option<NodePlan>],
+    out: &mut Vec<(u32, NodePlan)>,
+) {
+    scratch.clear();
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        scratch.push(v);
+        stack.extend(tree.children(v).iter().copied());
+    }
+    // Child ids exceed parent ids, so descending id order is a valid
+    // bottom-up schedule within the subtree.
+    scratch.sort_unstable_by_key(|v| std::cmp::Reverse(v.index()));
+
+    for &v in scratch.iter() {
+        let sid = dag.id(v) as usize;
+        if local[sid].is_some() {
+            continue;
+        }
+        let children = tree.children(v);
+        let mut plan = NodePlan::default();
+        if children.is_empty() {
+            plan.set_leaf(tree.weight(v));
+        } else {
+            ws.set_children(children.iter().map(|c| {
+                let p = local[dag.id(*c) as usize]
+                    .as_ref()
+                    .expect("children precede parents within a job");
+                ChildStats {
+                    rw: p.rw_opt,
+                    dw: p.dw,
+                }
+            }));
+            dp::process_node(ws, k, tree.weight(v), nearly_mode, true, &mut plan, None);
+        }
+        local[sid] = Some(plan.clone());
+        out.push((sid as u32, plan));
+    }
 }
 
 /// Parallel [`crate::Dhw`]: optimal tree sibling partitioning with the DP
@@ -218,14 +388,27 @@ pub struct ParallelDhw {
     /// Job-size cutoff override; `None` uses the documented heuristic.
     /// Mainly for tests that need multi-job schedules on small trees.
     pub job_target: Option<usize>,
+    /// Compose with the structure-sharing engine (per-worker shape caches
+    /// over the minimal subtree DAG; see the module docs). On by default;
+    /// `false` is the plain per-node engine (CLI `--no-dag-cache`).
+    pub dag_cache: bool,
 }
 
 impl ParallelDhw {
-    /// Parallel DHW with the heuristic job cutoff.
+    /// Parallel DHW with the heuristic job cutoff and structure sharing.
     pub fn new(threads: usize) -> ParallelDhw {
         ParallelDhw {
             threads,
             job_target: None,
+            dag_cache: true,
+        }
+    }
+
+    /// Parallel DHW with structure sharing disabled.
+    pub fn without_dag_cache(threads: usize) -> ParallelDhw {
+        ParallelDhw {
+            dag_cache: false,
+            ..ParallelDhw::new(threads)
         }
     }
 }
@@ -242,7 +425,7 @@ impl Partitioner for ParallelDhw {
     }
 
     fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
-        partition_parallel(tree, k, true, self.threads, self.job_target)
+        partition_parallel(tree, k, true, self.threads, self.job_target, self.dag_cache)
     }
 
     fn is_main_memory_friendly(&self) -> bool {
@@ -257,14 +440,25 @@ pub struct ParallelGhdw {
     pub threads: usize,
     /// Job-size cutoff override; `None` uses the documented heuristic.
     pub job_target: Option<usize>,
+    /// Compose with the structure-sharing engine; see [`ParallelDhw`].
+    pub dag_cache: bool,
 }
 
 impl ParallelGhdw {
-    /// Parallel GHDW with the heuristic job cutoff.
+    /// Parallel GHDW with the heuristic job cutoff and structure sharing.
     pub fn new(threads: usize) -> ParallelGhdw {
         ParallelGhdw {
             threads,
             job_target: None,
+            dag_cache: true,
+        }
+    }
+
+    /// Parallel GHDW with structure sharing disabled.
+    pub fn without_dag_cache(threads: usize) -> ParallelGhdw {
+        ParallelGhdw {
+            dag_cache: false,
+            ..ParallelGhdw::new(threads)
         }
     }
 }
@@ -281,7 +475,14 @@ impl Partitioner for ParallelGhdw {
     }
 
     fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
-        partition_parallel(tree, k, false, self.threads, self.job_target)
+        partition_parallel(
+            tree,
+            k,
+            false,
+            self.threads,
+            self.job_target,
+            self.dag_cache,
+        )
     }
 
     fn is_main_memory_friendly(&self) -> bool {
@@ -315,24 +516,28 @@ mod tests {
         let seq_g = Ghdw.partition(&t, 16).unwrap();
         for threads in 1..=4 {
             for job_target in [1usize, 4, 16, 1000] {
-                let par_d = ParallelDhw {
-                    threads,
-                    job_target: Some(job_target),
-                };
-                let par_g = ParallelGhdw {
-                    threads,
-                    job_target: Some(job_target),
-                };
-                let pd = par_d.partition(&t, 16).unwrap();
-                let pg = par_g.partition(&t, 16).unwrap();
-                assert_eq!(
-                    pd.intervals, seq_d.intervals,
-                    "DHW t={threads} target={job_target}"
-                );
-                assert_eq!(
-                    pg.intervals, seq_g.intervals,
-                    "GHDW t={threads} target={job_target}"
-                );
+                for dag_cache in [false, true] {
+                    let par_d = ParallelDhw {
+                        threads,
+                        job_target: Some(job_target),
+                        dag_cache,
+                    };
+                    let par_g = ParallelGhdw {
+                        threads,
+                        job_target: Some(job_target),
+                        dag_cache,
+                    };
+                    let pd = par_d.partition(&t, 16).unwrap();
+                    let pg = par_g.partition(&t, 16).unwrap();
+                    assert_eq!(
+                        pd.intervals, seq_d.intervals,
+                        "DHW t={threads} target={job_target} cache={dag_cache}"
+                    );
+                    assert_eq!(
+                        pg.intervals, seq_g.intervals,
+                        "GHDW t={threads} target={job_target} cache={dag_cache}"
+                    );
+                }
             }
         }
     }
@@ -345,6 +550,8 @@ mod tests {
         let par = ParallelDhw::new(4).partition(&t, 24).unwrap();
         assert_eq!(par.intervals, seq.intervals);
         validate(&t, 24, &par).unwrap();
+        let plain = ParallelDhw::without_dag_cache(4).partition(&t, 24).unwrap();
+        assert_eq!(plain.intervals, seq.intervals);
     }
 
     #[test]

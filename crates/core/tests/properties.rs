@@ -6,9 +6,11 @@
 //! and against DHW as a lower bound.
 
 use natix_core::{
-    baseline, brute_force, check_input, evaluation_algorithms, Dhw, Fdw, Ghdw, Km, ParallelDhw,
-    ParallelGhdw, Partitioner,
+    baseline, brute_force, check_input, dhw_cached_into, dhw_cached_with_statistics,
+    evaluation_algorithms, CachedDhw, CachedFdw, CachedGhdw, DagCache, Dhw, Fdw, Ghdw, Km,
+    ParallelDhw, ParallelGhdw, Partitioner,
 };
+use natix_tree::Partitioning;
 use natix_tree::{validate, NodeId, Tree, TreeBuilder, Weight};
 use proptest::prelude::*;
 
@@ -183,21 +185,25 @@ proptest! {
     ) {
         prop_assume!(check_input(&tree, k).is_ok());
         let seq_d = Dhw.partition(&tree, k).unwrap();
-        let par_d = ParallelDhw { threads, job_target: Some(job_target) }
-            .partition(&tree, k)
-            .unwrap();
-        prop_assert_eq!(
-            &par_d.intervals, &seq_d.intervals,
-            "DHW tree={} K={} threads={} job_target={}", tree, k, threads, job_target
-        );
         let seq_g = Ghdw.partition(&tree, k).unwrap();
-        let par_g = ParallelGhdw { threads, job_target: Some(job_target) }
-            .partition(&tree, k)
-            .unwrap();
-        prop_assert_eq!(
-            &par_g.intervals, &seq_g.intervals,
-            "GHDW tree={} K={} threads={} job_target={}", tree, k, threads, job_target
-        );
+        for dag_cache in [false, true] {
+            let par_d = ParallelDhw { threads, job_target: Some(job_target), dag_cache }
+                .partition(&tree, k)
+                .unwrap();
+            prop_assert_eq!(
+                &par_d.intervals, &seq_d.intervals,
+                "DHW tree={} K={} threads={} job_target={} cache={}",
+                tree, k, threads, job_target, dag_cache
+            );
+            let par_g = ParallelGhdw { threads, job_target: Some(job_target), dag_cache }
+                .partition(&tree, k)
+                .unwrap();
+            prop_assert_eq!(
+                &par_g.intervals, &seq_g.intervals,
+                "GHDW tree={} K={} threads={} job_target={} cache={}",
+                tree, k, threads, job_target, dag_cache
+            );
+        }
     }
 
     /// The flat-arena DP agrees interval-for-interval with the retained
@@ -211,6 +217,58 @@ proptest! {
         let arena_g = Ghdw.partition(&tree, k).unwrap();
         let base_g = baseline::ghdw_hashmap(&tree, k).unwrap();
         prop_assert_eq!(&arena_g.intervals, &base_g.intervals, "GHDW tree={} K={}", tree, k);
+    }
+
+    /// The structure-sharing engine (hash-consed subtree DAG + dominance
+    /// pruning) is interval-for-interval identical to the plain engine AND
+    /// to the pre-arena `HashMap` baseline, for DHW and GHDW alike.
+    #[test]
+    fn dag_cached_identical_to_uncached((tree, k) in medium_tree_and_limit()) {
+        prop_assume!(check_input(&tree, k).is_ok());
+        let plain_d = Dhw.partition(&tree, k).unwrap();
+        let cached_d = CachedDhw.partition(&tree, k).unwrap();
+        prop_assert_eq!(&cached_d.intervals, &plain_d.intervals, "DHW tree={} K={}", tree, k);
+        let base_d = baseline::dhw_hashmap(&tree, k).unwrap();
+        prop_assert_eq!(&cached_d.intervals, &base_d.intervals, "DHW/base tree={} K={}", tree, k);
+        let plain_g = Ghdw.partition(&tree, k).unwrap();
+        let cached_g = CachedGhdw.partition(&tree, k).unwrap();
+        prop_assert_eq!(&cached_g.intervals, &plain_g.intervals, "GHDW tree={} K={}", tree, k);
+    }
+
+    /// Cached FDW accepts exactly the flat trees FDW accepts and emits the
+    /// identical interval chain.
+    #[test]
+    fn dag_cached_fdw_identical_to_fdw((tree, k) in flat_tree_and_limit()) {
+        prop_assume!(check_input(&tree, k).is_ok());
+        let pf = Fdw.partition(&tree, k).unwrap();
+        let pc = CachedFdw.partition(&tree, k).unwrap();
+        prop_assert_eq!(&pc.intervals, &pf.intervals, "tree={} K={}", tree, k);
+    }
+
+    /// Reusing one `DagCache` across many trees and limits (the cross-run
+    /// `(fingerprint, K)` plan cache) never changes any result, and its
+    /// statistics stay consistent.
+    #[test]
+    fn dag_cache_reuse_is_transparent(
+        (t1, k1) in medium_tree_and_limit(),
+        (t2, k2) in medium_tree_and_limit(),
+    ) {
+        prop_assume!(check_input(&t1, k1).is_ok());
+        prop_assume!(check_input(&t2, k2).is_ok());
+        let mut cache = DagCache::new();
+        let mut out = Partitioning::new();
+        for (t, k) in [(&t1, k1), (&t2, k2), (&t1, k1), (&t1, k2), (&t2, k1)] {
+            if check_input(t, k).is_err() {
+                continue;
+            }
+            dhw_cached_into(t, k, &mut cache, &mut out).unwrap();
+            let fresh = Dhw.partition(t, k).unwrap();
+            prop_assert_eq!(&out.intervals, &fresh.intervals, "tree={} K={}", t, k);
+        }
+        let (_, stats) = dhw_cached_with_statistics(&t1, k1).unwrap();
+        prop_assert_eq!(stats.dag_nodes as usize, t1.len());
+        prop_assert!(stats.dag_distinct <= stats.dag_nodes);
+        prop_assert_eq!(stats.dag_hits, stats.dag_nodes - stats.dag_distinct);
     }
 }
 

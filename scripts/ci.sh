@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> dp_speed --quick (DP engine smoke: cached == uncached, sharing + pruning active)"
+cargo run --release -p natix-bench --bin dp_speed -- --quick
+
 echo "CI OK"
