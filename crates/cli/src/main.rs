@@ -8,7 +8,16 @@
 //! natix query     <store.natix> '<xpath>' [--count]
 //! natix dump      <store.natix>
 //! natix stats     <store.natix>
+//! natix soak      [--quick] [--seed N] [--replay <script>]
 //! ```
+//!
+//! `natix soak` runs the model-based crash/update fuzz harness of
+//! `natix-testkit`: seeded update traces over the Table 1 evaluation
+//! documents, each step checked against an in-memory oracle and swept
+//! with power cuts (clean and torn) at every write event. `--quick` is
+//! the CI smoke tier (seconds); the default full campaign exercises
+//! over a thousand crash points. Failing traces are shrunk and printed
+//! as replayable scripts; `--replay` re-runs such a script.
 //!
 //! `--threads N` runs the table-building algorithms (DHW, GHDW) on N worker
 //! threads; the output is identical to the sequential run. It defaults to
@@ -43,7 +52,8 @@ fn usage() -> ExitCode {
          [--no-dag-cache]\n  \
          natix query <store.natix> '<xpath>' [--count]\n  \
          natix dump <store.natix>\n  \
-         natix stats <store.natix>\n\
+         natix stats <store.natix>\n  \
+         natix soak [--quick] [--seed N] [--replay <script>]\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
          --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
@@ -314,6 +324,67 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `natix soak`: run the crash/update fuzz campaign (or replay a shrunk
+/// failure script). Progress goes to stderr, the summary to stdout; a
+/// non-zero exit means at least one shrunk failure was printed.
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut replay_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("missing value for --seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?,
+                );
+            }
+            "--replay" => {
+                replay_path = Some(it.next().ok_or("missing value for --replay")?.clone());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if let Some(path) = replay_path {
+        let script = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = natix_testkit::replay(&script)?;
+        println!(
+            "replay ok: {} ops applied ({} skipped), {} crash points",
+            outcome.ops_applied, outcome.ops_skipped, outcome.crash_points
+        );
+        return Ok(());
+    }
+    let mut cfg = if quick {
+        natix_testkit::CampaignConfig::quick()
+    } else {
+        natix_testkit::CampaignConfig::full()
+    };
+    if let Some(s) = seed {
+        cfg.fuzz_seeds = vec![s];
+    }
+    let report = natix_testkit::run_campaign(&cfg, |line| eprintln!("  {line}"));
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+    println!(
+        "soak ({}): {}",
+        if quick { "quick" } else { "full" },
+        report.summary()
+    );
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} failure(s); replay scripts printed above",
+            report.failures.len()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -326,6 +397,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "dump" => cmd_dump(rest),
         "stats" => cmd_stats(rest),
+        "soak" => cmd_soak(rest),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command {other}")),
     };

@@ -1,15 +1,31 @@
-//! On-disk catalog: header page + serialized record directory and label
-//! table, so a bulkloaded store can be reopened from its page file.
+//! On-disk catalog: dual header pages + serialized record directory and
+//! label table, so a bulkloaded store can be reopened from its page file.
 //!
-//! Layout: page 0 is the header page (magic, root record, catalog
-//! location); the catalog itself (directory entries + labels) is written
-//! across dedicated pages appended after the data pages.
+//! Layout (format version 2): pages 0 and 1 are *ping-pong header slots*.
+//! A header carries an epoch, the catalog location, and (while a commit is
+//! being checkpointed) a redo-journal location, protected by an FNV-64
+//! checksum. Header epoch `E` lives in slot `E % 2`, so publishing epoch
+//! `E + 1` never overwrites the current header — a torn header write can
+//! only corrupt the slot being replaced, and `open` falls back to the
+//! surviving one. The catalog itself (directory entries + labels) is
+//! written across dedicated pages appended after the data pages.
 
 use crate::page::PAGE_SIZE;
-use crate::pager::{StoreError, StoreResult};
+use crate::pager::{PageId, StoreError, StoreResult};
 
-/// Magic bytes identifying a Natix store page file (version 1).
-pub const MAGIC: &[u8; 8] = b"NATIXST1";
+/// Magic bytes identifying a Natix store page file (format version 2:
+/// dual checksummed headers + redo journal).
+pub const MAGIC: &[u8; 8] = b"NATIXST2";
+
+/// FNV-1a 64-bit hash, used as the header and journal checksum.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
 
 /// Where a record's bytes live (public within the crate; the store keeps
 /// the authoritative copy).
@@ -30,34 +46,73 @@ pub(crate) struct Catalog {
     pub labels: Vec<Box<str>>,
 }
 
-/// Fixed header written into page 0.
+/// Fixed header written into slot page `epoch % 2`.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Header {
+    pub epoch: u64,
     pub root_record: u32,
     pub catalog_first_page: u32,
     pub catalog_len: u64,
     pub record_limit: u64,
+    pub journal_first_page: u32,
+    pub journal_len: u64,
 }
+
+impl Header {
+    /// The header slot page this epoch publishes to.
+    pub(crate) fn slot(&self) -> PageId {
+        (self.epoch % 2) as PageId
+    }
+}
+
+const CHECKSUM_AT: usize = 52;
 
 pub(crate) fn encode_header(h: &Header) -> [u8; PAGE_SIZE] {
     let mut buf = [0u8; PAGE_SIZE];
     buf[0..8].copy_from_slice(MAGIC);
-    buf[8..12].copy_from_slice(&h.root_record.to_le_bytes());
-    buf[12..16].copy_from_slice(&h.catalog_first_page.to_le_bytes());
-    buf[16..24].copy_from_slice(&h.catalog_len.to_le_bytes());
-    buf[24..32].copy_from_slice(&h.record_limit.to_le_bytes());
+    buf[8..16].copy_from_slice(&h.epoch.to_le_bytes());
+    buf[16..20].copy_from_slice(&h.root_record.to_le_bytes());
+    buf[20..24].copy_from_slice(&h.catalog_first_page.to_le_bytes());
+    buf[24..32].copy_from_slice(&h.catalog_len.to_le_bytes());
+    buf[32..40].copy_from_slice(&h.record_limit.to_le_bytes());
+    buf[40..44].copy_from_slice(&h.journal_first_page.to_le_bytes());
+    buf[44..52].copy_from_slice(&h.journal_len.to_le_bytes());
+    let sum = fnv64(&buf[..CHECKSUM_AT]);
+    buf[CHECKSUM_AT..CHECKSUM_AT + 8].copy_from_slice(&sum.to_le_bytes());
     buf
 }
 
-pub(crate) fn decode_header(buf: &[u8; PAGE_SIZE]) -> StoreResult<Header> {
+/// Decode one header slot; `None` if the slot does not hold a valid header
+/// (wrong magic, bad checksum — e.g. a torn header write).
+pub(crate) fn decode_header_slot(buf: &[u8; PAGE_SIZE]) -> Option<Header> {
     if &buf[0..8] != MAGIC {
-        return Err(StoreError::Corrupt("bad magic: not a Natix store file"));
+        return None;
     }
-    Ok(Header {
-        root_record: u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
-        catalog_first_page: u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
-        catalog_len: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
-        record_limit: u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes")),
+    let sum = u64::from_le_bytes(buf[CHECKSUM_AT..CHECKSUM_AT + 8].try_into().expect("8"));
+    if fnv64(&buf[..CHECKSUM_AT]) != sum {
+        return None;
+    }
+    Some(Header {
+        epoch: u64::from_le_bytes(buf[8..16].try_into().expect("8")),
+        root_record: u32::from_le_bytes(buf[16..20].try_into().expect("4")),
+        catalog_first_page: u32::from_le_bytes(buf[20..24].try_into().expect("4")),
+        catalog_len: u64::from_le_bytes(buf[24..32].try_into().expect("8")),
+        record_limit: u64::from_le_bytes(buf[32..40].try_into().expect("8")),
+        journal_first_page: u32::from_le_bytes(buf[40..44].try_into().expect("4")),
+        journal_len: u64::from_le_bytes(buf[44..52].try_into().expect("8")),
     })
+}
+
+/// Pick the winning header from the two slots: highest valid epoch.
+pub(crate) fn pick_header(slot0: &[u8; PAGE_SIZE], slot1: &[u8; PAGE_SIZE]) -> StoreResult<Header> {
+    match (decode_header_slot(slot0), decode_header_slot(slot1)) {
+        (Some(a), Some(b)) => Ok(if a.epoch >= b.epoch { a } else { b }),
+        (Some(a), None) => Ok(a),
+        (None, Some(b)) => Ok(b),
+        (None, None) => Err(StoreError::Corrupt(
+            "no valid header slot: not a Natix store file",
+        )),
+    }
 }
 
 pub(crate) fn encode_catalog(directory: &[RecordLoc], labels: &[Box<str>]) -> Vec<u8> {
@@ -112,7 +167,7 @@ pub(crate) fn decode_catalog(bytes: &[u8], root_record: u32) -> StoreResult<Cata
     }
     let mut r = R { b: bytes, p: 0 };
     let n = r.u32()? as usize;
-    let mut directory = Vec::with_capacity(n);
+    let mut directory = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let tag = r.u8()?;
         directory.push(match tag {
@@ -129,7 +184,7 @@ pub(crate) fn decode_catalog(bytes: &[u8], root_record: u32) -> StoreResult<Cata
         });
     }
     let nl = r.u32()? as usize;
-    let mut labels = Vec::with_capacity(nl);
+    let mut labels = Vec::with_capacity(nl.min(1 << 20));
     for _ in 0..nl {
         let len = r.u16()? as usize;
         let s = std::str::from_utf8(r.take(len)?)
@@ -150,26 +205,62 @@ pub(crate) fn decode_catalog(bytes: &[u8], root_record: u32) -> StoreResult<Cata
 mod tests {
     use super::*;
 
-    #[test]
-    fn header_roundtrip() {
-        let h = Header {
+    fn sample_header() -> Header {
+        Header {
+            epoch: 5,
             root_record: 7,
             catalog_first_page: 123,
             catalog_len: 4567,
             record_limit: 256,
-        };
-        let buf = encode_header(&h);
-        let back = decode_header(&buf).unwrap();
+            journal_first_page: 130,
+            journal_len: 8200,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let buf = encode_header(&sample_header());
+        let back = decode_header_slot(&buf).unwrap();
+        assert_eq!(back.epoch, 5);
         assert_eq!(back.root_record, 7);
         assert_eq!(back.catalog_first_page, 123);
         assert_eq!(back.catalog_len, 4567);
         assert_eq!(back.record_limit, 256);
+        assert_eq!(back.journal_first_page, 130);
+        assert_eq!(back.journal_len, 8200);
+        assert_eq!(back.slot(), 1);
     }
 
     #[test]
     fn bad_magic_rejected() {
         let buf = [0u8; PAGE_SIZE];
-        assert!(decode_header(&buf).is_err());
+        assert!(decode_header_slot(&buf).is_none());
+        let mut v1 = [0u8; PAGE_SIZE];
+        v1[..8].copy_from_slice(b"NATIXST1");
+        assert!(decode_header_slot(&v1).is_none());
+    }
+
+    #[test]
+    fn torn_header_fails_checksum() {
+        let mut buf = encode_header(&sample_header());
+        // Any flipped byte in the covered region invalidates the slot.
+        buf[17] ^= 0x01;
+        assert!(decode_header_slot(&buf).is_none());
+    }
+
+    #[test]
+    fn pick_header_prefers_higher_epoch_and_survives_a_bad_slot() {
+        let mut old = sample_header();
+        old.epoch = 4;
+        let new = sample_header();
+        let s0 = encode_header(&old);
+        let s1 = encode_header(&new);
+        assert_eq!(pick_header(&s0, &s1).unwrap().epoch, 5);
+        assert_eq!(pick_header(&s1, &s0).unwrap().epoch, 5);
+        let torn = [0xABu8; PAGE_SIZE];
+        assert_eq!(pick_header(&s0, &torn).unwrap().epoch, 4);
+        assert_eq!(pick_header(&torn, &s1).unwrap().epoch, 5);
+        assert!(pick_header(&torn, &torn).is_err());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Redo journal for atomic multi-page commits.
+//!
+//! A commit appends full images of every dirty page as a journal blob at
+//! the end of the page file, *then* publishes a header that points at it
+//! (the commit point), *then* checkpoints the images in place. Recovery
+//! replays the journal idempotently: every image is the post-commit state
+//! of its page, so applying it any number of times converges.
+
+use crate::catalog::fnv64;
+use crate::page::PAGE_SIZE;
+use crate::pager::{PageId, StoreError, StoreResult};
+
+const MAGIC: &[u8; 4] = b"NJRL";
+
+/// One journaled page: id + full post-commit image.
+pub(crate) type JournalEntry = (PageId, Box<[u8; PAGE_SIZE]>);
+
+/// Serialize journal entries (with trailing checksum).
+pub(crate) fn encode(entries: &[JournalEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * (4 + PAGE_SIZE) + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (page, image) in entries {
+        out.extend_from_slice(&page.to_le_bytes());
+        out.extend_from_slice(&image[..]);
+    }
+    let sum = fnv64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decode and verify a journal blob.
+pub(crate) fn decode(bytes: &[u8]) -> StoreResult<Vec<JournalEntry>> {
+    if bytes.len() < 16 || &bytes[0..4] != MAGIC {
+        return Err(StoreError::Corrupt("journal header invalid"));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv64(body) != sum {
+        return Err(StoreError::Corrupt("journal checksum mismatch"));
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if body.len() != 8 + count * (4 + PAGE_SIZE) {
+        return Err(StoreError::Corrupt("journal length mismatch"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut p = 8;
+    for _ in 0..count {
+        let page = u32::from_le_bytes(body[p..p + 4].try_into().expect("4 bytes"));
+        p += 4;
+        let mut image = Box::new([0u8; PAGE_SIZE]);
+        image.copy_from_slice(&body[p..p + PAGE_SIZE]);
+        p += PAGE_SIZE;
+        entries.push((page, image));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_roundtrip() {
+        let entries: Vec<JournalEntry> = vec![
+            (3, Box::new([1u8; PAGE_SIZE])),
+            (7, Box::new([2u8; PAGE_SIZE])),
+        ];
+        let bytes = encode(&entries);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, 3);
+        assert_eq!(back[1].1[0], 2);
+    }
+
+    #[test]
+    fn empty_journal_roundtrip() {
+        let bytes = encode(&[]);
+        assert!(decode(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupted_journal_rejected() {
+        let mut bytes = encode(&[(1, Box::new([9u8; PAGE_SIZE]))]);
+        bytes[20] ^= 0xFF;
+        assert!(decode(&bytes).is_err());
+        let short = &bytes[..10];
+        assert!(decode(short).is_err());
+    }
+}

@@ -24,6 +24,7 @@
 //! mean faster navigation — which is what Table 3 measures.
 
 mod catalog;
+mod journal;
 mod page;
 mod pager;
 mod record;
@@ -32,7 +33,8 @@ mod update;
 
 pub use page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
 pub use pager::{
-    BufferPool, BufferStats, FilePager, MemPager, PageId, Pager, StoreError, StoreResult,
+    BufferPool, BufferStats, Fault, FaultInjectingPager, FaultSchedule, FilePager, MemPager,
+    PageId, Pager, SharedMemPager, StoreError, StoreResult,
 };
 pub use record::{ChildEntry, RecNode, RecordData};
 pub use store::{bulkload_with, NavStats, NodeRef, StoreConfig, XmlStore};

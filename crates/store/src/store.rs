@@ -8,6 +8,7 @@ use natix_tree::{NodeId, Partitioning};
 use natix_xml::{Document, DocumentBuilder, NodeKind};
 
 use crate::catalog::{self, Header, RecordLoc};
+use crate::journal;
 use crate::page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
 use crate::pager::{BufferPool, BufferStats, PageId, Pager, StoreError, StoreResult};
 use crate::record::{
@@ -86,6 +87,11 @@ impl RecordCache {
         // The stale id stays in `order` and is skipped at eviction time.
     }
 
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     fn insert(&mut self, no: u32, rec: Rc<RecordData>) {
         while self.map.len() >= self.cap {
             if let Some(old) = self.order.pop_front() {
@@ -118,6 +124,15 @@ pub struct XmlStore {
     /// record is a branch and an `Rc` clone — the cheap intra-record
     /// navigation the paper's cost model assumes.
     pub(crate) hot: Option<Rc<RecordData>>,
+    /// Epoch of the current committed header (see `catalog::Header`).
+    pub(crate) epoch: u64,
+    /// Location of the last committed catalog `(first_page, len)`, used by
+    /// the checkpoint header.
+    pub(crate) committed_catalog: (PageId, u64),
+    /// In-memory copy of the last committed catalog, so rollback can
+    /// restore the directory and label table without touching the backend
+    /// (which may be the very thing that just failed).
+    pub(crate) committed_catalog_bytes: Vec<u8>,
 }
 
 impl XmlStore {
@@ -261,10 +276,12 @@ impl XmlStore {
         // of open pages, like a record manager that keeps a free-space
         // inventory. Fragmentation is real and reported (paper Sec. 6.4).
         let mut pool = BufferPool::new(backend, config.buffer_pages);
-        // Page 0 is the header page; the catalog goes after the data pages
-        // so the store can be reopened from its page file alone.
-        let header_page = pool.allocate()?;
-        debug_assert_eq!(header_page, 0);
+        // Pages 0 and 1 are the two header slots; the catalog goes after
+        // the data pages so the store can be reopened from its page file
+        // alone.
+        let header_slot0 = pool.allocate()?;
+        let header_slot1 = pool.allocate()?;
+        debug_assert_eq!((header_slot0, header_slot1), (0, 1));
         let mut directory = Vec::with_capacity(p_count);
         // (page, free bytes)
         let mut open_pages: Vec<(PageId, usize)> = Vec::new();
@@ -334,13 +351,18 @@ impl XmlStore {
             })?;
         }
         let root_record = owner[tree.root().index()];
+        // Initial commit: no pre-state exists yet, so no journal is needed;
+        // epoch 1 lands in slot 1 and slot 0 stays invalid (zeroed).
         let header = catalog::encode_header(&Header {
+            epoch: 1,
             root_record,
             catalog_first_page,
             catalog_len: catalog_bytes.len() as u64,
             record_limit: config.record_limit_slots,
+            journal_first_page: 0,
+            journal_len: 0,
         });
-        pool.with_page(header_page, true, |buf| buf.copy_from_slice(&header))?;
+        pool.with_page(header_slot1, true, |buf| buf.copy_from_slice(&header))?;
         pool.flush()?;
 
         Ok(XmlStore {
@@ -355,6 +377,9 @@ impl XmlStore {
             record_limit: config.record_limit_slots,
             open_page: None,
             hot: None,
+            epoch: 1,
+            committed_catalog: (catalog_first_page, catalog_bytes.len() as u64),
+            committed_catalog_bytes: catalog_bytes,
         })
     }
 
@@ -366,43 +391,135 @@ impl XmlStore {
             .count()
     }
 
-    /// Re-persist the catalog and header after updates, then flush all
-    /// dirty pages. Previous catalog pages are orphaned (append-only).
+    /// Durably commit all pending changes (alias of [`XmlStore::commit`];
+    /// kept for callers written against the pre-journal API).
     pub fn persist(&mut self) -> StoreResult<()> {
+        self.commit()
+    }
+
+    /// Atomically commit every pending change (dirty pages, catalog and
+    /// label-table growth) to the backend.
+    ///
+    /// Shadow-commit protocol: (1) append the new catalog, (2) append a
+    /// redo journal holding the full image of every dirty page, (3) publish
+    /// a header referencing both into the inactive header slot — **this
+    /// single page write is the commit point** — then (4) checkpoint the
+    /// dirty pages in place and (5) publish a journal-free header. A crash
+    /// before (3) leaves the previous commit intact; a crash after it is
+    /// repaired by replaying the journal in [`XmlStore::open`].
+    pub fn commit(&mut self) -> StoreResult<()> {
+        if let Err(e) = self.commit_durable() {
+            // Nothing was published: put the in-memory state back to the
+            // last committed one. If the backend is dead (power cut) the
+            // reload fails too; every later call will error the same way.
+            let _ = self.rollback();
+            return Err(e);
+        }
+        // Past the commit point: a failure below leaves a replayable
+        // journal behind, so the commit itself is not lost.
+        self.checkpoint()
+    }
+
+    /// Phases (1)–(3) of the commit protocol, up to and including the
+    /// commit point.
+    fn commit_durable(&mut self) -> StoreResult<()> {
         let catalog_bytes = catalog::encode_catalog(&self.directory, &self.labels);
         let catalog_first_page = self.pool.page_count();
-        for chunk in catalog_bytes.chunks(PAGE_SIZE) {
-            let page = self.pool.allocate()?;
-            self.pool.with_page(page, true, |buf| {
-                buf[..chunk.len()].copy_from_slice(chunk);
-            })?;
+        self.pool.append_chunked(&catalog_bytes)?;
+
+        let mut entries = Vec::new();
+        for id in self.pool.dirty_pages() {
+            entries.push((id, self.pool.page_image(id)?));
         }
-        let header = catalog::encode_header(&Header {
+        let journal_bytes = journal::encode(&entries);
+        let journal_first_page = self.pool.page_count();
+        self.pool.append_chunked(&journal_bytes)?;
+
+        let header = Header {
+            epoch: self.epoch + 1,
             root_record: self.root_record,
             catalog_first_page,
             catalog_len: catalog_bytes.len() as u64,
             record_limit: self.record_limit,
-        });
+            journal_first_page,
+            journal_len: journal_bytes.len() as u64,
+        };
         self.pool
-            .with_page(0, true, |buf| buf.copy_from_slice(&header))?;
-        self.pool.flush()
+            .write_through(header.slot(), &catalog::encode_header(&header))?;
+        self.epoch = header.epoch;
+        self.committed_catalog = (catalog_first_page, catalog_bytes.len() as u64);
+        self.committed_catalog_bytes = catalog_bytes;
+        Ok(())
     }
 
-    /// Reopen a previously bulkloaded store from its page file.
+    /// Phases (4)–(5): write the journaled images in place and retire the
+    /// journal. Failures here are reported but do not lose the commit —
+    /// still-dirty frames stay resident and the journal header stays the
+    /// winner until a later checkpoint or recovery replay succeeds.
+    fn checkpoint(&mut self) -> StoreResult<()> {
+        self.pool.flush()?;
+        let header = Header {
+            epoch: self.epoch + 1,
+            root_record: self.root_record,
+            catalog_first_page: self.committed_catalog.0,
+            catalog_len: self.committed_catalog.1,
+            record_limit: self.record_limit,
+            journal_first_page: 0,
+            journal_len: 0,
+        };
+        self.pool
+            .write_through(header.slot(), &catalog::encode_header(&header))?;
+        self.epoch = header.epoch;
+        Ok(())
+    }
+
+    /// Discard all uncommitted changes, restoring the in-memory state from
+    /// the last committed catalog. Does not touch the backend: the catalog
+    /// is restored from its in-memory copy, so rollback works even when
+    /// the backend is failing.
+    pub(crate) fn rollback(&mut self) -> StoreResult<()> {
+        self.pool.discard_dirty();
+        self.cache.clear();
+        self.hot = None;
+        self.last_fetched = NONE_U32;
+        self.open_page = None;
+        let cat = catalog::decode_catalog(&self.committed_catalog_bytes, self.root_record)?;
+        let mut label_ids = HashMap::with_capacity(cat.labels.len());
+        for (i, l) in cat.labels.iter().enumerate() {
+            label_ids.insert(l.clone(), i as u16);
+        }
+        self.directory = cat.directory;
+        self.labels = cat.labels;
+        self.label_ids = label_ids;
+        Ok(())
+    }
+
+    /// Reopen a previously committed store from its page file, running
+    /// crash recovery if the last commit did not finish checkpointing:
+    /// the winning header's redo journal (if any) is replayed — every
+    /// journaled image is the post-commit page state, so replay is
+    /// idempotent — and a journal-free header is published.
     pub fn open(backend: Box<dyn Pager>, config: StoreConfig) -> StoreResult<XmlStore> {
         let mut pool = BufferPool::new(backend, config.buffer_pages);
-        let header = pool.with_page(0, false, |buf| catalog::decode_header(buf))??;
-        let mut catalog_bytes = Vec::with_capacity(header.catalog_len as usize);
-        let mut remaining = header.catalog_len as usize;
-        let mut page = header.catalog_first_page;
-        while remaining > 0 {
-            let take = remaining.min(PAGE_SIZE);
-            pool.with_page(page, false, |buf| {
-                catalog_bytes.extend_from_slice(&buf[..take]);
-            })?;
-            remaining -= take;
-            page += 1;
+        if pool.page_count() < 2 {
+            return Err(StoreError::Corrupt("file too small for header slots"));
         }
+        let slot0 = pool.page_image(0)?;
+        let slot1 = pool.page_image(1)?;
+        let mut header = catalog::pick_header(&slot0, &slot1)?;
+        if header.journal_len > 0 {
+            let bytes =
+                pool.read_chunked(header.journal_first_page, header.journal_len as usize)?;
+            for (page, image) in journal::decode(&bytes)? {
+                pool.write_through(page, &image)?;
+            }
+            header.epoch += 1;
+            header.journal_first_page = 0;
+            header.journal_len = 0;
+            pool.write_through(header.slot(), &catalog::encode_header(&header))?;
+        }
+        let catalog_bytes =
+            pool.read_chunked(header.catalog_first_page, header.catalog_len as usize)?;
         let cat = catalog::decode_catalog(&catalog_bytes, header.root_record)?;
         let mut label_ids = HashMap::with_capacity(cat.labels.len());
         for (i, l) in cat.labels.iter().enumerate() {
@@ -420,6 +537,9 @@ impl XmlStore {
             record_limit: header.record_limit,
             open_page: None,
             hot: None,
+            epoch: header.epoch,
+            committed_catalog: (header.catalog_first_page, header.catalog_len),
+            committed_catalog_bytes: catalog_bytes,
         })
     }
 

@@ -36,13 +36,43 @@ enum InsertPos {
 }
 
 impl XmlStore {
+    /// Run a structural update as one atomic transaction: on success the
+    /// operation is committed durably; on failure every in-memory and
+    /// on-disk effect is rolled back to the pre-operation state. (An error
+    /// from the commit itself can leave the *post*-state durable — the
+    /// journal was already published — which is the standard "either pre
+    /// or post" crash contract.)
+    fn transactional<T>(&mut self, r: StoreResult<T>) -> StoreResult<T> {
+        match r {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = self.rollback();
+                Err(e)
+            }
+        }
+    }
+
     /// Append a new childless node as the last child of `parent` (which
     /// must be an element).
     ///
     /// Returns the new node's location. May split the containing record;
     /// any previously obtained [`NodeRef`] into the touched records is
-    /// invalidated.
+    /// invalidated. The operation commits atomically.
     pub fn append_child(
+        &mut self,
+        parent: NodeRef,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) -> StoreResult<NodeRef> {
+        let r = self.append_child_inner(parent, kind, name, content);
+        self.transactional(r)
+    }
+
+    fn append_child_inner(
         &mut self,
         parent: NodeRef,
         kind: NodeKind,
@@ -65,8 +95,19 @@ impl XmlStore {
     }
 
     /// Insert a new childless node immediately before `sibling` (which
-    /// must not be the document root).
+    /// must not be the document root). The operation commits atomically.
     pub fn insert_before(
+        &mut self,
+        sibling: NodeRef,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) -> StoreResult<NodeRef> {
+        let r = self.insert_before_inner(sibling, kind, name, content);
+        self.transactional(r)
+    }
+
+    fn insert_before_inner(
         &mut self,
         sibling: NodeRef,
         kind: NodeKind,
@@ -92,8 +133,14 @@ impl XmlStore {
     }
 
     /// Delete the subtree rooted at `node` (all its descendants and their
-    /// records included). The document root cannot be deleted.
+    /// records included). The document root cannot be deleted. The
+    /// operation commits atomically.
     pub fn delete_subtree(&mut self, node: NodeRef) -> StoreResult<()> {
+        let r = self.delete_subtree_inner(node);
+        self.transactional(r)
+    }
+
+    fn delete_subtree_inner(&mut self, node: NodeRef) -> StoreResult<()> {
         let rec = self.fetch(node.record)?;
         if rec.parent_record == NONE_U32 && rec.root_pos(node.node).is_some() {
             return Err(StoreError::InvalidUpdate("cannot delete the document root"));
@@ -650,6 +697,83 @@ impl XmlStore {
         }
         Ok(())
     }
+
+    /// Full structural validation of the record graph, used by the crash
+    /// harness after every recovery:
+    ///
+    /// * every record reachable from the root via proxies, exactly once;
+    /// * every proxy's target carries a matching back-link
+    ///   (`parent_record`, `parent_local`, `proxy_pos`);
+    /// * local `parent_local` / `entry_pos` agree with the entry lists;
+    /// * fragment roots have no local parent, and the root list is
+    ///   non-empty;
+    /// * no live directory entry is unreachable (leaked);
+    /// * every fragment respects the weight limit `K`.
+    pub fn check_consistency(&mut self) -> StoreResult<()> {
+        let n = self.directory.len();
+        let mut seen = vec![false; n];
+        let root_no = self.root_record;
+        {
+            let rec = self.fetch(root_no)?;
+            if rec.parent_record != NONE_U32 {
+                return Err(StoreError::Corrupt("root record has a parent back-link"));
+            }
+        }
+        seen[root_no as usize] = true;
+        let mut stack = vec![root_no];
+        while let Some(no) = stack.pop() {
+            let rec = self.fetch(no)?;
+            if rec.roots.is_empty() {
+                return Err(StoreError::Corrupt("record has no fragment roots"));
+            }
+            for &r in &rec.roots {
+                if rec.nodes[r as usize].parent_local != NONE_U16 {
+                    return Err(StoreError::Corrupt("fragment root has a local parent"));
+                }
+            }
+            let mut proxies = Vec::new();
+            for (li, node) in rec.nodes.iter().enumerate() {
+                for (pos, e) in rec.entries(node).iter().enumerate() {
+                    match *e {
+                        ChildEntry::Local(c) => {
+                            let child = &rec.nodes[c as usize];
+                            if child.parent_local != li as u16 || child.entry_pos != pos as u16 {
+                                return Err(StoreError::Corrupt(
+                                    "local child parent/entry position mismatch",
+                                ));
+                            }
+                        }
+                        ChildEntry::Proxy(child_no) => {
+                            proxies.push((child_no, li as u16, pos as u16));
+                        }
+                    }
+                }
+            }
+            drop(rec);
+            for (child_no, li, pos) in proxies {
+                let idx = child_no as usize;
+                if idx >= n || matches!(self.directory[idx], RecordLoc::Free) {
+                    return Err(StoreError::Corrupt("proxy points at a free record"));
+                }
+                if seen[idx] {
+                    return Err(StoreError::Corrupt("record reachable via two proxies"));
+                }
+                seen[idx] = true;
+                let child = self.fetch(child_no)?;
+                if child.parent_record != no || child.parent_local != li || child.proxy_pos != pos {
+                    return Err(StoreError::Corrupt("child back-link does not match proxy"));
+                }
+                drop(child);
+                stack.push(child_no);
+            }
+        }
+        for (no, loc) in self.directory.iter().enumerate() {
+            if !matches!(loc, RecordLoc::Free) && !seen[no] {
+                return Err(StoreError::Corrupt("live record unreachable from root"));
+            }
+        }
+        self.check_record_weights()
+    }
 }
 
 /// Total slot weight of a record image.
@@ -762,8 +886,9 @@ impl XmlStore {
         use crate::pager::BufferPool;
 
         let mut pool = BufferPool::new(backend, config.buffer_pages);
-        let header_page = pool.allocate()?;
-        debug_assert_eq!(header_page, 0);
+        let header_slot0 = pool.allocate()?;
+        let header_slot1 = pool.allocate()?;
+        debug_assert_eq!((header_slot0, header_slot1), (0, 1));
 
         let mut directory = Vec::with_capacity(self.directory.len());
         let mut open_page: Option<u32> = None;
@@ -814,7 +939,29 @@ impl XmlStore {
             directory.push(RecordLoc::InPage { page, slot });
         }
 
-        let mut out = XmlStore {
+        // Initial commit, as in bulkload: no pre-state in the fresh
+        // backend, so the catalog and header are written without a journal.
+        let catalog_bytes = crate::catalog::encode_catalog(&directory, &self.labels);
+        let catalog_first_page = pool.page_count();
+        for chunk in catalog_bytes.chunks(PAGE_SIZE) {
+            let page = pool.allocate()?;
+            pool.with_page(page, true, |buf| {
+                buf[..chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        let header = crate::catalog::encode_header(&crate::catalog::Header {
+            epoch: 1,
+            root_record: self.root_record,
+            catalog_first_page,
+            catalog_len: catalog_bytes.len() as u64,
+            record_limit: self.record_limit,
+            journal_first_page: 0,
+            journal_len: 0,
+        });
+        pool.with_page(header_slot1, true, |buf| buf.copy_from_slice(&header))?;
+        pool.flush()?;
+
+        Ok(XmlStore {
             pool,
             directory,
             labels: self.labels.clone(),
@@ -826,8 +973,9 @@ impl XmlStore {
             record_limit: self.record_limit,
             open_page: None,
             hot: None,
-        };
-        out.persist()?;
-        Ok(out)
+            epoch: 1,
+            committed_catalog: (catalog_first_page, catalog_bytes.len() as u64),
+            committed_catalog_bytes: catalog_bytes,
+        })
     }
 }

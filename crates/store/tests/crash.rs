@@ -1,0 +1,270 @@
+//! Crash-recovery tests: power cuts (clean and torn) at *every* write
+//! event of an update operation must leave a page file that reopens to
+//! either the pre- or the post-operation state, with a fully consistent
+//! record graph. Transient I/O errors must roll the live store back.
+
+use natix_core::Ekm;
+use natix_store::{
+    bulkload_with, FaultInjectingPager, FaultSchedule, NodeRef, SharedMemPager, StoreConfig,
+    StoreResult, XmlStore,
+};
+use natix_xml::{parse, NodeKind};
+
+/// Bulkload `xml` onto a shared in-memory disk; returns the disk snapshot
+/// and the document serialization.
+fn base(xml: &str, k: u64) -> (Vec<u8>, String) {
+    let doc = parse(xml).unwrap();
+    let disk = SharedMemPager::new();
+    let store = bulkload_with(
+        &doc,
+        &Ekm,
+        k,
+        Box::new(disk.clone()),
+        StoreConfig {
+            record_limit_slots: k,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    drop(store);
+    (disk.snapshot(), doc.to_xml())
+}
+
+fn find_element(store: &mut XmlStore, name: &str) -> Option<NodeRef> {
+    let want = store.label_id(name)?;
+    let root = store.root().unwrap();
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        if store.node_label(r).unwrap() == want {
+            return Some(r);
+        }
+        let mut kids = Vec::new();
+        store
+            .for_each_child(r, |c, kind, _| {
+                if kind == NodeKind::Element {
+                    kids.push(c);
+                }
+            })
+            .unwrap();
+        stack.extend(kids);
+    }
+    None
+}
+
+/// Run `op` against a store reopened from `snap` with a power cut at every
+/// write event (clean and torn). After each crash, reopening from the
+/// surviving bytes must yield a consistent store equal to the pre- or
+/// post-state. Returns the number of crash points exercised.
+fn crash_sweep(snap: &[u8], xml_pre: &str, op: impl Fn(&mut XmlStore) -> StoreResult<()>) -> u64 {
+    // Post-state, from a fault-free run.
+    let xml_post = {
+        let disk = SharedMemPager::from_snapshot(snap);
+        let mut store = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        op(&mut store).unwrap();
+        drop(store);
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        re.to_document().unwrap().to_xml()
+    };
+    assert_ne!(xml_post, xml_pre, "op must change the document");
+
+    let mut points = 0;
+    for torn in [false, true] {
+        let mut n = 1u64;
+        loop {
+            let disk = SharedMemPager::from_snapshot(snap);
+            let faulty =
+                FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::power_cut(n, torn));
+            let mut store = XmlStore::open(Box::new(faulty), StoreConfig::default()).unwrap();
+            let r = op(&mut store);
+            drop(store);
+            // Restart: recovery must produce a consistent store.
+            let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default())
+                .unwrap_or_else(|e| panic!("reopen failed at n={n} torn={torn}: {e}"));
+            re.check_consistency()
+                .unwrap_or_else(|e| panic!("inconsistent at n={n} torn={torn}: {e}"));
+            let got = re.to_document().unwrap().to_xml();
+            points += 1;
+            if r.is_ok() {
+                // The cut never fired: the op committed in fewer writes.
+                assert_eq!(got, xml_post, "n={n} torn={torn}");
+                break;
+            }
+            assert!(
+                got == xml_pre || got == xml_post,
+                "crash at n={n} torn={torn} left a third state:\n  got: {got}\n  pre: {xml_pre}\n post: {xml_post}"
+            );
+            n += 1;
+            assert!(n < 10_000, "crash sweep did not terminate");
+        }
+    }
+    points
+}
+
+#[test]
+fn append_survives_power_cut_at_every_write() {
+    let (snap, xml_pre) = base("<a><b/><c/></a>", 64);
+    crash_sweep(&snap, &xml_pre, |store| {
+        let root = store.root()?;
+        store
+            .append_child(root, NodeKind::Text, "#text", Some("crash me please"))
+            .map(|_| ())
+    });
+}
+
+#[test]
+fn splitting_append_survives_power_cut_at_every_write() {
+    // Small K: the append overflows the root record and forces a split —
+    // the multi-record rewrite is the interesting crash window.
+    let (snap, xml_pre) = base(
+        "<list><e>one entry of text</e><e>two entry of text</e><e>three entries</e></list>",
+        16,
+    );
+    let points = crash_sweep(&snap, &xml_pre, |store| {
+        let root = store.root()?;
+        store
+            .append_child(root, NodeKind::Text, "#text", Some("heavy payload text"))
+            .map(|_| ())
+    });
+    assert!(points > 10, "expected a real write window, got {points}");
+}
+
+#[test]
+fn delete_spanning_records_survives_power_cut_at_every_write() {
+    let (snap, xml_pre) = base(
+        concat!(
+            "<a><b><p>a rather long run of text that will not fit</p>",
+            "<q>another rather long run of text that will not fit</q></b>",
+            "<c><r>yet another rather long run of text here</r></c></a>",
+        ),
+        8,
+    );
+    crash_sweep(&snap, &xml_pre, |store| {
+        let b = find_element(store, "b").expect("b exists");
+        store.delete_subtree(b)
+    });
+}
+
+#[test]
+fn insert_before_fragment_root_survives_power_cut() {
+    let (snap, xml_pre) = base(
+        "<a><b>some text content here</b><c>more text content here</c></a>",
+        12,
+    );
+    crash_sweep(&snap, &xml_pre, |store| {
+        let c = find_element(store, "c").expect("c exists");
+        store
+            .insert_before(c, NodeKind::Element, "mid", None)
+            .map(|_| ())
+    });
+}
+
+#[test]
+fn transient_write_error_rolls_back_the_live_store() {
+    let (snap, xml_pre) = base("<a><b/><c/></a>", 64);
+    let xml_post = {
+        let disk = SharedMemPager::from_snapshot(&snap);
+        let mut store = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        let root = store.root().unwrap();
+        store
+            .append_child(root, NodeKind::Element, "d", None)
+            .unwrap();
+        store.to_document().unwrap().to_xml()
+    };
+    let mut n = 1u64;
+    loop {
+        let disk = SharedMemPager::from_snapshot(&snap);
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::write_error(n));
+        let mut store = XmlStore::open(Box::new(faulty), StoreConfig::default()).unwrap();
+        let root = store.root().unwrap();
+        let r = store.append_child(root, NodeKind::Element, "d", None);
+        // Whatever happened, the *same live handle* must be usable and in
+        // the pre- or post-state (transient faults don't kill the store).
+        store.check_consistency().unwrap();
+        let got = store.to_document().unwrap().to_xml();
+        assert!(
+            got == xml_pre || got == xml_post,
+            "write error at {n} left a third live state: {got}"
+        );
+        // And so must a store reopened from disk.
+        drop(store);
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        let disk_xml = re.to_document().unwrap().to_xml();
+        assert!(disk_xml == xml_pre || disk_xml == xml_post, "n={n}");
+        if r.is_ok() {
+            break;
+        }
+        n += 1;
+        assert!(n < 10_000, "error sweep did not terminate");
+    }
+}
+
+#[test]
+fn transient_read_error_is_survivable() {
+    let (snap, xml_pre) = base("<a><b>text payload</b><c/></a>", 32);
+    for n in 1..40u64 {
+        let disk = SharedMemPager::from_snapshot(&snap);
+        let faulty = FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::read_error(n));
+        // The read error may hit open() itself: that must be a clean error.
+        let Ok(mut store) = XmlStore::open(Box::new(faulty), StoreConfig::default()) else {
+            continue;
+        };
+        let r = (|| -> StoreResult<()> {
+            let root = store.root()?;
+            store
+                .append_child(root, NodeKind::Element, "d", None)
+                .map(|_| ())
+        })();
+        drop(store);
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        let got = re.to_document().unwrap().to_xml();
+        if r.is_err() {
+            assert_eq!(got, xml_pre, "failed op must leave the pre-state, n={n}");
+        }
+    }
+}
+
+#[test]
+fn recovery_is_idempotent_across_repeated_crashes_during_replay() {
+    // Crash mid-operation, then crash again during the recovery replay
+    // itself: the journal header stays the winner until a replay finishes,
+    // so any number of partial recoveries converges.
+    let (snap, xml_pre) = base(
+        "<list><e>one entry of text</e><e>two entry of text</e></list>",
+        16,
+    );
+    // Pick a crash point deep enough to land after the commit header for
+    // at least some n; sweep a window to be sure we hit both sides.
+    for n in 1..60u64 {
+        let disk = SharedMemPager::from_snapshot(&snap);
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::power_cut(n, true));
+        let mut store = XmlStore::open(Box::new(faulty), StoreConfig::default()).unwrap();
+        let root = store.root().unwrap();
+        let r = store.append_child(root, NodeKind::Text, "#text", Some("heavy payload text"));
+        drop(store);
+        let done = r.is_ok();
+        // First recovery attempt also crashes (cut during its writes).
+        for m in 1..10u64 {
+            let f2 = FaultInjectingPager::new(
+                Box::new(disk.clone()),
+                FaultSchedule::power_cut(m, m % 2 == 0),
+            );
+            let _ = XmlStore::open(Box::new(f2), StoreConfig::default());
+        }
+        // Final, fault-free recovery must still converge.
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        let got = re.to_document().unwrap().to_xml();
+        assert!(
+            got == xml_pre || got.contains("heavy payload text"),
+            "n={n}: {got}"
+        );
+        if done {
+            break;
+        }
+    }
+}

@@ -340,3 +340,132 @@ fn compact_reclaims_space() {
         .to_xml()
         .contains("<post_compact/>"));
 }
+
+/// First element child (anywhere in the tree) stored in a different
+/// record than its parent — i.e. an element fragment root reached
+/// through a proxy entry.
+fn proxied_element_child(store: &mut XmlStore) -> Option<NodeRef> {
+    let root = store.root().unwrap();
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        let mut found = None;
+        let mut kids = Vec::new();
+        store
+            .for_each_child(r, |c, kind, _| {
+                if kind == NodeKind::Element {
+                    if c.record != r.record && found.is_none() {
+                        found = Some(c);
+                    }
+                    kids.push(c);
+                }
+            })
+            .unwrap();
+        if found.is_some() {
+            return found;
+        }
+        stack.extend(kids);
+    }
+    None
+}
+
+/// Four sibling subtrees of weight 5 at K = 8: no two fit together, so
+/// at least one element child of the root sits behind a proxy.
+const PROXY_HEAVY: &str = concat!(
+    "<a><b>text weight of four slots aa</b><c>text weight of four slots bb</c>",
+    "<d>text weight of four slots cc</d><e>text weight of four slots dd</e></a>",
+);
+
+#[test]
+fn insert_before_a_fragment_root() {
+    let (_, mut store) = load(PROXY_HEAVY, 8);
+    let target = proxied_element_child(&mut store).expect("some element is behind a proxy");
+    let name = {
+        let label = store.node_label(target).unwrap();
+        store.label_name(label).to_string()
+    };
+    let before = store.to_document().unwrap().to_xml();
+    store
+        .insert_before(target, NodeKind::Element, "mid", None)
+        .unwrap();
+    store.check_consistency().unwrap();
+    let expected = before.replacen(&format!("<{name}>"), &format!("<mid/><{name}>"), 1);
+    assert_eq!(store.to_document().unwrap().to_xml(), expected);
+}
+
+#[test]
+fn delete_last_local_child_behind_a_proxy() {
+    let (_, mut store) = load(PROXY_HEAVY, 8);
+    let target = proxied_element_child(&mut store).expect("some element is behind a proxy");
+    let name = {
+        let label = store.node_label(target).unwrap();
+        store.label_name(label).to_string()
+    };
+    // The proxied element's only child (its text) lives in the same
+    // record: deleting it empties the fragment root's local subtree.
+    let mut text_child = None;
+    store
+        .for_each_child(target, |c, kind, _| {
+            if kind == NodeKind::Text {
+                text_child = Some(c);
+            }
+        })
+        .unwrap();
+    let text_child = text_child.expect("proxied element has a text child");
+    assert_eq!(
+        text_child.record, target.record,
+        "text is local to the proxied record"
+    );
+    let before = store.to_document().unwrap().to_xml();
+    store.delete_subtree(text_child).unwrap();
+    store.check_consistency().unwrap();
+    let emptied = before.replacen(
+        &format!("<{name}>text weight of four slots"),
+        &format!("<{name}>"),
+        1,
+    );
+    // Drop the remainder of the deleted text (" aa</x>" etc. varies).
+    let emptied = {
+        let open = format!("<{name}>");
+        let close = format!("</{name}>");
+        let i = emptied.find(&open).unwrap() + open.len();
+        let j = emptied.find(&close).unwrap();
+        format!("{}{}", &emptied[..i], &emptied[j..]).replacen(
+            &format!("<{name}></{name}>"),
+            &format!("<{name}/>"),
+            1,
+        )
+    };
+    assert_eq!(store.to_document().unwrap().to_xml(), emptied);
+    // Deleting the emptied fragment root itself frees its record.
+    let live = store.live_record_count();
+    let target = find_element(&mut store, &name).unwrap();
+    store.delete_subtree(target).unwrap();
+    store.check_consistency().unwrap();
+    assert!(store.live_record_count() < live, "proxied record not freed");
+}
+
+#[test]
+fn single_node_exactly_at_weight_k_is_accepted() {
+    const K: u64 = 8;
+    let (_, mut store) = load("<a/>", K);
+    // 56 content bytes = 7 slots, plus the metadata slot: exactly K.
+    let text = "x".repeat(8 * (K as usize - 1));
+    assert_eq!(natix_xml::node_weight(NodeKind::Text, text.len()), K);
+    let root = store.root().unwrap();
+    store
+        .append_child(root, NodeKind::Text, "#text", Some(&text))
+        .unwrap();
+    store.check_consistency().unwrap();
+    // One more byte tips the node over the limit and must be rejected...
+    let too_big = "x".repeat(8 * (K as usize - 1) + 1);
+    let root = store.root().unwrap();
+    assert!(store
+        .append_child(root, NodeKind::Text, "#text", Some(&too_big))
+        .is_err());
+    // ...and the failed insert rolled back cleanly.
+    store.check_consistency().unwrap();
+    assert_eq!(
+        store.to_document().unwrap().to_xml(),
+        format!("<a>{text}</a>")
+    );
+}

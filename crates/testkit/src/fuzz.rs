@@ -1,0 +1,638 @@
+//! Model-based crash/update fuzzing.
+//!
+//! Every run bulkloads a generated document onto an in-memory disk, then
+//! drives the store and the [`ModelTree`] oracle through the same seeded
+//! trace of update operations. After each step the store must serialize
+//! to exactly the oracle's document, pass the full record-graph
+//! consistency check, and — in crash mode — survive a power cut (clean
+//! or torn) at every write event of the step: reopening the surviving
+//! bytes must recover to the pre- or post-step document, never a third
+//! state.
+//!
+//! Failing traces are shrunk to a minimal reproduction and rendered as a
+//! replayable script (see [`crate::replay`]) plus a ready-to-paste
+//! regression test.
+
+use natix_core::Ekm;
+use natix_datagen::evaluation_suite;
+use natix_store::{
+    bulkload_with, FaultInjectingPager, FaultSchedule, NodeRef, SharedMemPager, StoreConfig,
+    StoreResult, XmlStore,
+};
+use natix_xml::{node_weight, Document, NodeKind};
+
+use crate::model::ModelTree;
+use crate::ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};
+
+/// How a trace run exercises the fault-injection layer.
+#[derive(Clone, Copy, Debug)]
+pub enum CrashMode {
+    /// Fault-free: oracle equivalence and consistency checks only.
+    None,
+    /// After each step, replay the step from a pre-step disk snapshot
+    /// with a power cut at write event 1, 2, 3, ... (alternating clean
+    /// and torn cuts) until the step commits, plus one transient
+    /// write-error probe. `max_points_per_op` caps the sweep per step
+    /// (0 = sweep every write event).
+    Sweep { max_points_per_op: u64 },
+}
+
+/// Statistics from a successful trace run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOutcome {
+    pub ops_applied: u64,
+    pub ops_skipped: u64,
+    pub crash_points: u64,
+}
+
+/// A failed step inside a trace run.
+#[derive(Clone, Debug)]
+pub struct TraceFailure {
+    /// Index into the trace of the failing op.
+    pub step: usize,
+    /// `Some((n, torn))` when the failure came from the crash sweep at
+    /// power-cut write event `n`.
+    pub crash: Option<(u64, bool)>,
+    pub message: String,
+}
+
+/// One generated document plus the identity needed to regenerate it.
+pub struct Workload {
+    pub name: String,
+    pub scale: f64,
+    pub gen_seed: u64,
+    pub doc: Document,
+}
+
+/// The six Table 1 evaluation documents at `scale`, deterministically
+/// regenerable from `(name, scale, gen_seed)`.
+pub fn workloads(scale: f64, gen_seed: u64) -> Vec<Workload> {
+    evaluation_suite(scale, gen_seed)
+        .into_iter()
+        .map(|(name, doc)| Workload {
+            name: name.to_string(),
+            scale,
+            gen_seed,
+            doc,
+        })
+        .collect()
+}
+
+pub fn workload_by_name(name: &str, scale: f64, gen_seed: u64) -> Option<Workload> {
+    workloads(scale, gen_seed)
+        .into_iter()
+        .find(|w| w.name == name)
+}
+
+/// Smallest record limit that can hold every node of `doc` and every
+/// node the fuzzer may insert. Requested limits are clamped up to this
+/// so that generated workloads never trip the per-node weight guard.
+pub fn min_record_limit(doc: &Document) -> u64 {
+    let fuzz_text = node_weight(NodeKind::Text, text_for(0).len());
+    doc.tree().max_node_weight().max(fuzz_text)
+}
+
+/// Live elements of the store in document (preorder) order; position 0
+/// is the root. Mirrors [`ModelTree::elements`].
+fn store_elements(store: &mut XmlStore) -> StoreResult<Vec<NodeRef>> {
+    let root = store.root()?;
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        out.push(r);
+        let mut kids = Vec::new();
+        store.for_each_child(r, |c, kind, _| {
+            if kind == NodeKind::Element {
+                kids.push(c);
+            }
+        })?;
+        stack.extend(kids.into_iter().rev());
+    }
+    Ok(out)
+}
+
+/// Apply one (non-skipped) op to the store, resolving the target against
+/// this store instance's current element preorder.
+fn apply_store(store: &mut XmlStore, op: &Op) -> StoreResult<()> {
+    let els = store_elements(store)?;
+    match *op {
+        Op::AppendElement { target, tag } => store
+            .append_child(
+                els[target % els.len()],
+                NodeKind::Element,
+                &name_for(tag),
+                None,
+            )
+            .map(|_| ()),
+        Op::AppendText { target, tag } => store
+            .append_child(
+                els[target % els.len()],
+                NodeKind::Text,
+                "#text",
+                Some(&text_for(tag)),
+            )
+            .map(|_| ()),
+        Op::InsertBefore { target, tag } => store
+            .insert_before(
+                els[target % els.len()],
+                NodeKind::Element,
+                &name_for(tag),
+                None,
+            )
+            .map(|_| ()),
+        Op::Delete { target } => store.delete_subtree(els[target % els.len()]),
+    }
+}
+
+/// Apply one (non-skipped) op to the oracle.
+fn apply_model(model: &mut ModelTree, op: &Op) {
+    let els = model.elements();
+    match *op {
+        Op::AppendElement { target, tag } => {
+            model.append_child(
+                els[target % els.len()],
+                NodeKind::Element,
+                &name_for(tag),
+                None,
+            );
+        }
+        Op::AppendText { target, tag } => {
+            model.append_child(
+                els[target % els.len()],
+                NodeKind::Text,
+                "#text",
+                Some(&text_for(tag)),
+            );
+        }
+        Op::InsertBefore { target, tag } => {
+            model.insert_before(
+                els[target % els.len()],
+                NodeKind::Element,
+                &name_for(tag),
+                None,
+            );
+        }
+        Op::Delete { target } => model.delete_subtree(els[target % els.len()]),
+    }
+}
+
+fn full_check(store: &mut XmlStore, want_xml: &str, what: &str) -> Result<(), String> {
+    store
+        .check_consistency()
+        .map_err(|e| format!("{what}: inconsistent store: {e}"))?;
+    let got = store
+        .to_document()
+        .map_err(|e| format!("{what}: serialization failed: {e}"))?
+        .to_xml();
+    if got != want_xml {
+        return Err(format!(
+            "{what}: document mismatch\n  got:  {got}\n  want: {want_xml}"
+        ));
+    }
+    Ok(())
+}
+
+/// Run `trace` against a fresh store bulkloaded from `doc` with record
+/// limit `k` (clamped up to [`min_record_limit`]). See the module docs
+/// for the invariants checked per step.
+pub fn run_trace(
+    doc: &Document,
+    k: u64,
+    trace: &[Op],
+    mode: CrashMode,
+) -> Result<RunOutcome, TraceFailure> {
+    let k = k.max(min_record_limit(doc));
+    let config = StoreConfig {
+        record_limit_slots: k,
+        ..Default::default()
+    };
+    let disk = SharedMemPager::new();
+    let fail = |step: usize, crash: Option<(u64, bool)>, message: String| TraceFailure {
+        step,
+        crash,
+        message,
+    };
+    let mut store = bulkload_with(doc, &Ekm, k, Box::new(disk.clone()), config)
+        .map_err(|e| fail(0, None, format!("bulkload failed: {e}")))?;
+    let mut model = ModelTree::from_document(doc);
+    let mut cur_xml = model.to_xml();
+    full_check(&mut store, &cur_xml, "bulkload").map_err(|m| fail(0, None, m))?;
+
+    let mut out = RunOutcome::default();
+    for (step, op) in trace.iter().enumerate() {
+        if op.skipped(model.element_count()) {
+            out.ops_skipped += 1;
+            continue;
+        }
+        // Predict the post-state on a copy of the oracle.
+        let mut post_model = model.clone();
+        apply_model(&mut post_model, op);
+        let post_xml = post_model.to_xml();
+
+        // Pre-step disk snapshot for the crash sweep. The previous commit
+        // checkpointed, so the snapshot is the complete pre-step state.
+        let snap = match mode {
+            CrashMode::Sweep { .. } => Some(disk.snapshot()),
+            CrashMode::None => None,
+        };
+
+        // Fault-free mainline: the live store must reach the post-state.
+        apply_store(&mut store, op).map_err(|e| fail(step, None, format!("op failed: {e}")))?;
+        full_check(&mut store, &post_xml, "mainline").map_err(|m| fail(step, None, m))?;
+
+        if let Some(snap) = snap {
+            let CrashMode::Sweep { max_points_per_op } = mode else {
+                unreachable!()
+            };
+            // Power-cut sweep: crash at write event n = 1, 2, ... of this
+            // step, alternating clean and torn cuts, until the step
+            // commits under the cut (or the per-step cap is reached).
+            let mut n = 1u64;
+            loop {
+                if max_points_per_op > 0 && n > max_points_per_op {
+                    break;
+                }
+                let torn = (n + step as u64).is_multiple_of(2);
+                let disk2 = SharedMemPager::from_snapshot(&snap);
+                let faulty = FaultInjectingPager::new(
+                    Box::new(disk2.clone()),
+                    FaultSchedule::power_cut(n, torn),
+                );
+                // The snapshot is checkpointed: opening performs no writes
+                // and must succeed.
+                let mut s2 = XmlStore::open(Box::new(faulty), config)
+                    .map_err(|e| fail(step, Some((n, torn)), format!("open before cut: {e}")))?;
+                let r = apply_store(&mut s2, op);
+                drop(s2);
+                let mut re = XmlStore::open(Box::new(disk2.clone()), config).map_err(|e| {
+                    fail(step, Some((n, torn)), format!("recovery open failed: {e}"))
+                })?;
+                re.check_consistency().map_err(|e| {
+                    fail(
+                        step,
+                        Some((n, torn)),
+                        format!("recovered store inconsistent: {e}"),
+                    )
+                })?;
+                let got = re
+                    .to_document()
+                    .map_err(|e| {
+                        fail(
+                            step,
+                            Some((n, torn)),
+                            format!("recovered serialization: {e}"),
+                        )
+                    })?
+                    .to_xml();
+                out.crash_points += 1;
+                if r.is_ok() {
+                    // The cut fired at or past the end of the step's write
+                    // window: it must have committed.
+                    if got != post_xml {
+                        return Err(fail(
+                            step,
+                            Some((n, torn)),
+                            format!("committed step lost after crash\n  got: {got}"),
+                        ));
+                    }
+                    break;
+                }
+                if got != cur_xml && got != post_xml {
+                    return Err(fail(
+                        step,
+                        Some((n, torn)),
+                        format!(
+                            "crash recovered to a third state\n  got:  {got}\n  pre:  {cur_xml}\n  post: {post_xml}"
+                        ),
+                    ));
+                }
+                n += 1;
+                if n > 100_000 {
+                    return Err(fail(
+                        step,
+                        Some((n, torn)),
+                        "crash sweep did not terminate".to_string(),
+                    ));
+                }
+            }
+
+            // Transient write-error probe: the *live* handle must survive
+            // and land in the pre- or post-state.
+            let at = 1 + (step as u64 % 7);
+            let disk3 = SharedMemPager::from_snapshot(&snap);
+            let faulty =
+                FaultInjectingPager::new(Box::new(disk3.clone()), FaultSchedule::write_error(at));
+            let mut s3 = XmlStore::open(Box::new(faulty), config)
+                .map_err(|e| fail(step, None, format!("open for error probe: {e}")))?;
+            let r = apply_store(&mut s3, op);
+            s3.check_consistency().map_err(|e| {
+                fail(
+                    step,
+                    None,
+                    format!("live store broken by write error at {at}: {e}"),
+                )
+            })?;
+            let live = s3
+                .to_document()
+                .map_err(|e| fail(step, None, format!("error-probe serialization: {e}")))?
+                .to_xml();
+            let want_live = if r.is_ok() { &post_xml } else { &cur_xml };
+            if &live != want_live {
+                return Err(fail(
+                    step,
+                    None,
+                    format!(
+                        "write error at {at} left a wrong live state (op {}): {live}",
+                        if r.is_ok() {
+                            "succeeded"
+                        } else {
+                            "rolled back"
+                        }
+                    ),
+                ));
+            }
+            out.crash_points += 1;
+        }
+
+        model = post_model;
+        cur_xml = post_xml;
+        out.ops_applied += 1;
+    }
+    Ok(out)
+}
+
+/// Shrink a failing trace: first truncate to the failing step, then
+/// greedily drop ops while the run keeps failing. Returns the trace
+/// unchanged if the failure does not reproduce (flaky environments).
+pub fn shrink_trace(doc: &Document, k: u64, trace: &[Op], mode: CrashMode) -> Vec<Op> {
+    let mut cur: Vec<Op> = trace.to_vec();
+    let Err(f) = run_trace(doc, k, &cur, mode) else {
+        return cur;
+    };
+    cur.truncate(f.step + 1);
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if run_trace(doc, k, &cand, mode).is_err() {
+                cur = cand;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    cur
+}
+
+/// A shrunk, replayable failure found by a campaign.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub workload: String,
+    pub scale: f64,
+    pub gen_seed: u64,
+    pub k: u64,
+    pub fuzz_seed: u64,
+    pub step: usize,
+    pub crash: Option<(u64, bool)>,
+    pub message: String,
+    /// The shrunk trace (replaying it with a full sweep reproduces).
+    pub trace: Vec<Op>,
+}
+
+impl Failure {
+    /// Replayable script: a `workload` header line plus one op per line.
+    /// Feed it to [`crate::replay`].
+    pub fn script(&self) -> String {
+        let mut s = format!(
+            "workload {} scale {} gen-seed {} k {}\n",
+            self.workload, self.scale, self.gen_seed, self.k
+        );
+        for op in &self.trace {
+            s.push_str(&format_op(op));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// A ready-to-paste regression test exercising the shrunk trace.
+    pub fn regression_test(&self) -> String {
+        let name: String = self
+            .workload
+            .trim_end_matches(".xml")
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!(
+            "#[test]\nfn regression_{name}_k{}_seed{}() {{\n    natix_testkit::replay(\n        r#\"\n{}\"#,\n    )\n    .unwrap();\n}}\n",
+            self.k,
+            self.fuzz_seed,
+            self.script()
+        )
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "FAILURE in {} (k={}, fuzz seed {}) at step {}{}:",
+            self.workload,
+            self.k,
+            self.fuzz_seed,
+            self.step,
+            match self.crash {
+                Some((n, torn)) => format!(" (power cut at write {n}, torn={torn})"),
+                None => String::new(),
+            }
+        )?;
+        writeln!(f, "  {}", self.message.replace('\n', "\n  "))?;
+        writeln!(f, "replay script:\n{}", self.script())?;
+        writeln!(f, "regression test:\n{}", self.regression_test())
+    }
+}
+
+/// Campaign configuration: the cross product of workloads, record
+/// limits, and fuzz seeds, each run driving `ops_per_run` steps.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    pub scale: f64,
+    pub gen_seed: u64,
+    pub fuzz_seeds: Vec<u64>,
+    pub ops_per_run: usize,
+    pub record_limits: Vec<u64>,
+    pub mode: CrashMode,
+    /// Stop after this many (shrunk) failures.
+    pub max_failures: usize,
+}
+
+impl CampaignConfig {
+    /// CI smoke tier: all six workloads, one seed, capped sweep.
+    /// Finishes in seconds.
+    pub fn quick() -> CampaignConfig {
+        CampaignConfig {
+            scale: 0.001,
+            gen_seed: 1,
+            fuzz_seeds: vec![1],
+            ops_per_run: 6,
+            record_limits: vec![32],
+            mode: CrashMode::Sweep {
+                max_points_per_op: 8,
+            },
+            max_failures: 3,
+        }
+    }
+
+    /// Full soak: two seeds, two record limits, uncapped power-cut
+    /// sweep — well over 1000 crash points across the six workloads.
+    pub fn full() -> CampaignConfig {
+        CampaignConfig {
+            scale: 0.002,
+            gen_seed: 1,
+            fuzz_seeds: vec![1, 2],
+            ops_per_run: 10,
+            record_limits: vec![24, 96],
+            mode: CrashMode::Sweep {
+                max_points_per_op: 0,
+            },
+            max_failures: 3,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    pub runs: u64,
+    pub ops_applied: u64,
+    pub ops_skipped: u64,
+    pub crash_points: u64,
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    pub fn summary(&self) -> String {
+        format!(
+            "{} runs, {} ops applied ({} skipped), {} crash points, {} failure(s)",
+            self.runs,
+            self.ops_applied,
+            self.ops_skipped,
+            self.crash_points,
+            self.failures.len()
+        )
+    }
+}
+
+/// Derive the trace seed for one run. Mixed so that every (workload,
+/// record limit, fuzz seed) cell sees a distinct trace; deterministic
+/// across processes.
+fn trace_seed(fuzz_seed: u64, k: u64, workload_index: u64) -> u64 {
+    fuzz_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(k.wrapping_mul(0x2545_f491_4f6c_dd1d))
+        .wrapping_add(workload_index)
+}
+
+/// Run a campaign; `progress` receives one line per run. Failing traces
+/// are shrunk before being reported.
+pub fn run_campaign(cfg: &CampaignConfig, mut progress: impl FnMut(&str)) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    'outer: for (wi, w) in workloads(cfg.scale, cfg.gen_seed).into_iter().enumerate() {
+        for &k in &cfg.record_limits {
+            for &fuzz_seed in &cfg.fuzz_seeds {
+                let trace = generate_trace(trace_seed(fuzz_seed, k, wi as u64), cfg.ops_per_run);
+                report.runs += 1;
+                match run_trace(&w.doc, k, &trace, cfg.mode) {
+                    Ok(o) => {
+                        report.ops_applied += o.ops_applied;
+                        report.ops_skipped += o.ops_skipped;
+                        report.crash_points += o.crash_points;
+                        progress(&format!(
+                            "ok   {} k={k} seed={fuzz_seed}: {} ops, {} crash points",
+                            w.name, o.ops_applied, o.crash_points
+                        ));
+                    }
+                    Err(first) => {
+                        progress(&format!(
+                            "FAIL {} k={k} seed={fuzz_seed} at step {}: shrinking...",
+                            w.name, first.step
+                        ));
+                        let shrunk = shrink_trace(&w.doc, k, &trace, cfg.mode);
+                        let last = run_trace(&w.doc, k, &shrunk, cfg.mode)
+                            .err()
+                            .unwrap_or(first);
+                        report.failures.push(Failure {
+                            workload: w.name.clone(),
+                            scale: cfg.scale,
+                            gen_seed: cfg.gen_seed,
+                            k,
+                            fuzz_seed,
+                            step: last.step,
+                            crash: last.crash,
+                            message: last.message,
+                            trace: shrunk,
+                        });
+                        if report.failures.len() >= cfg.max_failures {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Replay a script produced by [`Failure::script`]: regenerate the
+/// workload, run the trace with an uncapped crash sweep, and return the
+/// outcome (or a failure description). Blank lines and `#` comments are
+/// ignored.
+pub fn replay(script: &str) -> Result<RunOutcome, String> {
+    let mut lines = script
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or_else(|| "empty script".to_string())?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    let [kw, name, s_kw, scale, g_kw, gen_seed, k_kw, k] = toks[..] else {
+        return Err(format!(
+            "bad header `{header}` (want `workload <name> scale <s> gen-seed <g> k <k>`)"
+        ));
+    };
+    if (kw, s_kw, g_kw, k_kw) != ("workload", "scale", "gen-seed", "k") {
+        return Err(format!("bad header keywords in `{header}`"));
+    }
+    let scale: f64 = scale.parse().map_err(|e| format!("bad scale: {e}"))?;
+    let gen_seed: u64 = gen_seed.parse().map_err(|e| format!("bad gen-seed: {e}"))?;
+    let k: u64 = k.parse().map_err(|e| format!("bad k: {e}"))?;
+    let trace = lines.map(parse_op).collect::<Result<Vec<_>, _>>()?;
+    let w = workload_by_name(name, scale, gen_seed)
+        .ok_or_else(|| format!("unknown workload `{name}`"))?;
+    run_trace(
+        &w.doc,
+        k,
+        &trace,
+        CrashMode::Sweep {
+            max_points_per_op: 0,
+        },
+    )
+    .map_err(|f| {
+        format!(
+            "step {}{}: {}",
+            f.step,
+            match f.crash {
+                Some((n, torn)) => format!(" (power cut at write {n}, torn={torn})"),
+                None => String::new(),
+            },
+            f.message
+        )
+    })
+}

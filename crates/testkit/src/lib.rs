@@ -1,0 +1,33 @@
+//! Model-based crash/update fuzz harness for the natix store.
+//!
+//! The harness drives [`natix_store::XmlStore`] and an in-memory oracle
+//! ([`ModelTree`]) through identical seeded traces of update operations
+//! over the Table 1 evaluation documents, checking after every step:
+//!
+//! 1. **Oracle equivalence** — the store serializes to exactly the
+//!    oracle's document;
+//! 2. **Structural consistency** — the full record-graph validator
+//!    (`check_consistency`) passes, including record weight limits;
+//! 3. **Crash safety** — replaying the step from a pre-step disk
+//!    snapshot with a power cut (clean or torn) at every write event,
+//!    then reopening, recovers to the pre- or post-step document; and a
+//!    transient write-error probe leaves the *live* handle consistent.
+//!
+//! Failing traces are shrunk to a minimal reproduction and rendered as a
+//! line-format script replayable with [`replay`], plus a ready-to-paste
+//! regression test ([`Failure::regression_test`]).
+//!
+//! Entry points: [`run_campaign`] with [`CampaignConfig::quick`] (CI
+//! smoke tier, seconds) or [`CampaignConfig::full`] (≥1000 crash
+//! points); [`run_trace`] for a single trace; [`replay`] for scripts.
+
+mod fuzz;
+mod model;
+mod ops;
+
+pub use fuzz::{
+    min_record_limit, replay, run_campaign, run_trace, shrink_trace, workload_by_name, workloads,
+    CampaignConfig, CampaignReport, CrashMode, Failure, RunOutcome, TraceFailure, Workload,
+};
+pub use model::ModelTree;
+pub use ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};

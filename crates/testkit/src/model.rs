@@ -1,0 +1,175 @@
+//! In-memory oracle: a plain mutable tree with the same serialization
+//! rules as the store. The fuzzer applies every operation to both the
+//! oracle and the store under test and compares serializations.
+
+use natix_xml::{Document, DocumentBuilder, NodeId, NodeKind};
+
+#[derive(Clone)]
+struct MNode {
+    kind: NodeKind,
+    name: String,
+    content: Option<String>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+/// A mutable model of the document, independent of the store's record
+/// layout. Nodes are arena-allocated; deletion unlinks the subtree (its
+/// arena slots become unreachable garbage, which the traversals never
+/// revisit).
+#[derive(Clone)]
+pub struct ModelTree {
+    nodes: Vec<MNode>,
+    root: usize,
+}
+
+impl ModelTree {
+    pub fn from_document(doc: &Document) -> ModelTree {
+        let tree = doc.tree();
+        // Arena ids mirror the document's NodeIds (root = 0).
+        let nodes = tree
+            .node_ids()
+            .map(|v| MNode {
+                kind: doc.kind(v),
+                name: doc.name(v).to_string(),
+                content: doc.content(v).map(str::to_string),
+                parent: tree.parent(v).map(|p| p.index()),
+                children: tree.children(v).iter().map(|c| c.index()).collect(),
+            })
+            .collect();
+        ModelTree {
+            nodes,
+            root: doc.root().index(),
+        }
+    }
+
+    /// Live element ids in document (preorder) order. Index 0 is always
+    /// the root; the fuzzer addresses operation targets as positions in
+    /// this list so that shrunk traces stay meaningful.
+    pub fn elements(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if self.nodes[id].kind == NodeKind::Element {
+                out.push(id);
+            }
+            for &c in self.nodes[id].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    pub fn element_count(&self) -> usize {
+        self.elements().len()
+    }
+
+    fn push(&mut self, kind: NodeKind, name: &str, content: Option<&str>) -> usize {
+        self.nodes.push(MNode {
+            kind,
+            name: name.to_string(),
+            content: content.map(str::to_string),
+            parent: None,
+            children: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    pub fn append_child(
+        &mut self,
+        parent: usize,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) {
+        let n = self.push(kind, name, content);
+        self.nodes[n].parent = Some(parent);
+        self.nodes[parent].children.push(n);
+    }
+
+    /// Insert a new node immediately before `sibling`. Panics if `sibling`
+    /// is the root (callers must skip such operations).
+    pub fn insert_before(
+        &mut self,
+        sibling: usize,
+        kind: NodeKind,
+        name: &str,
+        content: Option<&str>,
+    ) {
+        let parent = self.nodes[sibling].parent.expect("sibling has a parent");
+        let pos = self.nodes[parent]
+            .children
+            .iter()
+            .position(|&c| c == sibling)
+            .expect("sibling is linked under its parent");
+        let n = self.push(kind, name, content);
+        self.nodes[n].parent = Some(parent);
+        self.nodes[parent].children.insert(pos, n);
+    }
+
+    /// Unlink the subtree rooted at `id`. Panics if `id` is the root.
+    pub fn delete_subtree(&mut self, id: usize) {
+        let parent = self.nodes[id].parent.expect("cannot delete the root");
+        self.nodes[parent].children.retain(|&c| c != id);
+        self.nodes[id].parent = None;
+    }
+
+    /// Serialize exactly the way the store's `to_document` path does:
+    /// rebuild a `Document` through `DocumentBuilder` and render it.
+    pub fn to_xml(&self) -> String {
+        let mut b = DocumentBuilder::new(&self.nodes[self.root].name);
+        let mut stack: Vec<(usize, NodeId)> = vec![(self.root, NodeId::ROOT)];
+        while let Some((id, target)) = stack.pop() {
+            for &c in &self.nodes[id].children {
+                let node = &self.nodes[c];
+                let content = node.content.as_deref().unwrap_or_default();
+                match node.kind {
+                    NodeKind::Element => {
+                        let t = b.element(target, &node.name);
+                        stack.push((c, t));
+                    }
+                    NodeKind::Attribute => {
+                        b.attribute(target, &node.name, content);
+                    }
+                    NodeKind::Text => {
+                        b.text(target, content);
+                    }
+                    NodeKind::Comment => {
+                        b.comment(target, content);
+                    }
+                    NodeKind::ProcessingInstruction => {
+                        b.processing_instruction(target, &node.name, content);
+                    }
+                }
+            }
+        }
+        b.build().to_xml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_xml::parse;
+
+    #[test]
+    fn model_roundtrips_a_parsed_document() {
+        let xml = "<a x=\"1\"><b>hi</b><!--note--><c><d/>tail</c></a>";
+        let doc = parse(xml).unwrap();
+        let model = ModelTree::from_document(&doc);
+        assert_eq!(model.to_xml(), doc.to_xml());
+    }
+
+    #[test]
+    fn mutations_track_document_structure() {
+        let doc = parse("<a><b/><c/></a>").unwrap();
+        let mut model = ModelTree::from_document(&doc);
+        let els = model.elements();
+        assert_eq!(els.len(), 3);
+        model.append_child(els[0], NodeKind::Text, "#text", Some("x"));
+        model.insert_before(els[2], NodeKind::Element, "mid", None);
+        model.delete_subtree(els[1]);
+        assert_eq!(model.to_xml(), "<a><mid/><c/>x</a>");
+        assert_eq!(model.element_count(), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fuzz operations: a small update language whose targets are *positions
+//! in the live element preorder*, resolved modulo the current element
+//! count at execution time. That indirection keeps every operation
+//! meaningful after earlier trace entries are removed during shrinking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One update step. `target` picks the element at preorder position
+/// `target % element_count` when the step executes; `tag` seeds the new
+/// node's name or text payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Append a new element child under the target element.
+    AppendElement { target: usize, tag: u32 },
+    /// Append a new text child under the target element.
+    AppendText { target: usize, tag: u32 },
+    /// Insert a new element immediately before the target element.
+    /// Skipped when the target resolves to the document root.
+    InsertBefore { target: usize, tag: u32 },
+    /// Delete the subtree rooted at the target element.
+    /// Skipped when the target resolves to the document root.
+    Delete { target: usize },
+}
+
+impl Op {
+    /// Whether this op is a no-op for the given element count (it would
+    /// target the root with an operation the root does not support).
+    pub fn skipped(&self, element_count: usize) -> bool {
+        match *self {
+            Op::AppendElement { .. } | Op::AppendText { .. } => false,
+            Op::InsertBefore { target, .. } | Op::Delete { target } => target % element_count == 0,
+        }
+    }
+}
+
+/// Element name for a tag: mixes fresh names with repeats so traces
+/// exercise both label-table growth and interning hits.
+pub fn name_for(tag: u32) -> String {
+    if tag.is_multiple_of(3) {
+        format!("n{tag}")
+    } else {
+        format!("t{}", tag % 7)
+    }
+}
+
+/// Text payload for a tag: heavy enough that a run of appends forces
+/// record splits at the fuzzer's record limits.
+pub fn text_for(tag: u32) -> String {
+    format!("text payload number {tag:04} with enough padding to carry weight")
+}
+
+/// Deterministically generate an `n`-step trace from `seed`. Targets are
+/// drawn from a wide range and reduced modulo the live element count at
+/// execution time.
+pub fn generate_trace(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let tag = i as u32;
+            let target = rng.gen_range(0..1_000_000usize);
+            match rng.gen_range(0..10u32) {
+                0..=4 => Op::AppendElement { target, tag },
+                5..=6 => Op::AppendText { target, tag },
+                7..=8 => Op::InsertBefore { target, tag },
+                _ => Op::Delete { target },
+            }
+        })
+        .collect()
+}
+
+/// One line per op, parseable by [`parse_op`].
+pub fn format_op(op: &Op) -> String {
+    match *op {
+        Op::AppendElement { target, tag } => format!("append-element {target} {tag}"),
+        Op::AppendText { target, tag } => format!("append-text {target} {tag}"),
+        Op::InsertBefore { target, tag } => format!("insert-before {target} {tag}"),
+        Op::Delete { target } => format!("delete {target}"),
+    }
+}
+
+pub fn parse_op(line: &str) -> Result<Op, String> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or_else(|| "empty op line".to_string())?;
+    let mut num = |what: &str| -> Result<u64, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("op `{verb}`: missing {what}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("op `{verb}`: bad {what}: {e}"))
+    };
+    let op = match verb {
+        "append-element" => Op::AppendElement {
+            target: num("target")? as usize,
+            tag: num("tag")? as u32,
+        },
+        "append-text" => Op::AppendText {
+            target: num("target")? as usize,
+            tag: num("tag")? as u32,
+        },
+        "insert-before" => Op::InsertBefore {
+            target: num("target")? as usize,
+            tag: num("tag")? as u32,
+        },
+        "delete" => Op::Delete {
+            target: num("target")? as usize,
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    if parts.next().is_some() {
+        return Err(format!("op `{verb}`: trailing tokens"));
+    }
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        assert_eq!(generate_trace(42, 20), generate_trace(42, 20));
+        assert_ne!(generate_trace(42, 20), generate_trace(43, 20));
+    }
+
+    #[test]
+    fn ops_roundtrip_through_the_line_format() {
+        for op in generate_trace(7, 50) {
+            let line = format_op(&op);
+            assert_eq!(parse_op(&line).unwrap(), op, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(parse_op("").is_err());
+        assert!(parse_op("frobnicate 1 2").is_err());
+        assert!(parse_op("delete").is_err());
+        assert!(parse_op("delete 1 2").is_err());
+        assert!(parse_op("append-element 1 two").is_err());
+    }
+
+    #[test]
+    fn root_targeting_structure_ops_are_skipped() {
+        assert!(Op::Delete { target: 10 }.skipped(5));
+        assert!(!Op::Delete { target: 11 }.skipped(5));
+        assert!(Op::InsertBefore { target: 0, tag: 1 }.skipped(3));
+        assert!(!Op::AppendElement { target: 0, tag: 1 }.skipped(3));
+    }
+}

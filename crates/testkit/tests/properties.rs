@@ -1,0 +1,35 @@
+//! Property wrapper around the fuzz harness: random (workload, seed, K)
+//! cells must run a crash-swept trace cleanly. On failure the proptest
+//! shim prints the case inputs — workload index, fuzz seed, and K — so
+//! a CI failure is reproducible locally with the same numbers.
+
+use natix_testkit::{generate_trace, run_trace, workloads, CrashMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_traces_with_crash_sweeps_stay_oracle_equivalent(
+        workload in 0usize..6,
+        fuzz_seed in 0u64..1_000_000,
+        k in 8u64..200,
+    ) {
+        let w = &workloads(0.001, 1)[workload];
+        let trace = generate_trace(fuzz_seed, 5);
+        let r = run_trace(
+            &w.doc,
+            k,
+            &trace,
+            CrashMode::Sweep { max_points_per_op: 6 },
+        );
+        prop_assert!(
+            r.is_ok(),
+            "workload={} fuzz_seed={} k={}: {:?}",
+            w.name,
+            fuzz_seed,
+            k,
+            r.err()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end runs of the fuzz harness: the quick campaign (the CI
+//! smoke tier) must pass cleanly and deterministically, and scripts
+//! must replay.
+
+use natix_testkit::{
+    replay, run_campaign, run_trace, workload_by_name, CampaignConfig, CrashMode, Failure, Op,
+};
+
+#[test]
+fn quick_campaign_is_clean() {
+    let cfg = CampaignConfig::quick();
+    let report = run_campaign(&cfg, |_| {});
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.runs, 6, "one run per Table 1 workload");
+    assert!(
+        report.crash_points > 50,
+        "sweep exercised too few crash points: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn campaign_outcomes_are_reproducible() {
+    let cfg = CampaignConfig::quick();
+    let a = run_campaign(&cfg, |_| {});
+    let b = run_campaign(&cfg, |_| {});
+    assert_eq!(a.summary(), b.summary());
+}
+
+#[test]
+fn handwritten_script_replays_clean() {
+    let outcome = replay(
+        "\
+# exercise appends, a split-prone text run, an insert and a delete
+workload SigmodRecord.xml scale 0.001 gen-seed 1 k 24
+append-element 3 0
+append-text 3 1
+append-text 3 2
+insert-before 5 3
+delete 7
+",
+    )
+    .unwrap();
+    assert_eq!(outcome.ops_applied + outcome.ops_skipped, 5);
+    assert!(outcome.crash_points > 10);
+}
+
+#[test]
+fn replay_rejects_malformed_scripts() {
+    assert!(replay("").is_err());
+    assert!(replay("workload nope.xml scale 0.001 gen-seed 1 k 24\n").is_err());
+    assert!(replay("workload SigmodRecord.xml scale x gen-seed 1 k 24").is_err());
+    assert!(
+        replay("workload SigmodRecord.xml scale 0.001 gen-seed 1 k 24\nfrobnicate 1\n").is_err()
+    );
+}
+
+#[test]
+fn uncapped_sweep_covers_every_write_of_a_splitting_run() {
+    // One workload, uncapped: every write event of every step gets a
+    // power cut. Small record limit forces record splits mid-trace.
+    let w = workload_by_name("partsupp.xml", 0.001, 1).unwrap();
+    let trace = [
+        Op::AppendText { target: 2, tag: 0 },
+        Op::AppendText { target: 2, tag: 1 },
+        Op::AppendText { target: 2, tag: 2 },
+        Op::Delete { target: 2 },
+    ];
+    let outcome = run_trace(
+        &w.doc,
+        16,
+        &trace,
+        CrashMode::Sweep {
+            max_points_per_op: 0,
+        },
+    )
+    .unwrap_or_else(|f| panic!("step {}: {}", f.step, f.message));
+    assert_eq!(outcome.ops_applied, 4);
+    // Each commit writes catalog + journal + headers: a full sweep of
+    // four ops has a real write window.
+    assert!(outcome.crash_points > 40, "{outcome:?}");
+}
+
+#[test]
+fn failure_rendering_is_replayable_and_pasteable() {
+    let f = Failure {
+        workload: "SigmodRecord.xml".to_string(),
+        scale: 0.001,
+        gen_seed: 1,
+        k: 24,
+        fuzz_seed: 9,
+        step: 1,
+        crash: Some((3, true)),
+        message: "example".to_string(),
+        trace: vec![
+            Op::AppendElement { target: 3, tag: 0 },
+            Op::Delete { target: 5 },
+        ],
+    };
+    let script = f.script();
+    assert_eq!(
+        script,
+        "workload SigmodRecord.xml scale 0.001 gen-seed 1 k 24\nappend-element 3 0\ndelete 5\n"
+    );
+    // The rendered regression test embeds the script verbatim.
+    let test = f.regression_test();
+    assert!(test.contains("fn regression_SigmodRecord_k24_seed9()"));
+    assert!(test.contains(&script));
+    assert!(test.contains("natix_testkit::replay"));
+    // And the embedded script actually replays (the trace is benign).
+    replay(&script).unwrap();
+}
+
+#[test]
+fn shrink_returns_passing_traces_unchanged() {
+    let w = workload_by_name("orders.xml", 0.001, 1).unwrap();
+    let trace = natix_testkit::generate_trace(5, 4);
+    let shrunk = natix_testkit::shrink_trace(&w.doc, 32, &trace, CrashMode::None);
+    assert_eq!(shrunk, trace, "a clean trace must not be shrunk");
+}

@@ -16,4 +16,7 @@ cargo test -q
 echo "==> dp_speed --quick (DP engine smoke: cached == uncached, sharing + pruning active)"
 cargo run --release -p natix-bench --bin dp_speed -- --quick
 
+echo "==> natix soak --quick (crash/update fuzz smoke: model oracle + power-cut sweeps; failures print replayable seeds/scripts)"
+cargo run --release -p natix-cli -- soak --quick
+
 echo "CI OK"
