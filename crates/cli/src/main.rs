@@ -6,10 +6,20 @@
 //!                 [--stats] [--no-dag-cache]
 //! natix load      <file.xml> <store.natix> [--alg ekm] [--k 256] [--threads N] [--no-dag-cache]
 //! natix query     <store.natix> '<xpath>' [--count]
-//! natix dump      <store.natix>
+//! natix dump      <store.natix> [--degraded]
 //! natix stats     <store.natix>
-//! natix soak      [--quick] [--seed N] [--replay <script>]
+//! natix fsck      <store.natix> [--repair]
+//! natix soak      [--quick] [--corruption] [--seed N] [--replay <script>]
 //! ```
+//!
+//! `natix fsck` scrubs a store file — header slots, pending journal,
+//! catalog, page checksums, and the full partition-record graph — and
+//! prints a machine-readable report (one `finding ...` line per
+//! problem). With `--repair` it salvages every record that still passes
+//! its checksum, rebuilds the catalog from the survivors, and
+//! quarantines the rest; quarantined subtrees are readable via
+//! `natix dump --degraded`, which prints the surviving document plus a
+//! damage report naming each missing sibling interval.
 //!
 //! `natix soak` runs the model-based crash/update fuzz harness of
 //! `natix-testkit`: seeded update traces over the Table 1 evaluation
@@ -18,6 +28,11 @@
 //! the CI smoke tier (seconds); the default full campaign exercises
 //! over a thousand crash points. Failing traces are shrunk and printed
 //! as replayable scripts; `--replay` re-runs such a script.
+//! `--corruption` swaps the power-cut sweep for the bit-rot sweep: every
+//! page class of every committed state is corrupted and the store must
+//! detect or correct, never read silently wrong. On any abnormal end —
+//! including a panic — a drop guard prints the seeds in play and the
+//! exact command line to reproduce.
 //!
 //! `--threads N` runs the table-building algorithms (DHW, GHDW) on N worker
 //! threads; the output is identical to the sequential run. It defaults to
@@ -39,7 +54,7 @@ use natix_core::{
     ghdw_with_statistics, parallel, Bfs, CachedDhw, CachedGhdw, Dfs, Dhw, DpStats, Ekm, Ghdw, Km,
     Lukes, ParallelDhw, ParallelGhdw, Partitioner, Rs,
 };
-use natix_store::{bulkload_with, FilePager, StoreConfig, XmlStore};
+use natix_store::{bulkload_with, fsck, FilePager, OpenMode, StoreConfig, XmlStore};
 use natix_tree::validate;
 use natix_xml::NodeKind;
 use natix_xpath::{eval_query, StoreNavigator};
@@ -51,9 +66,10 @@ fn usage() -> ExitCode {
          natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS] [--threads N] \
          [--no-dag-cache]\n  \
          natix query <store.natix> '<xpath>' [--count]\n  \
-         natix dump <store.natix>\n  \
+         natix dump <store.natix> [--degraded]\n  \
          natix stats <store.natix>\n  \
-         natix soak [--quick] [--seed N] [--replay <script>]\n\
+         natix fsck <store.natix> [--repair]\n  \
+         natix soak [--quick] [--corruption] [--seed N] [--replay <script>]\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
          --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
@@ -302,10 +318,49 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
 fn cmd_dump(args: &[String]) -> Result<(), String> {
     let store_path = args.first().ok_or("missing <store.natix>")?;
+    let degraded = args.iter().any(|a| a == "--degraded");
+    if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--degraded") {
+        return Err(format!("unknown option {bad}"));
+    }
+    if degraded {
+        let pager =
+            FilePager::open(Path::new(store_path)).map_err(|e| format!("{store_path}: {e}"))?;
+        let mut store =
+            XmlStore::open_with(Box::new(pager), StoreConfig::default(), OpenMode::Degraded)
+                .map_err(|e| format!("{store_path}: {e}"))?;
+        let (doc, damage) = store.to_document_degraded().map_err(|e| e.to_string())?;
+        println!("{}", doc.to_xml());
+        eprintln!("{damage}");
+        return Ok(());
+    }
     let mut store = open_store(store_path)?;
     let doc = store.to_document().map_err(|e| e.to_string())?;
     println!("{}", doc.to_xml());
     Ok(())
+}
+
+/// `natix fsck`: scrub a store file; with `--repair`, salvage the
+/// records that still verify and quarantine the rest. Exit 0 when the
+/// store is clean (or the repair succeeded); the report goes to stdout.
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    let store_path = args.first().ok_or("missing <store.natix>")?;
+    let repair = args.iter().any(|a| a == "--repair");
+    if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--repair") {
+        return Err(format!("unknown option {bad}"));
+    }
+    let mut pager =
+        FilePager::open(Path::new(store_path)).map_err(|e| format!("{store_path}: {e}"))?;
+    let report = fsck(&mut pager, repair);
+    print!("{report}");
+    if report.clean() || report.repaired {
+        Ok(())
+    } else {
+        Err(format!(
+            "{store_path}: {} error(s) found{}",
+            report.errors(),
+            if repair { "; repair failed" } else { "" }
+        ))
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -324,17 +379,56 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Drop guard for `natix soak`: unless disarmed by a clean finish, it
+/// prints the seeds in play and the exact command line to reproduce —
+/// on failure exits *and* on panics anywhere in the harness, so a crash
+/// never eats the reproduction info.
+struct ReplayBanner {
+    armed: bool,
+    rerun: String,
+    seeds: Vec<u64>,
+}
+
+impl ReplayBanner {
+    fn new(rerun: String, seeds: Vec<u64>) -> ReplayBanner {
+        ReplayBanner {
+            armed: true,
+            rerun,
+            seeds,
+        }
+    }
+
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ReplayBanner {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        eprintln!("soak: run did not finish cleanly");
+        eprintln!("soak: seeds in play: {:?}", self.seeds);
+        eprintln!("soak: reproduce with: {}", self.rerun);
+        eprintln!("soak: shrunk failures above embed `--replay` scripts when available");
+    }
+}
+
 /// `natix soak`: run the crash/update fuzz campaign (or replay a shrunk
 /// failure script). Progress goes to stderr, the summary to stdout; a
 /// non-zero exit means at least one shrunk failure was printed.
+/// `--corruption` runs the bit-rot sweep instead of the power-cut sweep.
 fn cmd_soak(args: &[String]) -> Result<(), String> {
     let mut quick = false;
+    let mut corruption = false;
     let mut seed: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--corruption" => corruption = true,
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -351,7 +445,9 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = replay_path {
         let script = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let mut banner = ReplayBanner::new(format!("natix soak --replay {path}"), vec![]);
         let outcome = natix_testkit::replay(&script)?;
+        banner.disarm();
         println!(
             "replay ok: {} ops applied ({} skipped), {} crash points",
             outcome.ops_applied, outcome.ops_skipped, outcome.crash_points
@@ -366,16 +462,34 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
     if let Some(s) = seed {
         cfg.fuzz_seeds = vec![s];
     }
-    let report = natix_testkit::run_campaign(&cfg, |line| eprintln!("  {line}"));
+    let mut banner = ReplayBanner::new(
+        format!(
+            "natix soak{}{}{}",
+            if quick { " --quick" } else { "" },
+            if corruption { " --corruption" } else { "" },
+            match seed {
+                Some(s) => format!(" --seed {s}"),
+                None => String::new(),
+            }
+        ),
+        cfg.fuzz_seeds.clone(),
+    );
+    let report = if corruption {
+        natix_testkit::run_corruption_campaign(&cfg, |line| eprintln!("  {line}"))
+    } else {
+        natix_testkit::run_campaign(&cfg, |line| eprintln!("  {line}"))
+    };
     for f in &report.failures {
         eprintln!("{f}");
     }
     println!(
-        "soak ({}): {}",
+        "soak ({}{}): {}",
         if quick { "quick" } else { "full" },
+        if corruption { ", corruption" } else { "" },
         report.summary()
     );
     if report.ok() {
+        banner.disarm();
         Ok(())
     } else {
         Err(format!(
@@ -397,6 +511,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "dump" => cmd_dump(rest),
         "stats" => cmd_stats(rest),
+        "fsck" => cmd_fsck(rest),
         "soak" => cmd_soak(rest),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command {other}")),

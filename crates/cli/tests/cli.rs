@@ -176,6 +176,184 @@ fn load_query_dump_roundtrip() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+const PAGE_SIZE: usize = 8192;
+
+/// Byte offset of the page-class tag inside the 12-byte page frame.
+const CLASS_AT: usize = PAGE_SIZE - 10;
+
+/// XOR-rot a 100-byte run of the highest record-class page of a store
+/// file (never the first record page, which holds the root record).
+/// Returns the page number hit.
+fn rot_last_record_page(path: &std::path::Path) -> usize {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mut target = None;
+    for page in 2..bytes.len() / PAGE_SIZE {
+        let p = &bytes[page * PAGE_SIZE..(page + 1) * PAGE_SIZE];
+        if p.iter().any(|&b| b != 0) && p[CLASS_AT] == 2 {
+            target = Some(page);
+        }
+    }
+    let page = target.expect("a record page");
+    for b in &mut bytes[page * PAGE_SIZE + 100..page * PAGE_SIZE + 200] {
+        *b ^= 0x5A;
+    }
+    std::fs::write(path, bytes).unwrap();
+    page
+}
+
+/// A document fat enough that its records spread over several pages, so
+/// rotting one page leaves survivors to salvage.
+fn fat_sample() -> String {
+    let mut s = String::from("<site>");
+    for i in 0..24 {
+        s.push_str(&format!(
+            "<item id=\"i{i}\"><name>object number {i}</name><note>{}</note></item>",
+            format!("text content for padding {i} ").repeat(30)
+        ));
+    }
+    s.push_str("</site>");
+    s
+}
+
+#[test]
+fn fsck_scrubs_clean_and_flags_damage() {
+    let dir = tmpdir();
+    let xml = dir.join("lib.xml");
+    let store = dir.join("lib.natix");
+    std::fs::write(&xml, SAMPLE).unwrap();
+    let out = natix(&["load", xml.to_str().unwrap(), store.to_str().unwrap()]);
+    assert!(out.status.success());
+
+    let out = natix(&["fsck", store.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("fsck status=clean"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Destroy the winning header slot (bulkload publishes only slot 1):
+    // opening fails, plain fsck reports damage with a non-zero exit.
+    let mut bytes = std::fs::read(&store).unwrap();
+    for b in &mut bytes[PAGE_SIZE..2 * PAGE_SIZE] {
+        *b = 0xA5;
+    }
+    std::fs::write(&store, bytes).unwrap();
+    assert!(!natix(&["dump", store.to_str().unwrap()]).status.success());
+    let out = natix(&["fsck", store.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("fsck status=damaged"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // --repair rebuilds the catalog and headers from the surviving
+    // records; afterwards the store scrubs clean and dumps byte-equal.
+    let out = natix(&["fsck", store.to_str().unwrap(), "--repair"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("repair recovered="),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = natix(&["fsck", store.to_str().unwrap()]);
+    assert!(out.status.success());
+    let out = natix(&["dump", store.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), SAMPLE);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repair_quarantines_and_degraded_dump_reports_the_loss() {
+    let dir = tmpdir();
+    let xml = dir.join("site.xml");
+    let store = dir.join("site.natix");
+    std::fs::write(&xml, fat_sample()).unwrap();
+    let out = natix(&[
+        "load",
+        xml.to_str().unwrap(),
+        store.to_str().unwrap(),
+        "--k",
+        "160",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    rot_last_record_page(&store);
+    let out = natix(&["fsck", store.to_str().unwrap(), "--repair"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(report.contains("record-quarantined"), "{report}");
+
+    // The repaired store scrubs clean, strict dump refuses (data IS
+    // missing), and --degraded serves the survivors plus a damage report.
+    assert!(natix(&["fsck", store.to_str().unwrap()]).status.success());
+    assert!(!natix(&["dump", store.to_str().unwrap()]).status.success());
+    let out = natix(&["dump", store.to_str().unwrap(), "--degraded"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.starts_with("<site>"), "{doc}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("damage"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn soak_corruption_quick_tier_passes() {
+    let out = natix(&["soak", "--quick", "--corruption"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("soak (quick, corruption):"), "{stdout}");
+    // A clean run must NOT print the failure banner.
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("reproduce with"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn soak_failure_banner_survives_bad_replay() {
+    let dir = tmpdir();
+    let script = dir.join("bad.soak");
+    // A malformed script: the run cannot finish cleanly, so the drop
+    // guard must print the reproduction banner.
+    std::fs::write(&script, "workload nope.xml scale 0.001 gen-seed 1 k 24\n").unwrap();
+    let out = natix(&["soak", "--replay", script.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("soak: reproduce with:"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn errors_are_reported_not_panicked() {
     // Unknown command.

@@ -1,35 +1,38 @@
 //! On-disk catalog: dual header pages + serialized record directory and
 //! label table, so a bulkloaded store can be reopened from its page file.
 //!
-//! Layout (format version 2): pages 0 and 1 are *ping-pong header slots*.
+//! Layout (format version 3): pages 0 and 1 are *ping-pong header slots*.
 //! A header carries an epoch, the catalog location, and (while a commit is
 //! being checkpointed) a redo-journal location, protected by an FNV-64
 //! checksum. Header epoch `E` lives in slot `E % 2`, so publishing epoch
 //! `E + 1` never overwrites the current header — a torn header write can
 //! only corrupt the slot being replaced, and `open` falls back to the
-//! surviving one. The catalog itself (directory entries + labels) is
-//! written across dedicated pages appended after the data pages.
+//! surviving one. The catalog itself is written across dedicated pages
+//! appended after the data pages, as a self-describing `NCT3` blob that
+//! carries its own length, epoch, root record, record limit, quarantine
+//! list, and checksum — so `fsck --repair` can rediscover the newest
+//! intact catalog by scanning catalog-class pages even when both header
+//! slots are gone.
+//!
+//! Format version 2 (`NATIXST2` headers, bare catalog blobs, no page
+//! frames) is still decoded for read-only access to old stores.
 
-use crate::page::PAGE_SIZE;
+use crate::page::{fnv64, set_page_class, PageClass, PAGE_SIZE};
 use crate::pager::{PageId, StoreError, StoreResult};
 
-/// Magic bytes identifying a Natix store page file (format version 2:
-/// dual checksummed headers + redo journal).
-pub const MAGIC: &[u8; 8] = b"NATIXST2";
+/// Magic bytes identifying a Natix store page file (format version 3:
+/// dual checksummed headers + redo journal + per-page frames).
+pub const MAGIC: &[u8; 8] = b"NATIXST3";
 
-/// FNV-1a 64-bit hash, used as the header and journal checksum.
-pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
-    }
-    h
-}
+/// Magic of the previous format (no page frames); readable, not writable.
+pub const MAGIC_V2: &[u8; 8] = b"NATIXST2";
+
+/// Magic prefix of a serialized format-3 catalog blob.
+pub(crate) const CATALOG_MAGIC: &[u8; 4] = b"NCT3";
 
 /// Where a record's bytes live (public within the crate; the store keeps
 /// the authoritative copy).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RecordLoc {
     /// Inside a slotted page.
     InPage { page: u32, slot: u16 },
@@ -40,10 +43,16 @@ pub(crate) enum RecordLoc {
 }
 
 /// Everything needed to reopen a store.
+#[derive(Debug)]
 pub(crate) struct Catalog {
+    pub epoch: u64,
     pub root_record: u32,
+    pub record_limit: u64,
     pub directory: Vec<RecordLoc>,
     pub labels: Vec<Box<str>>,
+    /// Records quarantined by `fsck --repair`: unrecoverable partitions
+    /// whose proxies remain in their parents as tombstones.
+    pub quarantined: Vec<u32>,
 }
 
 /// Fixed header written into slot page `epoch % 2`.
@@ -79,44 +88,72 @@ pub(crate) fn encode_header(h: &Header) -> [u8; PAGE_SIZE] {
     buf[44..52].copy_from_slice(&h.journal_len.to_le_bytes());
     let sum = fnv64(&buf[..CHECKSUM_AT]);
     buf[CHECKSUM_AT..CHECKSUM_AT + 8].copy_from_slice(&sum.to_le_bytes());
+    set_page_class(&mut buf, PageClass::Header);
     buf
 }
 
 /// Decode one header slot; `None` if the slot does not hold a valid header
-/// (wrong magic, bad checksum — e.g. a torn header write).
-pub(crate) fn decode_header_slot(buf: &[u8; PAGE_SIZE]) -> Option<Header> {
-    if &buf[0..8] != MAGIC {
+/// (wrong magic, bad checksum — e.g. a torn header write). Returns the
+/// header and the store format version it announces (2 or 3).
+pub(crate) fn decode_header_slot(buf: &[u8; PAGE_SIZE]) -> Option<(Header, u8)> {
+    let version = if &buf[0..8] == MAGIC {
+        3
+    } else if &buf[0..8] == MAGIC_V2 {
+        2
+    } else {
         return None;
-    }
+    };
     let sum = u64::from_le_bytes(buf[CHECKSUM_AT..CHECKSUM_AT + 8].try_into().expect("8"));
     if fnv64(&buf[..CHECKSUM_AT]) != sum {
         return None;
     }
-    Some(Header {
-        epoch: u64::from_le_bytes(buf[8..16].try_into().expect("8")),
-        root_record: u32::from_le_bytes(buf[16..20].try_into().expect("4")),
-        catalog_first_page: u32::from_le_bytes(buf[20..24].try_into().expect("4")),
-        catalog_len: u64::from_le_bytes(buf[24..32].try_into().expect("8")),
-        record_limit: u64::from_le_bytes(buf[32..40].try_into().expect("8")),
-        journal_first_page: u32::from_le_bytes(buf[40..44].try_into().expect("4")),
-        journal_len: u64::from_le_bytes(buf[44..52].try_into().expect("8")),
-    })
+    Some((
+        Header {
+            epoch: u64::from_le_bytes(buf[8..16].try_into().expect("8")),
+            root_record: u32::from_le_bytes(buf[16..20].try_into().expect("4")),
+            catalog_first_page: u32::from_le_bytes(buf[20..24].try_into().expect("4")),
+            catalog_len: u64::from_le_bytes(buf[24..32].try_into().expect("8")),
+            record_limit: u64::from_le_bytes(buf[32..40].try_into().expect("8")),
+            journal_first_page: u32::from_le_bytes(buf[40..44].try_into().expect("4")),
+            journal_len: u64::from_le_bytes(buf[44..52].try_into().expect("8")),
+        },
+        version,
+    ))
 }
 
 /// Pick the winning header from the two slots: highest valid epoch.
-pub(crate) fn pick_header(slot0: &[u8; PAGE_SIZE], slot1: &[u8; PAGE_SIZE]) -> StoreResult<Header> {
+/// Returns the header and its format version.
+pub(crate) fn pick_header(
+    slot0: &[u8; PAGE_SIZE],
+    slot1: &[u8; PAGE_SIZE],
+) -> StoreResult<(Header, u8)> {
     match (decode_header_slot(slot0), decode_header_slot(slot1)) {
-        (Some(a), Some(b)) => Ok(if a.epoch >= b.epoch { a } else { b }),
+        (Some(a), Some(b)) => Ok(if a.0.epoch >= b.0.epoch { a } else { b }),
         (Some(a), None) => Ok(a),
         (None, Some(b)) => Ok(b),
-        (None, None) => Err(StoreError::Corrupt(
+        (None, None) => Err(StoreError::corrupt(
             "no valid header slot: not a Natix store file",
         )),
     }
 }
 
-pub(crate) fn encode_catalog(directory: &[RecordLoc], labels: &[Box<str>]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(directory.len() * 8 + labels.len() * 12);
+/// Serialize a format-3 catalog blob. The blob is self-describing
+/// (`NCT3` magic, total length, epoch) and ends in an FNV-64 checksum of
+/// everything before it.
+pub(crate) fn encode_catalog(
+    directory: &[RecordLoc],
+    labels: &[Box<str>],
+    quarantined: &[u32],
+    root_record: u32,
+    record_limit: u64,
+    epoch: u64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(44 + directory.len() * 9 + labels.len() * 12);
+    out.extend_from_slice(CATALOG_MAGIC);
+    out.extend_from_slice(&0u64.to_le_bytes()); // total length, patched below
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&root_record.to_le_bytes());
+    out.extend_from_slice(&record_limit.to_le_bytes());
     out.extend_from_slice(&(directory.len() as u32).to_le_bytes());
     for loc in directory {
         match *loc {
@@ -138,34 +175,56 @@ pub(crate) fn encode_catalog(directory: &[RecordLoc], labels: &[Box<str>]) -> Ve
         out.extend_from_slice(&(l.len() as u16).to_le_bytes());
         out.extend_from_slice(l.as_bytes());
     }
+    out.extend_from_slice(&(quarantined.len() as u32).to_le_bytes());
+    for &q in quarantined {
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+    let total = (out.len() + 8) as u64;
+    out[4..12].copy_from_slice(&total.to_le_bytes());
+    let sum = fnv64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
     out
 }
 
-pub(crate) fn decode_catalog(bytes: &[u8], root_record: u32) -> StoreResult<Catalog> {
-    struct R<'a> {
-        b: &'a [u8],
-        p: usize,
+/// Total length a serialized catalog blob announces for itself, if
+/// `bytes` starts like one (used by the repair scan to bound chain reads
+/// before the checksum can be verified).
+pub(crate) fn catalog_blob_len(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 12 || &bytes[..4] != CATALOG_MAGIC {
+        return None;
     }
-    impl<'a> R<'a> {
-        fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
-            if self.p + n > self.b.len() {
-                return Err(StoreError::Corrupt("catalog truncated"));
-            }
-            let s = &self.b[self.p..self.p + n];
-            self.p += n;
-            Ok(s)
+    Some(u64::from_le_bytes(bytes[4..12].try_into().expect("8")))
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+        if self.p + n > self.b.len() {
+            return Err(StoreError::corrupt("catalog truncated"));
         }
-        fn u8(&mut self) -> StoreResult<u8> {
-            Ok(self.take(1)?[0])
-        }
-        fn u16(&mut self) -> StoreResult<u16> {
-            Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
-        }
-        fn u32(&mut self) -> StoreResult<u32> {
-            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
-        }
+        let s = &self.b[self.p..self.p + n];
+        self.p += n;
+        Ok(s)
     }
-    let mut r = R { b: bytes, p: 0 };
+    fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> StoreResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u32(&mut self) -> StoreResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> StoreResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+fn decode_directory(r: &mut R<'_>) -> StoreResult<Vec<RecordLoc>> {
     let n = r.u32()? as usize;
     let mut directory = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -180,24 +239,82 @@ pub(crate) fn decode_catalog(bytes: &[u8], root_record: u32) -> StoreResult<Cata
                 len: r.u32()?,
             },
             2 => RecordLoc::Free,
-            _ => return Err(StoreError::Corrupt("bad directory entry tag")),
+            _ => return Err(StoreError::corrupt("bad directory entry tag")),
         });
     }
+    Ok(directory)
+}
+
+fn decode_labels(r: &mut R<'_>) -> StoreResult<Vec<Box<str>>> {
     let nl = r.u32()? as usize;
     let mut labels = Vec::with_capacity(nl.min(1 << 20));
     for _ in 0..nl {
         let len = r.u16()? as usize;
         let s = std::str::from_utf8(r.take(len)?)
-            .map_err(|_| StoreError::Corrupt("label not UTF-8"))?;
+            .map_err(|_| StoreError::corrupt("label not UTF-8"))?;
         labels.push(s.into());
     }
-    if root_record as usize >= directory.len() {
-        return Err(StoreError::Corrupt("root record out of range"));
+    Ok(labels)
+}
+
+/// Decode a catalog blob; auto-detects the format-3 `NCT3` framing and
+/// falls back to the bare format-2 layout. `header_root` is the root
+/// record the winning header announces — authoritative for format 2
+/// (which did not store it in the blob) and cross-checked for format 3.
+pub(crate) fn decode_catalog(bytes: &[u8], header_root: u32) -> StoreResult<Catalog> {
+    if bytes.len() >= 4 && &bytes[..4] == CATALOG_MAGIC {
+        let announced = catalog_blob_len(bytes).expect("magic checked");
+        if announced as usize != bytes.len() || bytes.len() < 12 + 8 {
+            return Err(StoreError::corrupt("catalog blob length mismatch"));
+        }
+        let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8"));
+        if fnv64(&bytes[..bytes.len() - 8]) != sum {
+            return Err(StoreError::corrupt("catalog checksum mismatch"));
+        }
+        let mut r = R {
+            b: &bytes[..bytes.len() - 8],
+            p: 12,
+        };
+        let epoch = r.u64()?;
+        let root_record = r.u32()?;
+        let record_limit = r.u64()?;
+        let directory = decode_directory(&mut r)?;
+        let labels = decode_labels(&mut r)?;
+        let nq = r.u32()? as usize;
+        let mut quarantined = Vec::with_capacity(nq.min(1 << 20));
+        for _ in 0..nq {
+            quarantined.push(r.u32()?);
+        }
+        if r.p != r.b.len() {
+            return Err(StoreError::corrupt("catalog has trailing bytes"));
+        }
+        if root_record as usize >= directory.len() {
+            return Err(StoreError::corrupt("root record out of range"));
+        }
+        return Ok(Catalog {
+            epoch,
+            root_record,
+            record_limit,
+            directory,
+            labels,
+            quarantined,
+        });
+    }
+    // Legacy format 2: bare directory + labels; root and limit live only
+    // in the header.
+    let mut r = R { b: bytes, p: 0 };
+    let directory = decode_directory(&mut r)?;
+    let labels = decode_labels(&mut r)?;
+    if header_root as usize >= directory.len() {
+        return Err(StoreError::corrupt("root record out of range"));
     }
     Ok(Catalog {
-        root_record,
+        epoch: 0,
+        root_record: header_root,
+        record_limit: 0,
         directory,
         labels,
+        quarantined: Vec::new(),
     })
 }
 
@@ -217,10 +334,41 @@ mod tests {
         }
     }
 
+    fn sample_catalog() -> Catalog {
+        Catalog {
+            epoch: 9,
+            root_record: 0,
+            record_limit: 64,
+            directory: vec![
+                RecordLoc::InPage { page: 1, slot: 0 },
+                RecordLoc::Overflow {
+                    first_page: 9,
+                    len: 20_000,
+                },
+                RecordLoc::Free,
+                RecordLoc::InPage { page: 2, slot: 3 },
+            ],
+            labels: vec!["site".into(), "item".into(), "#text".into()],
+            quarantined: vec![2],
+        }
+    }
+
+    fn encode_sample(cat: &Catalog) -> Vec<u8> {
+        encode_catalog(
+            &cat.directory,
+            &cat.labels,
+            &cat.quarantined,
+            cat.root_record,
+            cat.record_limit,
+            cat.epoch,
+        )
+    }
+
     #[test]
     fn header_roundtrip() {
         let buf = encode_header(&sample_header());
-        let back = decode_header_slot(&buf).unwrap();
+        let (back, version) = decode_header_slot(&buf).unwrap();
+        assert_eq!(version, 3);
         assert_eq!(back.epoch, 5);
         assert_eq!(back.root_record, 7);
         assert_eq!(back.catalog_first_page, 123);
@@ -229,6 +377,18 @@ mod tests {
         assert_eq!(back.journal_first_page, 130);
         assert_eq!(back.journal_len, 8200);
         assert_eq!(back.slot(), 1);
+        assert_eq!(crate::page::page_class_of(&buf), PageClass::Header);
+    }
+
+    #[test]
+    fn legacy_v2_header_is_recognized() {
+        let mut buf = encode_header(&sample_header());
+        buf[0..8].copy_from_slice(MAGIC_V2);
+        let sum = fnv64(&buf[..CHECKSUM_AT]);
+        buf[CHECKSUM_AT..CHECKSUM_AT + 8].copy_from_slice(&sum.to_le_bytes());
+        let (back, version) = decode_header_slot(&buf).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(back.epoch, 5);
     }
 
     #[test]
@@ -255,32 +415,27 @@ mod tests {
         let new = sample_header();
         let s0 = encode_header(&old);
         let s1 = encode_header(&new);
-        assert_eq!(pick_header(&s0, &s1).unwrap().epoch, 5);
-        assert_eq!(pick_header(&s1, &s0).unwrap().epoch, 5);
+        assert_eq!(pick_header(&s0, &s1).unwrap().0.epoch, 5);
+        assert_eq!(pick_header(&s1, &s0).unwrap().0.epoch, 5);
         let torn = [0xABu8; PAGE_SIZE];
-        assert_eq!(pick_header(&s0, &torn).unwrap().epoch, 4);
-        assert_eq!(pick_header(&torn, &s1).unwrap().epoch, 5);
+        assert_eq!(pick_header(&s0, &torn).unwrap().0.epoch, 4);
+        assert_eq!(pick_header(&torn, &s1).unwrap().0.epoch, 5);
         assert!(pick_header(&torn, &torn).is_err());
     }
 
     #[test]
     fn catalog_roundtrip() {
-        let dir = vec![
-            RecordLoc::InPage { page: 1, slot: 0 },
-            RecordLoc::Overflow {
-                first_page: 9,
-                len: 20_000,
-            },
-            RecordLoc::Free,
-            RecordLoc::InPage { page: 2, slot: 3 },
-        ];
-        let labels: Vec<Box<str>> = vec!["site".into(), "item".into(), "#text".into()];
-        let bytes = encode_catalog(&dir, &labels);
+        let bytes = encode_sample(&sample_catalog());
+        assert_eq!(catalog_blob_len(&bytes), Some(bytes.len() as u64));
         let cat = decode_catalog(&bytes, 0).unwrap();
+        assert_eq!(cat.epoch, 9);
+        assert_eq!(cat.root_record, 0);
+        assert_eq!(cat.record_limit, 64);
         assert_eq!(cat.directory.len(), 4);
         assert!(matches!(cat.directory[2], RecordLoc::Free));
         assert_eq!(cat.labels.len(), 3);
         assert_eq!(&*cat.labels[1], "item");
+        assert_eq!(cat.quarantined, vec![2]);
         match cat.directory[1] {
             RecordLoc::Overflow { first_page, len } => {
                 assert_eq!((first_page, len), (9, 20_000));
@@ -290,18 +445,45 @@ mod tests {
     }
 
     #[test]
+    fn catalog_checksum_catches_bit_rot() {
+        let mut bytes = encode_sample(&sample_catalog());
+        bytes[20] ^= 0x40;
+        let err = decode_catalog(&bytes, 0).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn legacy_v2_catalog_still_decodes() {
+        // Hand-build a format-2 blob: bare directory + labels.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.push(2);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(b"site");
+        let cat = decode_catalog(&bytes, 0).unwrap();
+        assert_eq!(cat.epoch, 0);
+        assert_eq!(cat.directory.len(), 2);
+        assert_eq!(&*cat.labels[0], "site");
+        assert!(cat.quarantined.is_empty());
+    }
+
+    #[test]
     fn truncated_catalog_rejected() {
-        let dir = vec![RecordLoc::InPage { page: 1, slot: 0 }];
-        let labels: Vec<Box<str>> = vec!["x".into()];
-        let bytes = encode_catalog(&dir, &labels);
-        for cut in [0, 3, bytes.len() - 1] {
+        let bytes = encode_sample(&sample_catalog());
+        for cut in [0, 3, 16, bytes.len() - 1] {
             assert!(decode_catalog(&bytes[..cut], 0).is_err(), "cut {cut}");
         }
     }
 
     #[test]
     fn bad_root_record_rejected() {
-        let bytes = encode_catalog(&[RecordLoc::InPage { page: 1, slot: 0 }], &[]);
+        let mut cat = sample_catalog();
+        cat.root_record = 5;
+        let bytes = encode_sample(&cat);
         assert!(decode_catalog(&bytes, 5).is_err());
     }
 }

@@ -6,8 +6,7 @@
 //! replays the journal idempotently: every image is the post-commit state
 //! of its page, so applying it any number of times converges.
 
-use crate::catalog::fnv64;
-use crate::page::PAGE_SIZE;
+use crate::page::{fnv64, PAGE_SIZE};
 use crate::pager::{PageId, StoreError, StoreResult};
 
 const MAGIC: &[u8; 4] = b"NJRL";
@@ -32,16 +31,16 @@ pub(crate) fn encode(entries: &[JournalEntry]) -> Vec<u8> {
 /// Decode and verify a journal blob.
 pub(crate) fn decode(bytes: &[u8]) -> StoreResult<Vec<JournalEntry>> {
     if bytes.len() < 16 || &bytes[0..4] != MAGIC {
-        return Err(StoreError::Corrupt("journal header invalid"));
+        return Err(StoreError::corrupt("journal header invalid"));
     }
     let body = &bytes[..bytes.len() - 8];
     let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
     if fnv64(body) != sum {
-        return Err(StoreError::Corrupt("journal checksum mismatch"));
+        return Err(StoreError::corrupt("journal checksum mismatch"));
     }
     let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
     if body.len() != 8 + count * (4 + PAGE_SIZE) {
-        return Err(StoreError::Corrupt("journal length mismatch"));
+        return Err(StoreError::corrupt("journal length mismatch"));
     }
     let mut entries = Vec::with_capacity(count);
     let mut p = 8;

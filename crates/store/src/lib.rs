@@ -24,6 +24,7 @@
 //! mean faster navigation — which is what Table 3 measures.
 
 mod catalog;
+mod fsck;
 mod journal;
 mod page;
 mod pager;
@@ -31,13 +32,21 @@ mod record;
 mod store;
 mod update;
 
-pub use page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
+pub use fsck::{fsck, FsckFinding, FsckReport, FsckSeverity};
+pub use page::{
+    page_class_of, seal_frame, verify_frame, FrameCheck, PageClass, SlottedPage, FORMAT_VERSION,
+    MAX_IN_PAGE, PAGE_SIZE, PAYLOAD_SIZE,
+};
 pub use pager::{
-    BufferPool, BufferStats, Fault, FaultInjectingPager, FaultSchedule, FilePager, MemPager,
-    PageId, Pager, SharedMemPager, StoreError, StoreResult,
+    corrupt_checksum_of_class, corrupt_page_of_class, inject_bit_rot, BufferPool, BufferStats,
+    ChecksummingPager, Fault, FaultInjectingPager, FaultSchedule, FilePager, MemPager, PageId,
+    Pager, SharedMemPager, StoreError, StoreResult,
 };
 pub use record::{ChildEntry, RecNode, RecordData};
-pub use store::{bulkload_with, NavStats, NodeRef, StoreConfig, XmlStore};
+pub use store::{
+    bulkload_with, DamageReport, MissingInterval, NavStats, NodeRef, OpenMode, StoreConfig,
+    XmlStore,
+};
 
 #[cfg(test)]
 mod tests {
@@ -192,6 +201,105 @@ mod tests {
         assert!(store.page_count() >= 2, "expected overflow chain");
         let back = store.to_document().unwrap();
         assert_eq!(back.to_xml(), doc.to_xml());
+    }
+
+    #[test]
+    fn legacy_v2_store_opens_read_only() {
+        use crate::page::fnv64;
+        use crate::record::{ImageNode, RecordImage, NONE_U16, NONE_U32};
+
+        // Fabricate a format-2 page file by hand: zero slot 0, a
+        // `NATIXST2` header at epoch 1 in slot 1, the record bytes in a
+        // bare (headerless, PAGE_SIZE-chunked) overflow chain at page 2,
+        // and the bare catalog blob at page 3.
+        let img = RecordImage {
+            parent_record: NONE_U32,
+            parent_local: NONE_U16,
+            proxy_pos: NONE_U16,
+            roots: vec![0],
+            nodes: vec![
+                ImageNode {
+                    kind: NodeKind::Element,
+                    label: 0,
+                    parent_local: NONE_U16,
+                    entry_pos: NONE_U16,
+                    content: None,
+                    entries: vec![ChildEntry::Local(1)],
+                },
+                ImageNode {
+                    kind: NodeKind::Text,
+                    label: 1,
+                    parent_local: 0,
+                    entry_pos: 0,
+                    content: Some("hello".into()),
+                    entries: Vec::new(),
+                },
+            ],
+        };
+        // A format-2 record is the current encoding minus its 16-byte
+        // `NRC3` prefix.
+        let rec_bytes = crate::record::encode(&img, 0, 1)[16..].to_vec();
+        assert!(rec_bytes.len() <= PAGE_SIZE);
+
+        let mut cat = Vec::new();
+        cat.extend_from_slice(&1u32.to_le_bytes());
+        cat.push(1); // Overflow location
+        cat.extend_from_slice(&2u32.to_le_bytes());
+        cat.extend_from_slice(&(rec_bytes.len() as u32).to_le_bytes());
+        cat.extend_from_slice(&2u32.to_le_bytes());
+        for l in ["site", "#text"] {
+            cat.extend_from_slice(&(l.len() as u16).to_le_bytes());
+            cat.extend_from_slice(l.as_bytes());
+        }
+
+        let header = crate::catalog::Header {
+            epoch: 1,
+            root_record: 0,
+            catalog_first_page: 3,
+            catalog_len: cat.len() as u64,
+            record_limit: 1024,
+            journal_first_page: 0,
+            journal_len: 0,
+        };
+        let mut hpage = crate::catalog::encode_header(&header);
+        hpage[0..8].copy_from_slice(crate::catalog::MAGIC_V2);
+        let sum = fnv64(&hpage[..52]);
+        hpage[52..60].copy_from_slice(&sum.to_le_bytes());
+        // Format 2 had no page frames: clear what encode_header sealed.
+        hpage[PAGE_SIZE - 12..].fill(0);
+
+        let mut pager = MemPager::new();
+        for _ in 0..4 {
+            pager.allocate().unwrap();
+        }
+        pager.write(1, &hpage).unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[..rec_bytes.len()].copy_from_slice(&rec_bytes);
+        pager.write(2, &page).unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[..cat.len()].copy_from_slice(&cat);
+        pager.write(3, &page).unwrap();
+
+        let mut store = XmlStore::open(Box::new(pager), StoreConfig::default()).unwrap();
+        assert_eq!(store.format_version(), 2);
+        let doc = store.to_document().unwrap();
+        assert_eq!(doc.to_xml(), parse("<site>hello</site>").unwrap().to_xml());
+
+        // Old-format stores are read-only; compact() is the migration.
+        let root = store.root().unwrap();
+        let err = store
+            .append_child(root, NodeKind::Element, "x", None)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidUpdate(_)), "{err}");
+        let mut migrated = store
+            .compact(Box::new(MemPager::new()), StoreConfig::default())
+            .unwrap();
+        assert_eq!(migrated.format_version(), 3);
+        assert_eq!(migrated.to_document().unwrap().to_xml(), doc.to_xml());
+        let kid = migrated.root().unwrap();
+        migrated
+            .append_child(kid, NodeKind::Element, "x", None)
+            .unwrap();
     }
 
     #[test]

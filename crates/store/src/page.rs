@@ -3,16 +3,38 @@
 //! Natix stores several physical records per disk page (paper Sec. 6.4:
 //! "the record manager … stores several records on a single disk page").
 //! A page is a classic slotted page: a header, a slot array growing
-//! forward, and record payloads growing backward from the page end.
+//! forward, and record payloads growing backward from the payload end.
 //!
 //! ```text
-//! +--------+--------+-----------+------------------->        <----------+
-//! | nslots | free   | slot 0..n |  free space        payload payload ...|
-//! +--------+--------+-----------+------------------->        <----------+
+//! +--------+--------+-----------+------------------->        <----------+------+
+//! | nslots | free   | slot 0..n |  free space        payload payload ...|frame |
+//! +--------+--------+-----------+------------------->        <----------+------+
 //! ```
+//!
+//! Since format version 3, the last [`FRAME_SIZE`] bytes of *every* page
+//! (not just slotted ones) hold a typed **page frame**: a magic byte, the
+//! format version, a [`PageClass`] tag, and an FNV-64 checksum over the
+//! rest of the page. The checksum is stamped by the `ChecksummingPager`
+//! on every write and verified on every read, so bit rot anywhere in a
+//! page — including a torn half-page write — is detected before the
+//! payload is interpreted. Content producers only use the first
+//! [`PAYLOAD_SIZE`] bytes and tag the class byte; the checksum field is
+//! owned by the pager seam.
 
-/// Page size in bytes (8 KB; four 2 KB records fit comfortably).
+/// Page size in bytes (8 KB; four ~2 KB records fit comfortably).
 pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved at the end of every page for the typed frame:
+/// `[magic u8][version u8][class u8][reserved u8][checksum u64]`.
+pub const FRAME_SIZE: usize = 12;
+
+/// Usable payload bytes per page (format version 3).
+pub const PAYLOAD_SIZE: usize = PAGE_SIZE - FRAME_SIZE;
+
+const FRAME_AT: usize = PAGE_SIZE - FRAME_SIZE;
+const FRAME_MAGIC: u8 = 0xF7;
+/// On-disk format version stamped into every page frame.
+pub const FORMAT_VERSION: u8 = 3;
 
 const HEADER: usize = 4;
 const SLOT: usize = 4;
@@ -20,7 +42,129 @@ const SLOT: usize = 4;
 const DEAD: u16 = u16::MAX;
 
 /// Maximum payload a single page can hold (one slot + header overhead).
-pub const MAX_IN_PAGE: usize = PAGE_SIZE - HEADER - SLOT;
+pub const MAX_IN_PAGE: usize = PAYLOAD_SIZE - HEADER - SLOT;
+
+/// What a page holds; stored in the page frame so corruption reports and
+/// the `fsck` scrubber can name the victim, and so repair can scan a raw
+/// page file for salvageable content without a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageClass {
+    /// Allocated but never written (all-zero), or unknown.
+    Free,
+    /// One of the two ping-pong header slots (pages 0 and 1).
+    Header,
+    /// A slotted page holding partition records.
+    Record,
+    /// Part of an overflow chain for a record larger than a page.
+    Overflow,
+    /// Part of a serialized catalog blob.
+    Catalog,
+    /// Part of a redo-journal blob.
+    Journal,
+}
+
+impl PageClass {
+    fn to_u8(self) -> u8 {
+        match self {
+            PageClass::Free => 0,
+            PageClass::Header => 1,
+            PageClass::Record => 2,
+            PageClass::Overflow => 3,
+            PageClass::Catalog => 4,
+            PageClass::Journal => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> PageClass {
+        match b {
+            1 => PageClass::Header,
+            2 => PageClass::Record,
+            3 => PageClass::Overflow,
+            4 => PageClass::Catalog,
+            5 => PageClass::Journal,
+            _ => PageClass::Free,
+        }
+    }
+}
+
+impl std::fmt::Display for PageClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PageClass::Free => "free",
+            PageClass::Header => "header",
+            PageClass::Record => "record",
+            PageClass::Overflow => "overflow",
+            PageClass::Catalog => "catalog",
+            PageClass::Journal => "journal",
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash: the checksum primitive for page frames, headers,
+/// journal blobs, and catalog blobs.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Tag a page image with its class (content producers call this; the
+/// checksum itself is stamped by the pager seam on write).
+pub fn set_page_class(buf: &mut [u8; PAGE_SIZE], class: PageClass) {
+    buf[FRAME_AT + 2] = class.to_u8();
+}
+
+/// The class a page image claims to be.
+pub fn page_class_of(buf: &[u8; PAGE_SIZE]) -> PageClass {
+    PageClass::from_u8(buf[FRAME_AT + 2])
+}
+
+/// Stamp the frame magic, version, and checksum over a page image
+/// (leaving the class byte as the producer set it).
+pub fn seal_frame(buf: &mut [u8; PAGE_SIZE]) {
+    buf[FRAME_AT] = FRAME_MAGIC;
+    buf[FRAME_AT + 1] = FORMAT_VERSION;
+    let sum = fnv64(&buf[..PAGE_SIZE - 8]);
+    buf[PAGE_SIZE - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Outcome of verifying a page frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameCheck {
+    /// Frame present and checksum matches.
+    Ok,
+    /// No frame magic/version: not a sealed format-3 page.
+    NotFramed,
+    /// Frame present but the checksum disagrees with the contents.
+    Mismatch {
+        /// Checksum stored in the frame.
+        expected: u64,
+        /// Checksum computed over the page contents.
+        found: u64,
+    },
+}
+
+/// Verify the frame of a page image.
+pub fn verify_frame(buf: &[u8; PAGE_SIZE]) -> FrameCheck {
+    if buf[FRAME_AT] != FRAME_MAGIC || buf[FRAME_AT + 1] != FORMAT_VERSION {
+        return FrameCheck::NotFramed;
+    }
+    let expected = u64::from_le_bytes(buf[PAGE_SIZE - 8..].try_into().expect("8 bytes"));
+    let found = fnv64(&buf[..PAGE_SIZE - 8]);
+    if expected == found {
+        FrameCheck::Ok
+    } else {
+        FrameCheck::Mismatch { expected, found }
+    }
+}
+
+/// True if the page is entirely zero (allocated but never written).
+pub fn is_zero_page(buf: &[u8; PAGE_SIZE]) -> bool {
+    buf.iter().all(|&b| b == 0)
+}
 
 /// A view over a page buffer with slotted-page operations.
 pub struct SlottedPage<'a> {
@@ -33,11 +177,12 @@ impl<'a> SlottedPage<'a> {
         SlottedPage { buf }
     }
 
-    /// Format a fresh page.
+    /// Format a fresh page: empty slot array, payloads growing backward
+    /// from the payload end, class tagged as [`PageClass::Record`].
     pub fn format(buf: &'a mut [u8; PAGE_SIZE]) -> SlottedPage<'a> {
         buf[0..2].copy_from_slice(&0u16.to_le_bytes());
-        buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
-        // PAGE_SIZE == 8192 fits in u16 only as 0x2000; fine (< 0xFFFF).
+        buf[2..4].copy_from_slice(&(PAYLOAD_SIZE as u16).to_le_bytes());
+        set_page_class(buf, PageClass::Record);
         SlottedPage { buf }
     }
 
@@ -173,7 +318,7 @@ mod tests {
         while p.insert(&payload).is_some() {
             inserted += 1;
         }
-        // 8192 / ~2004 -> 4 records per page.
+        // 8180 usable / ~2004 -> 4 records per page.
         assert_eq!(inserted, 4);
         assert!(!p.fits(2000));
         assert!(p.fits(100));
@@ -203,6 +348,15 @@ mod tests {
     }
 
     #[test]
+    fn payloads_stay_out_of_the_frame() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::new(&mut buf);
+        while p.insert(&[0xAB; 64]).is_some() {}
+        assert_eq!(page_class_of(&buf), PageClass::Record);
+        assert!(buf[FRAME_AT..].iter().all(|&b| b != 0xAB));
+    }
+
+    #[test]
     fn used_bytes_accounting() {
         let mut buf = fresh();
         let mut p = SlottedPage::new(&mut buf);
@@ -211,5 +365,43 @@ mod tests {
         assert_eq!(p.used_bytes(), HEADER + SLOT + 100);
         p.delete(a);
         assert_eq!(p.used_bytes(), HEADER + SLOT);
+    }
+
+    #[test]
+    fn frame_seal_and_verify() {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        assert!(is_zero_page(&buf));
+        assert_eq!(verify_frame(&buf), FrameCheck::NotFramed);
+        buf[100] = 9;
+        set_page_class(&mut buf, PageClass::Catalog);
+        seal_frame(&mut buf);
+        assert!(!is_zero_page(&buf));
+        assert_eq!(verify_frame(&buf), FrameCheck::Ok);
+        assert_eq!(page_class_of(&buf), PageClass::Catalog);
+        // Any flipped payload bit is caught.
+        buf[100] ^= 0x20;
+        assert!(matches!(verify_frame(&buf), FrameCheck::Mismatch { .. }));
+        buf[100] ^= 0x20;
+        assert_eq!(verify_frame(&buf), FrameCheck::Ok);
+        // A flipped checksum bit is caught too.
+        buf[PAGE_SIZE - 1] ^= 0x01;
+        assert!(matches!(verify_frame(&buf), FrameCheck::Mismatch { .. }));
+    }
+
+    #[test]
+    fn torn_half_page_fails_verification() {
+        let mut old = Box::new([0u8; PAGE_SIZE]);
+        old[10] = 1;
+        set_page_class(&mut old, PageClass::Record);
+        seal_frame(&mut old);
+        let mut new = Box::new([0u8; PAGE_SIZE]);
+        new[10] = 2;
+        new[PAGE_SIZE / 2 + 10] = 3;
+        set_page_class(&mut new, PageClass::Record);
+        seal_frame(&mut new);
+        // First half new, second half (including the frame) old.
+        let mut torn = old.clone();
+        torn[..PAGE_SIZE / 2].copy_from_slice(&new[..PAGE_SIZE / 2]);
+        assert!(matches!(verify_frame(&torn), FrameCheck::Mismatch { .. }));
     }
 }

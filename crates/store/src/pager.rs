@@ -18,7 +18,10 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::rc::Rc;
 
-use crate::page::PAGE_SIZE;
+use crate::page::{
+    is_zero_page, page_class_of, seal_frame, verify_frame, FrameCheck, PageClass, PAGE_SIZE,
+    PAYLOAD_SIZE,
+};
 
 /// Page number within a store.
 pub type PageId = u32;
@@ -40,8 +43,24 @@ pub enum StoreError {
     BadPage(PageId),
     /// A record reference that does not resolve.
     BadRecord(u32),
-    /// Record bytes failed to decode.
-    Corrupt(&'static str),
+    /// On-disk bytes failed validation: a page checksum mismatch, an
+    /// undecodable record/catalog/journal blob, or a broken invariant.
+    /// Context fields are filled in where known so reports can say
+    /// *which* page or record is damaged.
+    Corrupt {
+        /// What failed to validate.
+        what: &'static str,
+        /// Damaged page, if page-scoped.
+        page: Option<PageId>,
+        /// Class the damaged page claims to be, if known.
+        class: Option<PageClass>,
+        /// Record being decoded, if record-scoped.
+        record: Option<u32>,
+        /// Stored checksum, for checksum mismatches.
+        expected: Option<u64>,
+        /// Computed checksum, for checksum mismatches.
+        found: Option<u64>,
+    },
     /// An update was rejected (e.g. deleting the document root, or a
     /// single node heavier than the record limit).
     InvalidUpdate(&'static str),
@@ -56,6 +75,99 @@ impl StoreError {
             op,
         }
     }
+
+    /// Corruption with no location context (decode-level failures where
+    /// the caller attaches context later, or none is known).
+    pub fn corrupt(what: &'static str) -> StoreError {
+        StoreError::Corrupt {
+            what,
+            page: None,
+            class: None,
+            record: None,
+            expected: None,
+            found: None,
+        }
+    }
+
+    /// Corruption pinned to a page.
+    pub fn corrupt_page(what: &'static str, page: PageId, class: Option<PageClass>) -> StoreError {
+        StoreError::Corrupt {
+            what,
+            page: Some(page),
+            class,
+            record: None,
+            expected: None,
+            found: None,
+        }
+    }
+
+    /// Corruption pinned to a record.
+    pub fn corrupt_record(what: &'static str, record: u32) -> StoreError {
+        StoreError::Corrupt {
+            what,
+            page: None,
+            class: None,
+            record: Some(record),
+            expected: None,
+            found: None,
+        }
+    }
+
+    /// A page-frame checksum mismatch.
+    pub fn checksum_mismatch(
+        page: PageId,
+        class: PageClass,
+        expected: u64,
+        found: u64,
+    ) -> StoreError {
+        StoreError::Corrupt {
+            what: "page checksum mismatch",
+            page: Some(page),
+            class: Some(class),
+            record: None,
+            expected: Some(expected),
+            found: Some(found),
+        }
+    }
+
+    /// Attach record context to a corruption error that lacks it (decode
+    /// helpers do not know which record they are decoding; `fetch` does).
+    pub fn in_record(self, no: u32) -> StoreError {
+        match self {
+            StoreError::Corrupt {
+                what,
+                page,
+                class,
+                record,
+                expected,
+                found,
+            } => StoreError::Corrupt {
+                what,
+                page,
+                class,
+                record: record.or(Some(no)),
+                expected,
+                found,
+            },
+            other => other,
+        }
+    }
+
+    /// True for damage to at-rest bytes: checksum mismatches, undecodable
+    /// structures, dangling page/record references. These never fix
+    /// themselves by retrying; `fsck` is the remedy.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Corrupt { .. } | StoreError::BadPage(_) | StoreError::BadRecord(_)
+        )
+    }
+
+    /// True for I/O-level failures that may succeed on retry (and leave
+    /// the at-rest bytes intact).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io { .. })
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -68,9 +180,36 @@ impl std::fmt::Display for StoreError {
                 }
                 None => write!(f, "I/O error ({op}): {source}"),
             },
-            StoreError::BadPage(p) => write!(f, "page {p} out of range"),
+            StoreError::BadPage(p) => {
+                let offset = *p as u64 * PAGE_SIZE as u64;
+                write!(f, "page {p} out of range (offset {offset})")
+            }
             StoreError::BadRecord(r) => write!(f, "record {r} not found"),
-            StoreError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            StoreError::Corrupt {
+                what,
+                page,
+                class,
+                record,
+                expected,
+                found,
+            } => {
+                write!(f, "corrupt store: {what}")?;
+                if let Some(r) = record {
+                    write!(f, " (record {r})")?;
+                }
+                if let Some(p) = page {
+                    let offset = *p as u64 * PAGE_SIZE as u64;
+                    write!(f, " (page {p}, offset {offset}")?;
+                    if let Some(c) = class {
+                        write!(f, ", class {c}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                if let (Some(e), Some(g)) = (expected, found) {
+                    write!(f, " (stored {e:#018x}, computed {g:#018x})")?;
+                }
+                Ok(())
+            }
             StoreError::InvalidUpdate(what) => write!(f, "invalid update: {what}"),
         }
     }
@@ -522,6 +661,182 @@ impl Pager for FaultInjectingPager {
     }
 }
 
+/// A [`Pager`] that seals every written page with a typed frame
+/// (class + FNV-64 checksum, see `page::seal_frame`) and verifies the
+/// frame on every read.
+///
+/// Reads of all-zero pages pass: they are allocated-but-never-written
+/// pages (e.g. the unused header slot right after bulkload) whose
+/// contents no decoder accepts anyway. Anything else must carry a valid
+/// frame or the read fails with a structured [`StoreError::Corrupt`] —
+/// including torn half-page writes, since the checksum lives in the last
+/// bytes of the page.
+///
+/// The store wraps its backend in this pager *inside* `bulkload`/`open`
+/// (for format-3 stores), so fault injectors layered by tests stay
+/// outermost and see sealed pages.
+pub struct ChecksummingPager {
+    inner: Box<dyn Pager>,
+}
+
+impl ChecksummingPager {
+    /// Wrap `inner`.
+    pub fn new(inner: Box<dyn Pager>) -> ChecksummingPager {
+        ChecksummingPager { inner }
+    }
+}
+
+impl Pager for ChecksummingPager {
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> StoreResult<PageId> {
+        self.inner.allocate()
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        self.inner.read(id, buf)?;
+        if is_zero_page(buf) {
+            return Ok(());
+        }
+        match verify_frame(buf) {
+            FrameCheck::Ok => Ok(()),
+            FrameCheck::NotFramed => Err(StoreError::corrupt_page(
+                "page frame missing or wrong version",
+                id,
+                Some(page_class_of(buf)),
+            )),
+            FrameCheck::Mismatch { expected, found } => Err(StoreError::checksum_mismatch(
+                id,
+                page_class_of(buf),
+                expected,
+                found,
+            )),
+        }
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        let mut sealed = Box::new(*buf);
+        seal_frame(&mut sealed);
+        self.inner.write(id, &sealed)
+    }
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded bit rot: flip `bits_per_page` random bits in each of `pages`
+/// random non-empty pages of the raw backend. Deterministic in `seed`.
+/// Returns the damaged page ids. Corruption tests call this on the raw
+/// "disk" (under any checksumming layer) to simulate at-rest decay.
+pub fn inject_bit_rot(
+    backend: &mut dyn Pager,
+    seed: u64,
+    pages: usize,
+    bits_per_page: usize,
+) -> StoreResult<Vec<PageId>> {
+    let count = backend.page_count();
+    let mut state = seed ^ 0xb170_5eed;
+    let mut hit = Vec::new();
+    let mut buf = Box::new([0u8; PAGE_SIZE]);
+    let mut attempts = 0usize;
+    while hit.len() < pages && attempts < pages * 16 + 32 {
+        attempts += 1;
+        if count == 0 {
+            break;
+        }
+        let id = (splitmix64(&mut state) % count as u64) as PageId;
+        if hit.contains(&id) {
+            continue;
+        }
+        backend.read(id, &mut buf)?;
+        if is_zero_page(&buf) {
+            continue;
+        }
+        flip_bits(&mut buf, &mut state, bits_per_page, 0..PAGE_SIZE);
+        backend.write(id, &buf)?;
+        hit.push(id);
+    }
+    Ok(hit)
+}
+
+/// Flip `bits` random bits of one seeded page of class `class` (payload
+/// region only, leaving the frame intact so the damage is a *content*
+/// mismatch). Returns the damaged page id, or `None` when no page of
+/// that class exists.
+pub fn corrupt_page_of_class(
+    backend: &mut dyn Pager,
+    seed: u64,
+    class: PageClass,
+    bits: usize,
+) -> StoreResult<Option<PageId>> {
+    let Some((id, mut buf)) = pick_page_of_class(backend, seed, class)? else {
+        return Ok(None);
+    };
+    let mut state = seed ^ 0xc0_de;
+    flip_bits(&mut buf, &mut state, bits.max(1), 0..PAYLOAD_SIZE);
+    backend.write(id, &buf)?;
+    Ok(Some(id))
+}
+
+/// Flip one bit inside the checksum field itself of one seeded page of
+/// class `class` (the payload stays intact — detection must still fire).
+pub fn corrupt_checksum_of_class(
+    backend: &mut dyn Pager,
+    seed: u64,
+    class: PageClass,
+) -> StoreResult<Option<PageId>> {
+    let Some((id, mut buf)) = pick_page_of_class(backend, seed, class)? else {
+        return Ok(None);
+    };
+    let mut state = seed ^ 0x5ea1;
+    flip_bits(&mut buf, &mut state, 1, PAGE_SIZE - 8..PAGE_SIZE);
+    backend.write(id, &buf)?;
+    Ok(Some(id))
+}
+
+fn pick_page_of_class(
+    backend: &mut dyn Pager,
+    seed: u64,
+    class: PageClass,
+) -> StoreResult<Option<(PageId, Box<[u8; PAGE_SIZE]>)>> {
+    let mut buf = Box::new([0u8; PAGE_SIZE]);
+    let mut members = Vec::new();
+    for id in 0..backend.page_count() {
+        backend.read(id, &mut buf)?;
+        if !is_zero_page(&buf) && page_class_of(&buf) == class {
+            members.push(id);
+        }
+    }
+    if members.is_empty() {
+        return Ok(None);
+    }
+    let mut state = seed ^ 0x9a9e;
+    let id = members[(splitmix64(&mut state) % members.len() as u64) as usize];
+    backend.read(id, &mut buf)?;
+    Ok(Some((id, buf)))
+}
+
+fn flip_bits(
+    buf: &mut [u8; PAGE_SIZE],
+    state: &mut u64,
+    bits: usize,
+    range: std::ops::Range<usize>,
+) {
+    let span = (range.end - range.start).max(1);
+    for _ in 0..bits {
+        let bit = splitmix64(state) % (span as u64 * 8);
+        let byte = range.start + (bit / 8) as usize;
+        buf[byte] ^= 1 << (bit % 8);
+    }
+}
+
 /// Buffer-pool counters.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct BufferStats {
@@ -716,15 +1031,17 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Append `bytes` across freshly allocated pages, writing the backend
-    /// directly (no frames — append-only data is only read on reopen).
-    /// Returns the first page id.
-    pub fn append_chunked(&mut self, bytes: &[u8]) -> StoreResult<PageId> {
+    /// Append `bytes` across freshly allocated pages tagged with `class`,
+    /// writing the backend directly (no frames — append-only data is only
+    /// read on reopen). Chunks at [`PAYLOAD_SIZE`] so the page frame
+    /// stays free for the checksum seam. Returns the first page id.
+    pub fn append_chunked(&mut self, bytes: &[u8], class: PageClass) -> StoreResult<PageId> {
         let first = self.backend.page_count();
-        for chunk in bytes.chunks(PAGE_SIZE) {
+        for chunk in bytes.chunks(PAYLOAD_SIZE) {
             let id = self.backend.allocate()?;
-            let mut page = [0u8; PAGE_SIZE];
+            let mut page = Box::new([0u8; PAGE_SIZE]);
             page[..chunk.len()].copy_from_slice(chunk);
+            crate::page::set_page_class(&mut page, class);
             self.backend.write(id, &page)?;
             // A stale clean frame at this id cannot exist (fresh page),
             // but drop one defensively if the backend recycled ids.
@@ -733,15 +1050,21 @@ impl BufferPool {
         Ok(first)
     }
 
-    /// Read `len` bytes starting at page `first` (appended earlier with
-    /// [`BufferPool::append_chunked`] or the equivalent layout).
-    pub fn read_chunked(&mut self, first: PageId, len: usize) -> StoreResult<Vec<u8>> {
+    /// Read `len` bytes starting at page `first` in `chunk`-byte pieces
+    /// ([`PAYLOAD_SIZE`] for format-3 stores, [`PAGE_SIZE`] for legacy
+    /// format-2 blobs, which had no page frames).
+    pub fn read_chunked(
+        &mut self,
+        first: PageId,
+        len: usize,
+        chunk: usize,
+    ) -> StoreResult<Vec<u8>> {
         let mut out = Vec::with_capacity(len);
         let mut remaining = len;
         let mut page = first;
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         while remaining > 0 {
-            let take = remaining.min(PAGE_SIZE);
+            let take = remaining.min(chunk);
             // Bypass frames: this data is read once during open/recovery.
             self.backend.read(page, &mut buf)?;
             out.extend_from_slice(&buf[..take]);
@@ -749,6 +1072,12 @@ impl BufferPool {
             page += 1;
         }
         Ok(out)
+    }
+
+    /// Read page `id` straight from the backend, skipping any resident
+    /// frame (used by fsck-style scans that need at-rest bytes).
+    pub fn backend_read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        self.backend.read(id, buf)
     }
 
     /// Drop every dirty frame without writing it back (transaction
@@ -941,6 +1270,102 @@ mod tests {
         assert!(pager.write(0, &[3u8; PAGE_SIZE]).is_err());
         assert!(pager.read(0, &mut buf).is_err());
         assert!(pager.allocate().is_err());
+    }
+
+    #[test]
+    fn checksumming_pager_detects_bit_rot() {
+        let disk = SharedMemPager::new();
+        let mut pager = ChecksummingPager::new(Box::new(disk.clone()));
+        let id = pager.allocate().unwrap();
+        let mut page = Box::new([0u8; PAGE_SIZE]);
+        page[17] = 5;
+        crate::page::set_page_class(&mut page, PageClass::Record);
+        pager.write(id, &page).unwrap();
+        // Clean read passes and returns the payload.
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        pager.read(id, &mut buf).unwrap();
+        assert_eq!(buf[17], 5);
+        assert_eq!(page_class_of(&buf), PageClass::Record);
+        // Rot a payload bit on the raw disk: the read must fail loudly.
+        let rotted = inject_bit_rot(&mut disk.clone(), 7, 1, 1).unwrap();
+        assert_eq!(rotted, vec![id]);
+        let err = pager.read(id, &mut buf).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert!(!err.is_transient());
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("page {id}")), "{msg}");
+    }
+
+    #[test]
+    fn checksumming_pager_detects_torn_writes() {
+        let disk = SharedMemPager::new();
+        {
+            let fault =
+                FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::power_cut(3, true));
+            let mut pager = ChecksummingPager::new(Box::new(fault));
+            let id = pager.allocate().unwrap();
+            let mut old = Box::new([1u8; PAGE_SIZE]);
+            crate::page::set_page_class(&mut old, PageClass::Record);
+            pager.write(id, &old).unwrap();
+            let mut new = Box::new([2u8; PAGE_SIZE]);
+            crate::page::set_page_class(&mut new, PageClass::Record);
+            assert!(pager.write(id, &new).is_err()); // torn, then dead
+        }
+        // The torn page fails checksum verification on reopen.
+        let mut pager = ChecksummingPager::new(Box::new(disk));
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        let err = pager.read(0, &mut buf).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn targeted_class_corruption_hits_the_right_pages() {
+        let disk = SharedMemPager::new();
+        let mut pager = ChecksummingPager::new(Box::new(disk.clone()));
+        for class in [PageClass::Record, PageClass::Catalog] {
+            let id = pager.allocate().unwrap();
+            let mut page = Box::new([9u8; PAGE_SIZE]);
+            crate::page::set_page_class(&mut page, class);
+            pager.write(id, &page).unwrap();
+        }
+        // No journal pages exist.
+        assert_eq!(
+            corrupt_page_of_class(&mut disk.clone(), 3, PageClass::Journal, 2).unwrap(),
+            None
+        );
+        let hit = corrupt_page_of_class(&mut disk.clone(), 3, PageClass::Catalog, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(hit, 1);
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        assert!(pager.read(1, &mut buf).is_err());
+        pager.read(0, &mut buf).unwrap();
+        // Checksum-field corruption leaves the payload intact but still
+        // fails verification.
+        let hit = corrupt_checksum_of_class(&mut disk.clone(), 5, PageClass::Record)
+            .unwrap()
+            .unwrap();
+        assert_eq!(hit, 0);
+        let err = pager.read(0, &mut buf).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn error_classifiers_partition_the_error_space() {
+        assert!(StoreError::corrupt("x").is_corruption());
+        assert!(StoreError::BadPage(3).is_corruption());
+        assert!(StoreError::BadRecord(3).is_corruption());
+        assert!(!StoreError::corrupt("x").is_transient());
+        let io = StoreError::io_at(injected("boom"), 4, "read");
+        assert!(io.is_transient());
+        assert!(!io.is_corruption());
+        assert!(!StoreError::InvalidUpdate("no").is_corruption());
+        // Display carries full context.
+        let e = StoreError::checksum_mismatch(7, PageClass::Record, 1, 2);
+        let msg = e.in_record(12).to_string();
+        assert!(msg.contains("page 7"), "{msg}");
+        assert!(msg.contains("record 12"), "{msg}");
+        assert!(msg.contains("class record"), "{msg}");
     }
 
     #[test]

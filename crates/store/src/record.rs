@@ -25,6 +25,12 @@ pub const NONE_U16: u16 = u16::MAX;
 /// Sentinel: no record.
 pub const NONE_U32: u32 = u32::MAX;
 
+/// Magic prefix of a format-3 record: makes records self-describing
+/// (`[magic][self record number][commit epoch]` before the body), so
+/// `fsck --repair` can rebuild the catalog by scanning raw pages, and
+/// resolve duplicate claims to a record number by the highest epoch.
+pub(crate) const RECORD_MAGIC: &[u8; 4] = b"NRC3";
+
 /// One entry of an element's child list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChildEntry {
@@ -57,6 +63,12 @@ pub struct RecNode {
 /// A decoded record.
 #[derive(Debug, Clone)]
 pub struct RecordData {
+    /// The record number these bytes claim to be ([`NONE_U32`] for
+    /// legacy format-2 records, which did not store it). `fetch`
+    /// cross-checks it against the directory entry being resolved.
+    pub self_no: u32,
+    /// Commit epoch that wrote these bytes (0 for legacy records).
+    pub epoch: u64,
     /// Record containing our parent node (`u32::MAX` for the root
     /// record).
     pub parent_record: u32,
@@ -168,7 +180,7 @@ fn kind_from_u8(b: u8) -> StoreResult<NodeKind> {
         2 => NodeKind::Text,
         3 => NodeKind::Comment,
         4 => NodeKind::ProcessingInstruction,
-        _ => return Err(StoreError::Corrupt("bad node kind")),
+        _ => return Err(StoreError::corrupt("bad node kind")),
     })
 }
 
@@ -186,6 +198,9 @@ impl Writer {
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
 }
 
 struct Reader<'a> {
@@ -196,7 +211,7 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn need(&self, n: usize) -> StoreResult<()> {
         if self.pos + n > self.buf.len() {
-            Err(StoreError::Corrupt("record truncated"))
+            Err(StoreError::corrupt("record truncated"))
         } else {
             Ok(())
         }
@@ -223,6 +238,16 @@ impl<'a> Reader<'a> {
         self.pos += 4;
         Ok(v)
     }
+    fn u64(&mut self) -> StoreResult<u64> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        Ok(v)
+    }
     fn skip(&mut self, n: usize) -> StoreResult<u32> {
         self.need(n)?;
         let off = self.pos as u32;
@@ -231,11 +256,15 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serialize a record image.
-pub fn encode(rec: &RecordImage) -> Vec<u8> {
+/// Serialize a record image as record number `self_no` written at commit
+/// `epoch` (both stored in the self-describing prefix).
+pub fn encode(rec: &RecordImage, self_no: u32, epoch: u64) -> Vec<u8> {
     let mut w = Writer {
-        buf: Vec::with_capacity(64 + rec.nodes.len() * 16),
+        buf: Vec::with_capacity(80 + rec.nodes.len() * 16),
     };
+    w.buf.extend_from_slice(RECORD_MAGIC);
+    w.u32(self_no);
+    w.u64(epoch);
     w.u32(rec.parent_record);
     w.u16(rec.parent_local);
     w.u16(rec.proxy_pos);
@@ -275,11 +304,19 @@ pub fn encode(rec: &RecordImage) -> Vec<u8> {
 }
 
 /// Deserialize a record, taking ownership of the bytes (content strings
-/// are served from them without copying).
+/// are served from them without copying). Auto-detects the format-3
+/// prefix; bytes without it decode as legacy format 2 (`self_no` and
+/// `epoch` come back as sentinels).
 pub fn decode(bytes: Vec<u8>) -> StoreResult<RecordData> {
     let mut r = Reader {
         buf: &bytes,
         pos: 0,
+    };
+    let (self_no, epoch) = if bytes.len() >= 4 && &bytes[..4] == RECORD_MAGIC {
+        r.pos = 4;
+        (r.u32()?, r.u64()?)
+    } else {
+        (NONE_U32, 0)
     };
     let parent_record = r.u32()?;
     let parent_local = r.u16()?;
@@ -305,7 +342,7 @@ pub fn decode(bytes: Vec<u8>) -> StoreResult<RecordData> {
             // Validate UTF-8 once at decode time so accessors can slice
             // without re-checking.
             std::str::from_utf8(&bytes[off as usize..off as usize + content_len as usize])
-                .map_err(|_| StoreError::Corrupt("content not UTF-8"))?;
+                .map_err(|_| StoreError::corrupt("content not UTF-8"))?;
             Some((off, u32::from(content_len)))
         };
         let entry_count = r.u16()? as usize;
@@ -314,7 +351,7 @@ pub fn decode(bytes: Vec<u8>) -> StoreResult<RecordData> {
             entries.push(match r.u8()? {
                 0 => ChildEntry::Local(r.u16()?),
                 1 => ChildEntry::Proxy(r.u32()?),
-                _ => return Err(StoreError::Corrupt("bad child entry tag")),
+                _ => return Err(StoreError::corrupt("bad child entry tag")),
             });
         }
         nodes.push(RecNode {
@@ -329,24 +366,26 @@ pub fn decode(bytes: Vec<u8>) -> StoreResult<RecordData> {
     }
     for &root in &roots {
         if root as usize >= nodes.len() {
-            return Err(StoreError::Corrupt("root index out of range"));
+            return Err(StoreError::corrupt("root index out of range"));
         }
     }
     for n in &nodes {
         if n.parent_local != NONE_U16 && n.parent_local as usize >= nodes.len() {
-            return Err(StoreError::Corrupt("parent index out of range"));
+            return Err(StoreError::corrupt("parent index out of range"));
         }
     }
     for n in &nodes {
         for e in &entries[n.entry_start as usize..n.entry_start as usize + n.entry_len as usize] {
             if let ChildEntry::Local(i) = *e {
                 if i as usize >= nodes.len() {
-                    return Err(StoreError::Corrupt("child index out of range"));
+                    return Err(StoreError::corrupt("child index out of range"));
                 }
             }
         }
     }
     Ok(RecordData {
+        self_no,
+        epoch,
         parent_record,
         parent_local,
         proxy_pos,
@@ -399,8 +438,10 @@ mod tests {
     #[test]
     fn roundtrip() {
         let rec = sample();
-        let bytes = encode(&rec);
+        let bytes = encode(&rec, 12, 4);
         let back = decode(bytes).unwrap();
+        assert_eq!(back.self_no, 12);
+        assert_eq!(back.epoch, 4);
         assert_eq!(back.parent_record, 3);
         assert_eq!(back.parent_local, 7);
         assert_eq!(back.proxy_pos, 2);
@@ -417,17 +458,18 @@ mod tests {
 
     #[test]
     fn truncated_fails() {
-        let bytes = encode(&sample());
-        for cut in [0, 4, 10, bytes.len() - 1] {
+        let bytes = encode(&sample(), 0, 1);
+        for cut in [0, 6, 18, 26, bytes.len() - 1] {
             assert!(decode(bytes[..cut].to_vec()).is_err(), "cut at {cut}");
         }
     }
 
     #[test]
     fn corrupt_kind_fails() {
-        let mut bytes = encode(&sample());
-        // First node kind byte sits after the 12-byte header + 2 roots.
-        let kind_off = 12 + 4;
+        let mut bytes = encode(&sample(), 0, 1);
+        // First node kind byte sits after the 16-byte prefix, the
+        // 12-byte header, and 2 roots.
+        let kind_off = 16 + 12 + 4;
         bytes[kind_off] = 99;
         assert!(decode(bytes).is_err());
     }
@@ -436,12 +478,24 @@ mod tests {
     fn corrupt_child_index_fails() {
         let mut img = sample();
         img.nodes[0].entries[0] = ChildEntry::Local(99);
-        assert!(decode(encode(&img)).is_err());
+        assert!(decode(encode(&img, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn legacy_unprefixed_record_still_decodes() {
+        // A format-2 record is the same body without the prefix.
+        let v3 = encode(&sample(), 7, 3);
+        let legacy = v3[16..].to_vec();
+        let back = decode(legacy).unwrap();
+        assert_eq!(back.self_no, NONE_U32);
+        assert_eq!(back.epoch, 0);
+        assert_eq!(back.parent_record, 3);
+        assert_eq!(back.content(&back.nodes[1]), Some("hello world"));
     }
 
     #[test]
     fn root_pos() {
-        let rec = decode(encode(&sample())).unwrap();
+        let rec = decode(encode(&sample(), 0, 1)).unwrap();
         assert_eq!(rec.root_pos(0), Some(0));
         assert_eq!(rec.root_pos(2), Some(1));
         assert_eq!(rec.root_pos(1), None);

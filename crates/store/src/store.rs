@@ -1,7 +1,7 @@
 //! The XML store: partitioner-driven bulkload, record directory, and
 //! navigation primitives that cross record boundaries through proxies.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use natix_tree::{NodeId, Partitioning};
@@ -9,11 +9,173 @@ use natix_xml::{Document, DocumentBuilder, NodeKind};
 
 use crate::catalog::{self, Header, RecordLoc};
 use crate::journal;
-use crate::page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
-use crate::pager::{BufferPool, BufferStats, PageId, Pager, StoreError, StoreResult};
+use crate::page::{set_page_class, PageClass, SlottedPage, MAX_IN_PAGE, PAGE_SIZE, PAYLOAD_SIZE};
+use crate::pager::{
+    BufferPool, BufferStats, ChecksummingPager, PageId, Pager, StoreError, StoreResult,
+};
 use crate::record::{
     self, ChildEntry, ImageNode, RecNode, RecordData, RecordImage, NONE_U16, NONE_U32,
 };
+
+/// How to open a store with respect to at-rest damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMode {
+    /// Any corruption reached by a read is an error (the default).
+    #[default]
+    Strict,
+    /// Reads of quarantined or corrupt partitions are skipped and
+    /// reported via [`DamageReport`] instead of failing the whole
+    /// document ([`XmlStore::to_document_degraded`]). The store is
+    /// read-only in this mode.
+    Degraded,
+}
+
+/// One sibling interval (= partition record) missing from a degraded
+/// read: its proxy position under the surviving parent, and why.
+#[derive(Debug, Clone)]
+pub struct MissingInterval {
+    /// The unreadable record.
+    pub record: u32,
+    /// Surviving node whose child list references the missing interval.
+    pub parent: NodeRef,
+    /// Position of the proxy in the parent's entry list.
+    pub entry_pos: u16,
+    /// Human-readable cause (quarantined, checksum mismatch, …).
+    pub cause: String,
+}
+
+/// What a degraded read could not serve. Intervals are topmost-only: a
+/// missing record's descendants are not listed separately.
+#[derive(Debug, Clone, Default)]
+pub struct DamageReport {
+    /// Missing sibling intervals, in traversal order.
+    pub missing: Vec<MissingInterval>,
+}
+
+impl DamageReport {
+    /// True when the degraded read served the full document.
+    pub fn is_empty(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// The set of missing record numbers.
+    pub fn records(&self) -> HashSet<u32> {
+        self.missing.iter().map(|m| m.record).collect()
+    }
+}
+
+impl std::fmt::Display for DamageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.missing.is_empty() {
+            return write!(f, "damage: none");
+        }
+        for m in &self.missing {
+            writeln!(
+                f,
+                "damage record={} parent={}:{} entry={} cause={}",
+                m.record, m.parent.record, m.parent.node, m.entry_pos, m.cause
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Magic prefix on the first page of a format-3 overflow chain:
+/// `[magic][record byte length]` before the record bytes, so a raw-page
+/// scan can find and bound overflow records without a catalog.
+pub(crate) const OVERFLOW_MAGIC: &[u8; 4] = b"NOV3";
+
+/// Record bytes the first page of an overflow chain can carry.
+pub(crate) const OVERFLOW_HEAD: usize = PAYLOAD_SIZE - 8;
+
+/// Write `bytes` as a format-3 overflow chain on freshly allocated pages
+/// (dirty frames: they commit through the journal like any other page).
+/// Returns the first page id.
+pub(crate) fn write_overflow_chain(pool: &mut BufferPool, bytes: &[u8]) -> StoreResult<PageId> {
+    let first = pool.allocate()?;
+    let head = bytes.len().min(OVERFLOW_HEAD);
+    pool.with_page(first, true, |buf| {
+        buf[..4].copy_from_slice(OVERFLOW_MAGIC);
+        buf[4..8].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+        buf[8..8 + head].copy_from_slice(&bytes[..head]);
+        set_page_class(buf, PageClass::Overflow);
+    })?;
+    let mut off = head;
+    while off < bytes.len() {
+        let page = pool.allocate()?;
+        let take = (bytes.len() - off).min(PAYLOAD_SIZE);
+        pool.with_page(page, true, |buf| {
+            buf[..take].copy_from_slice(&bytes[off..off + take]);
+            set_page_class(buf, PageClass::Overflow);
+        })?;
+        off += take;
+    }
+    Ok(first)
+}
+
+/// Number of pages a format-3 overflow chain of `len` record bytes spans.
+pub(crate) fn overflow_page_span(len: usize) -> usize {
+    1 + len.saturating_sub(OVERFLOW_HEAD).div_ceil(PAYLOAD_SIZE)
+}
+
+/// Read back an overflow chain written by [`write_overflow_chain`] (or,
+/// with `legacy`, the headerless format-2 layout chunked at the full
+/// page size).
+pub(crate) fn read_overflow_chain(
+    pool: &mut BufferPool,
+    no: u32,
+    first_page: PageId,
+    len: usize,
+    legacy: bool,
+) -> StoreResult<Vec<u8>> {
+    let mut bytes = Vec::with_capacity(len);
+    if legacy {
+        let mut remaining = len;
+        let mut page = first_page;
+        while remaining > 0 {
+            let take = remaining.min(PAGE_SIZE);
+            pool.with_page(page, false, |buf| {
+                bytes.extend_from_slice(&buf[..take]);
+            })?;
+            remaining -= take;
+            page += 1;
+        }
+        return Ok(bytes);
+    }
+    let head = len.min(OVERFLOW_HEAD);
+    pool.with_page(first_page, false, |buf| {
+        if &buf[..4] != OVERFLOW_MAGIC {
+            return Err(StoreError::corrupt_page(
+                "overflow chain magic missing",
+                first_page,
+                Some(PageClass::Overflow),
+            )
+            .in_record(no));
+        }
+        let stored = u32::from_le_bytes(buf[4..8].try_into().expect("4")) as usize;
+        if stored != len {
+            return Err(StoreError::corrupt_page(
+                "overflow chain length disagrees with directory",
+                first_page,
+                Some(PageClass::Overflow),
+            )
+            .in_record(no));
+        }
+        bytes.extend_from_slice(&buf[8..8 + head]);
+        Ok(())
+    })??;
+    let mut remaining = len - head;
+    let mut page = first_page + 1;
+    while remaining > 0 {
+        let take = remaining.min(PAYLOAD_SIZE);
+        pool.with_page(page, false, |buf| {
+            bytes.extend_from_slice(&buf[..take]);
+        })?;
+        remaining -= take;
+        page += 1;
+    }
+    Ok(bytes)
+}
 
 /// Store configuration.
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +295,14 @@ pub struct XmlStore {
     /// restore the directory and label table without touching the backend
     /// (which may be the very thing that just failed).
     pub(crate) committed_catalog_bytes: Vec<u8>,
+    /// On-disk format version backing this store: 3 (page frames,
+    /// checksummed reads) or 2 (legacy, read-only).
+    pub(crate) format: u8,
+    /// How reads treat corrupt/quarantined partitions.
+    pub(crate) mode: OpenMode,
+    /// Records quarantined by `fsck --repair` (unrecoverable partitions);
+    /// strict reads of them fail, degraded reads skip and report them.
+    pub(crate) quarantined: BTreeSet<u32>,
 }
 
 impl XmlStore {
@@ -275,6 +445,9 @@ impl XmlStore {
         // Place the encoded records onto pages: first fit over a small set
         // of open pages, like a record manager that keeps a free-space
         // inventory. Fragmentation is real and reported (paper Sec. 6.4).
+        // Every page write goes through the checksumming layer, which
+        // seals the typed page frame (class + FNV-64) on the way out.
+        let backend: Box<dyn Pager> = Box::new(ChecksummingPager::new(backend));
         let mut pool = BufferPool::new(backend, config.buffer_pages);
         // Pages 0 and 1 are the two header slots; the catalog goes after
         // the data pages so the store can be reopened from its page file
@@ -287,22 +460,11 @@ impl XmlStore {
         let mut open_pages: Vec<(PageId, usize)> = Vec::new();
         const OPEN_LIMIT: usize = 8;
 
-        for rec in &records {
-            let bytes = record::encode(rec);
+        for (no, rec) in records.iter().enumerate() {
+            let bytes = record::encode(rec, no as u32, 1);
             if bytes.len() > MAX_IN_PAGE {
                 // Overflow chain of dedicated pages.
-                let pages_needed = bytes.len().div_ceil(PAGE_SIZE);
-                let mut first_page = 0;
-                for (pi, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
-                    let page = pool.allocate()?;
-                    if pi == 0 {
-                        first_page = page;
-                    }
-                    pool.with_page(page, true, |buf| {
-                        buf[..chunk.len()].copy_from_slice(chunk);
-                    })?;
-                }
-                debug_assert!(pages_needed >= 1);
+                let first_page = write_overflow_chain(&mut pool, &bytes)?;
                 directory.push(RecordLoc::Overflow {
                     first_page,
                     len: bytes.len() as u32,
@@ -328,7 +490,7 @@ impl XmlStore {
                     pool.with_page(page, true, |buf| {
                         SlottedPage::format(buf);
                     })?;
-                    open_pages.push((page, PAGE_SIZE - 4));
+                    open_pages.push((page, PAYLOAD_SIZE - 4));
                     (page, open_pages.len() - 1)
                 }
             };
@@ -342,15 +504,16 @@ impl XmlStore {
         }
         // Persist the catalog: directory + label table across dedicated
         // pages, located from the header page.
-        let catalog_bytes = catalog::encode_catalog(&directory, &labels);
-        let catalog_first_page = pool.page_count();
-        for chunk in catalog_bytes.chunks(PAGE_SIZE) {
-            let page = pool.allocate()?;
-            pool.with_page(page, true, |buf| {
-                buf[..chunk.len()].copy_from_slice(chunk);
-            })?;
-        }
         let root_record = owner[tree.root().index()];
+        let catalog_bytes = catalog::encode_catalog(
+            &directory,
+            &labels,
+            &[],
+            root_record,
+            config.record_limit_slots,
+            1,
+        );
+        let catalog_first_page = pool.append_chunked(&catalog_bytes, PageClass::Catalog)?;
         // Initial commit: no pre-state exists yet, so no journal is needed;
         // epoch 1 lands in slot 1 and slot 0 stays invalid (zeroed).
         let header = catalog::encode_header(&Header {
@@ -380,6 +543,9 @@ impl XmlStore {
             epoch: 1,
             committed_catalog: (catalog_first_page, catalog_bytes.len() as u64),
             committed_catalog_bytes: catalog_bytes,
+            format: 3,
+            mode: OpenMode::Strict,
+            quarantined: BTreeSet::new(),
         })
     }
 
@@ -423,17 +589,27 @@ impl XmlStore {
     /// Phases (1)–(3) of the commit protocol, up to and including the
     /// commit point.
     fn commit_durable(&mut self) -> StoreResult<()> {
-        let catalog_bytes = catalog::encode_catalog(&self.directory, &self.labels);
-        let catalog_first_page = self.pool.page_count();
-        self.pool.append_chunked(&catalog_bytes)?;
+        let quarantined: Vec<u32> = self.quarantined.iter().copied().collect();
+        let catalog_bytes = catalog::encode_catalog(
+            &self.directory,
+            &self.labels,
+            &quarantined,
+            self.root_record,
+            self.record_limit,
+            self.epoch + 1,
+        );
+        let catalog_first_page = self
+            .pool
+            .append_chunked(&catalog_bytes, PageClass::Catalog)?;
 
         let mut entries = Vec::new();
         for id in self.pool.dirty_pages() {
             entries.push((id, self.pool.page_image(id)?));
         }
         let journal_bytes = journal::encode(&entries);
-        let journal_first_page = self.pool.page_count();
-        self.pool.append_chunked(&journal_bytes)?;
+        let journal_first_page = self
+            .pool
+            .append_chunked(&journal_bytes, PageClass::Journal)?;
 
         let header = Header {
             epoch: self.epoch + 1,
@@ -491,6 +667,7 @@ impl XmlStore {
         self.directory = cat.directory;
         self.labels = cat.labels;
         self.label_ids = label_ids;
+        self.quarantined = cat.quarantined.into_iter().collect();
         Ok(())
     }
 
@@ -500,16 +677,40 @@ impl XmlStore {
     /// journaled image is the post-commit page state, so replay is
     /// idempotent — and a journal-free header is published.
     pub fn open(backend: Box<dyn Pager>, config: StoreConfig) -> StoreResult<XmlStore> {
-        let mut pool = BufferPool::new(backend, config.buffer_pages);
-        if pool.page_count() < 2 {
-            return Err(StoreError::Corrupt("file too small for header slots"));
+        Self::open_with(backend, config, OpenMode::Strict)
+    }
+
+    /// [`XmlStore::open`] with an explicit [`OpenMode`].
+    pub fn open_with(
+        mut backend: Box<dyn Pager>,
+        config: StoreConfig,
+        mode: OpenMode,
+    ) -> StoreResult<XmlStore> {
+        if backend.page_count() < 2 {
+            return Err(StoreError::corrupt("file too small for header slots"));
         }
-        let slot0 = pool.page_image(0)?;
-        let slot1 = pool.page_image(1)?;
-        let mut header = catalog::pick_header(&slot0, &slot1)?;
+        // Header slots are read raw (below any checksum verification):
+        // the ping-pong protocol relies on decoding *both* slots and
+        // falling back past a torn one, and the slots also announce the
+        // format version that decides whether frames exist at all.
+        let mut slot0 = Box::new([0u8; PAGE_SIZE]);
+        let mut slot1 = Box::new([0u8; PAGE_SIZE]);
+        backend.read(0, &mut slot0)?;
+        backend.read(1, &mut slot1)?;
+        let (mut header, format) = catalog::pick_header(&slot0, &slot1)?;
+        let backend: Box<dyn Pager> = if format >= 3 {
+            Box::new(ChecksummingPager::new(backend))
+        } else {
+            backend
+        };
+        let chunk = if format >= 3 { PAYLOAD_SIZE } else { PAGE_SIZE };
+        let mut pool = BufferPool::new(backend, config.buffer_pages);
         if header.journal_len > 0 {
-            let bytes =
-                pool.read_chunked(header.journal_first_page, header.journal_len as usize)?;
+            let bytes = pool.read_chunked(
+                header.journal_first_page,
+                header.journal_len as usize,
+                chunk,
+            )?;
             for (page, image) in journal::decode(&bytes)? {
                 pool.write_through(page, &image)?;
             }
@@ -518,8 +719,11 @@ impl XmlStore {
             header.journal_len = 0;
             pool.write_through(header.slot(), &catalog::encode_header(&header))?;
         }
-        let catalog_bytes =
-            pool.read_chunked(header.catalog_first_page, header.catalog_len as usize)?;
+        let catalog_bytes = pool.read_chunked(
+            header.catalog_first_page,
+            header.catalog_len as usize,
+            chunk,
+        )?;
         let cat = catalog::decode_catalog(&catalog_bytes, header.root_record)?;
         let mut label_ids = HashMap::with_capacity(cat.labels.len());
         for (i, l) in cat.labels.iter().enumerate() {
@@ -540,7 +744,41 @@ impl XmlStore {
             epoch: header.epoch,
             committed_catalog: (header.catalog_first_page, header.catalog_len),
             committed_catalog_bytes: catalog_bytes,
+            format,
+            mode,
+            quarantined: cat.quarantined.into_iter().collect(),
         })
+    }
+
+    /// On-disk format version backing this store (3 current, 2 legacy).
+    pub fn format_version(&self) -> u8 {
+        self.format
+    }
+
+    /// How this store treats corrupt/quarantined partitions on read.
+    pub fn open_mode(&self) -> OpenMode {
+        self.mode
+    }
+
+    /// Records quarantined by `fsck --repair`, ascending.
+    pub fn quarantined_records(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// `Err` unless this store accepts updates: legacy format-2 stores
+    /// and degraded-mode opens are read-only.
+    pub(crate) fn require_writable(&self) -> StoreResult<()> {
+        if self.format < 3 {
+            return Err(StoreError::InvalidUpdate(
+                "legacy format-2 store is read-only; migrate it with compact()",
+            ));
+        }
+        if self.mode == OpenMode::Degraded {
+            return Err(StoreError::InvalidUpdate(
+                "store opened in degraded mode is read-only",
+            ));
+        }
+        Ok(())
     }
 
     /// Fetch (and decode if necessary) a record.
@@ -558,36 +796,46 @@ impl XmlStore {
             return Ok(rec);
         }
         self.nav.record_decodes += 1;
+        if self.quarantined.contains(&no) {
+            return Err(StoreError::corrupt_record(
+                "record quarantined by fsck repair",
+                no,
+            ));
+        }
         let loc = *self
             .directory
             .get(no as usize)
             .ok_or(StoreError::BadRecord(no))?;
         let bytes = match loc {
-            RecordLoc::InPage { page, slot } => self.pool.with_page(page, false, |buf| {
-                SlottedPage::new(buf).get(slot).map(<[u8]>::to_vec)
-            })?,
-            RecordLoc::Overflow { first_page, len } => {
-                let mut bytes = Vec::with_capacity(len as usize);
-                let mut remaining = len as usize;
-                let mut page = first_page;
-                while remaining > 0 {
-                    let take = remaining.min(PAGE_SIZE);
-                    self.pool.with_page(page, false, |buf| {
-                        bytes.extend_from_slice(&buf[..take]);
-                    })?;
-                    remaining -= take;
-                    page += 1;
-                }
-                Some(bytes)
-            }
+            RecordLoc::InPage { page, slot } => self
+                .pool
+                .with_page(page, false, |buf| {
+                    SlottedPage::new(buf).get(slot).map(<[u8]>::to_vec)
+                })
+                .map_err(|e| e.in_record(no))?,
+            RecordLoc::Overflow { first_page, len } => Some(read_overflow_chain(
+                &mut self.pool,
+                no,
+                first_page,
+                len as usize,
+                self.format < 3,
+            )?),
             RecordLoc::Free => None,
         };
         let bytes = bytes.ok_or(StoreError::BadRecord(no))?;
-        let rec = record::decode(bytes)?;
+        let rec = record::decode(bytes).map_err(|e| e.in_record(no))?;
+        // A framed record announces which directory slot it was written
+        // for; a mismatch means the directory points at the wrong page.
+        if rec.self_no != NONE_U32 && rec.self_no != no {
+            return Err(StoreError::corrupt_record(
+                "record self-number does not match directory slot",
+                no,
+            ));
+        }
         // Label ids must resolve in this store's label table.
         for n in &rec.nodes {
             if n.label as usize >= self.labels.len() {
-                return Err(StoreError::Corrupt("label id out of range"));
+                return Err(StoreError::corrupt_record("label id out of range", no));
             }
         }
         let rec = Rc::new(rec);
@@ -759,9 +1007,10 @@ impl XmlStore {
             return self.entry_neighbor(r.record, rec.entries(parent), pos, dir);
         }
         // Fragment root: try the neighboring root in this record.
-        let pos =
-            rec.root_pos(r.node)
-                .ok_or(StoreError::Corrupt("fragment root not in root list"))? as isize;
+        let pos = rec
+            .root_pos(r.node)
+            .ok_or_else(|| StoreError::corrupt_record("fragment root not in root list", r.record))?
+            as isize;
         let next = pos + dir;
         if next >= 0 && (next as usize) < rec.roots.len() {
             return Ok(Some(NodeRef {
@@ -903,6 +1152,125 @@ impl XmlStore {
             }
         }
         Ok(b.build())
+    }
+
+    /// Degraded read: rebuild whatever survives, plus an exact report of
+    /// every partition that did not. Subtrees whose records are corrupt
+    /// or quarantined are skipped at their proxy entry and recorded as
+    /// [`MissingInterval`]s; everything else is reproduced faithfully.
+    /// Corruption of the root record itself is not salvageable and
+    /// propagates as an error.
+    pub fn to_document_degraded(&mut self) -> StoreResult<(Document, DamageReport)> {
+        self.salvage_document(&HashSet::new())
+    }
+
+    /// Oracle helper for corruption tests: rebuild the document as if the
+    /// records in `exclude` had been lost, on an otherwise clean store.
+    /// A degraded read of a damaged store must equal the partial read of
+    /// its clean twin excluding the reported records.
+    pub fn to_document_partial(&mut self, exclude: &HashSet<u32>) -> StoreResult<Document> {
+        Ok(self.salvage_document(exclude)?.0)
+    }
+
+    fn salvage_document(
+        &mut self,
+        exclude: &HashSet<u32>,
+    ) -> StoreResult<(Document, DamageReport)> {
+        let mut damage = DamageReport::default();
+        let root = self.root()?;
+        let (kind, label) = self.with_node(root, |n| (n.kind, n.label))?;
+        assert_eq!(kind, NodeKind::Element, "document root must be an element");
+        let root_name = self.label_name(label).to_string();
+        let mut b = DocumentBuilder::new(&root_name);
+        let mut stack: Vec<(NodeRef, natix_xml::NodeId)> = vec![(root, natix_xml::NodeId::ROOT)];
+        while let Some((r, target)) = stack.pop() {
+            // Records on the stack decoded successfully when discovered,
+            // so this re-fetch (cache-miss at worst) cannot newly fail.
+            let rec = self.fetch(r.record)?;
+            let parent = &rec.nodes[r.node as usize];
+            for (pos, entry) in rec.entries(parent).iter().enumerate() {
+                match *entry {
+                    ChildEntry::Local(i) => {
+                        salvage_emit(&mut b, &mut stack, &self.labels, &rec, r.record, i, target);
+                    }
+                    ChildEntry::Proxy(no) => {
+                        let child = if exclude.contains(&no) {
+                            Err(StoreError::corrupt_record(
+                                "record excluded from partial read",
+                                no,
+                            ))
+                        } else {
+                            self.fetch(no)
+                        };
+                        match child {
+                            Ok(crec) => {
+                                for &root_node in &crec.roots {
+                                    salvage_emit(
+                                        &mut b,
+                                        &mut stack,
+                                        &self.labels,
+                                        &crec,
+                                        no,
+                                        root_node,
+                                        target,
+                                    );
+                                }
+                            }
+                            Err(e) if e.is_corruption() => {
+                                damage.missing.push(MissingInterval {
+                                    record: no,
+                                    parent: r,
+                                    entry_pos: pos as u16,
+                                    cause: e.to_string(),
+                                });
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+        }
+        Ok((b.build(), damage))
+    }
+}
+
+/// Append node `node` of record `rec` (number `record_no`) under builder
+/// node `target`, queueing elements for their own child expansion.
+fn salvage_emit(
+    b: &mut DocumentBuilder,
+    stack: &mut Vec<(NodeRef, natix_xml::NodeId)>,
+    labels: &[Box<str>],
+    rec: &RecordData,
+    record_no: u32,
+    node: u16,
+    target: natix_xml::NodeId,
+) {
+    let n = &rec.nodes[node as usize];
+    let name = &*labels[n.label as usize];
+    let content = rec.content(n).unwrap_or_default();
+    match n.kind {
+        NodeKind::Element => {
+            let id = b.element(target, name);
+            stack.push((
+                NodeRef {
+                    record: record_no,
+                    node,
+                },
+                id,
+            ));
+        }
+        NodeKind::Attribute => {
+            b.attribute(target, name, content);
+        }
+        NodeKind::Text => {
+            b.text(target, content);
+        }
+        NodeKind::Comment => {
+            b.comment(target, content);
+        }
+        NodeKind::ProcessingInstruction => {
+            b.processing_instruction(target, name, content);
+        }
     }
 }
 

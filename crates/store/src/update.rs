@@ -20,10 +20,10 @@ use natix_tree::Weight;
 use natix_xml::{node_weight, NodeKind};
 
 use crate::catalog::RecordLoc;
-use crate::page::{SlottedPage, MAX_IN_PAGE, PAGE_SIZE};
+use crate::page::{PageClass, SlottedPage, MAX_IN_PAGE};
 use crate::pager::{StoreError, StoreResult};
 use crate::record::{self, ChildEntry, ImageNode, RecordImage, NONE_U16, NONE_U32};
-use crate::store::{NodeRef, XmlStore};
+use crate::store::{write_overflow_chain, NodeRef, XmlStore};
 
 /// Where to place a newly inserted node.
 enum InsertPos {
@@ -68,6 +68,7 @@ impl XmlStore {
         name: &str,
         content: Option<&str>,
     ) -> StoreResult<NodeRef> {
+        self.require_writable()?;
         let r = self.append_child_inner(parent, kind, name, content);
         self.transactional(r)
     }
@@ -103,6 +104,7 @@ impl XmlStore {
         name: &str,
         content: Option<&str>,
     ) -> StoreResult<NodeRef> {
+        self.require_writable()?;
         let r = self.insert_before_inner(sibling, kind, name, content);
         self.transactional(r)
     }
@@ -123,9 +125,9 @@ impl XmlStore {
                 "the document root has no siblings",
             ));
         } else {
-            let rp = rec
-                .root_pos(sibling.node)
-                .ok_or(StoreError::Corrupt("fragment root not in root list"))?;
+            let rp = rec.root_pos(sibling.node).ok_or_else(|| {
+                StoreError::corrupt_record("fragment root not in root list", sibling.record)
+            })?;
             InsertPos::BeforeRoot(rp)
         };
         drop(rec);
@@ -136,6 +138,7 @@ impl XmlStore {
     /// records included). The document root cannot be deleted. The
     /// operation commits atomically.
     pub fn delete_subtree(&mut self, node: NodeRef) -> StoreResult<()> {
+        self.require_writable()?;
         let r = self.delete_subtree_inner(node);
         self.transactional(r)
     }
@@ -533,7 +536,10 @@ impl XmlStore {
 
     /// Re-encode and re-place a record, invalidating caches.
     pub(crate) fn write_record(&mut self, no: u32, img: &RecordImage) -> StoreResult<()> {
-        let bytes = record::encode(img);
+        // Stamp the record with its directory slot and the epoch of the
+        // in-flight commit, so fsck repair can resolve duplicate claims
+        // by recency.
+        let bytes = record::encode(img, no, self.epoch + 1);
         // Release the old location.
         match self.directory[no as usize] {
             RecordLoc::InPage { page, slot } => {
@@ -547,16 +553,7 @@ impl XmlStore {
             }
         }
         let loc = if bytes.len() > MAX_IN_PAGE {
-            let mut first_page = 0;
-            for (pi, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
-                let page = self.pool.allocate()?;
-                if pi == 0 {
-                    first_page = page;
-                }
-                self.pool.with_page(page, true, |buf| {
-                    buf[..chunk.len()].copy_from_slice(chunk);
-                })?;
-            }
+            let first_page = write_overflow_chain(&mut self.pool, &bytes)?;
             RecordLoc::Overflow {
                 first_page,
                 len: bytes.len() as u32,
@@ -716,7 +713,7 @@ impl XmlStore {
         {
             let rec = self.fetch(root_no)?;
             if rec.parent_record != NONE_U32 {
-                return Err(StoreError::Corrupt("root record has a parent back-link"));
+                return Err(StoreError::corrupt("root record has a parent back-link"));
             }
         }
         seen[root_no as usize] = true;
@@ -724,11 +721,11 @@ impl XmlStore {
         while let Some(no) = stack.pop() {
             let rec = self.fetch(no)?;
             if rec.roots.is_empty() {
-                return Err(StoreError::Corrupt("record has no fragment roots"));
+                return Err(StoreError::corrupt("record has no fragment roots"));
             }
             for &r in &rec.roots {
                 if rec.nodes[r as usize].parent_local != NONE_U16 {
-                    return Err(StoreError::Corrupt("fragment root has a local parent"));
+                    return Err(StoreError::corrupt("fragment root has a local parent"));
                 }
             }
             let mut proxies = Vec::new();
@@ -738,7 +735,7 @@ impl XmlStore {
                         ChildEntry::Local(c) => {
                             let child = &rec.nodes[c as usize];
                             if child.parent_local != li as u16 || child.entry_pos != pos as u16 {
-                                return Err(StoreError::Corrupt(
+                                return Err(StoreError::corrupt(
                                     "local child parent/entry position mismatch",
                                 ));
                             }
@@ -753,15 +750,15 @@ impl XmlStore {
             for (child_no, li, pos) in proxies {
                 let idx = child_no as usize;
                 if idx >= n || matches!(self.directory[idx], RecordLoc::Free) {
-                    return Err(StoreError::Corrupt("proxy points at a free record"));
+                    return Err(StoreError::corrupt("proxy points at a free record"));
                 }
                 if seen[idx] {
-                    return Err(StoreError::Corrupt("record reachable via two proxies"));
+                    return Err(StoreError::corrupt("record reachable via two proxies"));
                 }
                 seen[idx] = true;
                 let child = self.fetch(child_no)?;
                 if child.parent_record != no || child.parent_local != li || child.proxy_pos != pos {
-                    return Err(StoreError::Corrupt("child back-link does not match proxy"));
+                    return Err(StoreError::corrupt("child back-link does not match proxy"));
                 }
                 drop(child);
                 stack.push(child_no);
@@ -769,7 +766,7 @@ impl XmlStore {
         }
         for (no, loc) in self.directory.iter().enumerate() {
             if !matches!(loc, RecordLoc::Free) && !seen[no] {
-                return Err(StoreError::Corrupt("live record unreachable from root"));
+                return Err(StoreError::corrupt("live record unreachable from root"));
             }
         }
         self.check_record_weights()
@@ -883,8 +880,11 @@ impl XmlStore {
         backend: Box<dyn crate::pager::Pager>,
         config: crate::store::StoreConfig,
     ) -> StoreResult<XmlStore> {
-        use crate::pager::BufferPool;
+        use crate::pager::{BufferPool, ChecksummingPager};
 
+        // The fresh backend is always written in the current (checksummed)
+        // format — compact() doubles as the format-2 → format-3 migration.
+        let backend: Box<dyn crate::pager::Pager> = Box::new(ChecksummingPager::new(backend));
         let mut pool = BufferPool::new(backend, config.buffer_pages);
         let header_slot0 = pool.allocate()?;
         let header_slot1 = pool.allocate()?;
@@ -897,18 +897,9 @@ impl XmlStore {
                 directory.push(RecordLoc::Free);
                 continue;
             }
-            let bytes = record::encode(&self.fetch(no)?.to_image());
+            let bytes = record::encode(&self.fetch(no)?.to_image(), no, 1);
             if bytes.len() > MAX_IN_PAGE {
-                let mut first_page = 0;
-                for (pi, chunk) in bytes.chunks(PAGE_SIZE).enumerate() {
-                    let page = pool.allocate()?;
-                    if pi == 0 {
-                        first_page = page;
-                    }
-                    pool.with_page(page, true, |buf| {
-                        buf[..chunk.len()].copy_from_slice(chunk);
-                    })?;
-                }
+                let first_page = write_overflow_chain(&mut pool, &bytes)?;
                 directory.push(RecordLoc::Overflow {
                     first_page,
                     len: bytes.len() as u32,
@@ -941,14 +932,16 @@ impl XmlStore {
 
         // Initial commit, as in bulkload: no pre-state in the fresh
         // backend, so the catalog and header are written without a journal.
-        let catalog_bytes = crate::catalog::encode_catalog(&directory, &self.labels);
-        let catalog_first_page = pool.page_count();
-        for chunk in catalog_bytes.chunks(PAGE_SIZE) {
-            let page = pool.allocate()?;
-            pool.with_page(page, true, |buf| {
-                buf[..chunk.len()].copy_from_slice(chunk);
-            })?;
-        }
+        let quarantined: Vec<u32> = self.quarantined.iter().copied().collect();
+        let catalog_bytes = crate::catalog::encode_catalog(
+            &directory,
+            &self.labels,
+            &quarantined,
+            self.root_record,
+            self.record_limit,
+            1,
+        );
+        let catalog_first_page = pool.append_chunked(&catalog_bytes, PageClass::Catalog)?;
         let header = crate::catalog::encode_header(&crate::catalog::Header {
             epoch: 1,
             root_record: self.root_record,
@@ -976,6 +969,9 @@ impl XmlStore {
             epoch: 1,
             committed_catalog: (catalog_first_page, catalog_bytes.len() as u64),
             committed_catalog_bytes: catalog_bytes,
+            format: 3,
+            mode: crate::store::OpenMode::Strict,
+            quarantined: self.quarantined.clone(),
         })
     }
 }

@@ -5,7 +5,7 @@
 
 use natix_core::Ekm;
 use natix_store::{
-    bulkload_with, FaultInjectingPager, FaultSchedule, NodeRef, SharedMemPager, StoreConfig,
+    bulkload_with, fsck, FaultInjectingPager, FaultSchedule, NodeRef, SharedMemPager, StoreConfig,
     StoreResult, XmlStore,
 };
 use natix_xml::{parse, NodeKind};
@@ -84,6 +84,14 @@ fn crash_sweep(snap: &[u8], xml_pre: &str, op: impl Fn(&mut XmlStore) -> StoreRe
             re.check_consistency()
                 .unwrap_or_else(|e| panic!("inconsistent at n={n} torn={torn}: {e}"));
             let got = re.to_document().unwrap().to_xml();
+            // Recovery checkpoints, so a scrub of the recovered bytes
+            // must come back clean at every crash point.
+            drop(re);
+            let scrub = fsck(&mut disk.clone(), false);
+            assert!(
+                scrub.clean(),
+                "post-recovery scrub not clean at n={n} torn={torn}:\n{scrub}"
+            );
             points += 1;
             if r.is_ok() {
                 // The cut never fired: the op committed in fewer writes.
@@ -262,6 +270,12 @@ fn recovery_is_idempotent_across_repeated_crashes_during_replay() {
         assert!(
             got == xml_pre || got.contains("heavy payload text"),
             "n={n}: {got}"
+        );
+        drop(re);
+        let scrub = fsck(&mut disk.clone(), false);
+        assert!(
+            scrub.clean(),
+            "scrub after converged recovery, n={n}:\n{scrub}"
         );
         if done {
             break;

@@ -1,0 +1,244 @@
+//! End-to-end `fsck` coverage: clean scrubs, per-class bit-rot
+//! detection, salvage repair with quarantine, and exact degraded reads
+//! over the repaired store.
+
+use std::collections::HashSet;
+
+use natix_core::{Ekm, Partitioner};
+use natix_store::{
+    corrupt_checksum_of_class, corrupt_page_of_class, fsck, page_class_of, OpenMode, PageClass,
+    Pager, SharedMemPager, StoreConfig, XmlStore, PAGE_SIZE,
+};
+use natix_xml::Document;
+
+fn sample_doc() -> Document {
+    // Items fat enough that the records spread over several pages: a
+    // single rotted page then hits some partitions and spares the rest
+    // (in particular the root record on the first record page).
+    let mut s = String::from("<site>");
+    for i in 0..24 {
+        s.push_str(&format!(
+            "<item id=\"i{i}\"><name>object number {i}</name>\
+             <note>{}</note></item>",
+            format!("text content for padding {i} ").repeat(30)
+        ));
+    }
+    s.push_str("</site>");
+    natix_xml::parse(&s).unwrap()
+}
+
+/// A document whose single record spills into an overflow chain.
+fn overflow_doc() -> Document {
+    natix_xml::parse(&format!("<blob>{}</blob>", "x".repeat(3 * PAGE_SIZE))).unwrap()
+}
+
+/// Bulkload `doc` onto a shared backend and return a raw handle onto
+/// the same bytes.
+fn load(doc: &Document, k: u64) -> (XmlStore, SharedMemPager) {
+    let p = Ekm.partition(doc.tree(), k).unwrap();
+    let shared = SharedMemPager::new();
+    let handle = shared.clone();
+    let store = XmlStore::bulkload(doc, &p, Box::new(shared), StoreConfig::default()).unwrap();
+    (store, handle)
+}
+
+fn loaded_store(k: u64) -> (XmlStore, SharedMemPager) {
+    load(&sample_doc(), k)
+}
+
+/// Deterministically rot the highest-numbered record page — never the
+/// first one, which holds the root record.
+fn corrupt_last_record_page(handle: &mut SharedMemPager) -> u32 {
+    let count = handle.page_count();
+    let mut buf = [0u8; PAGE_SIZE];
+    let mut target = None;
+    for id in 2..count {
+        handle.read(id, &mut buf).unwrap();
+        if buf.iter().any(|&b| b != 0) && page_class_of(&buf) == PageClass::Record {
+            target = Some(id);
+        }
+    }
+    let id = target.expect("a record page");
+    handle.read(id, &mut buf).unwrap();
+    for b in &mut buf[100..200] {
+        *b ^= 0x5A;
+    }
+    handle.write(id, &buf).unwrap();
+    id
+}
+
+#[test]
+fn fresh_store_scrubs_clean() {
+    let (store, mut handle) = loaded_store(160);
+    let records = store.record_count();
+    drop(store);
+    let report = fsck(&mut handle, false);
+    assert!(report.clean(), "{report}");
+    assert_eq!(report.format, 3);
+    assert_eq!(report.records_checked as usize, records);
+    assert!(!report.repaired);
+}
+
+#[test]
+fn committed_updates_scrub_clean() {
+    let (mut store, mut handle) = loaded_store(160);
+    let root = store.root().unwrap();
+    for i in 0..8 {
+        store
+            .append_child(
+                root,
+                natix_xml::NodeKind::Element,
+                "extra",
+                Some(&format!("added {i}")),
+            )
+            .unwrap();
+        store.commit().unwrap();
+    }
+    drop(store);
+    let report = fsck(&mut handle, false);
+    // Committed updates leave debris (stale catalogs, retired journals)
+    // but the committed state itself must be spotless.
+    assert!(report.clean(), "{report}");
+}
+
+#[test]
+fn detects_bit_rot_in_every_referenced_class() {
+    for class in [PageClass::Record, PageClass::Overflow, PageClass::Catalog] {
+        let (store, mut handle) = if class == PageClass::Overflow {
+            // Overflow chains only appear when a record outgrows a page.
+            load(&overflow_doc(), 1 << 20)
+        } else {
+            loaded_store(160)
+        };
+        drop(store);
+        let hit = corrupt_page_of_class(&mut handle, 7, class, 3).unwrap();
+        assert!(hit.is_some(), "no {class} page to corrupt");
+        let report = fsck(&mut handle, false);
+        assert!(!report.clean(), "{class} corruption not detected: {report}");
+        // And the strict read path agrees: open + full read must fail.
+        let outcome = XmlStore::open(Box::new(handle.clone()), StoreConfig::default())
+            .and_then(|mut s| s.to_document());
+        let err = outcome.expect_err("strict read must notice the damage");
+        assert!(err.is_corruption(), "{err}");
+    }
+}
+
+#[test]
+fn detects_checksum_field_corruption() {
+    let (store, mut handle) = loaded_store(160);
+    drop(store);
+    let hit = corrupt_checksum_of_class(&mut handle, 3, PageClass::Record).unwrap();
+    assert!(hit.is_some());
+    let report = fsck(&mut handle, false);
+    assert!(!report.clean(), "{report}");
+}
+
+#[test]
+fn repair_recovers_everything_but_the_hit_partitions() {
+    // Small K: many records, so a single rotted page leaves plenty of
+    // intact partitions to salvage.
+    let (mut store, mut handle) = loaded_store(160);
+    let clean_doc = store.to_document().unwrap();
+    assert!(store.record_count() > 4);
+    let snapshot = handle.snapshot();
+    drop(store);
+
+    let hit = corrupt_last_record_page(&mut handle);
+    let report = fsck(&mut handle, true);
+    assert!(report.repaired, "repair did not run: {report}");
+    assert!(!report.quarantined.is_empty(), "{report}");
+    let post = fsck(&mut handle, false);
+    assert!(
+        post.clean(),
+        "store still damaged after repair: {post}\nhit page {hit}"
+    );
+
+    // Degraded read: the surviving partitions, plus an exact report of
+    // the missing ones.
+    let mut degraded = XmlStore::open_with(
+        Box::new(handle.clone()),
+        StoreConfig::default(),
+        OpenMode::Degraded,
+    )
+    .unwrap();
+    let (doc, damage) = degraded.to_document_degraded().unwrap();
+    let missing = damage.records();
+    assert_eq!(
+        missing,
+        report.quarantined.iter().copied().collect::<HashSet<u32>>(),
+        "damage report disagrees with the repair quarantine"
+    );
+
+    // Oracle: a partial read of the undamaged twin excluding exactly the
+    // reported records must reproduce the degraded document.
+    let twin = SharedMemPager::from_snapshot(&snapshot);
+    let mut clean = XmlStore::open(Box::new(twin), StoreConfig::default()).unwrap();
+    assert_eq!(clean.to_document().unwrap().to_xml(), clean_doc.to_xml());
+    let expected = clean.to_document_partial(&missing).unwrap();
+    assert_eq!(doc.to_xml(), expected.to_xml());
+}
+
+#[test]
+fn repair_survives_losing_both_header_slots() {
+    let (store, mut handle) = loaded_store(160);
+    drop(store);
+    let junk = [0xA5u8; PAGE_SIZE];
+    handle.write(0, &junk).unwrap();
+    handle.write(1, &junk).unwrap();
+    let err = match XmlStore::open(Box::new(handle.clone()), StoreConfig::default()) {
+        Ok(_) => panic!("open must fail with both header slots destroyed"),
+        Err(e) => e,
+    };
+    assert!(err.is_corruption(), "{err}");
+
+    let report = fsck(&mut handle, true);
+    assert!(report.repaired, "{report}");
+    assert!(report.quarantined.is_empty(), "{report}");
+    assert!(fsck(&mut handle, false).clean());
+
+    let mut back = XmlStore::open(Box::new(handle.clone()), StoreConfig::default()).unwrap();
+    assert_eq!(back.to_document().unwrap().to_xml(), sample_doc().to_xml());
+}
+
+#[test]
+fn repair_refuses_when_the_root_is_lost() {
+    // Single-record store: the root record IS the store; rotting it must
+    // make repair fail loudly rather than fabricate a document.
+    let doc = natix_xml::parse("<tiny><a>x</a></tiny>").unwrap();
+    let (store, mut handle) = load(&doc, 1 << 20);
+    assert_eq!(store.record_count(), 1);
+    drop(store);
+    corrupt_page_of_class(&mut handle, 5, PageClass::Record, 4)
+        .unwrap()
+        .expect("the record page");
+    let report = fsck(&mut handle, true);
+    assert!(!report.repaired, "{report}");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "root-unrecoverable"),
+        "{report}"
+    );
+}
+
+#[test]
+fn quarantined_records_fail_strict_reads() {
+    let (store, mut handle) = loaded_store(160);
+    drop(store);
+    corrupt_last_record_page(&mut handle);
+    let report = fsck(&mut handle, true);
+    assert!(
+        report.repaired && !report.quarantined.is_empty(),
+        "{report}"
+    );
+
+    let mut strict = XmlStore::open(Box::new(handle.clone()), StoreConfig::default()).unwrap();
+    assert_eq!(
+        strict.quarantined_records(),
+        report.quarantined,
+        "reopen must surface the quarantine"
+    );
+    let err = strict.to_document().unwrap_err();
+    assert!(err.is_corruption(), "{err}");
+}

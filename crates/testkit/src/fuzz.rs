@@ -13,11 +13,14 @@
 //! replayable script (see [`crate::replay`]) plus a ready-to-paste
 //! regression test.
 
+use std::collections::HashSet;
+
 use natix_core::Ekm;
 use natix_datagen::evaluation_suite;
 use natix_store::{
-    bulkload_with, FaultInjectingPager, FaultSchedule, NodeRef, SharedMemPager, StoreConfig,
-    StoreResult, XmlStore,
+    bulkload_with, corrupt_checksum_of_class, corrupt_page_of_class, fsck, FaultInjectingPager,
+    FaultSchedule, NodeRef, OpenMode, PageClass, SharedMemPager, StoreConfig, StoreResult,
+    XmlStore,
 };
 use natix_xml::{node_weight, Document, NodeKind};
 
@@ -284,6 +287,18 @@ pub fn run_trace(
                         )
                     })?
                     .to_xml();
+                // Recovery-then-scrub: whatever state the cut left, the
+                // recovered disk must pass fsck (crash debris is fine,
+                // damage to the committed state is not).
+                drop(re);
+                let scrub = fsck(&mut disk2.clone(), false);
+                if !scrub.clean() {
+                    return Err(fail(
+                        step,
+                        Some((n, torn)),
+                        format!("post-recovery scrub not clean:\n{scrub}"),
+                    ));
+                }
                 out.crash_points += 1;
                 if r.is_ok() {
                     // The cut fired at or past the end of the step's write
@@ -359,6 +374,243 @@ pub fn run_trace(
         out.ops_applied += 1;
     }
     Ok(out)
+}
+
+/// Statistics from a successful corruption-sweep run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CorruptionOutcome {
+    pub ops_applied: u64,
+    pub ops_skipped: u64,
+    /// Corruption injections exercised (one per hit page class/variant).
+    pub injections: u64,
+    /// Injections where `fsck` repair salvaged the store.
+    pub repairs: u64,
+}
+
+/// Every page class the sweep rots, referenced or not.
+const SWEEP_CLASSES: [PageClass; 6] = [
+    PageClass::Header,
+    PageClass::Record,
+    PageClass::Overflow,
+    PageClass::Catalog,
+    PageClass::Journal,
+    PageClass::Free,
+];
+
+/// Corrupt every page class of a committed snapshot — payload bit-rot
+/// and checksum-field damage — and assert detect-or-correct, never
+/// silently wrong:
+///
+/// - A strict open + full read either returns exactly the committed
+///   document (redundant header slot, unreferenced debris) or fails with
+///   a corruption-classified error. Any other document is a failure.
+/// - On detection, `fsck` repair must either salvage the store — leaving
+///   a clean post-scrub, a degraded read equal to the oracle's partial
+///   document, and a damage report that matches the quarantine exactly —
+///   or refuse with a fatal finding naming what was lost.
+fn corruption_sweep(
+    snap: &[u8],
+    config: StoreConfig,
+    expect_xml: &str,
+    step: usize,
+    out: &mut CorruptionOutcome,
+) -> Result<(), TraceFailure> {
+    let fail = |message: String| TraceFailure {
+        step,
+        crash: None,
+        message,
+    };
+    for (ci, &class) in SWEEP_CLASSES.iter().enumerate() {
+        for variant in 0..2u64 {
+            let mut branch = SharedMemPager::from_snapshot(snap);
+            // Distinct seed per (step, class, variant) so repeated sweeps
+            // rot different pages of multi-page classes.
+            let seed = (step as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(ci as u64 * 2 + variant);
+            let hit = if variant == 0 {
+                corrupt_page_of_class(&mut branch, seed, class, 3)
+            } else {
+                corrupt_checksum_of_class(&mut branch, seed, class)
+            }
+            .map_err(|e| fail(format!("{class:?} injection failed: {e}")))?;
+            let Some(page) = hit else {
+                continue; // no page of this class in this snapshot
+            };
+            out.injections += 1;
+            let kind = if variant == 0 { "payload" } else { "checksum" };
+            let ctx = format!("{class:?} {kind} corruption on page {page}");
+
+            match XmlStore::open(Box::new(branch.clone()), config).and_then(|mut s| s.to_document())
+            {
+                Ok(doc) => {
+                    let got = doc.to_xml();
+                    if got != expect_xml {
+                        return Err(fail(format!(
+                            "SILENTLY WRONG read after {ctx}\n  got:  {got}\n  want: {expect_xml}"
+                        )));
+                    }
+                    // Tolerated: the damage was redundant (fallback header
+                    // slot) or unreferenced debris, and the read stayed
+                    // exactly right.
+                }
+                Err(e) if e.is_corruption() => {
+                    let mut raw = branch.clone();
+                    let rep = fsck(&mut raw, true);
+                    if !rep.repaired {
+                        if !rep.findings.iter().any(|f| {
+                            f.code == "root-unrecoverable" || f.code == "no-catalog-recoverable"
+                        }) {
+                            return Err(fail(format!(
+                                "repair gave up without a fatal finding after {ctx}:\n{rep}"
+                            )));
+                        }
+                        continue;
+                    }
+                    out.repairs += 1;
+                    let post = fsck(&mut raw.clone(), false);
+                    if !post.clean() {
+                        return Err(fail(format!(
+                            "store still dirty after repair of {ctx}:\n{post}"
+                        )));
+                    }
+                    let quarantine: HashSet<u32> = rep.quarantined.iter().copied().collect();
+                    let mut degraded =
+                        XmlStore::open_with(Box::new(raw.clone()), config, OpenMode::Degraded)
+                            .map_err(|e| {
+                                fail(format!("degraded reopen after repair of {ctx}: {e}"))
+                            })?;
+                    let (got_doc, damage) = degraded
+                        .to_document_degraded()
+                        .map_err(|e| fail(format!("degraded read after repair of {ctx}: {e}")))?;
+                    let missing = damage.records();
+                    if missing != quarantine {
+                        return Err(fail(format!(
+                            "damage report {missing:?} disagrees with quarantine \
+                             {quarantine:?} after {ctx}"
+                        )));
+                    }
+                    // Oracle: a partial read of the undamaged twin minus
+                    // exactly the quarantined records.
+                    let twin = SharedMemPager::from_snapshot(snap);
+                    let mut clean = XmlStore::open(Box::new(twin), config)
+                        .map_err(|e| fail(format!("oracle open: {e}")))?;
+                    let want = clean
+                        .to_document_partial(&missing)
+                        .map_err(|e| fail(format!("oracle partial read: {e}")))?
+                        .to_xml();
+                    if got_doc.to_xml() != want {
+                        return Err(fail(format!(
+                            "degraded read wrong after repair of {ctx}\n  got:  {}\n  want: {want}",
+                            got_doc.to_xml()
+                        )));
+                    }
+                }
+                Err(e) => {
+                    return Err(fail(format!("non-corruption error after {ctx}: {e}")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run `trace` like [`run_trace`], but instead of power cuts, rot every
+/// page class of every committed state (including the bulkloaded one)
+/// and assert detect-or-correct against the model oracle. See
+/// [`corruption_sweep`] for the per-injection contract.
+pub fn run_corruption_trace(
+    doc: &Document,
+    k: u64,
+    trace: &[Op],
+) -> Result<CorruptionOutcome, TraceFailure> {
+    let k = k.max(min_record_limit(doc));
+    let config = StoreConfig {
+        record_limit_slots: k,
+        ..Default::default()
+    };
+    let disk = SharedMemPager::new();
+    let fail = |step: usize, message: String| TraceFailure {
+        step,
+        crash: None,
+        message,
+    };
+    let mut store = bulkload_with(doc, &Ekm, k, Box::new(disk.clone()), config)
+        .map_err(|e| fail(0, format!("bulkload failed: {e}")))?;
+    let mut model = ModelTree::from_document(doc);
+    let bulk_xml = model.to_xml();
+    full_check(&mut store, &bulk_xml, "bulkload").map_err(|m| fail(0, m))?;
+
+    let mut out = CorruptionOutcome::default();
+    corruption_sweep(&disk.snapshot(), config, &bulk_xml, 0, &mut out)?;
+    for (step, op) in trace.iter().enumerate() {
+        if op.skipped(model.element_count()) {
+            out.ops_skipped += 1;
+            continue;
+        }
+        apply_model(&mut model, op);
+        let post_xml = model.to_xml();
+        apply_store(&mut store, op).map_err(|e| fail(step, format!("op failed: {e}")))?;
+        full_check(&mut store, &post_xml, "mainline").map_err(|m| fail(step, m))?;
+        // Update ops auto-commit and commits checkpoint, so the snapshot
+        // is the complete committed post-state.
+        corruption_sweep(&disk.snapshot(), config, &post_xml, step, &mut out)?;
+        out.ops_applied += 1;
+    }
+    Ok(out)
+}
+
+/// Run a corruption campaign over the same (workload × record limit ×
+/// fuzz seed) grid as [`run_campaign`]. `crash_points` counts corruption
+/// injections; failures are reported unshrunk (the trace prefix up to
+/// the failing step reproduces them).
+pub fn run_corruption_campaign(
+    cfg: &CampaignConfig,
+    mut progress: impl FnMut(&str),
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    'outer: for (wi, w) in workloads(cfg.scale, cfg.gen_seed).into_iter().enumerate() {
+        for &k in &cfg.record_limits {
+            for &fuzz_seed in &cfg.fuzz_seeds {
+                let trace = generate_trace(trace_seed(fuzz_seed, k, wi as u64), cfg.ops_per_run);
+                report.runs += 1;
+                match run_corruption_trace(&w.doc, k, &trace) {
+                    Ok(o) => {
+                        report.ops_applied += o.ops_applied;
+                        report.ops_skipped += o.ops_skipped;
+                        report.crash_points += o.injections;
+                        progress(&format!(
+                            "ok   {} k={k} seed={fuzz_seed}: {} ops, {} injections, {} repairs",
+                            w.name, o.ops_applied, o.injections, o.repairs
+                        ));
+                    }
+                    Err(f) => {
+                        progress(&format!(
+                            "FAIL {} k={k} seed={fuzz_seed} at step {}",
+                            w.name, f.step
+                        ));
+                        let mut shrunk = trace.clone();
+                        shrunk.truncate(f.step + 1);
+                        report.failures.push(Failure {
+                            workload: w.name.clone(),
+                            scale: cfg.scale,
+                            gen_seed: cfg.gen_seed,
+                            k,
+                            fuzz_seed,
+                            step: f.step,
+                            crash: None,
+                            message: f.message,
+                            trace: shrunk,
+                        });
+                        if report.failures.len() >= cfg.max_failures {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
 }
 
 /// Shrink a failing trace: first truncate to the failing step, then

@@ -13,6 +13,17 @@
 //!    then reopening, recovers to the pre- or post-step document; and a
 //!    transient write-error probe leaves the *live* handle consistent.
 //!
+//! Crash recovery is additionally followed by an `fsck` scrub: every
+//! power cut must leave a store that both recovers correctly *and*
+//! passes the integrity scrubber.
+//!
+//! A second sweep — [`run_corruption_trace`] / [`run_corruption_campaign`]
+//! — rots every page class of every committed state (payload bit-rot and
+//! checksum damage) and asserts detect-or-correct against the oracle:
+//! strict reads either return exactly the committed document or fail
+//! with a corruption error, and `fsck` repair salvages the survivors
+//! with an exact quarantine/damage report.
+//!
 //! Failing traces are shrunk to a minimal reproduction and rendered as a
 //! line-format script replayable with [`replay`], plus a ready-to-paste
 //! regression test ([`Failure::regression_test`]).
@@ -26,8 +37,9 @@ mod model;
 mod ops;
 
 pub use fuzz::{
-    min_record_limit, replay, run_campaign, run_trace, shrink_trace, workload_by_name, workloads,
-    CampaignConfig, CampaignReport, CrashMode, Failure, RunOutcome, TraceFailure, Workload,
+    min_record_limit, replay, run_campaign, run_corruption_campaign, run_corruption_trace,
+    run_trace, shrink_trace, workload_by_name, workloads, CampaignConfig, CampaignReport,
+    CorruptionOutcome, CrashMode, Failure, RunOutcome, TraceFailure, Workload,
 };
 pub use model::ModelTree;
 pub use ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};

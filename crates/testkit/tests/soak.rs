@@ -3,7 +3,8 @@
 //! must replay.
 
 use natix_testkit::{
-    replay, run_campaign, run_trace, workload_by_name, CampaignConfig, CrashMode, Failure, Op,
+    replay, run_campaign, run_corruption_campaign, run_corruption_trace, run_trace,
+    workload_by_name, CampaignConfig, CrashMode, Failure, Op,
 };
 
 #[test]
@@ -112,6 +113,42 @@ fn failure_rendering_is_replayable_and_pasteable() {
     assert!(test.contains("natix_testkit::replay"));
     // And the embedded script actually replays (the trace is benign).
     replay(&script).unwrap();
+}
+
+#[test]
+fn quick_corruption_campaign_is_clean() {
+    let cfg = CampaignConfig::quick();
+    let report = run_corruption_campaign(&cfg, |_| {});
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.runs, 6, "one run per Table 1 workload");
+    // 12 injection slots per committed state; every run commits several
+    // states, so the sweep must pile up real coverage.
+    assert!(
+        report.crash_points > 100,
+        "too few corruption injections: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn corruption_sweep_repairs_multi_record_stores() {
+    // A split-prone trace on a multi-record store: the sweep must see at
+    // least one detected-and-repaired injection (rotting a non-root
+    // record page salvages the rest).
+    let w = workload_by_name("partsupp.xml", 0.001, 1).unwrap();
+    let trace = [
+        Op::AppendText { target: 2, tag: 0 },
+        Op::AppendText { target: 2, tag: 1 },
+        Op::AppendText { target: 2, tag: 2 },
+    ];
+    let outcome = run_corruption_trace(&w.doc, 16, &trace)
+        .unwrap_or_else(|f| panic!("step {}: {}", f.step, f.message));
+    assert_eq!(outcome.ops_applied, 3);
+    assert!(outcome.injections > 20, "{outcome:?}");
+    assert!(outcome.repairs > 0, "{outcome:?}");
 }
 
 #[test]

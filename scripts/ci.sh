@@ -19,4 +19,31 @@ cargo run --release -p natix-bench --bin dp_speed -- --quick
 echo "==> natix soak --quick (crash/update fuzz smoke: model oracle + power-cut sweeps; failures print replayable seeds/scripts)"
 cargo run --release -p natix-cli -- soak --quick
 
+echo "==> natix soak --quick --corruption (bit-rot sweep: every page class of every committed state must detect-or-correct)"
+cargo run --release -p natix-cli -- soak --quick --corruption
+
+echo "==> natix fsck smoke (scrub a fresh store, destroy its header, repair, verify the dump round-trips)"
+fsck_dir="$(mktemp -d)"
+trap 'rm -rf "$fsck_dir"' EXIT
+cat > "$fsck_dir/sample.xml" <<'XML'
+<library><shelf id="s1"><book><title>Tree Partitioning</title><pages>120</pages></book><book><title>Records and Pages in Depth</title><pages>240</pages></book></shelf><shelf id="s2"><book><title>Sibling Intervals</title></book></shelf></library>
+XML
+natix() { cargo run --release -q -p natix-cli -- "$@"; }
+natix load "$fsck_dir/sample.xml" "$fsck_dir/sample.natix" --k 16
+natix fsck "$fsck_dir/sample.natix"
+natix dump "$fsck_dir/sample.natix" > "$fsck_dir/before.xml"
+# Destroy the winning header slot (page 1); the store must refuse to open...
+dd if=/dev/zero of="$fsck_dir/sample.natix" bs=8192 seek=1 count=1 conv=notrunc status=none
+if natix dump "$fsck_dir/sample.natix" > /dev/null 2>&1; then
+  echo "FAIL: store opened with a destroyed header" >&2; exit 1
+fi
+if natix fsck "$fsck_dir/sample.natix" > /dev/null; then
+  echo "FAIL: fsck called a headerless store clean" >&2; exit 1
+fi
+# ...and fsck --repair must salvage it back to a byte-identical dump.
+natix fsck "$fsck_dir/sample.natix" --repair
+natix fsck "$fsck_dir/sample.natix"
+natix dump "$fsck_dir/sample.natix" > "$fsck_dir/after.xml"
+diff "$fsck_dir/before.xml" "$fsck_dir/after.xml"
+
 echo "CI OK"
