@@ -10,6 +10,7 @@
 //! natix stats     <store.natix>
 //! natix fsck      <store.natix> [--repair]
 //! natix soak      [--quick] [--corruption] [--seed N] [--replay <script>]
+//! natix stress    [--quick] [--seed N] [--runs N]
 //! ```
 //!
 //! `natix fsck` scrubs a store file — header slots, pending journal,
@@ -33,6 +34,16 @@
 //! detect or correct, never read silently wrong. On any abnormal end —
 //! including a panic — a drop guard prints the seeds in play and the
 //! exact command line to reproduce.
+//!
+//! `natix stress` runs the deterministic chaos scheduler of
+//! `natix-testkit` over the concurrent store layer: seeded interleavings
+//! of snapshot readers, a serialized writer under injected-fault plans
+//! (transient and permanent), and a racing fsck scrubber — checking
+//! snapshot consistency against a model oracle at every pinned epoch,
+//! exactly-once commits under retry, pin-safe page reclamation, and
+//! phantom-corruption-free scrubs. `--quick` is the CI smoke tier; the
+//! default full campaign runs ≥ 1000 interleavings. Every failure prints
+//! its interleaving seed and a one-command reproduction.
 //!
 //! `--threads N` runs the table-building algorithms (DHW, GHDW) on N worker
 //! threads; the output is identical to the sequential run. It defaults to
@@ -69,7 +80,8 @@ fn usage() -> ExitCode {
          natix dump <store.natix> [--degraded]\n  \
          natix stats <store.natix>\n  \
          natix fsck <store.natix> [--repair]\n  \
-         natix soak [--quick] [--corruption] [--seed N] [--replay <script>]\n\
+         natix soak [--quick] [--corruption] [--seed N] [--replay <script>]\n  \
+         natix stress [--quick] [--seed N] [--runs N]\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
          --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
@@ -387,6 +399,10 @@ struct ReplayBanner {
     armed: bool,
     rerun: String,
     seeds: Vec<u64>,
+    /// Base seed of the chaos scheduler, when one is in play: any
+    /// interleaving failure is reproducible from the per-failure seed
+    /// printed above, and the whole campaign from this one.
+    chaos_seed: Option<u64>,
 }
 
 impl ReplayBanner {
@@ -395,7 +411,13 @@ impl ReplayBanner {
             armed: true,
             rerun,
             seeds,
+            chaos_seed: None,
         }
+    }
+
+    fn with_chaos_seed(mut self, seed: u64) -> ReplayBanner {
+        self.chaos_seed = Some(seed);
+        self
     }
 
     fn disarm(&mut self) {
@@ -410,6 +432,9 @@ impl Drop for ReplayBanner {
         }
         eprintln!("soak: run did not finish cleanly");
         eprintln!("soak: seeds in play: {:?}", self.seeds);
+        if let Some(s) = self.chaos_seed {
+            eprintln!("soak: chaos scheduler seed: {s} (campaign rerun: natix stress --seed {s})");
+        }
         eprintln!("soak: reproduce with: {}", self.rerun);
         eprintln!("soak: shrunk failures above embed `--replay` scripts when available");
     }
@@ -499,6 +524,78 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `natix stress`: run the deterministic chaos campaign over the
+/// concurrent store layer. Progress goes to stderr, the summary to
+/// stdout; a non-zero exit means at least one interleaving violated an
+/// invariant (each failure prints its seed and a one-command rerun).
+fn cmd_stress(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut runs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("missing value for --seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?,
+                );
+            }
+            "--runs" => {
+                runs = Some(
+                    it.next()
+                        .ok_or("missing value for --runs")?
+                        .parse()
+                        .map_err(|_| "--runs expects a positive integer".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let mut cfg = if quick {
+        natix_testkit::ChaosConfig::quick()
+    } else {
+        natix_testkit::ChaosConfig::full()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(r) = runs {
+        cfg.runs = r;
+    }
+    let mut banner = ReplayBanner::new(
+        format!(
+            "natix stress{} --seed {} --runs {}",
+            if quick { " --quick" } else { "" },
+            cfg.seed,
+            cfg.runs
+        ),
+        vec![cfg.seed],
+    )
+    .with_chaos_seed(cfg.seed);
+    let report = natix_testkit::run_chaos(&cfg, |line| eprintln!("  {line}"));
+    for f in &report.failures {
+        eprintln!("{f}");
+    }
+    println!(
+        "stress ({}): {}",
+        if quick { "quick" } else { "full" },
+        report.summary()
+    );
+    if report.ok() {
+        banner.disarm();
+        Ok(())
+    } else {
+        Err(format!(
+            "{} interleaving failure(s); seeds and reruns printed above",
+            report.failures.len()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -513,6 +610,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(rest),
         "fsck" => cmd_fsck(rest),
         "soak" => cmd_soak(rest),
+        "stress" => cmd_stress(rest),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command {other}")),
     };

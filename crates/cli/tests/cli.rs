@@ -341,6 +341,46 @@ fn soak_corruption_quick_tier_passes() {
 }
 
 #[test]
+fn stress_quick_tier_passes_and_prints_no_banner() {
+    // A trimmed quick campaign keeps the debug-binary test fast while
+    // still covering transient- and permanent-fault interleavings.
+    let out = natix(&["stress", "--quick", "--runs", "30"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stress (quick):"), "{stdout}");
+    assert!(stdout.contains("30 interleavings"), "{stdout}");
+    assert!(stdout.contains("0 failures"), "{stdout}");
+    // A clean run must NOT print the failure banner.
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("reproduce with"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn stress_is_seed_deterministic() {
+    let a = natix(&["stress", "--quick", "--runs", "10", "--seed", "77"]);
+    let b = natix(&["stress", "--quick", "--runs", "10", "--seed", "77"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout)
+    );
+}
+
+#[test]
+fn stress_rejects_unknown_flags() {
+    let out = natix(&["stress", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
 fn soak_failure_banner_survives_bad_replay() {
     let dir = tmpdir();
     let script = dir.join("bad.soak");

@@ -1,0 +1,983 @@
+//! Concurrent store access: snapshot-isolated readers over a single
+//! serialized writer.
+//!
+//! The epoch ping-pong headers that make commits atomic (see
+//! `store::XmlStore::commit`) are an MVCC primitive in disguise, and this
+//! module cashes that in:
+//!
+//! * **Snapshot reads** — [`SharedStore::begin_read`] pins the current
+//!   committed epoch and hands out a [`Snapshot`]: a read-only
+//!   [`XmlStore`] over its *own* pager (from the [`PagerFactory`]), the
+//!   pinned catalog served from memory and the pending journal's page
+//!   images overlaid above the checksum layer. While any pin is held the
+//!   writer defers checkpoints, so the backend only ever sees appends to
+//!   fresh pages plus header-slot writes — no page a snapshot references
+//!   is ever overwritten.
+//! * **One serialized writer** — [`SharedStore::begin_write`] grants the
+//!   single [`WriteGuard`]; a second request is shed with
+//!   [`StoreError::Overloaded`]. Mutations run the ordinary journal
+//!   commit path.
+//! * **Pin-aware reclamation** — superseded catalog/journal chains are
+//!   retired at the epoch that replaced them and zero-filled only when
+//!   (a) no reader pins an epoch at or below the retirement epoch and
+//!   (b) a later epoch has been published, so neither header slot still
+//!   references the chain. Freed pages are checked against every pinned
+//!   snapshot's reachable-page set; a hit is counted in
+//!   [`ConcurrencyStats::pinned_free_violations`] (and the page kept) —
+//!   the chaos harness asserts this counter stays zero.
+//! * **Admission control** — bounded in-flight reads
+//!   ([`AdmissionConfig::max_inflight_reads`], shed with
+//!   [`StoreError::Overloaded`]) and a per-read deadline budget measured
+//!   in backend page reads ([`AdmissionConfig::read_page_budget`], shed
+//!   with [`StoreError::Timeout`]). [`SharedStore::read_document`]
+//!   degrades shed requests to an unpinned [`OpenMode::Degraded`](crate::OpenMode) read
+//!   instead of failing hard.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+use natix_xml::Document;
+
+use crate::catalog::RecordLoc;
+use crate::fsck::{fsck, FsckReport};
+use crate::page::{set_page_class, PageClass, PAGE_SIZE, PAYLOAD_SIZE};
+use crate::pager::{BufferPool, ChecksummingPager, PageId, Pager, StoreError, StoreResult};
+use crate::store::{overflow_page_span, DamageReport, StoreConfig, XmlStore};
+
+/// Opens fresh [`Pager`] handles over the same underlying pages, one per
+/// snapshot reader. [`crate::SharedMemPager`] implements it by cloning
+/// itself; file-backed stores implement it by reopening the path.
+pub trait PagerFactory {
+    /// A new independent pager over the shared backing pages.
+    fn open_pager(&self) -> StoreResult<Box<dyn Pager>>;
+}
+
+impl PagerFactory for crate::SharedMemPager {
+    fn open_pager(&self) -> StoreResult<Box<dyn Pager>> {
+        Ok(Box::new(self.clone()))
+    }
+}
+
+impl PagerFactory for std::path::PathBuf {
+    fn open_pager(&self) -> StoreResult<Box<dyn Pager>> {
+        Ok(Box::new(crate::FilePager::open(self)?))
+    }
+}
+
+/// Admission-control limits for a [`SharedStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Snapshot readers allowed in flight at once; the next
+    /// [`SharedStore::begin_read`] is shed with
+    /// [`StoreError::Overloaded`].
+    pub max_inflight_reads: u32,
+    /// Backend page reads a single snapshot may perform before its next
+    /// read fails with [`StoreError::Timeout`] (a deterministic deadline
+    /// budget). `0` means unlimited.
+    pub read_page_budget: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight_reads: 64,
+            read_page_budget: 0,
+        }
+    }
+}
+
+/// Counters kept by a [`SharedStore`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConcurrencyStats {
+    /// Snapshots handed out.
+    pub snapshots_opened: u64,
+    /// Snapshots currently holding an epoch pin.
+    pub snapshots_active: u32,
+    /// Reads shed by the in-flight limit.
+    pub reads_shed: u64,
+    /// Snapshots that exhausted their page-read budget.
+    pub reads_timed_out: u64,
+    /// Shed or timed-out reads served as unpinned degraded reads.
+    pub degraded_fallbacks: u64,
+    /// `begin_write` calls rejected because the writer was taken.
+    pub writer_conflicts: u64,
+    /// Committed write operations.
+    pub commits: u64,
+    /// Commits whose checkpoint was deferred because readers held pins.
+    pub checkpoints_deferred: u64,
+    /// Deferred checkpoints applied after the pins drained.
+    pub checkpoints_applied: u64,
+    /// Garbage pages zero-filled by the reclaimer.
+    pub pages_reclaimed: u64,
+    /// Reclamation rounds that left garbage in place because of pins.
+    pub reclaim_blocked_by_pins: u64,
+    /// Garbage pages found inside a pinned snapshot's reachable set (the
+    /// reclaimer skips them; must stay zero).
+    pub pinned_free_violations: u64,
+    /// Checkpoint/reclaim failures from deferred maintenance (the commit
+    /// itself was durable; maintenance retries on the next opportunity).
+    pub maintenance_errors: u64,
+}
+
+/// A superseded catalog/journal chain awaiting reclamation.
+struct GarbageSet {
+    /// Epoch whose publication made the chain unreferenced.
+    retired_epoch: u64,
+    pages: Vec<PageId>,
+}
+
+/// A deferred release from a [`Snapshot`]/[`WriteGuard`] drop that could
+/// not lock the shared state (dropped inside a writer callback).
+enum Release {
+    Pin { pin_id: u64, timed_out: bool },
+    Writer,
+}
+
+struct PinInfo {
+    epoch: u64,
+    /// Every backend page the snapshot may read: record pages, overflow
+    /// chains and overlaid journal targets at pin time.
+    pages: HashSet<PageId>,
+}
+
+struct Inner {
+    store: XmlStore,
+    factory: Box<dyn PagerFactory>,
+    config: StoreConfig,
+    admission: AdmissionConfig,
+    /// Pinned epochs → pin count.
+    pins: BTreeMap<u64, u32>,
+    pinned: HashMap<u64, PinInfo>,
+    next_pin: u64,
+    writer_active: bool,
+    garbage: Vec<GarbageSet>,
+    stats: ConcurrencyStats,
+}
+
+/// Shared, clonable handle over one store: many snapshot-isolated
+/// readers, one serialized writer. See the module docs for the protocol.
+///
+/// Handles are `Rc`-based and single-threaded (like every pager in this
+/// crate); "concurrent" means interleaved logical readers and writers
+/// with snapshot isolation, which the deterministic chaos scheduler in
+/// `natix-testkit` drives through every interleaving a thread scheduler
+/// could produce at commit granularity.
+pub struct SharedStore {
+    inner: Rc<RefCell<Inner>>,
+    releases: Rc<RefCell<Vec<Release>>>,
+}
+
+impl Clone for SharedStore {
+    fn clone(&self) -> Self {
+        SharedStore {
+            inner: Rc::clone(&self.inner),
+            releases: Rc::clone(&self.releases),
+        }
+    }
+}
+
+impl SharedStore {
+    /// Wrap an already-open writer store. `factory` must open pagers over
+    /// the *same* backing pages as the store's own backend (e.g. clones
+    /// of the same [`crate::SharedMemPager`]); snapshot readers use it
+    /// for their independent read paths.
+    pub fn new(
+        mut store: XmlStore,
+        factory: Box<dyn PagerFactory>,
+        config: StoreConfig,
+        admission: AdmissionConfig,
+    ) -> SharedStore {
+        store.defer_checkpoint = true;
+        SharedStore {
+            inner: Rc::new(RefCell::new(Inner {
+                store,
+                factory,
+                config,
+                admission,
+                pins: BTreeMap::new(),
+                pinned: HashMap::new(),
+                next_pin: 0,
+                writer_active: false,
+                garbage: Vec::new(),
+                stats: ConcurrencyStats::default(),
+            })),
+            releases: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Open the store on `backend` (running crash recovery if needed) and
+    /// share it. `factory` must reach the same backing pages.
+    pub fn open(
+        backend: Box<dyn Pager>,
+        factory: Box<dyn PagerFactory>,
+        config: StoreConfig,
+        admission: AdmissionConfig,
+    ) -> StoreResult<SharedStore> {
+        let store = XmlStore::open(backend, config)?;
+        Ok(SharedStore::new(store, factory, config, admission))
+    }
+
+    /// Epoch of the current committed state.
+    pub fn committed_epoch(&self) -> u64 {
+        self.inner.borrow().store.current_epoch()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ConcurrencyStats {
+        self.process_releases();
+        self.inner.borrow().stats
+    }
+
+    /// Pin the current committed epoch and return a read-only snapshot
+    /// over it, or shed the request with [`StoreError::Overloaded`] when
+    /// [`AdmissionConfig::max_inflight_reads`] snapshots are in flight.
+    pub fn begin_read(&self) -> StoreResult<Snapshot> {
+        self.process_releases();
+        let mut inner = self.inner.borrow_mut();
+        let limit = inner.admission.max_inflight_reads;
+        let active = inner.stats.snapshots_active;
+        if active >= limit {
+            inner.stats.reads_shed += 1;
+            return Err(StoreError::Overloaded {
+                what: "read",
+                inflight: active,
+                limit,
+            });
+        }
+        let budget = inner.admission.read_page_budget;
+        let (store, exhausted) = inner.snapshot_store(budget)?;
+        let epoch = store.current_epoch();
+        let pages = reachable_pages(&store);
+        let pin_id = inner.next_pin;
+        inner.next_pin += 1;
+        *inner.pins.entry(epoch).or_insert(0) += 1;
+        inner.pinned.insert(pin_id, PinInfo { epoch, pages });
+        inner.stats.snapshots_opened += 1;
+        inner.stats.snapshots_active += 1;
+        Ok(Snapshot {
+            store,
+            shared: self.clone(),
+            pin_id,
+            exhausted,
+            released: false,
+        })
+    }
+
+    /// Serve one full document read under admission control. A request
+    /// shed by the in-flight limit — or one whose pinned read exhausts
+    /// its page budget — is degraded to an unpinned
+    /// [`OpenMode::Degraded`](crate::OpenMode) read (best-effort, damage-tolerant) instead
+    /// of failing hard; only real I/O or corruption errors surface.
+    pub fn read_document(&self) -> StoreResult<ServedRead> {
+        match self.begin_read() {
+            Ok(mut snap) => match snap.document() {
+                Ok(doc) => Ok(ServedRead::Full(doc)),
+                Err(e) if e.is_overload() => {
+                    drop(snap);
+                    self.degraded_read()
+                }
+                Err(e) => Err(e),
+            },
+            Err(e) if e.is_overload() => self.degraded_read(),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn degraded_read(&self) -> StoreResult<ServedRead> {
+        let mut inner = self.inner.borrow_mut();
+        // Unpinned and unbudgeted: the shed path trades isolation
+        // guarantees for guaranteed progress.
+        let (mut store, _) = inner.snapshot_store(0)?;
+        inner.stats.degraded_fallbacks += 1;
+        drop(inner);
+        let (doc, damage) = store.to_document_degraded()?;
+        Ok(ServedRead::Degraded(doc, damage))
+    }
+
+    /// Claim the single writer slot. A second claim while a
+    /// [`WriteGuard`] is alive is shed with [`StoreError::Overloaded`].
+    pub fn begin_write(&self) -> StoreResult<WriteGuard> {
+        self.process_releases();
+        let mut inner = self.inner.borrow_mut();
+        if inner.writer_active {
+            inner.stats.writer_conflicts += 1;
+            return Err(StoreError::Overloaded {
+                what: "write",
+                inflight: 1,
+                limit: 1,
+            });
+        }
+        inner.writer_active = true;
+        Ok(WriteGuard {
+            shared: self.clone(),
+        })
+    }
+
+    /// Run deferred maintenance now: apply a pending checkpoint if every
+    /// pin has drained, then reclaim retired pages the pin/epoch gates
+    /// allow. Called automatically after writes and snapshot releases;
+    /// exposed for deterministic tests and shutdown paths.
+    pub fn maintain(&self) -> StoreResult<()> {
+        self.process_releases();
+        self.inner.borrow_mut().maintain()
+    }
+
+    /// Scrub the shared backing pages (read-only fsck over a fresh pager
+    /// from the factory). Safe to run concurrently with readers and the
+    /// writer: committed state plus pending journal is always consistent
+    /// on the backend.
+    pub fn scrub(&self) -> StoreResult<FsckReport> {
+        let inner = self.inner.borrow();
+        let mut pager = inner.factory.open_pager()?;
+        Ok(fsck(pager.as_mut(), false))
+    }
+
+    /// Apply queued pin/writer releases (from guards dropped while the
+    /// shared state was locked) if the state is lockable right now.
+    fn process_releases(&self) {
+        let pending: Vec<Release> = {
+            let mut q = self.releases.borrow_mut();
+            if q.is_empty() {
+                return;
+            }
+            q.drain(..).collect()
+        };
+        match self.inner.try_borrow_mut() {
+            Ok(mut inner) => {
+                for r in pending {
+                    inner.apply_release(r);
+                }
+            }
+            Err(_) => self.releases.borrow_mut().extend(pending),
+        }
+    }
+
+    /// Queue a release and apply it immediately when possible.
+    fn release(&self, r: Release) {
+        self.releases.borrow_mut().push(r);
+        self.process_releases();
+        // Opportunistic maintenance: the last reader leaving is what
+        // unblocks deferred checkpoints and reclamation.
+        if let Ok(mut inner) = self.inner.try_borrow_mut() {
+            if let Err(_e) = inner.maintain() {
+                inner.stats.maintenance_errors += 1;
+            }
+        }
+    }
+}
+
+/// What [`SharedStore::read_document`] served.
+#[derive(Debug)]
+pub enum ServedRead {
+    /// A pinned, snapshot-isolated, fully-verified read.
+    Full(Document),
+    /// An unpinned degraded read (the request was shed by admission
+    /// control); damaged or unreadable partitions are reported, not
+    /// served.
+    Degraded(Document, DamageReport),
+}
+
+impl ServedRead {
+    /// The document, whichever path served it.
+    pub fn document(&self) -> &Document {
+        match self {
+            ServedRead::Full(d) | ServedRead::Degraded(d, _) => d,
+        }
+    }
+
+    /// True for the pinned, fully-verified path.
+    pub fn is_full(&self) -> bool {
+        matches!(self, ServedRead::Full(_))
+    }
+}
+
+impl Inner {
+    /// Build a read-only snapshot store of the current committed state:
+    /// catalog bytes and pending-journal page images come from the
+    /// writer's memory, data pages from a fresh factory pager. With
+    /// `budget > 0` the store's backend reads are deadline-limited.
+    fn snapshot_store(&mut self, budget: u64) -> StoreResult<(XmlStore, Rc<Cell<bool>>)> {
+        let header = self.store.committed_header();
+        let catalog_bytes = self.store.committed_catalog_bytes.clone();
+        let overlay = self.store.committed_overlay.clone();
+        let format = self.store.format;
+        let raw = self.factory.open_pager()?;
+        // The overlay must sit *above* the checksum layer: journal images
+        // are unsealed page payloads (sealing happens on write).
+        let checked: Box<dyn Pager> = if format >= 3 {
+            Box::new(ChecksummingPager::new(raw))
+        } else {
+            raw
+        };
+        let stacked: Box<dyn Pager> = Box::new(OverlayPager {
+            inner: checked,
+            overlay,
+        });
+        let exhausted = Rc::new(Cell::new(false));
+        let limited: Box<dyn Pager> = if budget > 0 {
+            Box::new(BudgetPager {
+                inner: stacked,
+                remaining: budget,
+                budget,
+                exhausted: Rc::clone(&exhausted),
+            })
+        } else {
+            stacked
+        };
+        let pool = BufferPool::new(limited, self.config.buffer_pages);
+        let store = XmlStore::open_snapshot(pool, &self.config, catalog_bytes, &header, format)?;
+        Ok((store, exhausted))
+    }
+
+    fn apply_release(&mut self, r: Release) {
+        match r {
+            Release::Pin { pin_id, timed_out } => {
+                let Some(info) = self.pinned.remove(&pin_id) else {
+                    return;
+                };
+                if let Some(n) = self.pins.get_mut(&info.epoch) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.pins.remove(&info.epoch);
+                    }
+                }
+                self.stats.snapshots_active = self.stats.snapshots_active.saturating_sub(1);
+                if timed_out {
+                    self.stats.reads_timed_out += 1;
+                }
+            }
+            Release::Writer => self.writer_active = false,
+        }
+    }
+
+    /// Apply a pending checkpoint once pins drain, then reclaim garbage.
+    fn maintain(&mut self) -> StoreResult<()> {
+        if self.pins.is_empty() && self.store.has_pending_checkpoint() {
+            let journal = self.store.last_commit_journal;
+            self.store.apply_pending_checkpoint()?;
+            self.stats.checkpoints_applied += 1;
+            // The checkpoint epoch's header is journal-free: the replayed
+            // journal chain is garbage once the slot that referenced it
+            // is overwritten (gated by retired_epoch below).
+            let pages = chunk_span(journal.0, journal.1, self.chunk());
+            self.garbage.push(GarbageSet {
+                retired_epoch: self.store.current_epoch(),
+                pages,
+            });
+        }
+        self.reclaim()
+    }
+
+    fn chunk(&self) -> usize {
+        if self.store.format >= 3 {
+            PAYLOAD_SIZE
+        } else {
+            PAGE_SIZE
+        }
+    }
+
+    /// Zero-fill retired chains that are provably unreachable: a later
+    /// epoch has been published (so neither header slot references the
+    /// chain any more) and no reader pins an epoch at or below the
+    /// retirement epoch. Every page is additionally checked against all
+    /// pinned snapshots' reachable sets; a hit is a reclaimer bug —
+    /// counted, skipped, never freed.
+    fn reclaim(&mut self) -> StoreResult<()> {
+        if self.garbage.is_empty() {
+            return Ok(());
+        }
+        let min_pin = self.pins.keys().next().copied().unwrap_or(u64::MAX);
+        let epoch = self.store.current_epoch();
+        let mut blocked = Vec::new();
+        let mut free: Vec<PageId> = Vec::new();
+        for set in self.garbage.drain(..) {
+            if epoch > set.retired_epoch && min_pin >= set.retired_epoch {
+                free.extend(set.pages);
+            } else {
+                blocked.push(set);
+            }
+        }
+        if !blocked.is_empty() {
+            self.stats.reclaim_blocked_by_pins += 1;
+        }
+        self.garbage = blocked;
+        let mut zero = Box::new([0u8; PAGE_SIZE]);
+        set_page_class(&mut zero, PageClass::Free);
+        for id in free {
+            if self.pinned.values().any(|p| p.pages.contains(&id)) {
+                // Never free a page a live snapshot can reach.
+                self.stats.pinned_free_violations += 1;
+                continue;
+            }
+            // Through the pool's checksum layer: the freed page carries a
+            // sealed Free-class frame, so scrubs see retired space, not
+            // torn debris.
+            self.store.pool.backend_write(id, &zero)?;
+            self.stats.pages_reclaimed += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Pages `first .. first + ceil(len / chunk)`.
+fn chunk_span(first: PageId, len: u64, chunk: usize) -> Vec<PageId> {
+    let n = (len as usize).div_ceil(chunk) as u32;
+    (first..first + n).collect()
+}
+
+/// Every backend page a snapshot may read: record pages and overflow
+/// chains from its directory. (Overlay pages are served from memory but
+/// belong to the snapshot's footprint too — they are the journal's write
+/// targets.)
+fn reachable_pages(store: &XmlStore) -> HashSet<PageId> {
+    let mut pages = HashSet::new();
+    for loc in &store.directory {
+        match *loc {
+            RecordLoc::InPage { page, .. } => {
+                pages.insert(page);
+            }
+            RecordLoc::Overflow { first_page, len } => {
+                for i in 0..overflow_page_span(len as usize) as u32 {
+                    pages.insert(first_page + i);
+                }
+            }
+            RecordLoc::Free => {}
+        }
+    }
+    for id in store.committed_overlay.keys() {
+        pages.insert(*id);
+    }
+    pages
+}
+
+/// A pinned, read-only view of one committed epoch. Dropping the
+/// snapshot releases the pin (and may trigger the deferred checkpoint
+/// and reclamation).
+pub struct Snapshot {
+    store: XmlStore,
+    shared: SharedStore,
+    pin_id: u64,
+    exhausted: Rc<Cell<bool>>,
+    released: bool,
+}
+
+impl Snapshot {
+    /// Epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.store.current_epoch()
+    }
+
+    /// The underlying read-only store, for navigation
+    /// (`root`/`first_child`/…). Updates are rejected
+    /// ([`OpenMode::Degraded`](crate::OpenMode)).
+    pub fn store(&mut self) -> &mut XmlStore {
+        &mut self.store
+    }
+
+    /// Strict full-document read of the pinned state.
+    pub fn document(&mut self) -> StoreResult<Document> {
+        self.store.to_document()
+    }
+
+    /// Damage-tolerant full-document read of the pinned state.
+    pub fn document_degraded(&mut self) -> StoreResult<(Document, DamageReport)> {
+        self.store.to_document_degraded()
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.store.current_epoch())
+            .field("pin_id", &self.pin_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.shared.release(Release::Pin {
+                pin_id: self.pin_id,
+                timed_out: self.exhausted.get(),
+            });
+        }
+    }
+}
+
+/// The single writer over a [`SharedStore`]. Mutations run through
+/// [`WriteGuard::mutate`]; dropping the guard frees the writer slot.
+pub struct WriteGuard {
+    shared: SharedStore,
+}
+
+impl WriteGuard {
+    /// Run `f` over the writer store (typically one
+    /// `append_child`/`insert_before`/`delete_subtree` call, which
+    /// commits internally). On a committed epoch advance the superseded
+    /// catalog/journal chains are retired for reclamation, then deferred
+    /// maintenance runs (checkpoint + reclaim when pins allow;
+    /// maintenance failures are counted, not surfaced — the commit
+    /// itself is already durable).
+    pub fn mutate<T>(&mut self, f: impl FnOnce(&mut XmlStore) -> StoreResult<T>) -> StoreResult<T> {
+        self.shared.process_releases();
+        let r = {
+            let mut inner = self.shared.inner.borrow_mut();
+            let inner = &mut *inner;
+            let before_epoch = inner.store.current_epoch();
+            let before_catalog = inner.store.committed_catalog;
+            let before_journal = inner
+                .store
+                .has_pending_checkpoint()
+                .then_some(inner.store.last_commit_journal);
+            let r = f(&mut inner.store);
+            let after_epoch = inner.store.current_epoch();
+            if after_epoch > before_epoch {
+                inner.stats.commits += 1;
+                if inner.store.has_pending_checkpoint() {
+                    inner.stats.checkpoints_deferred += 1;
+                }
+                let chunk = inner.chunk();
+                // The new header supersedes the previous catalog chain —
+                // and the previous journal chain too: every page image it
+                // held that is still uncheckpointed was re-journaled by
+                // this commit.
+                inner.garbage.push(GarbageSet {
+                    retired_epoch: after_epoch,
+                    pages: chunk_span(before_catalog.0, before_catalog.1, chunk),
+                });
+                if let Some((first, len)) = before_journal {
+                    inner.garbage.push(GarbageSet {
+                        retired_epoch: after_epoch,
+                        pages: chunk_span(first, len, chunk),
+                    });
+                }
+            }
+            r
+        };
+        if let Err(_e) = self.shared.maintain() {
+            self.shared.inner.borrow_mut().stats.maintenance_errors += 1;
+        }
+        r
+    }
+}
+
+impl std::fmt::Debug for WriteGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for WriteGuard {
+    fn drop(&mut self) {
+        self.shared.release(Release::Writer);
+    }
+}
+
+/// Read-only pager serving some pages from an in-memory overlay (the
+/// pending journal's committed page images) and the rest from `inner`.
+/// Writes are rejected: a snapshot must never touch the backend.
+struct OverlayPager {
+    inner: Box<dyn Pager>,
+    overlay: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Pager for OverlayPager {
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> StoreResult<PageId> {
+        Err(StoreError::InvalidUpdate("snapshot is read-only"))
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        if let Some(p) = self.overlay.get(&id) {
+            buf.copy_from_slice(&p[..]);
+            return Ok(());
+        }
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, _id: PageId, _buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        Err(StoreError::InvalidUpdate("snapshot is read-only"))
+    }
+}
+
+/// Deadline budget at the pager seam: each backend page read spends one
+/// unit; at zero, reads fail with [`StoreError::Timeout`]. Deterministic
+/// by construction — no wall clocks in the read path.
+struct BudgetPager {
+    inner: Box<dyn Pager>,
+    remaining: u64,
+    budget: u64,
+    exhausted: Rc<Cell<bool>>,
+}
+
+impl Pager for BudgetPager {
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> StoreResult<PageId> {
+        self.inner.allocate()
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        if self.remaining == 0 {
+            self.exhausted.set(true);
+            return Err(StoreError::Timeout {
+                what: "read",
+                budget: self.budget,
+            });
+        }
+        self.remaining -= 1;
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        self.inner.write(id, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::SharedMemPager;
+    use crate::store::bulkload_with;
+    use natix_core::Ekm;
+    use natix_xml::{parse, NodeKind};
+
+    fn shared(xml: &str, k: u64, admission: AdmissionConfig) -> (SharedStore, SharedMemPager) {
+        let doc = parse(xml).unwrap();
+        let disk = SharedMemPager::new();
+        let config = StoreConfig {
+            record_limit_slots: k,
+            ..Default::default()
+        };
+        let store = bulkload_with(&doc, &Ekm, k, Box::new(disk.clone()), config).unwrap();
+        (
+            SharedStore::new(store, Box::new(disk.clone()), config, admission),
+            disk,
+        )
+    }
+
+    fn xml_of(snap: &mut Snapshot) -> String {
+        snap.document().unwrap().to_xml()
+    }
+
+    #[test]
+    fn snapshot_survives_concurrent_writes() {
+        let (shared, disk) = shared(
+            "<list><e>one entry of text</e><e>two entry of text</e></list>",
+            16,
+            AdmissionConfig::default(),
+        );
+        let before = {
+            let mut s = shared.begin_read().unwrap();
+            xml_of(&mut s)
+        };
+        let mut pinned = shared.begin_read().unwrap();
+        let mut writer = shared.begin_write().unwrap();
+        for i in 0..4 {
+            writer
+                .mutate(|s| {
+                    let root = s.root()?;
+                    s.append_child(
+                        root,
+                        NodeKind::Text,
+                        "#text",
+                        Some(&format!("heavy appended payload {i}")),
+                    )
+                    .map(|_| ())
+                })
+                .unwrap();
+        }
+        // The pinned snapshot still reads its epoch's state, strictly.
+        assert_eq!(xml_of(&mut pinned), before);
+        // A fresh snapshot sees the new state.
+        let mut fresh = shared.begin_read().unwrap();
+        let after = xml_of(&mut fresh);
+        assert_ne!(after, before);
+        assert!(after.contains("heavy appended payload 3"));
+        assert!(fresh.epoch() > pinned.epoch());
+        // The backend scrubs clean mid-pin (checkpoint deferred).
+        assert!(shared.stats().checkpoints_deferred > 0);
+        let scrub = shared.scrub().unwrap();
+        assert!(scrub.clean(), "{scrub}");
+        drop(pinned);
+        drop(fresh);
+        drop(writer);
+        shared.maintain().unwrap();
+        let stats = shared.stats();
+        assert!(stats.checkpoints_applied > 0, "{stats:?}");
+        assert!(stats.pages_reclaimed > 0, "{stats:?}");
+        assert_eq!(stats.pinned_free_violations, 0, "{stats:?}");
+        // After everything drains the disk reopens to the final state.
+        drop(shared);
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        assert_eq!(re.to_document().unwrap().to_xml(), after);
+        let scrub = fsck(&mut disk.clone(), false);
+        assert!(scrub.clean(), "{scrub}");
+    }
+
+    #[test]
+    fn snapshots_are_read_only() {
+        let (shared, _disk) = shared("<a><b/></a>", 64, AdmissionConfig::default());
+        let mut snap = shared.begin_read().unwrap();
+        let root = snap.store().root().unwrap();
+        let err = snap
+            .store()
+            .append_child(root, NodeKind::Element, "x", None)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidUpdate(_)), "{err}");
+    }
+
+    #[test]
+    fn admission_sheds_and_recovers() {
+        let (shared, _disk) = shared(
+            "<a><b/></a>",
+            64,
+            AdmissionConfig {
+                max_inflight_reads: 2,
+                read_page_budget: 0,
+            },
+        );
+        let s1 = shared.begin_read().unwrap();
+        let _s2 = shared.begin_read().unwrap();
+        let err = shared.begin_read().unwrap_err();
+        assert!(
+            matches!(err, StoreError::Overloaded { what: "read", .. }),
+            "{err}"
+        );
+        // The convenience path degrades instead of failing.
+        let served = shared.read_document().unwrap();
+        assert!(!served.is_full());
+        assert_eq!(served.document().to_xml(), "<a><b/></a>");
+        drop(s1);
+        // A slot freed: pinned reads work again.
+        assert!(shared.read_document().unwrap().is_full());
+        let stats = shared.stats();
+        assert_eq!(stats.reads_shed, 2, "{stats:?}");
+        assert_eq!(stats.degraded_fallbacks, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn read_budget_times_out_deterministically() {
+        // A multi-record store with a 1-page budget cannot finish a
+        // strict read; the error is a structured Timeout, and the
+        // degraded path still serves what it can reach... also within
+        // the budget, so read_document falls back unpinned.
+        let mut xml = String::from("<list>");
+        for i in 0..6 {
+            xml.push_str(&format!("<e>{}</e>", "y".repeat(2000 + i)));
+        }
+        xml.push_str("</list>");
+        let (shared, _disk) = shared(
+            &xml,
+            1_000_000,
+            AdmissionConfig {
+                max_inflight_reads: 4,
+                read_page_budget: 1,
+            },
+        );
+        let mut snap = shared.begin_read().unwrap();
+        let err = snap.document().unwrap_err();
+        assert!(matches!(err, StoreError::Timeout { .. }), "{err}");
+        drop(snap);
+        assert_eq!(shared.stats().reads_timed_out, 1);
+        // The shed path is unbudgeted: full content, degraded guarantees.
+        let served = shared.read_document().unwrap();
+        assert!(!served.is_full());
+        assert!(served.document().to_xml().contains(&"y".repeat(2005)));
+    }
+
+    #[test]
+    fn single_writer_is_enforced() {
+        let (shared, _disk) = shared("<a><b/></a>", 64, AdmissionConfig::default());
+        let w1 = shared.begin_write().unwrap();
+        let err = shared.begin_write().unwrap_err();
+        assert!(
+            matches!(err, StoreError::Overloaded { what: "write", .. }),
+            "{err}"
+        );
+        drop(w1);
+        let _w2 = shared.begin_write().unwrap();
+        assert_eq!(shared.stats().writer_conflicts, 1);
+    }
+
+    #[test]
+    fn reclaimed_space_is_bounded_not_leaking() {
+        // Many commits with no pins: superseded catalog/journal chains
+        // must be reclaimed as we go, so garbage never accumulates more
+        // than the constant tail the epoch gate keeps alive.
+        let (shared, disk) = shared("<a><b/></a>", 64, AdmissionConfig::default());
+        let mut writer = shared.begin_write().unwrap();
+        for i in 0..20 {
+            writer
+                .mutate(|s| {
+                    let root = s.root()?;
+                    s.append_child(root, NodeKind::Element, &format!("x{i}"), None)
+                        .map(|_| ())
+                })
+                .unwrap();
+        }
+        drop(writer);
+        shared.maintain().unwrap();
+        let stats = shared.stats();
+        assert!(stats.pages_reclaimed >= 20, "{stats:?}");
+        assert_eq!(stats.pinned_free_violations, 0, "{stats:?}");
+        let scrub = fsck(&mut disk.clone(), false);
+        assert!(scrub.clean(), "{scrub}");
+        // And the final state still reopens.
+        drop(shared);
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        assert!(re.to_document().unwrap().to_xml().contains("x19"));
+    }
+
+    #[test]
+    fn rollback_under_pins_keeps_committed_overlay() {
+        // Commit with a pin held (deferred checkpoint), then fail an op:
+        // the rollback must preserve the committed-but-uncheckpointed
+        // images, and both snapshots and recovery must see them.
+        let (shared, disk) = shared(
+            "<list><e>one entry of text</e><e>two entry of text</e></list>",
+            16,
+            AdmissionConfig::default(),
+        );
+        let pin = shared.begin_read().unwrap();
+        let mut writer = shared.begin_write().unwrap();
+        writer
+            .mutate(|s| {
+                let root = s.root()?;
+                s.append_child(root, NodeKind::Text, "#text", Some("committed payload"))
+                    .map(|_| ())
+            })
+            .unwrap();
+        // A rejected update rolls back without losing the commit.
+        let err = writer
+            .mutate(|s| {
+                let root = s.root()?;
+                s.delete_subtree(root)
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidUpdate(_)), "{err}");
+        let mut fresh = shared.begin_read().unwrap();
+        assert!(xml_of(&mut fresh).contains("committed payload"));
+        drop(fresh);
+        drop(pin);
+        drop(writer);
+        shared.maintain().unwrap();
+        drop(shared);
+        let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        assert!(re
+            .to_document()
+            .unwrap()
+            .to_xml()
+            .contains("committed payload"));
+    }
+}

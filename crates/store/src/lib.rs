@@ -24,6 +24,7 @@
 //! mean faster navigation — which is what Table 3 measures.
 
 mod catalog;
+mod concurrent;
 mod fsck;
 mod journal;
 mod page;
@@ -32,15 +33,19 @@ mod record;
 mod store;
 mod update;
 
+pub use concurrent::{
+    AdmissionConfig, ConcurrencyStats, PagerFactory, ServedRead, SharedStore, Snapshot, WriteGuard,
+};
 pub use fsck::{fsck, FsckFinding, FsckReport, FsckSeverity};
 pub use page::{
     page_class_of, seal_frame, verify_frame, FrameCheck, PageClass, SlottedPage, FORMAT_VERSION,
     MAX_IN_PAGE, PAGE_SIZE, PAYLOAD_SIZE,
 };
 pub use pager::{
-    corrupt_checksum_of_class, corrupt_page_of_class, inject_bit_rot, BufferPool, BufferStats,
-    ChecksummingPager, Fault, FaultInjectingPager, FaultSchedule, FilePager, MemPager, PageId,
-    Pager, SharedMemPager, StoreError, StoreResult,
+    corrupt_checksum_of_class, corrupt_page_of_class, inject_bit_rot, io_error_is_transient,
+    BufferPool, BufferStats, ChecksummingPager, Fault, FaultInjectingPager, FaultSchedule,
+    FilePager, MemPager, PageId, Pager, RetryPolicy, RetryStats, RetryingPager, SharedMemPager,
+    StoreError, StoreResult,
 };
 pub use record::{ChildEntry, RecNode, RecordData};
 pub use store::{

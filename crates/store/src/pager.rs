@@ -10,6 +10,10 @@
 //!   deterministic [`FaultSchedule`], injects I/O errors, torn half-page
 //!   writes, and "power cut after N page writes" stops. The crash-recovery
 //!   fuzz harness (`natix-testkit`) is built on it.
+//! * [`RetryingPager`] — wraps any backend with a bounded-retry policy:
+//!   transient I/O failures (classified by [`std::io::ErrorKind`], see
+//!   [`StoreError::is_transient`]) are retried with seeded-deterministic
+//!   exponential backoff; permanent failures surface immediately.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -64,6 +68,26 @@ pub enum StoreError {
     /// An update was rejected (e.g. deleting the document root, or a
     /// single node heavier than the record limit).
     InvalidUpdate(&'static str),
+    /// Admission control shed the request: the concurrency limit is
+    /// already fully used. The store itself is healthy — retry later or
+    /// take the degraded path.
+    Overloaded {
+        /// What was rejected (`"read"`, `"write"`).
+        what: &'static str,
+        /// Requests of this kind currently in flight.
+        inflight: u32,
+        /// The configured admission limit.
+        limit: u32,
+    },
+    /// A request exhausted its per-request deadline budget (measured in
+    /// backend page reads, so deadlines are deterministic under test) and
+    /// was cancelled.
+    Timeout {
+        /// What timed out (`"read"`, `"scrub"`).
+        what: &'static str,
+        /// The budget the request started with.
+        budget: u64,
+    },
 }
 
 impl StoreError {
@@ -164,10 +188,52 @@ impl StoreError {
     }
 
     /// True for I/O-level failures that may succeed on retry (and leave
-    /// the at-rest bytes intact).
+    /// the at-rest bytes intact). Classified by [`std::io::ErrorKind`]:
+    /// interruptions, timeouts and contention are worth retrying; a
+    /// missing file, permission failure or dead device
+    /// ([`std::io::ErrorKind::BrokenPipe`] — the kind injected power cuts
+    /// carry) never fixes itself.
     pub fn is_transient(&self) -> bool {
-        matches!(self, StoreError::Io { .. })
+        match self {
+            StoreError::Io { source, .. } => io_error_is_transient(source),
+            _ => false,
+        }
     }
+
+    /// True for load-shedding outcomes ([`StoreError::Overloaded`] /
+    /// [`StoreError::Timeout`]): the store is healthy, the request was
+    /// rejected by policy. Callers can retry later or degrade.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Overloaded { .. } | StoreError::Timeout { .. }
+        )
+    }
+}
+
+/// Transient/permanent split over [`std::io::ErrorKind`], shared by
+/// [`StoreError::is_transient`] and [`RetryingPager`].
+///
+/// `Other` (what `std::io::Error::other` and most OS-level `EIO`s map to)
+/// counts as transient: an unclassified I/O hiccup is worth one bounded
+/// round of retries, and a permanent failure just fails the same way
+/// again.
+pub fn io_error_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind as K;
+    !matches!(
+        e.kind(),
+        K::BrokenPipe
+            | K::NotConnected
+            | K::NotFound
+            | K::PermissionDenied
+            | K::AlreadyExists
+            | K::InvalidInput
+            | K::InvalidData
+            | K::UnexpectedEof
+            | K::Unsupported
+            | K::WriteZero
+            | K::StorageFull
+    )
 }
 
 impl std::fmt::Display for StoreError {
@@ -211,6 +277,20 @@ impl std::fmt::Display for StoreError {
                 Ok(())
             }
             StoreError::InvalidUpdate(what) => write!(f, "invalid update: {what}"),
+            StoreError::Overloaded {
+                what,
+                inflight,
+                limit,
+            } => write!(
+                f,
+                "overloaded: {what} rejected ({inflight} in flight, limit {limit})"
+            ),
+            StoreError::Timeout { what, budget } => {
+                write!(
+                    f,
+                    "timeout: {what} exhausted its budget of {budget} page reads"
+                )
+            }
         }
     }
 }
@@ -542,8 +622,14 @@ impl std::fmt::Display for FaultSchedule {
     }
 }
 
-fn injected(what: &'static str) -> std::io::Error {
-    std::io::Error::other(format!("injected fault: {what}"))
+/// Build an injected I/O error whose [`std::io::ErrorKind`] matches what
+/// the fault models, so the transient/permanent classifier (and any retry
+/// policy above it) treats injected faults exactly like real OS errors:
+/// one-shot read/write hiccups are `Interrupted` (transient, retryable),
+/// while a power cut — and every operation on the dead device after it —
+/// is `BrokenPipe` (permanent, never retried).
+fn injected(kind: std::io::ErrorKind, what: &'static str) -> std::io::Error {
+    std::io::Error::new(kind, format!("injected fault: {what}"))
 }
 
 /// A [`Pager`] that wraps any backend and injects faults according to a
@@ -598,19 +684,29 @@ impl FaultInjectingPager {
     /// apply only the first half of the page before dying.
     fn write_event(&mut self, page: PageId, op: &'static str) -> StoreResult<bool> {
         if self.dead {
-            return Err(StoreError::io_at(injected("power is out"), page, op));
+            return Err(StoreError::io_at(
+                injected(std::io::ErrorKind::BrokenPipe, "power is out"),
+                page,
+                op,
+            ));
         }
         self.writes += 1;
         match self.schedule.fault {
-            Fault::WriteError { at } if at == self.writes => {
-                Err(StoreError::io_at(injected("write error"), page, op))
-            }
+            Fault::WriteError { at } if at == self.writes => Err(StoreError::io_at(
+                injected(std::io::ErrorKind::Interrupted, "write error"),
+                page,
+                op,
+            )),
             Fault::PowerCut { at, torn } if at == self.writes => {
                 self.dead = true;
                 if torn && op == "write" {
                     Ok(true)
                 } else {
-                    Err(StoreError::io_at(injected("power cut"), page, op))
+                    Err(StoreError::io_at(
+                        injected(std::io::ErrorKind::BrokenPipe, "power cut"),
+                        page,
+                        op,
+                    ))
                 }
             }
             _ => Ok(false),
@@ -631,12 +727,20 @@ impl Pager for FaultInjectingPager {
 
     fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
         if self.dead {
-            return Err(StoreError::io_at(injected("power is out"), id, "read"));
+            return Err(StoreError::io_at(
+                injected(std::io::ErrorKind::BrokenPipe, "power is out"),
+                id,
+                "read",
+            ));
         }
         self.reads += 1;
         if let Fault::ReadError { at } = self.schedule.fault {
             if at == self.reads {
-                return Err(StoreError::io_at(injected("read error"), id, "read"));
+                return Err(StoreError::io_at(
+                    injected(std::io::ErrorKind::Interrupted, "read error"),
+                    id,
+                    "read",
+                ));
             }
         }
         self.inner.read(id, buf)
@@ -652,12 +756,178 @@ impl Pager for FaultInjectingPager {
             merged[..PAGE_SIZE / 2].copy_from_slice(&buf[..PAGE_SIZE / 2]);
             self.inner.write(id, &merged)?;
             return Err(StoreError::io_at(
-                injected("power cut mid-write (torn page)"),
+                injected(
+                    std::io::ErrorKind::BrokenPipe,
+                    "power cut mid-write (torn page)",
+                ),
                 id,
                 "write",
             ));
         }
         self.inner.write(id, buf)
+    }
+}
+
+/// Retry policy for [`RetryingPager`]: bounded attempts with seeded,
+/// deterministic exponential backoff.
+///
+/// Backoff is *accounted* (in [`RetryStats::backoff_us`]) rather than
+/// slept by default, so fault-injection tests stay instant and byte-for-
+/// byte reproducible; production callers over real disks set `sleep`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries per operation, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Backoff before the first retry, microseconds.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, microseconds.
+    pub max_backoff_us: u64,
+    /// Actually sleep the backoff (production) instead of only counting
+    /// it (tests).
+    pub sleep: bool,
+}
+
+impl RetryPolicy {
+    /// Default policy: 4 attempts, 100 µs base doubling to a 10 ms cap,
+    /// jittered from `seed`, accounting-only backoff.
+    pub fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            seed,
+            base_backoff_us: 100,
+            max_backoff_us: 10_000,
+            sleep: false,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), microseconds:
+    /// exponential in `retry`, capped, plus deterministic jitter of up to
+    /// half the step derived from `(seed, retry)`.
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        let step = self
+            .base_backoff_us
+            .checked_shl(retry.saturating_sub(1).min(32))
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff_us);
+        let mut x = self.seed ^ (u64::from(retry)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let jitter = splitmix64(&mut x) % (step / 2 + 1);
+        (step + jitter).min(self.max_backoff_us)
+    }
+}
+
+/// Counters kept by [`RetryingPager`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RetryStats {
+    /// Individual attempts, including first tries.
+    pub attempts: u64,
+    /// Retries after a transient failure.
+    pub retries: u64,
+    /// Operations that ultimately succeeded after at least one retry.
+    pub recovered: u64,
+    /// Transient failures that exhausted the attempt budget.
+    pub gave_up: u64,
+    /// Failures classified permanent (surfaced without any retry).
+    pub permanent: u64,
+    /// Total backoff charged, microseconds (slept only when the policy
+    /// says so).
+    pub backoff_us: u64,
+}
+
+/// A [`Pager`] that classifies failures from the wrapped backend as
+/// transient or permanent ([`StoreError::is_transient`], which keys off
+/// [`std::io::ErrorKind`]) and retries transient ones under a bounded
+/// [`RetryPolicy`]. Corruption and permanent device errors are never
+/// retried.
+///
+/// Retrying at the pager seam is idempotent by construction: a page
+/// `read`/`write` is a pure get/put of one fixed-size page, and a failed
+/// `allocate` either grew the file or did not — re-running it can at
+/// worst leak one zero page, never double-apply a commit (the commit
+/// point is a single header-page write above this layer).
+pub struct RetryingPager {
+    inner: Box<dyn Pager>,
+    policy: RetryPolicy,
+    stats: RetryStats,
+}
+
+impl RetryingPager {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: Box<dyn Pager>, policy: RetryPolicy) -> RetryingPager {
+        RetryingPager {
+            inner,
+            policy,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Unwrap the backend.
+    pub fn into_inner(self) -> Box<dyn Pager> {
+        self.inner
+    }
+
+    fn run<T>(&mut self, mut f: impl FnMut(&mut dyn Pager) -> StoreResult<T>) -> StoreResult<T> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.attempts += 1;
+            match f(self.inner.as_mut()) {
+                Ok(v) => {
+                    if attempt > 1 {
+                        self.stats.recovered += 1;
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
+                    self.stats.retries += 1;
+                    let us = self.policy.backoff_us(attempt);
+                    self.stats.backoff_us += us;
+                    if self.policy.sleep {
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
+                }
+                Err(e) => {
+                    if e.is_transient() {
+                        self.stats.gave_up += 1;
+                    } else {
+                        self.stats.permanent += 1;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Pager for RetryingPager {
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> StoreResult<PageId> {
+        // An allocate that failed after growing the file must not grow it
+        // again on retry: re-use the page if the count already moved.
+        let before = self.inner.page_count();
+        self.run(move |p| {
+            if p.page_count() > before {
+                return Ok(before);
+            }
+            p.allocate()
+        })
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+        self.run(|p| p.read(id, buf))
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        self.run(|p| p.write(id, buf))
     }
 }
 
@@ -1086,6 +1356,39 @@ impl BufferPool {
         self.frames.retain(|_, f| !f.dirty);
     }
 
+    /// Re-admit `image` as a dirty resident frame. Used by rollback under
+    /// a deferred checkpoint: committed page images that have not been
+    /// checkpointed to the backend yet must survive `discard_dirty` and
+    /// stay dirty so a later checkpoint still writes them.
+    pub fn restore_dirty(&mut self, id: PageId, image: &[u8; PAGE_SIZE]) {
+        if let Some(f) = self.frames.get_mut(&id) {
+            f.data.copy_from_slice(image);
+            f.dirty = true;
+            f.referenced = true;
+            return;
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data.copy_from_slice(image);
+        self.admit(
+            id,
+            Frame {
+                data,
+                dirty: true,
+                referenced: true,
+            },
+        );
+    }
+
+    /// Write raw bytes straight to the backend and drop any resident
+    /// frame. Used by the page reclaimer to retire garbage pages; unlike
+    /// [`BufferPool::write_through`] the frame is dropped, not updated —
+    /// the page is dead to this store.
+    pub fn backend_write(&mut self, id: PageId, data: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+        self.backend.write(id, data)?;
+        self.frames.remove(&id);
+        Ok(())
+    }
+
     /// Write back all dirty pages.
     pub fn flush(&mut self) -> StoreResult<()> {
         // Ascending page order keeps the backend write sequence
@@ -1356,16 +1659,152 @@ mod tests {
         assert!(StoreError::BadPage(3).is_corruption());
         assert!(StoreError::BadRecord(3).is_corruption());
         assert!(!StoreError::corrupt("x").is_transient());
-        let io = StoreError::io_at(injected("boom"), 4, "read");
+        let io = StoreError::io_at(injected(std::io::ErrorKind::Interrupted, "boom"), 4, "read");
         assert!(io.is_transient());
         assert!(!io.is_corruption());
         assert!(!StoreError::InvalidUpdate("no").is_corruption());
+        // The kind decides transient vs permanent: a dead device
+        // (BrokenPipe, what power cuts inject) is permanent, and so are
+        // filesystem-level rejections.
+        for kind in [
+            std::io::ErrorKind::BrokenPipe,
+            std::io::ErrorKind::NotFound,
+            std::io::ErrorKind::PermissionDenied,
+            std::io::ErrorKind::StorageFull,
+        ] {
+            let e = StoreError::io_at(injected(kind, "dead"), 4, "write");
+            assert!(!e.is_transient(), "{kind:?} must be permanent");
+        }
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::TimedOut,
+            std::io::ErrorKind::WouldBlock,
+            std::io::ErrorKind::Other,
+        ] {
+            let e = StoreError::io_at(injected(kind, "hiccup"), 4, "write");
+            assert!(e.is_transient(), "{kind:?} must be transient");
+            assert!(!e.is_overload());
+        }
+        // Load shedding is neither corruption nor an I/O retry candidate.
+        let shed = StoreError::Overloaded {
+            what: "read",
+            inflight: 8,
+            limit: 8,
+        };
+        assert!(shed.is_overload() && !shed.is_corruption() && !shed.is_transient());
+        assert!(shed.to_string().contains("8 in flight"), "{shed}");
+        let late = StoreError::Timeout {
+            what: "read",
+            budget: 3,
+        };
+        assert!(late.is_overload() && !late.is_corruption() && !late.is_transient());
+        assert!(late.to_string().contains("budget of 3"), "{late}");
         // Display carries full context.
         let e = StoreError::checksum_mismatch(7, PageClass::Record, 1, 2);
         let msg = e.in_record(12).to_string();
         assert!(msg.contains("page 7"), "{msg}");
         assert!(msg.contains("record 12"), "{msg}");
         assert!(msg.contains("class record"), "{msg}");
+    }
+
+    #[test]
+    fn retrying_pager_absorbs_transient_faults() {
+        // One injected write error mid-stream: the retry layer hides it.
+        let disk = SharedMemPager::new();
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::write_error(3));
+        let mut pager = RetryingPager::new(Box::new(faulty), RetryPolicy::new(7));
+        for i in 0..4u8 {
+            let id = pager.allocate().unwrap();
+            pager.write(id, &[i; PAGE_SIZE]).unwrap();
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        for i in 0..4u8 {
+            pager.read(i as PageId, &mut buf).unwrap();
+            assert_eq!(buf[0], i);
+        }
+        let stats = pager.stats();
+        assert_eq!(stats.retries, 1, "{stats:?}");
+        assert_eq!(stats.recovered, 1, "{stats:?}");
+        assert_eq!(stats.permanent, 0, "{stats:?}");
+        assert!(stats.backoff_us > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn retrying_pager_never_retries_permanent_faults() {
+        // A power cut is BrokenPipe: exactly one attempt, no retries.
+        let disk = SharedMemPager::new();
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::power_cut(2, false));
+        let mut pager = RetryingPager::new(Box::new(faulty), RetryPolicy::new(7));
+        let id = pager.allocate().unwrap();
+        let err = pager.write(id, &[1u8; PAGE_SIZE]).unwrap_err();
+        assert!(!err.is_transient(), "{err}");
+        let stats = pager.stats();
+        assert_eq!(stats.retries, 0, "{stats:?}");
+        assert_eq!(stats.permanent, 1, "{stats:?}");
+        // The device stays dead; later calls also fail permanently.
+        assert!(pager.read(id, &mut [0u8; PAGE_SIZE]).is_err());
+        assert_eq!(pager.stats().permanent, 2);
+    }
+
+    #[test]
+    fn retrying_pager_gives_up_after_bounded_attempts() {
+        // Every write fails transiently: a pager that errors on each call.
+        struct AlwaysInterrupted;
+        impl Pager for AlwaysInterrupted {
+            fn page_count(&self) -> u32 {
+                1
+            }
+            fn allocate(&mut self) -> StoreResult<PageId> {
+                Err(StoreError::io_at(
+                    injected(std::io::ErrorKind::Interrupted, "again"),
+                    1,
+                    "allocate",
+                ))
+            }
+            fn read(&mut self, id: PageId, _buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
+                Err(StoreError::io_at(
+                    injected(std::io::ErrorKind::Interrupted, "again"),
+                    id,
+                    "read",
+                ))
+            }
+            fn write(&mut self, id: PageId, _buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
+                Err(StoreError::io_at(
+                    injected(std::io::ErrorKind::Interrupted, "again"),
+                    id,
+                    "write",
+                ))
+            }
+        }
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::new(11)
+        };
+        let mut pager = RetryingPager::new(Box::new(AlwaysInterrupted), policy);
+        let err = pager.write(0, &[0u8; PAGE_SIZE]).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        let stats = pager.stats();
+        assert_eq!(stats.attempts, 3, "{stats:?}");
+        assert_eq!(stats.retries, 2, "{stats:?}");
+        assert_eq!(stats.gave_up, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::new(42);
+        let again = RetryPolicy::new(42);
+        let other = RetryPolicy::new(43);
+        let mut grew = false;
+        for retry in 1..10 {
+            let us = policy.backoff_us(retry);
+            assert_eq!(us, again.backoff_us(retry), "same seed, same backoff");
+            assert!(us <= policy.max_backoff_us);
+            assert!(us >= policy.base_backoff_us.min(policy.max_backoff_us));
+            grew |= other.backoff_us(retry) != us;
+        }
+        assert!(grew, "different seeds should jitter differently");
     }
 
     #[test]

@@ -303,6 +303,26 @@ pub struct XmlStore {
     /// Records quarantined by `fsck --repair` (unrecoverable partitions);
     /// strict reads of them fail, degraded reads skip and report them.
     pub(crate) quarantined: BTreeSet<u32>,
+    /// When set, `commit` stops at the commit point (phases 1–3) and does
+    /// not checkpoint: the backend only ever sees appends to fresh pages
+    /// plus header-slot writes, so every data page a concurrent snapshot
+    /// reader references stays byte-stable. The `concurrent::SharedStore`
+    /// layer sets this while readers hold epoch pins and runs
+    /// [`XmlStore::apply_pending_checkpoint`] once they drain.
+    pub(crate) defer_checkpoint: bool,
+    /// A durable commit is published whose checkpoint (phases 4–5) has
+    /// not run yet; the winning header still references a redo journal.
+    pub(crate) pending_checkpoint: bool,
+    /// Page images of every committed-but-not-yet-checkpointed page, in
+    /// their committed state. Rollback re-admits these as dirty frames
+    /// (plain `discard_dirty` would lose the committed images, which live
+    /// only in pool frames until the deferred checkpoint runs); snapshot
+    /// readers overlay them over the backend.
+    pub(crate) committed_overlay: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+    /// Location `(first_page, len)` of the journal referenced by the last
+    /// durable commit, for reconstructing the committed header while its
+    /// checkpoint is pending.
+    pub(crate) last_commit_journal: (PageId, u64),
 }
 
 impl XmlStore {
@@ -546,6 +566,10 @@ impl XmlStore {
             format: 3,
             mode: OpenMode::Strict,
             quarantined: BTreeSet::new(),
+            defer_checkpoint: false,
+            pending_checkpoint: false,
+            committed_overlay: HashMap::new(),
+            last_commit_journal: (0, 0),
         })
     }
 
@@ -580,6 +604,14 @@ impl XmlStore {
             // reload fails too; every later call will error the same way.
             let _ = self.rollback();
             return Err(e);
+        }
+        if self.defer_checkpoint {
+            // Snapshot readers hold epoch pins: leave the journal as the
+            // winner and the committed images in their dirty frames, so
+            // no pinned page on the backend is overwritten. The commit is
+            // durable; `apply_pending_checkpoint` finishes it later.
+            self.pending_checkpoint = true;
+            return Ok(());
         }
         // Past the commit point: a failure below leaves a replayable
         // journal behind, so the commit itself is not lost.
@@ -625,6 +657,16 @@ impl XmlStore {
         self.epoch = header.epoch;
         self.committed_catalog = (catalog_first_page, catalog_bytes.len() as u64);
         self.committed_catalog_bytes = catalog_bytes;
+        self.last_commit_journal = (journal_first_page, header.journal_len);
+        if self.defer_checkpoint {
+            // The journaled images *are* the committed page states; keep
+            // them so rollback of a later failed op cannot lose them and
+            // snapshot readers can overlay them without replaying the
+            // journal from disk.
+            for (id, image) in entries {
+                self.committed_overlay.insert(id, image);
+            }
+        }
         Ok(())
     }
 
@@ -646,7 +688,49 @@ impl XmlStore {
         self.pool
             .write_through(header.slot(), &catalog::encode_header(&header))?;
         self.epoch = header.epoch;
+        self.pending_checkpoint = false;
+        self.committed_overlay.clear();
         Ok(())
+    }
+
+    /// Run the checkpoint a deferred [`XmlStore::commit`] skipped (called
+    /// by the concurrent layer once every reader pin is released). No-op
+    /// when nothing is pending. On failure the journal header stays the
+    /// winner and this can simply be called again.
+    pub fn apply_pending_checkpoint(&mut self) -> StoreResult<()> {
+        if self.pending_checkpoint {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Whether a durable commit is still waiting for its checkpoint.
+    pub fn has_pending_checkpoint(&self) -> bool {
+        self.pending_checkpoint
+    }
+
+    /// Epoch of the current committed header.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current committed header, reconstructed from in-memory state
+    /// (identical to what the winning header slot holds on the backend).
+    pub(crate) fn committed_header(&self) -> Header {
+        let (journal_first_page, journal_len) = if self.pending_checkpoint {
+            self.last_commit_journal
+        } else {
+            (0, 0)
+        };
+        Header {
+            epoch: self.epoch,
+            root_record: self.root_record,
+            catalog_first_page: self.committed_catalog.0,
+            catalog_len: self.committed_catalog.1,
+            record_limit: self.record_limit,
+            journal_first_page,
+            journal_len,
+        }
     }
 
     /// Discard all uncommitted changes, restoring the in-memory state from
@@ -655,6 +739,14 @@ impl XmlStore {
     /// the backend is failing.
     pub(crate) fn rollback(&mut self) -> StoreResult<()> {
         self.pool.discard_dirty();
+        // Under a deferred checkpoint the committed images of earlier
+        // epochs still live in dirty frames (discarded just above): put
+        // them back, or the eventual checkpoint would silently skip them
+        // and reads between now and then would see pre-commit backend
+        // bytes.
+        for (id, image) in &self.committed_overlay {
+            self.pool.restore_dirty(*id, image);
+        }
         self.cache.clear();
         self.hot = None;
         self.last_fetched = NONE_U32;
@@ -747,6 +839,57 @@ impl XmlStore {
             format,
             mode,
             quarantined: cat.quarantined.into_iter().collect(),
+            defer_checkpoint: false,
+            pending_checkpoint: false,
+            committed_overlay: HashMap::new(),
+            last_commit_journal: (0, 0),
+        })
+    }
+
+    /// Assemble a read-only snapshot store from an already-committed
+    /// state held in memory: the pinned header and catalog bytes come
+    /// from the writer (never re-read from the backend, whose header
+    /// slots the writer will reuse), and `pool` wraps a backend stack
+    /// that overlays the pending journal's page images. Used by
+    /// `concurrent::SharedStore`; performs no backend writes.
+    ///
+    /// The store is opened [`OpenMode::Degraded`]: updates are rejected
+    /// (`require_writable`), strict reads still fail loudly on
+    /// corruption, and degraded reads are available for shed requests.
+    pub(crate) fn open_snapshot(
+        pool: BufferPool,
+        config: &StoreConfig,
+        catalog_bytes: Vec<u8>,
+        header: &Header,
+        format: u8,
+    ) -> StoreResult<XmlStore> {
+        let cat = catalog::decode_catalog(&catalog_bytes, header.root_record)?;
+        let mut label_ids = HashMap::with_capacity(cat.labels.len());
+        for (i, l) in cat.labels.iter().enumerate() {
+            label_ids.insert(l.clone(), i as u16);
+        }
+        Ok(XmlStore {
+            pool,
+            directory: cat.directory,
+            labels: cat.labels,
+            label_ids,
+            root_record: cat.root_record,
+            cache: RecordCache::new(config.record_cache),
+            nav: NavStats::default(),
+            last_fetched: NONE_U32,
+            record_limit: header.record_limit,
+            open_page: None,
+            hot: None,
+            epoch: header.epoch,
+            committed_catalog: (header.catalog_first_page, header.catalog_len),
+            committed_catalog_bytes: catalog_bytes,
+            format,
+            mode: OpenMode::Degraded,
+            quarantined: cat.quarantined.into_iter().collect(),
+            defer_checkpoint: false,
+            pending_checkpoint: false,
+            committed_overlay: HashMap::new(),
+            last_commit_journal: (0, 0),
         })
     }
 

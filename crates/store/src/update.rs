@@ -972,6 +972,10 @@ impl XmlStore {
             format: 3,
             mode: crate::store::OpenMode::Strict,
             quarantined: self.quarantined.clone(),
+            defer_checkpoint: false,
+            pending_checkpoint: false,
+            committed_overlay: std::collections::HashMap::new(),
+            last_commit_journal: (0, 0),
         })
     }
 }

@@ -1,0 +1,219 @@
+//! Concurrent-access integration tests: snapshot isolation across
+//! interleaved writes, retry-absorbs-transient-faults (commits exactly
+//! once), fsck racing a writer, and reader survival of writer death.
+
+use natix_core::Ekm;
+use natix_store::{
+    bulkload_with, fsck, AdmissionConfig, FaultInjectingPager, FaultSchedule, RetryPolicy,
+    RetryingPager, SharedMemPager, SharedStore, StoreConfig, XmlStore,
+};
+use natix_xml::{parse, NodeKind};
+
+fn config(k: u64) -> StoreConfig {
+    StoreConfig {
+        record_limit_slots: k,
+        ..Default::default()
+    }
+}
+
+/// Bulkload `xml` onto a shared in-memory disk and wrap it for shared
+/// access; snapshot readers clone the same disk.
+fn shared(xml: &str, k: u64, admission: AdmissionConfig) -> (SharedStore, SharedMemPager) {
+    let doc = parse(xml).unwrap();
+    let disk = SharedMemPager::new();
+    let store = bulkload_with(&doc, &Ekm, k, Box::new(disk.clone()), config(k)).unwrap();
+    (
+        SharedStore::new(store, Box::new(disk.clone()), config(k), admission),
+        disk,
+    )
+}
+
+/// Satellite: a transient-then-success fault schedule under the retry
+/// layer commits exactly once — never zero times (the retry must absorb
+/// the fault) and never twice (a retried commit must not re-apply).
+#[test]
+fn transient_then_success_schedule_commits_exactly_once() {
+    let doc = parse("<list><e>one entry of text</e><e>two entry of text</e></list>").unwrap();
+    let disk0 = SharedMemPager::new();
+    drop(bulkload_with(&doc, &Ekm, 16, Box::new(disk0.clone()), config(16)).unwrap());
+    let snap = disk0.snapshot();
+
+    for schedule in [FaultSchedule::write_error, FaultSchedule::read_error] {
+        for n in 1..80u64 {
+            let disk = SharedMemPager::from_snapshot(&snap);
+            let faulty = FaultInjectingPager::new(Box::new(disk.clone()), schedule(n));
+            let retrying = RetryingPager::new(Box::new(faulty), RetryPolicy::new(0xD00D + n));
+            let mut store = XmlStore::open(Box::new(retrying), StoreConfig::default())
+                .unwrap_or_else(|e| panic!("open failed under retry at n={n}: {e}"));
+            let root = store.root().unwrap();
+            store
+                .append_child(root, NodeKind::Text, "#text", Some("once-marker"))
+                .unwrap_or_else(|e| panic!("op failed under retry at n={n}: {e}"));
+            drop(store);
+
+            // The committed effect is applied exactly once.
+            let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+            re.check_consistency().unwrap();
+            let got = re.to_document().unwrap().to_xml();
+            assert_eq!(
+                got.matches("once-marker").count(),
+                1,
+                "n={n}: commit applied wrong number of times:\n{got}"
+            );
+            drop(re);
+            let scrub = fsck(&mut disk.clone(), false);
+            assert!(scrub.clean(), "n={n}:\n{scrub}");
+        }
+    }
+}
+
+/// Satellite: a scrub racing a writer must never report phantom
+/// corruption for pages of an in-flight commit. With a pin held every
+/// commit stays in its in-flight window (journal published, checkpoint
+/// deferred) — the widest window a concurrent fsck can observe.
+#[test]
+fn scrub_racing_writer_sees_no_phantom_corruption() {
+    let (shared, disk) = shared(
+        "<list><e>one entry of text</e><e>two entry of text</e></list>",
+        16,
+        AdmissionConfig::default(),
+    );
+    let mut pinned = shared.begin_read().unwrap();
+    let pinned_xml = pinned.document().unwrap().to_xml();
+    let mut writer = shared.begin_write().unwrap();
+    for i in 0..6 {
+        writer
+            .mutate(|s| {
+                let root = s.root()?;
+                s.append_child(
+                    root,
+                    NodeKind::Text,
+                    "#text",
+                    Some(&format!("racing payload number {i}")),
+                )
+                .map(|_| ())
+            })
+            .unwrap();
+        // Scrub between every commit: the backend holds a committed
+        // journal whose checkpoint has not run — in-flight state.
+        let report = shared.scrub().unwrap();
+        assert!(report.clean(), "scrub after commit {i}:\n{report}");
+        // A fresh snapshot each round sees the newest committed state
+        // while the first snapshot stays on its epoch.
+        let mut fresh = shared.begin_read().unwrap();
+        let xml = fresh.document().unwrap().to_xml();
+        assert!(xml.contains(&format!("racing payload number {i}")));
+        assert_eq!(pinned.document().unwrap().to_xml(), pinned_xml);
+    }
+    drop(pinned);
+    drop(writer);
+    shared.maintain().unwrap();
+    let stats = shared.stats();
+    assert!(stats.checkpoints_deferred >= 6, "{stats:?}");
+    assert_eq!(stats.pinned_free_violations, 0, "{stats:?}");
+    // After the pins drain and the checkpoint + reclamation run, the
+    // backing pages still scrub clean and reopen to the final state.
+    let report = shared.scrub().unwrap();
+    assert!(report.clean(), "{report}");
+    drop(shared);
+    let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+    re.check_consistency().unwrap();
+    assert!(re
+        .to_document()
+        .unwrap()
+        .to_xml()
+        .contains("racing payload number 5"));
+}
+
+/// Writer death (permanent backend failure mid-commit) must not take
+/// down readers: snapshots keep serving the last committed epoch through
+/// their own clean pagers, and the failure surfaces as a structured
+/// error, never as wrong data.
+#[test]
+fn writer_death_leaves_snapshots_serving_committed_state() {
+    let doc = parse("<list><e>one entry of text</e><e>two entry of text</e></list>").unwrap();
+    let disk = SharedMemPager::new();
+    let store = bulkload_with(&doc, &Ekm, 16, Box::new(disk.clone()), config(16)).unwrap();
+    drop(store);
+    // Reopen the writer over a pager that will lose power mid-commit;
+    // readers get clean clones of the disk.
+    let faulty =
+        FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::power_cut(3, false));
+    let wstore = XmlStore::open(Box::new(faulty), StoreConfig::default()).unwrap();
+    let shared = SharedStore::new(
+        wstore,
+        Box::new(disk.clone()),
+        config(16),
+        AdmissionConfig::default(),
+    );
+    let committed = {
+        let mut s = shared.begin_read().unwrap();
+        s.document().unwrap().to_xml()
+    };
+    let mut writer = shared.begin_write().unwrap();
+    let err = writer
+        .mutate(|s| {
+            let root = s.root()?;
+            s.append_child(root, NodeKind::Text, "#text", Some("never lands"))
+                .map(|_| ())
+        })
+        .unwrap_err();
+    assert!(!err.is_transient(), "power cut must be permanent: {err}");
+    // Readers are unaffected: same committed bytes, served in full.
+    let mut snap = shared.begin_read().unwrap();
+    assert_eq!(snap.document().unwrap().to_xml(), committed);
+    assert!(!committed.contains("never lands"));
+    // The disk itself is still consistent for a fresh open.
+    drop(snap);
+    drop(writer);
+    drop(shared);
+    let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
+    re.check_consistency().unwrap();
+    assert_eq!(re.to_document().unwrap().to_xml(), committed);
+}
+
+/// An epoch ladder: pins taken between successive commits each hold
+/// their exact version until released, and releasing them back-to-front
+/// lets the deferred checkpoint and reclamation catch up.
+#[test]
+fn epoch_ladder_pins_hold_their_versions() {
+    let (shared, _disk) = shared(
+        "<list><e>one entry of text</e><e>two entry of text</e></list>",
+        16,
+        AdmissionConfig::default(),
+    );
+    let mut writer = shared.begin_write().unwrap();
+    let mut rungs = Vec::new();
+    for i in 0..4 {
+        let mut snap = shared.begin_read().unwrap();
+        let xml = snap.document().unwrap().to_xml();
+        rungs.push((snap, xml));
+        writer
+            .mutate(|s| {
+                let root = s.root()?;
+                s.append_child(
+                    root,
+                    NodeKind::Text,
+                    "#text",
+                    Some(&format!("ladder rung number {i}")),
+                )
+                .map(|_| ())
+            })
+            .unwrap();
+    }
+    // Every rung still reads its own version, oldest to newest.
+    for (snap, xml) in rungs.iter_mut() {
+        assert_eq!(snap.document().unwrap().to_xml(), *xml);
+    }
+    let epochs: Vec<u64> = rungs.iter().map(|(s, _)| s.epoch()).collect();
+    assert!(epochs.windows(2).all(|w| w[0] < w[1]), "{epochs:?}");
+    drop(rungs);
+    drop(writer);
+    shared.maintain().unwrap();
+    let stats = shared.stats();
+    assert_eq!(stats.snapshots_active, 0, "{stats:?}");
+    assert!(stats.checkpoints_applied >= 1, "{stats:?}");
+    assert_eq!(stats.pinned_free_violations, 0, "{stats:?}");
+    let report = shared.scrub().unwrap();
+    assert!(report.clean(), "{report}");
+}

@@ -236,6 +236,99 @@ fn transient_read_error_is_survivable() {
 }
 
 #[test]
+fn second_recovery_after_crash_before_header_flip_is_a_no_op() {
+    // Crash an op after its commit point (journal header is the winner),
+    // run a first recovery that replays the journal fully but crashes at
+    // the very write that re-persists the journal-free header, then
+    // recover again. The second replay writes the same images over the
+    // same pages: outside the two header slots it must not change a byte.
+    let (snap, _xml_pre) = base(
+        "<list><e>one entry of text</e><e>two entry of text</e></list>",
+        16,
+    );
+    let mut exercised = 0;
+    for n in 1..200u64 {
+        let disk = SharedMemPager::from_snapshot(&snap);
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::power_cut(n, false));
+        let mut store = XmlStore::open(Box::new(faulty), StoreConfig::default()).unwrap();
+        let root = store.root().unwrap();
+        let r = store.append_child(root, NodeKind::Text, "#text", Some("heavy payload text"));
+        drop(store);
+        if r.is_ok() {
+            break;
+        }
+        let crashed = disk.snapshot();
+        // Keep only crash points where the commit point was passed: a
+        // clean recovery must land in the post-state (journal replayed).
+        {
+            let probe = SharedMemPager::from_snapshot(&crashed);
+            let mut re = XmlStore::open(Box::new(probe.clone()), StoreConfig::default()).unwrap();
+            if !re
+                .to_document()
+                .unwrap()
+                .to_xml()
+                .contains("heavy payload text")
+            {
+                continue;
+            }
+        }
+        // Find the write count of a full recovery: the last m whose cut
+        // still fires is the header-flip write itself — recovery replayed
+        // every journal page and died re-persisting the header.
+        let mut m_last_fault = 0;
+        for m in 1..200u64 {
+            let d = SharedMemPager::from_snapshot(&crashed);
+            let f =
+                FaultInjectingPager::new(Box::new(d.clone()), FaultSchedule::power_cut(m, false));
+            if XmlStore::open(Box::new(f), StoreConfig::default()).is_ok() {
+                break;
+            }
+            m_last_fault = m;
+        }
+        assert!(m_last_fault > 0, "recovery performed no writes at n={n}");
+        let d = SharedMemPager::from_snapshot(&crashed);
+        let f = FaultInjectingPager::new(
+            Box::new(d.clone()),
+            FaultSchedule::power_cut(m_last_fault, false),
+        );
+        let _ = XmlStore::open(Box::new(f), StoreConfig::default());
+        let mid = d.snapshot();
+
+        // Second, fault-free recovery.
+        let d2 = SharedMemPager::from_snapshot(&mid);
+        let mut re = XmlStore::open(Box::new(d2.clone()), StoreConfig::default()).unwrap();
+        re.check_consistency().unwrap();
+        assert!(re
+            .to_document()
+            .unwrap()
+            .to_xml()
+            .contains("heavy payload text"));
+        drop(re);
+        let after = d2.snapshot();
+        assert_eq!(mid.len(), after.len(), "second recovery allocated pages");
+        const P: usize = natix_store::PAGE_SIZE;
+        for (i, (a, b)) in mid.chunks(P).zip(after.chunks(P)).enumerate() {
+            if i >= 2 {
+                assert_eq!(a, b, "n={n}: second replay rewrote data page {i}");
+            }
+        }
+        // And a third open changes nothing at all: the flip is persisted.
+        let d3 = SharedMemPager::from_snapshot(&after);
+        XmlStore::open(Box::new(d3.clone()), StoreConfig::default()).unwrap();
+        assert_eq!(
+            d3.snapshot(),
+            after,
+            "n={n}: recovery after success not a no-op"
+        );
+        let scrub = fsck(&mut SharedMemPager::from_snapshot(&after), false);
+        assert!(scrub.clean(), "n={n}:\n{scrub}");
+        exercised += 1;
+    }
+    assert!(exercised > 0, "no post-commit-point crash windows found");
+}
+
+#[test]
 fn recovery_is_idempotent_across_repeated_crashes_during_replay() {
     // Crash mid-operation, then crash again during the recovery replay
     // itself: the journal header stays the winner until a replay finishes,

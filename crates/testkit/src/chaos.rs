@@ -1,0 +1,627 @@
+//! Deterministic chaos scheduler for the concurrent store layer.
+//!
+//! One *interleaving* is a seeded, single-threaded cooperative schedule
+//! over a [`SharedStore`]: a writer task applying a fuzz trace through
+//! the serialized [`natix_store::WriteGuard`], several reader tasks
+//! pinning/holding/verifying snapshots, and an fsck task scrubbing the
+//! shared backing pages — all stepped in a seed-derived order, so every
+//! interleaving a thread scheduler could produce at commit granularity
+//! is reachable from some seed, and every failure replays exactly from
+//! its seed.
+//!
+//! The writer's backend is wrapped in `FaultInjectingPager` +
+//! [`RetryingPager`] under a seed-chosen fault plan (none, transient
+//! write error, transient read error, or permanent power cut); readers
+//! and the scrubber run over clean pager clones, as independent OS
+//! handles would.
+//!
+//! Checked invariants, per step and per run:
+//!
+//! 1. **Snapshot consistency** — every snapshot read equals the model
+//!    oracle at the exact epoch the snapshot pinned, no matter how many
+//!    commits, checkpoints, or reclamation rounds interleave before the
+//!    read.
+//! 2. **Exactly-once commits** — under transient fault plans every op
+//!    must succeed (the retry layer absorbs the fault) and the oracle
+//!    equivalence above proves no retried commit applied twice.
+//! 3. **Pinned pages are never freed** —
+//!    [`ConcurrencyStats::pinned_free_violations`] must stay zero.
+//! 4. **No phantom corruption** — a scrub racing the writer must come
+//!    back clean at every step.
+//! 5. **Structured failure** — under a permanent fault plan the writer's
+//!    ops fail with a non-transient error (never silently succeed), and
+//!    a final fault-free reopen recovers exactly the last committed
+//!    oracle state.
+
+use natix_core::Ekm;
+use natix_store::{
+    bulkload_with, fsck, AdmissionConfig, ConcurrencyStats, FaultInjectingPager, FaultSchedule,
+    RetryPolicy, RetryingPager, ServedRead, SharedMemPager, SharedStore, Snapshot, StoreConfig,
+    XmlStore,
+};
+use natix_xml::parse;
+use std::collections::HashMap;
+
+use crate::fuzz::{apply_model, apply_store, min_record_limit};
+use crate::model::ModelTree;
+use crate::ops::generate_trace;
+
+/// Configuration for a chaos campaign: `runs` seeded interleavings of
+/// `steps` scheduler steps each.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Base seed; run `i` uses a mix of this and `i`.
+    pub seed: u64,
+    /// Number of interleavings.
+    pub runs: usize,
+    /// Scheduler steps per interleaving.
+    pub steps: usize,
+    /// Concurrent reader tasks.
+    pub readers: usize,
+}
+
+impl ChaosConfig {
+    /// CI smoke tier: seconds.
+    pub fn quick() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            runs: 150,
+            steps: 40,
+            readers: 3,
+        }
+    }
+
+    /// The acceptance tier: ≥ 1000 interleavings.
+    pub fn full() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            runs: 1200,
+            steps: 60,
+            readers: 3,
+        }
+    }
+}
+
+/// One invariant violation, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// The interleaving's own seed (not the campaign base seed).
+    pub seed: u64,
+    /// Scheduler step at which the violation was detected.
+    pub step: usize,
+    /// The fault plan in play.
+    pub plan: String,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "chaos: seed {} step {} (plan: {}): {}",
+            self.seed, self.step, self.plan, self.what
+        )?;
+        write!(
+            f,
+            "chaos: reproduce with: natix stress --seed {} --runs 1",
+            self.seed
+        )
+    }
+}
+
+/// Deterministic per-interleaving counters; two executions of the same
+/// seed must produce identical values.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct InterleavingStats {
+    pub steps: u64,
+    pub reads_verified: u64,
+    pub commits: u64,
+    pub reads_shed: u64,
+    pub degraded_served: u64,
+    pub scrubs: u64,
+    pub pages_reclaimed: u64,
+    pub checkpoints_deferred: u64,
+    pub writer_failures: u64,
+    pub final_epoch: u64,
+    pub final_xml_len: usize,
+    pub plan: String,
+}
+
+/// Aggregate over a campaign.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    pub runs: usize,
+    pub steps: u64,
+    pub reads_verified: u64,
+    pub commits: u64,
+    pub reads_shed: u64,
+    pub degraded_served: u64,
+    pub scrubs: u64,
+    pub pages_reclaimed: u64,
+    pub checkpoints_deferred: u64,
+    /// Runs under a transient fault plan (all absorbed by retry).
+    pub transient_runs: usize,
+    /// Runs under a permanent fault plan (structured failure + recovery).
+    pub permanent_runs: usize,
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    pub fn summary(&self) -> String {
+        format!(
+            "{} interleavings ({} transient-fault, {} permanent-fault), {} steps, \
+             {} snapshot reads verified, {} commits, {} shed, {} degraded, \
+             {} scrubs, {} pages reclaimed, {} failures",
+            self.runs,
+            self.transient_runs,
+            self.permanent_runs,
+            self.steps,
+            self.reads_verified,
+            self.commits,
+            self.reads_shed,
+            self.degraded_served,
+            self.scrubs,
+            self.pages_reclaimed,
+            self.failures.len()
+        )
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The base document every interleaving starts from.
+const BASE_XML: &str = concat!(
+    "<list><e>one entry of text</e><e>two entry of text</e>",
+    "<e>three entries of text</e></list>"
+);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultPlan {
+    None,
+    WriteError(u64),
+    ReadError(u64),
+    PowerCut(u64),
+}
+
+impl FaultPlan {
+    fn pick(seed: u64) -> FaultPlan {
+        let r = splitmix(seed ^ 0xFA01);
+        let at = 1 + splitmix(seed ^ 0xFA02) % 120;
+        match r % 4 {
+            0 => FaultPlan::None,
+            1 => FaultPlan::WriteError(at),
+            2 => FaultPlan::ReadError(at),
+            _ => FaultPlan::PowerCut(at),
+        }
+    }
+
+    fn is_permanent(self) -> bool {
+        matches!(self, FaultPlan::PowerCut(_))
+    }
+
+    fn describe(self) -> String {
+        match self {
+            FaultPlan::None => "none".into(),
+            FaultPlan::WriteError(at) => format!("write-error@{at}"),
+            FaultPlan::ReadError(at) => format!("read-error@{at}"),
+            FaultPlan::PowerCut(at) => format!("power-cut@{at}"),
+        }
+    }
+
+    fn schedule(self) -> Option<FaultSchedule> {
+        match self {
+            FaultPlan::None => None,
+            FaultPlan::WriteError(at) => Some(FaultSchedule::write_error(at)),
+            FaultPlan::ReadError(at) => Some(FaultSchedule::read_error(at)),
+            FaultPlan::PowerCut(at) => Some(FaultSchedule::power_cut(at, false)),
+        }
+    }
+}
+
+/// The committed-state oracle: epoch → serialized document at that
+/// epoch. Checkpoints advance the epoch without changing the document,
+/// so the map is refreshed from the live epoch at every step boundary.
+struct Oracle {
+    map: HashMap<u64, String>,
+    last_epoch: u64,
+    last_xml: String,
+}
+
+impl Oracle {
+    fn new(shared: &SharedStore, xml: String) -> Oracle {
+        let e = shared.committed_epoch();
+        let mut map = HashMap::new();
+        map.insert(e, xml.clone());
+        Oracle {
+            map,
+            last_epoch: e,
+            last_xml: xml,
+        }
+    }
+
+    /// Record the current committed epoch as carrying `last_xml` (call
+    /// after any step that may have advanced the epoch).
+    fn sync(&mut self, shared: &SharedStore) {
+        let e = shared.committed_epoch();
+        if e != self.last_epoch {
+            self.last_epoch = e;
+            self.map.insert(e, self.last_xml.clone());
+        }
+    }
+
+    /// A writer op committed: the current epoch carries the new xml.
+    fn committed(&mut self, shared: &SharedStore, xml: String) {
+        self.last_xml = xml;
+        self.last_epoch = shared.committed_epoch();
+        self.map.insert(self.last_epoch, self.last_xml.clone());
+    }
+}
+
+struct HeldSnapshot {
+    snap: Snapshot,
+    expected: String,
+    release_at: usize,
+}
+
+/// Run one seeded interleaving; `Err` carries the violation.
+pub fn run_interleaving(
+    seed: u64,
+    steps: usize,
+    readers: usize,
+) -> Result<InterleavingStats, ChaosFailure> {
+    let plan = FaultPlan::pick(seed);
+    let fail = |step: usize, what: String| ChaosFailure {
+        seed,
+        step,
+        plan: plan.describe(),
+        what,
+    };
+
+    // Base state on a clean shared disk.
+    let doc = parse(BASE_XML).expect("base xml parses");
+    let k = min_record_limit(&doc).max(48);
+    let config = StoreConfig {
+        record_limit_slots: k,
+        ..Default::default()
+    };
+    let disk = SharedMemPager::new();
+    drop(
+        bulkload_with(&doc, &Ekm, k, Box::new(disk.clone()), config)
+            .map_err(|e| fail(0, format!("bulkload failed: {e}")))?,
+    );
+
+    // The writer reopens through the fault plan + retry stack; readers
+    // and the scrubber get clean clones via the factory.
+    let writer_backend: Box<dyn natix_store::Pager> = match plan.schedule() {
+        Some(s) => Box::new(RetryingPager::new(
+            Box::new(FaultInjectingPager::new(Box::new(disk.clone()), s)),
+            RetryPolicy::new(seed),
+        )),
+        None => Box::new(disk.clone()),
+    };
+    let wstore = XmlStore::open(writer_backend, config)
+        .map_err(|e| fail(0, format!("writer open failed: {e}")))?;
+    let admission = AdmissionConfig {
+        max_inflight_reads: 1 + (splitmix(seed ^ 0xAD01) % 3) as u32,
+        read_page_budget: 0,
+    };
+    let shared = SharedStore::new(wstore, Box::new(disk.clone()), config, admission);
+
+    // While the guard lives, the writer slot is exclusive.
+    let mut guard = shared
+        .begin_write()
+        .map_err(|e| fail(0, format!("begin_write failed: {e}")))?;
+    if shared.begin_write().is_ok() {
+        return Err(fail(0, "second writer was admitted".into()));
+    }
+
+    let mut model = ModelTree::from_document(&doc);
+    let mut oracle = Oracle::new(&shared, model.to_xml());
+    let trace = generate_trace(seed, steps);
+    let mut next_op = 0usize;
+    let mut held: Vec<Option<HeldSnapshot>> = (0..readers).map(|_| None).collect();
+    let mut stats = InterleavingStats {
+        plan: plan.describe(),
+        ..Default::default()
+    };
+    let mut writer_dead = false;
+
+    for step in 0..steps {
+        // Releases and opportunistic maintenance may have advanced the
+        // epoch (checkpoint) since last step: keep the oracle current.
+        oracle.sync(&shared);
+        stats.steps += 1;
+        // Tasks: 0,1 = writer (double ticket), 2 = fsck, 3.. = readers.
+        match (splitmix(seed ^ (step as u64).wrapping_mul(0x51ED)) % (2 + 1 + readers as u64))
+            as usize
+        {
+            0 | 1 => {
+                // Writer: one trace op through the guard.
+                if next_op >= trace.len() {
+                    continue;
+                }
+                let op = trace[next_op];
+                next_op += 1;
+                if op.skipped(model.element_count()) {
+                    continue;
+                }
+                match guard.mutate(|s| apply_store(s, &op)) {
+                    Ok(()) => {
+                        if writer_dead {
+                            return Err(fail(
+                                step,
+                                format!("op {op:?} succeeded after permanent backend failure"),
+                            ));
+                        }
+                        apply_model(&mut model, &op);
+                        oracle.committed(&shared, model.to_xml());
+                        stats.commits += 1;
+                    }
+                    Err(e) if plan.is_permanent() => {
+                        if e.is_transient() {
+                            return Err(fail(
+                                step,
+                                format!("permanent fault surfaced as transient: {e}"),
+                            ));
+                        }
+                        writer_dead = true;
+                        stats.writer_failures += 1;
+                    }
+                    Err(e) => {
+                        return Err(fail(
+                            step,
+                            format!("op {op:?} failed under transient plan: {e}"),
+                        ));
+                    }
+                }
+            }
+            2 => {
+                // Scrubber: fsck over a clean pager clone must never see
+                // phantom corruption, whatever commit state is in flight.
+                let report = shared
+                    .scrub()
+                    .map_err(|e| fail(step, format!("scrub failed to run: {e}")))?;
+                if !report.clean() {
+                    return Err(fail(step, format!("phantom corruption:\n{report}")));
+                }
+                stats.scrubs += 1;
+            }
+            t => {
+                let slot = t - 3;
+                match held[slot].take() {
+                    Some(mut h) => {
+                        if step >= h.release_at {
+                            // Verify against the oracle at the pinned
+                            // epoch, then release.
+                            let got = h
+                                .snap
+                                .document()
+                                .map_err(|e| fail(step, format!("snapshot read failed: {e}")))?
+                                .to_xml();
+                            if got != h.expected {
+                                return Err(fail(
+                                    step,
+                                    format!(
+                                        "snapshot at epoch {} diverged from oracle:\n  got: \
+                                         {got}\n want: {}",
+                                        h.snap.epoch(),
+                                        h.expected
+                                    ),
+                                ));
+                            }
+                            stats.reads_verified += 1;
+                        } else {
+                            held[slot] = Some(h);
+                        }
+                    }
+                    None => match shared.begin_read() {
+                        Ok(snap) => {
+                            let Some(expected) = oracle.map.get(&snap.epoch()).cloned() else {
+                                return Err(fail(
+                                    step,
+                                    format!("pinned uncommitted epoch {}", snap.epoch()),
+                                ));
+                            };
+                            let release_at =
+                                step + 1 + (splitmix(seed ^ snap.epoch()) % 6) as usize;
+                            held[slot] = Some(HeldSnapshot {
+                                snap,
+                                expected,
+                                release_at,
+                            });
+                        }
+                        Err(e) if e.is_overload() => {
+                            // Shed: the convenience path must still serve
+                            // the current committed state, degraded.
+                            stats.reads_shed += 1;
+                            let served = shared
+                                .read_document()
+                                .map_err(|e| fail(step, format!("degraded fallback died: {e}")))?;
+                            let want = oracle
+                                .map
+                                .get(&shared.committed_epoch())
+                                .expect("current epoch is always in the oracle");
+                            if served.document().to_xml() != *want {
+                                return Err(fail(step, "degraded read diverged".into()));
+                            }
+                            if let ServedRead::Degraded(_, damage) = &served {
+                                if !damage.is_empty() {
+                                    return Err(fail(
+                                        step,
+                                        format!("degraded read reported damage: {damage}"),
+                                    ));
+                                }
+                            }
+                            stats.degraded_served += 1;
+                        }
+                        Err(e) => {
+                            return Err(fail(step, format!("begin_read failed: {e}")));
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    // Drain: verify and release every held snapshot, drop the writer,
+    // run maintenance, and check the end-state invariants.
+    for h in held.iter_mut() {
+        if let Some(mut h) = h.take() {
+            let got = h
+                .snap
+                .document()
+                .map_err(|e| fail(steps, format!("final snapshot read failed: {e}")))?
+                .to_xml();
+            if got != h.expected {
+                return Err(fail(steps, "final snapshot read diverged".into()));
+            }
+            stats.reads_verified += 1;
+        }
+    }
+    drop(guard);
+    let maintained = shared.maintain();
+    if !plan.is_permanent() {
+        maintained.map_err(|e| fail(steps, format!("final maintenance failed: {e}")))?;
+    }
+    let cstats: ConcurrencyStats = shared.stats();
+    if cstats.pinned_free_violations != 0 {
+        return Err(fail(
+            steps,
+            format!(
+                "reclaimer freed {} pinned page(s)",
+                cstats.pinned_free_violations
+            ),
+        ));
+    }
+    stats.pages_reclaimed = cstats.pages_reclaimed;
+    stats.checkpoints_deferred = cstats.checkpoints_deferred;
+    drop(shared);
+
+    // Fault-free reopen: recovery must land exactly on the last
+    // committed oracle state, consistent and scrubbing clean.
+    let mut re = XmlStore::open(Box::new(disk.clone()), config)
+        .map_err(|e| fail(steps, format!("final reopen failed: {e}")))?;
+    re.check_consistency()
+        .map_err(|e| fail(steps, format!("final state inconsistent: {e}")))?;
+    let got = re
+        .to_document()
+        .map_err(|e| fail(steps, format!("final read failed: {e}")))?
+        .to_xml();
+    if got != oracle.last_xml {
+        return Err(fail(
+            steps,
+            format!(
+                "recovered state is not the last committed state:\n  got: {got}\n want: {}",
+                oracle.last_xml
+            ),
+        ));
+    }
+    drop(re);
+    let scrub = fsck(&mut disk.clone(), false);
+    if !scrub.clean() {
+        return Err(fail(steps, format!("final scrub not clean:\n{scrub}")));
+    }
+
+    stats.final_epoch = oracle.last_epoch;
+    stats.final_xml_len = oracle.last_xml.len();
+    Ok(stats)
+}
+
+/// Run a chaos campaign; `progress` receives one line every few dozen
+/// interleavings.
+pub fn run_chaos(cfg: &ChaosConfig, mut progress: impl FnMut(&str)) -> ChaosReport {
+    let mut report = ChaosReport::default();
+    for i in 0..cfg.runs {
+        let seed = splitmix(cfg.seed.wrapping_add(i as u64));
+        let plan = FaultPlan::pick(seed);
+        match run_interleaving(seed, cfg.steps, cfg.readers) {
+            Ok(s) => {
+                report.steps += s.steps;
+                report.reads_verified += s.reads_verified;
+                report.commits += s.commits;
+                report.reads_shed += s.reads_shed;
+                report.degraded_served += s.degraded_served;
+                report.scrubs += s.scrubs;
+                report.pages_reclaimed += s.pages_reclaimed;
+                report.checkpoints_deferred += s.checkpoints_deferred;
+            }
+            Err(f) => report.failures.push(f),
+        }
+        report.runs += 1;
+        if plan.is_permanent() {
+            report.permanent_runs += 1;
+        } else if plan != FaultPlan::None {
+            report.transient_runs += 1;
+        }
+        if (i + 1) % 50 == 0 || i + 1 == cfg.runs {
+            progress(&format!(
+                "chaos: {}/{} interleavings, {} reads verified, {} commits, {} failures",
+                i + 1,
+                cfg.runs,
+                report.reads_verified,
+                report.commits,
+                report.failures.len()
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleavings_are_deterministic() {
+        for s in [1u64, 7, 0xBEEF] {
+            let seed = splitmix(s);
+            let a = run_interleaving(seed, 30, 2).unwrap();
+            let b = run_interleaving(seed, 30, 2).unwrap();
+            assert_eq!(a, b, "seed {seed} diverged between executions");
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_covers_all_plans() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            runs: 24,
+            steps: 30,
+            readers: 2,
+        };
+        let report = run_chaos(&cfg, |_| {});
+        for f in &report.failures {
+            eprintln!("{f}");
+        }
+        assert!(report.ok(), "{}", report.summary());
+        assert_eq!(report.runs, 24);
+        assert!(report.commits > 0, "{}", report.summary());
+        assert!(report.reads_verified > 0, "{}", report.summary());
+        assert!(report.scrubs > 0, "{}", report.summary());
+        assert!(report.transient_runs > 0, "{}", report.summary());
+        assert!(report.permanent_runs > 0, "{}", report.summary());
+    }
+
+    #[test]
+    fn failure_report_names_the_seed_and_rerun() {
+        let f = ChaosFailure {
+            seed: 99,
+            step: 7,
+            plan: "power-cut@3".into(),
+            what: "example".into(),
+        };
+        let text = f.to_string();
+        assert!(text.contains("seed 99"), "{text}");
+        assert!(text.contains("natix stress --seed 99 --runs 1"), "{text}");
+    }
+}

@@ -97,7 +97,7 @@ pub fn min_record_limit(doc: &Document) -> u64 {
 
 /// Live elements of the store in document (preorder) order; position 0
 /// is the root. Mirrors [`ModelTree::elements`].
-fn store_elements(store: &mut XmlStore) -> StoreResult<Vec<NodeRef>> {
+pub(crate) fn store_elements(store: &mut XmlStore) -> StoreResult<Vec<NodeRef>> {
     let root = store.root()?;
     let mut out = Vec::new();
     let mut stack = vec![root];
@@ -116,7 +116,7 @@ fn store_elements(store: &mut XmlStore) -> StoreResult<Vec<NodeRef>> {
 
 /// Apply one (non-skipped) op to the store, resolving the target against
 /// this store instance's current element preorder.
-fn apply_store(store: &mut XmlStore, op: &Op) -> StoreResult<()> {
+pub(crate) fn apply_store(store: &mut XmlStore, op: &Op) -> StoreResult<()> {
     let els = store_elements(store)?;
     match *op {
         Op::AppendElement { target, tag } => store
@@ -148,7 +148,7 @@ fn apply_store(store: &mut XmlStore, op: &Op) -> StoreResult<()> {
 }
 
 /// Apply one (non-skipped) op to the oracle.
-fn apply_model(model: &mut ModelTree, op: &Op) {
+pub(crate) fn apply_model(model: &mut ModelTree, op: &Op) {
     let els = model.elements();
     match *op {
         Op::AppendElement { target, tag } => {

@@ -32,10 +32,14 @@
 //! smoke tier, seconds) or [`CampaignConfig::full`] (≥1000 crash
 //! points); [`run_trace`] for a single trace; [`replay`] for scripts.
 
+mod chaos;
 mod fuzz;
 mod model;
 mod ops;
 
+pub use chaos::{
+    run_chaos, run_interleaving, ChaosConfig, ChaosFailure, ChaosReport, InterleavingStats,
+};
 pub use fuzz::{
     min_record_limit, replay, run_campaign, run_corruption_campaign, run_corruption_trace,
     run_trace, shrink_trace, workload_by_name, workloads, CampaignConfig, CampaignReport,

@@ -22,6 +22,9 @@ cargo run --release -p natix-cli -- soak --quick
 echo "==> natix soak --quick --corruption (bit-rot sweep: every page class of every committed state must detect-or-correct)"
 cargo run --release -p natix-cli -- soak --quick --corruption
 
+echo "==> natix stress --quick (chaos smoke: seeded reader/writer/fsck interleavings over the concurrent store; snapshot-vs-oracle, exactly-once commits, pin-safe reclamation)"
+cargo run --release -p natix-cli -- stress --quick
+
 echo "==> natix fsck smoke (scrub a fresh store, destroy its header, repair, verify the dump round-trips)"
 fsck_dir="$(mktemp -d)"
 trap 'rm -rf "$fsck_dir"' EXIT
