@@ -376,6 +376,14 @@ fn main() {
          on a single-core machine the parallel engine degrades gracefully to sequential speed.",
         sweep, cores, results.skipped_oversubscribed
     );
+    if cores == 1 {
+        eprintln!(
+            "\nWARNING: available_parallelism is 1 — the thread sweep collapses to a single\n\
+             point and every parallel-speedup column in this report measures scheduling\n\
+             overhead, not scaling. Re-run on a multi-core machine (or a container with\n\
+             more than one CPU) before citing these numbers."
+        );
+    }
 
     if quick {
         let failures = quick_gates(&results, &dhw_work);

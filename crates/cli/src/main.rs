@@ -9,7 +9,7 @@
 //! natix dump      <store.natix> [--degraded]
 //! natix stats     <store.natix>
 //! natix fsck      <store.natix> [--repair]
-//! natix soak      [--quick] [--corruption] [--seed N] [--replay <script>]
+//! natix soak      [--quick] [--corruption] [--group-commit] [--seed N] [--replay <script>]
 //! natix stress    [--quick] [--seed N] [--runs N]
 //! ```
 //!
@@ -31,9 +31,13 @@
 //! as replayable scripts; `--replay` re-runs such a script.
 //! `--corruption` swaps the power-cut sweep for the bit-rot sweep: every
 //! page class of every committed state is corrupted and the store must
-//! detect or correct, never read silently wrong. On any abnormal end —
-//! including a panic — a drop guard prints the seeds in play and the
-//! exact command line to reproduce.
+//! detect or correct, never read silently wrong. `--group-commit` swaps
+//! in the batched-commit sweep: updates are applied through
+//! `WriteGuard::mutate_batch` and a power cut at every write event
+//! inside a batch must recover to an exact prefix of the acked commits
+//! (all acked, or none), with fsck clean at every crash point. On any
+//! abnormal end — including a panic — a drop guard prints the seeds in
+//! play and the exact command line to reproduce.
 //!
 //! `natix stress` runs the deterministic chaos scheduler of
 //! `natix-testkit` over the concurrent store layer: seeded interleavings
@@ -75,17 +79,18 @@ fn usage() -> ExitCode {
         "usage:\n  natix partition <file.xml> [--alg NAME] [--k SLOTS] [--threads N] \
          [--stats] [--no-dag-cache]\n  \
          natix load <file.xml> <store.natix> [--alg NAME] [--k SLOTS] [--threads N] \
-         [--no-dag-cache]\n  \
-         natix query <store.natix> '<xpath>' [--count]\n  \
-         natix dump <store.natix> [--degraded]\n  \
-         natix stats <store.natix>\n  \
+         [--no-dag-cache] [--pool-pages N]\n  \
+         natix query <store.natix> '<xpath>' [--count] [--pool-pages N]\n  \
+         natix dump <store.natix> [--degraded] [--pool-pages N]\n  \
+         natix stats <store.natix> [--pool-pages N]\n  \
          natix fsck <store.natix> [--repair]\n  \
-         natix soak [--quick] [--corruption] [--seed N] [--replay <script>]\n  \
+         natix soak [--quick] [--corruption] [--group-commit] [--seed N] [--replay <script>]\n  \
          natix stress [--quick] [--seed N] [--runs N]\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
          --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
-         --stats prints DP cache and dominance-pruning counters (dhw/ghdw)"
+         --stats prints DP cache and dominance-pruning counters (dhw/ghdw)\n\
+         --pool-pages N caps the buffer pool at N 8 KB pages (default 8192)"
     );
     ExitCode::from(2)
 }
@@ -127,6 +132,39 @@ struct Flags {
     k: u64,
     dag_cache: bool,
     stats: bool,
+    pool_pages: Option<usize>,
+}
+
+/// Strip a `--pool-pages N` flag out of `args`, returning the cap (if
+/// present) and the remaining arguments for the command's own parser.
+fn extract_pool_pages(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
+    let mut pool_pages = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--pool-pages" {
+            let n: usize = it
+                .next()
+                .ok_or("missing value for --pool-pages")?
+                .parse()
+                .map_err(|_| "--pool-pages expects a positive integer".to_string())?;
+            if n == 0 {
+                return Err("--pool-pages expects a positive integer".to_string());
+            }
+            pool_pages = Some(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((pool_pages, rest))
+}
+
+fn store_config(pool_pages: Option<usize>) -> StoreConfig {
+    let mut config = StoreConfig::default();
+    if let Some(n) = pool_pages {
+        config.buffer_pages = n;
+    }
+    config
 }
 
 fn parse_flags(rest: &[String]) -> Result<Flags, String> {
@@ -135,6 +173,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
     let mut threads = parallel::default_threads();
     let mut dag_cache = true;
     let mut stats = false;
+    let (pool_pages, rest) = extract_pool_pages(rest)?;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -175,6 +214,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
         k,
         dag_cache,
         stats,
+        pool_pages,
     })
 }
 
@@ -183,9 +223,9 @@ fn read_document(path: &str) -> Result<natix_xml::Document, String> {
     natix_xml::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn open_store(path: &str) -> Result<XmlStore, String> {
+fn open_store(path: &str, pool_pages: Option<usize>) -> Result<XmlStore, String> {
     let pager = FilePager::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
-    XmlStore::open(Box::new(pager), StoreConfig::default()).map_err(|e| format!("{path}: {e}"))
+    XmlStore::open(Box::new(pager), store_config(pool_pages)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
@@ -278,7 +318,7 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
         Box::new(pager),
         StoreConfig {
             record_limit_slots: flags.k,
-            ..Default::default()
+            ..store_config(flags.pool_pages)
         },
     )
     .map_err(|e| e.to_string())?;
@@ -294,10 +334,11 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (pool_pages, args) = extract_pool_pages(args)?;
     let store_path = args.first().ok_or("missing <store.natix>")?;
     let query = args.get(1).ok_or("missing XPath query")?;
     let count_only = args.iter().any(|a| a == "--count");
-    let mut store = open_store(store_path)?;
+    let mut store = open_store(store_path, pool_pages)?;
     let hits = {
         let mut nav = StoreNavigator::new(&mut store);
         eval_query(&mut nav, query).map_err(|e| e.to_string())?
@@ -329,6 +370,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_dump(args: &[String]) -> Result<(), String> {
+    let (pool_pages, args) = extract_pool_pages(args)?;
     let store_path = args.first().ok_or("missing <store.natix>")?;
     let degraded = args.iter().any(|a| a == "--degraded");
     if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--degraded") {
@@ -337,15 +379,18 @@ fn cmd_dump(args: &[String]) -> Result<(), String> {
     if degraded {
         let pager =
             FilePager::open(Path::new(store_path)).map_err(|e| format!("{store_path}: {e}"))?;
-        let mut store =
-            XmlStore::open_with(Box::new(pager), StoreConfig::default(), OpenMode::Degraded)
-                .map_err(|e| format!("{store_path}: {e}"))?;
+        let mut store = XmlStore::open_with(
+            Box::new(pager),
+            store_config(pool_pages),
+            OpenMode::Degraded,
+        )
+        .map_err(|e| format!("{store_path}: {e}"))?;
         let (doc, damage) = store.to_document_degraded().map_err(|e| e.to_string())?;
         println!("{}", doc.to_xml());
         eprintln!("{damage}");
         return Ok(());
     }
-    let mut store = open_store(store_path)?;
+    let mut store = open_store(store_path, pool_pages)?;
     let doc = store.to_document().map_err(|e| e.to_string())?;
     println!("{}", doc.to_xml());
     Ok(())
@@ -376,8 +421,9 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pool_pages, args) = extract_pool_pages(args)?;
     let store_path = args.first().ok_or("missing <store.natix>")?;
-    let mut store = open_store(store_path)?;
+    let mut store = open_store(store_path, pool_pages)?;
     let doc = store.to_document().map_err(|e| e.to_string())?;
     println!("nodes        : {}", doc.len());
     println!("tree weight  : {} slots", doc.total_weight());
@@ -444,9 +490,13 @@ impl Drop for ReplayBanner {
 /// failure script). Progress goes to stderr, the summary to stdout; a
 /// non-zero exit means at least one shrunk failure was printed.
 /// `--corruption` runs the bit-rot sweep instead of the power-cut sweep.
+/// `--group-commit` runs the batched-commit crash-prefix sweep: every
+/// power-cut point inside a batch must recover to an exact prefix of
+/// the acked commits.
 fn cmd_soak(args: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut corruption = false;
+    let mut group_commit = false;
     let mut seed: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut it = args.iter();
@@ -454,6 +504,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         match a.as_str() {
             "--quick" => quick = true,
             "--corruption" => corruption = true,
+            "--group-commit" => group_commit = true,
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -478,6 +529,36 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             outcome.ops_applied, outcome.ops_skipped, outcome.crash_points
         );
         return Ok(());
+    }
+    if group_commit {
+        if corruption {
+            return Err("--group-commit and --corruption are mutually exclusive".to_string());
+        }
+        let mut cfg = if quick {
+            natix_testkit::GroupCommitConfig::quick()
+        } else {
+            natix_testkit::GroupCommitConfig::full()
+        };
+        if let Some(s) = seed {
+            cfg.fuzz_seeds = vec![s];
+        }
+        let report = natix_testkit::run_group_commit_campaign(&cfg, |line| eprintln!("  {line}"));
+        for (workload, fuzz_seed, batch, f) in &report.failures {
+            eprintln!("FAIL {workload} seed={fuzz_seed} batch={batch}: {f}");
+        }
+        println!(
+            "soak ({}, group-commit): {}",
+            if quick { "quick" } else { "full" },
+            report.summary()
+        );
+        return if report.ok() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} failure(s) printed above",
+                report.failures.len()
+            ))
+        };
     }
     let mut cfg = if quick {
         natix_testkit::CampaignConfig::quick()

@@ -118,6 +118,11 @@ pub struct ConcurrencyStats {
     /// Checkpoint/reclaim failures from deferred maintenance (the commit
     /// itself was durable; maintenance retries on the next opportunity).
     pub maintenance_errors: u64,
+    /// Group commits published (each one journal write + one header flip
+    /// covering every staged op of a [`WriteGuard::mutate_batch`]).
+    pub group_commits: u64,
+    /// Operations staged and acknowledged through group commits.
+    pub batched_ops: u64,
 }
 
 /// A superseded catalog/journal chain awaiting reclamation.
@@ -229,6 +234,17 @@ impl SharedStore {
         self.inner.borrow().stats
     }
 
+    /// Buffer-pool counters of the writer store's pool (snapshot pools
+    /// are per-reader and die with their snapshot).
+    pub fn buffer_stats(&self) -> crate::pager::BufferStats {
+        self.inner.borrow().store.buffer_stats()
+    }
+
+    /// Distinct page ids pinned in the writer's pool by live snapshots.
+    pub fn pinned_pool_pages(&self) -> usize {
+        self.inner.borrow().store.pool.pinned_pages()
+    }
+
     /// Pin the current committed epoch and return a read-only snapshot
     /// over it, or shed the request with [`StoreError::Overloaded`] when
     /// [`AdmissionConfig::max_inflight_reads`] snapshots are in flight.
@@ -252,6 +268,10 @@ impl SharedStore {
         let pin_id = inner.next_pin;
         inner.next_pin += 1;
         *inner.pins.entry(epoch).or_insert(0) += 1;
+        // Mirror the epoch pin into the writer's buffer pool: no page
+        // this snapshot can reach may be evicted from under it while the
+        // pin is held (the pool grows past budget instead).
+        inner.store.pool.pin_pages(pages.iter().copied());
         inner.pinned.insert(pin_id, PinInfo { epoch, pages });
         inner.stats.snapshots_opened += 1;
         inner.stats.snapshots_active += 1;
@@ -426,7 +446,13 @@ impl Inner {
             stacked
         };
         let pool = BufferPool::new(limited, self.config.buffer_pages);
-        let store = XmlStore::open_snapshot(pool, &self.config, catalog_bytes, &header, format)?;
+        let mut store =
+            XmlStore::open_snapshot(pool, &self.config, catalog_bytes, &header, format)?;
+        if budget > 0 {
+            // A deadline-budgeted read must not spend its page budget on
+            // speculation.
+            store.readahead_records = 0;
+        }
         Ok((store, exhausted))
     }
 
@@ -436,6 +462,7 @@ impl Inner {
                 let Some(info) = self.pinned.remove(&pin_id) else {
                     return;
                 };
+                self.store.pool.unpin_pages(info.pages.iter().copied());
                 if let Some(n) = self.pins.get_mut(&info.epoch) {
                     *n -= 1;
                     if *n == 0 {
@@ -607,6 +634,9 @@ impl Drop for Snapshot {
     }
 }
 
+/// One queued operation for [`WriteGuard::mutate_batch`].
+pub type BatchOp<'a> = Box<dyn FnOnce(&mut XmlStore) -> StoreResult<()> + 'a>;
+
 /// The single writer over a [`SharedStore`]. Mutations run through
 /// [`WriteGuard::mutate`]; dropping the guard frees the writer slot.
 pub struct WriteGuard {
@@ -656,6 +686,70 @@ impl WriteGuard {
                 }
             }
             r
+        };
+        if let Err(_e) = self.shared.maintain() {
+            self.shared.inner.borrow_mut().stats.maintenance_errors += 1;
+        }
+        r
+    }
+
+    /// Group commit: run every queued operation inside one store batch,
+    /// then publish all of them under a *single* journal write and header
+    /// flip (see [`XmlStore::begin_batch`]) — the amortization that makes
+    /// many small commits cheap.
+    ///
+    /// Returns one durability ack per operation. `Ok(acks)` means the
+    /// header flip happened: every op whose ack is `Ok(())` is durable,
+    /// and crash recovery can only ever surface the whole acked batch or
+    /// none of it — an exact prefix of the acks, never a partial batch.
+    /// Ops with an `Err` ack were rejected (rolled back to the previous
+    /// op's savepoint) and are not part of the committed state.
+    /// `Err(_)` means the batch commit itself failed: *nothing* was
+    /// acknowledged and the store rolled back (though, as with any
+    /// commit, a failure after the flip can leave the post-state durable
+    /// — the standard "pre or post" crash contract).
+    pub fn mutate_batch(&mut self, ops: Vec<BatchOp<'_>>) -> StoreResult<Vec<StoreResult<()>>> {
+        self.shared.process_releases();
+        let r = {
+            let mut inner = self.shared.inner.borrow_mut();
+            let inner = &mut *inner;
+            let before_epoch = inner.store.current_epoch();
+            let before_catalog = inner.store.committed_catalog;
+            let before_journal = inner
+                .store
+                .has_pending_checkpoint()
+                .then_some(inner.store.last_commit_journal);
+            let op_count = ops.len() as u64;
+            inner.store.begin_batch()?;
+            let mut acks = Vec::with_capacity(ops.len());
+            for op in ops {
+                acks.push(op(&mut inner.store));
+            }
+            let commit = inner.store.commit_batch();
+            let after_epoch = inner.store.current_epoch();
+            if after_epoch > before_epoch {
+                inner.stats.commits += 1;
+                inner.stats.group_commits += 1;
+                inner.stats.batched_ops += op_count;
+                if inner.store.has_pending_checkpoint() {
+                    inner.stats.checkpoints_deferred += 1;
+                }
+                let chunk = inner.chunk();
+                inner.garbage.push(GarbageSet {
+                    retired_epoch: after_epoch,
+                    pages: chunk_span(before_catalog.0, before_catalog.1, chunk),
+                });
+                if let Some((first, len)) = before_journal {
+                    inner.garbage.push(GarbageSet {
+                        retired_epoch: after_epoch,
+                        pages: chunk_span(first, len, chunk),
+                    });
+                }
+            }
+            match commit {
+                Ok(_) => Ok(acks),
+                Err(e) => Err(e),
+            }
         };
         if let Err(_e) = self.shared.maintain() {
             self.shared.inner.borrow_mut().stats.maintenance_errors += 1;

@@ -355,9 +355,30 @@ pub fn fsck(backend: &mut dyn Pager, repair: bool) -> FsckReport {
                 chunk,
             )
             .map_err(Some)
-            .and_then(|bytes| journal::decode(&bytes).map_err(|_| None))
+            .and_then(|bytes| journal::decode_segments(&bytes).map_err(|_| None))
         {
-            Ok(entries) => {
+            Ok(segments) => {
+                // A journal generation may carry a whole group-commit
+                // batch: one segment per acked logical commit, all
+                // covered by the same header flip. Report the batch
+                // shape, then replay every segment in batch order (full
+                // replay is the recovery semantics — a partially-acked
+                // batch was never published, so segments are diagnostic
+                // boundaries, not replay units).
+                let entries: Vec<journal::JournalEntry> = if segments.len() > 1 {
+                    let shape: Vec<String> = segments.iter().map(|s| s.len().to_string()).collect();
+                    report.info(
+                        "journal-batch",
+                        format!(
+                            "group-commit batch: {} commit segments with [{}] page images",
+                            segments.len(),
+                            shape.join(", ")
+                        ),
+                    );
+                    segments.into_iter().flatten().collect()
+                } else {
+                    segments.into_iter().flatten().collect()
+                };
                 report.info(
                     "journal-pending",
                     format!(

@@ -327,6 +327,15 @@ pub trait Pager {
     fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()>;
     /// Write a page from `buf`.
     fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()>;
+    /// Durability barrier: all writes issued before this call must reach
+    /// stable storage before any write issued after it. In-memory pagers
+    /// are trivially ordered, so the default is a no-op; [`FilePager`]
+    /// issues a real fsync. The commit protocol places one barrier
+    /// before and one after each header flip — group commit exists to
+    /// amortize exactly these calls.
+    fn sync(&mut self) -> StoreResult<()> {
+        Ok(())
+    }
 }
 
 /// Heap-backed pager (the paper's experiments run with a buffer pool larger
@@ -513,6 +522,12 @@ impl Pager for FilePager {
             .write_all(&buf[..])
             .map_err(|e| StoreError::io_at(e, id, "write"))?;
         Ok(())
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io_at(e, 0, "sync"))
     }
 }
 
@@ -725,6 +740,20 @@ impl Pager for FaultInjectingPager {
         self.inner.allocate()
     }
 
+    fn sync(&mut self) -> StoreResult<()> {
+        // A barrier is not a write event (crash-point numbering across
+        // the existing sweeps stays stable), but a dead device cannot
+        // promise durability.
+        if self.dead {
+            return Err(StoreError::io_at(
+                injected(std::io::ErrorKind::BrokenPipe, "power is out"),
+                0,
+                "sync",
+            ));
+        }
+        self.inner.sync()
+    }
+
     fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StoreResult<()> {
         if self.dead {
             return Err(StoreError::io_at(
@@ -929,6 +958,10 @@ impl Pager for RetryingPager {
     fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StoreResult<()> {
         self.run(|p| p.write(id, buf))
     }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        self.run(|p| p.sync())
+    }
 }
 
 /// A [`Pager`] that seals every written page with a typed frame
@@ -990,6 +1023,10 @@ impl Pager for ChecksummingPager {
         let mut sealed = Box::new(*buf);
         seal_frame(&mut sealed);
         self.inner.write(id, &sealed)
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        self.inner.sync()
     }
 }
 
@@ -1118,6 +1155,11 @@ pub struct BufferStats {
     pub writebacks: u64,
     /// Frames evicted.
     pub evictions: u64,
+    /// Dirty frames written back *by eviction* (pages past the
+    /// write-back floor only; subset of `evictions`).
+    pub evicted_dirty: u64,
+    /// Pages faulted in speculatively by [`BufferPool::prefetch`].
+    pub readaheads: u64,
 }
 
 struct Frame {
@@ -1126,19 +1168,43 @@ struct Frame {
     referenced: bool,
 }
 
-/// A fixed-capacity buffer pool with CLOCK eviction over any [`Pager`].
+/// A fixed-capacity buffer pool with CLOCK (second-chance) eviction over
+/// any [`Pager`].
 ///
-/// Dirty frames are **never** written back by eviction: uncommitted page
-/// images must not reach the backend before the commit protocol journals
-/// them (see `store::XmlStore::commit`). If every frame is dirty the pool
-/// temporarily grows past its capacity instead — mutation working sets are
-/// bounded by one update operation.
+/// Eviction rules:
+///
+/// * **Pinned pages are never evicted.** [`BufferPool::pin_pages`] takes
+///   explicit pin counts (wired to snapshot pins by
+///   `concurrent::SharedStore`); a pinned frame is skipped like a dirty
+///   one and the pool grows past capacity while pins are held.
+/// * **Clean frames** are evicted freely (the backend has the bytes).
+/// * **Dirty frames at or past the write-back floor** may be written back
+///   to the backend and evicted. The floor (set by the store to the page
+///   count of the last committed state) marks where committed data ends:
+///   pages beyond it are garbage to crash recovery until the next header
+///   flip, so writing them early is crash-safe and needs no journal
+///   entry — recovery never reads them, and if the commit lands they
+///   already hold their final image. This is what bounds memory during
+///   bulkload/compaction, where *every* page is past the floor.
+/// * **Dirty frames below the floor** (in-place updates of committed
+///   pages) are never written back by eviction: they must reach the
+///   backend only through the commit protocol's journal-then-checkpoint
+///   path (see `store::XmlStore::commit`). If every frame is such, the
+///   pool temporarily grows past capacity — these working sets are
+///   bounded by the dirty set of one commit window.
 pub struct BufferPool {
     backend: Box<dyn Pager>,
     frames: HashMap<PageId, Frame>,
     clock: Vec<PageId>,
     hand: usize,
     capacity: usize,
+    /// Pin counts per page id, independent of frame residency (a page
+    /// can be pinned before it is ever faulted in).
+    pins: HashMap<PageId, u32>,
+    /// First page id that eviction may write back while dirty. Defaults
+    /// to `u32::MAX` (never); the store lowers it to the committed page
+    /// count.
+    writeback_floor: PageId,
     stats: BufferStats,
 }
 
@@ -1151,6 +1217,8 @@ impl BufferPool {
             clock: Vec::with_capacity(capacity),
             hand: 0,
             capacity: capacity.max(1),
+            pins: HashMap::new(),
+            writeback_floor: u32::MAX,
             stats: BufferStats::default(),
         }
     }
@@ -1165,8 +1233,65 @@ impl BufferPool {
         self.backend.page_count()
     }
 
-    /// Allocate a fresh page (pinned into the pool as dirty).
+    /// Configured frame budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident frames right now (may exceed capacity under pins or an
+    /// all-dirty working set).
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// First page id that eviction may write back dirty (see type docs).
+    pub fn writeback_floor(&self) -> PageId {
+        self.writeback_floor
+    }
+
+    /// Allow dirty write-back eviction for pages `>= floor`. The store
+    /// sets this to the committed page count after every commit,
+    /// checkpoint, and open; fresh backends (bulkload, compaction) use 0.
+    pub fn set_writeback_floor(&mut self, floor: PageId) {
+        self.writeback_floor = floor;
+    }
+
+    /// Take a pin on each page id; pinned pages are never evicted.
+    pub fn pin_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) {
+        for id in ids {
+            *self.pins.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Release one pin on each page id.
+    pub fn unpin_pages<I: IntoIterator<Item = PageId>>(&mut self, ids: I) {
+        for id in ids {
+            if let Some(n) = self.pins.get_mut(&id) {
+                *n -= 1;
+                if *n == 0 {
+                    self.pins.remove(&id);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct pinned page ids.
+    pub fn pinned_pages(&self) -> usize {
+        self.pins.len()
+    }
+
+    fn is_pinned(&self, id: PageId) -> bool {
+        self.pins.contains_key(&id)
+    }
+
+    /// Whether `id` currently has a resident frame.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// Allocate a fresh page (held in the pool as dirty).
     pub fn allocate(&mut self) -> StoreResult<PageId> {
+        self.reduce_to_budget()?;
         let id = self.backend.allocate()?;
         self.admit(
             id,
@@ -1188,6 +1313,7 @@ impl BufferPool {
     ) -> StoreResult<T> {
         if !self.frames.contains_key(&id) {
             self.stats.misses += 1;
+            self.reduce_to_budget()?;
             let mut data = Box::new([0u8; PAGE_SIZE]);
             self.backend.read(id, &mut data)?;
             self.admit(
@@ -1207,10 +1333,58 @@ impl BufferPool {
         Ok(f(&mut frame.data))
     }
 
+    /// Speculatively fault in pages expected to be read soon (sibling
+    /// partition chains: consecutive records land on consecutive pages
+    /// at bulkload). Best-effort: stops at the first already-resident
+    /// budget-full condition and swallows read errors (a genuinely bad
+    /// page fails loudly on the demand read). Prefetched frames start
+    /// with the reference bit clear, so untouched ones are the first
+    /// eviction victims.
+    pub fn prefetch(&mut self, ids: &[PageId]) {
+        for &id in ids {
+            if self.frames.len() >= self.capacity || self.frames.contains_key(&id) {
+                continue;
+            }
+            if id >= self.backend.page_count() {
+                continue;
+            }
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            if self.backend.read(id, &mut data).is_err() {
+                return;
+            }
+            self.stats.readaheads += 1;
+            self.admit(
+                id,
+                Frame {
+                    data,
+                    dirty: false,
+                    referenced: false,
+                },
+            );
+        }
+    }
+
+    /// Evict down to budget before growing the pool, writing back dirty
+    /// frames past the floor when no clean victim remains. Callers that
+    /// must not touch the backend (rollback) go through [`admit`]
+    /// directly, which only ever evicts clean frames.
+    fn reduce_to_budget(&mut self) -> StoreResult<()> {
+        while self.frames.len() >= self.capacity {
+            if self.evict_one() {
+                continue;
+            }
+            if !self.evict_dirty_one()? {
+                // Everything left is pinned or dirty below the floor:
+                // grow past capacity until the next commit/unpin.
+                break;
+            }
+        }
+        Ok(())
+    }
+
     fn admit(&mut self, id: PageId, frame: Frame) {
         while self.frames.len() >= self.capacity {
             if !self.evict_one() {
-                // Every frame is dirty: grow past capacity until commit.
                 break;
             }
         }
@@ -1218,10 +1392,11 @@ impl BufferPool {
         self.clock.push(id);
     }
 
-    /// Evict one *clean* frame; returns false when none is evictable.
+    /// Evict one *clean, unpinned* frame; returns false when none is
+    /// evictable.
     fn evict_one(&mut self) -> bool {
         // Two CLOCK sweeps: the first clears reference bits, the second
-        // finds any clean victim. Dirty frames are always skipped.
+        // finds any clean victim. Dirty and pinned frames are skipped.
         let mut scanned = 0;
         let limit = self.clock.len() * 2;
         loop {
@@ -1230,12 +1405,13 @@ impl BufferPool {
             }
             self.hand %= self.clock.len();
             let id = self.clock[self.hand];
+            let pinned = self.is_pinned(id);
             match self.frames.get_mut(&id) {
                 None => {
                     // Stale clock entry.
                     self.clock.swap_remove(self.hand);
                 }
-                Some(f) if f.dirty => {
+                Some(f) if f.dirty || pinned => {
                     scanned += 1;
                     self.hand += 1;
                 }
@@ -1249,6 +1425,39 @@ impl BufferPool {
                     self.stats.evictions += 1;
                     self.clock.swap_remove(self.hand);
                     return true;
+                }
+            }
+        }
+    }
+
+    /// Write back and evict one unpinned dirty frame at or past the
+    /// write-back floor; returns false when none qualifies.
+    fn evict_dirty_one(&mut self) -> StoreResult<bool> {
+        let mut scanned = 0;
+        let limit = self.clock.len();
+        loop {
+            if self.clock.is_empty() || scanned > limit {
+                return Ok(false);
+            }
+            self.hand %= self.clock.len();
+            let id = self.clock[self.hand];
+            match self.frames.get(&id) {
+                None => {
+                    self.clock.swap_remove(self.hand);
+                }
+                Some(f) if f.dirty && id >= self.writeback_floor && !self.is_pinned(id) => {
+                    let data = f.data.clone();
+                    self.backend.write(id, &data)?;
+                    self.frames.remove(&id);
+                    self.clock.swap_remove(self.hand);
+                    self.stats.writebacks += 1;
+                    self.stats.evictions += 1;
+                    self.stats.evicted_dirty += 1;
+                    return Ok(true);
+                }
+                Some(_) => {
+                    scanned += 1;
+                    self.hand += 1;
                 }
             }
         }
@@ -1274,6 +1483,11 @@ impl BufferPool {
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.backend.read(id, &mut data)?;
         Ok(data)
+    }
+
+    /// Durability barrier on the backend (see [`Pager::sync`]).
+    pub fn sync_backend(&mut self) -> StoreResult<()> {
+        self.backend.sync()
     }
 
     /// Write `data` straight to the backend, keeping any resident frame

@@ -192,6 +192,11 @@ pub struct StoreConfig {
     /// Record weight limit `K` in slots, enforced when the update path
     /// grows a record (the bulkload partitioning carries its own limit).
     pub record_limit_slots: natix_tree::Weight,
+    /// How many *following* records to prefetch into the buffer pool on
+    /// a record fetch. Bulkload lays sibling-partition records out in
+    /// record order, so the next records' pages are exactly the pages a
+    /// document-order navigation touches next. 0 disables read-ahead.
+    pub readahead_records: usize,
 }
 
 impl Default for StoreConfig {
@@ -200,6 +205,7 @@ impl Default for StoreConfig {
             buffer_pages: 8192,
             record_cache: 16,
             record_limit_slots: 256,
+            readahead_records: 2,
         }
     }
 }
@@ -323,6 +329,40 @@ pub struct XmlStore {
     /// durable commit, for reconstructing the committed header while its
     /// checkpoint is pending.
     pub(crate) last_commit_journal: (PageId, u64),
+    /// Open group-commit batch, if any (see [`XmlStore::begin_batch`]).
+    pub(crate) batch: Option<BatchState>,
+    /// Records to prefetch ahead of a fetch (see `StoreConfig`).
+    pub(crate) readahead_records: usize,
+}
+
+/// A consistent point inside a group-commit batch that a failing
+/// operation can roll back to without losing earlier staged operations.
+/// Captures everything [`XmlStore::rollback`] would otherwise restore
+/// from the *committed* state: dirty page images plus the in-memory
+/// catalog projections.
+pub(crate) struct Savepoint {
+    dirty: Vec<(PageId, Box<[u8; PAGE_SIZE]>)>,
+    directory: Vec<RecordLoc>,
+    labels: Vec<Box<str>>,
+    label_ids: HashMap<Box<str>, u16>,
+    quarantined: BTreeSet<u32>,
+    open_page: Option<PageId>,
+    root_record: u32,
+}
+
+/// In-flight group-commit batch state: one journal segment (page-id set)
+/// per staged operation, plus the savepoint guarding the operation in
+/// flight.
+pub(crate) struct BatchState {
+    /// Newly dirtied pages per staged op, in batch order. Diagnostic
+    /// only — the single header flip covers the whole batch (see
+    /// `journal::encode_batched`).
+    segments: Vec<Vec<PageId>>,
+    /// Pages already claimed by an earlier segment (or dirty before the
+    /// batch began), so each page is attributed to one segment.
+    claimed: HashSet<PageId>,
+    save: Savepoint,
+    ops: usize,
 }
 
 impl XmlStore {
@@ -469,6 +509,12 @@ impl XmlStore {
         // seals the typed page frame (class + FNV-64) on the way out.
         let backend: Box<dyn Pager> = Box::new(ChecksummingPager::new(backend));
         let mut pool = BufferPool::new(backend, config.buffer_pages);
+        // A fresh backend has no committed state: every page is past the
+        // write-back floor, so eviction may stream dirty pages out and
+        // bulkload runs in bounded memory even for out-of-budget
+        // documents. (A crash mid-load leaves a headerless file either
+        // way.)
+        pool.set_writeback_floor(0);
         // Pages 0 and 1 are the two header slots; the catalog goes after
         // the data pages so the store can be reopened from its page file
         // alone.
@@ -547,6 +593,9 @@ impl XmlStore {
         });
         pool.with_page(header_slot1, true, |buf| buf.copy_from_slice(&header))?;
         pool.flush()?;
+        // Everything written so far is now the committed state: raise the
+        // floor so only future appends qualify for dirty write-back.
+        pool.set_writeback_floor(pool.page_count());
 
         Ok(XmlStore {
             pool,
@@ -570,6 +619,8 @@ impl XmlStore {
             pending_checkpoint: false,
             committed_overlay: HashMap::new(),
             last_commit_journal: (0, 0),
+            batch: None,
+            readahead_records: config.readahead_records,
         })
     }
 
@@ -598,6 +649,11 @@ impl XmlStore {
     /// before (3) leaves the previous commit intact; a crash after it is
     /// repaired by replaying the journal in [`XmlStore::open`].
     pub fn commit(&mut self) -> StoreResult<()> {
+        if self.batch.is_some() {
+            return Err(StoreError::InvalidUpdate(
+                "commit() inside an open group-commit batch; use commit_batch()",
+            ));
+        }
         if let Err(e) = self.commit_durable() {
             // Nothing was published: put the in-memory state back to the
             // last committed one. If the backend is dead (power cut) the
@@ -621,6 +677,18 @@ impl XmlStore {
     /// Phases (1)–(3) of the commit protocol, up to and including the
     /// commit point.
     fn commit_durable(&mut self) -> StoreResult<()> {
+        self.commit_durable_with(None)
+    }
+
+    /// [`XmlStore::commit_durable`] with optional group-commit journal
+    /// segmentation: `segments` lists the pages each batched operation
+    /// newly dirtied, in batch order. Pages dirty before the batch began
+    /// (deferred-checkpoint overlay images being re-journaled) lead the
+    /// batch as a carry segment; pages that eviction already wrote back
+    /// are clean again and need no journal entry (they sit past the
+    /// write-back floor, where recovery never looks before the flip and
+    /// the backend already holds their final image after it).
+    fn commit_durable_with(&mut self, segments: Option<Vec<Vec<PageId>>>) -> StoreResult<()> {
         let quarantined: Vec<u32> = self.quarantined.iter().copied().collect();
         let catalog_bytes = catalog::encode_catalog(
             &self.directory,
@@ -634,11 +702,35 @@ impl XmlStore {
             .pool
             .append_chunked(&catalog_bytes, PageClass::Catalog)?;
 
-        let mut entries = Vec::new();
-        for id in self.pool.dirty_pages() {
-            entries.push((id, self.pool.page_image(id)?));
+        let dirty = self.pool.dirty_pages();
+        let segment_ids: Vec<Vec<PageId>> = match segments {
+            None => vec![dirty.clone()],
+            Some(mut segs) => {
+                let dirty_set: HashSet<PageId> = dirty.iter().copied().collect();
+                let claimed: HashSet<PageId> = segs.iter().flatten().copied().collect();
+                let carry: Vec<PageId> = dirty
+                    .iter()
+                    .copied()
+                    .filter(|id| !claimed.contains(id))
+                    .collect();
+                for seg in &mut segs {
+                    seg.retain(|id| dirty_set.contains(id));
+                }
+                if !carry.is_empty() {
+                    segs.insert(0, carry);
+                }
+                segs
+            }
+        };
+        let mut entry_segments = Vec::with_capacity(segment_ids.len());
+        for ids in &segment_ids {
+            let mut seg = Vec::with_capacity(ids.len());
+            for &id in ids {
+                seg.push((id, self.pool.page_image(id)?));
+            }
+            entry_segments.push(seg);
         }
-        let journal_bytes = journal::encode(&entries);
+        let journal_bytes = journal::encode_batched(&entry_segments);
         let journal_first_page = self
             .pool
             .append_chunked(&journal_bytes, PageClass::Journal)?;
@@ -652,19 +744,30 @@ impl XmlStore {
             journal_first_page,
             journal_len: journal_bytes.len() as u64,
         };
+        // Durability barriers around the commit point: the catalog and
+        // journal must be stable before the flip can name them, and the
+        // flip must be stable before the commit is acked. These two
+        // fsyncs are what group commit amortizes across a batch.
+        self.pool.sync_backend()?;
         self.pool
             .write_through(header.slot(), &catalog::encode_header(&header))?;
+        self.pool.sync_backend()?;
         self.epoch = header.epoch;
         self.committed_catalog = (catalog_first_page, catalog_bytes.len() as u64);
         self.committed_catalog_bytes = catalog_bytes;
         self.last_commit_journal = (journal_first_page, header.journal_len);
+        // Every page on the backend now belongs to the committed state
+        // (the flip published the catalog and journal just appended).
+        self.pool.set_writeback_floor(self.pool.page_count());
         if self.defer_checkpoint {
             // The journaled images *are* the committed page states; keep
             // them so rollback of a later failed op cannot lose them and
             // snapshot readers can overlay them without replaying the
             // journal from disk.
-            for (id, image) in entries {
-                self.committed_overlay.insert(id, image);
+            for seg in entry_segments {
+                for (id, image) in seg {
+                    self.committed_overlay.insert(id, image);
+                }
             }
         }
         Ok(())
@@ -685,6 +788,9 @@ impl XmlStore {
             journal_first_page: 0,
             journal_len: 0,
         };
+        // The in-place page images must be stable before the journal-free
+        // header can declare the journal obsolete.
+        self.pool.sync_backend()?;
         self.pool
             .write_through(header.slot(), &catalog::encode_header(&header))?;
         self.epoch = header.epoch;
@@ -707,6 +813,137 @@ impl XmlStore {
     /// Whether a durable commit is still waiting for its checkpoint.
     pub fn has_pending_checkpoint(&self) -> bool {
         self.pending_checkpoint
+    }
+
+    /// Open a group-commit batch: update operations after this stage
+    /// their changes in memory instead of committing one by one, and
+    /// [`XmlStore::commit_batch`] publishes all of them under a *single*
+    /// journal write and header flip. Crash recovery therefore restores
+    /// either none or all of the batch — an exact prefix of what
+    /// `commit_batch` acknowledged, since acks only exist after the flip.
+    ///
+    /// An operation that fails inside the batch rolls back to the
+    /// savepoint taken at the previous operation boundary: earlier staged
+    /// operations survive, only the failing one is discarded.
+    pub fn begin_batch(&mut self) -> StoreResult<()> {
+        self.require_writable()?;
+        if self.batch.is_some() {
+            return Err(StoreError::InvalidUpdate(
+                "a group-commit batch is already open",
+            ));
+        }
+        let save = self.savepoint()?;
+        let claimed: HashSet<PageId> = save.dirty.iter().map(|&(id, _)| id).collect();
+        self.batch = Some(BatchState {
+            segments: Vec::new(),
+            claimed,
+            save,
+            ops: 0,
+        });
+        Ok(())
+    }
+
+    /// Whether a group-commit batch is open.
+    pub fn in_batch(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Publish every operation staged since [`XmlStore::begin_batch`]
+    /// under one journal write and one header flip; returns how many were
+    /// staged. On error the whole batch is rolled back to the last
+    /// committed state — the caller must treat every staged operation as
+    /// unacknowledged (though, as with [`XmlStore::commit`], a failure
+    /// *after* the flip can still leave the post-state durable).
+    pub fn commit_batch(&mut self) -> StoreResult<usize> {
+        let batch = self
+            .batch
+            .take()
+            .ok_or(StoreError::InvalidUpdate("no group-commit batch is open"))?;
+        if batch.ops == 0 {
+            return Ok(0);
+        }
+        if let Err(e) = self.commit_durable_with(Some(batch.segments)) {
+            let _ = self.rollback();
+            return Err(e);
+        }
+        if self.defer_checkpoint {
+            self.pending_checkpoint = true;
+            return Ok(batch.ops);
+        }
+        self.checkpoint()?;
+        Ok(batch.ops)
+    }
+
+    /// Abandon the open batch (if any), discarding every staged op.
+    pub fn abort_batch(&mut self) -> StoreResult<()> {
+        if self.batch.take().is_some() {
+            self.rollback()?;
+        }
+        Ok(())
+    }
+
+    /// Capture everything a mid-batch rollback must restore.
+    fn savepoint(&mut self) -> StoreResult<Savepoint> {
+        let mut dirty = Vec::new();
+        for id in self.pool.dirty_pages() {
+            dirty.push((id, self.pool.page_image(id)?));
+        }
+        Ok(Savepoint {
+            dirty,
+            directory: self.directory.clone(),
+            labels: self.labels.clone(),
+            label_ids: self.label_ids.clone(),
+            quarantined: self.quarantined.clone(),
+            open_page: self.open_page,
+            root_record: self.root_record,
+        })
+    }
+
+    /// Operation boundary inside a batch: attribute the pages this op
+    /// newly dirtied to its journal segment and take a fresh savepoint.
+    /// Raises the write-back floor to the current page count so pages
+    /// now owned by *staged* (but uncommitted) operations are never
+    /// evicted dirty — their only safe copy is the resident frame until
+    /// the batch commits.
+    pub(crate) fn batch_op_staged(&mut self) -> StoreResult<()> {
+        let save = self.savepoint()?;
+        self.pool.set_writeback_floor(self.pool.page_count());
+        let batch = self.batch.as_mut().expect("staging requires an open batch");
+        let seg: Vec<PageId> = save
+            .dirty
+            .iter()
+            .map(|&(id, _)| id)
+            .filter(|id| !batch.claimed.contains(id))
+            .collect();
+        batch.claimed.extend(seg.iter().copied());
+        batch.segments.push(seg);
+        batch.ops += 1;
+        batch.save = save;
+        Ok(())
+    }
+
+    /// Roll back to the savepoint of the last staged operation, keeping
+    /// the batch open. Touches no backend pages (savepoint images live in
+    /// memory), mirroring [`XmlStore::rollback`].
+    pub(crate) fn rollback_to_savepoint(&mut self) -> StoreResult<()> {
+        self.pool.discard_dirty();
+        let batch = self
+            .batch
+            .as_ref()
+            .expect("savepoint requires an open batch");
+        for (id, image) in &batch.save.dirty {
+            self.pool.restore_dirty(*id, image);
+        }
+        self.directory = batch.save.directory.clone();
+        self.labels = batch.save.labels.clone();
+        self.label_ids = batch.save.label_ids.clone();
+        self.quarantined = batch.save.quarantined.clone();
+        self.open_page = batch.save.open_page;
+        self.root_record = batch.save.root_record;
+        self.cache.clear();
+        self.hot = None;
+        self.last_fetched = NONE_U32;
+        Ok(())
     }
 
     /// Epoch of the current committed header.
@@ -738,6 +975,9 @@ impl XmlStore {
     /// is restored from its in-memory copy, so rollback works even when
     /// the backend is failing.
     pub(crate) fn rollback(&mut self) -> StoreResult<()> {
+        // A full rollback abandons any open batch: the savepoint chain is
+        // meaningless once the committed state is restored.
+        self.batch = None;
         self.pool.discard_dirty();
         // Under a deferred checkpoint the committed images of earlier
         // epochs still live in dirty frames (discarded just above): put
@@ -821,6 +1061,10 @@ impl XmlStore {
         for (i, l) in cat.labels.iter().enumerate() {
             label_ids.insert(l.clone(), i as u16);
         }
+        // The file now holds exactly the committed state (recovery above
+        // replayed any pending journal): appends past here may be
+        // written back by eviction.
+        pool.set_writeback_floor(pool.page_count());
         Ok(XmlStore {
             pool,
             directory: cat.directory,
@@ -843,6 +1087,8 @@ impl XmlStore {
             pending_checkpoint: false,
             committed_overlay: HashMap::new(),
             last_commit_journal: (0, 0),
+            batch: None,
+            readahead_records: config.readahead_records,
         })
     }
 
@@ -890,6 +1136,8 @@ impl XmlStore {
             pending_checkpoint: false,
             committed_overlay: HashMap::new(),
             last_commit_journal: (0, 0),
+            batch: None,
+            readahead_records: config.readahead_records,
         })
     }
 
@@ -949,6 +1197,7 @@ impl XmlStore {
             .directory
             .get(no as usize)
             .ok_or(StoreError::BadRecord(no))?;
+        self.readahead(no);
         let bytes = match loc {
             RecordLoc::InPage { page, slot } => self
                 .pool
@@ -985,6 +1234,36 @@ impl XmlStore {
         self.cache.insert(no, rec.clone());
         self.hot = Some(rec.clone());
         Ok(rec)
+    }
+
+    /// Prefetch the pages of the records following `no` in directory
+    /// order. Bulkload assigns record numbers in document order and lays
+    /// their pages out consecutively, so the next records are exactly the
+    /// sibling-partition chain a forward navigation crosses next.
+    /// Best-effort: quarantined, free, and legacy-format records are
+    /// skipped, and the pool ignores prefetch read failures.
+    fn readahead(&mut self, no: u32) {
+        if self.readahead_records == 0 || self.format < 3 {
+            return;
+        }
+        let mut pages: Vec<PageId> = Vec::new();
+        for next in no as usize + 1..=(no as usize + self.readahead_records) {
+            let Some(loc) = self.directory.get(next) else {
+                break;
+            };
+            if self.quarantined.contains(&(next as u32)) {
+                continue;
+            }
+            match *loc {
+                RecordLoc::InPage { page, .. } => pages.push(page),
+                RecordLoc::Overflow { first_page, len } => {
+                    let span = overflow_page_span(len as usize).min(4);
+                    pages.extend((0..span as u32).map(|i| first_page + i));
+                }
+                RecordLoc::Free => {}
+            }
+        }
+        self.pool.prefetch(&pages);
     }
 
     /// The document root.

@@ -43,6 +43,22 @@ impl XmlStore {
     /// journal was already published — which is the standard "either pre
     /// or post" crash contract.)
     fn transactional<T>(&mut self, r: StoreResult<T>) -> StoreResult<T> {
+        // Inside a group-commit batch no commit happens here: a
+        // successful op is staged (its pages become the next journal
+        // segment) and a failed op rolls back to the previous op's
+        // savepoint, so the batch's earlier operations survive.
+        if self.batch.is_some() {
+            return match r {
+                Ok(v) => {
+                    self.batch_op_staged()?;
+                    Ok(v)
+                }
+                Err(e) => {
+                    let _ = self.rollback_to_savepoint();
+                    Err(e)
+                }
+            };
+        }
         match r {
             Ok(v) => {
                 self.commit()?;
@@ -886,6 +902,10 @@ impl XmlStore {
         // format — compact() doubles as the format-2 → format-3 migration.
         let backend: Box<dyn crate::pager::Pager> = Box::new(ChecksummingPager::new(backend));
         let mut pool = BufferPool::new(backend, config.buffer_pages);
+        // Fresh backend, no committed state: dirty pages may be streamed
+        // out by eviction, so migration never needs whole-store residency
+        // (the source store's pool pages in and out independently).
+        pool.set_writeback_floor(0);
         let header_slot0 = pool.allocate()?;
         let header_slot1 = pool.allocate()?;
         debug_assert_eq!((header_slot0, header_slot1), (0, 1));
@@ -953,6 +973,7 @@ impl XmlStore {
         });
         pool.with_page(header_slot1, true, |buf| buf.copy_from_slice(&header))?;
         pool.flush()?;
+        pool.set_writeback_floor(pool.page_count());
 
         Ok(XmlStore {
             pool,
@@ -976,6 +997,8 @@ impl XmlStore {
             pending_checkpoint: false,
             committed_overlay: std::collections::HashMap::new(),
             last_commit_journal: (0, 0),
+            batch: None,
+            readahead_records: config.readahead_records,
         })
     }
 }

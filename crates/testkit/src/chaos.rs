@@ -32,12 +32,21 @@
 //!    ops fail with a non-transient error (never silently succeed), and
 //!    a final fault-free reopen recovers exactly the last committed
 //!    oracle state.
+//! 6. **Group-commit atomicity** — the writer applies seeded batches of
+//!    1–3 ops through [`natix_store::WriteGuard::mutate_batch`]; a batch
+//!    either acks every op (one epoch advance carrying all of them) or
+//!    acks none, never a partial set.
+//!
+//! The store runs under a deliberately tiny buffer pool
+//! ([`CHAOS_POOL_PAGES`] frames), so clock eviction with dirty
+//! write-back is active throughout every interleaving; the per-run
+//! eviction count is part of the deterministic stats.
 
 use natix_core::Ekm;
 use natix_store::{
-    bulkload_with, fsck, AdmissionConfig, ConcurrencyStats, FaultInjectingPager, FaultSchedule,
-    RetryPolicy, RetryingPager, ServedRead, SharedMemPager, SharedStore, Snapshot, StoreConfig,
-    XmlStore,
+    bulkload_with, fsck, AdmissionConfig, BatchOp, ConcurrencyStats, FaultInjectingPager,
+    FaultSchedule, RetryPolicy, RetryingPager, ServedRead, SharedMemPager, SharedStore, Snapshot,
+    StoreConfig, StoreResult, XmlStore,
 };
 use natix_xml::parse;
 use std::collections::HashMap;
@@ -117,6 +126,10 @@ pub struct InterleavingStats {
     pub steps: u64,
     pub reads_verified: u64,
     pub commits: u64,
+    /// Ops carried by those commits (each commit is a batch of 1–3).
+    pub batched_ops: u64,
+    /// Clock evictions in the writer's buffer pool.
+    pub evictions: u64,
     pub reads_shed: u64,
     pub degraded_served: u64,
     pub scrubs: u64,
@@ -135,6 +148,8 @@ pub struct ChaosReport {
     pub steps: u64,
     pub reads_verified: u64,
     pub commits: u64,
+    pub batched_ops: u64,
+    pub evictions: u64,
     pub reads_shed: u64,
     pub degraded_served: u64,
     pub scrubs: u64,
@@ -155,14 +170,16 @@ impl ChaosReport {
     pub fn summary(&self) -> String {
         format!(
             "{} interleavings ({} transient-fault, {} permanent-fault), {} steps, \
-             {} snapshot reads verified, {} commits, {} shed, {} degraded, \
-             {} scrubs, {} pages reclaimed, {} failures",
+             {} snapshot reads verified, {} group commits ({} ops), {} evictions, \
+             {} shed, {} degraded, {} scrubs, {} pages reclaimed, {} failures",
             self.runs,
             self.transient_runs,
             self.permanent_runs,
             self.steps,
             self.reads_verified,
             self.commits,
+            self.batched_ops,
+            self.evictions,
             self.reads_shed,
             self.degraded_served,
             self.scrubs,
@@ -179,10 +196,21 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The base document every interleaving starts from.
+/// Buffer-pool budget for every chaos store: small enough that the base
+/// document's page set does not fit, so clock eviction (including dirty
+/// write-back) runs throughout every interleaving.
+pub const CHAOS_POOL_PAGES: usize = 2;
+
+/// The base document every interleaving starts from. Large enough that
+/// its page set exceeds [`CHAOS_POOL_PAGES`], so every interleaving runs
+/// with eviction active.
 const BASE_XML: &str = concat!(
     "<list><e>one entry of text</e><e>two entry of text</e>",
-    "<e>three entries of text</e></list>"
+    "<e>three entries of text</e><e>four entries of text</e>",
+    "<e>five entries of text</e><e>six entries of text</e>",
+    "<e>seven entries of text</e><e>eight entries of text</e>",
+    "<e>nine entries of text</e><e>ten entries of text</e>",
+    "<e>eleven entries of text</e><e>twelve entries of text</e></list>"
 );
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,6 +320,7 @@ pub fn run_interleaving(
     let k = min_record_limit(&doc).max(48);
     let config = StoreConfig {
         record_limit_slots: k,
+        buffer_pages: CHAOS_POOL_PAGES,
         ..Default::default()
     };
     let disk = SharedMemPager::new();
@@ -346,26 +375,77 @@ pub fn run_interleaving(
             as usize
         {
             0 | 1 => {
-                // Writer: one trace op through the guard.
+                // Writer: a seeded batch of 1–3 trace ops through the
+                // guard's group commit — one journal write, one header
+                // flip, per-op acks.
                 if next_op >= trace.len() {
                     continue;
                 }
-                let op = trace[next_op];
-                next_op += 1;
-                if op.skipped(model.element_count()) {
+                let want = 1 + (splitmix(seed ^ (step as u64).wrapping_mul(0xB47C)) % 3) as usize;
+                let mut post_model = model.clone();
+                let mut batch = Vec::new();
+                while batch.len() < want && next_op < trace.len() {
+                    let op = trace[next_op];
+                    next_op += 1;
+                    if op.skipped(post_model.element_count()) {
+                        continue;
+                    }
+                    apply_model(&mut post_model, &op);
+                    batch.push(op);
+                }
+                if batch.is_empty() {
                     continue;
                 }
-                match guard.mutate(|s| apply_store(s, &op)) {
-                    Ok(()) => {
+                let ops: Vec<BatchOp<'_>> = batch
+                    .iter()
+                    .map(|op| {
+                        Box::new(move |s: &mut XmlStore| apply_store(s, op))
+                            as Box<dyn FnOnce(&mut XmlStore) -> StoreResult<()> + '_>
+                    })
+                    .collect();
+                match guard.mutate_batch(ops) {
+                    Ok(acks) if acks.iter().all(|a| a.is_ok()) => {
                         if writer_dead {
                             return Err(fail(
                                 step,
-                                format!("op {op:?} succeeded after permanent backend failure"),
+                                format!(
+                                    "batch {batch:?} succeeded after permanent backend failure"
+                                ),
                             ));
                         }
-                        apply_model(&mut model, &op);
+                        model = post_model;
                         oracle.committed(&shared, model.to_xml());
                         stats.commits += 1;
+                        stats.batched_ops += batch.len() as u64;
+                    }
+                    Ok(acks) => {
+                        // Some op was rejected. Acks exist only when the
+                        // batch ran to completion; a *mixed* pattern
+                        // would mean a non-prefix subset got published,
+                        // and under a transient plan the retry layer
+                        // must absorb every fault.
+                        let acked = acks.iter().filter(|a| a.is_ok()).count();
+                        if !plan.is_permanent() {
+                            return Err(fail(
+                                step,
+                                format!(
+                                    "{}/{} batch ops rejected under transient plan",
+                                    acks.len() - acked,
+                                    acks.len()
+                                ),
+                            ));
+                        }
+                        if acked != 0 {
+                            return Err(fail(
+                                step,
+                                format!(
+                                    "non-prefix group commit: {acked}/{} ops acked",
+                                    acks.len()
+                                ),
+                            ));
+                        }
+                        writer_dead = true;
+                        stats.writer_failures += 1;
                     }
                     Err(e) if plan.is_permanent() => {
                         if e.is_transient() {
@@ -380,7 +460,7 @@ pub fn run_interleaving(
                     Err(e) => {
                         return Err(fail(
                             step,
-                            format!("op {op:?} failed under transient plan: {e}"),
+                            format!("batch {batch:?} failed under transient plan: {e}"),
                         ));
                     }
                 }
@@ -505,6 +585,7 @@ pub fn run_interleaving(
     }
     stats.pages_reclaimed = cstats.pages_reclaimed;
     stats.checkpoints_deferred = cstats.checkpoints_deferred;
+    stats.evictions = shared.buffer_stats().evictions;
     drop(shared);
 
     // Fault-free reopen: recovery must land exactly on the last
@@ -549,6 +630,8 @@ pub fn run_chaos(cfg: &ChaosConfig, mut progress: impl FnMut(&str)) -> ChaosRepo
                 report.steps += s.steps;
                 report.reads_verified += s.reads_verified;
                 report.commits += s.commits;
+                report.batched_ops += s.batched_ops;
+                report.evictions += s.evictions;
                 report.reads_shed += s.reads_shed;
                 report.degraded_served += s.degraded_served;
                 report.scrubs += s.scrubs;
@@ -610,6 +693,9 @@ mod tests {
         assert!(report.scrubs > 0, "{}", report.summary());
         assert!(report.transient_runs > 0, "{}", report.summary());
         assert!(report.permanent_runs > 0, "{}", report.summary());
+        assert!(report.batched_ops >= report.commits, "{}", report.summary());
+        // The tiny pool must actually exercise eviction.
+        assert!(report.evictions > 0, "{}", report.summary());
     }
 
     #[test]

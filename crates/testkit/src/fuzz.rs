@@ -786,7 +786,7 @@ impl CampaignReport {
 /// Derive the trace seed for one run. Mixed so that every (workload,
 /// record limit, fuzz seed) cell sees a distinct trace; deterministic
 /// across processes.
-fn trace_seed(fuzz_seed: u64, k: u64, workload_index: u64) -> u64 {
+pub(crate) fn trace_seed(fuzz_seed: u64, k: u64, workload_index: u64) -> u64 {
     fuzz_seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(k.wrapping_mul(0x2545_f491_4f6c_dd1d))

@@ -1,0 +1,474 @@
+//! Group-commit crash-prefix sweep.
+//!
+//! Drives [`natix_store::WriteGuard::mutate_batch`] — the serialized
+//! writer's group commit — through the same model-based power-cut
+//! methodology as the per-op sweep in [`crate::run_trace`], with the
+//! batch-level oracle:
+//!
+//! **Crash recovery restores an exact prefix of the acked commits.**
+//! A batch publishes every staged op under one journal write and one
+//! header flip, and acks are delivered only after the flip, so at every
+//! power-cut write event inside the batch the recovered store must hold
+//! either the pre-batch state (no acks delivered — the empty prefix) or
+//! the full post-batch state (all acks delivered). Any intermediate
+//! state — some ops of the batch visible, others lost — is a failure,
+//! as is a committed (acked) batch that recovery loses. Recovery is
+//! additionally followed by an `fsck` scrub that must come back clean.
+//!
+//! Entry points: [`run_group_commit_trace`] for one trace and
+//! [`run_group_commit_campaign`] over the Table 1 workloads
+//! ([`GroupCommitConfig::quick`] for the CI tier, `::full` for the
+//! soak tier).
+
+use natix_core::Ekm;
+use natix_store::{
+    fsck, AdmissionConfig, BatchOp, FaultInjectingPager, FaultSchedule, SharedMemPager,
+    SharedStore, StoreConfig, StoreResult, XmlStore,
+};
+use natix_xml::Document;
+
+use crate::fuzz::{apply_model, apply_store, min_record_limit, workloads};
+use crate::model::ModelTree;
+use crate::ops::{generate_trace, Op};
+
+/// Statistics from a successful group-commit sweep run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GroupOutcome {
+    /// Batches committed on the fault-free mainline.
+    pub batches_committed: u64,
+    /// Ops staged and acked across those batches.
+    pub ops_applied: u64,
+    /// Trace ops skipped as inapplicable.
+    pub ops_skipped: u64,
+    /// Power-cut crash points swept inside batches.
+    pub crash_points: u64,
+}
+
+/// A failed batch inside a group-commit sweep.
+#[derive(Clone, Debug)]
+pub struct GroupFailure {
+    /// Index of the failing batch in the trace's batch sequence.
+    pub batch: usize,
+    /// `Some((n, torn))` when the failure came from the power cut at
+    /// write event `n` of the batch.
+    pub crash: Option<(u64, bool)>,
+    pub message: String,
+}
+
+impl std::fmt::Display for GroupFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch {}{}: {}",
+            self.batch,
+            match self.crash {
+                Some((n, torn)) => format!(" (power cut at write {n}, torn={torn})"),
+                None => String::new(),
+            },
+            self.message
+        )
+    }
+}
+
+/// Small pool so eviction is active while batches run: the sweep also
+/// guards the eviction/group-commit interaction (`fsck` must stay clean
+/// with dirty write-back eviction in play).
+const SWEEP_POOL_PAGES: usize = 8;
+
+/// Run `trace` against a fresh store, committing ops in batches of
+/// `batch_size` through the concurrent writer's group commit, and sweep
+/// a power cut across every write event of every batch (capped at
+/// `max_points_per_batch` when nonzero), asserting the crash-prefix
+/// oracle described in the module docs.
+pub fn run_group_commit_trace(
+    doc: &Document,
+    k: u64,
+    trace: &[Op],
+    batch_size: usize,
+    max_points_per_batch: u64,
+) -> Result<GroupOutcome, GroupFailure> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let k = k.max(min_record_limit(doc));
+    let config = StoreConfig {
+        record_limit_slots: k,
+        buffer_pages: SWEEP_POOL_PAGES,
+        ..Default::default()
+    };
+    let admission = AdmissionConfig::default();
+    let fail = |batch: usize, crash: Option<(u64, bool)>, message: String| GroupFailure {
+        batch,
+        crash,
+        message,
+    };
+
+    let disk = SharedMemPager::new();
+    let store = natix_store::bulkload_with(doc, &Ekm, k, Box::new(disk.clone()), config)
+        .map_err(|e| fail(0, None, format!("bulkload failed: {e}")))?;
+    drop(store);
+    let mut model = ModelTree::from_document(doc);
+    let mut out = GroupOutcome::default();
+
+    let mut idx = 0usize;
+    let mut batch_no = 0usize;
+    while idx < trace.len() {
+        // Select the next batch, advancing a scratch oracle per op so
+        // applicability (`skipped`) is judged against the state the op
+        // will actually see inside the batch.
+        let mut post_model = model.clone();
+        let mut batch: Vec<Op> = Vec::new();
+        while batch.len() < batch_size && idx < trace.len() {
+            let op = trace[idx];
+            idx += 1;
+            if op.skipped(post_model.element_count()) {
+                out.ops_skipped += 1;
+                continue;
+            }
+            apply_model(&mut post_model, &op);
+            batch.push(op);
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let pre_xml = model.to_xml();
+        let post_xml = post_model.to_xml();
+        // The previous batch checkpointed (no pins): the snapshot is the
+        // complete pre-batch state.
+        let snap = disk.snapshot();
+
+        // Fault-free mainline: every op must be acked and the committed
+        // state must be the post-batch oracle.
+        {
+            let shared = SharedStore::open(
+                Box::new(disk.clone()),
+                Box::new(disk.clone()),
+                config,
+                admission,
+            )
+            .map_err(|e| fail(batch_no, None, format!("mainline open failed: {e}")))?;
+            let mut guard = shared
+                .begin_write()
+                .map_err(|e| fail(batch_no, None, format!("mainline begin_write: {e}")))?;
+            let acks = guard
+                .mutate_batch(batch_ops(&batch))
+                .map_err(|e| fail(batch_no, None, format!("mainline group commit failed: {e}")))?;
+            for (i, ack) in acks.iter().enumerate() {
+                if let Err(e) = ack {
+                    return Err(fail(
+                        batch_no,
+                        None,
+                        format!("mainline op {i} rejected: {e}"),
+                    ));
+                }
+            }
+            drop(guard);
+            let scrub = shared
+                .scrub()
+                .map_err(|e| fail(batch_no, None, format!("mainline scrub failed: {e}")))?;
+            if !scrub.clean() {
+                return Err(fail(
+                    batch_no,
+                    None,
+                    format!("mainline scrub not clean:\n{scrub}"),
+                ));
+            }
+        }
+        check_recovered(&disk, config, &post_xml, "mainline")
+            .map_err(|m| fail(batch_no, None, m))?;
+
+        // Power-cut sweep: crash at write event n = 1, 2, ... of the
+        // whole batch (ops + group commit), alternating clean and torn
+        // cuts, until the batch commits under the cut.
+        let mut n = 1u64;
+        loop {
+            if max_points_per_batch > 0 && n > max_points_per_batch {
+                break;
+            }
+            let torn = (n + batch_no as u64).is_multiple_of(2);
+            let disk2 = SharedMemPager::from_snapshot(&snap);
+            let faulty = FaultInjectingPager::new(
+                Box::new(disk2.clone()),
+                FaultSchedule::power_cut(n, torn),
+            );
+            let acked = {
+                let shared =
+                    SharedStore::open(Box::new(faulty), Box::new(disk2.clone()), config, admission)
+                        .map_err(|e| {
+                            fail(batch_no, Some((n, torn)), format!("open before cut: {e}"))
+                        })?;
+                let mut guard = shared
+                    .begin_write()
+                    .map_err(|e| fail(batch_no, Some((n, torn)), format!("begin_write: {e}")))?;
+                match guard.mutate_batch(batch_ops(&batch)) {
+                    // `Ok` means the batch ran to completion; per-op acks
+                    // say which ops are durable. Under a permanent power
+                    // cut only two ack patterns are legal: every op acked
+                    // (the flip beat the cut) or no op acked (every op
+                    // died before staging, so there was nothing to
+                    // commit and no flip). A *mixed* pattern would mean
+                    // the flip published a non-prefix subset.
+                    Ok(acks) => {
+                        let acked = acks.iter().filter(|a| a.is_ok()).count();
+                        if acked != 0 && acked != acks.len() {
+                            return Err(fail(
+                                batch_no,
+                                Some((n, torn)),
+                                format!(
+                                    "non-prefix ack pattern: {acked}/{} ops acked under cut",
+                                    acks.len()
+                                ),
+                            ));
+                        }
+                        acked == acks.len()
+                    }
+                    Err(_) => false,
+                }
+            };
+            let got =
+                recovered_xml(&disk2, config).map_err(|m| fail(batch_no, Some((n, torn)), m))?;
+            let scrub = fsck(&mut disk2.clone(), false);
+            if !scrub.clean() {
+                return Err(fail(
+                    batch_no,
+                    Some((n, torn)),
+                    format!("post-recovery scrub not clean:\n{scrub}"),
+                ));
+            }
+            out.crash_points += 1;
+            if acked {
+                // The flip happened before the cut: the whole batch is
+                // the only acceptable recovered state.
+                if got != post_xml {
+                    return Err(fail(
+                        batch_no,
+                        Some((n, torn)),
+                        format!("acked batch lost after crash\n  got: {got}"),
+                    ));
+                }
+                break;
+            }
+            // No acks delivered: the empty prefix (pre-batch state) is
+            // expected; the full post-batch state is also acceptable in
+            // the standard "durable but unreported" window (the cut hit
+            // between the header flip and the checkpoint, so the commit
+            // landed but the error surfaced first). Anything else is a
+            // partial batch.
+            if got != pre_xml && got != post_xml {
+                return Err(fail(
+                    batch_no,
+                    Some((n, torn)),
+                    format!(
+                        "crash recovered to a partial batch\n  got:  {got}\n  pre:  {pre_xml}\n  post: {post_xml}"
+                    ),
+                ));
+            }
+            n += 1;
+            if n > 100_000 {
+                return Err(fail(
+                    batch_no,
+                    Some((n, torn)),
+                    "crash sweep did not terminate".to_string(),
+                ));
+            }
+        }
+
+        out.batches_committed += 1;
+        out.ops_applied += batch.len() as u64;
+        model = post_model;
+        batch_no += 1;
+    }
+    Ok(out)
+}
+
+/// The batch as consumable closures for `mutate_batch`.
+fn batch_ops(batch: &[Op]) -> Vec<BatchOp<'_>> {
+    batch
+        .iter()
+        .map(|op| {
+            Box::new(move |s: &mut XmlStore| apply_store(s, op))
+                as Box<dyn FnOnce(&mut XmlStore) -> StoreResult<()> + '_>
+        })
+        .collect()
+}
+
+fn recovered_xml(disk: &SharedMemPager, config: StoreConfig) -> Result<String, String> {
+    let mut re = XmlStore::open(Box::new(disk.clone()), config)
+        .map_err(|e| format!("recovery open failed: {e}"))?;
+    re.check_consistency()
+        .map_err(|e| format!("recovered store inconsistent: {e}"))?;
+    re.to_document()
+        .map(|d| d.to_xml())
+        .map_err(|e| format!("recovered serialization: {e}"))
+}
+
+fn check_recovered(
+    disk: &SharedMemPager,
+    config: StoreConfig,
+    want: &str,
+    what: &str,
+) -> Result<(), String> {
+    let got = recovered_xml(disk, config)?;
+    if got != want {
+        return Err(format!(
+            "{what}: document mismatch\n  got:  {got}\n  want: {want}"
+        ));
+    }
+    Ok(())
+}
+
+/// Campaign configuration for the group-commit sweep: the cross product
+/// of workloads, record limits, fuzz seeds, and batch sizes.
+#[derive(Clone, Debug)]
+pub struct GroupCommitConfig {
+    pub scale: f64,
+    pub gen_seed: u64,
+    pub fuzz_seeds: Vec<u64>,
+    pub ops_per_run: usize,
+    pub record_limits: Vec<u64>,
+    pub batch_sizes: Vec<usize>,
+    /// Cap on swept crash points per batch (0 = sweep every write
+    /// event until the batch commits).
+    pub max_points_per_batch: u64,
+    pub max_failures: usize,
+}
+
+impl GroupCommitConfig {
+    /// CI smoke tier: all six workloads, one seed, batches of 4, capped
+    /// sweep. Finishes in seconds.
+    pub fn quick() -> GroupCommitConfig {
+        GroupCommitConfig {
+            scale: 0.001,
+            gen_seed: 1,
+            fuzz_seeds: vec![1],
+            ops_per_run: 8,
+            record_limits: vec![32],
+            batch_sizes: vec![4],
+            max_points_per_batch: 12,
+            max_failures: 3,
+        }
+    }
+
+    /// Full soak: uncapped sweep over batches of 4 and 8.
+    pub fn full() -> GroupCommitConfig {
+        GroupCommitConfig {
+            scale: 0.002,
+            gen_seed: 1,
+            fuzz_seeds: vec![1, 2],
+            ops_per_run: 16,
+            record_limits: vec![32],
+            batch_sizes: vec![4, 8],
+            max_points_per_batch: 0,
+            max_failures: 3,
+        }
+    }
+}
+
+/// Report from a group-commit campaign.
+#[derive(Clone, Debug, Default)]
+pub struct GroupCommitReport {
+    pub runs: u64,
+    pub batches: u64,
+    pub ops_applied: u64,
+    pub ops_skipped: u64,
+    pub crash_points: u64,
+    pub failures: Vec<(String, u64, usize, GroupFailure)>,
+}
+
+impl GroupCommitReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    pub fn summary(&self) -> String {
+        format!(
+            "{} runs, {} batches ({} ops, {} skipped), {} crash points, {} failure(s)",
+            self.runs,
+            self.batches,
+            self.ops_applied,
+            self.ops_skipped,
+            self.crash_points,
+            self.failures.len()
+        )
+    }
+}
+
+/// Run a group-commit campaign; `progress` receives one line per run.
+pub fn run_group_commit_campaign(
+    cfg: &GroupCommitConfig,
+    mut progress: impl FnMut(&str),
+) -> GroupCommitReport {
+    let mut report = GroupCommitReport::default();
+    'outer: for (wi, w) in workloads(cfg.scale, cfg.gen_seed).into_iter().enumerate() {
+        for &k in &cfg.record_limits {
+            for &fuzz_seed in &cfg.fuzz_seeds {
+                for &batch_size in &cfg.batch_sizes {
+                    let trace = generate_trace(
+                        crate::fuzz::trace_seed(fuzz_seed, k, wi as u64),
+                        cfg.ops_per_run,
+                    );
+                    report.runs += 1;
+                    match run_group_commit_trace(
+                        &w.doc,
+                        k,
+                        &trace,
+                        batch_size,
+                        cfg.max_points_per_batch,
+                    ) {
+                        Ok(o) => {
+                            report.batches += o.batches_committed;
+                            report.ops_applied += o.ops_applied;
+                            report.ops_skipped += o.ops_skipped;
+                            report.crash_points += o.crash_points;
+                            progress(&format!(
+                                "ok   {} k={k} seed={fuzz_seed} batch={batch_size}: {} batches, {} crash points",
+                                w.name, o.batches_committed, o.crash_points
+                            ));
+                        }
+                        Err(f) => {
+                            progress(&format!(
+                                "FAIL {} k={k} seed={fuzz_seed} batch={batch_size}: {f}",
+                                w.name
+                            ));
+                            report
+                                .failures
+                                .push((w.name.clone(), fuzz_seed, batch_size, f));
+                            if report.failures.len() >= cfg.max_failures {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_xml::parse;
+
+    #[test]
+    fn group_commit_sweep_holds_on_a_small_trace() {
+        let doc = parse(
+            "<list><e>one entry of text</e><e>two entry of text</e><e>three entries of text</e></list>",
+        )
+        .unwrap();
+        let trace = generate_trace(7, 6);
+        let out = run_group_commit_trace(&doc, 48, &trace, 3, 0).expect("sweep holds");
+        assert!(out.batches_committed >= 1);
+        assert!(out.crash_points > 0);
+    }
+
+    #[test]
+    fn quick_campaign_is_clean() {
+        let mut cfg = GroupCommitConfig::quick();
+        // One workload cell keeps the unit test fast; CI runs the full
+        // quick tier through `natix soak --group-commit --quick`.
+        cfg.ops_per_run = 4;
+        cfg.max_points_per_batch = 6;
+        let report = run_group_commit_campaign(&cfg, |_| {});
+        assert!(report.ok(), "{}", report.summary());
+        assert!(report.crash_points > 0);
+    }
+}

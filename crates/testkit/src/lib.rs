@@ -34,6 +34,7 @@
 
 mod chaos;
 mod fuzz;
+mod group;
 mod model;
 mod ops;
 
@@ -44,6 +45,10 @@ pub use fuzz::{
     min_record_limit, replay, run_campaign, run_corruption_campaign, run_corruption_trace,
     run_trace, shrink_trace, workload_by_name, workloads, CampaignConfig, CampaignReport,
     CorruptionOutcome, CrashMode, Failure, RunOutcome, TraceFailure, Workload,
+};
+pub use group::{
+    run_group_commit_campaign, run_group_commit_trace, GroupCommitConfig, GroupCommitReport,
+    GroupFailure, GroupOutcome,
 };
 pub use model::ModelTree;
 pub use ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};

@@ -16,13 +16,19 @@ cargo test -q
 echo "==> dp_speed --quick (DP engine smoke: cached == uncached, sharing + pruning active)"
 cargo run --release -p natix-bench --bin dp_speed -- --quick
 
+echo "==> store_speed --quick (buffer pool + group commit smoke: out-of-budget dump identical, evictions active, fsck clean after eviction, one flip per batch)"
+cargo run --release -p natix-bench --bin store_speed -- --quick
+
 echo "==> natix soak --quick (crash/update fuzz smoke: model oracle + power-cut sweeps; failures print replayable seeds/scripts)"
 cargo run --release -p natix-cli -- soak --quick
 
 echo "==> natix soak --quick --corruption (bit-rot sweep: every page class of every committed state must detect-or-correct)"
 cargo run --release -p natix-cli -- soak --quick --corruption
 
-echo "==> natix stress --quick (chaos smoke: seeded reader/writer/fsck interleavings over the concurrent store; snapshot-vs-oracle, exactly-once commits, pin-safe reclamation)"
+echo "==> natix soak --quick --group-commit (crash-prefix smoke: a power cut inside a batch must recover to an exact prefix of the acked commits, fsck clean at every crash point)"
+cargo run --release -p natix-cli -- soak --quick --group-commit
+
+echo "==> natix stress --quick (chaos smoke: seeded reader/writer/fsck interleavings over the concurrent store; snapshot-vs-oracle, exactly-once commits, pin-safe reclamation, eviction active under a 2-page pool)"
 cargo run --release -p natix-cli -- stress --quick
 
 echo "==> natix fsck smoke (scrub a fresh store, destroy its header, repair, verify the dump round-trips)"
@@ -34,6 +40,13 @@ XML
 natix() { cargo run --release -q -p natix-cli -- "$@"; }
 natix load "$fsck_dir/sample.xml" "$fsck_dir/sample.natix" --k 16
 natix fsck "$fsck_dir/sample.natix"
+# Bulkload under a 2-page pool streams pages out by eviction; the file
+# must still scrub clean and dump identically.
+natix load "$fsck_dir/sample.xml" "$fsck_dir/tiny.natix" --k 16 --pool-pages 2
+natix fsck "$fsck_dir/tiny.natix"
+natix dump "$fsck_dir/tiny.natix" --pool-pages 2 > "$fsck_dir/tiny.xml"
+natix dump "$fsck_dir/sample.natix" > "$fsck_dir/full.xml"
+diff "$fsck_dir/tiny.xml" "$fsck_dir/full.xml"
 natix dump "$fsck_dir/sample.natix" > "$fsck_dir/before.xml"
 # Destroy the winning header slot (page 1); the store must refuse to open...
 dd if=/dev/zero of="$fsck_dir/sample.natix" bs=8192 seek=1 count=1 conv=notrunc status=none
