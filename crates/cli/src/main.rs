@@ -9,9 +9,25 @@
 //! natix dump      <store.natix> [--degraded]
 //! natix stats     <store.natix>
 //! natix fsck      <store.natix> [--repair]
-//! natix soak      [--quick] [--corruption] [--group-commit] [--seed N] [--replay <script>]
+//! natix bulkload  <dir> [--input <file.xml>]... [--docs N] [--shards N] [--threads N]
+//!                 [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]
+//! natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]
+//! natix soak      [--quick] [--corruption] [--group-commit] [--bulkload] [--seed N]
+//!                 [--replay <script>]
 //! natix stress    [--quick] [--seed N] [--runs N]
 //! ```
+//!
+//! `natix bulkload` streams a document corpus into a sharded collection:
+//! `--shards` independent store files under `<dir>` plus a catalog,
+//! loaded by `--threads` parallel workers through the streaming
+//! SAX-to-record pipeline (memory stays O(depth + sibling budget + K)
+//! per in-flight document regardless of corpus size). The corpus is
+//! either explicit `--input` files (each one document, in id order) or
+//! `--docs N` synthetic small documents cycling the six Table 1
+//! generators. `natix collection` inspects the result: `stats` prints a
+//! per-shard table, `dump` extracts one document by id, and `fsck`
+//! scrubs every shard independently — damage in one shard is localized
+//! and never blocks checking the others.
 //!
 //! `natix fsck` scrubs a store file — header slots, pending journal,
 //! catalog, page checksums, and the full partition-record graph — and
@@ -69,7 +85,10 @@ use natix_core::{
     ghdw_with_statistics, parallel, Bfs, CachedDhw, CachedGhdw, Dfs, Dhw, DpStats, Ekm, Ghdw, Km,
     Lukes, ParallelDhw, ParallelGhdw, Partitioner, Rs,
 };
-use natix_store::{bulkload_with, fsck, FilePager, OpenMode, StoreConfig, XmlStore};
+use natix_store::{
+    bulkload_collection, bulkload_with, fsck, fsck_collection, BulkloadOptions, Collection,
+    FilePager, OpenMode, StoreConfig, XmlStore,
+};
 use natix_tree::validate;
 use natix_xml::NodeKind;
 use natix_xpath::{eval_query, StoreNavigator};
@@ -84,7 +103,11 @@ fn usage() -> ExitCode {
          natix dump <store.natix> [--degraded] [--pool-pages N]\n  \
          natix stats <store.natix> [--pool-pages N]\n  \
          natix fsck <store.natix> [--repair]\n  \
-         natix soak [--quick] [--corruption] [--group-commit] [--seed N] [--replay <script>]\n  \
+         natix bulkload <dir> [--input <file.xml>]... [--docs N] [--shards N] [--threads N] \
+         [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]\n  \
+         natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]\n  \
+         natix soak [--quick] [--corruption] [--group-commit] [--bulkload] [--seed N] \
+         [--replay <script>]\n  \
          natix stress [--quick] [--seed N] [--runs N]\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
@@ -437,6 +460,156 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `natix bulkload`: stream a corpus into a sharded collection. The
+/// corpus is `--input` files (one document each, in id order) or
+/// `--docs N` synthetic small documents from the Table 1 generators.
+fn cmd_bulkload(args: &[String]) -> Result<(), String> {
+    let (pool_pages, args) = extract_pool_pages(args)?;
+    let dir = args.first().ok_or("missing <dir>")?.clone();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut docs = 10_000usize;
+    let mut seed = 42u64;
+    let mut opts = BulkloadOptions::default();
+    let mut k: natix_tree::Weight = 256;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or(format!("missing value for {name}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{name} expects a non-negative integer"))
+        };
+        match a.as_str() {
+            "--input" => {
+                inputs.push(it.next().ok_or("missing value for --input")?.clone());
+            }
+            "--docs" => docs = num("--docs")? as usize,
+            "--seed" => seed = num("--seed")?,
+            "--shards" => opts.shards = num("--shards")? as u32,
+            "--threads" => opts.threads = num("--threads")? as usize,
+            "--seg-docs" => opts.seg_docs = num("--seg-docs")? as usize,
+            "--budget" => opts.sibling_budget = num("--budget")? as usize,
+            "--k" => k = num("--k")?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let config = StoreConfig {
+        record_limit_slots: k,
+        ..store_config(pool_pages)
+    };
+    let start = std::time::Instant::now();
+    let report = if inputs.is_empty() {
+        bulkload_collection(
+            Path::new(&dir),
+            natix_datagen::small_docs(docs, seed),
+            config,
+            opts,
+        )
+    } else {
+        let mut read = Vec::with_capacity(inputs.len());
+        for path in &inputs {
+            read.push(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
+        }
+        bulkload_collection(Path::new(&dir), read, config, opts)
+    }
+    .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "loaded {} documents ({} records) into {} shard(s) with {} thread(s) in {:.2}s ({:.0} docs/s)",
+        report.docs,
+        report.records,
+        opts.shards,
+        opts.threads,
+        secs,
+        report.docs as f64 / secs.max(1e-9)
+    );
+    println!(
+        "peak resident: loader {} KB, shard pools {} KB",
+        report.peak_loader_resident.div_ceil(1024),
+        report.peak_pool_resident.div_ceil(1024)
+    );
+    for (s, n) in report.shard_docs.iter().enumerate() {
+        println!("shard {s:>4}: {n} docs");
+    }
+    Ok(())
+}
+
+/// `natix collection`: inspect a sharded collection. `stats` prints a
+/// per-shard table, `dump <doc-id>` extracts one document, `fsck`
+/// scrubs every shard independently.
+fn cmd_collection(args: &[String]) -> Result<(), String> {
+    let sub = args.first().ok_or("missing subcommand (stats|dump|fsck)")?;
+    match sub.as_str() {
+        "stats" => {
+            let (pool_pages, rest) = extract_pool_pages(&args[1..])?;
+            let dir = rest.first().ok_or("missing <dir>")?;
+            let mut coll = Collection::open(Path::new(dir), store_config(pool_pages))
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let stats = coll.stats().map_err(|e| e.to_string())?;
+            println!("shards   : {}", coll.shard_count());
+            println!("documents: {}", coll.doc_count());
+            println!(
+                "{:>6} {:>10} {:>12} {:>8}",
+                "shard", "docs", "records", "pages"
+            );
+            for (s, (docs, records, pages)) in stats.iter().enumerate() {
+                println!("{s:>6} {docs:>10} {records:>12} {pages:>8}");
+            }
+            let problems = coll.check().map_err(|e| e.to_string())?;
+            if problems.is_empty() {
+                println!("consistency: ok");
+                Ok(())
+            } else {
+                for (s, msg) in &problems {
+                    eprintln!("shard {s}: {msg}");
+                }
+                Err(format!("{} shard(s) inconsistent", problems.len()))
+            }
+        }
+        "dump" => {
+            let (pool_pages, rest) = extract_pool_pages(&args[1..])?;
+            let dir = rest.first().ok_or("missing <dir>")?;
+            let doc_id: u64 = rest
+                .get(1)
+                .ok_or("missing <doc-id>")?
+                .parse()
+                .map_err(|_| "<doc-id> expects a non-negative integer".to_string())?;
+            let mut coll = Collection::open(Path::new(dir), store_config(pool_pages))
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let doc = coll.get_document(doc_id).map_err(|e| e.to_string())?;
+            println!("{}", doc.to_xml());
+            Ok(())
+        }
+        "fsck" => {
+            let dir = args.get(1).ok_or("missing <dir>")?;
+            let repair = args.iter().any(|a| a == "--repair");
+            if let Some(bad) = args[2..].iter().find(|a| a.as_str() != "--repair") {
+                return Err(format!("unknown option {bad}"));
+            }
+            let reports = fsck_collection(Path::new(dir), repair).map_err(|e| e.to_string())?;
+            let mut dirty = 0usize;
+            for (s, report) in &reports {
+                if report.clean() {
+                    println!("shard {s}: clean");
+                } else {
+                    dirty += 1;
+                    println!("shard {s}: {} error(s)", report.errors());
+                    print!("{report}");
+                }
+            }
+            if dirty == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{dirty}/{} shard(s) damaged; healthy shards unaffected",
+                    reports.len()
+                ))
+            }
+        }
+        other => Err(format!("unknown collection subcommand {other}")),
+    }
+}
+
 /// Drop guard for `natix soak`: unless disarmed by a clean finish, it
 /// prints the seeds in play and the exact command line to reproduce —
 /// on failure exits *and* on panics anywhere in the harness, so a crash
@@ -497,6 +670,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut corruption = false;
     let mut group_commit = false;
+    let mut bulkload = false;
     let mut seed: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut it = args.iter();
@@ -505,6 +679,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             "--quick" => quick = true,
             "--corruption" => corruption = true,
             "--group-commit" => group_commit = true,
+            "--bulkload" => bulkload = true,
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -529,6 +704,35 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             outcome.ops_applied, outcome.ops_skipped, outcome.crash_points
         );
         return Ok(());
+    }
+    if bulkload {
+        if corruption || group_commit {
+            return Err(
+                "--bulkload is mutually exclusive with --corruption and --group-commit".to_string(),
+            );
+        }
+        let cfg = if quick {
+            natix_testkit::BulkCampaignConfig::quick()
+        } else {
+            natix_testkit::BulkCampaignConfig::full()
+        };
+        let report = natix_testkit::run_bulkload_campaign(&cfg, |line| eprintln!("  {line}"));
+        for f in &report.failures {
+            eprintln!("FAIL {f}");
+        }
+        println!(
+            "soak ({}, bulkload): {}",
+            if quick { "quick" } else { "full" },
+            report.summary()
+        );
+        return if report.ok() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} failure(s) printed above",
+                report.failures.len()
+            ))
+        };
     }
     if group_commit {
         if corruption {
@@ -690,6 +894,8 @@ fn main() -> ExitCode {
         "dump" => cmd_dump(rest),
         "stats" => cmd_stats(rest),
         "fsck" => cmd_fsck(rest),
+        "bulkload" => cmd_bulkload(rest),
+        "collection" => cmd_collection(rest),
         "soak" => cmd_soak(rest),
         "stress" => cmd_stress(rest),
         "--help" | "-h" | "help" => return usage(),

@@ -63,7 +63,7 @@ pub use km::Km;
 pub use lukes::{lukes, EdgeValues, Lukes, LukesResult, TableEdgeValues, UnitEdgeValues};
 pub use parallel::{ParallelDhw, ParallelGhdw};
 pub use rs::Rs;
-pub use streaming::StreamingEkm;
+pub use streaming::{PendingChild, SekmDriver, StreamingEkm};
 
 use std::fmt;
 

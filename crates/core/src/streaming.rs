@@ -10,11 +10,21 @@
 //! quality of the result, [but] achieves an upper bound for the memory
 //! usage that is proportional to the document height"*.
 //!
-//! [`StreamingEkm`] implements exactly that: it traverses the tree in
-//! document order (the order a SAX parser delivers events), keeps only the
-//! open-element path plus, per open element, one small summary per pending
-//! child subtree, and flushes the oldest pending children into partitions
-//! whenever a sibling list outgrows the configured budget.
+//! The algorithm lives in [`SekmDriver`], an event-driven core that
+//! consumes open/close events (the order a SAX parser delivers them) and
+//! emits finished sibling intervals through a callback as soon as they
+//! are decided. It keeps only the open-element path plus, per open
+//! element, one small summary per pending child subtree, and flushes the
+//! oldest pending children into partitions whenever a sibling list
+//! outgrows the configured budget. [`StreamingEkm`] drives it from a
+//! materialized [`Tree`]; the store's streaming bulkloader drives the
+//! same core directly from parser events.
+//!
+//! Cut intervals are emitted in a deterministic order with the root
+//! interval **last** — every non-root interval is decided (and emitted)
+//! before its parent's interval, so a loader that numbers records in
+//! emission order can resolve child→parent links by patching exactly the
+//! already-emitted records of the parent's children.
 //!
 //! With an unbounded budget the decision schedule is a different — but
 //! equivalent — topological order of EKM's binary-tree dependencies, so
@@ -28,17 +38,197 @@ use crate::{check_input, PartitionError, Partitioner};
 /// its own children remain attached, the sibling run they form (the
 /// "first-child chain" of the binary representation, cuttable later).
 #[derive(Clone, Copy)]
-struct PendingChild {
+pub struct PendingChild<H: Copy> {
     /// First sibling covered by this entry (normally the child itself;
     /// budget flushes coalesce consecutive siblings into one entry).
-    first: NodeId,
+    pub first: H,
     /// Last sibling covered.
-    last: NodeId,
+    pub last: H,
     /// Residual weight of everything still attached under `first..=last`.
-    residual: Weight,
+    pub residual: Weight,
     /// Attached children run of a single-child entry: `(first, last,
     /// weight)`; `None` for coalesced entries.
-    inner: Option<(NodeId, NodeId, Weight)>,
+    pub inner: Option<(H, H, Weight)>,
+}
+
+/// One open element: its handle, own weight, and the summaries of its
+/// already-closed children.
+struct OpenFrame<H: Copy> {
+    handle: H,
+    weight: Weight,
+    pending: Vec<PendingChild<H>>,
+}
+
+/// The streaming-EKM core as an event consumer: feed it `open(handle,
+/// weight)` / `close(k, cut)` in document order and it emits each decided
+/// sibling interval `cut(first, last)` as early as possible, buffering at
+/// most `sibling_budget` pending child summaries per open element (plus
+/// the open path itself).
+///
+/// `H` is an opaque node handle — [`StreamingEkm`] uses [`NodeId`]s of a
+/// materialized tree, the store's bulkloader uses ids into its bounded
+/// node slab. Handles only need to be `Copy`; the driver never inspects
+/// them.
+pub struct SekmDriver<H: Copy> {
+    sibling_budget: usize,
+    stack: Vec<OpenFrame<H>>,
+}
+
+impl<H: Copy> SekmDriver<H> {
+    /// Driver with the given per-element pending-children budget
+    /// (`usize::MAX` reproduces [`crate::Ekm`] exactly).
+    pub fn new(sibling_budget: usize) -> SekmDriver<H> {
+        SekmDriver {
+            sibling_budget,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Open-tag event. `weight` is the node's own weight (1 slot for an
+    /// element; childless kinds — attributes, text, comments, PIs — are
+    /// delivered as an open immediately followed by a close).
+    pub fn open(&mut self, handle: H, weight: Weight) {
+        self.stack.push(OpenFrame {
+            handle,
+            weight,
+            pending: Vec::new(),
+        });
+    }
+
+    /// Close-tag event for the innermost open node. Every sibling
+    /// interval decided by this event is emitted through `cut` in
+    /// deterministic order. Returns `true` when this closed the root
+    /// (the final `cut` of that call is the root's own interval).
+    ///
+    /// The caller must have verified `weight(v) <= k` for every node (see
+    /// [`check_input`]); the driver debug-asserts it.
+    pub fn close(&mut self, k: Weight, cut: &mut dyn FnMut(H, H)) -> bool {
+        let frame = self.stack.pop().expect("close without matching open");
+        let summary = close_frame(k, frame, cut);
+        match self.stack.last_mut() {
+            Some(parent) => {
+                parent.pending.push(summary);
+                if parent.pending.len() > self.sibling_budget {
+                    flush_oldest(k, &mut parent.pending, self.sibling_budget, cut);
+                }
+                false
+            }
+            None => {
+                // Root closed: force the root partition under K, then
+                // emit the root interval itself — always last.
+                let mut residual = summary.residual;
+                let mut inner = summary.inner;
+                while residual > k {
+                    let (f, l, w) = inner.expect("w(root) <= K was checked");
+                    cut(f, l);
+                    residual -= w;
+                    inner = None;
+                }
+                cut(summary.first, summary.last);
+                true
+            }
+        }
+    }
+
+    /// Number of currently open elements (the ancestor path).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Total buffered pending-child summaries across all open elements —
+    /// the `O(depth + sibling_budget)` part of the loader's resident
+    /// state.
+    pub fn buffered_entries(&self) -> usize {
+        self.stack.iter().map(|f| f.pending.len()).sum()
+    }
+}
+
+/// Close event: resolve the sibling chain of the frame's children right
+/// to left, cutting the heavier side (attached-children run vs
+/// right-sibling run) while a binary fragment exceeds `k` — the KM step
+/// on the binary representation, scheduled at parent-close time.
+fn close_frame<H: Copy>(
+    k: Weight,
+    frame: OpenFrame<H>,
+    cut: &mut dyn FnMut(H, H),
+) -> PendingChild<H> {
+    // The still-attached run to our right: (first, last, weight).
+    let mut right: Option<(H, H, Weight)> = None;
+    for entry in frame.pending.iter().rev() {
+        let mut residual = entry.residual;
+        let mut inner = entry.inner;
+        loop {
+            let total = residual + right.map_or(0, |r| r.2);
+            if total <= k {
+                break;
+            }
+            let iw = inner.map_or(0, |i| i.2);
+            let rw = right.map_or(0, |r| r.2);
+            debug_assert!(iw > 0 || rw > 0, "single nodes fit (checked input)");
+            if iw >= rw {
+                let (f, l, w) = inner.expect("iw > 0");
+                cut(f, l);
+                residual -= w;
+                inner = None;
+            } else {
+                let (f, l, _) = right.expect("rw > 0");
+                cut(f, l);
+                right = None;
+            }
+        }
+        let last = right.map_or(entry.last, |r| r.1);
+        let weight = residual + right.map_or(0, |r| r.2);
+        right = Some((entry.first, last, weight));
+    }
+    PendingChild {
+        first: frame.handle,
+        last: frame.handle,
+        residual: frame.weight + right.map_or(0, |r| r.2),
+        inner: right,
+    }
+}
+
+/// Budget exceeded: compact the buffer from the left. Consecutive oldest
+/// entries whose combined residual fits `K` are coalesced into one
+/// aggregated entry (the run can still stay with the parent, or be cut as
+/// one interval, but can no longer be cut *partially* — the quality cost
+/// of bounded memory); when the two oldest cannot merge, the oldest run is
+/// emitted as a partition immediately.
+fn flush_oldest<H: Copy>(
+    k: Weight,
+    pending: &mut Vec<PendingChild<H>>,
+    budget: usize,
+    cut: &mut dyn FnMut(H, H),
+) {
+    let keep = (budget / 2).max(1);
+    while pending.len() > keep {
+        let a = pending[0];
+        let b = pending[1];
+        if a.residual + b.residual <= k {
+            pending[0] = PendingChild {
+                first: a.first,
+                last: b.last,
+                residual: a.residual + b.residual,
+                inner: None,
+            };
+            pending.remove(1);
+        } else {
+            // An un-flushed entry may still carry a deferred cut decision
+            // (its residual can exceed K until the parent level resolves
+            // it); emitting it as a partition forces the cut now.
+            let mut a = a;
+            while a.residual > k {
+                let (f, l, w) = a
+                    .inner
+                    .expect("residual > K implies an attached children run");
+                cut(f, l);
+                a.residual -= w;
+                a.inner = None;
+            }
+            cut(a.first, a.last);
+            pending.remove(0);
+        }
+    }
 }
 
 /// EKM over a document-ordered event stream with bounded buffering.
@@ -69,11 +259,6 @@ impl StreamingEkm {
     }
 }
 
-struct Open {
-    node: NodeId,
-    pending: Vec<PendingChild>,
-}
-
 impl Partitioner for StreamingEkm {
     fn name(&self) -> &'static str {
         "SEKM"
@@ -82,144 +267,29 @@ impl Partitioner for StreamingEkm {
     fn partition(&self, tree: &Tree, k: Weight) -> Result<Partitioning, PartitionError> {
         check_input(tree, k)?;
         let mut p = Partitioning::new();
-        p.push(SiblingInterval::singleton(tree.root()));
+        let mut cut = |f: NodeId, l: NodeId| p.push(SiblingInterval::new(f, l));
+        let mut driver: SekmDriver<NodeId> = SekmDriver::new(self.sibling_budget);
 
         // Simulated SAX traversal: explicit open stack, child cursor.
-        let mut stack: Vec<(Open, usize)> = vec![(
-            Open {
-                node: tree.root(),
-                pending: Vec::new(),
-            },
-            0,
-        )];
-        while let Some((open, cursor)) = stack.last_mut() {
-            let children = tree.children(open.node);
+        driver.open(tree.root(), tree.weight(tree.root()));
+        let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+        while let Some((node, cursor)) = stack.last_mut() {
+            let children = tree.children(*node);
             if *cursor < children.len() {
                 let c = children[*cursor];
                 *cursor += 1;
-                stack.push((
-                    Open {
-                        node: c,
-                        pending: Vec::new(),
-                    },
-                    0,
-                ));
+                driver.open(c, tree.weight(c));
+                stack.push((c, 0));
                 continue;
             }
-            // Close event for `open.node`.
-            let (open, _) = stack.pop().expect("non-empty");
-            let summary = close(tree, k, open, &mut p);
-            match stack.last_mut() {
-                Some((parent, _)) => {
-                    parent.pending.push(summary);
-                    if parent.pending.len() > self.sibling_budget {
-                        flush_oldest(tree, k, &mut parent.pending, self.sibling_budget, &mut p);
-                    }
-                }
-                None => {
-                    // Root closed: force the root partition under K.
-                    let mut residual = summary.residual;
-                    let mut inner = summary.inner;
-                    while residual > k {
-                        let (f, l, w) = inner.expect("w(root) <= K was checked");
-                        p.push(SiblingInterval::new(f, l));
-                        residual -= w;
-                        inner = None;
-                    }
-                }
-            }
+            stack.pop();
+            driver.close(k, &mut cut);
         }
         Ok(p)
     }
 
     fn is_main_memory_friendly(&self) -> bool {
         true
-    }
-}
-
-/// Close event: resolve the sibling chain of `open`'s children right to
-/// left, cutting the heavier side (attached-children run vs right-sibling
-/// run) while a binary fragment exceeds `k` — the KM step on the binary
-/// representation, scheduled at parent-close time.
-fn close(tree: &Tree, k: Weight, open: Open, p: &mut Partitioning) -> PendingChild {
-    // The still-attached run to our right: (first, last, weight).
-    let mut right: Option<(NodeId, NodeId, Weight)> = None;
-    for entry in open.pending.iter().rev() {
-        let mut residual = entry.residual;
-        let mut inner = entry.inner;
-        loop {
-            let total = residual + right.map_or(0, |r| r.2);
-            if total <= k {
-                break;
-            }
-            let iw = inner.map_or(0, |i| i.2);
-            let rw = right.map_or(0, |r| r.2);
-            debug_assert!(iw > 0 || rw > 0, "single nodes fit (checked input)");
-            if iw >= rw {
-                let (f, l, w) = inner.expect("iw > 0");
-                p.push(SiblingInterval::new(f, l));
-                residual -= w;
-                inner = None;
-            } else {
-                let (f, l, _) = right.expect("rw > 0");
-                p.push(SiblingInterval::new(f, l));
-                right = None;
-            }
-        }
-        let last = right.map_or(entry.last, |r| r.1);
-        let weight = residual + right.map_or(0, |r| r.2);
-        right = Some((entry.first, last, weight));
-    }
-    PendingChild {
-        first: open.node,
-        last: open.node,
-        residual: tree.weight(open.node) + right.map_or(0, |r| r.2),
-        inner: right,
-    }
-}
-
-/// Budget exceeded: compact the buffer from the left. Consecutive oldest
-/// entries whose combined residual fits `K` are coalesced into one
-/// aggregated entry (the run can still stay with the parent, or be cut as
-/// one interval, but can no longer be cut *partially* — the quality cost
-/// of bounded memory); when the two oldest cannot merge, the oldest run is
-/// emitted as a partition immediately.
-fn flush_oldest(
-    tree: &Tree,
-    k: Weight,
-    pending: &mut Vec<PendingChild>,
-    budget: usize,
-    p: &mut Partitioning,
-) {
-    let _ = tree;
-    let keep = (budget / 2).max(1);
-    while pending.len() > keep {
-        let a = pending[0];
-        let b = pending[1];
-        if a.residual + b.residual <= k {
-            pending[0] = PendingChild {
-                first: a.first,
-                last: b.last,
-                residual: a.residual + b.residual,
-                inner: None,
-            };
-            pending.remove(1);
-        } else {
-            // An un-flushed entry may still carry a deferred cut decision
-            // (its residual can exceed K until the parent level resolves
-            // it); emitting it as a partition forces the cut now.
-            let mut a = a;
-            while a.residual > k {
-                let (f, l, w) = a
-                    .inner
-                    .expect("residual > K implies an attached children run");
-                p.push(SiblingInterval::new(f, l));
-                a.residual -= w;
-                a.inner = None;
-            }
-            p.push(SiblingInterval::new(a.first, a.last));
-            pending.remove(0);
-        }
     }
 }
 
@@ -250,6 +320,30 @@ mod tests {
                 normalized(&ekm),
                 normalized(&sekm),
                 "{spec} K={k}: streaming EKM diverged from EKM"
+            );
+        }
+    }
+
+    /// The streaming loader numbers records in emission order and relies
+    /// on the root interval arriving last (children before parents).
+    #[test]
+    fn root_interval_emitted_last() {
+        for (spec, k, budget) in [
+            ("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)", 5, usize::MAX),
+            ("a:2(b:3(c:4(d:5) e:1) f:2(g:3 h:4) i:1)", 9, usize::MAX),
+            ("a:1(b:3 c:3 d:3 e:3 f:3 g:3)", 4, 2),
+        ] {
+            let t = parse_spec(spec).unwrap();
+            let p = StreamingEkm {
+                sibling_budget: budget,
+            }
+            .partition(&t, k)
+            .unwrap();
+            let last = p.intervals.last().expect("non-empty");
+            assert_eq!(
+                (last.first, last.last),
+                (t.root(), t.root()),
+                "{spec} K={k}: root interval must be emitted last"
             );
         }
     }

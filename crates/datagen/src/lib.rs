@@ -92,6 +92,54 @@ pub fn evaluation_suite(scale: f64, seed: u64) -> Vec<(&'static str, Document)> 
     ]
 }
 
+/// Lazy corpus of `n` small documents cycling the six Table 1
+/// generators at their minimum size (scale 0 pins every generator to
+/// its structural minimum — tens of nodes per document).
+///
+/// Documents are produced one at a time, so a bulkload over the
+/// iterator holds O(1) documents in memory no matter how large `n` is.
+/// Deterministic: document `i` depends only on `seed + i`.
+pub fn small_docs(n: usize, seed: u64) -> SmallDocs {
+    SmallDocs { next: 0, n, seed }
+}
+
+/// Iterator returned by [`small_docs`].
+pub struct SmallDocs {
+    next: usize,
+    n: usize,
+    seed: u64,
+}
+
+impl Iterator for SmallDocs {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        if self.next >= self.n {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let cfg = GenConfig {
+            scale: 0.0,
+            seed: self.seed.wrapping_add(i as u64),
+        };
+        let doc = match i % 6 {
+            0 => sigmod(cfg),
+            1 => mondial(cfg),
+            2 => partsupp(cfg),
+            3 => uwm(cfg),
+            4 => orders(cfg),
+            _ => xmark(cfg),
+        };
+        Some(doc.to_xml())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n - self.next;
+        (left, Some(left))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +160,21 @@ mod tests {
             seed: 8,
         });
         assert_ne!(a.to_xml(), c.to_xml());
+    }
+
+    #[test]
+    fn small_docs_are_small_lazy_and_deterministic() {
+        let a: Vec<String> = small_docs(12, 9).collect();
+        let b: Vec<String> = small_docs(12, 9).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        for (i, xml) in a.iter().enumerate() {
+            assert!(xml.len() < 64 * 1024, "doc {i} too large: {}", xml.len());
+            assert!(xml.starts_with('<'), "doc {i} not XML");
+        }
+        // Different seeds give different corpora.
+        let c: Vec<String> = small_docs(12, 10).collect();
+        assert_ne!(a, c);
     }
 
     #[test]

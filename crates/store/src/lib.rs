@@ -23,7 +23,9 @@
 //! cache costs page reads plus a record decode. Fewer partitions therefore
 //! mean faster navigation — which is what Table 3 measures.
 
+mod bulkload;
 mod catalog;
+mod collection;
 mod concurrent;
 mod fsck;
 mod journal;
@@ -33,6 +35,11 @@ mod record;
 mod store;
 mod update;
 
+pub use bulkload::{stream_append_document, stream_bulkload, BulkloadError, LoadStats};
+pub use collection::{
+    bulkload_collection, bulkload_collection_with, fsck_collection, read_catalog, shard_path,
+    BulkloadOptions, BulkloadReport, Collection, ShardBackendFactory, ShardSegment, CATALOG_FILE,
+};
 pub use concurrent::{
     AdmissionConfig, BatchOp, ConcurrencyStats, PagerFactory, ServedRead, SharedStore, Snapshot,
     WriteGuard,

@@ -254,6 +254,31 @@ impl<'a> SlottedPage<'a> {
         Some(&self.buf[start..end])
     }
 
+    /// Mutable view of a record payload, for in-place byte patches (the
+    /// streaming bulkloader fixes up parent back-links this way). Payload
+    /// offsets are stable — deletes only tombstone, nothing is ever
+    /// compacted — so a patch can land any time after the insert. Same
+    /// bounds rules as [`SlottedPage::get`].
+    pub fn get_mut(&mut self, slot: u16) -> Option<&mut [u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let slot_off = HEADER + SLOT * slot as usize;
+        if slot_off + SLOT > PAGE_SIZE {
+            return None;
+        }
+        let len = self.read_u16(slot_off + 2);
+        if len == DEAD {
+            return None;
+        }
+        let start = self.read_u16(slot_off) as usize;
+        let end = start.checked_add(len as usize)?;
+        if end > PAGE_SIZE {
+            return None;
+        }
+        Some(&mut self.buf[start..end])
+    }
+
     /// Tombstone a record (space is not compacted; bulkload never reuses
     /// it, matching an append-only import).
     pub fn delete(&mut self, slot: u16) -> bool {

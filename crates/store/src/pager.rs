@@ -1238,6 +1238,25 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Change the page budget at runtime. Growing takes effect lazily;
+    /// shrinking evicts immediately — clean victims first, then dirty
+    /// frames past the write-back floor — so a budget cut frees memory
+    /// now, not at some later fault. Pinned frames and dirty frames
+    /// below the floor may keep the pool above budget until the next
+    /// commit/unpin, exactly as under normal admission.
+    pub fn set_capacity(&mut self, capacity: usize) -> StoreResult<()> {
+        self.capacity = capacity.max(1);
+        while self.frames.len() > self.capacity {
+            if self.evict_one() {
+                continue;
+            }
+            if !self.evict_dirty_one()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Resident frames right now (may exceed capacity under pins or an
     /// all-dirty working set).
     pub fn resident(&self) -> usize {

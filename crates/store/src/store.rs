@@ -365,6 +365,111 @@ pub(crate) struct BatchState {
     ops: usize,
 }
 
+/// First-fit record placement over a small set of open pages, like a
+/// record manager that keeps a free-space inventory. Fragmentation is
+/// real and reported (paper Sec. 6.4).
+///
+/// Shared by the batch bulkloader and the streaming loader so that both
+/// paths produce byte-identical page layouts for the same record
+/// sequence.
+pub(crate) struct RecordPlacer {
+    /// (page, free bytes)
+    open_pages: Vec<(PageId, usize)>,
+}
+
+impl RecordPlacer {
+    const OPEN_LIMIT: usize = 8;
+
+    pub(crate) fn new() -> RecordPlacer {
+        RecordPlacer {
+            open_pages: Vec::new(),
+        }
+    }
+
+    /// Place one encoded record, returning its location. Records larger
+    /// than a page payload go to a dedicated overflow chain.
+    pub(crate) fn place(&mut self, pool: &mut BufferPool, bytes: &[u8]) -> StoreResult<RecordLoc> {
+        if bytes.len() > MAX_IN_PAGE {
+            let first_page = write_overflow_chain(pool, bytes)?;
+            return Ok(RecordLoc::Overflow {
+                first_page,
+                len: bytes.len() as u32,
+            });
+        }
+        let need = bytes.len() + 4; // payload + slot
+        let slot_page = self.open_pages.iter().position(|&(_, free)| free >= need);
+        let (page, pos) = match slot_page {
+            Some(pos) => (self.open_pages[pos].0, pos),
+            None => {
+                if self.open_pages.len() >= Self::OPEN_LIMIT {
+                    // Close the fullest page before opening a new one.
+                    let min = self
+                        .open_pages
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, free))| free)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    self.open_pages.swap_remove(min);
+                }
+                let page = pool.allocate()?;
+                pool.with_page(page, true, |buf| {
+                    SlottedPage::format(buf);
+                })?;
+                self.open_pages.push((page, PAYLOAD_SIZE - 4));
+                (page, self.open_pages.len() - 1)
+            }
+        };
+        let (slot, free) = pool.with_page(page, true, |buf| {
+            let mut sp = SlottedPage::new(buf);
+            let slot = sp.insert(bytes).expect("fit was checked");
+            (slot, sp.free_space())
+        })?;
+        self.open_pages[pos].1 = free;
+        Ok(RecordLoc::InPage { page, slot })
+    }
+}
+
+/// Assemble the in-memory [`XmlStore`] for a freshly bulkloaded backend
+/// whose epoch-1 header has just been flushed (batch and streaming
+/// loaders share this tail).
+pub(crate) fn assemble_fresh(
+    pool: BufferPool,
+    directory: Vec<RecordLoc>,
+    labels: Vec<Box<str>>,
+    label_ids: HashMap<Box<str>, u16>,
+    root_record: u32,
+    catalog: (PageId, Vec<u8>),
+    config: &StoreConfig,
+) -> XmlStore {
+    let (catalog_first_page, catalog_bytes) = catalog;
+    XmlStore {
+        pool,
+        directory,
+        labels,
+        label_ids,
+        root_record,
+        cache: RecordCache::new(config.record_cache),
+        nav: NavStats::default(),
+        last_fetched: NONE_U32,
+        record_limit: config.record_limit_slots,
+        open_page: None,
+        hot: None,
+        epoch: 1,
+        committed_catalog: (catalog_first_page, catalog_bytes.len() as u64),
+        committed_catalog_bytes: catalog_bytes,
+        format: 3,
+        mode: OpenMode::Strict,
+        quarantined: BTreeSet::new(),
+        defer_checkpoint: false,
+        pending_checkpoint: false,
+        committed_overlay: HashMap::new(),
+        last_commit_journal: (0, 0),
+        batch: None,
+        readahead_records: config.readahead_records,
+    }
+}
+
 impl XmlStore {
     /// Load `doc`, decomposed by `partitioning`, into a store over
     /// `backend`.
@@ -522,51 +627,10 @@ impl XmlStore {
         let header_slot1 = pool.allocate()?;
         debug_assert_eq!((header_slot0, header_slot1), (0, 1));
         let mut directory = Vec::with_capacity(p_count);
-        // (page, free bytes)
-        let mut open_pages: Vec<(PageId, usize)> = Vec::new();
-        const OPEN_LIMIT: usize = 8;
-
+        let mut placer = RecordPlacer::new();
         for (no, rec) in records.iter().enumerate() {
             let bytes = record::encode(rec, no as u32, 1);
-            if bytes.len() > MAX_IN_PAGE {
-                // Overflow chain of dedicated pages.
-                let first_page = write_overflow_chain(&mut pool, &bytes)?;
-                directory.push(RecordLoc::Overflow {
-                    first_page,
-                    len: bytes.len() as u32,
-                });
-                continue;
-            }
-            let need = bytes.len() + 4; // payload + slot
-            let slot_page = open_pages.iter().position(|&(_, free)| free >= need);
-            let (page, pos) = match slot_page {
-                Some(pos) => (open_pages[pos].0, pos),
-                None => {
-                    if open_pages.len() >= OPEN_LIMIT {
-                        // Close the fullest page before opening a new one.
-                        let min = open_pages
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, &(_, free))| free)
-                            .map(|(i, _)| i)
-                            .expect("non-empty");
-                        open_pages.swap_remove(min);
-                    }
-                    let page = pool.allocate()?;
-                    pool.with_page(page, true, |buf| {
-                        SlottedPage::format(buf);
-                    })?;
-                    open_pages.push((page, PAYLOAD_SIZE - 4));
-                    (page, open_pages.len() - 1)
-                }
-            };
-            let (slot, free) = pool.with_page(page, true, |buf| {
-                let mut sp = SlottedPage::new(buf);
-                let slot = sp.insert(&bytes).expect("fit was checked");
-                (slot, sp.free_space())
-            })?;
-            open_pages[pos].1 = free;
-            directory.push(RecordLoc::InPage { page, slot });
+            directory.push(placer.place(&mut pool, &bytes)?);
         }
         // Persist the catalog: directory + label table across dedicated
         // pages, located from the header page.
@@ -597,31 +661,15 @@ impl XmlStore {
         // floor so only future appends qualify for dirty write-back.
         pool.set_writeback_floor(pool.page_count());
 
-        Ok(XmlStore {
+        Ok(assemble_fresh(
             pool,
             directory,
             labels,
             label_ids,
             root_record,
-            cache: RecordCache::new(config.record_cache),
-            nav: NavStats::default(),
-            last_fetched: NONE_U32,
-            record_limit: config.record_limit_slots,
-            open_page: None,
-            hot: None,
-            epoch: 1,
-            committed_catalog: (catalog_first_page, catalog_bytes.len() as u64),
-            committed_catalog_bytes: catalog_bytes,
-            format: 3,
-            mode: OpenMode::Strict,
-            quarantined: BTreeSet::new(),
-            defer_checkpoint: false,
-            pending_checkpoint: false,
-            committed_overlay: HashMap::new(),
-            last_commit_journal: (0, 0),
-            batch: None,
-            readahead_records: config.readahead_records,
-        })
+            (catalog_first_page, catalog_bytes),
+            &config,
+        ))
     }
 
     /// Number of live (non-deleted) records.
@@ -1512,6 +1560,17 @@ impl XmlStore {
         self.pool.stats()
     }
 
+    /// Resident buffer-pool frames right now.
+    pub fn buffer_resident(&self) -> usize {
+        self.pool.resident()
+    }
+
+    /// Re-budget the buffer pool (see [`BufferPool::set_capacity`]):
+    /// shrinking evicts eagerly so a cut frees memory immediately.
+    pub fn set_buffer_capacity(&mut self, pages: usize) -> StoreResult<()> {
+        self.pool.set_capacity(pages)
+    }
+
     /// Number of records (= partitions).
     pub fn record_count(&self) -> usize {
         self.directory.len()
@@ -1532,6 +1591,13 @@ impl XmlStore {
     /// tests to prove the store preserves content and order.
     pub fn to_document(&mut self) -> StoreResult<Document> {
         let root = self.root()?;
+        self.subtree_to_document(root)
+    }
+
+    /// Rebuild the subtree rooted at `root` (which must be an element) as
+    /// a standalone document — the collection layer uses this to extract
+    /// one document from a shard whose store root fans out over many.
+    pub fn subtree_to_document(&mut self, root: NodeRef) -> StoreResult<Document> {
         let (kind, label, content) = self.with_node_in(root, |rec, n| {
             (n.kind, n.label, rec.content(n).map(str::to_string))
         })?;

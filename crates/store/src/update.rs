@@ -532,7 +532,7 @@ impl XmlStore {
     }
 
     /// Intern a label, growing the persistent label table.
-    fn intern_label(&mut self, name: &str) -> StoreResult<u16> {
+    pub(crate) fn intern_label(&mut self, name: &str) -> StoreResult<u16> {
         if let Some(id) = self.label_id(name) {
             return Ok(id);
         }
@@ -544,7 +544,7 @@ impl XmlStore {
     }
 
     /// Reserve a fresh record number.
-    fn reserve_record(&mut self) -> u32 {
+    pub(crate) fn reserve_record(&mut self) -> u32 {
         let no = self.directory.len() as u32;
         self.directory.push(RecordLoc::Free);
         no
@@ -612,7 +612,7 @@ impl XmlStore {
         Ok(())
     }
 
-    fn invalidate(&mut self, no: u32) {
+    pub(crate) fn invalidate(&mut self, no: u32) {
         self.cache.remove(no);
         if self.last_fetched == no {
             self.last_fetched = NONE_U32;

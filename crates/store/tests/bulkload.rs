@@ -1,0 +1,114 @@
+//! Streaming bulkload equivalence: the SAX-driven loader must produce a
+//! store that is **byte-identical** to the batch path (parse → partition
+//! with `StreamingEkm` → `XmlStore::bulkload`) for the same weight limit
+//! and sibling budget — same partitions, same record bytes, same page
+//! layout, same catalog. The tests diff entire page-file snapshots.
+
+use natix_core::{Partitioner, StreamingEkm};
+use natix_datagen::evaluation_suite;
+use natix_store::{stream_bulkload, SharedMemPager, StoreConfig, XmlStore};
+use natix_xml::Document;
+use proptest::prelude::*;
+
+fn config(k: u64) -> StoreConfig {
+    StoreConfig {
+        record_limit_slots: k,
+        ..StoreConfig::default()
+    }
+}
+
+/// Batch path: materialize, partition, bulkload; return the page file.
+fn batch_snapshot(doc: &Document, k: u64, budget: usize) -> Vec<u8> {
+    let p = StreamingEkm {
+        sibling_budget: budget,
+    }
+    .partition(doc.tree(), k)
+    .expect("feasible");
+    let disk = SharedMemPager::new();
+    let store = XmlStore::bulkload(doc, &p, Box::new(disk.clone()), config(k)).expect("bulkload");
+    drop(store);
+    disk.snapshot()
+}
+
+/// Streaming path: SAX-load the serialized document; return the page file.
+fn streaming_snapshot(xml: &str, k: u64, budget: usize) -> (Vec<u8>, natix_store::LoadStats) {
+    let disk = SharedMemPager::new();
+    let (store, stats) =
+        stream_bulkload(xml, budget, Box::new(disk.clone()), config(k)).expect("stream load");
+    drop(store);
+    (disk.snapshot(), stats)
+}
+
+fn assert_equivalent(name: &str, doc: &Document, k: u64, budget: usize) {
+    let xml = doc.to_xml();
+    let batch = batch_snapshot(doc, k, budget);
+    let (streaming, stats) = streaming_snapshot(&xml, k, budget);
+    assert_eq!(
+        batch.len(),
+        streaming.len(),
+        "{name} k={k} budget={budget}: page counts differ"
+    );
+    if batch != streaming {
+        let page = batch
+            .chunks(natix_store::PAGE_SIZE)
+            .zip(streaming.chunks(natix_store::PAGE_SIZE))
+            .position(|(a, b)| a != b);
+        panic!("{name} k={k} budget={budget}: snapshots differ at page {page:?}");
+    }
+    assert_eq!(stats.nodes, doc.tree().len() as u64, "{name}: node count");
+}
+
+/// Satellite check: every generator of the paper's Table 1 suite loads
+/// to identical bytes through both paths, at tight and default budgets.
+#[test]
+fn streaming_matches_batch_on_all_generators() {
+    for (name, doc) in evaluation_suite(0.05, 42) {
+        for &budget in &[0usize, 2, 8] {
+            assert_equivalent(name, &doc, 256, budget);
+        }
+        assert_equivalent(name, &doc, 64, 4);
+    }
+}
+
+/// The streaming loader never buffers the whole document: loading a flat
+/// document 16× wider must not grow the loader's peak resident bytes
+/// (the slab frees each record as it is cut).
+#[test]
+fn resident_bytes_stay_flat_as_documents_grow() {
+    let wide = |n: usize| {
+        let mut s = String::from("<r>");
+        for i in 0..n {
+            s.push_str(&format!("<item id=\"{i}\"><v>text {i}</v></item>"));
+        }
+        s.push_str("</r>");
+        s
+    };
+    let (_, small) = streaming_snapshot(&wide(500), 256, 8);
+    let (_, large) = streaming_snapshot(&wide(8000), 256, 8);
+    assert!(large.nodes > 15 * small.nodes);
+    assert!(
+        large.peak_resident_bytes <= 2 * small.peak_resident_bytes,
+        "peak grew with document size: {} -> {}",
+        small.peak_resident_bytes,
+        large.peak_resident_bytes
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random seeds, scales, budgets and limits: bytes always match.
+    #[test]
+    fn streaming_matches_batch_randomized(
+        seed in 0u64..1_000_000,
+        scale_pct in 1u32..8,
+        budget in 0usize..12,
+        k_idx in 0usize..4,
+    ) {
+        let k = [48u64, 128, 256, 512][k_idx];
+        let scale = scale_pct as f64 / 100.0;
+        for (name, doc) in evaluation_suite(scale, seed) {
+            assert_equivalent(name, &doc, k, budget);
+        }
+    }
+}

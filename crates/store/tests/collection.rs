@@ -1,0 +1,142 @@
+//! Collection layer: sharded parallel bulkload, catalog round-trip,
+//! cross-shard fsck, and thread-count independence of the shard bytes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use natix_store::{
+    bulkload_collection, fsck_collection, shard_path, BulkloadOptions, Collection, StoreConfig,
+};
+
+fn corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "<doc id=\"{i}\"><title>document {i}</title>\
+                 <body>payload text for document number {i}</body>\
+                 <tags><t>a{}</t><t>b{}</t></tags></doc>",
+                i % 7,
+                i % 3
+            )
+        })
+        .collect()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("natix-coll-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> StoreConfig {
+    StoreConfig {
+        record_limit_slots: 64,
+        ..StoreConfig::default()
+    }
+}
+
+#[test]
+fn collection_round_trips_every_document() {
+    let dir = temp_dir("roundtrip");
+    let docs = corpus(97);
+    let opts = BulkloadOptions {
+        shards: 4,
+        threads: 2,
+        seg_docs: 10,
+        ..BulkloadOptions::default()
+    };
+    let report = bulkload_collection(&dir, docs.iter().cloned(), config(), opts).expect("load");
+    assert_eq!(report.docs, 97);
+    assert_eq!(report.shard_docs.iter().sum::<u64>(), 97);
+    assert!(report.peak_loader_resident > 0);
+
+    let mut coll = Collection::open(&dir, config()).expect("open");
+    assert_eq!(coll.shard_count(), 4);
+    assert_eq!(coll.doc_count(), 97);
+    for (i, xml) in docs.iter().enumerate() {
+        let doc = coll.get_document(i as u64).expect("get_document");
+        assert_eq!(&doc.to_xml(), xml, "doc {i} round-trip");
+    }
+    assert!(coll.check().expect("check").is_empty(), "shards consistent");
+
+    for (shard, report) in fsck_collection(&dir, false).expect("fsck") {
+        assert!(report.clean(), "shard {shard} not clean:\n{report}");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_bytes_independent_of_thread_count() {
+    let docs = corpus(60);
+    let opts = |threads| BulkloadOptions {
+        shards: 3,
+        threads,
+        seg_docs: 8,
+        ..BulkloadOptions::default()
+    };
+    let d1 = temp_dir("threads1");
+    let d3 = temp_dir("threads3");
+    bulkload_collection(&d1, docs.iter().cloned(), config(), opts(1)).expect("1 thread");
+    bulkload_collection(&d3, docs.iter().cloned(), config(), opts(3)).expect("3 threads");
+    for s in 0..3 {
+        let a = fs::read(shard_path(&d1, s)).expect("shard file");
+        let b = fs::read(shard_path(&d3, s)).expect("shard file");
+        assert_eq!(a, b, "shard {s} bytes differ across thread counts");
+    }
+    fs::remove_dir_all(&d1).ok();
+    fs::remove_dir_all(&d3).ok();
+}
+
+#[test]
+fn torn_catalog_tail_is_ignored() {
+    let dir = temp_dir("torn");
+    let docs = corpus(40);
+    let opts = BulkloadOptions {
+        shards: 2,
+        threads: 1,
+        seg_docs: 5,
+        ..BulkloadOptions::default()
+    };
+    bulkload_collection(&dir, docs.iter().cloned(), config(), opts).expect("load");
+    let full = Collection::open(&dir, config()).expect("open").doc_count();
+    assert_eq!(full, 40);
+
+    // Chop the catalog mid-frame: the intact prefix must still open.
+    let cat = dir.join(natix_store::CATALOG_FILE);
+    let bytes = fs::read(&cat).expect("catalog");
+    fs::write(&cat, &bytes[..bytes.len() - 7]).expect("truncate");
+    let mut coll = Collection::open(&dir, config()).expect("open torn");
+    let n = coll.doc_count();
+    assert!(n < 40, "tail frame should be dropped");
+    // Every still-cataloged document remains readable.
+    for shard in 0..2u64 {
+        let mut local = 0;
+        loop {
+            let id = shard + local * 2;
+            if coll.doc_root(id).is_none() {
+                break;
+            }
+            coll.get_document(id).expect("cataloged doc readable");
+            local += 1;
+        }
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_document_fails_the_load() {
+    let dir = temp_dir("fail");
+    let heavy = "x".repeat(4096);
+    let docs = vec!["<a><b>ok</b></a>".to_string(), format!("<a>{heavy}</a>")];
+    let cfg = StoreConfig {
+        record_limit_slots: 16,
+        ..StoreConfig::default()
+    };
+    let opts = BulkloadOptions {
+        shards: 2,
+        threads: 1,
+        ..BulkloadOptions::default()
+    };
+    assert!(bulkload_collection(&dir, docs.into_iter(), cfg, opts).is_err());
+    fs::remove_dir_all(&dir).ok();
+}

@@ -178,3 +178,66 @@ proptest! {
         }
     }
 }
+
+/// Regression: shrinking the budget with `set_capacity` must evict
+/// *immediately* — a memory cut cannot wait for the next page fault.
+#[test]
+fn set_capacity_shrinks_eagerly() {
+    let mut pool = pool_under_test();
+    for p in 0..8 {
+        pool.with_page(p, false, |_| ()).unwrap();
+    }
+    assert_eq!(pool.resident(), CAPACITY, "warm pool at budget");
+    pool.set_capacity(2).unwrap();
+    assert_eq!(pool.capacity(), 2);
+    assert!(
+        pool.resident() <= 2,
+        "budget cut left {} resident frames",
+        pool.resident()
+    );
+    // Content must survive re-faulting.
+    for p in 0..8 {
+        let got = pool.with_page(p, false, |b| b[0]).unwrap();
+        assert_eq!(got, p as u8);
+    }
+}
+
+/// Dirty frames past the write-back floor are written back (not lost)
+/// by an eager shrink; pinned frames are tolerated above budget.
+#[test]
+fn set_capacity_writes_back_dirty_and_respects_pins() {
+    let mut pool = pool_under_test();
+    for p in 0..4u32 {
+        pool.with_page(p, true, |b| b[0] = 100 + p as u8).unwrap();
+    }
+    pool.pin_pages([0u32]);
+    pool.set_capacity(1).unwrap();
+    assert!(pool.is_resident(0), "pinned dirty frame evicted by shrink");
+    assert!(
+        pool.resident() <= 2,
+        "shrink left {} frames (budget 1 + 1 pin)",
+        pool.resident()
+    );
+    pool.unpin_pages([0u32]);
+    pool.flush().unwrap();
+    for p in 0..4u32 {
+        let got = pool.with_page(p, false, |b| b[0]).unwrap();
+        assert_eq!(got, 100 + p as u8, "dirty page {p} lost in shrink");
+    }
+}
+
+/// Growing the budget is lazy and harmless: capacity changes, nothing
+/// is evicted, and subsequent faults may fill the new headroom.
+#[test]
+fn set_capacity_grow_is_lazy() {
+    let mut pool = pool_under_test();
+    for p in 0..4 {
+        pool.with_page(p, false, |_| ()).unwrap();
+    }
+    pool.set_capacity(8).unwrap();
+    assert_eq!(pool.resident(), 4, "growing must not evict");
+    for p in 0..8 {
+        pool.with_page(p, false, |_| ()).unwrap();
+    }
+    assert_eq!(pool.resident(), 8, "pool fills to the new budget");
+}

@@ -32,11 +32,14 @@
 //! smoke tier, seconds) or [`CampaignConfig::full`] (≥1000 crash
 //! points); [`run_trace`] for a single trace; [`replay`] for scripts.
 
+mod bulk;
 mod chaos;
 mod fuzz;
 mod group;
 mod model;
 mod ops;
+
+pub use bulk::{run_bulkload_campaign, BulkCampaignConfig, BulkFailure, BulkReport};
 
 pub use chaos::{
     run_chaos, run_interleaving, ChaosConfig, ChaosFailure, ChaosReport, InterleavingStats,

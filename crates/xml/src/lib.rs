@@ -25,7 +25,9 @@ mod weight;
 mod writer;
 
 pub use document::{Document, DocumentBuilder, NodeKind};
-pub use parser::{parse, parse_with_options, ParseOptions, XmlError};
+pub use parser::{
+    parse, parse_sax, parse_with_options, ParseOptions, SaxError, SaxHandler, XmlError,
+};
 pub use weight::{content_slots, node_weight, SLOT_BYTES};
 pub use writer::summary;
 

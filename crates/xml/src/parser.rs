@@ -6,6 +6,17 @@
 //! processing instructions, an XML declaration and a (skipped) DOCTYPE.
 //! Namespaces are not interpreted (prefixed names are kept verbatim), and
 //! DTD entity definitions are not expanded.
+//!
+//! Two entry points share one scanner:
+//!
+//! * [`parse`] / [`parse_with_options`] build a [`Document`] (DOM),
+//! * [`parse_sax`] streams [`SaxHandler`] events without materializing
+//!   anything — the store's bulkloader feeds these straight into the
+//!   streaming partitioner, holding only the open-element path.
+//!
+//! The DOM build is itself a `SaxHandler` over the same event stream, so
+//! both paths see byte-identical event sequences (including the
+//! whitespace/comment/PI filtering of [`ParseOptions`]).
 
 use std::fmt;
 
@@ -54,6 +65,60 @@ impl Default for ParseOptions {
     }
 }
 
+/// Streaming event sink for [`parse_sax`].
+///
+/// Events arrive in document order: `start_element`, then that element's
+/// `attribute`s, then its content (text/comment/PI/child elements), then
+/// `end_element`. Childless node kinds have no close event of their own.
+/// The filtering of [`ParseOptions`] (whitespace text, comments, PIs) is
+/// applied *before* events are delivered, so every handler sees exactly
+/// the node sequence the DOM build would materialize.
+pub trait SaxHandler {
+    /// Handler-side failure; aborts the parse with [`SaxError::Handler`].
+    type Error;
+
+    /// `<name ...` — an element opens (attributes follow, then content).
+    fn start_element(&mut self, name: &str) -> Result<(), Self::Error>;
+    /// One attribute of the most recently opened element.
+    fn attribute(&mut self, name: &str, value: &str) -> Result<(), Self::Error>;
+    /// A text node (adjacent text/CDATA runs arrive merged, entities
+    /// resolved).
+    fn text(&mut self, data: &str) -> Result<(), Self::Error>;
+    /// A comment node.
+    fn comment(&mut self, data: &str) -> Result<(), Self::Error>;
+    /// A processing instruction.
+    fn processing_instruction(&mut self, target: &str, data: &str) -> Result<(), Self::Error>;
+    /// The most recently opened element closes (`</name>` or `/>`).
+    fn end_element(&mut self) -> Result<(), Self::Error>;
+}
+
+/// Failure of a [`parse_sax`] run: either the input is malformed, or the
+/// handler aborted.
+#[derive(Debug)]
+pub enum SaxError<E> {
+    /// The input is not well-formed XML.
+    Xml(XmlError),
+    /// The handler returned an error.
+    Handler(E),
+}
+
+impl<E> From<XmlError> for SaxError<E> {
+    fn from(e: XmlError) -> Self {
+        SaxError::Xml(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for SaxError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaxError::Xml(e) => e.fmt(f),
+            SaxError::Handler(e) => write!(f, "handler error: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for SaxError<E> {}
+
 /// Parse with default [`ParseOptions`].
 pub fn parse(input: &str) -> Result<Document, XmlError> {
     parse_with_options(input, ParseOptions::default())
@@ -61,12 +126,95 @@ pub fn parse(input: &str) -> Result<Document, XmlError> {
 
 /// Parse with explicit options.
 pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, XmlError> {
+    let mut sink = DomSink {
+        b: None,
+        stack: Vec::new(),
+    };
+    match parse_sax(input, options, &mut sink) {
+        Ok(()) => Ok(sink.b.expect("a parsed document has a root").build()),
+        Err(SaxError::Xml(e)) => Err(e),
+        Err(SaxError::Handler(never)) => match never {},
+    }
+}
+
+/// Stream `input` through `handler` without materializing a document.
+pub fn parse_sax<H: SaxHandler>(
+    input: &str,
+    options: ParseOptions,
+    handler: &mut H,
+) -> Result<(), SaxError<H::Error>> {
     Parser {
         src: input.as_bytes(),
         pos: 0,
         options,
     }
-    .document()
+    .document(handler)
+}
+
+/// The DOM build as a SAX sink: both [`parse_with_options`] and any
+/// streaming consumer observe the same event stream.
+struct DomSink {
+    b: Option<DocumentBuilder>,
+    stack: Vec<NodeId>,
+}
+
+impl DomSink {
+    fn parent(&self) -> NodeId {
+        *self.stack.last().expect("events arrive inside the root")
+    }
+}
+
+impl SaxHandler for DomSink {
+    type Error = std::convert::Infallible;
+
+    fn start_element(&mut self, name: &str) -> Result<(), Self::Error> {
+        match &mut self.b {
+            None => {
+                self.b = Some(DocumentBuilder::new(name));
+                self.stack.push(NodeId::ROOT);
+            }
+            Some(b) => {
+                let id = b.element(self.stack.last().copied().expect("non-root"), name);
+                self.stack.push(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) -> Result<(), Self::Error> {
+        let parent = self.parent();
+        self.b
+            .as_mut()
+            .expect("root open")
+            .attribute(parent, name, value);
+        Ok(())
+    }
+
+    fn text(&mut self, data: &str) -> Result<(), Self::Error> {
+        let parent = self.parent();
+        self.b.as_mut().expect("root open").text(parent, data);
+        Ok(())
+    }
+
+    fn comment(&mut self, data: &str) -> Result<(), Self::Error> {
+        let parent = self.parent();
+        self.b.as_mut().expect("root open").comment(parent, data);
+        Ok(())
+    }
+
+    fn processing_instruction(&mut self, target: &str, data: &str) -> Result<(), Self::Error> {
+        let parent = self.parent();
+        self.b
+            .as_mut()
+            .expect("root open")
+            .processing_instruction(parent, target, data);
+        Ok(())
+    }
+
+    fn end_element(&mut self) -> Result<(), Self::Error> {
+        self.stack.pop();
+        Ok(())
+    }
 }
 
 struct Parser<'a> {
@@ -211,7 +359,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn document(&mut self) -> Result<Document, XmlError> {
+    fn document<H: SaxHandler>(&mut self, h: &mut H) -> Result<(), SaxError<H::Error>> {
         // Optional BOM.
         if self.starts_with(b"\xEF\xBB\xBF") {
             self.pos += 3;
@@ -219,9 +367,17 @@ impl<'a> Parser<'a> {
         self.prolog()?;
         // Root element.
         if self.peek() != Some(b'<') {
-            return self.err("expected root element");
+            return Err(self.err::<()>("expected root element").unwrap_err().into());
         }
-        let doc = self.root_element()?;
+        self.expect(b"<")?;
+        let name = self.name()?;
+        h.start_element(name).map_err(SaxError::Handler)?;
+        let self_closing = self.attributes_and_tag_end(h)?;
+        if self_closing {
+            h.end_element().map_err(SaxError::Handler)?;
+        } else {
+            self.content(h, name)?;
+        }
         // Trailing misc.
         loop {
             self.skip_ws();
@@ -235,10 +391,15 @@ impl<'a> Parser<'a> {
                     self.pos += 2;
                     self.until(b"?>", "processing instruction")?;
                 }
-                _ => return self.err("content after document element"),
+                _ => {
+                    return Err(self
+                        .err::<()>("content after document element")
+                        .unwrap_err()
+                        .into())
+                }
             }
         }
-        Ok(doc)
+        Ok(())
     }
 
     fn prolog(&mut self) -> Result<(), XmlError> {
@@ -287,24 +448,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn root_element(&mut self) -> Result<Document, XmlError> {
-        self.expect(b"<")?;
-        let name = self.name()?;
-        let mut b = DocumentBuilder::new(name);
-        let root = NodeId::ROOT;
-        let self_closing = self.attributes_and_tag_end(&mut b, root)?;
-        if !self_closing {
-            self.content(&mut b, root, name)?;
-        }
-        Ok(b.build())
-    }
-
     /// Parse attributes and the tag terminator; returns true for `/>`.
-    fn attributes_and_tag_end(
+    fn attributes_and_tag_end<H: SaxHandler>(
         &mut self,
-        b: &mut DocumentBuilder,
-        element: NodeId,
-    ) -> Result<bool, XmlError> {
+        h: &mut H,
+    ) -> Result<bool, SaxError<H::Error>> {
         loop {
             let before = self.pos;
             self.skip_ws();
@@ -320,7 +468,10 @@ impl<'a> Parser<'a> {
                 }
                 Some(c) if Self::is_name_start(c) => {
                     if before == self.pos {
-                        return self.err("expected whitespace before attribute");
+                        return Err(self
+                            .err::<()>("expected whitespace before attribute")
+                            .unwrap_err()
+                            .into());
                     }
                     let name = self.name()?;
                     self.skip_ws();
@@ -328,70 +479,82 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let quote = match self.peek() {
                         Some(q @ (b'"' | b'\'')) => q,
-                        _ => return self.err("expected quoted attribute value"),
+                        _ => {
+                            return Err(self
+                                .err::<()>("expected quoted attribute value")
+                                .unwrap_err()
+                                .into())
+                        }
                     };
                     self.pos += 1;
                     let value = self.char_data(&[quote, b'<'])?;
                     if self.peek() == Some(b'<') {
-                        return self.err("`<` in attribute value");
+                        return Err(self.err::<()>("`<` in attribute value").unwrap_err().into());
                     }
                     self.pos += 1; // closing quote
-                    b.attribute(element, name, &value);
+                    h.attribute(name, &value).map_err(SaxError::Handler)?;
                 }
-                _ => return self.err("malformed start tag"),
+                _ => return Err(self.err::<()>("malformed start tag").unwrap_err().into()),
             }
         }
     }
 
     /// Parse element content up to and including the matching end tag.
     /// Iterative (explicit stack) to survive deeply nested documents.
-    fn content(
+    fn content<H: SaxHandler>(
         &mut self,
-        b: &mut DocumentBuilder,
-        element: NodeId,
+        h: &mut H,
         name: &'a str,
-    ) -> Result<(), XmlError> {
-        // (open element, its tag name), innermost last.
-        let mut stack: Vec<(NodeId, &'a str)> = vec![(element, name)];
+    ) -> Result<(), SaxError<H::Error>> {
+        // Tag names of the open elements, innermost last.
+        let mut stack: Vec<&'a str> = vec![name];
         // Adjacent text/CDATA runs are merged into one text node.
         let mut pending_text = String::new();
 
         macro_rules! flush_text {
             () => {
                 if !pending_text.is_empty() {
-                    let parent = stack.last().expect("non-empty").0;
                     let keep = self.options.keep_whitespace_text
                         || !pending_text.chars().all(char::is_whitespace);
                     if keep {
-                        b.text(parent, &pending_text);
+                        h.text(&pending_text).map_err(SaxError::Handler)?;
                     }
                     pending_text.clear();
                 }
             };
         }
 
-        while let Some(&(parent, parent_name)) = stack.last() {
+        while let Some(&parent_name) = stack.last() {
             match self.peek() {
-                None => return self.err(format!("missing end tag </{parent_name}>")),
+                None => {
+                    return Err(self
+                        .err::<()>(format!("missing end tag </{parent_name}>"))
+                        .unwrap_err()
+                        .into())
+                }
                 Some(b'<') => {
                     if self.starts_with(b"</") {
                         flush_text!();
                         self.pos += 2;
                         let end_name = self.name()?;
                         if end_name != parent_name {
-                            return self.err(format!(
-                                "mismatched end tag </{end_name}>, expected </{parent_name}>"
-                            ));
+                            return Err(self
+                                .err::<()>(format!(
+                                    "mismatched end tag </{end_name}>, expected </{parent_name}>"
+                                ))
+                                .unwrap_err()
+                                .into());
                         }
                         self.skip_ws();
                         self.expect(b">")?;
                         stack.pop();
+                        h.end_element().map_err(SaxError::Handler)?;
                     } else if self.starts_with(b"<!--") {
                         flush_text!();
                         self.pos += 4;
                         let text = self.until(b"-->", "comment")?;
                         if self.options.keep_comments {
-                            b.comment(parent, text);
+                            h.comment(text).map_err(SaxError::Handler)?;
                         }
                     } else if self.starts_with(b"<![CDATA[") {
                         self.pos += 9;
@@ -404,18 +567,24 @@ impl<'a> Parser<'a> {
                         self.skip_ws();
                         let data = self.until(b"?>", "processing instruction")?;
                         if self.options.keep_processing_instructions {
-                            b.processing_instruction(parent, target, data);
+                            h.processing_instruction(target, data)
+                                .map_err(SaxError::Handler)?;
                         }
                     } else if self.starts_with(b"<!") {
-                        return self.err("unsupported markup declaration in content");
+                        return Err(self
+                            .err::<()>("unsupported markup declaration in content")
+                            .unwrap_err()
+                            .into());
                     } else {
                         flush_text!();
                         self.pos += 1;
                         let child_name = self.name()?;
-                        let child = b.element(parent, child_name);
-                        let self_closing = self.attributes_and_tag_end(b, child)?;
-                        if !self_closing {
-                            stack.push((child, child_name));
+                        h.start_element(child_name).map_err(SaxError::Handler)?;
+                        let self_closing = self.attributes_and_tag_end(h)?;
+                        if self_closing {
+                            h.end_element().map_err(SaxError::Handler)?;
+                        } else {
+                            stack.push(child_name);
                         }
                     }
                 }
@@ -560,5 +729,74 @@ mod tests {
         assert_eq!(d.name(d.root()), "bücher");
         let c = d.tree().children(d.root())[0];
         assert_eq!(d.name(c), "straße");
+    }
+
+    /// Event-recording sink: the SAX stream must match the DOM shape.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<String>,
+    }
+
+    impl SaxHandler for Recorder {
+        type Error = String;
+
+        fn start_element(&mut self, name: &str) -> Result<(), String> {
+            if name == "boom" {
+                return Err("boom".into());
+            }
+            self.events.push(format!("<{name}"));
+            Ok(())
+        }
+        fn attribute(&mut self, name: &str, value: &str) -> Result<(), String> {
+            self.events.push(format!("@{name}={value}"));
+            Ok(())
+        }
+        fn text(&mut self, data: &str) -> Result<(), String> {
+            self.events.push(format!("t:{data}"));
+            Ok(())
+        }
+        fn comment(&mut self, data: &str) -> Result<(), String> {
+            self.events.push(format!("c:{data}"));
+            Ok(())
+        }
+        fn processing_instruction(&mut self, target: &str, data: &str) -> Result<(), String> {
+            self.events.push(format!("?{target}:{data}"));
+            Ok(())
+        }
+        fn end_element(&mut self) -> Result<(), String> {
+            self.events.push(">".into());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sax_event_stream() {
+        let mut r = Recorder::default();
+        parse_sax(
+            r#"<a x="1"><b>hi<!--n--></b><c/><?p d?></a>"#,
+            ParseOptions::default(),
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(
+            r.events,
+            vec!["<a", "@x=1", "<b", "t:hi", "c:n", ">", "<c", ">", "?p:d", ">"]
+        );
+    }
+
+    #[test]
+    fn sax_handler_error_aborts() {
+        let mut r = Recorder::default();
+        let err = parse_sax("<a><boom/></a>", ParseOptions::default(), &mut r);
+        assert!(matches!(err, Err(SaxError::Handler(ref m)) if m == "boom"));
+    }
+
+    #[test]
+    fn sax_whitespace_filtering_matches_dom() {
+        let src = "<r>\n  <a/>\n  hi\n</r>";
+        let mut r = Recorder::default();
+        parse_sax(src, ParseOptions::default(), &mut r).unwrap();
+        // Pure-whitespace run before <a/> dropped; mixed run kept.
+        assert_eq!(r.events, vec!["<r", "<a", ">", "t:\n  hi\n", ">"]);
     }
 }

@@ -19,6 +19,9 @@ cargo run --release -p natix-bench --bin dp_speed -- --quick
 echo "==> store_speed --quick (buffer pool + group commit smoke: out-of-budget dump identical, evictions active, fsck clean after eviction, one flip per batch)"
 cargo run --release -p natix-bench --bin store_speed -- --quick
 
+echo "==> bulk_speed --quick (streaming sharded bulkload smoke: bounded memory at a fixed pool cap, docs/s per thread and shard count)"
+cargo run --release -p natix-bench --bin bulk_speed -- --quick
+
 echo "==> natix soak --quick (crash/update fuzz smoke: model oracle + power-cut sweeps; failures print replayable seeds/scripts)"
 cargo run --release -p natix-cli -- soak --quick
 
@@ -27,6 +30,9 @@ cargo run --release -p natix-cli -- soak --quick --corruption
 
 echo "==> natix soak --quick --group-commit (crash-prefix smoke: a power cut inside a batch must recover to an exact prefix of the acked commits, fsck clean at every crash point)"
 cargo run --release -p natix-cli -- soak --quick --group-commit
+
+echo "==> natix soak --quick --bulkload (power cuts during a sharded bulkload: every shard independently recoverable, catalog never references uncommitted state)"
+cargo run --release -p natix-cli -- soak --quick --bulkload
 
 echo "==> natix stress --quick (chaos smoke: seeded reader/writer/fsck interleavings over the concurrent store; snapshot-vs-oracle, exactly-once commits, pin-safe reclamation, eviction active under a 2-page pool)"
 cargo run --release -p natix-cli -- stress --quick
@@ -61,5 +67,22 @@ natix fsck "$fsck_dir/sample.natix" --repair
 natix fsck "$fsck_dir/sample.natix"
 natix dump "$fsck_dir/sample.natix" > "$fsck_dir/after.xml"
 diff "$fsck_dir/before.xml" "$fsck_dir/after.xml"
+
+echo "==> cross-shard fsck smoke (bulkload a collection, corrupt one shard, fsck must localize the damage)"
+natix bulkload "$fsck_dir/coll" --docs 120 --shards 3 --threads 2 --seg-docs 10
+natix collection stats "$fsck_dir/coll"
+natix collection fsck "$fsck_dir/coll"
+natix collection dump "$fsck_dir/coll" 5 > /dev/null
+# Stomp live pages of shard 1 only; fsck must flag exactly that shard and
+# still certify the other two clean (exit is nonzero while damage exists).
+dd if=/dev/urandom of="$fsck_dir/coll/shard-0001.natix" bs=8192 seek=3 count=4 conv=notrunc status=none
+if natix collection fsck "$fsck_dir/coll" > "$fsck_dir/collfsck.out" 2>&1; then
+  echo "FAIL: collection fsck missed a corrupted shard" >&2; exit 1
+fi
+grep -q "shard 0: clean" "$fsck_dir/collfsck.out"
+grep -q "shard 2: clean" "$fsck_dir/collfsck.out"
+if grep -q "shard 1: clean" "$fsck_dir/collfsck.out"; then
+  echo "FAIL: collection fsck called the corrupted shard clean" >&2; exit 1
+fi
 
 echo "CI OK"
