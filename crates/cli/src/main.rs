@@ -12,10 +12,42 @@
 //! natix bulkload  <dir> [--input <file.xml>]... [--docs N] [--shards N] [--threads N]
 //!                 [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]
 //! natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]
-//! natix soak      [--quick] [--corruption] [--group-commit] [--bulkload] [--seed N]
+//! natix soak      [--quick] [--corruption] [--group-commit] [--bulkload] [--serve] [--seed N]
 //!                 [--replay <script>]
-//! natix stress    [--quick] [--seed N] [--runs N]
+//! natix stress    [--quick] [--seed N] [--runs N] [--net] [--json FILE]
+//! natix serve     <store.natix> [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!                 [--max-pins N] [--read-budget N] [--pool-pages N]
+//! natix net       <addr> ping|query|dump|stats|fsck|update|shed-probe|shutdown [...]
 //! ```
+//!
+//! `natix serve` runs the network daemon of `natix-server`: a
+//! length-prefixed binary protocol over TCP, a worker pool for
+//! connections, and a store-service thread that maps each connection
+//! onto `SharedStore` snapshot pins (wire format in DESIGN.md §15). It
+//! prints `listening on HOST:PORT` once ready and exits after a wire
+//! `shutdown` request has drained all in-flight work. `natix net` is the
+//! matching client: one verb per invocation, honoring the server's typed
+//! retry-after backpressure (`--retries N` bounds the patience). Its
+//! `shed-probe` verb drives the backpressure round trip deterministically:
+//! it saturates the pin budget (`--pins N` connections holding `begin`
+//! pins), demands one more, expects a typed retry-after, then releases a
+//! pin and retries until admitted.
+//!
+//! `natix stress --net` extends the chaos/stress machinery into a
+//! client-facing load harness: closed-loop client fleets of increasing
+//! size against an in-process server, recording p50/p99 request latency,
+//! throughput and shed rate per offered-load level, and writing the
+//! sweep to `BENCH_serve.json` (override with `--json FILE`). `natix
+//! soak --serve` is the serving power-cut campaign: it spawns `natix
+//! serve` as a child process, runs reader clients plus an update storm
+//! against it, SIGKILLs the daemon mid-storm, then recovers the store
+//! file and audits that every acknowledged update survived and fsck is
+//! clean.
+//!
+//! Exit codes are structured so scripts can tell failure classes apart:
+//! 0 success, 1 generic failure, 2 usage error, 3 request shed by
+//! backpressure (`StoreError::Overloaded`/`Timeout`), 4 corruption
+//! detected, 5 I/O failure.
 //!
 //! `natix bulkload` streams a document corpus into a sharded collection:
 //! `--shards` independent store files under `<dir>` plus a catalog,
@@ -80,18 +112,93 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use natix_bench::Json;
 use natix_core::{
     dhw_cached_with_statistics, dhw_with_statistics, ghdw_cached_with_statistics,
     ghdw_with_statistics, parallel, Bfs, CachedDhw, CachedGhdw, Dfs, Dhw, DpStats, Ekm, Ghdw, Km,
     Lukes, ParallelDhw, ParallelGhdw, Partitioner, Rs,
 };
+use natix_server::{
+    serve as serve_daemon, Client, ClientError, ProtoError, Request, ResponseBody, ServeConfig,
+    ServeError, UpdateOp,
+};
 use natix_store::{
     bulkload_collection, bulkload_with, fsck, fsck_collection, BulkloadOptions, Collection,
-    FilePager, OpenMode, StoreConfig, XmlStore,
+    ErrorCategory, FilePager, OpenMode, StoreConfig, StoreError, XmlStore,
 };
 use natix_tree::validate;
 use natix_xml::NodeKind;
-use natix_xpath::{eval_query, StoreNavigator};
+use natix_xpath::{eval_query, EvalError, StoreNavigator};
+
+/// A CLI failure: the message plus the process exit code, so scripts can
+/// tell failure classes apart (see the module docs for the code table).
+#[derive(Debug)]
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+/// Exit code for a store failure class: sheds are 3, corruption 4,
+/// I/O 5; invalid requests are ordinary failures.
+fn exit_code_for(category: ErrorCategory) -> u8 {
+    match category {
+        ErrorCategory::Shed => 3,
+        ErrorCategory::Corrupt => 4,
+        ErrorCategory::Io => 5,
+        ErrorCategory::InvalidRequest => 1,
+    }
+}
+
+impl CliError {
+    fn new(code: u8, msg: impl Into<String>) -> CliError {
+        CliError {
+            code,
+            msg: msg.into(),
+        }
+    }
+
+    /// Classify a store error into its exit code.
+    fn store(e: &StoreError) -> CliError {
+        CliError::new(exit_code_for(e.category()), e.to_string())
+    }
+
+    /// Like [`CliError::store`], prefixing the failing path.
+    fn store_at(path: &str, e: &StoreError) -> CliError {
+        CliError::new(exit_code_for(e.category()), format!("{path}: {e}"))
+    }
+
+    /// Classify a network-client failure: exhausted retry-after patience
+    /// is a shed (3), transport trouble is I/O (5).
+    fn client(e: &ClientError) -> CliError {
+        match e {
+            ClientError::StillOverloaded { .. } => CliError::new(3, e.to_string()),
+            ClientError::Proto(ProtoError::Io(_)) => CliError::new(5, e.to_string()),
+            ClientError::Proto(_) => CliError::new(1, e.to_string()),
+        }
+    }
+
+    /// Classify a typed error response from the server.
+    fn response(kind: natix_server::ErrKind, message: &str) -> CliError {
+        let code = match kind {
+            natix_server::ErrKind::Corrupt => 4,
+            natix_server::ErrKind::Io => 5,
+            _ => 1,
+        };
+        CliError::new(code, format!("server: {kind} error: {message}"))
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::new(1, msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::new(1, msg)
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -106,9 +213,14 @@ fn usage() -> ExitCode {
          natix bulkload <dir> [--input <file.xml>]... [--docs N] [--shards N] [--threads N] \
          [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]\n  \
          natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]\n  \
-         natix soak [--quick] [--corruption] [--group-commit] [--bulkload] [--seed N] \
-         [--replay <script>]\n  \
-         natix stress [--quick] [--seed N] [--runs N]\n\
+         natix soak [--quick] [--corruption] [--group-commit] [--bulkload] [--serve] \
+         [--seed N] [--replay <script>]\n  \
+         natix stress [--quick] [--seed N] [--runs N] [--net] [--json FILE]\n  \
+         natix serve <store.natix> [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--max-pins N] [--read-budget N] [--pool-pages N]\n  \
+         natix net <addr> ping | query '<xpath>' [--count] | dump [--degraded] | stats | \
+         fsck | update '<xpath>' <append-element|append-text|insert-before|delete> [VALUE] | \
+         shed-probe [--pins N] | shutdown   (all: [--retries N])\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
          --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
@@ -246,12 +358,13 @@ fn read_document(path: &str) -> Result<natix_xml::Document, String> {
     natix_xml::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn open_store(path: &str, pool_pages: Option<usize>) -> Result<XmlStore, String> {
-    let pager = FilePager::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
-    XmlStore::open(Box::new(pager), store_config(pool_pages)).map_err(|e| format!("{path}: {e}"))
+fn open_store(path: &str, pool_pages: Option<usize>) -> Result<XmlStore, CliError> {
+    let pager = FilePager::open(Path::new(path)).map_err(|e| CliError::store_at(path, &e))?;
+    XmlStore::open(Box::new(pager), store_config(pool_pages))
+        .map_err(|e| CliError::store_at(path, &e))
 }
 
-fn cmd_partition(args: &[String]) -> Result<(), String> {
+fn cmd_partition(args: &[String]) -> Result<(), CliError> {
     let file = args.first().ok_or("missing <file.xml>")?;
     let flags = parse_flags(&args[1..])?;
     let doc = read_document(file)?;
@@ -282,7 +395,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
 
 /// `--stats`: run the DHW/GHDW engine once more with counters enabled and
 /// print the structure-sharing and dominance-pruning statistics.
-fn print_dp_stats(tree: &natix_tree::Tree, flags: &Flags) -> Result<(), String> {
+fn print_dp_stats(tree: &natix_tree::Tree, flags: &Flags) -> Result<(), CliError> {
     let run = |cached: bool| -> Result<DpStats, String> {
         let r = match (flags.alg_name.as_str(), cached) {
             ("dhw", true) => dhw_cached_with_statistics(tree, flags.k),
@@ -328,12 +441,12 @@ fn print_dp_stats(tree: &natix_tree::Tree, flags: &Flags) -> Result<(), String> 
     Ok(())
 }
 
-fn cmd_load(args: &[String]) -> Result<(), String> {
+fn cmd_load(args: &[String]) -> Result<(), CliError> {
     let file = args.first().ok_or("missing <file.xml>")?;
     let out = args.get(1).ok_or("missing <store.natix>")?;
     let flags = parse_flags(&args[2..])?;
     let doc = read_document(file)?;
-    let pager = FilePager::create(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+    let pager = FilePager::create(Path::new(out)).map_err(|e| CliError::store_at(out, &e))?;
     let store = bulkload_with(
         &doc,
         flags.alg.as_ref(),
@@ -356,7 +469,7 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let (pool_pages, args) = extract_pool_pages(args)?;
     let store_path = args.first().ok_or("missing <store.natix>")?;
     let query = args.get(1).ok_or("missing XPath query")?;
@@ -364,7 +477,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut store = open_store(store_path, pool_pages)?;
     let hits = {
         let mut nav = StoreNavigator::new(&mut store);
-        eval_query(&mut nav, query).map_err(|e| e.to_string())?
+        eval_query(&mut nav, query).map_err(|e| match e {
+            EvalError::Store(se) => CliError::store(&se),
+            other => CliError::new(1, other.to_string()),
+        })?
     };
     if count_only {
         println!("{}", hits.len());
@@ -372,9 +488,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         for r in &hits {
             let (kind, label) = store
                 .with_node(*r, |n| (n.kind, n.label))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::store(&e))?;
             let name = store.label_name(label).to_string();
-            let content = store.node_content(*r).map_err(|e| e.to_string())?;
+            let content = store.node_content(*r).map_err(|e| CliError::store(&e))?;
             match (kind, content) {
                 (NodeKind::Element, _) => println!("<{name}>"),
                 (NodeKind::Attribute, Some(v)) => println!("@{name}=\"{v}\""),
@@ -392,29 +508,31 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dump(args: &[String]) -> Result<(), String> {
+fn cmd_dump(args: &[String]) -> Result<(), CliError> {
     let (pool_pages, args) = extract_pool_pages(args)?;
     let store_path = args.first().ok_or("missing <store.natix>")?;
     let degraded = args.iter().any(|a| a == "--degraded");
     if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--degraded") {
-        return Err(format!("unknown option {bad}"));
+        return Err(format!("unknown option {bad}").into());
     }
     if degraded {
-        let pager =
-            FilePager::open(Path::new(store_path)).map_err(|e| format!("{store_path}: {e}"))?;
+        let pager = FilePager::open(Path::new(store_path))
+            .map_err(|e| CliError::store_at(store_path, &e))?;
         let mut store = XmlStore::open_with(
             Box::new(pager),
             store_config(pool_pages),
             OpenMode::Degraded,
         )
-        .map_err(|e| format!("{store_path}: {e}"))?;
-        let (doc, damage) = store.to_document_degraded().map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::store_at(store_path, &e))?;
+        let (doc, damage) = store
+            .to_document_degraded()
+            .map_err(|e| CliError::store(&e))?;
         println!("{}", doc.to_xml());
         eprintln!("{damage}");
         return Ok(());
     }
     let mut store = open_store(store_path, pool_pages)?;
-    let doc = store.to_document().map_err(|e| e.to_string())?;
+    let doc = store.to_document().map_err(|e| CliError::store(&e))?;
     println!("{}", doc.to_xml());
     Ok(())
 }
@@ -422,32 +540,35 @@ fn cmd_dump(args: &[String]) -> Result<(), String> {
 /// `natix fsck`: scrub a store file; with `--repair`, salvage the
 /// records that still verify and quarantine the rest. Exit 0 when the
 /// store is clean (or the repair succeeded); the report goes to stdout.
-fn cmd_fsck(args: &[String]) -> Result<(), String> {
+fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
     let store_path = args.first().ok_or("missing <store.natix>")?;
     let repair = args.iter().any(|a| a == "--repair");
     if let Some(bad) = args[1..].iter().find(|a| a.as_str() != "--repair") {
-        return Err(format!("unknown option {bad}"));
+        return Err(format!("unknown option {bad}").into());
     }
     let mut pager =
-        FilePager::open(Path::new(store_path)).map_err(|e| format!("{store_path}: {e}"))?;
+        FilePager::open(Path::new(store_path)).map_err(|e| CliError::store_at(store_path, &e))?;
     let report = fsck(&mut pager, repair);
     print!("{report}");
     if report.clean() || report.repaired {
         Ok(())
     } else {
-        Err(format!(
-            "{store_path}: {} error(s) found{}",
-            report.errors(),
-            if repair { "; repair failed" } else { "" }
+        Err(CliError::new(
+            4,
+            format!(
+                "{store_path}: {} error(s) found{}",
+                report.errors(),
+                if repair { "; repair failed" } else { "" }
+            ),
         ))
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let (pool_pages, args) = extract_pool_pages(args)?;
     let store_path = args.first().ok_or("missing <store.natix>")?;
     let mut store = open_store(store_path, pool_pages)?;
-    let doc = store.to_document().map_err(|e| e.to_string())?;
+    let doc = store.to_document().map_err(|e| CliError::store(&e))?;
     println!("nodes        : {}", doc.len());
     println!("tree weight  : {} slots", doc.total_weight());
     println!("records      : {} live", store.live_record_count());
@@ -463,7 +584,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// `natix bulkload`: stream a corpus into a sharded collection. The
 /// corpus is `--input` files (one document each, in id order) or
 /// `--docs N` synthetic small documents from the Table 1 generators.
-fn cmd_bulkload(args: &[String]) -> Result<(), String> {
+fn cmd_bulkload(args: &[String]) -> Result<(), CliError> {
     let (pool_pages, args) = extract_pool_pages(args)?;
     let dir = args.first().ok_or("missing <dir>")?.clone();
     let mut inputs: Vec<String> = Vec::new();
@@ -490,7 +611,7 @@ fn cmd_bulkload(args: &[String]) -> Result<(), String> {
             "--seg-docs" => opts.seg_docs = num("--seg-docs")? as usize,
             "--budget" => opts.sibling_budget = num("--budget")? as usize,
             "--k" => k = num("--k")?,
-            other => return Err(format!("unknown option {other}")),
+            other => return Err(format!("unknown option {other}").into()),
         }
     }
     let config = StoreConfig {
@@ -537,7 +658,7 @@ fn cmd_bulkload(args: &[String]) -> Result<(), String> {
 /// `natix collection`: inspect a sharded collection. `stats` prints a
 /// per-shard table, `dump <doc-id>` extracts one document, `fsck`
 /// scrubs every shard independently.
-fn cmd_collection(args: &[String]) -> Result<(), String> {
+fn cmd_collection(args: &[String]) -> Result<(), CliError> {
     let sub = args.first().ok_or("missing subcommand (stats|dump|fsck)")?;
     match sub.as_str() {
         "stats" => {
@@ -563,7 +684,7 @@ fn cmd_collection(args: &[String]) -> Result<(), String> {
                 for (s, msg) in &problems {
                     eprintln!("shard {s}: {msg}");
                 }
-                Err(format!("{} shard(s) inconsistent", problems.len()))
+                Err(format!("{} shard(s) inconsistent", problems.len()).into())
             }
         }
         "dump" => {
@@ -584,7 +705,7 @@ fn cmd_collection(args: &[String]) -> Result<(), String> {
             let dir = args.get(1).ok_or("missing <dir>")?;
             let repair = args.iter().any(|a| a == "--repair");
             if let Some(bad) = args[2..].iter().find(|a| a.as_str() != "--repair") {
-                return Err(format!("unknown option {bad}"));
+                return Err(format!("unknown option {bad}").into());
             }
             let reports = fsck_collection(Path::new(dir), repair).map_err(|e| e.to_string())?;
             let mut dirty = 0usize;
@@ -600,13 +721,16 @@ fn cmd_collection(args: &[String]) -> Result<(), String> {
             if dirty == 0 {
                 Ok(())
             } else {
-                Err(format!(
-                    "{dirty}/{} shard(s) damaged; healthy shards unaffected",
-                    reports.len()
+                Err(CliError::new(
+                    4,
+                    format!(
+                        "{dirty}/{} shard(s) damaged; healthy shards unaffected",
+                        reports.len()
+                    ),
                 ))
             }
         }
-        other => Err(format!("unknown collection subcommand {other}")),
+        other => Err(format!("unknown collection subcommand {other}").into()),
     }
 }
 
@@ -666,11 +790,12 @@ impl Drop for ReplayBanner {
 /// `--group-commit` runs the batched-commit crash-prefix sweep: every
 /// power-cut point inside a batch must recover to an exact prefix of
 /// the acked commits.
-fn cmd_soak(args: &[String]) -> Result<(), String> {
+fn cmd_soak(args: &[String]) -> Result<(), CliError> {
     let mut quick = false;
     let mut corruption = false;
     let mut group_commit = false;
     let mut bulkload = false;
+    let mut serve_soak = false;
     let mut seed: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut it = args.iter();
@@ -680,6 +805,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             "--corruption" => corruption = true,
             "--group-commit" => group_commit = true,
             "--bulkload" => bulkload = true,
+            "--serve" => serve_soak = true,
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -691,7 +817,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             "--replay" => {
                 replay_path = Some(it.next().ok_or("missing value for --replay")?.clone());
             }
-            other => return Err(format!("unknown option {other}")),
+            other => return Err(format!("unknown option {other}").into()),
         }
     }
     if let Some(path) = replay_path {
@@ -705,10 +831,52 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
+    if serve_soak {
+        if corruption || group_commit || bulkload {
+            return Err("--serve is mutually exclusive with the other soak sweeps".into());
+        }
+        let server_bin = std::env::current_exe()
+            .map_err(|e| CliError::new(5, format!("cannot locate the natix binary: {e}")))?;
+        let mut cfg = if quick {
+            natix_testkit::ServeSoakConfig::quick(server_bin)
+        } else {
+            natix_testkit::ServeSoakConfig::full(server_bin)
+        };
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        let mut banner = ReplayBanner::new(
+            format!(
+                "natix soak --serve{} --seed {}",
+                if quick { " --quick" } else { "" },
+                cfg.seed
+            ),
+            vec![cfg.seed],
+        );
+        eprintln!(
+            "  serve soak: {} power-cut rounds, {} updates offered per round, {} readers",
+            cfg.rounds, cfg.updates_per_round, cfg.readers
+        );
+        let report = natix_testkit::run_serve_soak(&cfg);
+        for f in &report.failures {
+            eprintln!("FAIL {f}");
+        }
+        println!(
+            "soak ({}, serve): {}",
+            if quick { "quick" } else { "full" },
+            report.summary()
+        );
+        return if report.ok() {
+            banner.disarm();
+            Ok(())
+        } else {
+            Err(format!("{} failure(s) printed above", report.failures.len()).into())
+        };
+    }
     if bulkload {
         if corruption || group_commit {
             return Err(
-                "--bulkload is mutually exclusive with --corruption and --group-commit".to_string(),
+                "--bulkload is mutually exclusive with --corruption and --group-commit".into(),
             );
         }
         let cfg = if quick {
@@ -728,15 +896,12 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         return if report.ok() {
             Ok(())
         } else {
-            Err(format!(
-                "{} failure(s) printed above",
-                report.failures.len()
-            ))
+            Err(format!("{} failure(s) printed above", report.failures.len()).into())
         };
     }
     if group_commit {
         if corruption {
-            return Err("--group-commit and --corruption are mutually exclusive".to_string());
+            return Err("--group-commit and --corruption are mutually exclusive".into());
         }
         let mut cfg = if quick {
             natix_testkit::GroupCommitConfig::quick()
@@ -758,10 +923,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         return if report.ok() {
             Ok(())
         } else {
-            Err(format!(
-                "{} failure(s) printed above",
-                report.failures.len()
-            ))
+            Err(format!("{} failure(s) printed above", report.failures.len()).into())
         };
     }
     let mut cfg = if quick {
@@ -805,7 +967,8 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
         Err(format!(
             "{} failure(s); replay scripts printed above",
             report.failures.len()
-        ))
+        )
+        .into())
     }
 }
 
@@ -813,14 +976,20 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
 /// concurrent store layer. Progress goes to stderr, the summary to
 /// stdout; a non-zero exit means at least one interleaving violated an
 /// invariant (each failure prints its seed and a one-command rerun).
-fn cmd_stress(args: &[String]) -> Result<(), String> {
+fn cmd_stress(args: &[String]) -> Result<(), CliError> {
     let mut quick = false;
+    let mut net = false;
+    let mut json_path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut runs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--net" => net = true,
+            "--json" => {
+                json_path = Some(it.next().ok_or("missing value for --json")?.clone());
+            }
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -837,8 +1006,17 @@ fn cmd_stress(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "--runs expects a positive integer".to_string())?,
                 );
             }
-            other => return Err(format!("unknown option {other}")),
+            other => return Err(format!("unknown option {other}").into()),
         }
+    }
+    if net {
+        if runs.is_some() {
+            return Err("--runs applies to the chaos campaign, not --net".into());
+        }
+        return cmd_stress_net(quick, seed, json_path);
+    }
+    if json_path.is_some() {
+        return Err("--json applies to --net only".into());
     }
     let mut cfg = if quick {
         natix_testkit::ChaosConfig::quick()
@@ -877,8 +1055,433 @@ fn cmd_stress(args: &[String]) -> Result<(), String> {
         Err(format!(
             "{} interleaving failure(s); seeds and reruns printed above",
             report.failures.len()
-        ))
+        )
+        .into())
     }
+}
+
+/// `natix stress --net`: the client-facing load harness. Sweeps
+/// closed-loop client fleets against an in-process server, prints the
+/// per-level latency/throughput/shed table, and writes the sweep as
+/// JSON (default `BENCH_serve.json`).
+fn cmd_stress_net(
+    quick: bool,
+    seed: Option<u64>,
+    json_path: Option<String>,
+) -> Result<(), CliError> {
+    let mut cfg = if quick {
+        natix_testkit::NetLoadConfig::quick()
+    } else {
+        natix_testkit::NetLoadConfig::full()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    eprintln!(
+        "  net load: levels {:?}, {} requests/client, xmark scale {}, {} workers, {} pins",
+        cfg.levels, cfg.requests_per_client, cfg.scale, cfg.workers, cfg.max_pins
+    );
+    let report = natix_testkit::run_net_load(&cfg);
+    for f in &report.failures {
+        eprintln!("FAIL {f}");
+    }
+    println!(
+        "stress ({}, net):\n{}",
+        if quick { "quick" } else { "full" },
+        report.summary()
+    );
+    let path = json_path.unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let json = net_load_json(&cfg, &report).render_pretty();
+    std::fs::write(&path, json + "\n").map_err(|e| CliError::new(5, format!("{path}: {e}")))?;
+    println!("wrote {path}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} failure(s) printed above", report.failures.len()).into())
+    }
+}
+
+/// Render a [`natix_testkit::NetLoadReport`] as the `BENCH_serve.json`
+/// document: config, per-level latency percentiles and shed rates, and
+/// the server's final counters.
+fn net_load_json(
+    cfg: &natix_testkit::NetLoadConfig,
+    report: &natix_testkit::NetLoadReport,
+) -> Json {
+    let obj = |fields: Vec<(&str, Json)>| {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let levels = report
+        .levels
+        .iter()
+        .map(|l| {
+            obj(vec![
+                ("clients", Json::UInt(l.clients as u64)),
+                ("completed", Json::UInt(l.completed)),
+                ("sheds", Json::UInt(l.sheds)),
+                ("updates", Json::UInt(l.updates)),
+                ("p50_us", Json::UInt(l.p50_us)),
+                ("p99_us", Json::UInt(l.p99_us)),
+                ("max_us", Json::UInt(l.max_us)),
+                ("elapsed_s", Json::Float(l.elapsed_s)),
+                ("rps", Json::Float(l.rps)),
+                ("shed_rate", Json::Float(l.shed_rate)),
+            ])
+        })
+        .collect();
+    let s = &report.server;
+    obj(vec![
+        ("bench", Json::Str("serve".to_string())),
+        (
+            "config",
+            obj(vec![
+                (
+                    "levels",
+                    Json::Array(cfg.levels.iter().map(|&c| Json::UInt(c as u64)).collect()),
+                ),
+                (
+                    "requests_per_client",
+                    Json::UInt(cfg.requests_per_client as u64),
+                ),
+                ("xmark_scale", Json::Float(cfg.scale)),
+                ("workers", Json::UInt(cfg.workers as u64)),
+                ("queue_depth", Json::UInt(cfg.queue_depth as u64)),
+                ("max_pins", Json::UInt(cfg.max_pins as u64)),
+                ("seed", Json::UInt(cfg.seed)),
+            ]),
+        ),
+        ("levels", Json::Array(levels)),
+        (
+            "server",
+            obj(vec![
+                ("connections", Json::UInt(s.connections)),
+                ("requests", Json::UInt(s.requests)),
+                ("ok", Json::UInt(s.ok)),
+                ("errors", Json::UInt(s.errors)),
+                ("shed", Json::UInt(s.shed)),
+                ("queue_shed", Json::UInt(s.queue_shed)),
+                ("proto_errors", Json::UInt(s.proto_errors)),
+                ("worker_panics", Json::UInt(s.worker_panics)),
+            ]),
+        ),
+        ("failures", Json::UInt(report.failures.len() as u64)),
+    ])
+}
+
+/// `natix serve`: run the network daemon until a wire `shutdown` request
+/// drains it. The `listening on HOST:PORT` banner line on stdout is the
+/// machine-readable readiness signal (the serve soak parses it).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let (pool_pages, args) = extract_pool_pages(args)?;
+    let store = args.first().ok_or("missing <store.natix>")?.clone();
+    let mut config = ServeConfig {
+        store: std::path::PathBuf::from(&store),
+        pool_pages,
+        ..ServeConfig::default()
+    };
+    config.addr = "127.0.0.1:4547".to_string();
+    // Workers are thread-per-connection: an idle-but-open connection
+    // (e.g. a held session pin) occupies one. Default to more workers
+    // than the shed-probe's default pin count so the probe can't starve
+    // a default server.
+    config.workers = 8;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, CliError> {
+            Ok(it
+                .next()
+                .ok_or(format!("missing value for {name}"))?
+                .clone())
+        };
+        match a.as_str() {
+            "--addr" => config.addr = val("--addr")?,
+            "--workers" => {
+                config.workers = val("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer")?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = val("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth expects a positive integer")?;
+            }
+            "--max-pins" => {
+                config.max_pins = val("--max-pins")?
+                    .parse()
+                    .map_err(|_| "--max-pins expects a positive integer")?;
+            }
+            "--read-budget" => {
+                config.read_page_budget = val("--read-budget")?
+                    .parse()
+                    .map_err(|_| "--read-budget expects a non-negative integer")?;
+            }
+            other => return Err(format!("unknown option {other}").into()),
+        }
+    }
+    if config.workers == 0 || config.queue_depth == 0 || config.max_pins == 0 {
+        return Err("--workers, --queue-depth and --max-pins must be positive".into());
+    }
+    let handle = serve_daemon(config.clone()).map_err(|e| match e {
+        ServeError::Bind(io) => CliError::new(5, format!("bind {}: {io}", config.addr)),
+        ServeError::Store(se) => CliError::store_at(&store, &se),
+    })?;
+    // A supervisor may parse only the banner line and stop reading our
+    // stdout; later prints must not EPIPE-kill a healthy daemon, so
+    // write errors on status lines are deliberately ignored.
+    use std::io::Write as _;
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "natix serve: listening on {}", handle.addr());
+    let _ = writeln!(
+        out,
+        "natix serve: serving {store} ({} workers, queue depth {}, {} pins); \
+         stop with: natix net {} shutdown",
+        config.workers,
+        config.queue_depth,
+        config.max_pins,
+        handle.addr()
+    );
+    let _ = out.flush();
+    let summary = handle.join();
+    let _ = writeln!(out, "natix serve: drained and stopped; {summary}");
+    if summary.worker_panics == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} connection handler panic(s)", summary.worker_panics).into())
+    }
+}
+
+/// `natix net`: one protocol verb per invocation against a running
+/// `natix serve` daemon. Shed responses are retried up to `--retries`
+/// times honoring the server's back-off hints; exhausted patience exits
+/// with the shed code (3).
+fn cmd_net(args: &[String]) -> Result<(), CliError> {
+    let addr = args.first().ok_or("missing <addr> (host:port)")?.clone();
+    let verb = args
+        .get(1)
+        .ok_or("missing verb (try: natix net ADDR ping)")?;
+    let rest = &args[2..];
+    let mut retries = 20u32;
+    let mut positional: Vec<String> = Vec::new();
+    let mut count_only = false;
+    let mut degraded = false;
+    let mut pins = 4usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--count" => count_only = true,
+            "--degraded" => degraded = true,
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("missing value for --retries")?
+                    .parse()
+                    .map_err(|_| "--retries expects a non-negative integer")?;
+            }
+            "--pins" => {
+                pins = it
+                    .next()
+                    .ok_or("missing value for --pins")?
+                    .parse()
+                    .map_err(|_| "--pins expects a positive integer")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}").into())
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let connect = || Client::connect(addr.as_str()).map_err(|e| CliError::client(&e));
+    // One verb, one well-typed exchange; every unexpected response kind
+    // maps onto the structured exit codes.
+    let exchange = |c: &mut Client, req: &Request| -> Result<natix_server::Response, CliError> {
+        let (resp, shed_retries) = c
+            .request_retry(req, retries)
+            .map_err(|e| CliError::client(&e))?;
+        if shed_retries > 0 {
+            eprintln!("(admitted after {shed_retries} retry-after responses)");
+        }
+        if let ResponseBody::Error { kind, message } = &resp.body {
+            return Err(CliError::response(*kind, message));
+        }
+        Ok(resp)
+    };
+    match verb.as_str() {
+        "ping" => {
+            let mut c = connect()?;
+            let resp = exchange(&mut c, &Request::Ping)?;
+            println!("pong (committed epoch {})", resp.epoch);
+            Ok(())
+        }
+        "query" => {
+            let xpath = positional.first().ok_or("missing '<xpath>'")?;
+            let mut c = connect()?;
+            let resp = exchange(
+                &mut c,
+                &Request::Query {
+                    xpath: xpath.clone(),
+                    count_only,
+                },
+            )?;
+            let ResponseBody::QueryResult { count, lines } = resp.body else {
+                return Err(format!("unexpected response: {:?}", resp.body).into());
+            };
+            if count_only {
+                println!("{count}");
+            } else {
+                for line in &lines {
+                    println!("{line}");
+                }
+                eprintln!("{count} result(s) at epoch {}", resp.epoch);
+            }
+            Ok(())
+        }
+        "dump" => {
+            let mut c = connect()?;
+            let resp = exchange(
+                &mut c,
+                &Request::Dump {
+                    degraded_ok: degraded,
+                },
+            )?;
+            let ResponseBody::DumpResult { full, xml, damage } = resp.body else {
+                return Err(format!("unexpected response: {:?}", resp.body).into());
+            };
+            println!("{xml}");
+            if !full {
+                eprintln!("degraded read: {damage}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let mut c = connect()?;
+            let resp = exchange(&mut c, &Request::Stats)?;
+            let ResponseBody::StatsText(text) = resp.body else {
+                return Err(format!("unexpected response: {:?}", resp.body).into());
+            };
+            print!("{text}");
+            Ok(())
+        }
+        "fsck" => {
+            let mut c = connect()?;
+            let resp = exchange(&mut c, &Request::Fsck)?;
+            let ResponseBody::FsckResult { clean, report } = resp.body else {
+                return Err(format!("unexpected response: {:?}", resp.body).into());
+            };
+            print!("{report}");
+            if clean {
+                Ok(())
+            } else {
+                Err(CliError::new(4, "served store is damaged (report above)"))
+            }
+        }
+        "update" => {
+            let target = positional.first().ok_or("missing '<xpath>' target")?;
+            let op_name = positional
+                .get(1)
+                .ok_or("missing op (append-element|append-text|insert-before|delete)")?;
+            let value = positional.get(2).cloned();
+            let need_value = |v: Option<String>| -> Result<String, CliError> {
+                v.ok_or_else(|| CliError::new(2, format!("{op_name} needs a VALUE argument")))
+            };
+            let op = match op_name.as_str() {
+                "append-element" => UpdateOp::AppendElement {
+                    name: need_value(value)?,
+                },
+                "append-text" => UpdateOp::AppendText {
+                    text: need_value(value)?,
+                },
+                "insert-before" => UpdateOp::InsertBefore {
+                    name: need_value(value)?,
+                },
+                "delete" => UpdateOp::DeleteSubtree,
+                other => return Err(CliError::new(2, format!("unknown update op {other}"))),
+            };
+            let mut c = connect()?;
+            let resp = exchange(
+                &mut c,
+                &Request::Update {
+                    target: target.clone(),
+                    op,
+                },
+            )?;
+            println!("updated; committed epoch {}", resp.epoch);
+            Ok(())
+        }
+        "shed-probe" => cmd_shed_probe(&addr, pins, retries),
+        "shutdown" => {
+            let mut c = connect()?;
+            let resp = exchange(&mut c, &Request::Shutdown)?;
+            if matches!(resp.body, ResponseBody::ShuttingDown) {
+                println!("server is draining and shutting down");
+                Ok(())
+            } else {
+                Err(format!("unexpected response: {:?}", resp.body).into())
+            }
+        }
+        other => Err(CliError::new(2, format!("unknown net verb {other}"))),
+    }
+}
+
+/// The deterministic backpressure round trip: hold `pins` session pins,
+/// demand one more (expecting a typed retry-after), then release a pin
+/// and retry honoring the hints until admitted.
+fn cmd_shed_probe(addr: &str, pins: usize, retries: u32) -> Result<(), CliError> {
+    let mut holders: Vec<Client> = Vec::new();
+    for i in 0..pins {
+        let mut c = Client::connect(addr).map_err(|e| CliError::client(&e))?;
+        match c
+            .request(&Request::Begin)
+            .map_err(|e| CliError::client(&e))?
+            .body
+        {
+            ResponseBody::SessionPinned => holders.push(c),
+            ResponseBody::RetryAfter { .. } => {
+                // The budget is smaller than --pins; saturated already.
+                eprintln!("pin budget saturated after {i} pins (smaller than --pins {pins})");
+                break;
+            }
+            other => return Err(format!("pin {i}: unexpected response {other:?}").into()),
+        }
+    }
+    if holders.is_empty() {
+        return Err("could not hold a single pin; is the server idle?".into());
+    }
+    let mut probe = Client::connect(addr).map_err(|e| CliError::client(&e))?;
+    let resp = probe
+        .request(&Request::Begin)
+        .map_err(|e| CliError::client(&e))?;
+    let ResponseBody::RetryAfter { kind, millis, what } = &resp.body else {
+        return Err(format!(
+            "expected a shed response with {} pins held, got {:?} — \
+             is the server's --max-pins larger than --pins?",
+            holders.len(),
+            resp.body
+        )
+        .into());
+    };
+    println!(
+        "shed observed: {} pins held, next begin got retry-after {millis} ms ({kind:?}, {what})",
+        holders.len()
+    );
+    // Release one pin (disconnect releases the session) and honor the
+    // advertised back-off: the probe must eventually be admitted.
+    drop(holders.pop());
+    let (resp, used) = probe
+        .request_retry(&Request::Begin, retries.max(1))
+        .map_err(|e| CliError::client(&e))?;
+    if !matches!(resp.body, ResponseBody::SessionPinned) {
+        return Err(format!("retry after release: unexpected response {:?}", resp.body).into());
+    }
+    println!(
+        "retry honored: admitted at epoch {} after {used} retry-after response(s)",
+        resp.epoch
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -898,14 +1501,90 @@ fn main() -> ExitCode {
         "collection" => cmd_collection(rest),
         "soak" => cmd_soak(rest),
         "stress" => cmd_stress(rest),
+        "serve" => cmd_serve(rest),
+        "net" => cmd_net(rest),
         "--help" | "-h" | "help" => return usage(),
-        other => Err(format!("unknown command {other}")),
+        other => Err(CliError::new(2, format!("unknown command {other}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("natix: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("natix: {}", e.msg);
+            ExitCode::from(e.code.max(1))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: the store-error → exit-code mapping. Sheds
+    /// (overloaded and timed-out) exit 3, corruption 4, I/O 5, invalid
+    /// updates stay generic failures.
+    #[test]
+    fn store_error_exit_codes() {
+        let overloaded = StoreError::Overloaded {
+            what: "read",
+            inflight: 8,
+            limit: 8,
+        };
+        assert_eq!(CliError::store(&overloaded).code, 3);
+        let timeout = StoreError::Timeout {
+            what: "read",
+            budget: 64,
+        };
+        assert_eq!(CliError::store(&timeout).code, 3);
+        let corrupt = StoreError::Corrupt {
+            what: "page checksum",
+            page: Some(3),
+            class: None,
+            record: None,
+            expected: Some(1),
+            found: Some(2),
+        };
+        assert_eq!(CliError::store(&corrupt).code, 4);
+        let io = StoreError::Io {
+            source: std::io::Error::other("disk on fire"),
+            page: None,
+            op: "read",
+        };
+        assert_eq!(CliError::store(&io).code, 5);
+        assert_eq!(CliError::store(&StoreError::InvalidUpdate("no")).code, 1);
+        assert_eq!(CliError::store(&StoreError::BadPage(9)).code, 4);
+    }
+
+    /// Client-side failures map the same way: exhausted retry-after
+    /// patience is a shed (3), transport failure is I/O (5).
+    #[test]
+    fn client_error_exit_codes() {
+        let shed = ClientError::StillOverloaded {
+            attempts: 5,
+            what: "read".to_string(),
+        };
+        assert_eq!(CliError::client(&shed).code, 3);
+        let io = ClientError::Proto(ProtoError::Io(std::io::Error::other("reset")));
+        assert_eq!(CliError::client(&io).code, 5);
+        let proto = ClientError::Proto(ProtoError::Malformed("bad"));
+        assert_eq!(CliError::client(&proto).code, 1);
+        assert_eq!(
+            CliError::response(natix_server::ErrKind::Corrupt, "x").code,
+            4
+        );
+        assert_eq!(CliError::response(natix_server::ErrKind::Io, "x").code, 5);
+        assert_eq!(
+            CliError::response(natix_server::ErrKind::BadRequest, "x").code,
+            1
+        );
+    }
+
+    /// Plain-string errors (usage and similar) stay exit 1 so existing
+    /// scripts keep their meaning.
+    #[test]
+    fn string_errors_stay_generic() {
+        let e: CliError = "something broke".into();
+        assert_eq!(e.code, 1);
+        let e: CliError = String::from("still broke").into();
+        assert_eq!(e.code, 1);
     }
 }

@@ -1,0 +1,23 @@
+//! `natix-server`: network access to a natix store.
+//!
+//! The crate has three layers:
+//!
+//! * [`wire`] — the length-prefixed binary protocol (frame I/O plus the
+//!   [`wire::Request`]/[`wire::Response`] codec). Pure, deterministic,
+//!   and fuzzed independently of any socket.
+//! * [`server`] — the daemon: acceptor, worker pool and the single
+//!   store-service thread that owns the `SharedStore` and maps
+//!   connections onto snapshot pins.
+//! * [`client`] — a blocking client that speaks the protocol and honors
+//!   the server's typed retry-after backpressure.
+//!
+//! See `DESIGN.md` §15 for the wire format and the session → pin
+//! lifecycle.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{serve, ServeConfig, ServeError, ServeSummary, ServerHandle};
+pub use wire::{ErrKind, ProtoError, Request, Response, ResponseBody, ShedKind, UpdateOp};

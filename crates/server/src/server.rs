@@ -1,0 +1,922 @@
+//! The `natix serve` daemon: a TCP front door over [`SharedStore`].
+//!
+//! Three kinds of threads cooperate:
+//!
+//! * **acceptor** — accepts connections on a [`std::net::TcpListener`]
+//!   and queues them for the worker pool;
+//! * **workers** — each handles one connection at a time: read a frame,
+//!   decode it, forward the request to the store service over a *bounded*
+//!   queue, and write the reply. A full queue is the first backpressure
+//!   gate: the worker answers [`ResponseBody::RetryAfter`] without ever
+//!   touching the store;
+//! * **store service** — the single thread that owns the [`SharedStore`]
+//!   (the concurrent facade is deliberately single-threaded; see
+//!   `natix_store::concurrent`). It maps connections onto snapshot pins:
+//!   [`Request::Begin`] pins the committed epoch for the connection, and
+//!   every read on a pinned connection is served from that epoch until
+//!   [`Request::End`] or disconnect. Unpinned reads open a per-request
+//!   snapshot. Admission control ([`natix_store::AdmissionConfig`]) is
+//!   the second backpressure gate; its `Overloaded`/`Timeout` errors map
+//!   to typed retry-after responses.
+//!
+//! Graceful shutdown ([`Request::Shutdown`] or [`ServerHandle::shutdown`])
+//! stops the acceptor, lets every worker finish the frame it is reading
+//! (with a drain grace period), answers everything already queued, and
+//! only then releases the remaining session pins and runs deferred store
+//! maintenance — in-flight requests drain before pins are torn down.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use natix_store::{
+    AdmissionConfig, ErrorCategory, FilePager, ServedRead, SharedStore, Snapshot, StoreConfig,
+    StoreError, XmlStore,
+};
+use natix_xml::NodeKind;
+use natix_xpath::eval;
+
+use crate::wire::{
+    read_frame, write_frame, ErrKind, ProtoError, Request, Response, ResponseBody, ShedKind,
+    UpdateOp, MAX_FRAME,
+};
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the store file to serve (opened with crash recovery).
+    pub store: PathBuf,
+    /// Listen address; use port 0 for an ephemeral port (the bound
+    /// address is in [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection workers (concurrent connections served).
+    pub workers: usize,
+    /// Bound of the store-service request queue — the first backpressure
+    /// gate. Requests arriving at a full queue are shed with a typed
+    /// retry-after response.
+    pub queue_depth: usize,
+    /// Snapshot pins allowed in flight at once (session pins plus
+    /// per-request snapshots) — the second backpressure gate.
+    pub max_pins: u32,
+    /// Per-snapshot backend page-read budget (0 = unlimited); exhaustion
+    /// sheds the read with a timeout retry-after.
+    pub read_page_budget: u64,
+    /// Buffer-pool page budget override for the served store.
+    pub pool_pages: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            store: PathBuf::new(),
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_pins: 64,
+            read_page_budget: 0,
+            pool_pages: None,
+        }
+    }
+}
+
+/// Failure to start the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind(std::io::Error),
+    /// Could not open the store.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "bind: {e}"),
+            ServeError::Store(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Monotonic counters kept by the server, snapshot into [`ServeSummary`].
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    queue_shed: AtomicU64,
+    proto_errors: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// Point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames decoded into requests.
+    pub requests: u64,
+    /// OK responses sent.
+    pub ok: u64,
+    /// Typed error responses sent.
+    pub errors: u64,
+    /// Retry-after responses sent (queue and admission sheds).
+    pub shed: u64,
+    /// Sheds at the queue gate specifically (subset of `shed`).
+    pub queue_shed: u64,
+    /// Malformed frames answered with a protocol error.
+    pub proto_errors: u64,
+    /// Connection handlers that panicked (must stay 0; the pool
+    /// survives them).
+    pub worker_panics: u64,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conn, {} req ({} ok, {} err, {} shed of which {} queue, {} proto), {} panics",
+            self.connections,
+            self.requests,
+            self.ok,
+            self.errors,
+            self.shed,
+            self.queue_shed,
+            self.proto_errors,
+            self.worker_panics
+        )
+    }
+}
+
+/// One request in flight from a worker to the store service.
+enum ServiceMsg {
+    Request {
+        conn: u64,
+        req: Request,
+        reply: Sender<Response>,
+    },
+    Disconnect {
+        conn: u64,
+    },
+}
+
+/// Handle over a running server. Dropping it does *not* stop the server;
+/// call [`ServerHandle::shutdown`] (or send [`Request::Shutdown`] over
+/// the wire) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to shut down gracefully (idempotent).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn summary(&self) -> ServeSummary {
+        let c = &self.counters;
+        ServeSummary {
+            connections: c.connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            ok: c.ok.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            queue_shed: c.queue_shed.load(Ordering::Relaxed),
+            proto_errors: c.proto_errors.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Wait for the server to finish (after a shutdown was requested) and
+    /// return the final counters.
+    pub fn join(mut self) -> ServeSummary {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.summary()
+    }
+}
+
+/// Start the daemon: bind, open the store (running crash recovery), and
+/// spawn the acceptor, worker pool and store service. Returns once the
+/// store is open and the listener is accepting.
+pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
+    let addr = listener.local_addr().map_err(ServeError::Bind)?;
+    listener.set_nonblocking(true).map_err(ServeError::Bind)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters::default());
+    let (store_tx, store_rx) = mpsc::sync_channel::<ServiceMsg>(config.queue_depth.max(1));
+    let (ready_tx, ready_rx) = mpsc::channel::<Result<(), StoreError>>();
+
+    let mut threads = Vec::new();
+
+    // Store service: owns the SharedStore (single-threaded facade) and
+    // the session → snapshot-pin table.
+    {
+        let config = config.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("natix-store-svc".into())
+                .spawn(move || store_service(config, store_rx, ready_tx))
+                .expect("spawn store service"),
+        );
+    }
+    match ready_rx.recv() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            // The store thread already exited; reap it.
+            for t in threads {
+                let _ = t.join();
+            }
+            return Err(ServeError::Store(e));
+        }
+        Err(_) => {
+            return Err(ServeError::Store(StoreError::Io {
+                source: std::io::Error::other("store service died during startup"),
+                page: None,
+                op: "open",
+            }))
+        }
+    }
+
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<(TcpStream, u64)>(config.workers.max(1) * 2);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    for i in 0..config.workers.max(1) {
+        let conn_rx = Arc::clone(&conn_rx);
+        let store_tx = store_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let counters = Arc::clone(&counters);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("natix-worker-{i}"))
+                .spawn(move || worker_loop(conn_rx, store_tx, shutdown, counters))
+                .expect("spawn worker"),
+        );
+    }
+    // The workers hold the only long-lived senders: when the last worker
+    // exits after a shutdown, the store service drains and stops.
+    drop(store_tx);
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let counters = Arc::clone(&counters);
+        threads.push(
+            std::thread::Builder::new()
+                .name("natix-acceptor".into())
+                .spawn(move || acceptor_loop(listener, conn_tx, shutdown, counters))
+                .expect("spawn acceptor"),
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        counters,
+        threads,
+    })
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    conn_tx: SyncSender<(TcpStream, u64)>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut next_conn = 1u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                if stream.set_nonblocking(false).is_err()
+                    || conn_tx.send((stream, next_conn)).is_err()
+                {
+                    break;
+                }
+                next_conn += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop(
+    conn_rx: Arc<Mutex<Receiver<(TcpStream, u64)>>>,
+    store_tx: SyncSender<ServiceMsg>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    loop {
+        // Hold the queue lock only while waiting, so workers take turns.
+        let next = {
+            let rx = conn_rx.lock().expect("conn queue poisoned");
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok((stream, conn)) => {
+                // A panicking handler must not shrink the pool: count it,
+                // drop the connection, keep serving.
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    handle_conn(stream, conn, &store_tx, &shutdown, &counters)
+                }));
+                if r.is_err() {
+                    counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = store_tx.send(ServiceMsg::Disconnect { conn });
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// What one attempt to read a frame from a connection produced.
+enum FrameOutcome {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The peer closed at a frame boundary, or the connection is idle
+    /// while the server shuts down.
+    Close,
+    /// An undelimitable length prefix; answer and close.
+    BadLength(u32),
+    /// Transport failure (including mid-frame disconnects); just close.
+    Broken,
+}
+
+/// Read one frame, tolerating read timeouts so the worker can observe the
+/// shutdown flag: an *idle* connection closes immediately on shutdown,
+/// while a frame already in progress gets a drain grace period.
+fn read_frame_shutdown_aware(stream: &mut TcpStream, shutdown: &AtomicBool) -> FrameOutcome {
+    let mut len = [0u8; 4];
+    match read_full(stream, &mut len, shutdown, true) {
+        ReadFull::Done => {}
+        ReadFull::CleanClose | ReadFull::IdleShutdown => return FrameOutcome::Close,
+        ReadFull::Broken => return FrameOutcome::Broken,
+    }
+    let n = u32::from_le_bytes(len);
+    if n == 0 || n > MAX_FRAME {
+        return FrameOutcome::BadLength(n);
+    }
+    let mut body = vec![0u8; n as usize];
+    match read_full(stream, &mut body, shutdown, false) {
+        ReadFull::Done => FrameOutcome::Frame(body),
+        ReadFull::CleanClose | ReadFull::Broken | ReadFull::IdleShutdown => FrameOutcome::Broken,
+    }
+}
+
+enum ReadFull {
+    Done,
+    CleanClose,
+    IdleShutdown,
+    Broken,
+}
+
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    at_boundary: bool,
+) -> ReadFull {
+    let mut got = 0usize;
+    let mut drain_deadline: Option<Instant> = None;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && at_boundary {
+                    ReadFull::CleanClose
+                } else {
+                    ReadFull::Broken
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if got == 0 && at_boundary {
+                        return ReadFull::IdleShutdown;
+                    }
+                    // Mid-frame: let the peer finish within the grace
+                    // window, then give up.
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    if Instant::now() >= deadline {
+                        return ReadFull::Broken;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadFull::Broken,
+        }
+    }
+    ReadFull::Done
+}
+
+/// How long a worker keeps waiting for the rest of an in-progress frame
+/// after shutdown is requested.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// Poll interval of connection reads (frequency at which the shutdown
+/// flag is observed on idle connections).
+const READ_POLL: Duration = Duration::from_millis(50);
+
+fn send_response(stream: &mut TcpStream, resp: &Response) -> bool {
+    let mut body = resp.encode();
+    if body.len() > MAX_FRAME as usize {
+        // A response that cannot be framed (absurdly large query result)
+        // degrades to a typed error instead of a broken stream.
+        body = Response {
+            epoch: resp.epoch,
+            body: ResponseBody::Error {
+                kind: ErrKind::Internal,
+                message: "response exceeds frame limit".to_string(),
+            },
+        }
+        .encode();
+    }
+    write_frame(stream, &body).is_ok()
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    conn: u64,
+    store_tx: &SyncSender<ServiceMsg>,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        let body = match read_frame_shutdown_aware(&mut stream, shutdown) {
+            FrameOutcome::Frame(b) => b,
+            FrameOutcome::Close | FrameOutcome::Broken => break,
+            FrameOutcome::BadLength(n) => {
+                counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = send_response(
+                    &mut stream,
+                    &Response {
+                        epoch: 0,
+                        body: ResponseBody::Error {
+                            kind: ErrKind::Proto,
+                            message: format!("bad frame length {n} (max {MAX_FRAME})"),
+                        },
+                    },
+                );
+                break;
+            }
+        };
+        let req = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame was delimited; answer typed and keep going.
+                counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                let ok = send_response(
+                    &mut stream,
+                    &Response {
+                        epoch: 0,
+                        body: ResponseBody::Error {
+                            kind: ErrKind::Proto,
+                            message: e.to_string(),
+                        },
+                    },
+                );
+                if ok {
+                    continue;
+                }
+                break;
+            }
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if matches!(req, Request::Shutdown) {
+            counters.ok.fetch_add(1, Ordering::Relaxed);
+            let _ = send_response(
+                &mut stream,
+                &Response {
+                    epoch: 0,
+                    body: ResponseBody::ShuttingDown,
+                },
+            );
+            shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let resp = match store_tx.try_send(ServiceMsg::Request {
+            conn,
+            req,
+            reply: reply_tx,
+        }) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response {
+                    epoch: 0,
+                    body: ResponseBody::Error {
+                        kind: ErrKind::Internal,
+                        message: "store service unavailable".to_string(),
+                    },
+                },
+            },
+            Err(TrySendError::Full(_)) => {
+                counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    epoch: 0,
+                    body: ResponseBody::RetryAfter {
+                        kind: ShedKind::Overloaded,
+                        millis: 2,
+                        what: "queue".to_string(),
+                    },
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => Response {
+                epoch: 0,
+                body: ResponseBody::Error {
+                    kind: ErrKind::Internal,
+                    message: "store service stopped".to_string(),
+                },
+            },
+        };
+        match &resp.body {
+            ResponseBody::Error { .. } => counters.errors.fetch_add(1, Ordering::Relaxed),
+            ResponseBody::RetryAfter { .. } => counters.shed.fetch_add(1, Ordering::Relaxed),
+            _ => counters.ok.fetch_add(1, Ordering::Relaxed),
+        };
+        if !send_response(&mut stream, &resp) {
+            break;
+        }
+    }
+}
+
+// ------------------------------------------------------- store service
+
+fn store_service(
+    config: ServeConfig,
+    rx: Receiver<ServiceMsg>,
+    ready: Sender<Result<(), StoreError>>,
+) {
+    let mut store_config = StoreConfig::default();
+    if let Some(n) = config.pool_pages {
+        store_config.buffer_pages = n;
+    }
+    let admission = AdmissionConfig {
+        max_inflight_reads: config.max_pins,
+        read_page_budget: config.read_page_budget,
+    };
+    let backend = match FilePager::open(&config.store) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    let shared = match SharedStore::open(
+        Box::new(backend),
+        Box::new(config.store.clone()),
+        store_config,
+        admission,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    let _ = ready.send(Ok(()));
+
+    let mut sessions: HashMap<u64, Snapshot> = HashMap::new();
+    // Drain until every worker has dropped its sender: all in-flight
+    // requests are answered before the session pins below are released.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServiceMsg::Request { conn, req, reply } => {
+                let resp = handle_request(&shared, &mut sessions, conn, req);
+                let _ = reply.send(resp);
+            }
+            ServiceMsg::Disconnect { conn } => {
+                sessions.remove(&conn);
+            }
+        }
+    }
+    // Shutdown drain: release pins only now, then run the deferred
+    // checkpoint/reclamation those releases unblock.
+    sessions.clear();
+    let _ = shared.maintain();
+}
+
+/// Map a store failure onto the wire: sheds become retry-after, the rest
+/// become typed errors.
+fn store_error_response(epoch: u64, e: &StoreError) -> Response {
+    let body = match e.category() {
+        ErrorCategory::Shed => ResponseBody::RetryAfter {
+            kind: if matches!(e, StoreError::Timeout { .. }) {
+                ShedKind::Timeout
+            } else {
+                ShedKind::Overloaded
+            },
+            millis: e.retry_after_hint_ms().unwrap_or(5) as u32,
+            what: match e {
+                StoreError::Overloaded { what, .. } | StoreError::Timeout { what, .. } => {
+                    (*what).to_string()
+                }
+                _ => String::new(),
+            },
+        },
+        ErrorCategory::Corrupt => ResponseBody::Error {
+            kind: ErrKind::Corrupt,
+            message: e.to_string(),
+        },
+        ErrorCategory::Io => ResponseBody::Error {
+            kind: ErrKind::Io,
+            message: e.to_string(),
+        },
+        ErrorCategory::InvalidRequest => ResponseBody::Error {
+            kind: ErrKind::InvalidUpdate,
+            message: e.to_string(),
+        },
+    };
+    Response { epoch, body }
+}
+
+fn bad_request(epoch: u64, message: String) -> Response {
+    Response {
+        epoch,
+        body: ResponseBody::Error {
+            kind: ErrKind::BadRequest,
+            message,
+        },
+    }
+}
+
+/// Most lines a query response will carry; hits beyond the cap are
+/// counted but not rendered (the count field is always exact).
+const MAX_QUERY_LINES: usize = 10_000;
+
+fn handle_request(
+    shared: &SharedStore,
+    sessions: &mut HashMap<u64, Snapshot>,
+    conn: u64,
+    req: Request,
+) -> Response {
+    let committed = shared.committed_epoch();
+    match req {
+        Request::Ping => Response {
+            epoch: committed,
+            body: ResponseBody::Pong,
+        },
+        Request::Begin => {
+            // Re-pinning moves the session to the latest epoch; release
+            // the old pin first so it cannot occupy an admission slot.
+            sessions.remove(&conn);
+            match shared.begin_read() {
+                Ok(snap) => {
+                    let epoch = snap.epoch();
+                    sessions.insert(conn, snap);
+                    Response {
+                        epoch,
+                        body: ResponseBody::SessionPinned,
+                    }
+                }
+                Err(e) => store_error_response(committed, &e),
+            }
+        }
+        Request::End => {
+            sessions.remove(&conn);
+            Response {
+                epoch: committed,
+                body: ResponseBody::SessionReleased,
+            }
+        }
+        Request::Query { xpath, count_only } => {
+            let path = match natix_xpath::parse(&xpath) {
+                Ok(p) => p,
+                Err(e) => return bad_request(committed, format!("xpath: {e}")),
+            };
+            let run = |snap: &mut Snapshot| -> Result<(u32, Vec<String>), StoreError> {
+                let store = snap.store();
+                let hits = {
+                    let mut nav = natix_xpath::StoreNavigator::new(store);
+                    eval(&mut nav, &path)?
+                };
+                let count = hits.len() as u32;
+                let mut lines = Vec::new();
+                if !count_only {
+                    for r in hits.iter().take(MAX_QUERY_LINES) {
+                        lines.push(render_hit(store, *r)?);
+                    }
+                }
+                Ok((count, lines))
+            };
+            match sessions.get_mut(&conn) {
+                Some(snap) => {
+                    let epoch = snap.epoch();
+                    match run(snap) {
+                        Ok((count, lines)) => Response {
+                            epoch,
+                            body: ResponseBody::QueryResult { count, lines },
+                        },
+                        Err(e) => store_error_response(epoch, &e),
+                    }
+                }
+                None => match shared.begin_read() {
+                    Ok(mut snap) => {
+                        let epoch = snap.epoch();
+                        match run(&mut snap) {
+                            Ok((count, lines)) => Response {
+                                epoch,
+                                body: ResponseBody::QueryResult { count, lines },
+                            },
+                            Err(e) => store_error_response(epoch, &e),
+                        }
+                    }
+                    Err(e) => store_error_response(committed, &e),
+                },
+            }
+        }
+        Request::Dump { degraded_ok } => match sessions.get_mut(&conn) {
+            Some(snap) => {
+                let epoch = snap.epoch();
+                match snap.document() {
+                    Ok(doc) => Response {
+                        epoch,
+                        body: ResponseBody::DumpResult {
+                            full: true,
+                            xml: doc.to_xml(),
+                            damage: String::new(),
+                        },
+                    },
+                    Err(e) => store_error_response(epoch, &e),
+                }
+            }
+            None if degraded_ok => match shared.read_document() {
+                Ok(served) => {
+                    let (full, damage) = match &served {
+                        ServedRead::Full(_) => (true, String::new()),
+                        ServedRead::Degraded(_, damage) => (false, damage.to_string()),
+                    };
+                    Response {
+                        epoch: committed,
+                        body: ResponseBody::DumpResult {
+                            full,
+                            xml: served.document().to_xml(),
+                            damage,
+                        },
+                    }
+                }
+                Err(e) => store_error_response(committed, &e),
+            },
+            None => match shared.begin_read() {
+                Ok(mut snap) => {
+                    let epoch = snap.epoch();
+                    match snap.document() {
+                        Ok(doc) => Response {
+                            epoch,
+                            body: ResponseBody::DumpResult {
+                                full: true,
+                                xml: doc.to_xml(),
+                                damage: String::new(),
+                            },
+                        },
+                        Err(e) => store_error_response(epoch, &e),
+                    }
+                }
+                Err(e) => store_error_response(committed, &e),
+            },
+        },
+        Request::Update { target, op } => {
+            let path = match natix_xpath::parse(&target) {
+                Ok(p) => p,
+                Err(e) => return bad_request(committed, format!("xpath: {e}")),
+            };
+            let mut writer = match shared.begin_write() {
+                Ok(w) => w,
+                Err(e) => return store_error_response(committed, &e),
+            };
+            let r = writer.mutate(|store| {
+                let hit = {
+                    let mut nav = natix_xpath::StoreNavigator::new(store);
+                    eval(&mut nav, &path)?.into_iter().next()
+                };
+                let Some(node) = hit else {
+                    return Err(StoreError::InvalidUpdate("update target matched no node"));
+                };
+                match &op {
+                    UpdateOp::AppendElement { name } => store
+                        .append_child(node, NodeKind::Element, name, None)
+                        .map(|_| ()),
+                    UpdateOp::AppendText { text } => store
+                        .append_child(node, NodeKind::Text, "#text", Some(text))
+                        .map(|_| ()),
+                    UpdateOp::InsertBefore { name } => store
+                        .insert_before(node, NodeKind::Element, name, None)
+                        .map(|_| ()),
+                    UpdateOp::DeleteSubtree => store.delete_subtree(node),
+                }
+            });
+            drop(writer);
+            match r {
+                Ok(()) => Response {
+                    epoch: shared.committed_epoch(),
+                    body: ResponseBody::UpdateDone,
+                },
+                Err(e) => store_error_response(shared.committed_epoch(), &e),
+            }
+        }
+        Request::Stats => {
+            let storage = shared.storage_stats();
+            let c = shared.stats();
+            let text = format!(
+                "epoch        : {}\n\
+                 live records : {}\n\
+                 pages        : {}\n\
+                 occupied     : {} KB\n\
+                 snapshots    : {} opened, {} active\n\
+                 sheds        : {} reads, {} timeouts, {} degraded fallbacks\n\
+                 commits      : {} ({} group, {} batched ops)\n\
+                 checkpoints  : {} deferred, {} applied\n\
+                 reclaimed    : {} pages ({} rounds pin-blocked)\n",
+                storage.epoch,
+                storage.live_records,
+                storage.pages,
+                storage.occupied_bytes / 1024,
+                c.snapshots_opened,
+                c.snapshots_active,
+                c.reads_shed,
+                c.reads_timed_out,
+                c.degraded_fallbacks,
+                c.commits,
+                c.group_commits,
+                c.batched_ops,
+                c.checkpoints_deferred,
+                c.checkpoints_applied,
+                c.pages_reclaimed,
+                c.reclaim_blocked_by_pins,
+            );
+            Response {
+                epoch: storage.epoch,
+                body: ResponseBody::StatsText(text),
+            }
+        }
+        Request::Fsck => match shared.scrub() {
+            Ok(report) => Response {
+                epoch: committed,
+                body: ResponseBody::FsckResult {
+                    clean: report.clean(),
+                    report: report.to_string(),
+                },
+            },
+            Err(e) => store_error_response(committed, &e),
+        },
+        // Shutdown never reaches the store service (handled at the
+        // worker); answer defensively anyway.
+        Request::Shutdown => Response {
+            epoch: committed,
+            body: ResponseBody::ShuttingDown,
+        },
+    }
+}
+
+/// Render one query hit the way `natix query` prints it.
+fn render_hit(store: &mut XmlStore, r: natix_store::NodeRef) -> Result<String, StoreError> {
+    let (kind, label) = store.with_node(r, |n| (n.kind, n.label))?;
+    let name = store.label_name(label).to_string();
+    let content = store.node_content(r)?;
+    Ok(match (kind, content) {
+        (NodeKind::Element, _) => format!("<{name}>"),
+        (NodeKind::Attribute, Some(v)) => format!("@{name}=\"{v}\""),
+        (_, Some(v)) => v,
+        (_, None) => format!("<{name}>"),
+    })
+}
+
+/// Blocking frame read used by the client side (no shutdown awareness).
+pub(crate) fn read_response(stream: &mut TcpStream) -> Result<Response, ProtoError> {
+    let body = read_frame(stream)?;
+    Response::decode(&body)
+}

@@ -1,0 +1,469 @@
+//! End-to-end tests of the `natix serve` daemon over real sockets:
+//! verb round trips, graceful shutdown, protocol abuse (malformed
+//! frames, bad lengths, mid-frame disconnects, randomized frame
+//! mutations), the backpressure round trip, and a miniature
+//! concurrent-client soak asserting snapshot isolation at the wire.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use natix_core::Ekm;
+use natix_server::wire::{read_frame, write_frame, OP_SHUTDOWN};
+use natix_server::{
+    serve, Client, ErrKind, Request, Response, ResponseBody, ServeConfig, ServerHandle,
+};
+use natix_store::{bulkload_with, FilePager, StoreConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const SEED_XML: &str = "<list><e>one entry of text</e><e>two entry of text</e>\
+                        <e>three entry of text</e></list>";
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("natix-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn build_store(dir: &Path) -> PathBuf {
+    let path = dir.join("store.natix");
+    let doc = natix_xml::parse(SEED_XML).unwrap();
+    let pager = FilePager::create(&path).unwrap();
+    drop(bulkload_with(&doc, &Ekm, 16, Box::new(pager), StoreConfig::default()).unwrap());
+    path
+}
+
+fn start(store: PathBuf, tweak: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut config = ServeConfig {
+        store,
+        workers: 3,
+        ..ServeConfig::default()
+    };
+    tweak(&mut config);
+    serve(config).unwrap()
+}
+
+/// Every verb round-trips, an update is visible to a later query, and a
+/// wire-initiated shutdown drains cleanly with zero worker panics.
+#[test]
+fn verbs_round_trip_and_graceful_shutdown() {
+    let dir = scratch_dir("verbs");
+    let handle = start(build_store(&dir), |_| {});
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let epoch0 = c.ping().unwrap();
+    let (qe, count, lines) = c.query("//e").unwrap();
+    assert_eq!(count, 3);
+    assert_eq!(lines, vec!["<e>"; 3]);
+    assert!(qe >= epoch0);
+
+    let (_, xml) = c.dump().unwrap();
+    assert_eq!(xml, natix_xml::parse(SEED_XML).unwrap().to_xml());
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("epoch"), "{stats}");
+    assert!(stats.contains("snapshots"), "{stats}");
+
+    let (clean, report) = c.fsck().unwrap();
+    assert!(clean, "{report}");
+
+    // Update through the wire, observed by a later query on the same
+    // connection at a strictly newer epoch.
+    let resp = c
+        .request(&Request::Update {
+            target: "/list".to_string(),
+            op: natix_server::UpdateOp::AppendElement {
+                name: "fresh".to_string(),
+            },
+        })
+        .unwrap();
+    assert_eq!(resp.body, ResponseBody::UpdateDone);
+    assert!(resp.epoch > epoch0);
+    let (_, count, _) = c.query("//fresh").unwrap();
+    assert_eq!(count, 1);
+
+    // A bad XPath is a typed BadRequest, not a dropped connection.
+    let resp = c
+        .request(&Request::Query {
+            xpath: "///".to_string(),
+            count_only: true,
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            &resp.body,
+            ResponseBody::Error {
+                kind: ErrKind::BadRequest,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // ... and an update matching nothing reports InvalidUpdate.
+    let resp = c
+        .request(&Request::Update {
+            target: "//absent".to_string(),
+            op: natix_server::UpdateOp::DeleteSubtree,
+        })
+        .unwrap();
+    assert!(
+        matches!(
+            &resp.body,
+            ResponseBody::Error {
+                kind: ErrKind::InvalidUpdate,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+
+    c.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    assert_eq!(summary.proto_errors, 0, "{summary}");
+    assert!(summary.ok >= 8, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Session pins hold their epoch: a pinned connection keeps seeing the
+/// begin-time document while another connection commits updates.
+#[test]
+fn session_pin_isolates_from_concurrent_commits() {
+    let dir = scratch_dir("pin");
+    let handle = start(build_store(&dir), |_| {});
+
+    let mut reader = Client::connect(handle.addr()).unwrap();
+    let pinned_epoch = reader.begin().unwrap();
+    let (_, before_xml) = reader.dump().unwrap();
+
+    let mut writer = Client::connect(handle.addr()).unwrap();
+    for i in 0..3 {
+        let resp = writer
+            .request(&Request::Update {
+                target: "/list".to_string(),
+                op: natix_server::UpdateOp::AppendText {
+                    text: format!("wire payload number {i}"),
+                },
+            })
+            .unwrap();
+        assert_eq!(resp.body, ResponseBody::UpdateDone, "update {i}");
+    }
+
+    // The pinned reader still serves its epoch ...
+    let (e, xml) = reader.dump().unwrap();
+    assert_eq!(e, pinned_epoch);
+    assert_eq!(xml, before_xml);
+    // ... and after releasing the pin it sees the new state.
+    reader.end().unwrap();
+    let (e2, xml2) = reader.dump().unwrap();
+    assert!(e2 > pinned_epoch);
+    assert!(xml2.contains("wire payload number 2"));
+
+    reader.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A malformed body is answered with a typed protocol error and the
+/// connection keeps working; an undelimitable length prefix is answered
+/// and then the connection is closed.
+#[test]
+fn malformed_frames_get_typed_errors() {
+    let dir = scratch_dir("malformed");
+    let handle = start(build_store(&dir), |_| {});
+
+    // Unknown opcode: typed error, connection survives.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    write_frame(&mut s, &[0xEE]).unwrap();
+    let resp = Response::decode(&read_frame(&mut s).unwrap()).unwrap();
+    assert!(
+        matches!(
+            &resp.body,
+            ResponseBody::Error {
+                kind: ErrKind::Proto,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    write_frame(&mut s, &Request::Ping.encode()).unwrap();
+    let resp = Response::decode(&read_frame(&mut s).unwrap()).unwrap();
+    assert_eq!(resp.body, ResponseBody::Pong, "connection must survive");
+
+    // Oversized length prefix: typed error, then close.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let resp = Response::decode(&read_frame(&mut s).unwrap()).unwrap();
+    assert!(
+        matches!(
+            &resp.body,
+            ResponseBody::Error {
+                kind: ErrKind::Proto,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    assert!(
+        matches!(read_frame(&mut s), Err(natix_server::ProtoError::Closed)),
+        "server must close after an undelimitable prefix"
+    );
+
+    // Mid-frame disconnect: claim 100 bytes, send 10, hang up. The
+    // server must shrug it off and keep serving.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[7u8; 10]).unwrap();
+    drop(s);
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert!(c.ping().is_ok());
+    c.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    assert!(summary.proto_errors >= 2, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Randomized network fuzz: mutations and truncations of valid frames,
+/// plus raw byte soup, sent over real connections. Every exchange ends
+/// in a typed response or a clean close — the server never panics and
+/// still serves valid traffic afterwards.
+#[test]
+fn fuzzed_frames_never_kill_the_server() {
+    let dir = scratch_dir("fuzz");
+    let handle = start(build_store(&dir), |_| {});
+    let mut rng = StdRng::seed_from_u64(0xF0A2);
+
+    let valid: Vec<Vec<u8>> = vec![
+        Request::Ping.encode(),
+        Request::Query {
+            xpath: "//e".to_string(),
+            count_only: false,
+        }
+        .encode(),
+        Request::Dump { degraded_ok: true }.encode(),
+        Request::Stats.encode(),
+        Request::Fsck.encode(),
+        Request::Begin.encode(),
+        Request::End.encode(),
+        Request::Update {
+            target: "/list".to_string(),
+            op: natix_server::UpdateOp::AppendElement {
+                name: "fz".to_string(),
+            },
+        }
+        .encode(),
+    ];
+
+    let mut conn = TcpStream::connect(handle.addr()).unwrap();
+    for round in 0..300 {
+        let mut body = valid[rng.gen_range(0..valid.len())].clone();
+        match rng.gen_range(0..4u8) {
+            0 => {
+                // Flip 1..4 bytes.
+                for _ in 0..rng.gen_range(1..4u8) {
+                    let i = rng.gen_range(0..body.len());
+                    body[i] = rng.gen_range(0..=255u8);
+                }
+            }
+            1 => {
+                // Truncate.
+                let keep = rng.gen_range(0..body.len());
+                body.truncate(keep.max(1));
+            }
+            2 => {
+                // Raw byte soup.
+                body = (0..rng.gen_range(1..48usize))
+                    .map(|_| rng.gen_range(0..=255u8))
+                    .collect();
+            }
+            _ => {} // leave valid
+        }
+        // A mutation may fabricate the shutdown opcode; skip those so the
+        // fuzz loop keeps a live server to abuse.
+        if body[0] == OP_SHUTDOWN {
+            continue;
+        }
+        write_frame(&mut conn, &body).unwrap();
+        match read_frame(&mut conn) {
+            Ok(frame) => {
+                // Whatever came back must at least be a decodable
+                // response; content is free.
+                Response::decode(&frame)
+                    .unwrap_or_else(|e| panic!("round {round}: undecodable response: {e}"));
+            }
+            Err(_) => {
+                // Clean close (or reset) — reconnect and go on.
+                conn = TcpStream::connect(handle.addr()).unwrap();
+            }
+        }
+    }
+
+    // The server is still healthy.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert!(c.ping().is_ok());
+    let (clean, report) = c.fsck().unwrap();
+    assert!(clean, "store must stay consistent under fuzz:\n{report}");
+    c.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite: the backpressure round trip. Saturate the pin budget and
+/// the next session gets a typed retry-after (not a hang, not a reset);
+/// honoring the hint after a pin frees succeeds.
+#[test]
+fn backpressure_round_trip() {
+    let dir = scratch_dir("backpressure");
+    let handle = start(build_store(&dir), |c| {
+        c.max_pins = 2;
+    });
+
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    a.begin().unwrap();
+    b.begin().unwrap();
+
+    // Budget exhausted: a typed retry-after with a usable hint.
+    let resp = c.request(&Request::Begin).unwrap();
+    match &resp.body {
+        ResponseBody::RetryAfter { millis, what, .. } => {
+            assert!(*millis > 0, "{resp:?}");
+            assert!(!what.is_empty(), "{resp:?}");
+        }
+        other => panic!("expected RetryAfter, got {other:?}"),
+    }
+
+    // Unpinned reads still work under a saturated pin budget via the
+    // degraded path (reads are served, never hung).
+    let resp = c.request(&Request::Dump { degraded_ok: true }).unwrap();
+    assert!(
+        matches!(&resp.body, ResponseBody::DumpResult { .. }),
+        "{resp:?}"
+    );
+
+    // Release one pin; a client that honors retry-after gets through.
+    a.end().unwrap();
+    let (resp, _retries) = c.request_retry(&Request::Begin, 50).unwrap();
+    assert_eq!(resp.body, ResponseBody::SessionPinned);
+
+    c.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert!(summary.shed >= 1, "{summary}");
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite (miniature soak): concurrent reader clients race a writer
+/// over the wire. Every response is consistent with exactly one
+/// committed epoch — equal-epoch dumps hash identically, per-connection
+/// epochs never regress — and the store fscks clean afterwards.
+#[test]
+fn concurrent_clients_observe_single_epoch_states() {
+    let dir = scratch_dir("soak-mini");
+    let handle = start(build_store(&dir), |_| {});
+    let addr = handle.addr();
+
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut last_epoch = 0u64;
+                let mut dumps: Vec<(u64, u64)> = Vec::new();
+                for _ in 0..15 {
+                    let (resp, _) = c
+                        .request_retry(&Request::Dump { degraded_ok: false }, 50)
+                        .unwrap();
+                    let ResponseBody::DumpResult { full, xml, .. } = &resp.body else {
+                        panic!("reader {r}: {resp:?}");
+                    };
+                    assert!(full, "pinned-free reads must still be full reads");
+                    assert!(
+                        resp.epoch >= last_epoch,
+                        "epoch regressed on one connection"
+                    );
+                    last_epoch = resp.epoch;
+                    let mut h = DefaultHasher::new();
+                    xml.hash(&mut h);
+                    dumps.push((resp.epoch, h.finish()));
+
+                    let (resp, _) = c
+                        .request_retry(
+                            &Request::Query {
+                                xpath: "//e".to_string(),
+                                count_only: true,
+                            },
+                            50,
+                        )
+                        .unwrap();
+                    assert!(
+                        matches!(&resp.body, ResponseBody::QueryResult { .. }),
+                        "reader {r}: {resp:?}"
+                    );
+                }
+                dumps
+            })
+        })
+        .collect();
+
+    let mut w = Client::connect(addr).unwrap();
+    for i in 0..12 {
+        let (resp, _) = w
+            .request_retry(
+                &Request::Update {
+                    target: "/list".to_string(),
+                    op: natix_server::UpdateOp::AppendText {
+                        text: format!("soak payload number {i}"),
+                    },
+                },
+                50,
+            )
+            .unwrap();
+        assert_eq!(resp.body, ResponseBody::UpdateDone, "update {i}: {resp:?}");
+    }
+
+    // Exactly one document hash per committed epoch, across all clients.
+    let mut by_epoch: HashMap<u64, u64> = HashMap::new();
+    for t in readers {
+        for (epoch, hash) in t.join().unwrap() {
+            if let Some(prev) = by_epoch.insert(epoch, hash) {
+                assert_eq!(
+                    prev, hash,
+                    "two clients saw different documents at epoch {epoch}"
+                );
+            }
+        }
+    }
+    assert!(!by_epoch.is_empty());
+
+    let (clean, report) = w.fsck().unwrap();
+    assert!(clean, "{report}");
+    w.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `serve` reports store-open failures as errors instead of panicking
+/// or leaking threads.
+#[test]
+fn serve_reports_missing_store() {
+    let dir = scratch_dir("missing");
+    let config = ServeConfig {
+        store: dir.join("nope.natix"),
+        ..ServeConfig::default()
+    };
+    match serve(config) {
+        Err(natix_server::ServeError::Store(_)) => {}
+        other => panic!("expected store error, got {:?}", other.map(|h| h.addr())),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -125,6 +125,19 @@ pub struct ConcurrencyStats {
     pub batched_ops: u64,
 }
 
+/// Committed-state size counters from [`SharedStore::storage_stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct StorageStats {
+    /// Epoch of the committed state the counters describe.
+    pub epoch: u64,
+    /// Records reachable from the committed catalog.
+    pub live_records: usize,
+    /// Pages allocated in the backing file.
+    pub pages: u32,
+    /// Bytes occupied by allocated pages.
+    pub occupied_bytes: u64,
+}
+
 /// A superseded catalog/journal chain awaiting reclamation.
 struct GarbageSet {
     /// Epoch whose publication made the chain unreferenced.
@@ -238,6 +251,19 @@ impl SharedStore {
     /// are per-reader and die with their snapshot).
     pub fn buffer_stats(&self) -> crate::pager::BufferStats {
         self.inner.borrow().store.buffer_stats()
+    }
+
+    /// Size/shape counters of the committed store state, read off the
+    /// writer's in-memory catalog without opening a snapshot (so a stats
+    /// probe never competes with readers for admission slots).
+    pub fn storage_stats(&self) -> StorageStats {
+        let inner = self.inner.borrow();
+        StorageStats {
+            epoch: inner.store.current_epoch(),
+            live_records: inner.store.live_record_count(),
+            pages: inner.store.page_count(),
+            occupied_bytes: inner.store.occupied_bytes(),
+        }
     }
 
     /// Distinct page ids pinned in the writer's pool by live snapshots.

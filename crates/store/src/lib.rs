@@ -42,7 +42,7 @@ pub use collection::{
 };
 pub use concurrent::{
     AdmissionConfig, BatchOp, ConcurrencyStats, PagerFactory, ServedRead, SharedStore, Snapshot,
-    WriteGuard,
+    StorageStats, WriteGuard,
 };
 pub use fsck::{fsck, FsckFinding, FsckReport, FsckSeverity};
 pub use page::{
@@ -51,9 +51,9 @@ pub use page::{
 };
 pub use pager::{
     corrupt_checksum_of_class, corrupt_page_of_class, inject_bit_rot, io_error_is_transient,
-    BufferPool, BufferStats, ChecksummingPager, Fault, FaultInjectingPager, FaultSchedule,
-    FilePager, MemPager, PageId, Pager, RetryPolicy, RetryStats, RetryingPager, SharedMemPager,
-    StoreError, StoreResult,
+    BufferPool, BufferStats, ChecksummingPager, ErrorCategory, Fault, FaultInjectingPager,
+    FaultSchedule, FilePager, MemPager, PageId, Pager, RetryPolicy, RetryStats, RetryingPager,
+    SharedMemPager, StoreError, StoreResult,
 };
 pub use record::{ChildEntry, RecNode, RecordData};
 pub use store::{

@@ -209,6 +209,48 @@ impl StoreError {
             StoreError::Overloaded { .. } | StoreError::Timeout { .. }
         )
     }
+
+    /// Coarse classification for front ends that must tell shed load from
+    /// real damage — the network server maps these to response kinds and
+    /// the CLI maps them to distinct exit codes.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            StoreError::Overloaded { .. } | StoreError::Timeout { .. } => ErrorCategory::Shed,
+            StoreError::Corrupt { .. } | StoreError::BadPage(_) | StoreError::BadRecord(_) => {
+                ErrorCategory::Corrupt
+            }
+            StoreError::Io { .. } => ErrorCategory::Io,
+            StoreError::InvalidUpdate(_) => ErrorCategory::InvalidRequest,
+        }
+    }
+
+    /// Suggested client back-off in milliseconds for shed requests, scaled
+    /// by how far past the limit the rejection happened. `None` for errors
+    /// that are not load shedding (retrying those does not help).
+    pub fn retry_after_hint_ms(&self) -> Option<u64> {
+        match self {
+            StoreError::Overloaded { inflight, .. } => Some((1 + *inflight as u64 / 4).min(50)),
+            StoreError::Timeout { .. } => Some(10),
+            _ => None,
+        }
+    }
+}
+
+/// Coarse failure classes of [`StoreError::category`]. The distinction
+/// that matters operationally: [`ErrorCategory::Shed`] means the store is
+/// healthy and the request should be retried later, everything else means
+/// the request itself (or the store) has a real problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// Admission control rejected the request ([`StoreError::Overloaded`]
+    /// / [`StoreError::Timeout`]); retry after a back-off.
+    Shed,
+    /// At-rest bytes are damaged; `fsck` is the remedy, not a retry.
+    Corrupt,
+    /// An underlying I/O failure.
+    Io,
+    /// The request was semantically invalid (e.g. an illegal update).
+    InvalidRequest,
 }
 
 /// Transient/permanent split over [`std::io::ErrorKind`], shared by

@@ -37,6 +37,7 @@ mod chaos;
 mod fuzz;
 mod group;
 mod model;
+mod net;
 mod ops;
 
 pub use bulk::{run_bulkload_campaign, BulkCampaignConfig, BulkFailure, BulkReport};
@@ -54,4 +55,8 @@ pub use group::{
     GroupFailure, GroupOutcome,
 };
 pub use model::ModelTree;
+pub use net::{
+    percentile_us, run_net_load, run_serve_soak, NetLevelReport, NetLoadConfig, NetLoadReport,
+    ServeSoakConfig, ServeSoakReport,
+};
 pub use ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};

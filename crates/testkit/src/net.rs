@@ -1,0 +1,670 @@
+//! Client-facing network harnesses over `natix serve`.
+//!
+//! Two campaigns extend the chaos/stress machinery across the wire:
+//!
+//! * [`run_net_load`] — an in-process server under closed-loop client
+//!   fleets of increasing size. Per level it records request latency
+//!   percentiles, throughput and the shed rate (retry-after responses
+//!   per offered request), while every client checks the snapshot
+//!   contract at the wire: per-connection epochs never regress and two
+//!   clients that dump the same epoch see byte-identical documents.
+//!   This backs `natix stress --net` and `BENCH_serve.json`.
+//! * [`run_serve_soak`] — a power-cut campaign against a *child process*
+//!   running `natix serve`. Reader clients and an update storm run
+//!   against the daemon until it is SIGKILLed mid-storm; the store file
+//!   is then reopened (running crash recovery), must pass consistency
+//!   and fsck, and must contain every update the server acknowledged —
+//!   an ack over the wire is a durability promise. Killing the process
+//!   (not the machine) means every completed `write` survives in the
+//!   page cache, so *any* resulting file state is a legitimate recovery
+//!   target and the assertion is universal, not timing-dependent.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use natix_core::Ekm;
+use natix_datagen::{xmark, GenConfig};
+use natix_server::{serve, Client, Request, ResponseBody, ServeConfig, ServeSummary, UpdateOp};
+use natix_store::{bulkload_with, fsck, FilePager, StoreConfig, XmlStore};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+// ------------------------------------------------------------- net load
+
+/// Configuration for [`run_net_load`].
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Base seed for workload generation.
+    pub seed: u64,
+    /// Client-fleet sizes to sweep (offered-load levels).
+    pub levels: Vec<usize>,
+    /// Requests each client completes per level.
+    pub requests_per_client: usize,
+    /// XMark scale of the served document.
+    pub scale: f64,
+    /// Server connection workers.
+    pub workers: usize,
+    /// Store-service queue bound.
+    pub queue_depth: usize,
+    /// Snapshot-pin budget.
+    pub max_pins: u32,
+}
+
+impl NetLoadConfig {
+    /// CI smoke tier: two small levels, seconds.
+    pub fn quick() -> NetLoadConfig {
+        NetLoadConfig {
+            seed: 0x5E17_E0AD,
+            levels: vec![1, 4],
+            requests_per_client: 40,
+            scale: 0.005,
+            workers: 6,
+            queue_depth: 64,
+            max_pins: 64,
+        }
+    }
+
+    /// The acceptance tier: a full offered-load sweep.
+    pub fn full() -> NetLoadConfig {
+        NetLoadConfig {
+            seed: 0x5E17_E0AD,
+            levels: vec![1, 2, 4, 8, 16],
+            requests_per_client: 250,
+            scale: 0.02,
+            // One worker per client at the top level: contention is
+            // measured at the store, not the accept queue.
+            workers: 16,
+            queue_depth: 64,
+            // Small enough that the 8- and 16-client levels contend for
+            // admission and the shed-rate column comes alive.
+            max_pins: 8,
+        }
+    }
+}
+
+/// Measurements of one offered-load level.
+#[derive(Debug, Clone)]
+pub struct NetLevelReport {
+    /// Concurrent clients at this level.
+    pub clients: usize,
+    /// Requests that completed with a non-shed response.
+    pub completed: u64,
+    /// Retry-after responses received (each is one shed request).
+    pub sheds: u64,
+    /// Updates among the completed requests.
+    pub updates: u64,
+    /// Median request latency (microseconds, retries included).
+    pub p50_us: u64,
+    /// 99th-percentile request latency.
+    pub p99_us: u64,
+    /// Worst request latency.
+    pub max_us: u64,
+    /// Wall-clock seconds for the level.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Sheds per offered request (`sheds / (completed + sheds)`).
+    pub shed_rate: f64,
+}
+
+/// Result of [`run_net_load`].
+#[derive(Debug)]
+pub struct NetLoadReport {
+    /// One entry per offered-load level, in sweep order.
+    pub levels: Vec<NetLevelReport>,
+    /// Final server counters after the graceful shutdown.
+    pub server: ServeSummary,
+    /// Contract violations (empty on success).
+    pub failures: Vec<String>,
+}
+
+impl NetLoadReport {
+    /// Did every level complete with zero violations and zero protocol
+    /// errors at the server?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.server.proto_errors == 0 && self.server.worker_panics == 0
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for l in &self.levels {
+            s.push_str(&format!(
+                "  {:>2} clients: {:>6} req, p50 {:>6} us, p99 {:>7} us, {:>7.0} req/s, shed rate {:.3}\n",
+                l.clients, l.completed, l.p50_us, l.p99_us, l.rps, l.shed_rate
+            ));
+        }
+        s.push_str(&format!(
+            "  server: {} ({} failures)",
+            self.server,
+            self.failures.len()
+        ));
+        s
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("natix-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn build_store_file(dir: &Path, scale: f64, seed: u64) -> PathBuf {
+    let path = dir.join("served.natix");
+    let doc = xmark(GenConfig { scale, seed });
+    let pager = FilePager::create(&path).expect("create store file");
+    drop(
+        bulkload_with(&doc, &Ekm, 128, Box::new(pager), StoreConfig::default())
+            .expect("bulkload served store"),
+    );
+    path
+}
+
+/// What one closed-loop client observed during a level.
+struct ClientObservation {
+    latencies_us: Vec<u64>,
+    completed: u64,
+    sheds: u64,
+    updates: u64,
+    /// `(epoch, document hash)` per dump, for cross-client comparison.
+    dumps: Vec<(u64, u64)>,
+    failures: Vec<String>,
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    id: usize,
+    level: usize,
+    requests: usize,
+    seed: u64,
+) -> ClientObservation {
+    let mut obs = ClientObservation {
+        latencies_us: Vec::with_capacity(requests),
+        completed: 0,
+        sheds: 0,
+        updates: 0,
+        dumps: Vec::new(),
+        failures: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ (level as u64) << 24 ^ id as u64);
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            obs.failures.push(format!("client {id}: connect: {e}"));
+            return obs;
+        }
+    };
+    let mut last_epoch = 0u64;
+    // While a session is pinned, reads come from its snapshot and must
+    // all report the pin epoch; between pins, epochs are monotone.
+    let mut pin_epoch: Option<u64> = None;
+    for i in 0..requests {
+        let req = if pin_epoch.is_some() {
+            match rng.gen_range(0..100u32) {
+                0..=19 => Request::End,
+                20..=59 => Request::Query {
+                    xpath: "//keyword".to_string(),
+                    count_only: true,
+                },
+                60..=79 => Request::Query {
+                    xpath: "//item".to_string(),
+                    count_only: false,
+                },
+                _ => Request::Dump { degraded_ok: false },
+            }
+        } else {
+            match rng.gen_range(0..100u32) {
+                0..=19 => Request::Begin,
+                20..=44 => Request::Query {
+                    xpath: "//keyword".to_string(),
+                    count_only: true,
+                },
+                45..=54 => Request::Query {
+                    xpath: "//item".to_string(),
+                    count_only: false,
+                },
+                55..=69 => Request::Dump { degraded_ok: false },
+                70..=74 => Request::Stats,
+                75..=79 => Request::Fsck,
+                _ => Request::Update {
+                    target: "/site".to_string(),
+                    op: UpdateOp::AppendText {
+                        text: format!("load marker {level}.{id}.{i}"),
+                    },
+                },
+            }
+        };
+        let started = Instant::now();
+        match c.request_retry(&req, 200) {
+            Ok((resp, retries)) => {
+                obs.latencies_us.push(started.elapsed().as_micros() as u64);
+                obs.completed += 1;
+                obs.sheds += retries as u64;
+                match (&req, pin_epoch) {
+                    (Request::Begin, _) => pin_epoch = Some(resp.epoch),
+                    (Request::End, _) => pin_epoch = None,
+                    (_, Some(pinned)) => {
+                        // Snapshot isolation at the wire: a pinned
+                        // session never sees another epoch.
+                        if resp.epoch != pinned {
+                            obs.failures.push(format!(
+                                "client {id}: pinned at epoch {pinned} but {req:?} reported {}",
+                                resp.epoch
+                            ));
+                        }
+                    }
+                    (_, None) => {
+                        if resp.epoch > 0 && resp.epoch < last_epoch {
+                            obs.failures.push(format!(
+                                "client {id}: epoch regressed {last_epoch} -> {} on {req:?}",
+                                resp.epoch
+                            ));
+                        }
+                    }
+                }
+                last_epoch = last_epoch.max(resp.epoch);
+                match &resp.body {
+                    ResponseBody::UpdateDone => obs.updates += 1,
+                    ResponseBody::DumpResult { xml, full, .. } => {
+                        if !full {
+                            obs.failures
+                                .push(format!("client {id}: degraded dump without opting in"));
+                        }
+                        let mut h = DefaultHasher::new();
+                        xml.hash(&mut h);
+                        obs.dumps.push((resp.epoch, h.finish()));
+                    }
+                    ResponseBody::Error { kind, message } => {
+                        obs.failures
+                            .push(format!("client {id}: {kind} error on {req:?}: {message}"));
+                    }
+                    _ => {}
+                }
+            }
+            Err(e) => {
+                obs.failures.push(format!("client {id}: request {i}: {e}"));
+                return obs;
+            }
+        }
+    }
+    obs
+}
+
+/// Sweep the configured fleet sizes against one in-process server and
+/// measure latency, throughput and shed behaviour per level.
+pub fn run_net_load(config: &NetLoadConfig) -> NetLoadReport {
+    let dir = scratch_dir("load");
+    let store = build_store_file(&dir, config.scale, config.seed);
+    let handle = serve(ServeConfig {
+        store,
+        workers: config.workers,
+        queue_depth: config.queue_depth,
+        max_pins: config.max_pins,
+        ..ServeConfig::default()
+    })
+    .expect("start load server");
+    let addr = handle.addr();
+
+    let mut levels = Vec::new();
+    let mut failures = Vec::new();
+    for &clients in &config.levels {
+        let started = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|id| {
+                let requests = config.requests_per_client;
+                let seed = config.seed;
+                std::thread::spawn(move || client_loop(addr, id, clients, requests, seed))
+            })
+            .collect();
+        let observations: Vec<ClientObservation> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let elapsed_s = started.elapsed().as_secs_f64();
+
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut completed = 0u64;
+        let mut sheds = 0u64;
+        let mut updates = 0u64;
+        let mut by_epoch: HashMap<u64, u64> = HashMap::new();
+        for obs in observations {
+            latencies.extend(obs.latencies_us);
+            completed += obs.completed;
+            sheds += obs.sheds;
+            updates += obs.updates;
+            failures.extend(obs.failures);
+            for (epoch, hash) in obs.dumps {
+                if let Some(prev) = by_epoch.insert(epoch, hash) {
+                    if prev != hash {
+                        failures.push(format!(
+                            "level {clients}: two clients saw different documents at epoch {epoch}"
+                        ));
+                    }
+                }
+            }
+        }
+        latencies.sort_unstable();
+        let offered = completed + sheds;
+        levels.push(NetLevelReport {
+            clients,
+            completed,
+            sheds,
+            updates,
+            p50_us: percentile_us(&latencies, 50.0),
+            p99_us: percentile_us(&latencies, 99.0),
+            max_us: latencies.last().copied().unwrap_or(0),
+            elapsed_s,
+            rps: if elapsed_s > 0.0 {
+                completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            shed_rate: if offered > 0 {
+                sheds as f64 / offered as f64
+            } else {
+                0.0
+            },
+        });
+    }
+
+    // The store under load must still scrub clean before shutdown.
+    match Client::connect(addr).and_then(|mut c| {
+        let r = c.fsck()?;
+        c.shutdown_server()?;
+        Ok(r)
+    }) {
+        Ok((clean, report)) => {
+            if !clean {
+                failures.push(format!("post-load fsck not clean:\n{report}"));
+            }
+        }
+        Err(e) => failures.push(format!("post-load fsck/shutdown: {e}")),
+    }
+    let server = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    NetLoadReport {
+        levels,
+        server,
+        failures,
+    }
+}
+
+// ----------------------------------------------------------- serve soak
+
+/// Configuration for [`run_serve_soak`].
+#[derive(Debug, Clone)]
+pub struct ServeSoakConfig {
+    /// Base seed; round `i` mixes in `i`.
+    pub seed: u64,
+    /// Power-cut rounds (one daemon spawn + kill each).
+    pub rounds: usize,
+    /// Updates offered per round; the kill lands at a seeded random
+    /// point inside the storm.
+    pub updates_per_round: usize,
+    /// Concurrent reader clients per round.
+    pub readers: usize,
+    /// Path of the `natix` binary to spawn for `serve`.
+    pub server_bin: PathBuf,
+}
+
+impl ServeSoakConfig {
+    /// CI smoke tier.
+    pub fn quick(server_bin: PathBuf) -> ServeSoakConfig {
+        ServeSoakConfig {
+            seed: 0x50A4_0000 ^ 0x5EED,
+            rounds: 2,
+            updates_per_round: 40,
+            readers: 2,
+            server_bin,
+        }
+    }
+
+    /// The acceptance tier.
+    pub fn full(server_bin: PathBuf) -> ServeSoakConfig {
+        ServeSoakConfig {
+            seed: 0x50A4_0000 ^ 0x5EED,
+            rounds: 8,
+            updates_per_round: 120,
+            readers: 3,
+            server_bin,
+        }
+    }
+}
+
+/// Result of [`run_serve_soak`].
+#[derive(Debug)]
+pub struct ServeSoakReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Updates acknowledged across all rounds (all must survive).
+    pub acked: u64,
+    /// Acknowledged updates found intact after recovery.
+    pub recovered: u64,
+    /// Contract violations (empty on success).
+    pub failures: Vec<String>,
+}
+
+impl ServeSoakReport {
+    /// Did every acknowledged update survive every power cut?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} rounds, {} acked updates, {} recovered, {} failures",
+            self.rounds,
+            self.acked,
+            self.recovered,
+            self.failures.len()
+        )
+    }
+}
+
+/// One round: spawn the daemon, load it, SIGKILL it mid-storm, then
+/// recover the store file and audit the acks.
+fn soak_round(config: &ServeSoakConfig, round: usize, failures: &mut Vec<String>) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (round as u64).wrapping_mul(0x9E37_79B9));
+    let dir = scratch_dir(&format!("soak-{round}"));
+    let store = dir.join("soak.natix");
+    {
+        let doc = natix_xml::parse("<list><e>one entry of text</e><e>two entry of text</e></list>")
+            .expect("seed doc");
+        let pager = FilePager::create(&store).expect("create soak store");
+        drop(
+            bulkload_with(&doc, &Ekm, 16, Box::new(pager), StoreConfig::default())
+                .expect("bulkload soak store"),
+        );
+    }
+
+    // Spawn the daemon and learn its ephemeral port from the banner line.
+    let mut child = match std::process::Command::new(&config.server_bin)
+        .arg("serve")
+        .arg(&store)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("round {round}: spawn {:?}: {e}", config.server_bin));
+            return (0, 0);
+        }
+    };
+    let stdout = child.stdout.take().expect("child stdout piped");
+    // Keep the pipe's read end open for the child's lifetime: dropping
+    // it would EPIPE the daemon's own stdout prints.
+    let mut stdout_reader = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    if stdout_reader.read_line(&mut banner).is_err() || !banner.contains("listening on ") {
+        failures.push(format!("round {round}: no listen banner, got {banner:?}"));
+        let _ = child.kill();
+        let _ = child.wait();
+        return (0, 0);
+    }
+    let addr = banner
+        .rsplit("listening on ")
+        .next()
+        .unwrap()
+        .trim()
+        .to_string();
+
+    // Reader clients exercise the snapshot contract until the kill.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_failures = Arc::new(Mutex::new(Vec::<String>::new()));
+    let readers: Vec<_> = (0..config.readers)
+        .map(|r| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let sink = Arc::clone(&reader_failures);
+            std::thread::spawn(move || {
+                let Ok(mut c) = Client::connect(addr.as_str()) else {
+                    if !stop.load(Ordering::SeqCst) {
+                        sink.lock()
+                            .unwrap()
+                            .push(format!("reader {r}: connect failed"));
+                    }
+                    return;
+                };
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    match c.request_retry(&Request::Dump { degraded_ok: false }, 20) {
+                        Ok((resp, _)) => {
+                            if resp.epoch < last_epoch {
+                                sink.lock()
+                                    .unwrap()
+                                    .push(format!("reader {r}: epoch regressed"));
+                            }
+                            last_epoch = resp.epoch;
+                        }
+                        Err(_) => {
+                            // Only a pre-kill failure is a violation; the
+                            // kill itself tears connections mid-request.
+                            if !stop.load(Ordering::SeqCst) {
+                                sink.lock()
+                                    .unwrap()
+                                    .push(format!("reader {r}: request failed before the kill"));
+                            }
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The update storm; the kill lands mid-storm at a seeded point.
+    let kill_at = rng.gen_range(config.updates_per_round / 4..config.updates_per_round);
+    let mut acked: Vec<usize> = Vec::new();
+    match Client::connect(addr.as_str()) {
+        Ok(mut w) => {
+            for i in 0..config.updates_per_round {
+                if i == kill_at {
+                    break;
+                }
+                let req = Request::Update {
+                    target: "/list".to_string(),
+                    op: UpdateOp::AppendText {
+                        text: format!("soak marker {round}.{i} end"),
+                    },
+                };
+                match w.request_retry(&req, 100) {
+                    Ok((resp, _)) if resp.body == ResponseBody::UpdateDone => acked.push(i),
+                    Ok((resp, _)) => {
+                        failures.push(format!("round {round}: update {i}: {resp:?}"));
+                        break;
+                    }
+                    Err(e) => {
+                        failures.push(format!("round {round}: update {i}: {e}"));
+                        break;
+                    }
+                }
+            }
+        }
+        Err(e) => failures.push(format!("round {round}: writer connect: {e}")),
+    }
+
+    // Power cut: SIGKILL, no shutdown handshake. Completed writes
+    // survive in the page cache; in-flight ones may tear.
+    stop.store(true, Ordering::SeqCst);
+    let _ = child.kill();
+    let _ = child.wait();
+    drop(stdout_reader);
+    for t in readers {
+        let _ = t.join();
+    }
+    failures.extend(reader_failures.lock().unwrap().drain(..));
+
+    // Recovery audit: reopen (replays the journal), then scrub.
+    let mut recovered = 0u64;
+    match FilePager::open(&store).and_then(|p| XmlStore::open(Box::new(p), StoreConfig::default()))
+    {
+        Ok(mut re) => {
+            if let Err(e) = re.check_consistency() {
+                failures.push(format!("round {round}: post-kill consistency: {e}"));
+            }
+            match re.to_document() {
+                Ok(doc) => {
+                    let xml = doc.to_xml();
+                    for &i in &acked {
+                        let marker = format!("soak marker {round}.{i} end");
+                        if xml.matches(&marker).count() == 1 {
+                            recovered += 1;
+                        } else {
+                            failures.push(format!(
+                                "round {round}: acked update {i} lost or duplicated after power cut"
+                            ));
+                        }
+                    }
+                }
+                Err(e) => failures.push(format!("round {round}: post-kill read: {e}")),
+            }
+        }
+        Err(e) => failures.push(format!("round {round}: post-kill reopen: {e}")),
+    }
+    match FilePager::open(&store) {
+        Ok(mut p) => {
+            let report = fsck(&mut p, false);
+            if !report.clean() {
+                failures.push(format!("round {round}: post-kill fsck:\n{report}"));
+            }
+        }
+        Err(e) => failures.push(format!("round {round}: post-kill fsck open: {e}")),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (acked.len() as u64, recovered)
+}
+
+/// Run the full power-cut campaign against spawned `natix serve`
+/// daemons.
+pub fn run_serve_soak(config: &ServeSoakConfig) -> ServeSoakReport {
+    let mut failures = Vec::new();
+    let mut acked = 0u64;
+    let mut recovered = 0u64;
+    for round in 0..config.rounds {
+        let (a, r) = soak_round(config, round, &mut failures);
+        acked += a;
+        recovered += r;
+    }
+    ServeSoakReport {
+        rounds: config.rounds,
+        acked,
+        recovered,
+        failures,
+    }
+}

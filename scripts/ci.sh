@@ -85,4 +85,46 @@ if grep -q "shard 1: clean" "$fsck_dir/collfsck.out"; then
   echo "FAIL: collection fsck called the corrupted shard clean" >&2; exit 1
 fi
 
+echo "==> natix serve smoke (daemon on an ephemeral port: one of each verb over the wire, a deterministic shed + honored retry-after, structured exit codes, clean drain)"
+serve_dir="$fsck_dir/serve"
+mkdir -p "$serve_dir"
+natix load "$fsck_dir/sample.xml" "$serve_dir/store.natix" --k 16
+natix serve "$serve_dir/store.natix" --addr 127.0.0.1:0 --max-pins 4 > "$serve_dir/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$fsck_dir"' EXIT
+for _ in $(seq 1 200); do
+  grep -q "listening on" "$serve_dir/serve.log" && break
+  sleep 0.05
+done
+addr="$(sed -n 's/.*listening on //p' "$serve_dir/serve.log" | head -n 1)"
+[ -n "$addr" ] || { echo "FAIL: serve printed no listen banner" >&2; exit 1; }
+natix net "$addr" ping
+test "$(natix net "$addr" query '//book/title' --count)" = 3
+# The wire dump must match a local dump of the same source, byte for byte.
+natix net "$addr" dump > "$serve_dir/wire.xml"
+diff "$serve_dir/wire.xml" "$fsck_dir/full.xml"
+natix net "$addr" update '//library' append-element annex
+test "$(natix net "$addr" query '//annex' --count)" = 1
+natix net "$addr" stats > "$serve_dir/stats.out"
+grep -q "live records" "$serve_dir/stats.out"
+natix net "$addr" fsck > /dev/null
+# Deterministic backpressure round trip: saturate the 4 session pins,
+# observe a typed retry-after, release one, get admitted.
+natix net "$addr" shed-probe --pins 4 > "$serve_dir/shed.out"
+grep -q "shed observed" "$serve_dir/shed.out"
+grep -q "retry honored" "$serve_dir/shed.out"
+# Structured exit codes: usage errors are 2, transport failures are 5.
+rc=0; natix net "$addr" frobnicate 2> /dev/null || rc=$?
+test "$rc" -eq 2 || { echo "FAIL: unknown net verb exited $rc, want 2" >&2; exit 1; }
+rc=0; natix query "$serve_dir/no-such.natix" '//x' 2> /dev/null || rc=$?
+test "$rc" -eq 5 || { echo "FAIL: missing store exited $rc, want 5" >&2; exit 1; }
+# Clean drain: the shutdown verb must stop the daemon with exit 0.
+natix net "$addr" shutdown
+wait "$serve_pid"
+grep -q "drained and stopped" "$serve_dir/serve.log"
+trap 'rm -rf "$fsck_dir"' EXIT
+
+echo "==> natix stress --net --quick (network load smoke: closed-loop client sweep against a live server; epoch-consistent reads, zero protocol errors, latency histogram written as JSON)"
+cargo run --release -p natix-cli -- stress --net --quick --json "$serve_dir/bench_serve_quick.json"
+
 echo "CI OK"
