@@ -12,11 +12,11 @@
 //! natix bulkload  <dir> [--input <file.xml>]... [--docs N] [--shards N] [--threads N]
 //!                 [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]
 //! natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]
-//! natix soak      [--quick] [--corruption] [--group-commit] [--bulkload] [--serve] [--seed N]
-//!                 [--replay <script>]
-//! natix stress    [--quick] [--seed N] [--runs N] [--net] [--json FILE]
+//! natix soak      [--quick] [--corruption] [--group-commit] [--bulkload] [--serve]
+//!                 [--diskfull] [--seed N] [--replay <script>]
+//! natix stress    [--quick] [--seed N] [--runs N] [--net [--proxy|--leak]] [--json FILE]
 //! natix serve     <store.natix> [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!                 [--max-pins N] [--read-budget N] [--pool-pages N]
+//!                 [--max-pins N] [--read-budget N] [--lease-ttl-ms N] [--pool-pages N]
 //! natix net       <addr> ping|query|dump|stats|fsck|update|shed-probe|shutdown [...]
 //! ```
 //!
@@ -43,6 +43,26 @@
 //! against it, SIGKILLs the daemon mid-storm, then recovers the store
 //! file and audits that every acknowledged update survived and fsck is
 //! clean.
+//!
+//! `natix stress --net --proxy` routes the fleet through the
+//! deterministic network fault proxy of `natix-testkit`: seeded stalls,
+//! partial writes, mid-frame resets, and byte-rate throttling between
+//! the clients and a live daemon, asserting zero protocol errors, no
+//! wedged workers, and epoch consistency across reconnects. `natix
+//! stress --net --leak` runs the pin-lease starvation scenario: one
+//! deliberate leaker pins the only admission slot and goes silent;
+//! well-behaved victims must shed only until the lease reaper frees the
+//! slot (shed rate back to 0 within one TTL), the reclamation backlog
+//! must drain, and the leaker's next request gets the typed
+//! session-expired answer.
+//!
+//! `natix soak --diskfull` is the disk-full degradation campaign: a
+//! storage-full window is injected at every write event of every step of
+//! the seeded update traces; the in-flight commit must roll back
+//! atomically, reads must keep serving the pre-step document while the
+//! store is read-only degraded, the space probe must re-enable writes
+//! when the window lifts, and every episode ends with an oracle match
+//! plus a clean fsck scrub.
 //!
 //! Exit codes are structured so scripts can tell failure classes apart:
 //! 0 success, 1 generic failure, 2 usage error, 3 request shed by
@@ -172,6 +192,9 @@ impl CliError {
     fn client(e: &ClientError) -> CliError {
         match e {
             ClientError::StillOverloaded { .. } => CliError::new(3, e.to_string()),
+            // An expired lease is a shed-class condition: the server is
+            // healthy, the client just has to re-`begin`.
+            ClientError::SessionExpired => CliError::new(3, e.to_string()),
             ClientError::Proto(ProtoError::Io(_)) => CliError::new(5, e.to_string()),
             ClientError::Proto(_) => CliError::new(1, e.to_string()),
         }
@@ -214,10 +237,10 @@ fn usage() -> ExitCode {
          [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]\n  \
          natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]\n  \
          natix soak [--quick] [--corruption] [--group-commit] [--bulkload] [--serve] \
-         [--seed N] [--replay <script>]\n  \
-         natix stress [--quick] [--seed N] [--runs N] [--net] [--json FILE]\n  \
+         [--diskfull] [--seed N] [--replay <script>]\n  \
+         natix stress [--quick] [--seed N] [--runs N] [--net [--proxy|--leak]] [--json FILE]\n  \
          natix serve <store.natix> [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--max-pins N] [--read-budget N] [--pool-pages N]\n  \
+         [--max-pins N] [--read-budget N] [--lease-ttl-ms N] [--pool-pages N]\n  \
          natix net <addr> ping | query '<xpath>' [--count] | dump [--degraded] | stats | \
          fsck | update '<xpath>' <append-element|append-text|insert-before|delete> [VALUE] | \
          shed-probe [--pins N] | shutdown   (all: [--retries N])\n\
@@ -796,6 +819,7 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
     let mut group_commit = false;
     let mut bulkload = false;
     let mut serve_soak = false;
+    let mut diskfull = false;
     let mut seed: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut it = args.iter();
@@ -806,6 +830,7 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
             "--group-commit" => group_commit = true,
             "--bulkload" => bulkload = true,
             "--serve" => serve_soak = true,
+            "--diskfull" => diskfull = true,
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -830,6 +855,45 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
             outcome.ops_applied, outcome.ops_skipped, outcome.crash_points
         );
         return Ok(());
+    }
+    if diskfull {
+        if corruption || group_commit || bulkload || serve_soak {
+            return Err("--diskfull is mutually exclusive with the other soak sweeps".into());
+        }
+        let mut cfg = if quick {
+            natix_testkit::DiskFullConfig::quick()
+        } else {
+            natix_testkit::DiskFullConfig::full()
+        };
+        if let Some(s) = seed {
+            cfg.fuzz_seeds = vec![s];
+        }
+        let mut banner = ReplayBanner::new(
+            format!(
+                "natix soak --diskfull{}{}",
+                if quick { " --quick" } else { "" },
+                match seed {
+                    Some(s) => format!(" --seed {s}"),
+                    None => String::new(),
+                }
+            ),
+            cfg.fuzz_seeds.clone(),
+        );
+        let report = natix_testkit::run_diskfull_campaign(&cfg, |line| eprintln!("  {line}"));
+        for f in &report.failures {
+            eprintln!("{f}");
+        }
+        println!(
+            "soak ({}, diskfull): {}",
+            if quick { "quick" } else { "full" },
+            report.summary()
+        );
+        return if report.ok() {
+            banner.disarm();
+            Ok(())
+        } else {
+            Err(format!("{} failure(s) printed above", report.failures.len()).into())
+        };
     }
     if serve_soak {
         if corruption || group_commit || bulkload {
@@ -979,6 +1043,8 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
 fn cmd_stress(args: &[String]) -> Result<(), CliError> {
     let mut quick = false;
     let mut net = false;
+    let mut proxy = false;
+    let mut leak = false;
     let mut json_path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut runs: Option<usize> = None;
@@ -987,6 +1053,8 @@ fn cmd_stress(args: &[String]) -> Result<(), CliError> {
         match a.as_str() {
             "--quick" => quick = true,
             "--net" => net = true,
+            "--proxy" => proxy = true,
+            "--leak" => leak = true,
             "--json" => {
                 json_path = Some(it.next().ok_or("missing value for --json")?.clone());
             }
@@ -1013,7 +1081,22 @@ fn cmd_stress(args: &[String]) -> Result<(), CliError> {
         if runs.is_some() {
             return Err("--runs applies to the chaos campaign, not --net".into());
         }
+        if proxy && leak {
+            return Err("--proxy and --leak are mutually exclusive".into());
+        }
+        if (proxy || leak) && json_path.is_some() {
+            return Err("--json applies to the load sweep, not --proxy/--leak".into());
+        }
+        if proxy {
+            return cmd_stress_proxy(quick, seed);
+        }
+        if leak {
+            return cmd_stress_leak(quick, seed);
+        }
         return cmd_stress_net(quick, seed, json_path);
+    }
+    if proxy || leak {
+        return Err("--proxy and --leak apply to --net only".into());
     }
     if json_path.is_some() {
         return Err("--json applies to --net only".into());
@@ -1094,6 +1177,72 @@ fn cmd_stress_net(
     let json = net_load_json(&cfg, &report).render_pretty();
     std::fs::write(&path, json + "\n").map_err(|e| CliError::new(5, format!("{path}: {e}")))?;
     println!("wrote {path}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} failure(s) printed above", report.failures.len()).into())
+    }
+}
+
+/// `natix stress --net --proxy`: the fleet behind the deterministic
+/// network fault proxy. Zero protocol errors, zero wedged workers, and
+/// epoch consistency are the contract; every injected reset forces a
+/// client reconnect that must recover cleanly.
+fn cmd_stress_proxy(quick: bool, seed: Option<u64>) -> Result<(), CliError> {
+    let mut cfg = if quick {
+        natix_testkit::ProxyChaosConfig::quick()
+    } else {
+        natix_testkit::ProxyChaosConfig::full()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+        cfg.plan.seed = s;
+    }
+    eprintln!(
+        "  proxy chaos: {} clients x {} requests, xmark scale {}, plan seed {:#x}",
+        cfg.clients, cfg.requests_per_client, cfg.scale, cfg.plan.seed
+    );
+    let report = natix_testkit::run_proxy_chaos(&cfg);
+    for f in &report.failures {
+        eprintln!("FAIL {f}");
+    }
+    println!(
+        "stress ({}, net proxy): {}",
+        if quick { "quick" } else { "full" },
+        report.summary()
+    );
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} failure(s) printed above", report.failures.len()).into())
+    }
+}
+
+/// `natix stress --net --leak`: the pin-lease starvation scenario. One
+/// leaker pins the only admission slot and goes silent; the lease reaper
+/// must unstarve the victims within one TTL and unblock reclamation.
+fn cmd_stress_leak(quick: bool, seed: Option<u64>) -> Result<(), CliError> {
+    let mut cfg = if quick {
+        natix_testkit::LeaseLeakConfig::quick()
+    } else {
+        natix_testkit::LeaseLeakConfig::full()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    eprintln!(
+        "  lease leak: {} victims, ttl {} ms, {} updates, xmark scale {}",
+        cfg.victims, cfg.lease_ttl_ms, cfg.updates, cfg.scale
+    );
+    let report = natix_testkit::run_lease_leak(&cfg);
+    for f in &report.failures {
+        eprintln!("FAIL {f}");
+    }
+    println!(
+        "stress ({}, net leak): {}",
+        if quick { "quick" } else { "full" },
+        report.summary()
+    );
     if report.ok() {
         Ok(())
     } else {
@@ -1219,6 +1368,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 config.read_page_budget = val("--read-budget")?
                     .parse()
                     .map_err(|_| "--read-budget expects a non-negative integer")?;
+            }
+            "--lease-ttl-ms" => {
+                // 0 disables the lease reaper: pins live until disconnect.
+                config.lease_ttl_ms = val("--lease-ttl-ms")?
+                    .parse()
+                    .map_err(|_| "--lease-ttl-ms expects a non-negative integer")?;
             }
             other => return Err(format!("unknown option {other}").into()),
         }

@@ -35,6 +35,9 @@ pub enum ClientError {
         /// What the server reported as saturated.
         what: String,
     },
+    /// The session's pin lease expired server-side and the pin was
+    /// released; the well-behaved recovery is [`Client::begin`] again.
+    SessionExpired,
 }
 
 impl std::fmt::Display for ClientError {
@@ -46,6 +49,9 @@ impl std::fmt::Display for ClientError {
                     f,
                     "server still overloaded ({what}) after {attempts} attempts"
                 )
+            }
+            ClientError::SessionExpired => {
+                write!(f, "session lease expired (pin released); begin again")
             }
         }
     }
@@ -184,6 +190,11 @@ impl Client {
 }
 
 fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
+    // An expired lease can answer any verb; surface it typed so callers
+    // can re-`begin` instead of treating it as protocol trouble.
+    if matches!(got, ResponseBody::SessionExpired) {
+        return ClientError::SessionExpired;
+    }
     ClientError::Proto(ProtoError::Io(std::io::Error::other(format!(
         "expected {wanted}, got {got:?}"
     ))))

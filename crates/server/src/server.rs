@@ -25,7 +25,7 @@
 //! only then releases the remaining session pins and runs deferred store
 //! maintenance — in-flight requests drain before pins are torn down.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -70,6 +70,13 @@ pub struct ServeConfig {
     pub read_page_budget: u64,
     /// Buffer-pool page budget override for the served store.
     pub pool_pages: Option<usize>,
+    /// Session-pin lease TTL in milliseconds. A pinned session that goes
+    /// this long without sending any request has its pin released by the
+    /// store service (unblocking reclamation and freeing the admission
+    /// slot); the session's next request is answered with
+    /// [`ResponseBody::SessionExpired`] so well-behaved clients
+    /// re-`begin`. 0 disables lease expiry.
+    pub lease_ttl_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +89,7 @@ impl Default for ServeConfig {
             max_pins: 64,
             read_page_budget: 0,
             pool_pages: None,
+            lease_ttl_ms: 30_000,
         }
     }
 }
@@ -117,6 +125,8 @@ struct Counters {
     queue_shed: AtomicU64,
     proto_errors: AtomicU64,
     worker_panics: AtomicU64,
+    lease_expirations: AtomicU64,
+    write_timeout_kills: AtomicU64,
 }
 
 /// Point-in-time snapshot of the server's counters.
@@ -139,13 +149,19 @@ pub struct ServeSummary {
     /// Connection handlers that panicked (must stay 0; the pool
     /// survives them).
     pub worker_panics: u64,
+    /// Session pins released by the lease reaper because the session
+    /// went idle past its TTL.
+    pub lease_expirations: u64,
+    /// Connections closed because a response write hit the write
+    /// deadline (stalled reader).
+    pub write_timeout_kills: u64,
 }
 
 impl std::fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} conn, {} req ({} ok, {} err, {} shed of which {} queue, {} proto), {} panics",
+            "{} conn, {} req ({} ok, {} err, {} shed of which {} queue, {} proto), {} panics, {} leases expired, {} write kills",
             self.connections,
             self.requests,
             self.ok,
@@ -153,7 +169,9 @@ impl std::fmt::Display for ServeSummary {
             self.shed,
             self.queue_shed,
             self.proto_errors,
-            self.worker_panics
+            self.worker_panics,
+            self.lease_expirations,
+            self.write_timeout_kills
         )
     }
 }
@@ -203,6 +221,8 @@ impl ServerHandle {
             queue_shed: c.queue_shed.load(Ordering::Relaxed),
             proto_errors: c.proto_errors.load(Ordering::Relaxed),
             worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            lease_expirations: c.lease_expirations.load(Ordering::Relaxed),
+            write_timeout_kills: c.write_timeout_kills.load(Ordering::Relaxed),
         }
     }
 
@@ -235,10 +255,11 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     // the session → snapshot-pin table.
     {
         let config = config.clone();
+        let counters = Arc::clone(&counters);
         threads.push(
             std::thread::Builder::new()
                 .name("natix-store-svc".into())
-                .spawn(move || store_service(config, store_rx, ready_tx))
+                .spawn(move || store_service(config, store_rx, ready_tx, counters))
                 .expect("spawn store service"),
         );
     }
@@ -449,7 +470,13 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 /// flag is observed on idle connections).
 const READ_POLL: Duration = Duration::from_millis(50);
 
-fn send_response(stream: &mut TcpStream, resp: &Response) -> bool {
+/// Deadline for writing a response frame. A peer that stops draining its
+/// receive buffer would otherwise park the worker in `write_all` forever;
+/// expiry is connection-fatal (the frame may be torn mid-write) and is
+/// counted in [`ServeSummary::write_timeout_kills`].
+const WRITE_DEADLINE: Duration = Duration::from_secs(5);
+
+fn send_response(stream: &mut TcpStream, resp: &Response) -> Result<(), ProtoError> {
     let mut body = resp.encode();
     if body.len() > MAX_FRAME as usize {
         // A response that cannot be framed (absurdly large query result)
@@ -463,7 +490,23 @@ fn send_response(stream: &mut TcpStream, resp: &Response) -> bool {
         }
         .encode();
     }
-    write_frame(stream, &body).is_ok()
+    write_frame(stream, &body)
+}
+
+/// Send a response, counting write-deadline expiries. Returns `false`
+/// when the connection must close.
+fn send_counted(stream: &mut TcpStream, resp: &Response, counters: &Counters) -> bool {
+    match send_response(stream, resp) {
+        Ok(()) => true,
+        Err(ProtoError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            counters.write_timeout_kills.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(_) => false,
+    }
 }
 
 fn handle_conn(
@@ -475,13 +518,14 @@ fn handle_conn(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_DEADLINE));
     loop {
         let body = match read_frame_shutdown_aware(&mut stream, shutdown) {
             FrameOutcome::Frame(b) => b,
             FrameOutcome::Close | FrameOutcome::Broken => break,
             FrameOutcome::BadLength(n) => {
                 counters.proto_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = send_response(
+                let _ = send_counted(
                     &mut stream,
                     &Response {
                         epoch: 0,
@@ -490,6 +534,7 @@ fn handle_conn(
                             message: format!("bad frame length {n} (max {MAX_FRAME})"),
                         },
                     },
+                    counters,
                 );
                 break;
             }
@@ -499,7 +544,7 @@ fn handle_conn(
             Err(e) => {
                 // The frame was delimited; answer typed and keep going.
                 counters.proto_errors.fetch_add(1, Ordering::Relaxed);
-                let ok = send_response(
+                let ok = send_counted(
                     &mut stream,
                     &Response {
                         epoch: 0,
@@ -508,6 +553,7 @@ fn handle_conn(
                             message: e.to_string(),
                         },
                     },
+                    counters,
                 );
                 if ok {
                     continue;
@@ -518,12 +564,13 @@ fn handle_conn(
         counters.requests.fetch_add(1, Ordering::Relaxed);
         if matches!(req, Request::Shutdown) {
             counters.ok.fetch_add(1, Ordering::Relaxed);
-            let _ = send_response(
+            let _ = send_counted(
                 &mut stream,
                 &Response {
                     epoch: 0,
                     body: ResponseBody::ShuttingDown,
                 },
+                counters,
             );
             shutdown.store(true, Ordering::SeqCst);
             break;
@@ -568,7 +615,7 @@ fn handle_conn(
             ResponseBody::RetryAfter { .. } => counters.shed.fetch_add(1, Ordering::Relaxed),
             _ => counters.ok.fetch_add(1, Ordering::Relaxed),
         };
-        if !send_response(&mut stream, &resp) {
+        if !send_counted(&mut stream, &resp, counters) {
             break;
         }
     }
@@ -576,10 +623,44 @@ fn handle_conn(
 
 // ------------------------------------------------------- store service
 
+/// One pinned session: the snapshot pin plus its lease bookkeeping.
+struct Session {
+    snap: Snapshot,
+    /// When the pin was acquired (for oldest-pin-age observability).
+    pinned_at: Instant,
+    /// Last time any request arrived on this session (lease renewal).
+    renewed: Instant,
+}
+
+/// Release every session whose lease is overdue. Dropping the
+/// [`Snapshot`] releases the pin (the store applies the deferred release
+/// on its next write or maintenance pass, unblocking reclamation); the
+/// connection is remembered in `expired` so its next request is answered
+/// with [`ResponseBody::SessionExpired`] exactly once.
+fn reap_leases(
+    sessions: &mut HashMap<u64, Session>,
+    expired: &mut HashSet<u64>,
+    counters: &Counters,
+    ttl: Duration,
+) {
+    let now = Instant::now();
+    let overdue: Vec<u64> = sessions
+        .iter()
+        .filter(|(_, s)| now.duration_since(s.renewed) > ttl)
+        .map(|(&conn, _)| conn)
+        .collect();
+    for conn in overdue {
+        sessions.remove(&conn);
+        expired.insert(conn);
+        counters.lease_expirations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 fn store_service(
     config: ServeConfig,
     rx: Receiver<ServiceMsg>,
     ready: Sender<Result<(), StoreError>>,
+    counters: Arc<Counters>,
 ) {
     let mut store_config = StoreConfig::default();
     if let Some(n) = config.pool_pages {
@@ -610,22 +691,42 @@ fn store_service(
     };
     let _ = ready.send(Ok(()));
 
-    let mut sessions: HashMap<u64, Snapshot> = HashMap::new();
+    let lease_ttl = match config.lease_ttl_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    // Wake often enough that a lease is reaped well within one TTL even
+    // on a completely idle server.
+    let tick = lease_ttl
+        .map(|t| (t / 4).max(Duration::from_millis(10)))
+        .unwrap_or(Duration::from_millis(500));
+
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut expired: HashSet<u64> = HashSet::new();
     // Drain until every worker has dropped its sender: all in-flight
     // requests are answered before the session pins below are released.
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ServiceMsg::Request { conn, req, reply } => {
-                let resp = handle_request(&shared, &mut sessions, conn, req);
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(ServiceMsg::Request { conn, req, reply }) => {
+                let resp =
+                    handle_request(&shared, &mut sessions, &mut expired, &counters, conn, req);
                 let _ = reply.send(resp);
             }
-            ServiceMsg::Disconnect { conn } => {
+            Ok(ServiceMsg::Disconnect { conn }) => {
                 sessions.remove(&conn);
+                expired.remove(&conn);
             }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if let Some(ttl) = lease_ttl {
+            reap_leases(&mut sessions, &mut expired, &counters, ttl);
         }
     }
-    // Shutdown drain: release pins only now, then run the deferred
-    // checkpoint/reclamation those releases unblock.
+    // Shutdown drain: release the pins still held only now, then run the
+    // deferred checkpoint/reclamation those releases unblock. A pin the
+    // reaper already released is gone from the map — clearing it again
+    // here cannot double-release.
     sessions.clear();
     let _ = shared.maintain();
 }
@@ -635,16 +736,17 @@ fn store_service(
 fn store_error_response(epoch: u64, e: &StoreError) -> Response {
     let body = match e.category() {
         ErrorCategory::Shed => ResponseBody::RetryAfter {
-            kind: if matches!(e, StoreError::Timeout { .. }) {
-                ShedKind::Timeout
-            } else {
-                ShedKind::Overloaded
+            kind: match e {
+                StoreError::Timeout { .. } => ShedKind::Timeout,
+                StoreError::ReadOnly { .. } => ShedKind::ReadOnly,
+                _ => ShedKind::Overloaded,
             },
             millis: e.retry_after_hint_ms().unwrap_or(5) as u32,
             what: match e {
                 StoreError::Overloaded { what, .. } | StoreError::Timeout { what, .. } => {
                     (*what).to_string()
                 }
+                StoreError::ReadOnly { reason } => (*reason).to_string(),
                 _ => String::new(),
             },
         },
@@ -680,11 +782,26 @@ const MAX_QUERY_LINES: usize = 10_000;
 
 fn handle_request(
     shared: &SharedStore,
-    sessions: &mut HashMap<u64, Snapshot>,
+    sessions: &mut HashMap<u64, Session>,
+    expired: &mut HashSet<u64>,
+    counters: &Counters,
     conn: u64,
     req: Request,
 ) -> Response {
     let committed = shared.committed_epoch();
+    // A session the reaper expired is told so exactly once; `begin`
+    // (re-pin) and `end` (already released) proceed normally so the
+    // recovery path is never itself refused.
+    if expired.remove(&conn) && !matches!(req, Request::Begin | Request::End) {
+        return Response {
+            epoch: committed,
+            body: ResponseBody::SessionExpired,
+        };
+    }
+    // Any request on a pinned session renews its lease.
+    if let Some(s) = sessions.get_mut(&conn) {
+        s.renewed = Instant::now();
+    }
     match req {
         Request::Ping => Response {
             epoch: committed,
@@ -697,7 +814,15 @@ fn handle_request(
             match shared.begin_read() {
                 Ok(snap) => {
                     let epoch = snap.epoch();
-                    sessions.insert(conn, snap);
+                    let now = Instant::now();
+                    sessions.insert(
+                        conn,
+                        Session {
+                            snap,
+                            pinned_at: now,
+                            renewed: now,
+                        },
+                    );
                     Response {
                         epoch,
                         body: ResponseBody::SessionPinned,
@@ -734,7 +859,8 @@ fn handle_request(
                 Ok((count, lines))
             };
             match sessions.get_mut(&conn) {
-                Some(snap) => {
+                Some(s) => {
+                    let snap = &mut s.snap;
                     let epoch = snap.epoch();
                     match run(snap) {
                         Ok((count, lines)) => Response {
@@ -760,7 +886,8 @@ fn handle_request(
             }
         }
         Request::Dump { degraded_ok } => match sessions.get_mut(&conn) {
-            Some(snap) => {
+            Some(s) => {
+                let snap = &mut s.snap;
                 let epoch = snap.epoch();
                 match snap.document() {
                     Ok(doc) => Response {
@@ -851,12 +978,26 @@ fn handle_request(
         Request::Stats => {
             let storage = shared.storage_stats();
             let c = shared.stats();
+            let oldest_pin_ms = sessions
+                .values()
+                .map(|s| s.pinned_at.elapsed().as_millis() as u64)
+                .max()
+                .unwrap_or(0);
+            let read_only = match shared.read_only_reason() {
+                Some(reason) => format!("yes ({reason})"),
+                None => "no".to_string(),
+            };
             let text = format!(
                 "epoch        : {}\n\
                  live records : {}\n\
                  pages        : {}\n\
                  occupied     : {} KB\n\
                  snapshots    : {} opened, {} active\n\
+                 pins         : {} session-pinned, oldest {} ms\n\
+                 leases       : {} expired\n\
+                 write kills  : {} connections\n\
+                 backlog      : {} superseded pages\n\
+                 read-only    : {}\n\
                  sheds        : {} reads, {} timeouts, {} degraded fallbacks\n\
                  commits      : {} ({} group, {} batched ops)\n\
                  checkpoints  : {} deferred, {} applied\n\
@@ -867,6 +1008,12 @@ fn handle_request(
                 storage.occupied_bytes / 1024,
                 c.snapshots_opened,
                 c.snapshots_active,
+                sessions.len(),
+                oldest_pin_ms,
+                counters.lease_expirations.load(Ordering::Relaxed),
+                counters.write_timeout_kills.load(Ordering::Relaxed),
+                shared.reclaim_backlog(),
+                read_only,
                 c.reads_shed,
                 c.reads_timed_out,
                 c.degraded_fallbacks,

@@ -132,6 +132,10 @@ pub enum ShedKind {
     Overloaded,
     /// The request exhausted its page-read deadline budget.
     Timeout,
+    /// The store is in read-only degraded mode (resource exhaustion,
+    /// e.g. a full disk): writes are refused with a long back-off until
+    /// the backend recovers; reads keep being served.
+    ReadOnly,
 }
 
 /// Failure class of a [`ResponseBody::Error`].
@@ -199,6 +203,10 @@ pub enum ResponseBody {
     SessionPinned,
     /// Answer to [`Request::End`].
     SessionReleased,
+    /// The session's pin lease expired and the server already released
+    /// the pin (leaked or idle session). Answered once to the session's
+    /// next request; a well-behaved client re-`begin`s.
+    SessionExpired,
     /// Answer to [`Request::Shutdown`]; the server drains and exits.
     ShuttingDown,
     /// The request failed; retrying without change will fail again.
@@ -455,6 +463,7 @@ const ST_OK_FSCK: u8 = 5;
 const ST_OK_BEGIN: u8 = 6;
 const ST_OK_END: u8 = 7;
 const ST_OK_SHUTDOWN: u8 = 8;
+const ST_SESSION_EXPIRED: u8 = 9;
 const ST_ERROR: u8 = 64;
 const ST_RETRY_AFTER: u8 = 65;
 
@@ -511,6 +520,7 @@ impl Response {
             ResponseBody::SessionPinned => ST_OK_BEGIN,
             ResponseBody::SessionReleased => ST_OK_END,
             ResponseBody::ShuttingDown => ST_OK_SHUTDOWN,
+            ResponseBody::SessionExpired => ST_SESSION_EXPIRED,
             ResponseBody::Error { .. } => ST_ERROR,
             ResponseBody::RetryAfter { .. } => ST_RETRY_AFTER,
         };
@@ -542,6 +552,7 @@ impl Response {
                 out.push(match kind {
                     ShedKind::Overloaded => 0,
                     ShedKind::Timeout => 1,
+                    ShedKind::ReadOnly => 2,
                 });
                 out.extend_from_slice(&millis.to_le_bytes());
                 put_str(&mut out, what);
@@ -550,6 +561,7 @@ impl Response {
             | ResponseBody::UpdateDone
             | ResponseBody::SessionPinned
             | ResponseBody::SessionReleased
+            | ResponseBody::SessionExpired
             | ResponseBody::ShuttingDown => {}
         }
         out
@@ -590,6 +602,7 @@ impl Response {
             ST_OK_BEGIN => ResponseBody::SessionPinned,
             ST_OK_END => ResponseBody::SessionReleased,
             ST_OK_SHUTDOWN => ResponseBody::ShuttingDown,
+            ST_SESSION_EXPIRED => ResponseBody::SessionExpired,
             ST_ERROR => ResponseBody::Error {
                 kind: ErrKind::from_u8(c.u8()?)?,
                 message: c.str()?,
@@ -598,6 +611,7 @@ impl Response {
                 kind: match c.u8()? {
                     0 => ShedKind::Overloaded,
                     1 => ShedKind::Timeout,
+                    2 => ShedKind::ReadOnly,
                     _ => return Err(ProtoError::Malformed("unknown shed kind")),
                 },
                 millis: c.u32()?,

@@ -452,6 +452,108 @@ fn concurrent_clients_observe_single_epoch_states() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Pull `{n} active` out of the stats text's snapshots line.
+fn active_snapshots(stats: &str) -> u64 {
+    let line = stats
+        .lines()
+        .find(|l| l.trim_start().starts_with("snapshots"))
+        .expect("snapshots line");
+    line.split(',')
+        .nth(1)
+        .and_then(|s| s.trim().split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .expect("active count")
+}
+
+/// A session that goes idle past its lease TTL has its pin reaped: the
+/// freed slot admits another client, the leaker's next request gets the
+/// typed session-expired answer exactly once, and a fresh `begin` on the
+/// same connection recovers it.
+#[test]
+fn expired_lease_frees_the_pin_and_answers_typed() {
+    let dir = scratch_dir("lease");
+    let handle = start(build_store(&dir), |c| {
+        c.max_pins = 1;
+        c.lease_ttl_ms = 200;
+    });
+
+    let mut leaker = Client::connect(handle.addr()).unwrap();
+    leaker.begin().unwrap();
+
+    // The only pin slot is held: a second session sheds.
+    let mut other = Client::connect(handle.addr()).unwrap();
+    let resp = other.request(&Request::Begin).unwrap();
+    assert!(
+        matches!(&resp.body, ResponseBody::RetryAfter { .. }),
+        "{resp:?}"
+    );
+
+    // Let the lease lapse (TTL + reaper ticks), then the slot is free.
+    std::thread::sleep(std::time::Duration::from_millis(450));
+    other.begin().unwrap();
+    other.end().unwrap();
+
+    // The leaker is told once, typed; afterwards the connection works
+    // normally and can re-pin.
+    match leaker.query("//e") {
+        Err(natix_server::ClientError::SessionExpired) => {}
+        other => panic!("expected the typed session-expired answer, got {other:?}"),
+    }
+    let (_, count, _) = leaker.query("//e").unwrap();
+    assert_eq!(count, 3, "connection must keep working after the notice");
+    leaker.begin().unwrap();
+    leaker.end().unwrap();
+
+    leaker.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.lease_expirations, 1, "{summary}");
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+    assert_eq!(summary.proto_errors, 0, "{summary}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite: shutdown racing an expired lease. The reaper releases the
+/// overdue pin; the shutdown drain must not release it a second time —
+/// pin accounting stays exact (no underflow in the active-snapshot
+/// gauge), the drain completes, and the store scrubs clean afterwards.
+#[test]
+fn shutdown_does_not_double_release_a_reaped_pin() {
+    let dir = scratch_dir("lease-race");
+    let store = build_store(&dir);
+    let handle = start(store.clone(), |c| {
+        c.lease_ttl_ms = 150;
+    });
+
+    let mut leaker = Client::connect(handle.addr()).unwrap();
+    leaker.begin().unwrap();
+    // Reaped while idle.
+    std::thread::sleep(std::time::Duration::from_millis(350));
+
+    // A store-touching request processes the reaper's deferred release;
+    // the gauge must come back to a sane small number (an over-release
+    // would underflow it) and no session may still be pinned.
+    let mut probe = Client::connect(handle.addr()).unwrap();
+    probe.begin().unwrap();
+    probe.end().unwrap();
+    let stats = probe.stats().unwrap();
+    assert!(stats.contains("0 session-pinned"), "{stats}");
+    assert!(active_snapshots(&stats) <= 1, "{stats}");
+
+    // Shutdown immediately after: the drain clears a session table that
+    // no longer holds the reaped pin.
+    probe.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.lease_expirations, 1, "{summary}");
+    assert_eq!(summary.worker_panics, 0, "{summary}");
+
+    // The drain's deferred maintenance ran on exact pin accounting: the
+    // store file reopens and scrubs clean.
+    let mut pager = FilePager::open(&store).unwrap();
+    let report = natix_store::fsck(&mut pager, false);
+    assert!(report.clean(), "{report}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// `serve` reports store-open failures as errors instead of panicking
 /// or leaking threads.
 #[test]

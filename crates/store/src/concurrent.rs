@@ -123,6 +123,16 @@ pub struct ConcurrencyStats {
     pub group_commits: u64,
     /// Operations staged and acknowledged through group commits.
     pub batched_ops: u64,
+    /// Times the store entered read-only degraded mode (a resource-class
+    /// commit failure, e.g. a full disk, rolled the write back).
+    pub read_only_entered: u64,
+    /// Times the space probe saw the backend recover and re-enabled
+    /// writes.
+    pub read_only_recovered: u64,
+    /// Writes refused with [`StoreError::ReadOnly`] while degraded.
+    pub writes_rejected_read_only: u64,
+    /// Space probes that still found the backend full.
+    pub space_probes_failed: u64,
 }
 
 /// Committed-state size counters from [`SharedStore::storage_stats`].
@@ -169,6 +179,11 @@ struct Inner {
     pinned: HashMap<u64, PinInfo>,
     next_pin: u64,
     writer_active: bool,
+    /// `Some(reason)` while the store is in read-only degraded mode: a
+    /// resource-class failure (disk full) rolled the in-flight commit
+    /// back, reads keep serving, and writes answer
+    /// [`StoreError::ReadOnly`] until the space probe clears it.
+    read_only: Option<&'static str>,
     garbage: Vec<GarbageSet>,
     stats: ConcurrencyStats,
 }
@@ -217,6 +232,7 @@ impl SharedStore {
                 pinned: HashMap::new(),
                 next_pin: 0,
                 writer_active: false,
+                read_only: None,
                 garbage: Vec::new(),
                 stats: ConcurrencyStats::default(),
             })),
@@ -269,6 +285,26 @@ impl SharedStore {
     /// Distinct page ids pinned in the writer's pool by live snapshots.
     pub fn pinned_pool_pages(&self) -> usize {
         self.inner.borrow().store.pool.pinned_pages()
+    }
+
+    /// `Some(reason)` while the store is in read-only degraded mode
+    /// (writes refused, reads still served). Cleared by the space probe
+    /// once the backend accepts writes again.
+    pub fn read_only_reason(&self) -> Option<&'static str> {
+        self.inner.borrow().read_only
+    }
+
+    /// Snapshot pins currently held (each one blocks checkpointing and
+    /// gates reclamation).
+    pub fn active_pins(&self) -> u32 {
+        self.inner.borrow().stats.snapshots_active
+    }
+
+    /// Superseded catalog/journal chains awaiting reclamation — the
+    /// backlog pins keep alive. Bounded in healthy operation; a number
+    /// that only grows means a pin is stuck (e.g. a leaked session).
+    pub fn reclaim_backlog(&self) -> usize {
+        self.inner.borrow().garbage.len()
     }
 
     /// Pin the current committed epoch and return a read-only snapshot
@@ -342,10 +378,20 @@ impl SharedStore {
     }
 
     /// Claim the single writer slot. A second claim while a
-    /// [`WriteGuard`] is alive is shed with [`StoreError::Overloaded`].
+    /// [`WriteGuard`] is alive is shed with [`StoreError::Overloaded`];
+    /// while the store is read-only degraded the claim is refused with
+    /// [`StoreError::ReadOnly`] (after one space-probe attempt, so
+    /// recovery needs no separate maintenance call).
     pub fn begin_write(&self) -> StoreResult<WriteGuard> {
         self.process_releases();
         let mut inner = self.inner.borrow_mut();
+        if inner.read_only.is_some() {
+            inner.space_probe();
+        }
+        if let Some(reason) = inner.read_only {
+            inner.stats.writes_rejected_read_only += 1;
+            return Err(StoreError::ReadOnly { reason });
+        }
         if inner.writer_active {
             inner.stats.writer_conflicts += 1;
             return Err(StoreError::Overloaded {
@@ -504,8 +550,49 @@ impl Inner {
         }
     }
 
+    /// When degraded, try one small backend write; success clears
+    /// read-only mode. The probe costs one appended page per recovery
+    /// (immediately retired as reclaimable garbage), and each failed
+    /// probe is one write event on the backend — deterministic under the
+    /// fault injector's event counting.
+    fn space_probe(&mut self) {
+        if self.read_only.is_none() {
+            return;
+        }
+        let probe = (|| -> StoreResult<()> {
+            let id = self.store.pool.allocate()?;
+            let mut zero = Box::new([0u8; PAGE_SIZE]);
+            set_page_class(&mut zero, PageClass::Free);
+            self.store.pool.backend_write(id, &zero)?;
+            Ok(())
+        })();
+        match probe {
+            Ok(()) => {
+                self.read_only = None;
+                self.stats.read_only_recovered += 1;
+            }
+            Err(_) => self.stats.space_probes_failed += 1,
+        }
+    }
+
+    /// Enter read-only degraded mode (idempotent).
+    fn enter_read_only(&mut self, reason: &'static str) {
+        if self.read_only.is_none() {
+            self.read_only = Some(reason);
+            self.stats.read_only_entered += 1;
+        }
+    }
+
     /// Apply a pending checkpoint once pins drain, then reclaim garbage.
     fn maintain(&mut self) -> StoreResult<()> {
+        if self.read_only.is_some() {
+            self.space_probe();
+            if self.read_only.is_some() {
+                // Still full: checkpointing and reclamation both write,
+                // so there is nothing useful to do yet.
+                return Ok(());
+            }
+        }
         if self.pins.is_empty() && self.store.has_pending_checkpoint() {
             let journal = self.store.last_commit_journal;
             self.store.apply_pending_checkpoint()?;
@@ -682,6 +769,13 @@ impl WriteGuard {
         let r = {
             let mut inner = self.shared.inner.borrow_mut();
             let inner = &mut *inner;
+            if let Some(reason) = inner.read_only {
+                // The guard was claimed before the store degraded (or is
+                // held across the transition): refuse before touching
+                // the store.
+                inner.stats.writes_rejected_read_only += 1;
+                return Err(StoreError::ReadOnly { reason });
+            }
             let before_epoch = inner.store.current_epoch();
             let before_catalog = inner.store.committed_catalog;
             let before_journal = inner
@@ -711,7 +805,18 @@ impl WriteGuard {
                     });
                 }
             }
-            r
+            match r {
+                // A resource-class failure (disk full) already rolled the
+                // commit back inside the store; degrade to read-only and
+                // answer with the typed long-back-off error.
+                Err(e) if e.is_resource() => {
+                    inner.enter_read_only("disk full");
+                    Err(StoreError::ReadOnly {
+                        reason: "disk full",
+                    })
+                }
+                other => other,
+            }
         };
         if let Err(_e) = self.shared.maintain() {
             self.shared.inner.borrow_mut().stats.maintenance_errors += 1;
@@ -739,6 +844,10 @@ impl WriteGuard {
         let r = {
             let mut inner = self.shared.inner.borrow_mut();
             let inner = &mut *inner;
+            if let Some(reason) = inner.read_only {
+                inner.stats.writes_rejected_read_only += 1;
+                return Err(StoreError::ReadOnly { reason });
+            }
             let before_epoch = inner.store.current_epoch();
             let before_catalog = inner.store.committed_catalog;
             let before_journal = inner
@@ -774,6 +883,13 @@ impl WriteGuard {
             }
             match commit {
                 Ok(_) => Ok(acks),
+                Err(e) if e.is_resource() => {
+                    // Nothing was acknowledged; the batch rolled back.
+                    inner.enter_read_only("disk full");
+                    Err(StoreError::ReadOnly {
+                        reason: "disk full",
+                    })
+                }
                 Err(e) => Err(e),
             }
         };
@@ -1056,6 +1172,87 @@ mod tests {
         drop(shared);
         let mut re = XmlStore::open(Box::new(disk.clone()), StoreConfig::default()).unwrap();
         assert!(re.to_document().unwrap().to_xml().contains("x19"));
+    }
+
+    #[test]
+    fn disk_full_degrades_to_read_only_and_recovers() {
+        use crate::pager::{FaultInjectingPager, FaultSchedule};
+        // Bulkload onto the shared disk, then reopen the writer through a
+        // fault injector whose disk fills at write event 2 for 6 events.
+        let doc = parse("<list><e>one entry of text</e><e>two entry of text</e></list>").unwrap();
+        let disk = SharedMemPager::new();
+        let config = StoreConfig {
+            record_limit_slots: 16,
+            ..Default::default()
+        };
+        drop(bulkload_with(&doc, &Ekm, 16, Box::new(disk.clone()), config).unwrap());
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::storage_full(2, 6));
+        let store = XmlStore::open(Box::new(faulty), config).unwrap();
+        let shared = SharedStore::new(
+            store,
+            Box::new(disk.clone()),
+            config,
+            AdmissionConfig::default(),
+        );
+        let before = {
+            let mut s = shared.begin_read().unwrap();
+            xml_of(&mut s)
+        };
+        // The commit hits the full disk, rolls back, and degrades.
+        let mut writer = shared.begin_write().unwrap();
+        let err = writer
+            .mutate(|s| {
+                let root = s.root()?;
+                s.append_child(root, NodeKind::Text, "#text", Some("will not fit"))
+                    .map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ReadOnly { .. }), "{err}");
+        assert!(err.retry_after_hint_ms().unwrap() > 50, "{err}");
+        drop(writer);
+        assert_eq!(shared.read_only_reason(), Some("disk full"));
+        // Reads keep serving the committed pre-state, and the backing
+        // bytes stay fsck-clean (the rollback was atomic).
+        let mut pinned = shared.begin_read().unwrap();
+        assert_eq!(xml_of(&mut pinned), before);
+        drop(pinned);
+        let scrub = fsck(&mut disk.clone(), false);
+        assert!(scrub.clean(), "{scrub}");
+        // Writes are refused with the typed error while degraded; each
+        // refused begin_write runs one space probe, marching the fault
+        // window to its end — then the store recovers by itself.
+        let mut recovered = None;
+        for _ in 0..20 {
+            match shared.begin_write() {
+                Ok(w) => {
+                    recovered = Some(w);
+                    break;
+                }
+                Err(e) => assert!(matches!(e, StoreError::ReadOnly { .. }), "{e}"),
+            }
+        }
+        let mut writer = recovered.expect("writes must resume after the full window passes");
+        assert_eq!(shared.read_only_reason(), None);
+        writer
+            .mutate(|s| {
+                let root = s.root()?;
+                s.append_child(root, NodeKind::Text, "#text", Some("post recovery"))
+                    .map(|_| ())
+            })
+            .unwrap();
+        drop(writer);
+        let mut fresh = shared.begin_read().unwrap();
+        assert!(xml_of(&mut fresh).contains("post recovery"));
+        drop(fresh);
+        shared.maintain().unwrap();
+        let stats = shared.stats();
+        assert_eq!(stats.read_only_entered, 1, "{stats:?}");
+        assert_eq!(stats.read_only_recovered, 1, "{stats:?}");
+        assert!(stats.writes_rejected_read_only >= 1, "{stats:?}");
+        assert!(stats.space_probes_failed >= 1, "{stats:?}");
+        let scrub = fsck(&mut disk.clone(), false);
+        assert!(scrub.clean(), "{scrub}");
     }
 
     #[test]

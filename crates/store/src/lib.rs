@@ -50,10 +50,11 @@ pub use page::{
     MAX_IN_PAGE, PAGE_SIZE, PAYLOAD_SIZE,
 };
 pub use pager::{
-    corrupt_checksum_of_class, corrupt_page_of_class, inject_bit_rot, io_error_is_transient,
-    BufferPool, BufferStats, ChecksummingPager, ErrorCategory, Fault, FaultInjectingPager,
-    FaultSchedule, FilePager, MemPager, PageId, Pager, RetryPolicy, RetryStats, RetryingPager,
-    SharedMemPager, StoreError, StoreResult,
+    corrupt_checksum_of_class, corrupt_page_of_class, inject_bit_rot, io_error_is_resource,
+    io_error_is_transient, BufferPool, BufferStats, ChecksummingPager, ErrorCategory, Fault,
+    FaultInjectingPager, FaultSchedule, FilePager, MemPager, PageId, Pager, RetryPolicy,
+    RetryStats, RetryingPager, SharedMemPager, StoreError, StoreResult, READ_ONLY_RETRY_HINT_MS,
+    RESOURCE_BACKOFF_FACTOR,
 };
 pub use record::{ChildEntry, RecNode, RecordData};
 pub use store::{

@@ -88,7 +88,20 @@ pub enum StoreError {
         /// The budget the request started with.
         budget: u64,
     },
+    /// The store is in read-only degraded mode: a resource-class failure
+    /// (e.g. a full disk) rolled the in-flight commit back and writes are
+    /// refused until the space probe sees the backend recover. Reads keep
+    /// serving throughout; retry writes after a long back-off.
+    ReadOnly {
+        /// Why writes are suspended (e.g. `"disk full"`).
+        reason: &'static str,
+    },
 }
+
+/// Suggested client back-off for writes refused in read-only degraded
+/// mode. Deliberately much longer than the overload hints: space does not
+/// free up on millisecond timescales.
+pub const READ_ONLY_RETRY_HINT_MS: u64 = 250;
 
 impl StoreError {
     /// Wrap an I/O error with page context.
@@ -200,6 +213,21 @@ impl StoreError {
         }
     }
 
+    /// True for resource exhaustion ([`std::io::ErrorKind::StorageFull`]
+    /// and the [`StoreError::ReadOnly`] degraded mode it induces): a third
+    /// class between transient and permanent. Blind same-interval retries
+    /// do not help (the disk stays full for a while), but the condition
+    /// clears without operator intervention once space frees up — callers
+    /// should back off much longer than for a transient hiccup instead of
+    /// failing fast.
+    pub fn is_resource(&self) -> bool {
+        match self {
+            StoreError::Io { source, .. } => io_error_is_resource(source),
+            StoreError::ReadOnly { .. } => true,
+            _ => false,
+        }
+    }
+
     /// True for load-shedding outcomes ([`StoreError::Overloaded`] /
     /// [`StoreError::Timeout`]): the store is healthy, the request was
     /// rejected by policy. Callers can retry later or degrade.
@@ -215,7 +243,9 @@ impl StoreError {
     /// the CLI maps them to distinct exit codes.
     pub fn category(&self) -> ErrorCategory {
         match self {
-            StoreError::Overloaded { .. } | StoreError::Timeout { .. } => ErrorCategory::Shed,
+            StoreError::Overloaded { .. }
+            | StoreError::Timeout { .. }
+            | StoreError::ReadOnly { .. } => ErrorCategory::Shed,
             StoreError::Corrupt { .. } | StoreError::BadPage(_) | StoreError::BadRecord(_) => {
                 ErrorCategory::Corrupt
             }
@@ -225,12 +255,15 @@ impl StoreError {
     }
 
     /// Suggested client back-off in milliseconds for shed requests, scaled
-    /// by how far past the limit the rejection happened. `None` for errors
-    /// that are not load shedding (retrying those does not help).
+    /// by how far past the limit the rejection happened. Read-only
+    /// degraded mode hints [`READ_ONLY_RETRY_HINT_MS`] — much longer,
+    /// since writes stay refused until backend space frees up. `None` for
+    /// errors that are not load shedding (retrying those does not help).
     pub fn retry_after_hint_ms(&self) -> Option<u64> {
         match self {
             StoreError::Overloaded { inflight, .. } => Some((1 + *inflight as u64 / 4).min(50)),
             StoreError::Timeout { .. } => Some(10),
+            StoreError::ReadOnly { .. } => Some(READ_ONLY_RETRY_HINT_MS),
             _ => None,
         }
     }
@@ -253,8 +286,11 @@ pub enum ErrorCategory {
     InvalidRequest,
 }
 
-/// Transient/permanent split over [`std::io::ErrorKind`], shared by
-/// [`StoreError::is_transient`] and [`RetryingPager`].
+/// Transient/resource/permanent split over [`std::io::ErrorKind`], shared
+/// by [`StoreError::is_transient`] and [`RetryingPager`]. The three
+/// classes partition the kind space: resource kinds first
+/// ([`io_error_is_resource`]), then the explicit permanent list, and
+/// everything else is transient.
 ///
 /// `Other` (what `std::io::Error::other` and most OS-level `EIO`s map to)
 /// counts as transient: an unclassified I/O hiccup is worth one bounded
@@ -262,20 +298,29 @@ pub enum ErrorCategory {
 /// again.
 pub fn io_error_is_transient(e: &std::io::Error) -> bool {
     use std::io::ErrorKind as K;
-    !matches!(
-        e.kind(),
-        K::BrokenPipe
-            | K::NotConnected
-            | K::NotFound
-            | K::PermissionDenied
-            | K::AlreadyExists
-            | K::InvalidInput
-            | K::InvalidData
-            | K::UnexpectedEof
-            | K::Unsupported
-            | K::WriteZero
-            | K::StorageFull
-    )
+    !io_error_is_resource(e)
+        && !matches!(
+            e.kind(),
+            K::BrokenPipe
+                | K::NotConnected
+                | K::NotFound
+                | K::PermissionDenied
+                | K::AlreadyExists
+                | K::InvalidInput
+                | K::InvalidData
+                | K::UnexpectedEof
+                | K::Unsupported
+                | K::WriteZero
+        )
+}
+
+/// Resource-exhaustion kinds: the disk (or quota) is full. Neither
+/// transient (an immediate retry hits the same full disk) nor permanent
+/// (space frees up without operator action) — callers back off with a
+/// much longer hint and the store degrades to read-only instead of
+/// failing the whole stack.
+pub fn io_error_is_resource(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::StorageFull)
 }
 
 impl std::fmt::Display for StoreError {
@@ -331,6 +376,12 @@ impl std::fmt::Display for StoreError {
                 write!(
                     f,
                     "timeout: {what} exhausted its budget of {budget} page reads"
+                )
+            }
+            StoreError::ReadOnly { reason } => {
+                write!(
+                    f,
+                    "store is read-only (degraded): {reason}; writes resume when the backend recovers"
                 )
             }
         }
@@ -601,6 +652,18 @@ pub enum Fault {
         /// Whether the dying write tears (half the page makes it to disk).
         torn: bool,
     },
+    /// The disk fills at the N-th write event: write events
+    /// `at .. at + recover_after` fail with
+    /// [`std::io::ErrorKind::StorageFull`] (nothing is written), then
+    /// space frees up and writes succeed again. Reads are unaffected
+    /// throughout — a full disk still serves what it holds.
+    StorageFull {
+        /// 1-based write event number at which the disk fills.
+        at: u64,
+        /// How many write events (including the first failing one) are
+        /// refused before space frees up.
+        recover_after: u64,
+    },
 }
 
 /// A deterministic fault schedule: same seed ⇒ same fault, byte for byte.
@@ -642,6 +705,17 @@ impl FaultSchedule {
         }
     }
 
+    /// Disk full from the `at`-th write event, recovering after
+    /// `recover_after` refused write events (clamped to at least one).
+    pub fn storage_full(at: u64, recover_after: u64) -> FaultSchedule {
+        FaultSchedule {
+            fault: Fault::StorageFull {
+                at,
+                recover_after: recover_after.max(1),
+            },
+        }
+    }
+
     /// Derive a schedule from a seed, with the trigger point in
     /// `1..=horizon`. SplitMix64 over the seed: reproducible everywhere,
     /// no RNG state to carry around.
@@ -674,6 +748,9 @@ impl std::fmt::Display for FaultSchedule {
             Fault::ReadError { at } => write!(f, "read-error@{at}"),
             Fault::PowerCut { at, torn } => {
                 write!(f, "power-cut@{at}{}", if torn { "+torn" } else { "" })
+            }
+            Fault::StorageFull { at, recover_after } => {
+                write!(f, "storage-full@{at}x{recover_after}")
             }
         }
     }
@@ -765,6 +842,17 @@ impl FaultInjectingPager {
                         op,
                     ))
                 }
+            }
+            Fault::StorageFull { at, recover_after }
+                if self.writes >= at && self.writes < at.saturating_add(recover_after) =>
+            {
+                // Nothing is written; the device keeps working and later
+                // write events (past the window) succeed again.
+                Err(StoreError::io_at(
+                    injected(std::io::ErrorKind::StorageFull, "disk full"),
+                    page,
+                    op,
+                ))
             }
             _ => Ok(false),
         }
@@ -901,10 +989,21 @@ pub struct RetryStats {
     pub gave_up: u64,
     /// Failures classified permanent (surfaced without any retry).
     pub permanent: u64,
+    /// Retries after a resource-exhaustion failure (disk full); these
+    /// back off [`RESOURCE_BACKOFF_FACTOR`]× longer than transient ones.
+    pub resource_retries: u64,
+    /// Resource-exhaustion failures that exhausted the attempt budget
+    /// (the disk stayed full; the caller should degrade to read-only).
+    pub resource_gave_up: u64,
     /// Total backoff charged, microseconds (slept only when the policy
     /// says so).
     pub backoff_us: u64,
 }
+
+/// How much longer [`RetryingPager`] backs off on resource-exhaustion
+/// failures than on transient ones: a full disk does not drain on the
+/// microsecond timescale of an interrupted syscall.
+pub const RESOURCE_BACKOFF_FACTOR: u64 = 16;
 
 /// A [`Pager`] that classifies failures from the wrapped backend as
 /// transient or permanent ([`StoreError::is_transient`], which keys off
@@ -963,9 +1062,26 @@ impl RetryingPager {
                         std::thread::sleep(std::time::Duration::from_micros(us));
                     }
                 }
+                Err(e) if e.is_resource() && attempt < self.policy.max_attempts => {
+                    // Resource exhaustion gets the same bounded attempt
+                    // budget but a much longer back-off (uncapped by
+                    // max_backoff_us): waiting out a full disk, not an
+                    // interrupted syscall.
+                    self.stats.resource_retries += 1;
+                    let us = self
+                        .policy
+                        .backoff_us(attempt)
+                        .saturating_mul(RESOURCE_BACKOFF_FACTOR);
+                    self.stats.backoff_us += us;
+                    if self.policy.sleep {
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
+                }
                 Err(e) => {
                     if e.is_transient() {
                         self.stats.gave_up += 1;
+                    } else if e.is_resource() {
+                        self.stats.resource_gave_up += 1;
                     } else {
                         self.stats.permanent += 1;
                     }
@@ -1945,10 +2061,10 @@ mod tests {
             std::io::ErrorKind::BrokenPipe,
             std::io::ErrorKind::NotFound,
             std::io::ErrorKind::PermissionDenied,
-            std::io::ErrorKind::StorageFull,
         ] {
             let e = StoreError::io_at(injected(kind, "dead"), 4, "write");
             assert!(!e.is_transient(), "{kind:?} must be permanent");
+            assert!(!e.is_resource(), "{kind:?} must not be resource-class");
         }
         for kind in [
             std::io::ErrorKind::Interrupted,
@@ -1958,8 +2074,29 @@ mod tests {
         ] {
             let e = StoreError::io_at(injected(kind, "hiccup"), 4, "write");
             assert!(e.is_transient(), "{kind:?} must be transient");
+            assert!(!e.is_resource(), "{kind:?} must not be resource-class");
             assert!(!e.is_overload());
         }
+        // Resource exhaustion is its own class: not transient (an
+        // immediate retry hits the same full disk), not permanent (space
+        // frees up without operator action).
+        let full = StoreError::io_at(
+            injected(std::io::ErrorKind::StorageFull, "disk full"),
+            4,
+            "write",
+        );
+        assert!(full.is_resource(), "{full}");
+        assert!(!full.is_transient() && !full.is_corruption() && !full.is_overload());
+        assert_eq!(full.category(), ErrorCategory::Io);
+        // The degraded mode it induces is shed-class with a long hint.
+        let ro = StoreError::ReadOnly {
+            reason: "disk full",
+        };
+        assert!(ro.is_resource() && !ro.is_transient() && !ro.is_corruption());
+        assert_eq!(ro.category(), ErrorCategory::Shed);
+        assert_eq!(ro.retry_after_hint_ms(), Some(READ_ONLY_RETRY_HINT_MS));
+        assert!(ro.retry_after_hint_ms().unwrap() > 50, "{ro}");
+        assert!(ro.to_string().contains("read-only"), "{ro}");
         // Load shedding is neither corruption nor an I/O retry candidate.
         let shed = StoreError::Overloaded {
             what: "read",
@@ -2080,6 +2217,74 @@ mod tests {
             grew |= other.backoff_us(retry) != us;
         }
         assert!(grew, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn storage_full_fault_fails_the_window_then_recovers() {
+        // storage_full(2, 3): write events 2, 3, 4 are refused with a
+        // resource-class error, event 5 succeeds; reads work throughout.
+        let mut pager =
+            FaultInjectingPager::new(Box::new(MemPager::new()), FaultSchedule::storage_full(2, 3));
+        pager.allocate().unwrap(); // event 1
+        let mut buf = [0u8; PAGE_SIZE];
+        for event in 2..=4u64 {
+            let err = pager.write(0, &[7u8; PAGE_SIZE]).unwrap_err();
+            assert!(err.is_resource(), "event {event}: {err}");
+            assert!(!err.is_transient(), "event {event}: {err}");
+            // A full disk still serves what it holds.
+            pager.read(0, &mut buf).unwrap();
+        }
+        pager.write(0, &[7u8; PAGE_SIZE]).unwrap(); // event 5: recovered
+        pager.read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+        assert!(!pager.is_dead());
+        assert_eq!(
+            FaultSchedule::storage_full(2, 3).to_string(),
+            "storage-full@2x3"
+        );
+    }
+
+    #[test]
+    fn retrying_pager_waits_out_a_short_storage_full_window() {
+        // The full window (2 events) is shorter than the attempt budget:
+        // the retry layer absorbs it with long resource back-offs.
+        let disk = SharedMemPager::new();
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::storage_full(2, 2));
+        let mut pager = RetryingPager::new(Box::new(faulty), RetryPolicy::new(7));
+        let id = pager.allocate().unwrap(); // event 1
+        pager.write(id, &[3u8; PAGE_SIZE]).unwrap(); // events 2, 3 refused; 4 lands
+        let stats = pager.stats();
+        assert_eq!(stats.resource_retries, 2, "{stats:?}");
+        assert_eq!(stats.recovered, 1, "{stats:?}");
+        assert_eq!(stats.retries, 0, "{stats:?}");
+        assert_eq!(stats.permanent, 0, "{stats:?}");
+        // Resource back-off is charged at the long multiplier.
+        let policy = RetryPolicy::new(7);
+        let expected =
+            (policy.backoff_us(1) + policy.backoff_us(2)).saturating_mul(RESOURCE_BACKOFF_FACTOR);
+        assert_eq!(stats.backoff_us, expected, "{stats:?}");
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read(id, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn retrying_pager_surfaces_a_persistent_storage_full() {
+        // The disk stays full past the attempt budget: the resource error
+        // surfaces (for the store above to degrade to read-only), counted
+        // separately from transient give-ups.
+        let disk = SharedMemPager::new();
+        let faulty =
+            FaultInjectingPager::new(Box::new(disk.clone()), FaultSchedule::storage_full(2, 100));
+        let mut pager = RetryingPager::new(Box::new(faulty), RetryPolicy::new(7));
+        let id = pager.allocate().unwrap();
+        let err = pager.write(id, &[1u8; PAGE_SIZE]).unwrap_err();
+        assert!(err.is_resource(), "{err}");
+        let stats = pager.stats();
+        assert_eq!(stats.resource_gave_up, 1, "{stats:?}");
+        assert_eq!(stats.gave_up, 0, "{stats:?}");
+        assert_eq!(stats.permanent, 0, "{stats:?}");
     }
 
     #[test]

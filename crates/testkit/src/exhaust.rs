@@ -1,0 +1,375 @@
+//! Disk-full exhaustion sweeps: the `natix soak --diskfull` campaign.
+//!
+//! Mirrors the power-cut sweep of [`crate::run_trace`], but instead of
+//! killing the store mid-step it *fills the disk*: every step of a
+//! seeded trace is replayed from a pre-step snapshot under a
+//! [`FaultSchedule::storage_full`] window starting at write event
+//! n = 1, 2, ... and lasting `recover_after` write events. At every
+//! injection point the store must:
+//!
+//! 1. roll the in-flight commit back atomically (reads keep serving the
+//!    exact pre-step document while degraded),
+//! 2. refuse writes with the typed [`StoreError::ReadOnly`] (never a
+//!    torn state, never a crash),
+//! 3. resume writes once the space probe sees the window pass, and then
+//!    commit the step so the acked state survives exactly once, and
+//! 4. leave a disk that reopens consistent and scrubs fsck-clean.
+//!
+//! Swept across the six Table 1 evaluation workloads via
+//! [`run_diskfull_campaign`].
+
+use natix_core::Ekm;
+use natix_store::{
+    bulkload_with, fsck, AdmissionConfig, FaultInjectingPager, FaultSchedule, SharedMemPager,
+    SharedStore, StoreConfig, StoreError, XmlStore,
+};
+use natix_xml::Document;
+
+use crate::fuzz::{
+    apply_model, apply_store, min_record_limit, trace_seed, workloads, CampaignReport, Failure,
+    RunOutcome, TraceFailure,
+};
+use crate::model::ModelTree;
+use crate::ops::{generate_trace, Op};
+
+/// Configuration of a disk-full campaign: the same (workload × record
+/// limit × fuzz seed) grid as [`crate::CampaignConfig`], plus the shape
+/// of the injected storage-full window.
+#[derive(Clone, Debug)]
+pub struct DiskFullConfig {
+    pub scale: f64,
+    pub gen_seed: u64,
+    pub fuzz_seeds: Vec<u64>,
+    pub ops_per_run: usize,
+    pub record_limits: Vec<u64>,
+    /// Write events the injected storage-full window lasts; the space
+    /// probe must march the store back to writable within it.
+    pub recover_after: u64,
+    /// Cap on injection points per step (0 = sweep every write event).
+    pub max_points_per_op: u64,
+    /// Stop after this many failures.
+    pub max_failures: usize,
+}
+
+impl DiskFullConfig {
+    /// CI smoke tier: all six workloads, one seed, capped sweep.
+    pub fn quick() -> DiskFullConfig {
+        DiskFullConfig {
+            scale: 0.001,
+            gen_seed: 1,
+            fuzz_seeds: vec![1],
+            ops_per_run: 4,
+            record_limits: vec![32],
+            recover_after: 3,
+            max_points_per_op: 4,
+            max_failures: 3,
+        }
+    }
+
+    /// The acceptance tier: uncapped sweep — every write event of every
+    /// step is an injection point.
+    pub fn full() -> DiskFullConfig {
+        DiskFullConfig {
+            scale: 0.002,
+            gen_seed: 1,
+            fuzz_seeds: vec![1, 2],
+            ops_per_run: 8,
+            record_limits: vec![24, 96],
+            recover_after: 4,
+            max_points_per_op: 0,
+            max_failures: 3,
+        }
+    }
+}
+
+/// One degraded-mode episode: apply `op` through `shared`, which sits on
+/// a storage-full window. Returns `Ok(true)` if the window fired (the
+/// store degraded and recovered), `Ok(false)` if the injection point was
+/// past the step's write activity (sweep is done).
+fn diskfull_episode(
+    shared: &SharedStore,
+    op: &Op,
+    cur_xml: &str,
+    post_xml: &str,
+    recover_after: u64,
+) -> Result<bool, String> {
+    // Pin a reader before the exhaustion hits: it must serve the
+    // pre-step document throughout the degraded window.
+    let mut pinned = shared
+        .begin_read()
+        .map_err(|e| format!("pre-episode pin: {e}"))?;
+
+    let first = {
+        let mut w = shared
+            .begin_write()
+            .map_err(|e| format!("first begin_write: {e}"))?;
+        w.mutate(|s| apply_store(s, op))
+    };
+    match first {
+        Ok(()) => {
+            // The window never intersected the step's writes.
+            let s = shared.stats();
+            if s.read_only_entered != 0 {
+                return Err("op succeeded but the store reports a degraded episode".to_string());
+            }
+            Ok(false)
+        }
+        Err(StoreError::ReadOnly { .. }) => {
+            // Degraded. The failed commit must have rolled back: both the
+            // pre-pinned reader and a fresh read serve the pre-step state.
+            if shared.read_only_reason().is_none() {
+                return Err("ReadOnly error without a degraded store".to_string());
+            }
+            let pinned_xml = pinned
+                .document()
+                .map_err(|e| format!("pinned read while degraded: {e}"))?
+                .to_xml();
+            if pinned_xml != cur_xml {
+                return Err(format!(
+                    "pinned read changed under a rolled-back commit\n  got: {pinned_xml}"
+                ));
+            }
+            let fresh = shared
+                .read_document()
+                .map_err(|e| format!("fresh read while degraded: {e}"))?;
+            let fresh_xml = fresh.document().to_xml();
+            if fresh_xml != cur_xml {
+                return Err(format!(
+                    "degraded store serves a torn state\n  got:  {fresh_xml}\n  want: {cur_xml}"
+                ));
+            }
+
+            // Write resume: every refused begin_write runs a space probe,
+            // and each probe is a write event marching the window closed.
+            let mut resumed = false;
+            for _ in 0..recover_after.saturating_mul(2) + 8 {
+                match shared.begin_write() {
+                    Ok(mut w) => {
+                        w.mutate(|s| apply_store(s, op))
+                            .map_err(|e| format!("post-recovery apply: {e}"))?;
+                        resumed = true;
+                        break;
+                    }
+                    Err(StoreError::ReadOnly { .. }) => {}
+                    Err(e) => return Err(format!("begin_write while degraded: {e}")),
+                }
+            }
+            if !resumed {
+                return Err(format!(
+                    "writes did not resume within the {recover_after}-event recovery window"
+                ));
+            }
+            let s = shared.stats();
+            if s.read_only_entered != 1 || s.read_only_recovered != 1 {
+                return Err(format!(
+                    "degraded lifecycle miscounted: entered {} recovered {}",
+                    s.read_only_entered, s.read_only_recovered
+                ));
+            }
+            // The resumed commit is the ack: it must be visible exactly
+            // once, while the pre-episode pin still serves its epoch.
+            let post = shared
+                .read_document()
+                .map_err(|e| format!("post-recovery read: {e}"))?;
+            let got = post.document().to_xml();
+            if got != post_xml {
+                return Err(format!(
+                    "post-recovery state wrong\n  got:  {got}\n  want: {post_xml}"
+                ));
+            }
+            let pinned_still = pinned
+                .document()
+                .map_err(|e| format!("pinned read after recovery: {e}"))?
+                .to_xml();
+            if pinned_still != cur_xml {
+                return Err("recovery moved a pinned snapshot".to_string());
+            }
+            Ok(true)
+        }
+        Err(e) => Err(format!("step under storage-full failed untyped: {e}")),
+    }
+}
+
+/// Run `trace` with a storage-full sweep: every step is replayed from a
+/// pre-step snapshot with the disk filling at write event 1, 2, ... (see
+/// the module docs for the per-point contract). `crash_points` in the
+/// outcome counts injection points exercised.
+pub fn run_diskfull_trace(
+    doc: &Document,
+    k: u64,
+    trace: &[Op],
+    recover_after: u64,
+    max_points_per_op: u64,
+) -> Result<RunOutcome, TraceFailure> {
+    let k = k.max(min_record_limit(doc));
+    let config = StoreConfig {
+        record_limit_slots: k,
+        ..Default::default()
+    };
+    let disk = SharedMemPager::new();
+    let fail = |step: usize, n: Option<u64>, message: String| TraceFailure {
+        step,
+        crash: n.map(|n| (n, false)),
+        message,
+    };
+    let mut store = bulkload_with(doc, &Ekm, k, Box::new(disk.clone()), config)
+        .map_err(|e| fail(0, None, format!("bulkload failed: {e}")))?;
+    let mut model = ModelTree::from_document(doc);
+    let mut cur_xml = model.to_xml();
+
+    let mut out = RunOutcome::default();
+    for (step, op) in trace.iter().enumerate() {
+        if op.skipped(model.element_count()) {
+            out.ops_skipped += 1;
+            continue;
+        }
+        let mut post_model = model.clone();
+        apply_model(&mut post_model, op);
+        let post_xml = post_model.to_xml();
+
+        // Pre-step snapshot (the previous commit checkpointed, so this is
+        // the complete pre-step state), then the fault-free mainline.
+        let snap = disk.snapshot();
+        apply_store(&mut store, op).map_err(|e| fail(step, None, format!("op failed: {e}")))?;
+
+        let mut n = 1u64;
+        loop {
+            if max_points_per_op > 0 && n > max_points_per_op {
+                break;
+            }
+            let disk2 = SharedMemPager::from_snapshot(&snap);
+            let faulty = FaultInjectingPager::new(
+                Box::new(disk2.clone()),
+                FaultSchedule::storage_full(n, recover_after),
+            );
+            let s2 = XmlStore::open(Box::new(faulty), config)
+                .map_err(|e| fail(step, Some(n), format!("open before window: {e}")))?;
+            let shared = SharedStore::new(
+                s2,
+                Box::new(disk2.clone()),
+                config,
+                AdmissionConfig::default(),
+            );
+            let fired = diskfull_episode(&shared, op, &cur_xml, &post_xml, recover_after)
+                .map_err(|m| fail(step, Some(n), m))?;
+            drop(shared);
+
+            // Whatever the episode did, the surviving disk must reopen
+            // consistent, carry the committed state, and scrub clean.
+            let mut re = XmlStore::open(Box::new(disk2.clone()), config)
+                .map_err(|e| fail(step, Some(n), format!("reopen after episode: {e}")))?;
+            re.check_consistency()
+                .map_err(|e| fail(step, Some(n), format!("inconsistent after episode: {e}")))?;
+            let got = re
+                .to_document()
+                .map_err(|e| fail(step, Some(n), format!("read after episode: {e}")))?
+                .to_xml();
+            if got != post_xml {
+                return Err(fail(
+                    step,
+                    Some(n),
+                    format!("acked step not intact after episode\n  got:  {got}"),
+                ));
+            }
+            drop(re);
+            let scrub = fsck(&mut disk2.clone(), false);
+            if !scrub.clean() {
+                return Err(fail(
+                    step,
+                    Some(n),
+                    format!("post-episode scrub not clean:\n{scrub}"),
+                ));
+            }
+            out.crash_points += 1;
+            if !fired {
+                break;
+            }
+            n += 1;
+            if n > 100_000 {
+                return Err(fail(
+                    step,
+                    Some(n),
+                    "disk-full sweep did not terminate".to_string(),
+                ));
+            }
+        }
+
+        model = post_model;
+        cur_xml = post_xml;
+        out.ops_applied += 1;
+    }
+    Ok(out)
+}
+
+/// Run a disk-full campaign over the same grid as [`crate::run_campaign`].
+/// `crash_points` counts storage-full injection points; failures are
+/// reported unshrunk (the trace prefix up to the failing step
+/// reproduces them).
+pub fn run_diskfull_campaign(
+    cfg: &DiskFullConfig,
+    mut progress: impl FnMut(&str),
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    'outer: for (wi, w) in workloads(cfg.scale, cfg.gen_seed).into_iter().enumerate() {
+        for &k in &cfg.record_limits {
+            for &fuzz_seed in &cfg.fuzz_seeds {
+                let trace = generate_trace(trace_seed(fuzz_seed, k, wi as u64), cfg.ops_per_run);
+                report.runs += 1;
+                match run_diskfull_trace(
+                    &w.doc,
+                    k,
+                    &trace,
+                    cfg.recover_after,
+                    cfg.max_points_per_op,
+                ) {
+                    Ok(o) => {
+                        report.ops_applied += o.ops_applied;
+                        report.ops_skipped += o.ops_skipped;
+                        report.crash_points += o.crash_points;
+                        progress(&format!(
+                            "ok   {} k={k} seed={fuzz_seed}: {} ops, {} injection points",
+                            w.name, o.ops_applied, o.crash_points
+                        ));
+                    }
+                    Err(f) => {
+                        progress(&format!(
+                            "FAIL {} k={k} seed={fuzz_seed} at step {}",
+                            w.name, f.step
+                        ));
+                        let mut shrunk = trace.clone();
+                        shrunk.truncate(f.step + 1);
+                        report.failures.push(Failure {
+                            workload: w.name.clone(),
+                            scale: cfg.scale,
+                            gen_seed: cfg.gen_seed,
+                            k,
+                            fuzz_seed,
+                            step: f.step,
+                            crash: f.crash,
+                            message: f.message,
+                            trace: shrunk,
+                        });
+                        if report.failures.len() >= cfg.max_failures {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::generate_trace;
+
+    #[test]
+    fn diskfull_sweep_survives_one_workload() {
+        let w = crate::workload_by_name("SigmodRecord.xml", 0.001, 1).expect("workload");
+        let trace = generate_trace(7, 3);
+        let out = run_diskfull_trace(&w.doc, 32, &trace, 3, 3).expect("diskfull trace");
+        assert!(out.crash_points > 0, "sweep exercised no injection points");
+    }
+}

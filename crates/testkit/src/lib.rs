@@ -34,13 +34,17 @@
 
 mod bulk;
 mod chaos;
+mod exhaust;
 mod fuzz;
 mod group;
 mod model;
 mod net;
 mod ops;
+mod proxy;
 
 pub use bulk::{run_bulkload_campaign, BulkCampaignConfig, BulkFailure, BulkReport};
+
+pub use exhaust::{run_diskfull_campaign, run_diskfull_trace, DiskFullConfig};
 
 pub use chaos::{
     run_chaos, run_interleaving, ChaosConfig, ChaosFailure, ChaosReport, InterleavingStats,
@@ -56,7 +60,10 @@ pub use group::{
 };
 pub use model::ModelTree;
 pub use net::{
-    percentile_us, run_net_load, run_serve_soak, NetLevelReport, NetLoadConfig, NetLoadReport,
-    ServeSoakConfig, ServeSoakReport,
+    percentile_us, run_lease_leak, run_net_load, run_serve_soak, LeaseLeakConfig, LeaseLeakReport,
+    NetLevelReport, NetLoadConfig, NetLoadReport, ServeSoakConfig, ServeSoakReport,
 };
 pub use ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};
+pub use proxy::{
+    run_proxy_chaos, FaultProxy, ProxyChaosConfig, ProxyChaosReport, ProxyPlan, ProxyStats,
+};

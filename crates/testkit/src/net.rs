@@ -650,6 +650,289 @@ fn soak_round(config: &ServeSoakConfig, round: usize, failures: &mut Vec<String>
     (acked.len() as u64, recovered)
 }
 
+// ----------------------------------------------------------- lease leak
+
+/// Configuration for [`run_lease_leak`].
+#[derive(Debug, Clone)]
+pub struct LeaseLeakConfig {
+    /// Base seed (document generation).
+    pub seed: u64,
+    /// Lease TTL handed to the server (ms). The whole scenario takes a
+    /// few multiples of this.
+    pub lease_ttl_ms: u64,
+    /// Well-behaved clients competing for the pin budget.
+    pub victims: usize,
+    /// Updates issued while the leak starves the budget (they grow the
+    /// reclamation backlog the stuck pin blocks).
+    pub updates: usize,
+    /// XMark scale of the served document.
+    pub scale: f64,
+}
+
+impl LeaseLeakConfig {
+    /// CI smoke tier (~2 lease TTLs of wall clock).
+    pub fn quick() -> LeaseLeakConfig {
+        LeaseLeakConfig {
+            seed: 0x0001_EA5E,
+            lease_ttl_ms: 400,
+            victims: 2,
+            updates: 6,
+            scale: 0.002,
+        }
+    }
+
+    /// The acceptance tier: longer TTL, more victims.
+    pub fn full() -> LeaseLeakConfig {
+        LeaseLeakConfig {
+            seed: 0x0001_EA5E,
+            lease_ttl_ms: 800,
+            victims: 4,
+            updates: 12,
+            scale: 0.005,
+        }
+    }
+}
+
+/// Result of [`run_lease_leak`].
+#[derive(Debug)]
+pub struct LeaseLeakReport {
+    /// Sheds the victims ate while the leaker held the only pin slot.
+    pub starved_sheds: u64,
+    /// Sheds after one lease TTL (must be 0: the reaper freed the slot).
+    pub recovered_sheds: u64,
+    /// Successful victim pins after the TTL.
+    pub recovered_pins: u64,
+    /// Reclamation backlog at the peak of the leak and after recovery.
+    pub backlog_peak: u64,
+    pub backlog_after: u64,
+    /// Final server counters.
+    pub server: ServeSummary,
+    /// Contract violations (empty on success).
+    pub failures: Vec<String>,
+}
+
+impl LeaseLeakReport {
+    /// Did the reaper unstarve the budget and unblock reclamation?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sheds while leaked, {} after expiry ({} pins ok), backlog {} -> {}, {} lease expirations, {} failures",
+            self.starved_sheds,
+            self.recovered_sheds,
+            self.recovered_pins,
+            self.backlog_peak,
+            self.backlog_after,
+            self.server.lease_expirations,
+            self.failures.len()
+        )
+    }
+}
+
+/// Pull the `backlog : N superseded pages` figure out of the stats text.
+fn parse_backlog(stats: &str) -> Option<u64> {
+    let line = stats
+        .lines()
+        .find(|l| l.trim_start().starts_with("backlog"))?;
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .split(' ')
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// One deliberate leaker must never starve the other clients for more
+/// than a lease TTL: it pins the *only* admission slot and goes silent;
+/// well-behaved victims shed until the reaper expires the lease, then
+/// pin freely (shed rate returns to 0). The leaker's next request is
+/// answered with the typed session-expired response, after which a fresh
+/// `begin` works. Updates issued throughout prove the stuck pin's
+/// reclamation backlog drains once the lease is reaped.
+pub fn run_lease_leak(config: &LeaseLeakConfig) -> LeaseLeakReport {
+    let ttl = std::time::Duration::from_millis(config.lease_ttl_ms);
+    let dir = scratch_dir("lease");
+    let store = build_store_file(&dir, config.scale, config.seed);
+    let handle = serve(ServeConfig {
+        store,
+        workers: config.victims + 3,
+        // One pin slot: the leak starves the whole budget.
+        max_pins: 1,
+        lease_ttl_ms: config.lease_ttl_ms,
+        ..ServeConfig::default()
+    })
+    .expect("start lease server");
+    let addr = handle.addr();
+    let mut failures = Vec::new();
+
+    // The leaker pins the only slot and goes silent.
+    let mut leaker = Client::connect(addr).expect("leaker connect");
+    if let Err(e) = leaker.begin() {
+        failures.push(format!("leaker begin: {e}"));
+    }
+    let pinned_at = Instant::now();
+
+    let mut victims: Vec<Client> = (0..config.victims.max(1))
+        .map(|_| Client::connect(addr).expect("victim connect"))
+        .collect();
+    let mut writer = Client::connect(addr).expect("writer connect");
+
+    // Phase A — starvation: while the lease is live, every victim pin
+    // attempt must shed (round-robin so victims never shed each other).
+    let mut starved_sheds = 0u64;
+    let mut update_no = 0usize;
+    let phase_a_end = pinned_at + ttl.mul_f64(0.7);
+    'phase_a: while Instant::now() < phase_a_end {
+        for (v, c) in victims.iter_mut().enumerate() {
+            match c.request(&Request::Begin) {
+                Ok(resp) => match resp.body {
+                    ResponseBody::RetryAfter { .. } => starved_sheds += 1,
+                    ResponseBody::SessionPinned => {
+                        failures.push(format!("victim {v} pinned while the leak was live"));
+                        let _ = c.end();
+                    }
+                    other => failures.push(format!("victim {v} begin: {other:?}")),
+                },
+                Err(e) => failures.push(format!("victim {v} begin: {e}")),
+            }
+        }
+        if update_no < config.updates {
+            update_no += 1;
+            let req = Request::Update {
+                target: "/site".to_string(),
+                op: UpdateOp::AppendText {
+                    text: format!("leak marker {update_no}"),
+                },
+            };
+            if let Err(e) = writer.request_retry(&req, 50) {
+                failures.push(format!("update {update_no}: {e}"));
+                break 'phase_a;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let backlog_peak = match writer.stats() {
+        Ok(text) => parse_backlog(&text).unwrap_or(0),
+        Err(e) => {
+            failures.push(format!("stats at leak peak: {e}"));
+            0
+        }
+    };
+    if backlog_peak == 0 {
+        failures.push("stuck pin did not accumulate a reclamation backlog".to_string());
+    }
+
+    // Let the lease expire and the reaper run (TTL + a reaper tick).
+    let deadline = pinned_at + ttl + ttl.mul_f64(0.5);
+    while Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Phase B — recovery: within one TTL of the expiry the shed rate is
+    // back to 0 and pins flow again.
+    let mut recovered_sheds = 0u64;
+    let mut recovered_pins = 0u64;
+    let phase_b_end = Instant::now() + ttl;
+    while Instant::now() < phase_b_end {
+        for (v, c) in victims.iter_mut().enumerate() {
+            match c.request(&Request::Begin) {
+                Ok(resp) => match resp.body {
+                    ResponseBody::RetryAfter { .. } => recovered_sheds += 1,
+                    ResponseBody::SessionPinned => {
+                        recovered_pins += 1;
+                        if let Err(e) = c.end() {
+                            failures.push(format!("victim {v} end: {e}"));
+                        }
+                    }
+                    other => failures.push(format!("victim {v} post-expiry begin: {other:?}")),
+                },
+                Err(e) => failures.push(format!("victim {v} post-expiry begin: {e}")),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    if recovered_sheds > 0 {
+        failures.push(format!(
+            "shed rate did not return to 0 within one TTL ({recovered_sheds} sheds)"
+        ));
+    }
+    if recovered_pins == 0 {
+        failures.push("no victim managed to pin after the lease expired".to_string());
+    }
+
+    // The leaker is told exactly once, then recovers by re-beginning.
+    match leaker.query("//keyword") {
+        Err(natix_server::ClientError::SessionExpired) => {}
+        Ok(_) => failures.push("leaker was not told its session expired".to_string()),
+        Err(e) => failures.push(format!("leaker post-expiry query: {e}")),
+    }
+    match leaker.begin() {
+        Ok(_) => {
+            if let Err(e) = leaker.end() {
+                failures.push(format!("leaker re-begin end: {e}"));
+            }
+        }
+        Err(e) => failures.push(format!("leaker re-begin: {e}")),
+    }
+
+    // Reclamation proceeded once the pin was reaped: a few more commits
+    // drain the backlog the leak accumulated.
+    for i in 0..3 {
+        let req = Request::Update {
+            target: "/site".to_string(),
+            op: UpdateOp::AppendText {
+                text: format!("post-leak marker {i}"),
+            },
+        };
+        if let Err(e) = writer.request_retry(&req, 50) {
+            failures.push(format!("post-leak update {i}: {e}"));
+        }
+    }
+    let backlog_after = match writer.stats() {
+        Ok(text) => parse_backlog(&text).unwrap_or(u64::MAX),
+        Err(e) => {
+            failures.push(format!("stats after recovery: {e}"));
+            u64::MAX
+        }
+    };
+    if backlog_peak > 0 && backlog_after >= backlog_peak {
+        failures.push(format!(
+            "reclamation backlog did not drain ({backlog_peak} -> {backlog_after})"
+        ));
+    }
+
+    match Client::connect(addr).and_then(|mut c| {
+        let r = c.fsck()?;
+        c.shutdown_server()?;
+        Ok(r)
+    }) {
+        Ok((clean, report)) => {
+            if !clean {
+                failures.push(format!("post-leak fsck not clean:\n{report}"));
+            }
+        }
+        Err(e) => failures.push(format!("post-leak fsck/shutdown: {e}")),
+    }
+    let server = handle.join();
+    if server.lease_expirations == 0 {
+        failures.push("server counted no lease expirations".to_string());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    LeaseLeakReport {
+        starved_sheds,
+        recovered_sheds,
+        recovered_pins,
+        backlog_peak,
+        backlog_after,
+        server,
+        failures,
+    }
+}
+
 /// Run the full power-cut campaign against spawned `natix serve`
 /// daemons.
 pub fn run_serve_soak(config: &ServeSoakConfig) -> ServeSoakReport {
@@ -666,5 +949,22 @@ pub fn run_serve_soak(config: &ServeSoakConfig) -> ServeSoakReport {
         acked,
         recovered,
         failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_leak_quick_unstarves_within_one_ttl() {
+        let report = run_lease_leak(&LeaseLeakConfig::quick());
+        assert!(
+            report.ok(),
+            "lease leak scenario failed: {}\n{}",
+            report.summary(),
+            report.failures.join("\n")
+        );
+        assert!(report.starved_sheds > 0, "leak never starved the budget");
     }
 }

@@ -34,6 +34,9 @@ cargo run --release -p natix-cli -- soak --quick --group-commit
 echo "==> natix soak --quick --bulkload (power cuts during a sharded bulkload: every shard independently recoverable, catalog never references uncommitted state)"
 cargo run --release -p natix-cli -- soak --quick --bulkload
 
+echo "==> natix soak --quick --diskfull (disk-full degradation sweep: a storage-full window at write events of every step; atomic rollback, reads keep serving while read-only, space probe re-enables writes, fsck clean)"
+cargo run --release -p natix-cli -- soak --quick --diskfull
+
 echo "==> natix stress --quick (chaos smoke: seeded reader/writer/fsck interleavings over the concurrent store; snapshot-vs-oracle, exactly-once commits, pin-safe reclamation, eviction active under a 2-page pool)"
 cargo run --release -p natix-cli -- stress --quick
 
@@ -107,6 +110,10 @@ natix net "$addr" update '//library' append-element annex
 test "$(natix net "$addr" query '//annex' --count)" = 1
 natix net "$addr" stats > "$serve_dir/stats.out"
 grep -q "live records" "$serve_dir/stats.out"
+# Resource observability: pin/lease/backlog/read-only gauges are served.
+grep -q "session-pinned" "$serve_dir/stats.out"
+grep -q "read-only    : no" "$serve_dir/stats.out"
+grep -q "superseded pages" "$serve_dir/stats.out"
 natix net "$addr" fsck > /dev/null
 # Deterministic backpressure round trip: saturate the 4 session pins,
 # observe a typed retry-after, release one, get admitted.
@@ -126,5 +133,11 @@ trap 'rm -rf "$fsck_dir"' EXIT
 
 echo "==> natix stress --net --quick (network load smoke: closed-loop client sweep against a live server; epoch-consistent reads, zero protocol errors, latency histogram written as JSON)"
 cargo run --release -p natix-cli -- stress --net --quick --json "$serve_dir/bench_serve_quick.json"
+
+echo "==> natix stress --net --proxy --quick (fault-proxy smoke: one seeded stall/partial-write/reset plan between the fleet and a live daemon; zero protocol errors, no wedged workers, clean drain)"
+cargo run --release -p natix-cli -- stress --net --proxy --quick
+
+echo "==> natix stress --net --leak --quick (pin-lease starvation smoke: a silent leaker must be reaped within one TTL; shed rate back to 0, reclamation backlog drains, typed session-expired answer)"
+cargo run --release -p natix-cli -- stress --net --leak --quick
 
 echo "CI OK"
