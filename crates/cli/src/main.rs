@@ -13,11 +13,12 @@
 //!                 [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]
 //! natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]
 //! natix soak      [--quick] [--corruption] [--group-commit] [--bulkload] [--serve]
-//!                 [--diskfull] [--seed N] [--replay <script>]
+//!                 [--diskfull] [--repl] [--seed N] [--replay <script>]
 //! natix stress    [--quick] [--seed N] [--runs N] [--net [--proxy|--leak]] [--json FILE]
 //! natix serve     <store.natix> [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!                 [--max-pins N] [--read-budget N] [--lease-ttl-ms N] [--pool-pages N]
-//! natix net       <addr> ping|query|dump|stats|fsck|update|shed-probe|shutdown [...]
+//!                 [--replica-of HOST:PORT]
+//! natix net       <addr> ping|query|dump|stats|fsck|update|shed-probe|promote|shutdown [...]
 //! ```
 //!
 //! `natix serve` runs the network daemon of `natix-server`: a
@@ -55,6 +56,23 @@
 //! slot (shed rate back to 0 within one TTL), the reclamation backlog
 //! must drain, and the leaker's next request gets the typed
 //! session-expired answer.
+//!
+//! `natix serve --replica-of HOST:PORT` runs the daemon as a hot
+//! standby: it subscribes to the primary at that address, bootstraps
+//! from a streamed snapshot, then applies committed journal batches so
+//! its store file is byte-identical to the primary at every acked
+//! epoch. A replica serves read-only queries (writes get the typed
+//! read-only retry-after) and reports its applied epoch and batch
+//! counters in `stats`; the primary's `stats` reports follower count
+//! and replication lag. `natix net <replica> promote` is failover: it
+//! waits for the applied epoch to settle, discards any unacked staged
+//! tail, runs recovery, and fences the store so batches from a deposed
+//! primary are refused with a typed `fenced` error (DESIGN.md §17).
+//! `natix soak --repl` is the failover campaign: a primary/replica pair
+//! with the fault proxy between them, an update storm, SIGKILL of the
+//! primary at swept points, then promote — asserting the promoted store
+//! is exactly the acked prefix, fsck-clean, with divergent tails
+//! refused.
 //!
 //! `natix soak --diskfull` is the disk-full degradation campaign: a
 //! storage-full window is injected at every write event of every step of
@@ -237,13 +255,14 @@ fn usage() -> ExitCode {
          [--seg-docs N] [--budget N] [--k SLOTS] [--seed N] [--pool-pages N]\n  \
          natix collection stats <dir> | dump <dir> <doc-id> | fsck <dir> [--repair]\n  \
          natix soak [--quick] [--corruption] [--group-commit] [--bulkload] [--serve] \
-         [--diskfull] [--seed N] [--replay <script>]\n  \
+         [--diskfull] [--repl] [--seed N] [--replay <script>]\n  \
          natix stress [--quick] [--seed N] [--runs N] [--net [--proxy|--leak]] [--json FILE]\n  \
          natix serve <store.natix> [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--max-pins N] [--read-budget N] [--lease-ttl-ms N] [--pool-pages N]\n  \
+         [--max-pins N] [--read-budget N] [--lease-ttl-ms N] [--pool-pages N] \
+         [--replica-of HOST:PORT]\n  \
          natix net <addr> ping | query '<xpath>' [--count] | dump [--degraded] | stats | \
          fsck | update '<xpath>' <append-element|append-text|insert-before|delete> [VALUE] | \
-         shed-probe [--pins N] | shutdown   (all: [--retries N])\n\
+         shed-probe [--pins N] | promote | shutdown   (all: [--retries N])\n\
          algorithms: ekm (default), dhw, ghdw, km, rs, dfs, bfs, lukes\n\
          --threads N parallelizes dhw/ghdw (default: available parallelism)\n\
          --no-dag-cache disables the structure-sharing engine for dhw/ghdw\n\
@@ -820,6 +839,7 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
     let mut bulkload = false;
     let mut serve_soak = false;
     let mut diskfull = false;
+    let mut repl = false;
     let mut seed: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut it = args.iter();
@@ -831,6 +851,7 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
             "--bulkload" => bulkload = true,
             "--serve" => serve_soak = true,
             "--diskfull" => diskfull = true,
+            "--repl" => repl = true,
             "--seed" => {
                 seed = Some(
                     it.next()
@@ -855,6 +876,48 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
             outcome.ops_applied, outcome.ops_skipped, outcome.crash_points
         );
         return Ok(());
+    }
+    if repl {
+        if corruption || group_commit || bulkload || serve_soak || diskfull {
+            return Err("--repl is mutually exclusive with the other soak sweeps".into());
+        }
+        let server_bin = std::env::current_exe()
+            .map_err(|e| CliError::new(5, format!("cannot locate the natix binary: {e}")))?;
+        let mut cfg = if quick {
+            natix_testkit::ReplSoakConfig::quick(server_bin)
+        } else {
+            natix_testkit::ReplSoakConfig::full(server_bin)
+        };
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        let mut banner = ReplayBanner::new(
+            format!(
+                "natix soak --repl{} --seed {}",
+                if quick { " --quick" } else { "" },
+                cfg.seed
+            ),
+            vec![cfg.seed],
+        );
+        eprintln!(
+            "  repl soak: {} failover rounds, {} updates offered per round",
+            cfg.rounds, cfg.updates_per_round
+        );
+        let report = natix_testkit::run_repl_soak(&cfg);
+        for f in &report.failures {
+            eprintln!("FAIL {f}");
+        }
+        println!(
+            "soak ({}, repl): {}",
+            if quick { "quick" } else { "full" },
+            report.summary()
+        );
+        return if report.ok() {
+            banner.disarm();
+            Ok(())
+        } else {
+            Err(format!("{} failure(s) printed above", report.failures.len()).into())
+        };
     }
     if diskfull {
         if corruption || group_commit || bulkload || serve_soak {
@@ -1375,11 +1438,24 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|_| "--lease-ttl-ms expects a non-negative integer")?;
             }
+            "--replica-of" => {
+                config.replica_of = Some(val("--replica-of")?);
+            }
             other => return Err(format!("unknown option {other}").into()),
         }
     }
     if config.workers == 0 || config.queue_depth == 0 || config.max_pins == 0 {
         return Err("--workers, --queue-depth and --max-pins must be positive".into());
+    }
+    // The reaper ticks at max(ttl/4, 10ms): a TTL under 40 ms is below
+    // the tick granularity and would expire pins erratically. Reject it
+    // as a usage error (0 still means "reaper disabled").
+    if config.lease_ttl_ms > 0 && config.lease_ttl_ms < 40 {
+        return Err(CliError::new(
+            2,
+            "--lease-ttl-ms must be 0 (disabled) or at least 40 (the lease \
+             reaper tick granularity)",
+        ));
     }
     let handle = serve_daemon(config.clone()).map_err(|e| match e {
         ServeError::Bind(io) => CliError::new(5, format!("bind {}: {io}", config.addr)),
@@ -1391,6 +1467,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     use std::io::Write as _;
     let mut out = std::io::stdout();
     let _ = writeln!(out, "natix serve: listening on {}", handle.addr());
+    if let Some(src) = &config.replica_of {
+        let _ = writeln!(
+            out,
+            "natix serve: replica of {src} (read-only until promoted)"
+        );
+    }
     let _ = writeln!(
         out,
         "natix serve: serving {store} ({} workers, queue depth {}, {} pins); \
@@ -1568,6 +1650,35 @@ fn cmd_net(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "shed-probe" => cmd_shed_probe(&addr, pins, retries),
+        "promote" => {
+            // Catch-up-then-promote: wait until the replica's applied
+            // epoch stops advancing (three identical consecutive polls,
+            // bounded), then promote. A replica that is still draining
+            // batches from a live primary keeps advancing; once the
+            // primary is dead the epoch settles within a poll or two.
+            let mut c = connect()?;
+            let mut last = exchange(&mut c, &Request::Ping)?.epoch;
+            let mut stable = 0u32;
+            for _ in 0..40 {
+                if stable >= 3 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                let now = exchange(&mut c, &Request::Ping)?.epoch;
+                if now == last {
+                    stable += 1;
+                } else {
+                    stable = 0;
+                    last = now;
+                }
+            }
+            let resp = exchange(&mut c, &Request::ReplPromote)?;
+            if !matches!(resp.body, ResponseBody::ReplPromoted) {
+                return Err(format!("unexpected response: {:?}", resp.body).into());
+            }
+            println!("promoted to primary; fencing epoch {}", resp.epoch);
+            Ok(())
+        }
         "shutdown" => {
             let mut c = connect()?;
             let resp = exchange(&mut c, &Request::Shutdown)?;

@@ -179,6 +179,15 @@ impl Client {
         }
     }
 
+    /// Promote a replica to primary; returns the fencing epoch.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        let resp = self.request(&Request::ReplPromote)?;
+        match resp.body {
+            ResponseBody::ReplPromoted => Ok(resp.epoch),
+            other => Err(unexpected("promotion ack", &other)),
+        }
+    }
+
     /// Request a graceful server shutdown.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         let resp = self.request(&Request::Shutdown)?;

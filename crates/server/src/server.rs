@@ -29,7 +29,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -37,8 +37,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use natix_store::{
-    AdmissionConfig, ErrorCategory, FilePager, ServedRead, SharedStore, Snapshot, StoreConfig,
-    StoreError, XmlStore,
+    fsck, AdmissionConfig, ApplyOutcome, CapturePager, ErrorCategory, FilePager, Follower,
+    ReplicaSource, ServedRead, SharedStore, Snapshot, StoreConfig, StoreError, XmlStore,
+    READ_ONLY_RETRY_HINT_MS,
 };
 use natix_xml::NodeKind;
 use natix_xpath::eval;
@@ -77,6 +78,10 @@ pub struct ServeConfig {
     /// [`ResponseBody::SessionExpired`] so well-behaved clients
     /// re-`begin`. 0 disables lease expiry.
     pub lease_ttl_ms: u64,
+    /// Run as a replica of this `HOST:PORT` primary: serve read-only
+    /// queries from replicated state, refuse writes with a typed
+    /// read-only shed, and keep pulling batches until promoted.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +95,7 @@ impl Default for ServeConfig {
             read_page_budget: 0,
             pool_pages: None,
             lease_ttl_ms: 30_000,
+            replica_of: None,
         }
     }
 }
@@ -245,6 +251,7 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     listener.set_nonblocking(true).map_err(ServeError::Bind)?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
+    let promoted = Arc::new(AtomicBool::new(false));
     let counters = Arc::new(Counters::default());
     let (store_tx, store_rx) = mpsc::sync_channel::<ServiceMsg>(config.queue_depth.max(1));
     let (ready_tx, ready_rx) = mpsc::channel::<Result<(), StoreError>>();
@@ -256,10 +263,11 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     {
         let config = config.clone();
         let counters = Arc::clone(&counters);
+        let promoted = Arc::clone(&promoted);
         threads.push(
             std::thread::Builder::new()
                 .name("natix-store-svc".into())
-                .spawn(move || store_service(config, store_rx, ready_tx, counters))
+                .spawn(move || store_service(config, store_rx, ready_tx, counters, promoted))
                 .expect("spawn store service"),
         );
     }
@@ -296,8 +304,23 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
                 .expect("spawn worker"),
         );
     }
-    // The workers hold the only long-lived senders: when the last worker
-    // exits after a shutdown, the store service drains and stops.
+    // A replica keeps a fetch loop pulling batches from the primary and
+    // feeding them through the same service queue the workers use, so
+    // applies serialize with reads in arrival order.
+    if let Some(source) = config.replica_of.clone() {
+        let store_tx = store_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let promoted = Arc::clone(&promoted);
+        threads.push(
+            std::thread::Builder::new()
+                .name("natix-repl-client".into())
+                .spawn(move || repl_client_loop(source, store_tx, shutdown, promoted))
+                .expect("spawn repl client"),
+        );
+    }
+    // The workers (and a replica's fetch loop) hold the only long-lived
+    // senders: when the last one exits after a shutdown, the store
+    // service drains and stops.
     drop(store_tx);
 
     {
@@ -656,11 +679,70 @@ fn reap_leases(
     }
 }
 
+/// What the store service is serving: a writable primary that also
+/// feeds subscribed followers, or a read-only replica applying batches.
+/// [`Request::ReplPromote`] swaps a `Replica` to a `Primary` in place.
+///
+/// Exactly one `Role` exists per daemon, so the size gap between the
+/// variants costs nothing — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum Role {
+    Primary {
+        shared: SharedStore,
+        repl: ReplicaSource,
+        /// The fencing epoch when this primary was promoted from a
+        /// replica: [`Request::ReplApply`] is refused with
+        /// [`ErrKind::Fenced`] instead of a plain bad-request.
+        fence: Option<u64>,
+    },
+    Replica {
+        follower: Follower,
+        /// Lazily opened read-only store over the applied state,
+        /// invalidated whenever a batch lands.
+        reader: Option<XmlStore>,
+        source: String,
+        path: PathBuf,
+        store_config: StoreConfig,
+        admission: AdmissionConfig,
+    },
+}
+
+/// Open the primary serving stack over `path`: raw file → write capture
+/// (feeding replication cuts) → shared store, plus the replication
+/// source draining the capture.
+fn open_primary_role(
+    path: &Path,
+    store_config: StoreConfig,
+    admission: AdmissionConfig,
+    fence: Option<u64>,
+) -> Result<Role, StoreError> {
+    let backend = FilePager::open(path)?;
+    let capture = CapturePager::new(Box::new(backend));
+    let handle = capture.handle();
+    let shared = SharedStore::open(
+        Box::new(capture),
+        Box::new(path.to_path_buf()),
+        store_config,
+        admission,
+    )?;
+    let repl = ReplicaSource::new(
+        Box::new(path.to_path_buf()),
+        handle,
+        shared.committed_epoch(),
+    );
+    Ok(Role::Primary {
+        shared,
+        repl,
+        fence,
+    })
+}
+
 fn store_service(
     config: ServeConfig,
     rx: Receiver<ServiceMsg>,
     ready: Sender<Result<(), StoreError>>,
     counters: Arc<Counters>,
+    promoted: Arc<AtomicBool>,
 ) {
     let mut store_config = StoreConfig::default();
     if let Some(n) = config.pool_pages {
@@ -670,24 +752,24 @@ fn store_service(
         max_inflight_reads: config.max_pins,
         read_page_budget: config.read_page_budget,
     };
-    let backend = match FilePager::open(&config.store) {
-        Ok(p) => p,
-        Err(e) => {
-            let _ = ready.send(Err(e));
-            return;
-        }
-    };
-    let shared = match SharedStore::open(
-        Box::new(backend),
-        Box::new(config.store.clone()),
-        store_config,
-        admission,
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            let _ = ready.send(Err(e));
-            return;
-        }
+    let mut role = match &config.replica_of {
+        // A replica opens nothing up front: a missing file simply means
+        // the first fetch bootstraps it from a snapshot.
+        Some(source) => Role::Replica {
+            follower: Follower::open(config.store.clone(), store_config),
+            reader: None,
+            source: source.clone(),
+            path: config.store.clone(),
+            store_config,
+            admission,
+        },
+        None => match open_primary_role(&config.store, store_config, admission, None) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = ready.send(Err(e));
+                return;
+            }
+        },
     };
     let _ = ready.send(Ok(()));
 
@@ -708,13 +790,23 @@ fn store_service(
     loop {
         match rx.recv_timeout(tick) {
             Ok(ServiceMsg::Request { conn, req, reply }) => {
-                let resp =
-                    handle_request(&shared, &mut sessions, &mut expired, &counters, conn, req);
+                let resp = handle_request(
+                    &mut role,
+                    &mut sessions,
+                    &mut expired,
+                    &counters,
+                    &promoted,
+                    conn,
+                    req,
+                );
                 let _ = reply.send(resp);
             }
             Ok(ServiceMsg::Disconnect { conn }) => {
                 sessions.remove(&conn);
                 expired.remove(&conn);
+                if let Role::Primary { repl, .. } = &mut role {
+                    repl.disconnect(conn);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -728,7 +820,9 @@ fn store_service(
     // reaper already released is gone from the map — clearing it again
     // here cannot double-release.
     sessions.clear();
-    let _ = shared.maintain();
+    if let Role::Primary { shared, .. } = &role {
+        let _ = shared.maintain();
+    }
 }
 
 /// Map a store failure onto the wire: sheds become retry-after, the rest
@@ -780,8 +874,274 @@ fn bad_request(epoch: u64, message: String) -> Response {
 /// counted but not rendered (the count field is always exact).
 const MAX_QUERY_LINES: usize = 10_000;
 
+#[allow(clippy::too_many_arguments)]
 fn handle_request(
+    role: &mut Role,
+    sessions: &mut HashMap<u64, Session>,
+    expired: &mut HashSet<u64>,
+    counters: &Counters,
+    promoted: &AtomicBool,
+    conn: u64,
+    req: Request,
+) -> Response {
+    match role {
+        Role::Primary {
+            shared,
+            repl,
+            fence,
+        } => {
+            let committed = shared.committed_epoch();
+            match req {
+                Request::ReplSubscribe { last_epoch } => {
+                    repl.subscribe(conn, last_epoch);
+                    Response {
+                        epoch: committed,
+                        body: ResponseBody::ReplSubscribed,
+                    }
+                }
+                Request::ReplFetch { after_epoch, seq } => {
+                    match repl.fetch(committed, after_epoch, seq) {
+                        Ok(part) => Response {
+                            epoch: committed,
+                            body: ResponseBody::ReplBatchPart {
+                                payload: part.unwrap_or_default(),
+                            },
+                        },
+                        Err(e) => store_error_response(committed, &e),
+                    }
+                }
+                Request::ReplAck { epoch } => {
+                    repl.ack(conn, epoch);
+                    Response {
+                        epoch: committed,
+                        body: ResponseBody::ReplAckOk,
+                    }
+                }
+                // A promoted follower answers a deposed primary's pushes
+                // with its fencing epoch; a never-promoted primary was
+                // simply addressed wrongly.
+                Request::ReplApply { .. } => match *fence {
+                    Some(at) => Response {
+                        epoch: at,
+                        body: ResponseBody::Error {
+                            kind: ErrKind::Fenced,
+                            message: format!("fenced at epoch {at}: this store was promoted"),
+                        },
+                    },
+                    None => bad_request(committed, "not a replica".to_string()),
+                },
+                Request::ReplPromote => bad_request(committed, "already a primary".to_string()),
+                other => {
+                    handle_primary_request(shared, repl, sessions, expired, counters, conn, other)
+                }
+            }
+        }
+        Role::Replica { .. } => handle_replica_request(role, counters, promoted, conn, req),
+    }
+}
+
+fn handle_replica_request(
+    role: &mut Role,
+    counters: &Counters,
+    promoted: &AtomicBool,
+    conn: u64,
+    req: Request,
+) -> Response {
+    let Role::Replica {
+        follower,
+        reader,
+        source,
+        path,
+        store_config,
+        admission,
+    } = role
+    else {
+        unreachable!("dispatched on role");
+    };
+    let _ = conn;
+    let applied = follower.epoch();
+    // Writes and pins are refused the same way disk-full degradation
+    // refuses them: a typed read-only shed the client can back off on
+    // (and retry against the new primary after a failover).
+    let read_only_shed = || Response {
+        epoch: applied,
+        body: ResponseBody::RetryAfter {
+            kind: ShedKind::ReadOnly,
+            millis: READ_ONLY_RETRY_HINT_MS as u32,
+            what: "replica".to_string(),
+        },
+    };
+    match req {
+        Request::Ping => Response {
+            epoch: applied,
+            body: ResponseBody::Pong,
+        },
+        Request::Update { .. } | Request::Begin => read_only_shed(),
+        Request::End => Response {
+            epoch: applied,
+            body: ResponseBody::SessionReleased,
+        },
+        Request::Query { xpath, count_only } => {
+            let path_q = match natix_xpath::parse(&xpath) {
+                Ok(p) => p,
+                Err(e) => return bad_request(applied, format!("xpath: {e}")),
+            };
+            let store = match replica_reader(reader, follower) {
+                Ok(s) => s,
+                Err(e) => return store_error_response(applied, &e),
+            };
+            let mut run = || -> Result<(u32, Vec<String>), StoreError> {
+                let hits = {
+                    let mut nav = natix_xpath::StoreNavigator::new(store);
+                    eval(&mut nav, &path_q)?
+                };
+                let count = hits.len() as u32;
+                let mut lines = Vec::new();
+                if !count_only {
+                    for r in hits.iter().take(MAX_QUERY_LINES) {
+                        lines.push(render_hit(store, *r)?);
+                    }
+                }
+                Ok((count, lines))
+            };
+            match run() {
+                Ok((count, lines)) => Response {
+                    epoch: applied,
+                    body: ResponseBody::QueryResult { count, lines },
+                },
+                Err(e) => store_error_response(applied, &e),
+            }
+        }
+        Request::Dump { .. } => {
+            let store = match replica_reader(reader, follower) {
+                Ok(s) => s,
+                Err(e) => return store_error_response(applied, &e),
+            };
+            match store.to_document() {
+                Ok(doc) => Response {
+                    epoch: applied,
+                    body: ResponseBody::DumpResult {
+                        full: true,
+                        xml: doc.to_xml(),
+                        damage: String::new(),
+                    },
+                },
+                Err(e) => store_error_response(applied, &e),
+            }
+        }
+        Request::Stats => {
+            let (batches, snapshots, tails) = follower.counters();
+            let text = format!(
+                "role         : replica (of {source})\n\
+                 applied epoch: {applied}\n\
+                 batches      : {batches} applied, {snapshots} snapshots\n\
+                 tails        : {tails} discarded\n\
+                 fenced       : {}\n\
+                 leases       : {} expired\n",
+                match follower.fence() {
+                    Some(at) => format!("yes (epoch {at})"),
+                    None => "no".to_string(),
+                },
+                counters.lease_expirations.load(Ordering::Relaxed),
+            );
+            Response {
+                epoch: applied,
+                body: ResponseBody::StatsText(text),
+            }
+        }
+        Request::Fsck => {
+            if applied == 0 {
+                return bad_request(0, "replica has not bootstrapped yet".to_string());
+            }
+            match FilePager::open(&*path) {
+                Ok(mut pager) => {
+                    let report = fsck(&mut pager, false);
+                    Response {
+                        epoch: applied,
+                        body: ResponseBody::FsckResult {
+                            clean: report.clean(),
+                            report: report.to_string(),
+                        },
+                    }
+                }
+                Err(e) => store_error_response(applied, &e),
+            }
+        }
+        Request::ReplApply { payload } => match follower.apply_part(&payload) {
+            Ok(ApplyOutcome::Applied { epoch }) => {
+                *reader = None;
+                Response {
+                    epoch,
+                    body: ResponseBody::ReplApplied { complete: true },
+                }
+            }
+            Ok(ApplyOutcome::Staged { .. }) => Response {
+                epoch: applied,
+                body: ResponseBody::ReplApplied { complete: false },
+            },
+            Ok(ApplyOutcome::Rejected { reason }) => match follower.fence() {
+                Some(at) => Response {
+                    epoch: at,
+                    body: ResponseBody::Error {
+                        kind: ErrKind::Fenced,
+                        message: reason,
+                    },
+                },
+                None => Response {
+                    epoch: applied,
+                    body: ResponseBody::Error {
+                        kind: ErrKind::InvalidUpdate,
+                        message: reason,
+                    },
+                },
+            },
+            Err(e) => store_error_response(applied, &e),
+        },
+        Request::ReplPromote => {
+            let fence_epoch = match follower.promote() {
+                Ok(e) => e,
+                Err(e) => return store_error_response(applied, &e),
+            };
+            let (path, store_config, admission) = (path.clone(), *store_config, *admission);
+            match open_primary_role(&path, store_config, admission, Some(fence_epoch)) {
+                Ok(new_role) => {
+                    *role = new_role;
+                    promoted.store(true, Ordering::SeqCst);
+                    Response {
+                        epoch: fence_epoch,
+                        body: ResponseBody::ReplPromoted,
+                    }
+                }
+                Err(e) => store_error_response(fence_epoch, &e),
+            }
+        }
+        Request::ReplSubscribe { .. } | Request::ReplFetch { .. } | Request::ReplAck { .. } => {
+            bad_request(applied, "not a primary".to_string())
+        }
+        // Shutdown never reaches the store service (handled at the
+        // worker); answer defensively anyway.
+        Request::Shutdown => Response {
+            epoch: applied,
+            body: ResponseBody::ShuttingDown,
+        },
+    }
+}
+
+/// The replica's lazily cached read-only store over the applied state.
+fn replica_reader<'a>(
+    reader: &'a mut Option<XmlStore>,
+    follower: &Follower,
+) -> Result<&'a mut XmlStore, StoreError> {
+    if reader.is_none() {
+        *reader = Some(follower.reader()?);
+    }
+    Ok(reader.as_mut().expect("just opened"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_primary_request(
     shared: &SharedStore,
+    repl: &mut ReplicaSource,
     sessions: &mut HashMap<u64, Session>,
     expired: &mut HashSet<u64>,
     counters: &Counters,
@@ -987,6 +1347,12 @@ fn handle_request(
                 Some(reason) => format!("yes ({reason})"),
                 None => "no".to_string(),
             };
+            let replication = match repl.lag(committed) {
+                Some((followers, lag)) => {
+                    format!("{followers} followers, lag {lag} epochs")
+                }
+                None => "0 followers, lag 0 epochs".to_string(),
+            };
             let text = format!(
                 "epoch        : {}\n\
                  live records : {}\n\
@@ -1001,7 +1367,8 @@ fn handle_request(
                  sheds        : {} reads, {} timeouts, {} degraded fallbacks\n\
                  commits      : {} ({} group, {} batched ops)\n\
                  checkpoints  : {} deferred, {} applied\n\
-                 reclaimed    : {} pages ({} rounds pin-blocked)\n",
+                 reclaimed    : {} pages ({} rounds pin-blocked)\n\
+                 replication  : {}\n",
                 storage.epoch,
                 storage.live_records,
                 storage.pages,
@@ -1024,6 +1391,7 @@ fn handle_request(
                 c.checkpoints_applied,
                 c.pages_reclaimed,
                 c.reclaim_blocked_by_pins,
+                replication,
             );
             Response {
                 epoch: storage.epoch,
@@ -1046,6 +1414,176 @@ fn handle_request(
             epoch: committed,
             body: ResponseBody::ShuttingDown,
         },
+        // Replication verbs are answered by the role dispatcher before
+        // this function is reached.
+        Request::ReplSubscribe { .. }
+        | Request::ReplFetch { .. }
+        | Request::ReplAck { .. }
+        | Request::ReplApply { .. }
+        | Request::ReplPromote => bad_request(committed, "replication verb".to_string()),
+    }
+}
+
+// ---------------------------------------------------- replica fetch loop
+
+/// Pseudo connection id of the replica's own fetch loop on the service
+/// queue (worker connection ids count up from 1).
+const REPL_CONN: u64 = u64::MAX;
+
+/// How long a caught-up replica waits before polling the primary again.
+const REPL_POLL: Duration = Duration::from_millis(50);
+
+/// Back-off between reconnection attempts to the primary.
+const REPL_RECONNECT: Duration = Duration::from_millis(250);
+
+/// Socket timeout towards the primary. Short enough that a stalled or
+/// partitioned link cannot park the fetch loop (which holds a service
+/// queue sender) past the shutdown drain.
+const REPL_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The replica's fetch loop: subscribe to the primary, pull batch parts,
+/// feed them through the local service queue (serializing with reads),
+/// and ack every applied epoch. Exits on shutdown or promotion; any
+/// remote failure reconnects with back-off and re-subscribes.
+fn repl_client_loop(
+    source: String,
+    store_tx: SyncSender<ServiceMsg>,
+    shutdown: Arc<AtomicBool>,
+    promoted: Arc<AtomicBool>,
+) {
+    let stop = || shutdown.load(Ordering::SeqCst) || promoted.load(Ordering::SeqCst);
+    // Interruptible sleep; false means the loop must exit.
+    let pause = |d: Duration| -> bool {
+        let deadline = Instant::now() + d;
+        while Instant::now() < deadline {
+            if stop() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        !stop()
+    };
+    // One request through the local service queue (retrying queue-full).
+    let local = |req: Request| -> Option<Response> {
+        loop {
+            let (tx, rx) = mpsc::channel();
+            match store_tx.try_send(ServiceMsg::Request {
+                conn: REPL_CONN,
+                req: req.clone(),
+                reply: tx,
+            }) {
+                Ok(()) => return rx.recv().ok(),
+                Err(TrySendError::Full(_)) => {
+                    if stop() {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(TrySendError::Disconnected(_)) => return None,
+            }
+        }
+    };
+    let remote = |stream: &mut TcpStream, req: &Request| -> Result<Response, ProtoError> {
+        write_frame(stream, &req.encode())?;
+        read_response(stream)
+    };
+
+    'outer: while !stop() {
+        let Some(ping) = local(Request::Ping) else {
+            break;
+        };
+        let mut local_epoch = ping.epoch;
+        let mut stream = match TcpStream::connect(&*source) {
+            Ok(s) => s,
+            Err(_) => {
+                if !pause(REPL_RECONNECT) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(REPL_IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(REPL_IO_TIMEOUT));
+        match remote(
+            &mut stream,
+            &Request::ReplSubscribe {
+                last_epoch: local_epoch,
+            },
+        ) {
+            Ok(Response {
+                body: ResponseBody::ReplSubscribed,
+                ..
+            }) => {}
+            _ => {
+                if !pause(REPL_RECONNECT) {
+                    break;
+                }
+                continue;
+            }
+        }
+        let mut seq = 0u32;
+        loop {
+            if stop() {
+                break 'outer;
+            }
+            let fetched = remote(
+                &mut stream,
+                &Request::ReplFetch {
+                    after_epoch: local_epoch,
+                    seq,
+                },
+            );
+            let payload = match fetched {
+                Ok(Response {
+                    body: ResponseBody::ReplBatchPart { payload },
+                    ..
+                }) => payload,
+                // Transport trouble or an unexpected answer: reconnect.
+                _ => break,
+            };
+            if payload.is_empty() {
+                // Caught up: tell the primary where we are, then idle.
+                seq = 0;
+                if remote(&mut stream, &Request::ReplAck { epoch: local_epoch }).is_err() {
+                    break;
+                }
+                if !pause(REPL_POLL) {
+                    break 'outer;
+                }
+                continue;
+            }
+            let Some(outcome) = local(Request::ReplApply { payload }) else {
+                break 'outer;
+            };
+            match outcome.body {
+                ResponseBody::ReplApplied { complete: false } => seq += 1,
+                ResponseBody::ReplApplied { complete: true } => {
+                    local_epoch = outcome.epoch;
+                    seq = 0;
+                    if remote(&mut stream, &Request::ReplAck { epoch: local_epoch }).is_err() {
+                        break;
+                    }
+                }
+                // Promoted out from under the loop (the dispatcher now
+                // answers as a fenced primary): stop replicating.
+                ResponseBody::Error {
+                    kind: ErrKind::Fenced | ErrKind::BadRequest,
+                    ..
+                } => break 'outer,
+                // A torn part or a chain mismatch: restart the batch;
+                // the primary serves a snapshot if the chain is gone.
+                _ => {
+                    seq = 0;
+                    if !pause(REPL_POLL) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !pause(REPL_RECONNECT) {
+            break;
+        }
     }
 }
 

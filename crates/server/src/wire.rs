@@ -101,6 +101,37 @@ pub enum Request {
     /// Ask the server to shut down gracefully: stop accepting, drain
     /// in-flight requests, release pins, then exit.
     Shutdown,
+    /// A follower announces itself to a primary at its current applied
+    /// epoch; answered with [`ResponseBody::ReplSubscribed`].
+    ReplSubscribe {
+        /// Epoch of the follower's file (0 before bootstrap).
+        last_epoch: u64,
+    },
+    /// A follower asks the primary for the next batch part after its
+    /// applied epoch; answered with [`ResponseBody::ReplBatchPart`].
+    ReplFetch {
+        /// Epoch the follower's file is at.
+        after_epoch: u64,
+        /// 0-based part index within the batch being fetched.
+        seq: u32,
+    },
+    /// A follower reports the epoch it has durably applied; answered
+    /// with [`ResponseBody::ReplAckOk`].
+    ReplAck {
+        /// The durably applied epoch.
+        epoch: u64,
+    },
+    /// Hand one replication batch part to a replica server (its own
+    /// fetch loop sends this locally); answered with
+    /// [`ResponseBody::ReplApplied`], or [`ErrKind::Fenced`] after
+    /// promotion.
+    ReplApply {
+        /// One encoded part (`NRPB` framing, checksummed).
+        payload: Vec<u8>,
+    },
+    /// Stop replicating and become a primary: discard any staged tail,
+    /// run recovery, fence; answered with [`ResponseBody::ReplPromoted`].
+    ReplPromote,
 }
 
 /// The mutation of a [`Request::Update`].
@@ -154,6 +185,9 @@ pub enum ErrKind {
     Io,
     /// Server-side failure (e.g. the store service died).
     Internal,
+    /// A promoted follower refused a replication batch from a deposed
+    /// primary (the fencing epoch is in the response header).
+    Fenced,
 }
 
 /// One server response: the epoch consulted plus a status-specific body.
@@ -216,6 +250,28 @@ pub enum ResponseBody {
         /// Human-readable detail.
         message: String,
     },
+    /// Answer to [`Request::ReplSubscribe`]; the primary's committed
+    /// epoch is in the header.
+    ReplSubscribed,
+    /// Answer to [`Request::ReplFetch`]: one encoded batch part, or an
+    /// empty payload when the follower is caught up. The header carries
+    /// the primary's committed epoch.
+    ReplBatchPart {
+        /// One `NRPB`-framed part (empty = caught up).
+        payload: Vec<u8>,
+    },
+    /// Answer to [`Request::ReplAck`].
+    ReplAckOk,
+    /// Answer to [`Request::ReplApply`]; the header carries the
+    /// replica's applied epoch.
+    ReplApplied {
+        /// True when the part completed a batch (the file advanced);
+        /// false when it was staged pending further parts.
+        complete: bool,
+    },
+    /// Answer to [`Request::ReplPromote`]; the fencing epoch is in the
+    /// header.
+    ReplPromoted,
     /// The request was shed by backpressure; retry after the given
     /// back-off and it should eventually succeed.
     RetryAfter {
@@ -319,6 +375,18 @@ impl<'a> Cursor<'a> {
         Ok(s.to_string())
     }
 
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let n = self.u32()? as usize;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError::Malformed("byte-blob length exceeds body"))?;
+        let v = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(v)
+    }
+
     fn done(&self) -> Result<(), ProtoError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -331,6 +399,11 @@ impl<'a> Cursor<'a> {
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
 }
 
 /// Wire opcode (documented in DESIGN.md §15).
@@ -349,6 +422,16 @@ pub const OP_FSCK: u8 = 6;
 pub const OP_BEGIN: u8 = 7;
 /// Wire opcode (documented in DESIGN.md §15).
 pub const OP_END: u8 = 8;
+/// Wire opcode (documented in DESIGN.md §17).
+pub const OP_REPL_SUBSCRIBE: u8 = 9;
+/// Wire opcode (documented in DESIGN.md §17).
+pub const OP_REPL_FETCH: u8 = 10;
+/// Wire opcode (documented in DESIGN.md §17).
+pub const OP_REPL_ACK: u8 = 11;
+/// Wire opcode (documented in DESIGN.md §17).
+pub const OP_REPL_APPLY: u8 = 12;
+/// Wire opcode (documented in DESIGN.md §17).
+pub const OP_REPL_PROMOTE: u8 = 13;
 /// Wire opcode (documented in DESIGN.md §15).
 pub const OP_SHUTDOWN: u8 = 127;
 
@@ -401,6 +484,24 @@ impl Request {
             Request::Begin => out.push(OP_BEGIN),
             Request::End => out.push(OP_END),
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::ReplSubscribe { last_epoch } => {
+                out.push(OP_REPL_SUBSCRIBE);
+                out.extend_from_slice(&last_epoch.to_le_bytes());
+            }
+            Request::ReplFetch { after_epoch, seq } => {
+                out.push(OP_REPL_FETCH);
+                out.extend_from_slice(&after_epoch.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Request::ReplAck { epoch } => {
+                out.push(OP_REPL_ACK);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Request::ReplApply { payload } => {
+                out.push(OP_REPL_APPLY);
+                put_bytes(&mut out, payload);
+            }
+            Request::ReplPromote => out.push(OP_REPL_PROMOTE),
         }
         out
     }
@@ -447,6 +548,18 @@ impl Request {
             OP_BEGIN => Request::Begin,
             OP_END => Request::End,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_REPL_SUBSCRIBE => Request::ReplSubscribe {
+                last_epoch: c.u64()?,
+            },
+            OP_REPL_FETCH => Request::ReplFetch {
+                after_epoch: c.u64()?,
+                seq: c.u32()?,
+            },
+            OP_REPL_ACK => Request::ReplAck { epoch: c.u64()? },
+            OP_REPL_APPLY => Request::ReplApply {
+                payload: c.bytes()?,
+            },
+            OP_REPL_PROMOTE => Request::ReplPromote,
             _ => return Err(ProtoError::Malformed("unknown opcode")),
         };
         c.done()?;
@@ -464,6 +577,11 @@ const ST_OK_BEGIN: u8 = 6;
 const ST_OK_END: u8 = 7;
 const ST_OK_SHUTDOWN: u8 = 8;
 const ST_SESSION_EXPIRED: u8 = 9;
+const ST_OK_REPL_SUBSCRIBE: u8 = 10;
+const ST_OK_REPL_BATCH: u8 = 11;
+const ST_OK_REPL_ACK: u8 = 12;
+const ST_OK_REPL_APPLY: u8 = 13;
+const ST_OK_REPL_PROMOTE: u8 = 14;
 const ST_ERROR: u8 = 64;
 const ST_RETRY_AFTER: u8 = 65;
 
@@ -476,6 +594,7 @@ impl ErrKind {
             ErrKind::Corrupt => 3,
             ErrKind::Io => 4,
             ErrKind::Internal => 5,
+            ErrKind::Fenced => 6,
         }
     }
 
@@ -487,6 +606,7 @@ impl ErrKind {
             3 => ErrKind::Corrupt,
             4 => ErrKind::Io,
             5 => ErrKind::Internal,
+            6 => ErrKind::Fenced,
             _ => return Err(ProtoError::Malformed("unknown error kind")),
         })
     }
@@ -501,6 +621,7 @@ impl std::fmt::Display for ErrKind {
             ErrKind::Corrupt => "corrupt",
             ErrKind::Io => "io",
             ErrKind::Internal => "internal",
+            ErrKind::Fenced => "fenced",
         };
         f.write_str(s)
     }
@@ -521,6 +642,11 @@ impl Response {
             ResponseBody::SessionReleased => ST_OK_END,
             ResponseBody::ShuttingDown => ST_OK_SHUTDOWN,
             ResponseBody::SessionExpired => ST_SESSION_EXPIRED,
+            ResponseBody::ReplSubscribed => ST_OK_REPL_SUBSCRIBE,
+            ResponseBody::ReplBatchPart { .. } => ST_OK_REPL_BATCH,
+            ResponseBody::ReplAckOk => ST_OK_REPL_ACK,
+            ResponseBody::ReplApplied { .. } => ST_OK_REPL_APPLY,
+            ResponseBody::ReplPromoted => ST_OK_REPL_PROMOTE,
             ResponseBody::Error { .. } => ST_ERROR,
             ResponseBody::RetryAfter { .. } => ST_RETRY_AFTER,
         };
@@ -557,12 +683,17 @@ impl Response {
                 out.extend_from_slice(&millis.to_le_bytes());
                 put_str(&mut out, what);
             }
+            ResponseBody::ReplBatchPart { payload } => put_bytes(&mut out, payload),
+            ResponseBody::ReplApplied { complete } => out.push(u8::from(*complete)),
             ResponseBody::Pong
             | ResponseBody::UpdateDone
             | ResponseBody::SessionPinned
             | ResponseBody::SessionReleased
             | ResponseBody::SessionExpired
-            | ResponseBody::ShuttingDown => {}
+            | ResponseBody::ShuttingDown
+            | ResponseBody::ReplSubscribed
+            | ResponseBody::ReplAckOk
+            | ResponseBody::ReplPromoted => {}
         }
         out
     }
@@ -603,6 +734,21 @@ impl Response {
             ST_OK_END => ResponseBody::SessionReleased,
             ST_OK_SHUTDOWN => ResponseBody::ShuttingDown,
             ST_SESSION_EXPIRED => ResponseBody::SessionExpired,
+            ST_OK_REPL_SUBSCRIBE => ResponseBody::ReplSubscribed,
+            ST_OK_REPL_BATCH => ResponseBody::ReplBatchPart {
+                payload: c.bytes()?,
+            },
+            ST_OK_REPL_ACK => ResponseBody::ReplAckOk,
+            ST_OK_REPL_APPLY => {
+                let flag = c.u8()?;
+                if flag > 1 {
+                    return Err(ProtoError::Malformed("unknown apply flag"));
+                }
+                ResponseBody::ReplApplied {
+                    complete: flag == 1,
+                }
+            }
+            ST_OK_REPL_PROMOTE => ResponseBody::ReplPromoted,
             ST_ERROR => ResponseBody::Error {
                 kind: ErrKind::from_u8(c.u8()?)?,
                 message: c.str()?,

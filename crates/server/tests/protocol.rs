@@ -26,6 +26,12 @@ fn update_op() -> BoxedStrategy<UpdateOp> {
     .boxed()
 }
 
+/// Opaque byte blobs for the replication payload fields (the wire layer
+/// must carry them verbatim; their *content* is validated higher up).
+fn payload_bytes() -> BoxedStrategy<Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..96).boxed()
+}
+
 fn request() -> BoxedStrategy<Request> {
     prop_oneof![
         (0u8..1u8).prop_map(|_| Request::Ping),
@@ -38,6 +44,12 @@ fn request() -> BoxedStrategy<Request> {
         (0u8..1u8).prop_map(|_| Request::Begin),
         (0u8..1u8).prop_map(|_| Request::End),
         (0u8..1u8).prop_map(|_| Request::Shutdown),
+        any::<u64>().prop_map(|last_epoch| Request::ReplSubscribe { last_epoch }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(after_epoch, seq)| Request::ReplFetch { after_epoch, seq }),
+        any::<u64>().prop_map(|epoch| Request::ReplAck { epoch }),
+        payload_bytes().prop_map(|payload| Request::ReplApply { payload }),
+        (0u8..1u8).prop_map(|_| Request::ReplPromote),
     ]
     .boxed()
 }
@@ -50,6 +62,7 @@ fn err_kind() -> BoxedStrategy<ErrKind> {
         (0u8..1u8).prop_map(|_| ErrKind::Corrupt),
         (0u8..1u8).prop_map(|_| ErrKind::Io),
         (0u8..1u8).prop_map(|_| ErrKind::Internal),
+        (0u8..1u8).prop_map(|_| ErrKind::Fenced),
     ]
     .boxed()
 }
@@ -87,6 +100,11 @@ fn response_body() -> BoxedStrategy<ResponseBody> {
                 what,
             }
         }),
+        (0u8..1u8).prop_map(|_| ResponseBody::ReplSubscribed),
+        payload_bytes().prop_map(|payload| ResponseBody::ReplBatchPart { payload }),
+        (0u8..1u8).prop_map(|_| ResponseBody::ReplAckOk),
+        any::<bool>().prop_map(|complete| ResponseBody::ReplApplied { complete }),
+        (0u8..1u8).prop_map(|_| ResponseBody::ReplPromoted),
     ]
     .boxed()
 }
@@ -148,6 +166,43 @@ proptest! {
         let mut extended = body.clone();
         extended.push(0xA5);
         prop_assert!(Request::decode(&extended).is_err());
+    }
+
+    /// The replication *part* codec (the payload carried inside
+    /// `ReplApply`/`ReplBatchPart` frames): arbitrary byte soup never
+    /// panics the decoder.
+    #[test]
+    fn repl_part_garbage_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = natix_store::decode_part(&bytes);
+    }
+
+    /// Mutations and truncations of a *valid* replication part never
+    /// panic: the checksum trailer or a structural check catches them
+    /// with a typed store error (a mutation that only touches page
+    /// *content* covered by the checksum cannot slip through either).
+    #[test]
+    fn mutated_repl_parts_never_panic(
+        prev in any::<u32>(),
+        adv in 1u32..1000u32,
+        muts in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+        cut in any::<u16>(),
+    ) {
+        let batch = natix_store::ReplBatch {
+            kind: natix_store::BatchKind::Incremental,
+            prev_epoch: prev as u64,
+            epoch: prev as u64 + adv as u64,
+            pages: vec![(2, Box::new([0xA5u8; natix_store::PAGE_SIZE]))],
+        };
+        let mut part = batch.encode_parts().remove(0);
+        let keep = cut as usize % (part.len() + 1);
+        let _ = natix_store::decode_part(&part[..keep]);
+        for (pos, val) in muts {
+            let idx = pos as usize % part.len();
+            part[idx] = val;
+        }
+        let _ = natix_store::decode_part(&part);
     }
 }
 

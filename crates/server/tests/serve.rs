@@ -44,7 +44,23 @@ fn start(store: PathBuf, tweak: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
         ..ServeConfig::default()
     };
     tweak(&mut config);
-    serve(config).unwrap()
+    // Even an ephemeral-port bind can transiently fail with AddrInUse
+    // when parallel test binaries churn through the port range; retry a
+    // bounded number of times before declaring the environment broken.
+    let mut last = None;
+    for attempt in 0..10 {
+        match serve(config.clone()) {
+            Ok(handle) => return handle,
+            Err(natix_server::ServeError::Bind(io))
+                if io.kind() == std::io::ErrorKind::AddrInUse =>
+            {
+                std::thread::sleep(std::time::Duration::from_millis(25 * (attempt + 1)));
+                last = Some(io);
+            }
+            Err(e) => panic!("serve: {e}"),
+        }
+    }
+    panic!("bind kept failing with AddrInUse after 10 attempts: {last:?}")
 }
 
 /// Every verb round-trips, an update is visible to a later query, and a

@@ -32,6 +32,7 @@ mod journal;
 mod page;
 mod pager;
 mod record;
+mod replicate;
 mod store;
 mod update;
 
@@ -57,6 +58,10 @@ pub use pager::{
     RESOURCE_BACKOFF_FACTOR,
 };
 pub use record::{ChildEntry, RecNode, RecordData};
+pub use replicate::{
+    decode_part, ApplyOutcome, BatchKind, CaptureHandle, CapturePager, Follower, ReplBatch,
+    ReplPart, ReplicaSource, REPL_LOG_BATCHES, REPL_PART_MAGIC, REPL_PART_MAX_PAGES,
+};
 pub use store::{
     bulkload_with, DamageReport, MissingInterval, NavStats, NodeRef, OpenMode, StoreConfig,
     XmlStore,

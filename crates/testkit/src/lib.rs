@@ -41,6 +41,7 @@ mod model;
 mod net;
 mod ops;
 mod proxy;
+mod repl;
 
 pub use bulk::{run_bulkload_campaign, BulkCampaignConfig, BulkFailure, BulkReport};
 
@@ -67,3 +68,4 @@ pub use ops::{format_op, generate_trace, name_for, parse_op, text_for, Op};
 pub use proxy::{
     run_proxy_chaos, FaultProxy, ProxyChaosConfig, ProxyChaosReport, ProxyPlan, ProxyStats,
 };
+pub use repl::{run_repl_soak, ReplSoakConfig, ReplSoakReport};

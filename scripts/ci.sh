@@ -140,4 +140,67 @@ cargo run --release -p natix-cli -- stress --net --proxy --quick
 echo "==> natix stress --net --leak --quick (pin-lease starvation smoke: a silent leaker must be reaped within one TTL; shed rate back to 0, reclamation backlog drains, typed session-expired answer)"
 cargo run --release -p natix-cli -- stress --net --leak --quick
 
+echo "==> natix serve replication smoke (primary + hot standby: update storm, lag drains to 0, same-epoch dumps byte-identical, standby sheds writes read-only, SIGKILL primary, promote, promoted store serves writes)"
+repl_dir="$fsck_dir/repl"
+mkdir -p "$repl_dir"
+natix load "$fsck_dir/sample.xml" "$repl_dir/primary.natix" --k 16
+natix serve "$repl_dir/primary.natix" --addr 127.0.0.1:0 > "$repl_dir/primary.log" &
+primary_pid=$!
+trap 'kill -9 "$primary_pid" 2>/dev/null; rm -rf "$fsck_dir"' EXIT
+for _ in $(seq 1 200); do
+  grep -q "listening on" "$repl_dir/primary.log" && break
+  sleep 0.05
+done
+primary_addr="$(sed -n 's/.*listening on //p' "$repl_dir/primary.log" | head -n 1)"
+[ -n "$primary_addr" ] || { echo "FAIL: primary printed no listen banner" >&2; exit 1; }
+natix serve "$repl_dir/standby.natix" --addr 127.0.0.1:0 --replica-of "$primary_addr" \
+  > "$repl_dir/standby.log" &
+standby_pid=$!
+trap 'kill -9 "$primary_pid" "$standby_pid" 2>/dev/null; rm -rf "$fsck_dir"' EXIT
+for _ in $(seq 1 200); do
+  grep -q "listening on" "$repl_dir/standby.log" && break
+  sleep 0.05
+done
+standby_addr="$(sed -n 's/.*listening on //p' "$repl_dir/standby.log" | head -n 1)"
+[ -n "$standby_addr" ] || { echo "FAIL: standby printed no listen banner" >&2; exit 1; }
+# A short update storm on the primary while the standby follows live.
+for i in $(seq 1 8); do
+  natix net "$primary_addr" update '//library' append-element "wing$i"
+done
+# The primary's lag gauge must drain to 0 (every committed epoch acked);
+# "1 followers" guards against matching the vacuous 0-follower line
+# during a follower reconnect.
+caught_up=0
+for _ in $(seq 1 200); do
+  if natix net "$primary_addr" stats | grep -q "1 followers, lag 0 epochs"; then caught_up=1; break; fi
+  sleep 0.05
+done
+test "$caught_up" -eq 1 || { echo "FAIL: standby never reached lag 0" >&2; exit 1; }
+# ...at which point same-epoch dumps must be byte-identical.
+natix net "$primary_addr" dump > "$repl_dir/primary.xml"
+natix net "$standby_addr" dump > "$repl_dir/standby.xml"
+diff "$repl_dir/primary.xml" "$repl_dir/standby.xml"
+natix net "$standby_addr" stats | grep -q "role         : replica"
+# Writes to the standby shed with the typed read-only retry-after (exit 3).
+rc=0; natix net "$standby_addr" update '//library' append-element nope --retries 0 2> /dev/null || rc=$?
+test "$rc" -eq 3 || { echo "FAIL: standby write exited $rc, want 3 (read-only shed)" >&2; exit 1; }
+# Failover: SIGKILL the primary, promote the standby, verify it went writable.
+kill -9 "$primary_pid"
+wait "$primary_pid" 2> /dev/null || true
+natix net "$standby_addr" promote
+natix net "$standby_addr" fsck > /dev/null
+# The promoted store holds exactly the acked history (lag was 0 at the
+# kill, so that is the full storm) and now accepts writes.
+natix net "$standby_addr" dump > "$repl_dir/promoted.xml"
+diff "$repl_dir/primary.xml" "$repl_dir/promoted.xml"
+natix net "$standby_addr" update '//library' append-element promoted
+test "$(natix net "$standby_addr" query '//promoted' --count)" = 1
+natix net "$standby_addr" shutdown
+wait "$standby_pid"
+grep -q "drained and stopped" "$repl_dir/standby.log"
+trap 'rm -rf "$fsck_dir"' EXIT
+
+echo "==> natix soak --repl --quick (failover campaign smoke: primary + standby through the fault proxy, seeded update storm, SIGKILL at swept points, promote; acked-prefix content, clean fsck, chain-mismatch and fencing refusals, clean drain)"
+cargo run --release -p natix-cli -- soak --repl --quick
+
 echo "CI OK"
